@@ -1,0 +1,109 @@
+//! The application inventory reproduced from Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Threading model of a server application (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadingModel {
+    /// A single accept/serve loop.
+    SingleThreaded,
+    /// A pool of worker threads sharing the listening socket.
+    MultiThreaded,
+    /// Pre-forked worker processes (modelled with worker threads here).
+    MultiProcess,
+}
+
+impl ThreadingModel {
+    /// The label used in Table 1.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadingModel::SingleThreaded => "single-threaded",
+            ThreadingModel::MultiThreaded => "multi-threaded",
+            ThreadingModel::MultiProcess => "multi-process",
+        }
+    }
+}
+
+/// One row of Table 1: a server application used in the evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppDescriptor {
+    /// Application name as it appears in the paper.
+    pub name: &'static str,
+    /// Size in lines of code reported by the paper (via `cloc`).
+    pub paper_loc: u32,
+    /// Threading model reported by the paper.
+    pub threading: ThreadingModel,
+    /// The miniature counterpart in this repository.
+    pub counterpart: &'static str,
+    /// The client workload the paper drives it with.
+    pub workload: &'static str,
+}
+
+/// Returns the Table 1 inventory: the five C10k servers and their miniature
+/// counterparts in `varan_apps::servers`.
+#[must_use]
+pub fn application_inventory() -> Vec<AppDescriptor> {
+    vec![
+        AppDescriptor {
+            name: "Beanstalkd",
+            paper_loc: 6_365,
+            threading: ThreadingModel::SingleThreaded,
+            counterpart: "servers::queue::QueueServer",
+            workload: "beanstalkd-benchmark (10 workers x 10,000 puts of 256 B)",
+        },
+        AppDescriptor {
+            name: "Lighttpd",
+            paper_loc: 38_590,
+            threading: ThreadingModel::SingleThreaded,
+            counterpart: "servers::httpd::HttpServer (single-threaded)",
+            workload: "wrk (10 clients, 4 kB page)",
+        },
+        AppDescriptor {
+            name: "Memcached",
+            paper_loc: 9_779,
+            threading: ThreadingModel::MultiThreaded,
+            counterpart: "servers::cache::CacheServer",
+            workload: "memslap (10,000 key pairs, 10,000 operations)",
+        },
+        AppDescriptor {
+            name: "Nginx",
+            paper_loc: 101_852,
+            threading: ThreadingModel::MultiProcess,
+            counterpart: "servers::httpd::HttpServer (worker pool)",
+            workload: "wrk (10 clients, 4 kB page)",
+        },
+        AppDescriptor {
+            name: "Redis",
+            paper_loc: 34_625,
+            threading: ThreadingModel::MultiThreaded,
+            counterpart: "servers::kvstore::KvServer",
+            workload: "redis-benchmark (50 clients, 10,000 requests)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_table_1() {
+        let inventory = application_inventory();
+        assert_eq!(inventory.len(), 5);
+        let lighttpd = inventory.iter().find(|app| app.name == "Lighttpd").unwrap();
+        assert_eq!(lighttpd.paper_loc, 38_590);
+        assert_eq!(lighttpd.threading, ThreadingModel::SingleThreaded);
+        let nginx = inventory.iter().find(|app| app.name == "Nginx").unwrap();
+        assert_eq!(nginx.threading, ThreadingModel::MultiProcess);
+        let redis = inventory.iter().find(|app| app.name == "Redis").unwrap();
+        assert_eq!(redis.paper_loc, 34_625);
+    }
+
+    #[test]
+    fn threading_labels() {
+        assert_eq!(ThreadingModel::SingleThreaded.label(), "single-threaded");
+        assert_eq!(ThreadingModel::MultiThreaded.label(), "multi-threaded");
+        assert_eq!(ThreadingModel::MultiProcess.label(), "multi-process");
+    }
+}

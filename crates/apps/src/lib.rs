@@ -1,0 +1,36 @@
+//! Miniature applications and workloads for evaluating the VARAN
+//! N-version execution framework reproduction.
+//!
+//! The paper evaluates VARAN on real C10k servers (Beanstalkd, Lighttpd,
+//! Memcached, Nginx, Redis), on the servers used by prior NVX systems
+//! (Apache httpd, thttpd) and on the SPEC CPU2000/2006 suites.  Those
+//! binaries are not available in this environment, so this crate provides
+//! faithful miniature counterparts written against the virtual kernel's
+//! system-call interface (see `DESIGN.md` for the substitution argument):
+//! what matters to a system-call monitor is the *system-call footprint* of
+//! the application — the mix of `accept`/`read`/`write`/`open`/`close`/
+//! `time` calls, the payload sizes and the threading model — and these
+//! programs reproduce exactly that.
+//!
+//! * [`servers`] — the server applications (key-value store, HTTP servers,
+//!   work queue, object cache) with per-application threading models.
+//! * [`clients`] — the load generators the paper drives them with
+//!   (redis-benchmark, wrk/ApacheBench/http_load, memslap,
+//!   beanstalkd-benchmark).
+//! * [`spec`] — CPU-bound kernels standing in for SPEC CPU2000/2006.
+//! * [`revisions`] — multi-revision variants used by the transparent
+//!   failover (§5.1) and multi-revision execution (§5.2) experiments,
+//!   including the crash-bug revisions and the revisions that add system
+//!   calls (Lighttpd 2436/2524/2578).
+//! * [`inventory`] — the Table 1 application inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod clients;
+pub mod inventory;
+pub mod revisions;
+pub mod servers;
+pub mod spec;
+
+pub use inventory::{application_inventory, AppDescriptor, ThreadingModel};

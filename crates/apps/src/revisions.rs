@@ -1,0 +1,177 @@
+//! Multi-revision variants for the §5.1 and §5.2 experiments.
+//!
+//! Transparent failover (§5.1) runs eight consecutive Redis revisions, the
+//! newest of which introduced a crash bug, and two consecutive Lighttpd
+//! revisions around a crash bug.  Multi-revision execution (§5.2) runs
+//! Lighttpd revision pairs whose system-call sequences differ (2435/2436,
+//! 2523/2524, 2577/2578) and therefore need rewrite rules.  This module
+//! builds those version sets and the matching [`RuleEngine`] configurations.
+
+use varan_core::{RuleEngine, VersionProgram};
+use varan_kernel::Sysno;
+
+use crate::servers::httpd::{revs, HttpServer};
+use crate::servers::kvstore::KvServer;
+use crate::servers::ServerConfig;
+
+/// The revision identifiers of the Redis range used in §5.1
+/// (`9a22de8` … `7fb16ba`, the last one carrying the crash bug).
+pub const REDIS_REVISIONS: [&str; 8] = [
+    "9a22de8", "1fa3304", "2f925d4", "3be1bcd", "50e9ab1", "5f5b4c3", "6d36418", "7fb16ba",
+];
+
+/// Builds the eight consecutive Redis-like revisions of the failover
+/// experiment.  When `buggy_leader` is true the *buggy* newest revision is
+/// placed first (it becomes the leader); otherwise it is placed last (it runs
+/// as a follower).
+#[must_use]
+pub fn redis_revision_set(config: &ServerConfig, buggy_leader: bool) -> Vec<Box<dyn VersionProgram>> {
+    let mut versions: Vec<Box<dyn VersionProgram>> = Vec::new();
+    let buggy: Box<dyn VersionProgram> = Box::new(
+        KvServer::new(config.clone()).with_revision(REDIS_REVISIONS[7], true),
+    );
+    let healthy: Vec<Box<dyn VersionProgram>> = REDIS_REVISIONS[..7]
+        .iter()
+        .map(|revision| {
+            Box::new(KvServer::new(config.clone()).with_revision(revision, false))
+                as Box<dyn VersionProgram>
+        })
+        .collect();
+    if buggy_leader {
+        versions.push(buggy);
+        versions.extend(healthy);
+    } else {
+        versions.extend(healthy);
+        versions.push(buggy);
+    }
+    versions
+}
+
+/// Builds a Lighttpd-like server at the given revision.
+#[must_use]
+pub fn lighttpd_revision(revision: u32, config: &ServerConfig) -> HttpServer {
+    HttpServer::lighttpd(config.clone()).with_revision(revision)
+}
+
+/// Builds the Lighttpd crash-bug pair used in §5.1 (revision 2438 introduced
+/// a crash on a particular request).  `buggy_leader` selects which revision
+/// leads.
+#[must_use]
+pub fn lighttpd_crash_pair(
+    config: &ServerConfig,
+    buggy_leader: bool,
+) -> Vec<Box<dyn VersionProgram>> {
+    let healthy: Box<dyn VersionProgram> =
+        Box::new(lighttpd_revision(revs::REV_2437, config));
+    let buggy: Box<dyn VersionProgram> = Box::new(lighttpd_revision(revs::REV_2438, config));
+    if buggy_leader {
+        vec![buggy, healthy]
+    } else {
+        vec![healthy, buggy]
+    }
+}
+
+/// The three §5.2 revision pairs: (leader revision, follower revision).
+pub const MULTI_REVISION_PAIRS: [(u32, u32); 3] = [
+    (revs::REV_2435, revs::REV_2436),
+    (revs::REV_2523, revs::REV_2524),
+    (revs::REV_2577, revs::REV_2578),
+];
+
+/// Builds the rewrite rules needed to run `follower_rev` as a follower of
+/// `leader_rev`, mirroring the filters of §5.2:
+///
+/// * 2435 → 2436: the follower's extra `getuid`/`getgid` checks (Listing 1);
+/// * 2523 → 2524: the follower's extra `open`/`read`/`close` of
+///   `/dev/urandom` at startup;
+/// * 2577 → 2578: the follower's extra `fcntl` after `accept`.
+///
+/// # Errors
+///
+/// Propagates rule-assembly errors (none occur for the known pairs).
+pub fn lighttpd_rules(leader_rev: u32, follower_rev: u32) -> Result<RuleEngine, varan_core::CoreError> {
+    let mut engine = RuleEngine::new();
+    if leader_rev < revs::REV_2436 && follower_rev >= revs::REV_2436 {
+        engine = engine.with_listing_1()?;
+    }
+    if leader_rev < revs::REV_2524 && follower_rev >= revs::REV_2524 {
+        // The follower opens and reads /dev/urandom while the leader goes
+        // straight to opening the configuration file / serving requests.
+        for (name, extra) in [
+            ("lighttpd-2524-open-urandom", Sysno::Open),
+            ("lighttpd-2524-read-urandom", Sysno::Read),
+            ("lighttpd-2524-close-urandom", Sysno::Close),
+        ] {
+            engine.add_addition_rule(
+                name,
+                &format!(
+                    "ld [0]\n jeq #{}, good\n ret #0\ngood: ret #0x7fff0000\n",
+                    extra.number()
+                ),
+            )?;
+        }
+    }
+    if leader_rev < revs::REV_2578 && follower_rev >= revs::REV_2578 {
+        // The follower sets FD_CLOEXEC with an extra fcntl after accept.
+        engine.allow_extra_call(
+            "lighttpd-2578-fcntl-cloexec",
+            Sysno::Fcntl.number(),
+            Sysno::Read.number(),
+        )?;
+        engine.add_addition_rule(
+            "lighttpd-2578-fcntl-any",
+            &format!(
+                "ld [0]\n jeq #{}, good\n ret #0\ngood: ret #0x7fff0000\n",
+                Sysno::Fcntl.number()
+            ),
+        )?;
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redis_revision_set_places_the_buggy_version() {
+        let config = ServerConfig::on_port(6379).with_connections(4);
+        let as_leader = redis_revision_set(&config, true);
+        assert_eq!(as_leader.len(), 8);
+        assert_eq!(as_leader[0].name(), "redis-7fb16ba");
+        assert_eq!(as_leader[1].name(), "redis-9a22de8");
+
+        let as_follower = redis_revision_set(&config, false);
+        assert_eq!(as_follower[0].name(), "redis-9a22de8");
+        assert_eq!(as_follower[7].name(), "redis-7fb16ba");
+    }
+
+    #[test]
+    fn lighttpd_crash_pair_orders_versions() {
+        let config = ServerConfig::on_port(8081).with_connections(2);
+        let pair = lighttpd_crash_pair(&config, true);
+        assert_eq!(pair[0].name(), "lighttpd-r2438");
+        assert_eq!(pair[1].name(), "lighttpd-r2437");
+        let pair = lighttpd_crash_pair(&config, false);
+        assert_eq!(pair[0].name(), "lighttpd-r2437");
+    }
+
+    #[test]
+    fn rules_exist_for_every_multi_revision_pair() {
+        for (leader, follower) in MULTI_REVISION_PAIRS {
+            let engine = lighttpd_rules(leader, follower).unwrap();
+            assert!(!engine.is_empty(), "pair {leader}/{follower} needs rules");
+        }
+        // Identical revisions need no rules.
+        let engine = lighttpd_rules(revs::REV_2435, revs::REV_2435).unwrap();
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn listing_1_rules_cover_the_2436_divergence() {
+        let engine = lighttpd_rules(revs::REV_2435, revs::REV_2436).unwrap();
+        let request = varan_kernel::syscall::SyscallRequest::new(Sysno::Getuid, [0; 6]);
+        let (action, _) = engine.evaluate(&request, &[u32::from(Sysno::Getegid.number())]);
+        assert_eq!(action, varan_core::RuleAction::ExecuteExtra);
+    }
+}

@@ -1,0 +1,264 @@
+//! A Memcached-like object cache.
+//!
+//! Memcached is the paper's multi-threaded benchmark: a pool of worker
+//! threads shares the listening socket and each worker serves whole
+//! connections.  Under VARAN each worker thread becomes its own thread tuple
+//! with its own ring buffer, and the per-variant Lamport clock keeps the
+//! followers' threads consuming events in a happens-before-consistent order
+//! (§3.3.3).  The protocol is the memcached text protocol's `set`/`get`
+//! subset, which is what the `memslap` workload exercises.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+
+use super::{open_listener, ConnReader, ServerConfig};
+
+/// The Memcached-like cache server.
+#[derive(Debug, Clone)]
+pub struct CacheServer {
+    config: ServerConfig,
+    revision: String,
+}
+
+type Store = Arc<Mutex<HashMap<String, Vec<u8>>>>;
+
+impl CacheServer {
+    /// Creates a cache server; the worker-thread count comes from `config`
+    /// (clamped to at least two to preserve the multi-threaded model).
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let workers = config.worker_threads.max(2);
+        CacheServer {
+            config: ServerConfig {
+                worker_threads: workers,
+                ..config
+            },
+            revision: "1.4.17".to_owned(),
+        }
+    }
+
+    /// Labels this instance as a particular release.
+    #[must_use]
+    pub fn with_revision(mut self, revision: &str) -> Self {
+        self.revision = revision.to_owned();
+        self
+    }
+
+    /// Number of worker threads this instance will start.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.config.worker_threads
+    }
+
+    fn serve_connection(store: &Store, sys: &mut dyn SyscallInterface, conn: i32) -> u64 {
+        /// User-space cycles per operation (hashing the key, slab lookup).
+        const COMPUTE_PER_OP: u64 = 4_000;
+        let mut reader = ConnReader::new(conn);
+        let mut served = 0u64;
+        while let Some(line) = reader.read_line(sys) {
+            if line.is_empty() {
+                continue;
+            }
+            sys.cpu_work(COMPUTE_PER_OP);
+            let mut parts = line.split_whitespace();
+            let command = parts.next().unwrap_or("");
+            match command {
+                "set" => {
+                    let key = parts.next().unwrap_or("").to_owned();
+                    let bytes: usize = parts.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                    let Some(payload) = reader.read_exact(sys, bytes) else {
+                        break;
+                    };
+                    // Consume the trailing CRLF, if present.
+                    let _ = reader.read_exact(sys, 2);
+                    store.lock().expect("cache store").insert(key, payload);
+                    sys.write(conn, b"STORED\r\n");
+                }
+                "get" => {
+                    let key = parts.next().unwrap_or("");
+                    let value = store.lock().expect("cache store").get(key).cloned();
+                    match value {
+                        Some(value) => {
+                            let mut reply =
+                                format!("VALUE {key} 0 {}\r\n", value.len()).into_bytes();
+                            reply.extend_from_slice(&value);
+                            reply.extend_from_slice(b"\r\nEND\r\n");
+                            sys.write(conn, &reply);
+                        }
+                        None => {
+                            sys.write(conn, b"END\r\n");
+                        }
+                    }
+                }
+                "delete" => {
+                    let key = parts.next().unwrap_or("");
+                    let removed = store.lock().expect("cache store").remove(key).is_some();
+                    sys.write(
+                        conn,
+                        if removed { b"DELETED\r\n" } else { b"NOT_FOUND\r\n" },
+                    );
+                }
+                "quit" => break,
+                _ => {
+                    sys.write(conn, b"ERROR\r\n");
+                }
+            }
+            served += 1;
+        }
+        served
+    }
+}
+
+impl VersionProgram for CacheServer {
+    fn name(&self) -> String {
+        format!("memcached-{}", self.revision)
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let listener = open_listener(sys, &self.config);
+        if listener < 0 {
+            return ProgramExit::Exited(1);
+        }
+        let store: Store = Arc::new(Mutex::new(HashMap::new()));
+
+        // One queue per worker and deterministic round-robin dispatch: the
+        // same connection lands on the same worker index in every version, so
+        // a follower's worker replays exactly the events its leader
+        // counterpart produced (see §3.3.3 on per-thread-tuple rings).
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..self.config.worker_threads {
+            let (sender, receiver) = std::sync::mpsc::channel::<i32>();
+            senders.push(sender);
+            let mut worker_sys = sys.spawn_thread();
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut served = 0u64;
+                while let Ok(conn) = receiver.recv() {
+                    served += CacheServer::serve_connection(&store, worker_sys.as_mut(), conn);
+                    worker_sys.close(conn);
+                }
+                served
+            }));
+        }
+
+        for index in 0..self.config.max_connections {
+            let conn = sys.accept(listener as i32);
+            if conn < 0 {
+                break;
+            }
+            let worker = (index as usize) % senders.len();
+            if senders[worker].send(conn as i32).is_err() {
+                break;
+            }
+        }
+        drop(senders);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        sys.close(listener as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::DirectExecutor;
+    use varan_kernel::Kernel;
+
+    #[test]
+    fn multithreaded_set_get_round_trip() {
+        let kernel = Kernel::new();
+        let mut server = CacheServer::new(
+            ServerConfig::on_port(8050)
+                .with_connections(4)
+                .with_workers(3),
+        );
+        assert_eq!(server.workers(), 3);
+        assert_eq!(server.name(), "memcached-1.4.17");
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            let mut transcripts = Vec::new();
+            for i in 0..4 {
+                loop {
+                    if let Ok(endpoint) = client_kernel.network().connect(8050) {
+                        let key = format!("key{i}");
+                        endpoint
+                            .write(format!("set {key} 5\r\nvalue\r\nget {key}\r\nget missing\r\nquit\r\n").as_bytes())
+                            .unwrap();
+                        let mut text = Vec::new();
+                        loop {
+                            let chunk = endpoint.read(512, true).unwrap();
+                            if chunk.is_empty() {
+                                break;
+                            }
+                            text.extend_from_slice(&chunk);
+                            let seen = String::from_utf8_lossy(&text);
+                            if seen.matches("END").count() >= 2 {
+                                break;
+                            }
+                        }
+                        endpoint.close();
+                        transcripts.push(String::from_utf8(text).unwrap());
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            transcripts
+        });
+        let mut sys = DirectExecutor::new(&kernel, "cache-test");
+        let exit = server.run(&mut sys);
+        let transcripts = driver.join().unwrap();
+        assert_eq!(exit, ProgramExit::Exited(0));
+        assert_eq!(transcripts.len(), 4);
+        for (i, transcript) in transcripts.iter().enumerate() {
+            assert!(transcript.contains("STORED"), "transcript {i}: {transcript}");
+            assert!(transcript.contains("VALUE"), "transcript {i}: {transcript}");
+            assert!(transcript.contains("value"), "transcript {i}: {transcript}");
+        }
+    }
+
+    #[test]
+    fn delete_and_error_paths() {
+        // Exercise the command handler through a real connection but with a
+        // single worker, covering delete/NOT_FOUND/ERROR branches.
+        let kernel = Kernel::new();
+        let mut server = CacheServer::new(
+            ServerConfig::on_port(8060).with_connections(1).with_workers(2),
+        );
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || loop {
+            if let Ok(endpoint) = client_kernel.network().connect(8060) {
+                endpoint
+                    .write(b"set k 3\r\nabc\r\ndelete k\r\ndelete k\r\nnonsense\r\nquit\r\n")
+                    .unwrap();
+                let mut text = Vec::new();
+                loop {
+                    let chunk = endpoint.read(512, true).unwrap();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    text.extend_from_slice(&chunk);
+                    if String::from_utf8_lossy(&text).contains("ERROR") {
+                        break;
+                    }
+                }
+                endpoint.close();
+                return String::from_utf8(text).unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let mut sys = DirectExecutor::new(&kernel, "cache-test-2");
+        server.run(&mut sys);
+        let transcript = driver.join().unwrap();
+        assert!(transcript.contains("STORED"));
+        assert!(transcript.contains("DELETED"));
+        assert!(transcript.contains("NOT_FOUND"));
+        assert!(transcript.contains("ERROR"));
+    }
+}

@@ -1,0 +1,495 @@
+//! A static-file HTTP server standing in for Lighttpd, Nginx, Apache httpd
+//! and thttpd.
+//!
+//! The HTTP servers dominate the paper's evaluation: Lighttpd and Nginx in
+//! the C10k experiments (Figure 5), Apache httpd / thttpd / Lighttpd in the
+//! comparison with prior NVX systems (Figure 6, Table 2), and consecutive
+//! Lighttpd revisions in the multi-revision execution study (§5.2).  This
+//! miniature server reproduces their system-call footprint — `accept`,
+//! request `read`s, a user-privilege check, `stat`/`open`/`read` of the
+//! requested file, response `write`s and `close` — and the *revision-specific
+//! differences in that footprint* that §5.2 relies on:
+//!
+//! * revisions ≥ 2436 call `getuid`/`getgid` in addition to
+//!   `geteuid`/`getegid` (the `issetugid()` change of Listing 1);
+//! * revisions ≥ 2524 read `/dev/urandom` at startup for extra entropy;
+//! * revisions ≥ 2578 set `FD_CLOEXEC` on accepted connections with an extra
+//!   `fcntl`;
+//! * revision 2438 (and any revision configured with
+//!   [`HttpServer::with_crash_path`]) crashes on a particular request,
+//!   reproducing the crash bug used in the failover experiment.
+
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::fs::flags;
+use varan_kernel::signal::Signal;
+use varan_kernel::syscall::{fcntl, SyscallRequest};
+use varan_kernel::Sysno;
+
+use super::{open_listener, ConnReader, ServerConfig};
+
+/// Well-known revision numbers from the paper's §5.2 feasibility study.
+pub mod revs {
+    /// Baseline revision using `geteuid()`/`getegid()`.
+    pub const REV_2435: u32 = 2435;
+    /// Adds `getuid`/`getgid` via `issetugid()` (Listing 1's divergence).
+    pub const REV_2436: u32 = 2436;
+    /// Revision before the crash bug.
+    pub const REV_2437: u32 = 2437;
+    /// Introduces a crash bug on a particular request.
+    pub const REV_2438: u32 = 2438;
+    /// Revision before the entropy change.
+    pub const REV_2523: u32 = 2523;
+    /// Reads `/dev/urandom` at startup for an extra source of entropy.
+    pub const REV_2524: u32 = 2524;
+    /// Revision before the close-on-exec change.
+    pub const REV_2577: u32 = 2577;
+    /// Sets `FD_CLOEXEC` on accepted descriptors with an extra `fcntl`.
+    pub const REV_2578: u32 = 2578;
+}
+
+/// The HTTP server.
+#[derive(Debug, Clone)]
+pub struct HttpServer {
+    config: ServerConfig,
+    flavour: String,
+    revision: u32,
+    doc_root: String,
+    crash_path: Option<String>,
+    /// User-space cycles spent processing one request (URI parsing, header
+    /// generation, logging).  Calibrated per flavour from the per-request CPU
+    /// time of the real servers, which is what amortises the monitor's
+    /// per-event cost differently across Figures 5 and 6.
+    compute_per_request: u64,
+}
+
+impl HttpServer {
+    /// Creates a Lighttpd-flavoured, single-threaded server at revision 2435.
+    #[must_use]
+    pub fn lighttpd(config: ServerConfig) -> Self {
+        HttpServer {
+            config,
+            flavour: "lighttpd".to_owned(),
+            revision: revs::REV_2435,
+            doc_root: "/var/www".to_owned(),
+            crash_path: None,
+            compute_per_request: 150_000,
+        }
+    }
+
+    /// Creates an Nginx-flavoured server with a worker pool.
+    #[must_use]
+    pub fn nginx(config: ServerConfig) -> Self {
+        let workers = config.worker_threads.max(2);
+        HttpServer {
+            config: ServerConfig {
+                worker_threads: workers,
+                ..config
+            },
+            flavour: "nginx".to_owned(),
+            revision: revs::REV_2435,
+            doc_root: "/var/www".to_owned(),
+            crash_path: None,
+            compute_per_request: 90_000,
+        }
+    }
+
+    /// Creates an Apache-httpd-flavoured single-threaded server.
+    #[must_use]
+    pub fn apache(config: ServerConfig) -> Self {
+        HttpServer {
+            flavour: "apache-httpd".to_owned(),
+            compute_per_request: 620_000,
+            ..HttpServer::lighttpd(config)
+        }
+    }
+
+    /// Creates a thttpd-flavoured single-threaded server.
+    #[must_use]
+    pub fn thttpd(config: ServerConfig) -> Self {
+        HttpServer {
+            flavour: "thttpd".to_owned(),
+            compute_per_request: 420_000,
+            ..HttpServer::lighttpd(config)
+        }
+    }
+
+    /// Overrides the per-request user-space compute budget.
+    #[must_use]
+    pub fn with_compute_per_request(mut self, cycles: u64) -> Self {
+        self.compute_per_request = cycles;
+        self
+    }
+
+    /// Sets the revision number, which controls the system-call footprint.
+    #[must_use]
+    pub fn with_revision(mut self, revision: u32) -> Self {
+        self.revision = revision;
+        if revision == revs::REV_2438 {
+            self.crash_path = Some("/admin/status".to_owned());
+        }
+        self
+    }
+
+    /// Makes requests for `path` crash the server (the §5.1 crash bug).
+    #[must_use]
+    pub fn with_crash_path(mut self, path: &str) -> Self {
+        self.crash_path = Some(path.to_owned());
+        self
+    }
+
+    /// The revision this instance models.
+    #[must_use]
+    pub fn revision(&self) -> u32 {
+        self.revision
+    }
+
+    /// The check performed before opening a file: the exact sequence of
+    /// identity system calls depends on the revision (§5.2, Listing 1).
+    fn check_user(&self, sys: &mut dyn SyscallInterface) {
+        sys.syscall(&SyscallRequest::new(Sysno::Geteuid, [0; 6]));
+        if self.revision >= revs::REV_2436 {
+            sys.syscall(&SyscallRequest::new(Sysno::Getuid, [0; 6]));
+        }
+        sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+        if self.revision >= revs::REV_2436 {
+            sys.syscall(&SyscallRequest::new(Sysno::Getgid, [0; 6]));
+        }
+    }
+
+    fn startup(&self, sys: &mut dyn SyscallInterface) {
+        // Read the configuration file, as every real server does at startup.
+        let config_fd = sys.open("/etc/hostname", flags::O_RDONLY);
+        if config_fd >= 0 {
+            let _ = sys.read(config_fd as i32, 256);
+            sys.close(config_fd as i32);
+        }
+        if self.revision >= revs::REV_2524 {
+            // Revision 2524: an additional read of /dev/urandom for entropy.
+            let urandom = sys.open("/dev/urandom", flags::O_RDONLY);
+            if urandom >= 0 {
+                let _ = sys.read(urandom as i32, 16);
+                sys.close(urandom as i32);
+            }
+        }
+    }
+
+    /// Serves every request on one connection.  Returns `Err(signal)` if the
+    /// crash bug fired.
+    fn serve_connection(
+        &self,
+        sys: &mut dyn SyscallInterface,
+        conn: i32,
+    ) -> Result<u64, Signal> {
+        if self.revision >= revs::REV_2578 {
+            sys.syscall(&SyscallRequest::fcntl(
+                conn,
+                fcntl::F_SETFD,
+                fcntl::FD_CLOEXEC,
+            ));
+        }
+        let mut reader = ConnReader::new(conn);
+        let mut served = 0u64;
+        loop {
+            let request_line = match reader.read_line(sys) {
+                Some(line) if !line.is_empty() => line,
+                _ => break,
+            };
+            // Drain the header block.
+            while let Some(header) = reader.read_line(sys) {
+                if header.is_empty() {
+                    break;
+                }
+            }
+            let path = request_line.split_whitespace().nth(1).unwrap_or("/").to_owned();
+            if let Some(crash) = &self.crash_path {
+                if path == *crash {
+                    return Err(Signal::Sigsegv);
+                }
+            }
+            // Request parsing, URI normalisation, response-header generation
+            // and access logging all happen in user space.
+            sys.cpu_work(self.compute_per_request);
+            // The privilege check is issued immediately before the open, as
+            // in the Lighttpd revisions Listing 1 was written against.
+            self.check_user(sys);
+            let file_path = if path == "/" {
+                format!("{}/index.html", self.doc_root)
+            } else {
+                format!("{}{}", self.doc_root, path)
+            };
+            let fd = sys.open(&file_path, flags::O_RDONLY);
+            let response = if fd >= 0 {
+                let size = sys.syscall(&SyscallRequest::new(
+                    Sysno::Fstat,
+                    [fd as u64, 0, 0, 0, 0, 0],
+                ))
+                .result;
+                let body = {
+                    let body = sys.read(fd as i32, size.max(0) as usize);
+                    sys.close(fd as i32);
+                    body
+                };
+                let mut response = format!(
+                    "HTTP/1.1 200 OK\r\nServer: {}/{}\r\nContent-Length: {}\r\n\r\n",
+                    self.flavour,
+                    self.revision,
+                    body.len()
+                )
+                .into_bytes();
+                response.extend_from_slice(&body);
+                response
+            } else {
+                format!(
+                    "HTTP/1.1 404 Not Found\r\nServer: {}/{}\r\nContent-Length: 0\r\n\r\n",
+                    self.flavour, self.revision
+                )
+                .into_bytes()
+            };
+            sys.write(conn, &response);
+            served += 1;
+        }
+        Ok(served)
+    }
+}
+
+impl VersionProgram for HttpServer {
+    fn name(&self) -> String {
+        format!("{}-r{}", self.flavour, self.revision)
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        self.startup(sys);
+        let listener = open_listener(sys, &self.config);
+        if listener < 0 {
+            return ProgramExit::Exited(1);
+        }
+
+        if self.config.worker_threads <= 1 {
+            // Single-threaded model (Lighttpd, Apache, thttpd).
+            for _ in 0..self.config.max_connections {
+                let conn = sys.accept(listener as i32);
+                if conn < 0 {
+                    break;
+                }
+                let result = self.serve_connection(sys, conn as i32);
+                sys.close(conn as i32);
+                if let Err(signal) = result {
+                    return ProgramExit::Crashed(signal);
+                }
+            }
+        } else {
+            // Worker-pool model (Nginx): the master accepts and hands
+            // connections to workers with deterministic round-robin dispatch,
+            // so every version assigns the same connection to the same worker
+            // index and the followers' per-thread rings line up (§3.3.3).
+            let workers = self.config.worker_threads;
+            let mut senders = Vec::new();
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let (sender, receiver) = std::sync::mpsc::channel::<i32>();
+                senders.push(sender);
+                let mut worker_sys = sys.spawn_thread();
+                let server = self.clone();
+                handles.push(std::thread::spawn(move || -> Result<u64, Signal> {
+                    let mut served = 0u64;
+                    while let Ok(conn) = receiver.recv() {
+                        let result = server.serve_connection(worker_sys.as_mut(), conn);
+                        worker_sys.close(conn);
+                        served += result?;
+                    }
+                    Ok(served)
+                }));
+            }
+            for index in 0..self.config.max_connections {
+                let conn = sys.accept(listener as i32);
+                if conn < 0 {
+                    break;
+                }
+                let worker = (index as usize) % senders.len();
+                if senders[worker].send(conn as i32).is_err() {
+                    break;
+                }
+            }
+            drop(senders);
+            let mut crashed = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Err(signal)) => crashed = Some(signal),
+                    Ok(Ok(_)) => {}
+                    Err(_) => crashed = Some(Signal::Sigsegv),
+                }
+            }
+            if let Some(signal) = crashed {
+                return ProgramExit::Crashed(signal);
+            }
+        }
+
+        sys.close(listener as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::DirectExecutor;
+    use varan_kernel::Kernel;
+
+    fn kernel_with_page() -> Kernel {
+        let kernel = Kernel::new();
+        kernel
+            .populate_file("/var/www/index.html", vec![b'x'; 4096])
+            .unwrap();
+        kernel
+            .populate_file("/var/www/small.html", b"<html>tiny</html>".to_vec())
+            .unwrap();
+        kernel
+    }
+
+    fn get(kernel: &Kernel, port: u16, path: &str) -> Vec<u8> {
+        loop {
+            if let Ok(endpoint) = kernel.network().connect(port) {
+                endpoint
+                    .write(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                    .unwrap();
+                let mut response = Vec::new();
+                loop {
+                    // Stop once the whole response (headers + declared body)
+                    // has arrived; the connection stays open for keep-alive.
+                    let text = String::from_utf8_lossy(&response).into_owned();
+                    if let Some(header_end) = text.find("\r\n\r\n") {
+                        let content_length = text
+                            .lines()
+                            .find_map(|line| line.strip_prefix("Content-Length: "))
+                            .and_then(|value| value.trim().parse::<usize>().ok())
+                            .unwrap_or(0);
+                        if response.len() >= header_end + 4 + content_length {
+                            break;
+                        }
+                    }
+                    let chunk = endpoint.read(1024, true).unwrap();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    response.extend_from_slice(&chunk);
+                }
+                endpoint.close();
+                return response;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn serves_static_files_and_404s() {
+        let kernel = kernel_with_page();
+        let mut server =
+            HttpServer::lighttpd(ServerConfig::on_port(7500).with_connections(2));
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            let ok = get(&client_kernel, 7500, "/index.html");
+            assert!(String::from_utf8_lossy(&ok).starts_with("HTTP/1.1 200 OK"));
+            let missing = get(&client_kernel, 7500, "/nope.html");
+            assert!(String::from_utf8_lossy(&missing).contains("404 Not Found"));
+        });
+        let mut sys = DirectExecutor::new(&kernel, "httpd-test");
+        let exit = server.run(&mut sys);
+        driver.join().unwrap();
+        assert_eq!(exit, ProgramExit::Exited(0));
+    }
+
+    #[test]
+    fn revision_2436_issues_the_extra_identity_calls() {
+        let kernel = kernel_with_page();
+        for (revision, expected_getuid) in [(revs::REV_2435, 0u64), (revs::REV_2436, 1u64)] {
+            let kernel = kernel.clone();
+            let mut server = HttpServer::lighttpd(
+                ServerConfig::on_port(7600 + revision as u16).with_connections(1),
+            )
+            .with_revision(revision);
+            let port = 7600 + revision as u16;
+            let client_kernel = kernel.clone();
+            let before = kernel.stats().syscalls.get(&Sysno::Getuid).copied().unwrap_or(0);
+            let driver = std::thread::spawn(move || {
+                let _ = get(&client_kernel, port, "/small.html");
+            });
+            let mut sys = DirectExecutor::new(&kernel, "rev-test");
+            server.run(&mut sys);
+            driver.join().unwrap();
+            let after = kernel.stats().syscalls.get(&Sysno::Getuid).copied().unwrap_or(0);
+            assert_eq!(after - before, expected_getuid, "revision {revision}");
+        }
+    }
+
+    #[test]
+    fn revision_2524_reads_urandom_and_2578_sets_cloexec() {
+        let kernel = kernel_with_page();
+        let mut server = HttpServer::lighttpd(
+            ServerConfig::on_port(7700).with_connections(1),
+        )
+        .with_revision(revs::REV_2578);
+        assert_eq!(server.revision(), revs::REV_2578);
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            let _ = get(&client_kernel, 7700, "/small.html");
+        });
+        let mut sys = DirectExecutor::new(&kernel, "rev-test-2");
+        server.run(&mut sys);
+        driver.join().unwrap();
+        let stats = kernel.stats();
+        assert!(stats.syscalls.get(&Sysno::Fcntl).copied().unwrap_or(0) >= 1);
+        // Revisions ≥ 2524 also read /dev/urandom at startup (open count
+        // includes the config file, the urandom read and the served file).
+        assert!(stats.syscalls.get(&Sysno::Open).copied().unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn crash_revision_dies_on_the_poisoned_request() {
+        let kernel = kernel_with_page();
+        let mut server = HttpServer::lighttpd(
+            ServerConfig::on_port(7800).with_connections(2),
+        )
+        .with_revision(revs::REV_2438);
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            loop {
+                if let Ok(endpoint) = client_kernel.network().connect(7800) {
+                    endpoint
+                        .write(b"GET /admin/status HTTP/1.1\r\n\r\n")
+                        .unwrap();
+                    let _ = endpoint.read(64, true);
+                    endpoint.close();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        let mut sys = DirectExecutor::new(&kernel, "crash-test");
+        let exit = server.run(&mut sys);
+        driver.join().unwrap();
+        assert_eq!(exit, ProgramExit::Crashed(Signal::Sigsegv));
+    }
+
+    #[test]
+    fn nginx_worker_pool_serves_connections() {
+        let kernel = kernel_with_page();
+        let mut server = HttpServer::nginx(
+            ServerConfig::on_port(7900)
+                .with_connections(4)
+                .with_workers(2),
+        );
+        assert_eq!(server.name(), "nginx-r2435");
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            for _ in 0..4 {
+                let response = get(&client_kernel, 7900, "/small.html");
+                assert!(String::from_utf8_lossy(&response).contains("200 OK"));
+            }
+        });
+        let mut sys = DirectExecutor::new(&kernel, "nginx-test");
+        let exit = server.run(&mut sys);
+        driver.join().unwrap();
+        assert_eq!(exit, ProgramExit::Exited(0));
+    }
+}

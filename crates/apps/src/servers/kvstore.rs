@@ -1,0 +1,254 @@
+//! A Redis-like in-memory key-value store.
+//!
+//! The miniature counterpart of the Redis server used throughout the paper's
+//! evaluation (Figures 5, Table 2, and the §5.1/§5.3/§5.4 experiments).  It
+//! speaks a newline-delimited text protocol over the virtual network,
+//! keeps its data set in process memory and — like the real server the paper
+//! reproduces a bug from — a specific revision crashes with a segmentation
+//! fault when `HMGET` touches a missing key.
+
+use std::collections::HashMap;
+
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::signal::Signal;
+
+use super::{open_listener, ConnReader, ServerConfig};
+
+/// The Redis-like server.
+/// User-space cycles a real Redis spends processing one command (parsing,
+/// dictionary lookups, reply construction) — a few microseconds on the
+/// paper's 3.5 GHz machine.
+pub const COMPUTE_PER_COMMAND: u64 = 20_000;
+
+#[derive(Debug, Clone)]
+pub struct KvServer {
+    config: ServerConfig,
+    revision: String,
+    hmget_crash_bug: bool,
+    strings: HashMap<String, String>,
+    hashes: HashMap<String, HashMap<String, String>>,
+}
+
+impl KvServer {
+    /// Creates a server for the given configuration (revision `"7fb16ba"`,
+    /// no crash bug).
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        KvServer {
+            config,
+            revision: "9a22de8".to_owned(),
+            hmget_crash_bug: false,
+            strings: HashMap::new(),
+            hashes: HashMap::new(),
+        }
+    }
+
+    /// Labels this instance as a particular revision and optionally plants
+    /// the `HMGET` crash bug that revision 7fb16ba introduced.
+    #[must_use]
+    pub fn with_revision(mut self, revision: &str, hmget_crash_bug: bool) -> Self {
+        self.revision = revision.to_owned();
+        self.hmget_crash_bug = hmget_crash_bug;
+        self
+    }
+
+    /// The revision label.
+    #[must_use]
+    pub fn revision(&self) -> &str {
+        &self.revision
+    }
+
+    /// Returns `true` if this revision carries the crash bug.
+    #[must_use]
+    pub fn is_buggy(&self) -> bool {
+        self.hmget_crash_bug
+    }
+
+    /// Handles one command line; `Err(signal)` means the server crashed.
+    fn handle(&mut self, line: &str) -> Result<String, Signal> {
+        let mut parts = line.split_whitespace();
+        let command = parts.next().unwrap_or("").to_ascii_uppercase();
+        let args: Vec<&str> = parts.collect();
+        let reply = match command.as_str() {
+            "PING" => "+PONG".to_owned(),
+            "ECHO" => format!("+{}", args.join(" ")),
+            "SET" if args.len() >= 2 => {
+                self.strings.insert(args[0].to_owned(), args[1..].join(" "));
+                "+OK".to_owned()
+            }
+            "GET" if args.len() == 1 => match self.strings.get(args[0]) {
+                Some(value) => format!("${value}"),
+                None => "$-1".to_owned(),
+            },
+            "DEL" if args.len() == 1 => {
+                let removed = self.strings.remove(args[0]).is_some()
+                    || self.hashes.remove(args[0]).is_some();
+                format!(":{}", i32::from(removed))
+            }
+            "INCR" if args.len() == 1 => {
+                let entry = self.strings.entry(args[0].to_owned()).or_insert_with(|| "0".into());
+                let value: i64 = entry.parse().unwrap_or(0) + 1;
+                *entry = value.to_string();
+                format!(":{value}")
+            }
+            "HSET" if args.len() >= 3 => {
+                let hash = self.hashes.entry(args[0].to_owned()).or_default();
+                hash.insert(args[1].to_owned(), args[2..].join(" "));
+                ":1".to_owned()
+            }
+            "HMGET" if !args.is_empty() => {
+                let key = args[0];
+                match self.hashes.get(key) {
+                    Some(hash) => {
+                        let values: Vec<String> = args[1..]
+                            .iter()
+                            .map(|field| hash.get(*field).cloned().unwrap_or_else(|| "-1".into()))
+                            .collect();
+                        format!("*{}", values.join(","))
+                    }
+                    None if self.hmget_crash_bug => {
+                        // Revision 7fb16ba dereferences a null hash object.
+                        return Err(Signal::Sigsegv);
+                    }
+                    None => "*-1".to_owned(),
+                }
+            }
+            "" => "-ERR empty command".to_owned(),
+            other => format!("-ERR unknown command '{other}'"),
+        };
+        Ok(reply)
+    }
+}
+
+impl VersionProgram for KvServer {
+    fn name(&self) -> String {
+        format!("redis-{}", self.revision)
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let listener = open_listener(sys, &self.config);
+        if listener < 0 {
+            return ProgramExit::Exited(1);
+        }
+        for _ in 0..self.config.max_connections {
+            let conn = sys.accept(listener as i32);
+            if conn < 0 {
+                break;
+            }
+            let mut reader = ConnReader::new(conn as i32);
+            while let Some(line) = reader.read_line(sys) {
+                if line.is_empty() {
+                    continue;
+                }
+                // Redis consults the clock on every command (serverCron /
+                // key-expiry logic): one cheap virtual system call.
+                sys.time();
+                // Command parsing and dictionary work happen in user space.
+                sys.cpu_work(COMPUTE_PER_COMMAND);
+                match self.handle(&line) {
+                    Ok(reply) => {
+                        let mut response = reply.into_bytes();
+                        response.push(b'\n');
+                        sys.write(conn as i32, &response);
+                    }
+                    Err(signal) => return ProgramExit::Crashed(signal),
+                }
+            }
+            sys.close(conn as i32);
+        }
+        sys.close(listener as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::DirectExecutor;
+    use varan_kernel::Kernel;
+
+    fn run_server_with_client<F>(server: &mut KvServer, client: F) -> ProgramExit
+    where
+        F: FnOnce(varan_kernel::net::Endpoint) + Send + 'static,
+    {
+        let kernel = Kernel::new();
+        let port = server.config.port;
+        let network = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            // Wait for the listener, then run the client script.
+            loop {
+                if let Ok(endpoint) = network.network().connect(port) {
+                    client(endpoint);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        let mut sys = DirectExecutor::new(&kernel, "kv-test");
+        let exit = server.run(&mut sys);
+        driver.join().unwrap();
+        exit
+    }
+
+    #[test]
+    fn serves_basic_commands() {
+        let mut server = KvServer::new(ServerConfig::on_port(7401).with_connections(1));
+        let exit = run_server_with_client(&mut server, |endpoint| {
+            endpoint.write(b"PING\nSET answer 42\nGET answer\nINCR counter\nGET missing\n").unwrap();
+            let mut received = Vec::new();
+            while !received.ends_with(b"$-1\n") {
+                let chunk = endpoint.read(256, true).unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                received.extend_from_slice(&chunk);
+            }
+            let text = String::from_utf8(received).unwrap();
+            assert!(text.contains("+PONG"));
+            assert!(text.contains("+OK"));
+            assert!(text.contains("$42"));
+            assert!(text.contains(":1"));
+            endpoint.close();
+        });
+        assert_eq!(exit, ProgramExit::Exited(0));
+    }
+
+    #[test]
+    fn hash_commands_round_trip() {
+        let mut server = KvServer::new(ServerConfig::default());
+        assert_eq!(server.handle("HSET user name petr").unwrap(), ":1");
+        assert_eq!(server.handle("HMGET user name").unwrap(), "*petr");
+        assert_eq!(server.handle("HMGET user missing").unwrap(), "*-1");
+        assert_eq!(server.handle("HMGET nobody field").unwrap(), "*-1");
+        assert_eq!(server.handle("DEL user").unwrap(), ":1");
+        assert_eq!(server.handle("BOGUS").unwrap(), "-ERR unknown command 'BOGUS'");
+    }
+
+    #[test]
+    fn buggy_revision_crashes_on_hmget_of_missing_key() {
+        let mut healthy = KvServer::new(ServerConfig::default()).with_revision("9a22de8", false);
+        assert_eq!(healthy.handle("HMGET ghost field").unwrap(), "*-1");
+
+        let mut buggy = KvServer::new(ServerConfig::default()).with_revision("7fb16ba", true);
+        assert!(buggy.is_buggy());
+        assert_eq!(buggy.revision(), "7fb16ba");
+        assert_eq!(buggy.handle("HMGET ghost field").unwrap_err(), Signal::Sigsegv);
+        // Present keys are still fine.
+        buggy.handle("HSET ghost field boo").unwrap();
+        assert_eq!(buggy.handle("HMGET ghost field").unwrap(), "*boo");
+    }
+
+    #[test]
+    fn crash_bug_terminates_the_server_mid_connection() {
+        let mut server = KvServer::new(ServerConfig::on_port(7402).with_connections(3))
+            .with_revision("7fb16ba", true);
+        let exit = run_server_with_client(&mut server, |endpoint| {
+            endpoint.write(b"SET a 1\nHMGET nothing here\n").unwrap();
+            // The server dies before replying to HMGET; just drain.
+            let _ = endpoint.read(64, true);
+            endpoint.close();
+        });
+        assert_eq!(exit, ProgramExit::Crashed(Signal::Sigsegv));
+    }
+}

@@ -1,0 +1,227 @@
+//! Miniature server applications.
+//!
+//! Each server is a [`VersionProgram`](varan_core::VersionProgram) written
+//! against the virtual kernel's system-call interface, shaped to match the
+//! system-call footprint of its real counterpart from Table 1 of the paper:
+//!
+//! | module | stands in for | threading |
+//! |--------|---------------|-----------|
+//! | [`kvstore`] | Redis | single command loop (optionally worker threads) |
+//! | [`httpd`] | Lighttpd / Nginx / Apache httpd / thttpd | single-threaded or worker pool |
+//! | [`queue`] | Beanstalkd | single-threaded, journalled |
+//! | [`cache`] | Memcached | multi-threaded workers |
+//!
+//! All servers share the same lifecycle: bind a port, accept a configured
+//! number of connections, serve every request on each connection until the
+//! client closes it, then exit cleanly.  Crash-bug revisions return
+//! [`ProgramExit::Crashed`](varan_core::ProgramExit) from the middle of a
+//! request, which is what the transparent-failover experiments exploit.
+
+pub mod cache;
+pub mod httpd;
+pub mod kvstore;
+pub mod queue;
+
+use varan_core::SyscallInterface;
+
+/// Configuration shared by every miniature server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// TCP port to listen on.
+    pub port: u16,
+    /// Number of client connections to accept before shutting down.
+    pub max_connections: u64,
+    /// Worker threads (1 = the single-threaded model).
+    pub worker_threads: usize,
+    /// Listen backlog.
+    pub backlog: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 8080,
+            max_connections: 64,
+            worker_threads: 1,
+            backlog: 128,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Creates a configuration listening on `port`.
+    #[must_use]
+    pub fn on_port(port: u16) -> Self {
+        ServerConfig {
+            port,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the number of connections to serve before exiting.
+    #[must_use]
+    pub fn with_connections(mut self, connections: u64) -> Self {
+        self.max_connections = connections;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.worker_threads = workers.max(1);
+        self
+    }
+}
+
+/// A buffered reader over one connection descriptor, built on the raw `read`
+/// system call (the servers' equivalent of their internal request buffers).
+#[derive(Debug)]
+pub struct ConnReader {
+    fd: i32,
+    buffer: Vec<u8>,
+    eof: bool,
+}
+
+impl ConnReader {
+    /// Creates a reader for descriptor `fd`.
+    #[must_use]
+    pub fn new(fd: i32) -> Self {
+        ConnReader {
+            fd,
+            buffer: Vec::new(),
+            eof: false,
+        }
+    }
+
+    /// The underlying descriptor.
+    #[must_use]
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    fn fill(&mut self, sys: &mut dyn SyscallInterface) -> bool {
+        if self.eof {
+            return false;
+        }
+        let chunk = sys.read(self.fd, 512);
+        if chunk.is_empty() {
+            self.eof = true;
+            return false;
+        }
+        self.buffer.extend_from_slice(&chunk);
+        true
+    }
+
+    /// Reads one `\n`-terminated line (the terminator and any preceding `\r`
+    /// are stripped).  Returns `None` at end-of-stream.
+    pub fn read_line(&mut self, sys: &mut dyn SyscallInterface) -> Option<String> {
+        loop {
+            if let Some(position) = self.buffer.iter().position(|&byte| byte == b'\n') {
+                let mut line: Vec<u8> = self.buffer.drain(..=position).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if !self.fill(sys) {
+                if self.buffer.is_empty() {
+                    return None;
+                }
+                let line = std::mem::take(&mut self.buffer);
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+        }
+    }
+
+    /// Reads exactly `len` bytes of payload.  Returns `None` if the stream
+    /// ends first.
+    pub fn read_exact(&mut self, sys: &mut dyn SyscallInterface, len: usize) -> Option<Vec<u8>> {
+        while self.buffer.len() < len {
+            if !self.fill(sys) {
+                return None;
+            }
+        }
+        Some(self.buffer.drain(..len).collect())
+    }
+}
+
+/// Binds, listens and returns the listening descriptor, or a negative errno.
+pub fn open_listener(sys: &mut dyn SyscallInterface, config: &ServerConfig) -> i64 {
+    let sock = sys.socket();
+    if sock < 0 {
+        return sock;
+    }
+    let bound = sys.bind(sock as i32, config.port);
+    if bound < 0 {
+        return bound;
+    }
+    let listening = sys.listen(sock as i32, config.backlog);
+    if listening < 0 {
+        return listening;
+    }
+    sock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::DirectExecutor;
+    use varan_kernel::Kernel;
+
+    #[test]
+    fn config_builders() {
+        let config = ServerConfig::on_port(7000).with_connections(5).with_workers(0);
+        assert_eq!(config.port, 7000);
+        assert_eq!(config.max_connections, 5);
+        assert_eq!(config.worker_threads, 1, "worker count is clamped to 1");
+    }
+
+    #[test]
+    fn listener_setup_succeeds_once_per_port() {
+        let kernel = Kernel::new();
+        let mut sys = DirectExecutor::new(&kernel, "listener");
+        let config = ServerConfig::on_port(7100);
+        assert!(open_listener(&mut sys, &config) >= 0);
+        // A second bind to the same port fails.
+        assert!(open_listener(&mut sys, &config) < 0);
+    }
+
+    #[test]
+    fn conn_reader_parses_lines_and_payloads() {
+        let kernel = Kernel::new();
+        let listener = kernel.network().listen(7200, 4).unwrap();
+        let client = kernel.network().connect(7200).unwrap();
+        client.write(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        client.write(b"BODY1234").unwrap();
+        client.close();
+
+        let mut sys = DirectExecutor::new(&kernel, "reader");
+        let server_end = listener.accept(true).unwrap();
+        // Install the endpoint into the process by accepting through the
+        // syscall interface: simpler to read via a fresh connection instead.
+        drop(server_end);
+        let client2 = kernel.network().connect(7200).unwrap();
+        client2.write(b"line one\r\nline two\nPAYLOAD").unwrap();
+        client2.close();
+        let sock = sys.socket();
+        // Direct endpoint accept through syscalls:
+        let accept_fd = {
+            let _ = sock;
+            // accept via the syscall interface on a listening socket we own
+            let config = ServerConfig::on_port(7300);
+            let listen_fd = open_listener(&mut sys, &config);
+            let remote = kernel.network().connect(7300).unwrap();
+            remote.write(b"alpha\r\nbeta\nGAMMA").unwrap();
+            remote.close();
+            sys.accept(listen_fd as i32)
+        };
+        let mut reader = ConnReader::new(accept_fd as i32);
+        assert_eq!(reader.fd(), accept_fd as i32);
+        assert_eq!(reader.read_line(&mut sys).as_deref(), Some("alpha"));
+        assert_eq!(reader.read_line(&mut sys).as_deref(), Some("beta"));
+        assert_eq!(reader.read_exact(&mut sys, 5).as_deref(), Some(&b"GAMMA"[..]));
+        assert_eq!(reader.read_line(&mut sys), None);
+        assert_eq!(reader.read_exact(&mut sys, 3), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! CPU-bound kernels standing in for SPEC CPU2000 and SPEC CPU2006.
+//!
+//! The paper uses the SPEC suites to show that VARAN's overhead on
+//! CPU-intensive applications is small (11.3% on CPU2000, 14.2% on CPU2006 —
+//! Table 2, Figures 7 and 8) because such programs perform few system calls.
+//! The proprietary SPEC sources are not available, so each benchmark is
+//! replaced by a deterministic compute kernel with the same *shape*: a long
+//! stretch of pure computation bracketed by a handful of system calls (read
+//! the input file, write the result), giving the same high
+//! compute-to-syscall ratio that makes monitor overhead small.
+
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::fs::flags;
+
+/// Which SPEC generation a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecSuite {
+    /// SPEC CPU2000 (used to compare against Orchestra).
+    Cpu2000,
+    /// SPEC CPU2006 (used to compare against Mx).
+    Cpu2006,
+}
+
+/// The benchmark names of the two suites, as listed in Figures 7 and 8.
+pub const SPEC2000_BENCHMARKS: [&str; 12] = [
+    "164.gzip",
+    "175.vpr",
+    "176.gcc",
+    "181.mcf",
+    "186.crafty",
+    "197.parser",
+    "252.eon",
+    "253.perlbmk",
+    "254.gap",
+    "255.vortex",
+    "256.bzip2",
+    "300.twolf",
+];
+
+/// The SPEC CPU2006 benchmarks of Figure 8.
+pub const SPEC2006_BENCHMARKS: [&str; 12] = [
+    "400.perlbench",
+    "401.bzip2",
+    "403.gcc",
+    "429.mcf",
+    "445.gobmk",
+    "456.hmmer",
+    "458.sjeng",
+    "462.libquantum",
+    "464.h264ref",
+    "471.omnetpp",
+    "473.astar",
+    "483.xalancbmk",
+];
+
+/// A single SPEC-like benchmark program.
+#[derive(Debug, Clone)]
+pub struct SpecProgram {
+    name: String,
+    suite: SpecSuite,
+    /// Number of compute blocks executed between the input read and the
+    /// output write.  Each block is several thousand arithmetic operations.
+    work_units: u32,
+    checksum: u64,
+}
+
+impl SpecProgram {
+    /// Creates a benchmark named `name` from `suite` running `work_units`
+    /// compute blocks.
+    #[must_use]
+    pub fn new(name: &str, suite: SpecSuite, work_units: u32) -> Self {
+        SpecProgram {
+            name: name.to_owned(),
+            suite,
+            work_units,
+            checksum: 0,
+        }
+    }
+
+    /// The suite this benchmark belongs to.
+    #[must_use]
+    pub fn suite(&self) -> SpecSuite {
+        self.suite
+    }
+
+    /// The checksum computed by the last run (deterministic per input).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// One compute block: integer mixing that the optimiser cannot remove,
+    /// seeded by the benchmark name so different benchmarks do different
+    /// work.
+    fn compute_block(seed: u64, iterations: u32) -> u64 {
+        let mut state = seed | 1;
+        let mut accumulator = 0u64;
+        for i in 0..iterations {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let mixed = (state >> 33) ^ state ^ u64::from(i);
+            accumulator = accumulator.wrapping_add(mixed.rotate_left((i % 63) + 1));
+        }
+        accumulator
+    }
+}
+
+impl VersionProgram for SpecProgram {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        // Read the benchmark input (one open + a few reads).
+        let input_path = format!("/data/{}.in", self.name);
+        let fd = sys.open(&input_path, flags::O_RDONLY);
+        let mut seed = 0x5EC0_5EC0u64;
+        if fd >= 0 {
+            let input = sys.read(fd as i32, 4096);
+            for byte in &input {
+                seed = seed.wrapping_mul(131).wrapping_add(u64::from(*byte));
+            }
+            sys.close(fd as i32);
+        } else {
+            for byte in self.name.bytes() {
+                seed = seed.wrapping_mul(131).wrapping_add(u64::from(byte));
+            }
+        }
+
+        // The long CPU-bound phase: no system calls at all.  Each unit both
+        // performs real computation (below) and charges the cycle budget a
+        // real SPEC work unit would consume, so that the compute-to-syscall
+        // ratio matches the suite's character.
+        sys.cpu_work(u64::from(self.work_units) * 400_000);
+        let mut checksum = 0u64;
+        for unit in 0..self.work_units {
+            // Spread the per-unit seeds far apart (a simple XOR of the unit
+            // index would collapse under the `| 1` inside the block).
+            let block_seed = seed
+                ^ u64::from(unit)
+                    .wrapping_add(1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            checksum = checksum
+                .rotate_left(7)
+                .wrapping_add(SpecProgram::compute_block(block_seed, 4096));
+        }
+        self.checksum = checksum;
+
+        // Write the result (one open + write + close), as the reference
+        // workloads write their output files.
+        let output_path = format!("/tmp/{}.out", self.name.replace('/', "_"));
+        let out = sys.open(&output_path, flags::O_WRONLY | flags::O_CREAT | flags::O_TRUNC);
+        if out >= 0 {
+            sys.write(out as i32, format!("{checksum:016x}\n").as_bytes());
+            sys.close(out as i32);
+        }
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Builds the full SPEC CPU2000-like suite with the given work size.
+#[must_use]
+pub fn spec2000_suite(work_units: u32) -> Vec<SpecProgram> {
+    SPEC2000_BENCHMARKS
+        .iter()
+        .map(|name| SpecProgram::new(name, SpecSuite::Cpu2000, work_units))
+        .collect()
+}
+
+/// Builds the full SPEC CPU2006-like suite with the given work size.
+#[must_use]
+pub fn spec2006_suite(work_units: u32) -> Vec<SpecProgram> {
+    SPEC2006_BENCHMARKS
+        .iter()
+        .map(|name| SpecProgram::new(name, SpecSuite::Cpu2006, work_units))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::program::run_native;
+    use varan_core::DirectExecutor;
+    use varan_kernel::{Kernel, Sysno};
+
+    #[test]
+    fn suites_have_twelve_benchmarks_each() {
+        assert_eq!(spec2000_suite(1).len(), 12);
+        assert_eq!(spec2006_suite(1).len(), 12);
+        assert!(spec2000_suite(1).iter().all(|b| b.suite() == SpecSuite::Cpu2000));
+        assert!(spec2006_suite(1).iter().all(|b| b.suite() == SpecSuite::Cpu2006));
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        let kernel = Kernel::new();
+        kernel
+            .populate_file("/data/164.gzip.in", b"calgary corpus stand-in".to_vec())
+            .unwrap();
+        let mut first = SpecProgram::new("164.gzip", SpecSuite::Cpu2000, 4);
+        let mut second = SpecProgram::new("164.gzip", SpecSuite::Cpu2000, 4);
+        let mut sys = DirectExecutor::new(&kernel, "spec-a");
+        first.run(&mut sys);
+        let mut sys = DirectExecutor::new(&kernel, "spec-b");
+        second.run(&mut sys);
+        assert_eq!(first.checksum(), second.checksum());
+        assert_ne!(first.checksum(), 0);
+        // The output file holds the checksum.
+        let output = kernel.read_file("/tmp/164.gzip.out").unwrap();
+        assert!(String::from_utf8(output)
+            .unwrap()
+            .contains(&format!("{:016x}", first.checksum())));
+    }
+
+    #[test]
+    fn different_benchmarks_compute_different_checksums() {
+        let kernel = Kernel::new();
+        let mut gzip = SpecProgram::new("164.gzip", SpecSuite::Cpu2000, 2);
+        let mut mcf = SpecProgram::new("181.mcf", SpecSuite::Cpu2000, 2);
+        let mut sys = DirectExecutor::new(&kernel, "spec");
+        gzip.run(&mut sys);
+        mcf.run(&mut sys);
+        assert_ne!(gzip.checksum(), mcf.checksum());
+    }
+
+    #[test]
+    fn syscall_footprint_is_small() {
+        let kernel = Kernel::new();
+        let mut program = SpecProgram::new("401.bzip2", SpecSuite::Cpu2006, 8);
+        let (exit, cycles) = run_native(&kernel, &mut program);
+        assert!(exit.is_clean());
+        assert!(cycles > 0);
+        // A SPEC-like run makes only a handful of system calls.
+        assert!(kernel.stats().total_syscalls() < 12);
+        assert!(kernel.stats().syscalls.get(&Sysno::Write).copied().unwrap_or(0) >= 1);
+    }
+}

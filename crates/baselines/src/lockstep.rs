@@ -1,0 +1,477 @@
+//! A centralised lock-step NVX monitor (the architecture of Mx, Orchestra
+//! and Tachyon).
+//!
+//! In prior NVX systems "versions are typically run in lockstep, with a
+//! centralised monitor coordinating and virtualising their execution.
+//! Essentially, at each system call, the versions pass control to the
+//! monitor, which waits until all versions reach the same system call"
+//! (§2.2).  This module implements exactly that: every version blocks at a
+//! barrier on every call, the monitor checks that all versions issued the
+//! same call, executes it once, copies the result to everyone, and charges
+//! the mechanism's interposition cost (context switches, buffer copying)
+//! once per version — which is why the centralised monitor is both a
+//! synchronisation and a performance bottleneck.
+//!
+//! Divergence handling is deliberately inflexible, as in the systems it
+//! models: a version that issues a different call is discarded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::process::Pid;
+use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::{Errno, Kernel};
+
+use crate::presets::InterpositionCosts;
+
+/// Configuration of a lock-step run.
+#[derive(Debug, Clone)]
+pub struct LockstepConfig {
+    /// The interposition cost profile (ptrace or in-kernel; see
+    /// [`crate::presets`]).
+    pub costs: InterpositionCosts,
+}
+
+impl Default for LockstepConfig {
+    fn default() -> Self {
+        LockstepConfig {
+            costs: InterpositionCosts::ptrace(),
+        }
+    }
+}
+
+/// Per-version statistics from a lock-step run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepVersionStats {
+    /// System calls intercepted for this version.
+    pub syscalls: u64,
+    /// Whether the version was discarded after diverging.
+    pub discarded: bool,
+}
+
+/// The report produced by [`run_lockstep`].
+#[derive(Debug, Clone, Default)]
+pub struct LockstepReport {
+    /// Per-version statistics.
+    pub versions: Vec<LockstepVersionStats>,
+    /// Exit description per version.
+    pub exits: Vec<Option<String>>,
+    /// Cycles on the critical path (native execution plus monitor
+    /// interposition for every version).
+    pub critical_path_cycles: u64,
+    /// Divergences detected (each discards a version).
+    pub divergences: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl LockstepReport {
+    /// Overhead relative to a native execution that took `native_cycles`.
+    #[must_use]
+    pub fn overhead_vs(&self, native_cycles: u64) -> f64 {
+        if native_cycles == 0 {
+            return 1.0;
+        }
+        self.critical_path_cycles as f64 / native_cycles as f64
+    }
+}
+
+/// One round of the lock-step barrier.
+#[derive(Debug, Default)]
+struct Round {
+    round: u64,
+    /// Requests submitted this round, indexed by version.
+    submitted: Vec<Option<SyscallRequest>>,
+    /// Number of live versions that have submitted.
+    arrivals: usize,
+    /// The outcome of the executed call, once available.
+    outcome: Option<SyscallOutcome>,
+    /// Versions discarded due to divergence (by index).
+    discarded: Vec<bool>,
+    /// Number of versions still participating.
+    live: usize,
+    /// Versions that have finished their program entirely.
+    finished: Vec<bool>,
+}
+
+#[derive(Debug)]
+struct Central {
+    kernel: Kernel,
+    costs: InterpositionCosts,
+    executor_pid: Pid,
+    round: Mutex<Round>,
+    arrived: Condvar,
+    completed: Condvar,
+    critical_path: AtomicU64,
+    divergences: AtomicU64,
+    syscalls: Vec<AtomicU64>,
+}
+
+impl Central {
+    /// Called by version `index` for every system call.
+    fn submit(&self, index: usize, request: &SyscallRequest) -> SyscallOutcome {
+        let mut round = self.round.lock();
+        if round.discarded[index] {
+            return SyscallOutcome::err(request.sysno, Errno::ENOSYS, 0);
+        }
+        let my_round = round.round;
+        round.submitted[index] = Some(request.clone());
+        round.arrivals += 1;
+        self.syscalls[index].fetch_add(1, Ordering::Relaxed);
+
+        if round.arrivals < round.live {
+            // Wait for the other versions to reach their next system call.
+            while round.round == my_round && round.outcome.is_none() {
+                self.arrived.wait(&mut round);
+            }
+        } else {
+            // Last arrival: act as the monitor for this round.
+            self.monitor_round(&mut round);
+        }
+
+        // Collect the round's outcome (the monitor may have discarded us).
+        let outcome = if round.discarded[index] {
+            SyscallOutcome::err(request.sysno, Errno::ENOSYS, 0)
+        } else {
+            round
+                .outcome
+                .clone()
+                .unwrap_or_else(|| SyscallOutcome::err(request.sysno, Errno::ENOSYS, 0))
+        };
+
+        // The last version to pick up the outcome resets the round.
+        round.arrivals -= 1;
+        if round.arrivals == 0 {
+            round.round += 1;
+            round.outcome = None;
+            for slot in &mut round.submitted {
+                *slot = None;
+            }
+            // Remove versions discarded this round from the live count.
+            round.live = round
+                .discarded
+                .iter()
+                .zip(round.finished.iter())
+                .filter(|(discarded, finished)| !**discarded && !**finished)
+                .count();
+            self.completed.notify_all();
+        } else {
+            self.arrived.notify_all();
+        }
+        outcome
+    }
+
+    /// Executes the round: divergence check, single execution, cost model.
+    fn monitor_round(&self, round: &mut Round) {
+        // The reference request is the lowest-indexed live submission.
+        let reference_index = round
+            .submitted
+            .iter()
+            .position(|slot| slot.is_some())
+            .expect("at least one submission");
+        let reference = round.submitted[reference_index]
+            .clone()
+            .expect("reference request");
+
+        // Divergence check: prior systems require identical system calls.
+        for (index, slot) in round.submitted.iter().enumerate() {
+            if let Some(request) = slot {
+                if request.sysno != reference.sysno {
+                    round.discarded[index] = true;
+                    self.divergences.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Execute once, on behalf of the executing (reference) version.
+        let outcome = self.kernel.syscall(self.executor_pid, &reference);
+        let payload = outcome.payload_len().max(reference.payload_len());
+        let per_version = self
+            .costs
+            .per_call(payload, outcome.fd.is_some());
+        let interposition = per_version * round.live as u64;
+        self.kernel.clock().advance(interposition);
+        self.critical_path
+            .fetch_add(outcome.cost + interposition, Ordering::Relaxed);
+        round.outcome = Some(outcome);
+    }
+
+    /// Removes a finished or crashed version from the barrier.
+    fn retire(&self, index: usize) {
+        let mut round = self.round.lock();
+        round.finished[index] = true;
+        if !round.discarded[index] {
+            round.live = round.live.saturating_sub(1);
+        }
+        // If everyone else is already waiting, complete the round for them.
+        if round.arrivals >= round.live && round.live > 0 && round.outcome.is_none() {
+            self.monitor_round(&mut round);
+        }
+        self.arrived.notify_all();
+        self.completed.notify_all();
+    }
+}
+
+/// The per-version interface installed by the lock-step monitor.
+struct LockstepInterface {
+    central: Arc<Central>,
+    index: usize,
+}
+
+impl std::fmt::Debug for LockstepInterface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockstepInterface").field("index", &self.index).finish()
+    }
+}
+
+impl SyscallInterface for LockstepInterface {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        self.central.submit(self.index, request)
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        // The modelled prior systems synchronise single-threaded tracees;
+        // the paper's comparison benchmarks (Apache, thttpd, Lighttpd,
+        // Redis benchmark loop, SPEC) are single-threaded too.
+        panic!("the lock-step baseline supports single-threaded programs only")
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        // All versions compute in parallel on their own cores; the critical
+        // path pays for the computation once.
+        if self.index == 0 {
+            self.central.critical_path.fetch_add(cycles, Ordering::Relaxed);
+            self.central.kernel.clock().advance(cycles);
+        }
+    }
+}
+
+/// Runs `versions` under the lock-step monitor and reports the critical-path
+/// cost.
+///
+/// # Panics
+///
+/// Panics if `versions` is empty.
+#[must_use]
+pub fn run_lockstep(
+    kernel: &Kernel,
+    versions: Vec<Box<dyn VersionProgram>>,
+    config: LockstepConfig,
+) -> LockstepReport {
+    assert!(!versions.is_empty(), "at least one version is required");
+    let count = versions.len();
+    let executor_pid = kernel.spawn_process("lockstep-executor");
+    let central = Arc::new(Central {
+        kernel: kernel.clone(),
+        costs: config.costs,
+        executor_pid,
+        round: Mutex::new(Round {
+            round: 0,
+            submitted: vec![None; count],
+            arrivals: 0,
+            outcome: None,
+            discarded: vec![false; count],
+            live: count,
+            finished: vec![false; count],
+        }),
+        arrived: Condvar::new(),
+        completed: Condvar::new(),
+        critical_path: AtomicU64::new(0),
+        divergences: AtomicU64::new(0),
+        syscalls: (0..count).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (index, mut program) in versions.into_iter().enumerate() {
+        let central = Arc::clone(&central);
+        handles.push(std::thread::spawn(move || {
+            let mut interface = LockstepInterface {
+                central: Arc::clone(&central),
+                index,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| program.run(&mut interface)));
+            central.retire(index);
+            match result {
+                Ok(ProgramExit::Exited(status)) => format!("exited({status})"),
+                Ok(ProgramExit::Crashed(signal)) => format!("crashed({signal:?})"),
+                Err(_) => "panicked".to_owned(),
+            }
+        }));
+    }
+
+    let mut exits = Vec::with_capacity(count);
+    for handle in handles {
+        exits.push(handle.join().ok());
+    }
+    let round = central.round.lock();
+    let versions_stats = (0..count)
+        .map(|index| LockstepVersionStats {
+            syscalls: central.syscalls[index].load(Ordering::Relaxed),
+            discarded: round.discarded[index],
+        })
+        .collect();
+    drop(round);
+
+    LockstepReport {
+        versions: versions_stats,
+        exits,
+        critical_path_cycles: central.critical_path.load(Ordering::Relaxed),
+        divergences: central.divergences.load(Ordering::Relaxed),
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::PriorSystem;
+    use varan_core::program::run_native;
+
+    struct IoLoop {
+        iterations: u32,
+        extra_call: bool,
+    }
+
+    impl VersionProgram for IoLoop {
+        fn name(&self) -> String {
+            "io-loop".to_owned()
+        }
+
+        fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+            let fd = sys.open("/dev/null", varan_kernel::fs::flags::O_WRONLY);
+            for _ in 0..self.iterations {
+                if self.extra_call {
+                    sys.time();
+                }
+                sys.write(fd as i32, &[0u8; 256]);
+            }
+            sys.close(fd as i32);
+            ProgramExit::Exited(0)
+        }
+    }
+
+    #[test]
+    fn two_identical_versions_stay_in_lockstep() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(IoLoop {
+                iterations: 40,
+                extra_call: false,
+            }),
+            Box::new(IoLoop {
+                iterations: 40,
+                extra_call: false,
+            }),
+        ];
+        let report = run_lockstep(&kernel, versions, LockstepConfig::default());
+        assert_eq!(report.divergences, 0);
+        assert_eq!(report.versions[0].syscalls, report.versions[1].syscalls);
+        assert!(report.critical_path_cycles > 0);
+        assert!(report.exits.iter().all(|exit| exit.as_deref() == Some("exited(0)")));
+    }
+
+    #[test]
+    fn ptrace_lockstep_is_much_slower_than_native_for_io_loops() {
+        let kernel = Kernel::new();
+        let (_, native_cycles) = run_native(
+            &kernel,
+            &mut IoLoop {
+                iterations: 60,
+                extra_call: false,
+            },
+        );
+        let nvx_kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(IoLoop {
+                iterations: 60,
+                extra_call: false,
+            }),
+            Box::new(IoLoop {
+                iterations: 60,
+                extra_call: false,
+            }),
+        ];
+        let report = run_lockstep(
+            &nvx_kernel,
+            versions,
+            LockstepConfig {
+                costs: PriorSystem::Mx.costs(),
+            },
+        );
+        let overhead = report.overhead_vs(native_cycles);
+        assert!(
+            overhead > 3.0,
+            "ptrace lock-step should be several times slower on I/O loops, got {overhead:.2}"
+        );
+    }
+
+    #[test]
+    fn in_kernel_lockstep_is_cheaper_than_ptrace() {
+        let make_versions = || -> Vec<Box<dyn VersionProgram>> {
+            vec![
+                Box::new(IoLoop {
+                    iterations: 40,
+                    extra_call: false,
+                }),
+                Box::new(IoLoop {
+                    iterations: 40,
+                    extra_call: false,
+                }),
+            ]
+        };
+        let ptrace = run_lockstep(
+            &Kernel::new(),
+            make_versions(),
+            LockstepConfig {
+                costs: InterpositionCosts::ptrace(),
+            },
+        );
+        let in_kernel = run_lockstep(
+            &Kernel::new(),
+            make_versions(),
+            LockstepConfig {
+                costs: InterpositionCosts::in_kernel(),
+            },
+        );
+        assert!(in_kernel.critical_path_cycles < ptrace.critical_path_cycles / 2);
+    }
+
+    #[test]
+    fn divergent_version_is_discarded() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(IoLoop {
+                iterations: 10,
+                extra_call: false,
+            }),
+            Box::new(IoLoop {
+                iterations: 10,
+                extra_call: true, // issues time() calls the other version lacks
+            }),
+        ];
+        let report = run_lockstep(&kernel, versions, LockstepConfig::default());
+        assert!(report.divergences >= 1);
+        assert!(report.versions[1].discarded);
+        assert!(!report.versions[0].discarded);
+        assert_eq!(report.exits[0].as_deref(), Some("exited(0)"));
+    }
+
+    #[test]
+    fn single_version_runs_without_a_partner() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![Box::new(IoLoop {
+            iterations: 5,
+            extra_call: false,
+        })];
+        let report = run_lockstep(&kernel, versions, LockstepConfig::default());
+        assert_eq!(report.versions.len(), 1);
+        assert_eq!(report.divergences, 0);
+        assert!(report.overhead_vs(0) >= 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ablation benchmarks for the design decisions called out in `DESIGN.md`:
+//! ring capacity, wait strategy (busy-wait vs waitlock), and event-streaming
+//! versus lock-step coordination.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use varan_baselines::lockstep::{run_lockstep, LockstepConfig};
+use varan_baselines::presets::InterpositionCosts;
+use varan_core::coordinator::{run_nvx, NvxConfig};
+use varan_core::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::fs::flags;
+use varan_kernel::Kernel;
+use varan_ring::WaitStrategy;
+
+/// A small self-driving I/O loop (no network client needed).
+#[derive(Clone)]
+struct IoLoop {
+    iterations: u32,
+}
+
+impl VersionProgram for IoLoop {
+    fn name(&self) -> String {
+        "ablation-io-loop".to_owned()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/null", flags::O_WRONLY) as i32;
+        for _ in 0..self.iterations {
+            sys.write(fd, &[0u8; 128]);
+            sys.time();
+        }
+        sys.close(fd);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+fn versions(n: usize, iterations: u32) -> Vec<Box<dyn VersionProgram>> {
+    (0..n)
+        .map(|_| Box::new(IoLoop { iterations }) as Box<dyn VersionProgram>)
+        .collect()
+}
+
+fn bench_ring_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ring_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for capacity in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("capacity", capacity), &capacity, |b, &capacity| {
+            b.iter(|| {
+                let kernel = Kernel::new();
+                let config = NvxConfig::default().with_ring_capacity(capacity);
+                run_nvx(&kernel, versions(2, 300), config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wait_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_waitlock");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, strategy) in [
+        ("busy_wait", WaitStrategy::Spin),
+        ("yield", WaitStrategy::Yield),
+        ("waitlock_block", WaitStrategy::Block),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let kernel = Kernel::new();
+                let config = NvxConfig::default().with_wait_strategy(strategy);
+                run_nvx(&kernel, versions(2, 300), config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_vs_lockstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lockstep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("event_streaming", |b| {
+        b.iter(|| {
+            let kernel = Kernel::new();
+            run_nvx(&kernel, versions(2, 300), NvxConfig::default()).unwrap()
+        });
+    });
+    group.bench_function("lockstep_ptrace", |b| {
+        b.iter(|| {
+            let kernel = Kernel::new();
+            run_lockstep(
+                &kernel,
+                versions(2, 300),
+                LockstepConfig {
+                    costs: InterpositionCosts::ptrace(),
+                },
+            )
+        });
+    });
+    group.bench_function("lockstep_in_kernel", |b| {
+        b.iter(|| {
+            let kernel = Kernel::new();
+            run_lockstep(
+                &kernel,
+                versions(2, 300),
+                LockstepConfig {
+                    costs: InterpositionCosts::in_kernel(),
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_capacity,
+    bench_wait_strategy,
+    bench_streaming_vs_lockstep
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Wall-clock benchmarks of the BPF rewrite-rule machinery (§3.4): assembling
+//! Listing 1, verifying it, and evaluating it against divergences.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use varan_bpf::asm::assemble;
+use varan_bpf::seccomp::SeccompData;
+use varan_bpf::vm::{FilterContext, Vm};
+use varan_core::RuleEngine;
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::Sysno;
+
+const LISTING_1: &str = r"
+    ld event[0]
+    jeq #108, getegid
+    jeq #2, open
+    jmp bad
+getegid:
+    ld [0]
+    jeq #102, good
+open:
+    ld [0]
+    jeq #104, good
+bad: ret #0
+good: ret #0x7fff0000
+";
+
+fn bench_bpf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bpf_rules");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("assemble_listing_1", |b| {
+        b.iter(|| assemble(LISTING_1).unwrap());
+    });
+
+    let program = assemble(LISTING_1).unwrap();
+    group.bench_function("verify_and_instantiate", |b| {
+        b.iter(|| Vm::new(&program).unwrap());
+    });
+
+    let vm = Vm::new(&program).unwrap();
+    let context = FilterContext::new(SeccompData::for_syscall(102, &[])).with_leader_events(vec![108]);
+    group.bench_function("evaluate_filter", |b| {
+        b.iter(|| vm.run(&context).unwrap());
+    });
+
+    let engine = RuleEngine::new().with_listing_1().unwrap();
+    let request = SyscallRequest::new(Sysno::Getuid, [0; 6]);
+    group.bench_function("rule_engine_divergence_check", |b| {
+        b.iter(|| engine.evaluate(&request, &[108]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bpf);
+criterion_main!(benches);

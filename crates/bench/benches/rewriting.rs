@@ -1,0 +1,50 @@
+//! Wall-clock benchmarks of the selective binary rewriter (§3.2): scanning a
+//! synthetic text segment for system-call sites and patching them with
+//! detours.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use varan_rewrite::asm::synthetic_text_segment;
+use varan_rewrite::patcher::{PatchConfig, Patcher};
+use varan_rewrite::scanner;
+use varan_rewrite::vdso::{rewrite_vdso, Vdso};
+use varan_rewrite::CodeSegment;
+
+fn bench_scan_and_patch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_rewriting");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for functions in [16usize, 128] {
+        let code = synthetic_text_segment(functions, 4);
+        let segment = CodeSegment::new(0x40_0000, code);
+        group.throughput(Throughput::Bytes(segment.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("scan", segment.len()),
+            &segment,
+            |b, segment| {
+                b.iter(|| scanner::scan(segment).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_and_patch", segment.len()),
+            &segment,
+            |b, segment| {
+                let patcher = Patcher::new(PatchConfig::default());
+                b.iter(|| patcher.rewrite(segment).unwrap());
+            },
+        );
+    }
+
+    group.bench_function("vdso_rewrite", |b| {
+        let vdso = Vdso::synthetic(0x7000_0000);
+        b.iter(|| rewrite_vdso(&vdso, 0x7010_0000).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_and_patch);
+criterion_main!(benches);

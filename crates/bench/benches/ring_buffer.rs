@@ -1,0 +1,81 @@
+//! Wall-clock benchmarks of the shared ring buffer (§3.3.1), including the
+//! comparison against the discarded event-pump design.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use varan_ring::{Event, EventPump, PumpQueue, RingBuffer, WaitStrategy};
+
+const BATCH: u64 = 4_096;
+
+fn bench_disruptor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_buffer");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(BATCH));
+
+    for consumers in [1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("disruptor_publish_consume", consumers),
+            &consumers,
+            |b, &consumers| {
+                b.iter(|| {
+                    let ring =
+                        Arc::new(RingBuffer::<Event>::new(1024, consumers, WaitStrategy::Yield).unwrap());
+                    let producer = ring.producer();
+                    let mut handles = Vec::new();
+                    for slot in 0..consumers {
+                        let mut consumer = ring.consumer(slot).unwrap();
+                        handles.push(std::thread::spawn(move || {
+                            for _ in 0..BATCH {
+                                let _ = consumer.next_blocking();
+                            }
+                        }));
+                    }
+                    for i in 0..BATCH {
+                        producer.publish(Event::checkpoint(i));
+                    }
+                    for handle in handles {
+                        handle.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_pump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_pump_baseline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(BATCH));
+
+    group.bench_function("pump_one_follower", |b| {
+        b.iter(|| {
+            let leader = PumpQueue::new(1024);
+            let follower = PumpQueue::new(1024);
+            let mut pump = EventPump::new(leader.clone(), vec![follower.clone()]);
+            let drain = std::thread::spawn(move || {
+                for _ in 0..BATCH {
+                    let _ = follower.pop();
+                }
+            });
+            for i in 0..BATCH {
+                leader.push(Event::checkpoint(i));
+                pump.pump_until_empty();
+            }
+            pump.pump_until_empty();
+            drain.join().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disruptor, bench_event_pump);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Wall-clock benchmark of a complete N-version server run (a scaled-down
+//! slice of the Figure 5 experiment): the Redis-like server serving a
+//! redis-benchmark workload natively and with one follower.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use varan_apps::clients;
+use varan_apps::servers::kvstore::KvServer;
+use varan_apps::servers::ServerConfig;
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::program::run_native;
+use varan_core::VersionProgram;
+use varan_kernel::Kernel;
+
+use std::sync::atomic::{AtomicU16, Ordering};
+
+static PORT: AtomicU16 = AtomicU16::new(42_000);
+
+fn run_once(followers: usize) {
+    let kernel = Kernel::new();
+    let port = PORT.fetch_add(1, Ordering::Relaxed);
+    let connections = 2u64;
+    let config = ServerConfig::on_port(port).with_connections(connections);
+    let client_kernel = kernel.clone();
+    let client = std::thread::spawn(move || {
+        clients::redis_benchmark(&client_kernel, port, connections as usize, 5)
+    });
+    if followers == 0 {
+        let mut server = KvServer::new(config);
+        let mut boxed: Box<dyn VersionProgram> = Box::new(server.clone());
+        let _ = run_native(&kernel, boxed.as_mut());
+        let _ = &mut server;
+    } else {
+        let versions: Vec<Box<dyn VersionProgram>> = (0..=followers)
+            .map(|_| Box::new(KvServer::new(config.clone())) as Box<dyn VersionProgram>)
+            .collect();
+        let running = NvxSystem::launch(&kernel, versions, NvxConfig::default()).unwrap();
+        let _ = running.wait();
+    }
+    let _ = client.join();
+}
+
+fn bench_server_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redis_workload");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for followers in [0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("followers", followers),
+            &followers,
+            |b, &followers| {
+                b.iter(|| run_once(followers));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_run);
+criterion_main!(benches);

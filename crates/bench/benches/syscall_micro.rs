@@ -1,0 +1,98 @@
+//! Wall-clock counterpart of Figure 4: the host-time cost of dispatching the
+//! five micro-benchmarked system calls through the virtual kernel, and of the
+//! leader's record path (kernel execution + payload copy + ring publish).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Kernel, Sysno};
+use varan_ring::{Event, PoolAllocator, RingBuffer, WaitStrategy};
+
+fn micro_requests(kernel: &Kernel, pid: u32) -> Vec<(&'static str, SyscallRequest)> {
+    let null_wr = kernel
+        .syscall(pid, &SyscallRequest::open("/dev/null", 0o1))
+        .result as i32;
+    let null_rd = kernel
+        .syscall(pid, &SyscallRequest::open_read("/dev/null"))
+        .result as i32;
+    vec![
+        ("close", SyscallRequest::close(-1)),
+        ("write", SyscallRequest::write(null_wr, vec![0u8; 512])),
+        ("read", SyscallRequest::read(null_rd, 512)),
+        ("open", SyscallRequest::open_read("/dev/null")),
+        ("time", SyscallRequest::time()),
+    ]
+}
+
+fn bench_native_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syscall_dispatch_native");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let kernel = Kernel::new();
+    let pid = kernel.spawn_process("micro");
+    for (label, request) in micro_requests(&kernel, pid) {
+        // `open` grows the descriptor table; give it its own process and
+        // close the descriptor in the measured loop to keep the table small.
+        if label == "open" {
+            group.bench_function(BenchmarkId::new("dispatch", label), |b| {
+                b.iter(|| {
+                    let outcome = kernel.syscall(pid, &request);
+                    if outcome.result >= 0 {
+                        kernel.syscall(pid, &SyscallRequest::close(outcome.result as i32));
+                    }
+                });
+            });
+        } else {
+            group.bench_function(BenchmarkId::new("dispatch", label), |b| {
+                b.iter(|| kernel.syscall(pid, &request));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_leader_record_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leader_record_path");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // The leader's hot path for a `read`: execute against the kernel, copy
+    // the payload into the shared pool, publish the event, and have one
+    // follower consume it.
+    let kernel = Kernel::new();
+    let pid = kernel.spawn_process("leader");
+    let fd = kernel
+        .syscall(pid, &SyscallRequest::open_read("/dev/zero"))
+        .result as i32;
+    let ring = Arc::new(RingBuffer::<Event>::new(256, 1, WaitStrategy::Yield).unwrap());
+    let producer = ring.producer();
+    let mut consumer = ring.consumer(0).unwrap();
+    let pool = PoolAllocator::default();
+
+    group.bench_function("read_512_record_and_replay", |b| {
+        b.iter(|| {
+            let outcome = kernel.syscall(pid, &SyscallRequest::read(fd, 512));
+            let region = pool
+                .alloc_and_write(outcome.data.as_deref().unwrap_or(&[]))
+                .unwrap();
+            producer.publish(
+                Event::syscall(Sysno::Read.number(), &[fd as u64, 0, 512], outcome.result)
+                    .with_shared(region.ptr()),
+            );
+            let event = consumer.next_blocking();
+            let payload = pool.read(event.shared());
+            pool.free(region).unwrap();
+            payload
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_native_dispatch, bench_leader_record_path);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Table 2 — comparison with Mx, Orchestra and Tachyon.
+//!
+//! Each row runs the same two-version workload twice on the same virtual
+//! substrate: once under a lock-step monitor configured with the prior
+//! system's `ptrace` interposition costs, and once under VARAN with one
+//! follower.  The paper-reported overheads are printed alongside so the
+//! reader can compare shapes (who wins and by roughly how much); absolute
+//! values differ because the substrate is a simulator (see `EXPERIMENTS.md`).
+
+use varan_apps::spec::{spec2000_suite, spec2006_suite};
+use varan_baselines::lockstep::{run_lockstep, LockstepConfig};
+use varan_baselines::presets::PriorSystem;
+use varan_core::VersionProgram;
+
+use crate::servers::{figure_5_workloads, figure_6_workloads, run_nvx_workload, run_native_workload, ServerWorkload};
+use crate::Scale;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// The prior system being compared against.
+    pub system: PriorSystem,
+    /// The benchmark name.
+    pub benchmark: String,
+    /// Overhead reported by the prior system's paper.
+    pub reported: f64,
+    /// Overhead of the lock-step baseline measured on the substrate.
+    pub lockstep_measured: f64,
+    /// Overhead of VARAN (two versions) measured on the substrate.
+    pub varan_measured: f64,
+    /// Overhead VARAN's paper reports for the same benchmark.
+    pub varan_reported: f64,
+}
+
+fn server_row(
+    system: PriorSystem,
+    workload: &ServerWorkload,
+    reported: f64,
+    varan_reported: f64,
+) -> ComparisonRow {
+    let (native_cycles, _) = run_native_workload(workload);
+    // VARAN with one follower (two versions, as in the prior systems).
+    let (report, _) = run_nvx_workload(workload, 1);
+    let varan_measured = report.overhead_vs(native_cycles);
+    // The prior system's lock-step monitor on the same workload.
+    let lockstep_measured = lockstep_server_overhead(system, workload, native_cycles);
+    ComparisonRow {
+        system,
+        benchmark: workload.name.clone(),
+        reported,
+        lockstep_measured,
+        varan_measured,
+        varan_reported,
+    }
+}
+
+fn lockstep_server_overhead(
+    system: PriorSystem,
+    workload: &ServerWorkload,
+    native_cycles: u64,
+) -> f64 {
+    use varan_kernel::Kernel;
+    let _ = system;
+    let kernel = Kernel::new();
+    // Lock-step baselines drive the single-threaded server flavours only.
+    let port = crate::servers::fresh_port();
+    let connections = workload.connections;
+    let versions: Vec<Box<dyn VersionProgram>> = (0..2)
+        .map(|_| workload.make_server(port, connections))
+        .collect();
+    workload.run_setup(&kernel);
+    let client = workload.client_runner();
+    let client_kernel = kernel.clone();
+    let client_thread =
+        std::thread::spawn(move || client(client_kernel, port, connections));
+    let report = run_lockstep(
+        &kernel,
+        versions,
+        LockstepConfig {
+            costs: system.costs(),
+        },
+    );
+    let _ = client_thread.join();
+    report.overhead_vs(native_cycles)
+}
+
+fn spec_rows(system: PriorSystem, scale: Scale) -> Option<ComparisonRow> {
+    let (suite_name, programs, reported, varan_reported) = match system {
+        PriorSystem::Orchestra => (
+            "SPEC CPU2000",
+            spec2000_suite(scale.scaled(2) as u32)[..4].to_vec(),
+            1.17,
+            1.113,
+        ),
+        PriorSystem::Mx => (
+            "SPEC CPU2006",
+            spec2006_suite(scale.scaled(2) as u32)[..4].to_vec(),
+            1.179,
+            1.142,
+        ),
+        PriorSystem::Tachyon => return None,
+    };
+    let mut lockstep_sum = 0.0;
+    let mut varan_sum = 0.0;
+    for program in &programs {
+        let kernel = varan_kernel::Kernel::new();
+        let mut native_copy = program.clone();
+        let (_, native_cycles) = varan_core::program::run_native(&kernel, &mut native_copy);
+
+        let kernel = varan_kernel::Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = (0..2)
+            .map(|_| Box::new(program.clone()) as Box<dyn VersionProgram>)
+            .collect();
+        let lockstep = run_lockstep(
+            &kernel,
+            versions,
+            LockstepConfig {
+                costs: system.costs(),
+            },
+        );
+        lockstep_sum += lockstep.overhead_vs(native_cycles);
+
+        let kernel = varan_kernel::Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = (0..2)
+            .map(|_| Box::new(program.clone()) as Box<dyn VersionProgram>)
+            .collect();
+        let report = varan_core::coordinator::run_nvx(
+            &kernel,
+            versions,
+            varan_core::coordinator::NvxConfig::default(),
+        )
+        .expect("spec nvx");
+        varan_sum += report.overhead_vs(native_cycles);
+    }
+    Some(ComparisonRow {
+        system,
+        benchmark: suite_name.to_owned(),
+        reported,
+        lockstep_measured: lockstep_sum / programs.len() as f64,
+        varan_measured: varan_sum / programs.len() as f64,
+        varan_reported,
+    })
+}
+
+/// Runs the whole Table 2 comparison.
+#[must_use]
+pub fn table_2(scale: Scale) -> Vec<ComparisonRow> {
+    let fig6 = figure_6_workloads(scale);
+    let fig5 = figure_5_workloads(scale);
+    let by_name = |name: &str| -> ServerWorkload {
+        fig6.iter()
+            .chain(fig5.iter())
+            .find(|w| w.name == name)
+            .cloned()
+            .expect("workload exists")
+    };
+
+    let mut rows = Vec::new();
+    // Mx: Lighttpd (http_load), Redis, SPEC CPU2006.
+    rows.push(server_row(
+        PriorSystem::Mx,
+        &by_name("Lighttpd (http_load)"),
+        3.49,
+        1.01,
+    ));
+    rows.push(server_row(PriorSystem::Mx, &by_name("Redis"), 16.72, 1.06));
+    if let Some(row) = spec_rows(PriorSystem::Mx, scale) {
+        rows.push(row);
+    }
+    // Orchestra: Apache httpd, SPEC CPU2000.
+    rows.push(server_row(
+        PriorSystem::Orchestra,
+        &by_name("Apache httpd"),
+        1.50,
+        1.024,
+    ));
+    if let Some(row) = spec_rows(PriorSystem::Orchestra, scale) {
+        rows.push(row);
+    }
+    // Tachyon: Lighttpd (ab), thttpd (ab).
+    rows.push(server_row(
+        PriorSystem::Tachyon,
+        &by_name("Lighttpd (ab)"),
+        3.72,
+        1.00,
+    ));
+    rows.push(server_row(PriorSystem::Tachyon, &by_name("thttpd"), 1.17, 1.00));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varan_beats_the_ptrace_lockstep_baseline_on_io_bound_servers() {
+        let workload = figure_6_workloads(Scale::Quick)
+            .into_iter()
+            .find(|w| w.name == "Apache httpd")
+            .unwrap();
+        let row = server_row(PriorSystem::Orchestra, &workload, 1.50, 1.024);
+        assert!(
+            row.lockstep_measured > row.varan_measured,
+            "lockstep {:.2} should exceed varan {:.2}",
+            row.lockstep_measured,
+            row.varan_measured
+        );
+        assert!(row.varan_measured < 1.6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Figure 4 — system call micro-benchmarks.
+//!
+//! The paper measures five representative system calls under four
+//! configurations: *native* (no monitor), *intercept* (binary rewriting
+//! only), *leader* (intercept + execute + record into the ring buffer) and
+//! *follower* (intercept + replay from the ring buffer).  This module runs
+//! the same micro-benchmarks on the virtual substrate: the native and
+//! intercept numbers come from running the micro-program natively (plus the
+//! measured interception cost), and the leader/follower numbers from running
+//! it under the real monitors with one follower and reading the per-version
+//! cycle counters.
+
+use varan_core::coordinator::{run_nvx, NvxConfig};
+use varan_core::program::run_native;
+use varan_core::{MonitorCosts, ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::fs::flags;
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Kernel, Sysno};
+
+/// The five micro-benchmarked calls, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroCall {
+    /// `close(-1)`.
+    Close,
+    /// `write(/dev/null, buf, 512)`.
+    Write,
+    /// `read(/dev/null, buf, 512)`.
+    Read,
+    /// `open("/dev/null", O_RDONLY)` (+ the closing `close`, subtracted out).
+    Open,
+    /// `time(NULL)` via the vDSO.
+    Time,
+}
+
+impl MicroCall {
+    /// All five calls in presentation order.
+    pub const ALL: [MicroCall; 5] = [
+        MicroCall::Close,
+        MicroCall::Write,
+        MicroCall::Read,
+        MicroCall::Open,
+        MicroCall::Time,
+    ];
+
+    /// Label used in Figure 4.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroCall::Close => "close",
+            MicroCall::Write => "write",
+            MicroCall::Read => "read",
+            MicroCall::Open => "open",
+            MicroCall::Time => "time",
+        }
+    }
+
+    /// The cycle numbers the paper reports (native, intercept, leader,
+    /// follower).
+    #[must_use]
+    pub fn paper_values(self) -> [u64; 4] {
+        match self {
+            MicroCall::Close => [1261, 1330, 1718, 257],
+            MicroCall::Write => [1430, 1564, 1994, 291],
+            MicroCall::Read => [1486, 1528, 3290, 1969],
+            MicroCall::Open => [2583, 2976, 8788, 7342],
+            MicroCall::Time => [49, 122, 429, 189],
+        }
+    }
+}
+
+/// One row of the Figure 4 result: measured cycles per configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroResult {
+    /// Which call was measured.
+    pub call: MicroCall,
+    /// Native execution.
+    pub native: f64,
+    /// Interception only.
+    pub intercept: f64,
+    /// Leader (intercept + execute + record).
+    pub leader: f64,
+    /// Follower (intercept + replay).
+    pub follower: f64,
+}
+
+/// The micro-benchmark program: `iterations` repetitions of one call.
+struct MicroProgram {
+    call: MicroCall,
+    iterations: u32,
+}
+
+impl VersionProgram for MicroProgram {
+    fn name(&self) -> String {
+        format!("micro-{}", self.call.label())
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        match self.call {
+            MicroCall::Close => {
+                for _ in 0..self.iterations {
+                    sys.syscall(&SyscallRequest::close(-1));
+                }
+            }
+            MicroCall::Write => {
+                let fd = sys.open("/dev/null", flags::O_WRONLY) as i32;
+                let buffer = vec![0u8; 512];
+                for _ in 0..self.iterations {
+                    sys.write(fd, &buffer);
+                }
+                sys.close(fd);
+            }
+            MicroCall::Read => {
+                let fd = sys.open("/dev/null", flags::O_RDONLY) as i32;
+                for _ in 0..self.iterations {
+                    sys.syscall(&SyscallRequest::read(fd, 512));
+                }
+                sys.close(fd);
+            }
+            MicroCall::Open => {
+                for _ in 0..self.iterations {
+                    let fd = sys.open("/dev/null", flags::O_RDONLY) as i32;
+                    sys.close(fd);
+                }
+            }
+            MicroCall::Time => {
+                for _ in 0..self.iterations {
+                    sys.time();
+                }
+            }
+        }
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Cycles per call charged to the `close` that accompanies each `open` in the
+/// open micro-benchmark (so it can be subtracted out).
+fn per_call_close_cost(kernel: &Kernel) -> f64 {
+    kernel.cost_model().native_cost(Sysno::Close, 0) as f64
+}
+
+/// Runs the Figure 4 micro-benchmarks with `iterations` repetitions per call.
+#[must_use]
+pub fn figure_4(iterations: u32) -> Vec<MicroResult> {
+    let costs = MonitorCosts::default();
+    MicroCall::ALL
+        .iter()
+        .map(|&call| measure_call(call, iterations, &costs))
+        .collect()
+}
+
+fn measure_call(call: MicroCall, iterations: u32, costs: &MonitorCosts) -> MicroResult {
+    let per_iteration = |total: f64, fixed_calls: f64| -> f64 {
+        (total - fixed_calls).max(0.0) / f64::from(iterations)
+    };
+
+    // Native: run the program without any monitor and divide.
+    let kernel = Kernel::new();
+    let (_, native_cycles) = run_native(&kernel, &mut MicroProgram { call, iterations });
+    // Setup/teardown calls that are not part of the measured loop.
+    let fixed = fixed_overhead(call, &kernel);
+    let mut native = per_iteration(native_cycles as f64, fixed);
+
+    // Leader and follower: run under the real monitors with one follower.
+    let kernel = Kernel::new();
+    let versions: Vec<Box<dyn VersionProgram>> = vec![
+        Box::new(MicroProgram { call, iterations }),
+        Box::new(MicroProgram { call, iterations }),
+    ];
+    let report = run_nvx(&kernel, versions, NvxConfig::default()).expect("micro nvx run");
+    let leader_total = report.versions[0].cycles + report.versions[0].monitor_cycles;
+    let follower_total = report.versions[1].monitor_cycles + report.versions[1].cycles;
+    let mut leader = per_iteration(leader_total as f64, fixed);
+    let mut follower = per_iteration(follower_total as f64, 0.0);
+
+    // The open micro-benchmark pairs each open with a close (the descriptor
+    // table is finite); subtract the close's share so the row reports the
+    // open alone, as in the paper.
+    if call == MicroCall::Open {
+        let close = per_call_close_cost(&kernel);
+        native -= close;
+        leader -= close + costs.event_publish as f64 + costs.intercept as f64;
+        follower -= costs.event_consume as f64 + costs.intercept as f64;
+    }
+
+    // Intercept = native + the measured interception cost of the rewritten
+    // entry point (virtual calls go through the vDSO stub instead).
+    let intercept = native + costs.intercept_cost(call == MicroCall::Time) as f64;
+
+    MicroResult {
+        call,
+        native,
+        intercept,
+        leader,
+        follower: follower.max(0.0),
+    }
+}
+
+/// Cycles consumed by the program outside the measured loop (fd setup, exit).
+fn fixed_overhead(call: MicroCall, kernel: &Kernel) -> f64 {
+    let model = kernel.cost_model();
+    let exit = model.native_cost(Sysno::ExitGroup, 0) as f64;
+    match call {
+        MicroCall::Write | MicroCall::Read => {
+            (model.native_cost(Sysno::Open, 0) + model.native_cost(Sysno::Close, 0)) as f64 + exit
+        }
+        _ => exit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_reproduces_the_papers_cost_structure() {
+        let results = figure_4(200);
+        assert_eq!(results.len(), 5);
+        let by_call = |call: MicroCall| *results.iter().find(|r| r.call == call).unwrap();
+
+        for result in &results {
+            // Ordering within a row: native <= intercept <= leader.
+            assert!(result.intercept >= result.native, "{:?}", result.call);
+            assert!(result.leader > result.intercept, "{:?}", result.call);
+            assert!(result.native > 0.0);
+        }
+
+        // close/write: follower is much cheaper than native (it never makes
+        // the call).
+        assert!(by_call(MicroCall::Close).follower < by_call(MicroCall::Close).native / 2.0);
+        assert!(by_call(MicroCall::Write).follower < by_call(MicroCall::Write).native / 2.0);
+        // read: the extra shared-memory copy makes both sides pricier.
+        assert!(by_call(MicroCall::Read).leader > by_call(MicroCall::Write).leader);
+        assert!(by_call(MicroCall::Read).follower > by_call(MicroCall::Write).follower);
+        // open: the descriptor transfer dominates; follower cost approaches
+        // the leader's.
+        assert!(by_call(MicroCall::Open).leader > 2.0 * by_call(MicroCall::Open).native);
+        assert!(by_call(MicroCall::Open).follower > by_call(MicroCall::Close).follower * 5.0);
+        // time: intercept overhead is large relatively, small absolutely.
+        let time = by_call(MicroCall::Time);
+        assert!(time.native < 100.0);
+        assert!(time.intercept > time.native * 1.5);
+        assert!(time.leader < by_call(MicroCall::Close).native);
+    }
+
+    #[test]
+    fn paper_values_are_available_for_every_call() {
+        for call in MicroCall::ALL {
+            let values = call.paper_values();
+            assert_eq!(values.len(), 4);
+            assert!(values[0] > 0);
+            assert!(!call.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Figures 5 and 6 — server overheads for increasing numbers of followers.
+//!
+//! Each workload pairs a miniature server (run as N versions under the
+//! monitor) with the client load generator the paper uses for it.  The
+//! overhead of a configuration is the ratio between the cycles consumed on
+//! the leader's critical path (application work plus monitor work) and the
+//! cycles the same server consumes when run natively with the same client
+//! workload — the simulator's equivalent of the client-observed throughput
+//! degradation the paper reports.
+
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+
+use varan_apps::clients::{self, ClientReport};
+use varan_apps::servers::cache::CacheServer;
+use varan_apps::servers::httpd::HttpServer;
+use varan_apps::servers::kvstore::KvServer;
+use varan_apps::servers::queue::QueueServer;
+use varan_apps::servers::ServerConfig;
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::program::run_native;
+use varan_core::{NvxReport, VersionProgram};
+use varan_kernel::Kernel;
+
+use crate::Scale;
+
+/// Ports are allocated sequentially so concurrent experiments never collide.
+static NEXT_PORT: AtomicU16 = AtomicU16::new(20_000);
+
+/// Allocates a port number not used by any other experiment in this process.
+pub fn fresh_port() -> u16 {
+    NEXT_PORT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A server/client pairing used by Figures 5 and 6.
+#[derive(Clone)]
+pub struct ServerWorkload {
+    /// Display name ("Beanstalkd", "Lighttpd (wrk)", ...).
+    pub name: String,
+    /// The overheads the paper reports for 0–6 followers.
+    pub paper: Vec<f64>,
+    /// Number of client connections driven through the server.
+    pub connections: u64,
+    setup: Arc<dyn Fn(&Kernel) + Send + Sync>,
+    server: Arc<dyn Fn(u16, u64) -> Box<dyn VersionProgram> + Send + Sync>,
+    client: Arc<dyn Fn(Kernel, u16, u64) -> ClientReport + Send + Sync>,
+}
+
+impl std::fmt::Debug for ServerWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerWorkload")
+            .field("name", &self.name)
+            .field("connections", &self.connections)
+            .finish()
+    }
+}
+
+impl ServerWorkload {
+    /// Prepares the kernel for this workload (web roots, data files).
+    pub fn run_setup(&self, kernel: &Kernel) {
+        (self.setup)(kernel);
+    }
+
+    /// Builds one server version listening on `port` and serving
+    /// `connections` connections.
+    #[must_use]
+    pub fn make_server(&self, port: u16, connections: u64) -> Box<dyn VersionProgram> {
+        (self.server)(port, connections)
+    }
+
+    /// The client load generator for this workload.
+    #[must_use]
+    pub fn client_runner(&self) -> Arc<dyn Fn(Kernel, u16, u64) -> ClientReport + Send + Sync> {
+        Arc::clone(&self.client)
+    }
+}
+
+/// One measured series: overhead per follower count.
+#[derive(Debug, Clone)]
+pub struct ServerSeries {
+    /// Workload name.
+    pub name: String,
+    /// Paper-reported overheads for 0..=6 followers.
+    pub paper: Vec<f64>,
+    /// Measured overheads for 0..=`max_followers` followers.
+    pub measured: Vec<f64>,
+    /// Client-observed errors across all runs (should be zero).
+    pub client_errors: u64,
+}
+
+fn populate_www(kernel: &Kernel) {
+    kernel
+        .populate_file("/var/www/index.html", vec![b'v'; 4096])
+        .expect("populate web root");
+}
+
+/// The five C10k workloads of Figure 5.
+#[must_use]
+pub fn figure_5_workloads(scale: Scale) -> Vec<ServerWorkload> {
+    let connections = scale.scaled(8);
+    vec![
+        ServerWorkload {
+            name: "Beanstalkd".into(),
+            paper: vec![1.10, 1.52, 1.57, 1.64, 1.74, 1.73, 1.77],
+            connections,
+            setup: Arc::new(|_| {}),
+            server: Arc::new(|port, connections| {
+                Box::new(QueueServer::new(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::beanstalkd_benchmark(&kernel, port, connections as usize, 10, 256)
+            }),
+        },
+        ServerWorkload {
+            name: "Lighttpd (wrk)".into(),
+            paper: vec![1.00, 1.12, 1.14, 1.14, 1.14, 1.15, 1.15],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::lighttpd(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::wrk(&kernel, port, connections as usize, 12, "/index.html")
+            }),
+        },
+        ServerWorkload {
+            name: "Memcached".into(),
+            paper: vec![1.00, 1.14, 1.17, 1.18, 1.19, 1.30, 1.32],
+            connections,
+            setup: Arc::new(|_| {}),
+            server: Arc::new(|port, connections| {
+                Box::new(CacheServer::new(
+                    ServerConfig::on_port(port)
+                        .with_connections(connections)
+                        .with_workers(2),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::memslap(&kernel, port, connections as usize, connections * 6, connections * 6)
+            }),
+        },
+        ServerWorkload {
+            name: "Nginx".into(),
+            paper: vec![1.04, 1.28, 1.37, 1.41, 1.55, 1.58, 1.64],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::nginx(
+                    ServerConfig::on_port(port)
+                        .with_connections(connections)
+                        .with_workers(2),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::wrk(&kernel, port, connections as usize, 12, "/index.html")
+            }),
+        },
+        ServerWorkload {
+            name: "Redis".into(),
+            paper: vec![1.00, 1.06, 1.11, 1.14, 1.24, 1.23, 1.25],
+            connections,
+            setup: Arc::new(|_| {}),
+            server: Arc::new(|port, connections| {
+                Box::new(KvServer::new(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::redis_benchmark(&kernel, port, connections as usize, 25)
+            }),
+        },
+    ]
+}
+
+/// The prior-work server workloads of Figure 6.
+#[must_use]
+pub fn figure_6_workloads(scale: Scale) -> Vec<ServerWorkload> {
+    let connections = scale.scaled(8);
+    vec![
+        ServerWorkload {
+            name: "Apache httpd".into(),
+            paper: vec![1.00, 1.02, 1.04, 1.03, 1.04, 1.04, 1.04],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::apache(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::apache_bench(&kernel, port, connections, "/index.html")
+            }),
+        },
+        ServerWorkload {
+            name: "thttpd".into(),
+            paper: vec![1.00, 1.00, 1.00, 1.01, 1.01, 1.01, 1.02],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::thttpd(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::apache_bench(&kernel, port, connections, "/index.html")
+            }),
+        },
+        ServerWorkload {
+            name: "Lighttpd (ab)".into(),
+            paper: vec![1.00, 1.00, 1.00, 1.02, 1.04, 1.05, 1.07],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::lighttpd(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                clients::apache_bench(&kernel, port, connections, "/index.html")
+            }),
+        },
+        ServerWorkload {
+            name: "Lighttpd (http_load)".into(),
+            paper: vec![1.00, 1.01, 1.03, 1.05, 1.06, 1.08, 1.08],
+            connections,
+            setup: Arc::new(populate_www),
+            server: Arc::new(|port, connections| {
+                Box::new(HttpServer::lighttpd(
+                    ServerConfig::on_port(port).with_connections(connections),
+                ))
+            }),
+            client: Arc::new(move |kernel, port, connections| {
+                let parallel = 4usize.min(connections as usize).max(1);
+                clients::http_load(
+                    &kernel,
+                    port,
+                    parallel,
+                    connections / parallel as u64,
+                    "/index.html",
+                )
+            }),
+        },
+    ]
+}
+
+/// Result of one native run: the cycles the server consumed.
+#[must_use]
+pub fn run_native_workload(workload: &ServerWorkload) -> (u64, ClientReport) {
+    let kernel = Kernel::new();
+    (workload.setup)(&kernel);
+    let port = fresh_port();
+    let mut server = (workload.server)(port, workload.connections);
+    let client = Arc::clone(&workload.client);
+    let client_kernel = kernel.clone();
+    let connections = workload.connections;
+    let client_thread = std::thread::spawn(move || client(client_kernel, port, connections));
+    let (_, cycles) = run_native(&kernel, server.as_mut());
+    let report = client_thread.join().expect("client thread");
+    (cycles, report)
+}
+
+/// Runs a workload under VARAN with `followers` followers and returns the
+/// NVX report plus the client's view.
+#[must_use]
+pub fn run_nvx_workload(workload: &ServerWorkload, followers: usize) -> (NvxReport, ClientReport) {
+    let kernel = Kernel::new();
+    (workload.setup)(&kernel);
+    let port = fresh_port();
+    let versions: Vec<Box<dyn VersionProgram>> = (0..=followers)
+        .map(|_| (workload.server)(port, workload.connections))
+        .collect();
+    let client = Arc::clone(&workload.client);
+    let client_kernel = kernel.clone();
+    let connections = workload.connections;
+    let client_thread = std::thread::spawn(move || client(client_kernel, port, connections));
+    let running = NvxSystem::launch(&kernel, versions, NvxConfig::default()).expect("launch nvx");
+    let client_report = client_thread.join().expect("client thread");
+    let report = running.wait();
+    (report, client_report)
+}
+
+/// Measures one workload across follower counts `0..=max_followers`.
+#[must_use]
+pub fn measure_series(workload: &ServerWorkload, max_followers: usize) -> ServerSeries {
+    let (native_cycles, _) = run_native_workload(workload);
+    let mut measured = Vec::new();
+    let mut client_errors = 0;
+    for followers in 0..=max_followers {
+        let (report, client_report) = run_nvx_workload(workload, followers);
+        measured.push(report.overhead_vs(native_cycles));
+        client_errors += client_report.errors;
+    }
+    ServerSeries {
+        name: workload.name.clone(),
+        paper: workload.paper.clone(),
+        measured,
+        client_errors,
+    }
+}
+
+/// Runs the whole Figure 5 experiment.
+#[must_use]
+pub fn figure_5(scale: Scale, max_followers: usize) -> Vec<ServerSeries> {
+    figure_5_workloads(scale)
+        .iter()
+        .map(|workload| measure_series(workload, max_followers))
+        .collect()
+}
+
+/// Runs the whole Figure 6 experiment.
+#[must_use]
+pub fn figure_6(scale: Scale, max_followers: usize) -> Vec<ServerSeries> {
+    figure_6_workloads(scale)
+        .iter()
+        .map(|workload| measure_series(workload, max_followers))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redis_workload_runs_natively_and_under_nvx() {
+        let workload = figure_5_workloads(Scale::Quick)
+            .into_iter()
+            .find(|w| w.name == "Redis")
+            .unwrap();
+        let (native_cycles, native_client) = run_native_workload(&workload);
+        assert!(native_cycles > 0);
+        assert_eq!(native_client.errors, 0);
+        assert!(native_client.requests > 0);
+
+        let (report, client) = run_nvx_workload(&workload, 1);
+        assert_eq!(client.errors, 0);
+        assert!(report.all_clean(), "{:?}", report.exits);
+        let overhead = report.overhead_vs(native_cycles);
+        assert!(overhead > 1.0, "overhead {overhead}");
+        assert!(overhead < 3.0, "overhead {overhead} unexpectedly large");
+    }
+
+    #[test]
+    fn lighttpd_overhead_is_modest_and_grows_with_followers() {
+        let workload = figure_5_workloads(Scale::Quick)
+            .into_iter()
+            .find(|w| w.name == "Lighttpd (wrk)")
+            .unwrap();
+        let series = measure_series(&workload, 2);
+        assert_eq!(series.measured.len(), 3);
+        assert_eq!(series.client_errors, 0);
+        // Interception alone (0 followers) is cheaper than streaming to 2.
+        assert!(series.measured[0] <= series.measured[2] + 0.15);
+        // The shape matches the paper: overhead stays well below 2x.
+        for overhead in &series.measured {
+            assert!(*overhead < 2.0, "lighttpd overhead {overhead}");
+        }
+    }
+}

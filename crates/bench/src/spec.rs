@@ -1,0 +1,111 @@
+//! Figures 7 and 8 — SPEC CPU2000/2006 overhead for increasing numbers of
+//! followers.
+
+use varan_apps::spec::{spec2000_suite, spec2006_suite, SpecProgram, SpecSuite};
+use varan_core::coordinator::{run_nvx, NvxConfig};
+use varan_core::program::run_native;
+use varan_core::VersionProgram;
+use varan_kernel::Kernel;
+
+use crate::Scale;
+
+/// One benchmark's overhead series.
+#[derive(Debug, Clone)]
+pub struct SpecSeries {
+    /// Benchmark name (e.g. `"164.gzip"`).
+    pub name: String,
+    /// Measured overhead for 0..=`max_followers` followers.
+    pub measured: Vec<f64>,
+}
+
+/// The aggregate result for one suite.
+#[derive(Debug, Clone)]
+pub struct SpecFigure {
+    /// Which suite was run.
+    pub suite: SpecSuite,
+    /// Per-benchmark series.
+    pub series: Vec<SpecSeries>,
+    /// Geometric-mean overhead per follower count.
+    pub geomean: Vec<f64>,
+}
+
+fn measure_benchmark(template: &SpecProgram, max_followers: usize) -> SpecSeries {
+    let name = VersionProgram::name(template);
+    // Native baseline.
+    let kernel = Kernel::new();
+    let mut native_copy = template.clone();
+    let (_, native_cycles) = run_native(&kernel, &mut native_copy);
+
+    let mut measured = Vec::new();
+    for followers in 0..=max_followers {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = (0..=followers)
+            .map(|_| Box::new(template.clone()) as Box<dyn VersionProgram>)
+            .collect();
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).expect("spec nvx");
+        measured.push(report.overhead_vs(native_cycles));
+    }
+    SpecSeries { name, measured }
+}
+
+fn geometric_mean(series: &[SpecSeries], index: usize) -> f64 {
+    if series.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = series
+        .iter()
+        .map(|s| s.measured.get(index).copied().unwrap_or(1.0).max(1e-9).ln())
+        .sum();
+    (log_sum / series.len() as f64).exp()
+}
+
+fn run_suite(suite: SpecSuite, programs: Vec<SpecProgram>, max_followers: usize) -> SpecFigure {
+    let series: Vec<SpecSeries> = programs
+        .iter()
+        .map(|program| measure_benchmark(program, max_followers))
+        .collect();
+    let geomean = (0..=max_followers)
+        .map(|index| geometric_mean(&series, index))
+        .collect();
+    SpecFigure {
+        suite,
+        series,
+        geomean,
+    }
+}
+
+/// Figure 7: SPEC CPU2000.
+#[must_use]
+pub fn figure_7(scale: Scale, max_followers: usize) -> SpecFigure {
+    let work = scale.scaled(2) as u32;
+    run_suite(SpecSuite::Cpu2000, spec2000_suite(work), max_followers)
+}
+
+/// Figure 8: SPEC CPU2006.
+#[must_use]
+pub fn figure_8(scale: Scale, max_followers: usize) -> SpecFigure {
+    let work = scale.scaled(2) as u32;
+    run_suite(SpecSuite::Cpu2006, spec2006_suite(work), max_followers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_overhead_is_small_for_cpu_bound_benchmarks() {
+        let figure = run_suite(SpecSuite::Cpu2000, spec2000_suite(1)[..3].to_vec(), 2);
+        assert_eq!(figure.series.len(), 3);
+        assert_eq!(figure.geomean.len(), 3);
+        for series in &figure.series {
+            for overhead in &series.measured {
+                assert!(
+                    *overhead < 1.25,
+                    "{}: CPU-bound overhead should be small, got {overhead}",
+                    series.name
+                );
+                assert!(*overhead >= 0.95);
+            }
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! A small assembler for the textual BPF syntax used in the paper.
+//!
+//! Listing 1 of the paper writes rewrite rules in the classic `bpf_asm`
+//! dialect:
+//!
+//! ```text
+//! ld event[0]
+//! jeq #108, getegid   /* __NR_getegid */
+//! jeq #2, open        /* __NR_open */
+//! jmp bad
+//! getegid:
+//!   ld [0]
+//!   jeq #102, good    /* __NR_getuid */
+//! bad:  ret #0            /* SECCOMP_RET_KILL */
+//! good: ret #0x7fff0000   /* SECCOMP_RET_ALLOW */
+//! ```
+//!
+//! [`assemble`] turns that text into a verified instruction sequence.  The
+//! supported mnemonic set covers what the rewrite rules need: loads from the
+//! follower's `seccomp_data` (`ld [k]`), loads from the leader's event stream
+//! (`ld event[k]`), immediates, conditional jumps with one or two label
+//! targets, unconditional jumps, ALU immediates and returns.
+
+use std::collections::HashMap;
+
+use crate::error::BpfError;
+use crate::insn::{
+    Builder, Instruction, Program, BPF_A, BPF_ADD, BPF_ALU, BPF_AND, BPF_JEQ, BPF_JGE, BPF_JGT,
+    BPF_JMP, BPF_JSET, BPF_K, BPF_LD, BPF_LDX, BPF_MISC, BPF_OR, BPF_RET, BPF_SUB, BPF_TAX,
+    BPF_TXA, BPF_W, BPF_IMM, BPF_MEM, BPF_ST, BPF_STX, BPF_XOR,
+};
+use crate::verifier;
+
+/// One parsed line before label resolution.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// A fully formed instruction.
+    Ready(Instruction),
+    /// A conditional jump with label targets (`None` = fall through).
+    CondJump {
+        code: u16,
+        k: u32,
+        jt: Option<String>,
+        jf: Option<String>,
+    },
+    /// An unconditional jump to a label.
+    Jump(String),
+}
+
+/// Assembles `source` into a verified program.
+///
+/// # Errors
+///
+/// Returns [`BpfError::Parse`] for syntax errors, [`BpfError::UndefinedLabel`]
+/// for dangling label references, and verifier errors if the assembled
+/// program is structurally invalid (e.g. a backward jump).
+pub fn assemble(source: &str) -> Result<Program, BpfError> {
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+
+    for (line_index, raw_line) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        let mut line = strip_comments(raw_line);
+        // A line may carry one or more labels followed by an optional instruction.
+        loop {
+            line = line.trim().to_owned();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(colon) = find_label_colon(&line) {
+                let label = line[..colon].trim().to_owned();
+                if label.is_empty() || !is_identifier(&label) {
+                    return Err(BpfError::Parse {
+                        line: line_no,
+                        message: format!("invalid label `{label}`"),
+                    });
+                }
+                labels.insert(label, pending.len());
+                line = line[colon + 1..].to_owned();
+                continue;
+            }
+            pending.push(parse_instruction(&line, line_no)?);
+            break;
+        }
+    }
+
+    // Resolve labels into forward jump offsets.
+    let mut program: Program = Vec::with_capacity(pending.len());
+    for (index, entry) in pending.iter().enumerate() {
+        let resolve = |label: &str| -> Result<u8, BpfError> {
+            let target = *labels
+                .get(label)
+                .ok_or_else(|| BpfError::UndefinedLabel(label.to_owned()))?;
+            let next = index + 1;
+            if target < next || target - next > u8::MAX as usize {
+                return Err(BpfError::InvalidJump { index });
+            }
+            Ok((target - next) as u8)
+        };
+        let instruction = match entry {
+            Pending::Ready(instruction) => *instruction,
+            Pending::CondJump { code, k, jt, jf } => {
+                let jt = match jt {
+                    Some(label) => resolve(label)?,
+                    None => 0,
+                };
+                let jf = match jf {
+                    Some(label) => resolve(label)?,
+                    None => 0,
+                };
+                Instruction::jump(*code, *k, jt, jf)
+            }
+            Pending::Jump(label) => {
+                let target = *labels
+                    .get(label)
+                    .ok_or_else(|| BpfError::UndefinedLabel(label.clone()))?;
+                let next = index + 1;
+                if target < next {
+                    return Err(BpfError::InvalidJump { index });
+                }
+                Instruction::stmt(BPF_JMP, (target - next) as u32)
+            }
+        };
+        program.push(instruction);
+    }
+
+    verifier::verify(&program)?;
+    Ok(program)
+}
+
+fn strip_comments(line: &str) -> String {
+    let mut text = line.to_owned();
+    // C-style comments (possibly several per line).
+    while let (Some(start), Some(end)) = (text.find("/*"), text.find("*/")) {
+        if end > start {
+            text.replace_range(start..end + 2, " ");
+        } else {
+            break;
+        }
+    }
+    if let Some(start) = text.find("//") {
+        text.truncate(start);
+    }
+    if let Some(start) = text.find(';') {
+        text.truncate(start);
+    }
+    text
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let candidate = line[..colon].trim();
+    if !candidate.is_empty() && is_identifier(candidate) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_identifier(text: &str) -> bool {
+    text.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && text
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+}
+
+fn parse_immediate(token: &str, line: usize) -> Result<u32, BpfError> {
+    let token = token.trim().trim_start_matches('#');
+    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        token.parse::<u32>()
+    };
+    parsed.map_err(|_| BpfError::Parse {
+        line,
+        message: format!("invalid immediate `{token}`"),
+    })
+}
+
+fn parse_bracket_index(token: &str, line: usize) -> Result<u32, BpfError> {
+    let inner = token
+        .trim()
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| BpfError::Parse {
+            line,
+            message: format!("expected `[offset]`, found `{token}`"),
+        })?;
+    parse_immediate(inner, line)
+}
+
+fn parse_instruction(text: &str, line: usize) -> Result<Pending, BpfError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or_default().to_ascii_lowercase();
+    let rest = parts.next().unwrap_or("").trim();
+    let operands: Vec<String> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_owned()).collect()
+    };
+    let parse_err = |message: String| BpfError::Parse { line, message };
+
+    let need = |count: usize| -> Result<(), BpfError> {
+        if operands.len() == count {
+            Ok(())
+        } else {
+            Err(BpfError::Parse {
+                line,
+                message: format!(
+                    "`{mnemonic}` expects {count} operand(s), found {}",
+                    operands.len()
+                ),
+            })
+        }
+    };
+
+    match mnemonic.as_str() {
+        "ld" => {
+            need(1)?;
+            let operand = &operands[0];
+            if let Some(rest) = operand.strip_prefix("event") {
+                let index = parse_bracket_index(rest, line)?;
+                Ok(Pending::Ready(Builder::load_event(index)))
+            } else if operand.starts_with('[') {
+                let offset = parse_bracket_index(operand, line)?;
+                Ok(Pending::Ready(Builder::load_data(offset)))
+            } else if let Some(rest) = operand.strip_prefix("M") {
+                let slot = parse_bracket_index(rest, line)?;
+                Ok(Pending::Ready(Instruction::stmt(
+                    BPF_LD | BPF_W | BPF_MEM,
+                    slot,
+                )))
+            } else if operand.starts_with('#') {
+                Ok(Pending::Ready(Builder::load_imm(parse_immediate(
+                    operand, line,
+                )?)))
+            } else {
+                Err(parse_err(format!("unsupported ld operand `{operand}`")))
+            }
+        }
+        "ldx" => {
+            need(1)?;
+            let operand = &operands[0];
+            if operand.starts_with('#') {
+                Ok(Pending::Ready(Instruction::stmt(
+                    BPF_LDX | BPF_W | BPF_IMM,
+                    parse_immediate(operand, line)?,
+                )))
+            } else if let Some(rest) = operand.strip_prefix("M") {
+                Ok(Pending::Ready(Instruction::stmt(
+                    BPF_LDX | BPF_W | BPF_MEM,
+                    parse_bracket_index(rest, line)?,
+                )))
+            } else {
+                Err(parse_err(format!("unsupported ldx operand `{operand}`")))
+            }
+        }
+        "st" => {
+            need(1)?;
+            Ok(Pending::Ready(Instruction::stmt(
+                BPF_ST,
+                parse_bracket_index(operands[0].strip_prefix("M").unwrap_or(&operands[0]), line)?,
+            )))
+        }
+        "stx" => {
+            need(1)?;
+            Ok(Pending::Ready(Instruction::stmt(
+                BPF_STX,
+                parse_bracket_index(operands[0].strip_prefix("M").unwrap_or(&operands[0]), line)?,
+            )))
+        }
+        "add" | "sub" | "and" | "or" | "xor" => {
+            need(1)?;
+            let op = match mnemonic.as_str() {
+                "add" => BPF_ADD,
+                "sub" => BPF_SUB,
+                "and" => BPF_AND,
+                "or" => BPF_OR,
+                _ => BPF_XOR,
+            };
+            Ok(Pending::Ready(Instruction::stmt(
+                BPF_ALU | op | BPF_K,
+                parse_immediate(&operands[0], line)?,
+            )))
+        }
+        "tax" => {
+            need(0)?;
+            Ok(Pending::Ready(Instruction::stmt(BPF_MISC | BPF_TAX, 0)))
+        }
+        "txa" => {
+            need(0)?;
+            Ok(Pending::Ready(Instruction::stmt(BPF_MISC | BPF_TXA, 0)))
+        }
+        "jeq" | "jgt" | "jge" | "jset" => {
+            if operands.len() != 2 && operands.len() != 3 {
+                return Err(parse_err(format!(
+                    "`{mnemonic}` expects `#imm, label[, label]`"
+                )));
+            }
+            let code = BPF_JMP
+                | match mnemonic.as_str() {
+                    "jeq" => BPF_JEQ,
+                    "jgt" => BPF_JGT,
+                    "jge" => BPF_JGE,
+                    _ => BPF_JSET,
+                }
+                | BPF_K;
+            let k = parse_immediate(&operands[0], line)?;
+            let jt = Some(operands[1].clone());
+            let jf = operands.get(2).cloned();
+            Ok(Pending::CondJump { code, k, jt, jf })
+        }
+        "jmp" | "ja" => {
+            need(1)?;
+            Ok(Pending::Jump(operands[0].clone()))
+        }
+        "ret" => {
+            need(1)?;
+            let operand = &operands[0];
+            if operand.eq_ignore_ascii_case("a") {
+                Ok(Pending::Ready(Instruction::stmt(BPF_RET | BPF_A, 0)))
+            } else {
+                Ok(Pending::Ready(Instruction::stmt(
+                    BPF_RET | BPF_K,
+                    parse_immediate(operand, line)?,
+                )))
+            }
+        }
+        other => Err(parse_err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seccomp::{RetValue, SeccompData, SECCOMP_RET_ALLOW};
+    use crate::vm::{FilterContext, Vm};
+
+    /// The exact rule from Listing 1 of the paper.
+    pub const LISTING_1: &str = r#"
+        ld event[0]
+        jeq #108, getegid /* __NR_getegid */
+        jeq #2, open /* __NR_open */
+        jmp bad
+    getegid:
+        ld [0] /* offsetof(struct seccomp_data, nr) */
+        jeq #102, good /* __NR_getuid */
+    open:
+        ld [0] /* offsetof(struct seccomp_data, nr) */
+        jeq #104, good /* __NR_getgid */
+    bad: ret #0 /* SECCOMP_RET_KILL */
+    good: ret #0x7fff0000 /* SECCOMP_RET_ALLOW */
+    "#;
+
+    fn verdict(program: &Program, follower_nr: i32, leader: &[u32]) -> RetValue {
+        let context = FilterContext::new(SeccompData::for_syscall(follower_nr, &[]))
+            .with_leader_events(leader.to_vec());
+        RetValue::decode(Vm::new(program).unwrap().run(&context).unwrap())
+    }
+
+    #[test]
+    fn listing_1_assembles_to_ten_instructions() {
+        let program = assemble(LISTING_1).unwrap();
+        assert_eq!(program.len(), 10);
+        assert!(program.last().unwrap().is_return());
+        assert_eq!(program[9].k, SECCOMP_RET_ALLOW);
+    }
+
+    #[test]
+    fn listing_1_allows_the_lighttpd_2436_divergence() {
+        let program = assemble(LISTING_1).unwrap();
+        // Leader executed getegid (108); follower wants getuid (102): allow.
+        assert_eq!(verdict(&program, 102, &[108]), RetValue::Allow);
+        // Leader about to execute open (2); follower wants getgid (104): allow.
+        assert_eq!(verdict(&program, 104, &[2]), RetValue::Allow);
+        // Any other combination kills the follower.
+        assert_eq!(verdict(&program, 105, &[108]), RetValue::Kill);
+        assert_eq!(verdict(&program, 102, &[3]), RetValue::Kill);
+    }
+
+    #[test]
+    fn labels_may_share_a_line_with_instructions() {
+        let program = assemble("start: ld [0]\n jeq #1, ok\n ret #0\nok: ret #0x7fff0000").unwrap();
+        assert_eq!(program.len(), 4);
+    }
+
+    #[test]
+    fn unknown_mnemonics_are_parse_errors() {
+        let err = assemble("frobnicate #1\nret #0").unwrap_err();
+        assert!(matches!(err, BpfError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn undefined_labels_are_reported() {
+        let err = assemble("jmp nowhere\nret #0").unwrap_err();
+        assert_eq!(err, BpfError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn backward_jumps_are_rejected() {
+        let err = assemble("top: ld [0]\n jeq #1, top\n ret #0").unwrap_err();
+        assert!(matches!(err, BpfError::InvalidJump { .. }));
+    }
+
+    #[test]
+    fn two_target_conditionals_and_alu_ops() {
+        let source = r#"
+            ld [0]
+            add #1
+            jeq #60, yes, no
+        yes: ret #0x7fff0000
+        no:  ret #0
+        "#;
+        let program = assemble(source).unwrap();
+        let allow = FilterContext::new(SeccompData::for_syscall(59, &[]));
+        let kill = FilterContext::new(SeccompData::for_syscall(60, &[]));
+        let vm = Vm::new(&program).unwrap();
+        assert_eq!(
+            RetValue::decode(vm.run(&allow).unwrap()),
+            RetValue::Allow
+        );
+        assert_eq!(RetValue::decode(vm.run(&kill).unwrap()), RetValue::Kill);
+    }
+
+    #[test]
+    fn scratch_memory_and_register_transfers_assemble() {
+        let source = r#"
+            ld #5
+            st M[2]
+            tax
+            txa
+            ld M[2]
+            ret a
+        "#;
+        let program = assemble(source).unwrap();
+        let vm = Vm::new(&program).unwrap();
+        assert_eq!(vm.run(&FilterContext::default()).unwrap(), 5);
+    }
+
+    #[test]
+    fn hex_and_decimal_immediates() {
+        let program = assemble("ret #0x10").unwrap();
+        assert_eq!(program[0].k, 16);
+        let program = assemble("ret #16").unwrap();
+        assert_eq!(program[0].k, 16);
+        assert!(assemble("ret #zzz").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type shared by the BPF assembler, verifier and interpreter.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling, verifying or running a BPF filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpfError {
+    /// The program is empty.
+    EmptyProgram,
+    /// The program exceeds the maximum allowed length (`BPF_MAXINSNS`).
+    ProgramTooLong {
+        /// Number of instructions in the rejected program.
+        len: usize,
+        /// Maximum number of instructions permitted.
+        max: usize,
+    },
+    /// An instruction uses an opcode the verifier does not accept.
+    InvalidOpcode {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The raw opcode.
+        code: u16,
+    },
+    /// A jump target lies outside the program (or jumps backwards).
+    InvalidJump {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A scratch-memory access is out of range.
+    InvalidMemorySlot {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The slot that was accessed.
+        slot: u32,
+    },
+    /// Division by a constant zero.
+    DivisionByZero {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// The final instruction is not an unconditional return.
+    MissingReturn,
+    /// An absolute load read past the end of the data area.
+    LoadOutOfBounds {
+        /// Byte offset of the failed load.
+        offset: u32,
+    },
+    /// The filter referenced a leader event that is not available.
+    EventOutOfBounds {
+        /// Index of the missing event.
+        index: u32,
+    },
+    /// A parse error in the textual assembler.
+    Parse {
+        /// 1-based line number of the error.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// Runtime division by zero (X register was zero).
+    RuntimeDivisionByZero,
+}
+
+impl fmt::Display for BpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpfError::EmptyProgram => write!(f, "filter program is empty"),
+            BpfError::ProgramTooLong { len, max } => {
+                write!(f, "filter program of {len} instructions exceeds limit of {max}")
+            }
+            BpfError::InvalidOpcode { index, code } => {
+                write!(f, "invalid opcode {code:#06x} at instruction {index}")
+            }
+            BpfError::InvalidJump { index } => {
+                write!(f, "jump at instruction {index} leaves the program")
+            }
+            BpfError::InvalidMemorySlot { index, slot } => {
+                write!(f, "memory slot {slot} out of range at instruction {index}")
+            }
+            BpfError::DivisionByZero { index } => {
+                write!(f, "division by constant zero at instruction {index}")
+            }
+            BpfError::MissingReturn => write!(f, "filter does not end with a return"),
+            BpfError::LoadOutOfBounds { offset } => {
+                write!(f, "absolute load at offset {offset} is out of bounds")
+            }
+            BpfError::EventOutOfBounds { index } => {
+                write!(f, "event stream index {index} is not available")
+            }
+            BpfError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            BpfError::UndefinedLabel(label) => write!(f, "undefined label `{label}`"),
+            BpfError::RuntimeDivisionByZero => write!(f, "division by zero at run time"),
+        }
+    }
+}
+
+impl Error for BpfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases = vec![
+            BpfError::EmptyProgram,
+            BpfError::ProgramTooLong { len: 9000, max: 4096 },
+            BpfError::InvalidOpcode { index: 3, code: 0xffff },
+            BpfError::InvalidJump { index: 2 },
+            BpfError::InvalidMemorySlot { index: 1, slot: 99 },
+            BpfError::DivisionByZero { index: 0 },
+            BpfError::MissingReturn,
+            BpfError::LoadOutOfBounds { offset: 128 },
+            BpfError::EventOutOfBounds { index: 4 },
+            BpfError::Parse {
+                line: 7,
+                message: "unknown mnemonic".into(),
+            },
+            BpfError::UndefinedLabel("good".into()),
+            BpfError::RuntimeDivisionByZero,
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BpfError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Classic BPF instruction encoding.
+//!
+//! Instructions follow the `struct sock_filter` layout used by Linux:
+//! a 16-bit opcode, two 8-bit jump offsets (taken/not-taken, relative and
+//! forward-only) and a 32-bit immediate `k`.  The opcode constants below are
+//! the same values as `<linux/bpf_common.h>` so that programs written against
+//! the kernel headers assemble to identical bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of instructions a filter may contain (`BPF_MAXINSNS`).
+pub const BPF_MAXINSNS: usize = 4096;
+
+/// Number of 32-bit scratch memory slots (`BPF_MEMWORDS`).
+pub const BPF_MEMWORDS: u32 = 16;
+
+// Instruction classes.
+/// Load into the accumulator.
+pub const BPF_LD: u16 = 0x00;
+/// Load into the index register.
+pub const BPF_LDX: u16 = 0x01;
+/// Store the accumulator to scratch memory.
+pub const BPF_ST: u16 = 0x02;
+/// Store the index register to scratch memory.
+pub const BPF_STX: u16 = 0x03;
+/// Arithmetic/logic on the accumulator.
+pub const BPF_ALU: u16 = 0x04;
+/// Jumps.
+pub const BPF_JMP: u16 = 0x05;
+/// Return a verdict.
+pub const BPF_RET: u16 = 0x06;
+/// Register-to-register transfers.
+pub const BPF_MISC: u16 = 0x07;
+
+// Width modifiers.
+/// 32-bit word operand.
+pub const BPF_W: u16 = 0x00;
+/// 16-bit half-word operand.
+pub const BPF_H: u16 = 0x08;
+/// 8-bit byte operand.
+pub const BPF_B: u16 = 0x10;
+
+// Addressing modes.
+/// Immediate operand.
+pub const BPF_IMM: u16 = 0x00;
+/// Absolute offset into the data area.
+pub const BPF_ABS: u16 = 0x20;
+/// Indirect offset (X + k) into the data area.
+pub const BPF_IND: u16 = 0x40;
+/// Scratch memory slot.
+pub const BPF_MEM: u16 = 0x60;
+/// Length of the data area.
+pub const BPF_LEN: u16 = 0x80;
+/// IP-header-length helper (packet filtering legacy).
+pub const BPF_MSH: u16 = 0xa0;
+
+// ALU/JMP source.
+/// Operand is the immediate `k`.
+pub const BPF_K: u16 = 0x00;
+/// Operand is the index register `X`.
+pub const BPF_X: u16 = 0x08;
+/// `ret` source: the accumulator.
+pub const BPF_A: u16 = 0x10;
+
+// ALU operations.
+/// Addition.
+pub const BPF_ADD: u16 = 0x00;
+/// Subtraction.
+pub const BPF_SUB: u16 = 0x10;
+/// Multiplication.
+pub const BPF_MUL: u16 = 0x20;
+/// Division.
+pub const BPF_DIV: u16 = 0x30;
+/// Bitwise or.
+pub const BPF_OR: u16 = 0x40;
+/// Bitwise and.
+pub const BPF_AND: u16 = 0x50;
+/// Left shift.
+pub const BPF_LSH: u16 = 0x60;
+/// Right shift.
+pub const BPF_RSH: u16 = 0x70;
+/// Negation.
+pub const BPF_NEG: u16 = 0x80;
+/// Modulo.
+pub const BPF_MOD: u16 = 0x90;
+/// Bitwise xor.
+pub const BPF_XOR: u16 = 0xa0;
+
+// Jump operations.
+/// Unconditional jump.
+pub const BPF_JA: u16 = 0x00;
+/// Jump if equal.
+pub const BPF_JEQ: u16 = 0x10;
+/// Jump if strictly greater.
+pub const BPF_JGT: u16 = 0x20;
+/// Jump if greater or equal.
+pub const BPF_JGE: u16 = 0x30;
+/// Jump if any masked bit is set.
+pub const BPF_JSET: u16 = 0x40;
+
+// MISC operations.
+/// Copy the accumulator into X.
+pub const BPF_TAX: u16 = 0x00;
+/// Copy X into the accumulator.
+pub const BPF_TXA: u16 = 0x80;
+
+/// Base of the VARAN `event` extension address space.
+///
+/// An absolute word load with `k >= EVENT_EXT_BASE` reads word
+/// `k - EVENT_EXT_BASE` of the leader's event stream instead of the
+/// follower's `seccomp_data`; index 0 is the system-call number of the
+/// leader event the follower diverged against, index 1 the one after it,
+/// and so on.  This mirrors the paper's `ld event[k]` syntax (§3.4).
+pub const EVENT_EXT_BASE: u32 = 0x0001_0000;
+
+/// Extracts the instruction class bits from an opcode.
+#[must_use]
+pub fn class(code: u16) -> u16 {
+    code & 0x07
+}
+
+/// A single classic-BPF instruction (`struct sock_filter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Opcode, a combination of the `BPF_*` constants.
+    pub code: u16,
+    /// Jump offset when the condition holds (relative, forward only).
+    pub jt: u8,
+    /// Jump offset when the condition does not hold.
+    pub jf: u8,
+    /// Immediate operand.
+    pub k: u32,
+}
+
+impl Instruction {
+    /// A non-jump statement, like the kernel's `BPF_STMT` macro.
+    #[must_use]
+    pub const fn stmt(code: u16, k: u32) -> Self {
+        Instruction {
+            code,
+            jt: 0,
+            jf: 0,
+            k,
+        }
+    }
+
+    /// A conditional jump, like the kernel's `BPF_JUMP` macro.
+    #[must_use]
+    pub const fn jump(code: u16, k: u32, jt: u8, jf: u8) -> Self {
+        Instruction { code, jt, jf, k }
+    }
+
+    /// Returns `true` if this instruction is a return.
+    #[must_use]
+    pub fn is_return(&self) -> bool {
+        class(self.code) == BPF_RET
+    }
+
+    /// Returns `true` if this instruction is any kind of jump.
+    #[must_use]
+    pub fn is_jump(&self) -> bool {
+        class(self.code) == BPF_JMP
+    }
+}
+
+/// A complete filter program.
+pub type Program = Vec<Instruction>;
+
+/// Convenience constructors for the handful of instruction shapes VARAN's
+/// rewrite rules use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builder;
+
+impl Builder {
+    /// `ld [k]` — load a 32-bit word from the follower's `seccomp_data`.
+    #[must_use]
+    pub fn load_data(offset: u32) -> Instruction {
+        Instruction::stmt(BPF_LD | BPF_W | BPF_ABS, offset)
+    }
+
+    /// `ld event[i]` — load word `i` from the leader's event stream.
+    #[must_use]
+    pub fn load_event(index: u32) -> Instruction {
+        Instruction::stmt(BPF_LD | BPF_W | BPF_ABS, EVENT_EXT_BASE + index)
+    }
+
+    /// `ld #k` — load an immediate into the accumulator.
+    #[must_use]
+    pub fn load_imm(value: u32) -> Instruction {
+        Instruction::stmt(BPF_LD | BPF_W | BPF_IMM, value)
+    }
+
+    /// `jeq #k, jt, jf`.
+    #[must_use]
+    pub fn jump_eq(value: u32, jt: u8, jf: u8) -> Instruction {
+        Instruction::jump(BPF_JMP | BPF_JEQ | BPF_K, value, jt, jf)
+    }
+
+    /// `jmp +k`.
+    #[must_use]
+    pub fn jump_always(offset: u32) -> Instruction {
+        Instruction::stmt(BPF_JMP | BPF_JA, offset)
+    }
+
+    /// `ret #k`.
+    #[must_use]
+    pub fn ret(value: u32) -> Instruction {
+        Instruction::stmt(BPF_RET | BPF_K, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_and_jump_match_kernel_macros() {
+        let load = Instruction::stmt(BPF_LD | BPF_W | BPF_ABS, 4);
+        assert_eq!(load.code, 0x20);
+        assert_eq!(load.k, 4);
+        assert_eq!((load.jt, load.jf), (0, 0));
+
+        let branch = Instruction::jump(BPF_JMP | BPF_JEQ | BPF_K, 59, 1, 0);
+        assert_eq!(branch.code, 0x15);
+        assert_eq!(branch.jt, 1);
+        assert!(branch.is_jump());
+        assert!(!branch.is_return());
+    }
+
+    #[test]
+    fn class_extraction() {
+        assert_eq!(class(BPF_LD | BPF_W | BPF_ABS), BPF_LD);
+        assert_eq!(class(BPF_RET | BPF_K), BPF_RET);
+        assert_eq!(class(BPF_JMP | BPF_JEQ | BPF_K), BPF_JMP);
+        assert!(Instruction::stmt(BPF_RET | BPF_A, 0).is_return());
+    }
+
+    #[test]
+    fn builder_emits_expected_opcodes() {
+        assert_eq!(Builder::load_data(0).code, 0x20);
+        assert_eq!(Builder::load_event(0).k, EVENT_EXT_BASE);
+        assert_eq!(Builder::load_imm(7).code, BPF_LD | BPF_W | BPF_IMM);
+        assert_eq!(Builder::jump_eq(1, 2, 3).jf, 3);
+        assert_eq!(Builder::jump_always(4).k, 4);
+        assert_eq!(Builder::ret(0x7fff_0000).k, 0x7fff_0000);
+    }
+}

@@ -1,0 +1,67 @@
+//! Berkeley Packet Filter machinery for VARAN's system-call rewrite rules
+//! (§2.3 and §3.4 of the paper).
+//!
+//! VARAN lets followers tolerate small divergences from the leader's
+//! system-call sequence (added/removed calls, coalesced calls).  The rules
+//! describing which divergences are acceptable are expressed as classic BPF
+//! programs in the seccomp-bpf dialect, extended with an `event` load that
+//! reads the leader's event stream.  This crate contains:
+//!
+//! * [`insn`] — the classic BPF instruction encoding (`sock_filter`-style)
+//!   and the opcode constants.
+//! * [`seccomp`] — the `seccomp_data` layout the filters inspect and the
+//!   `SECCOMP_RET_*` action encoding.
+//! * [`verifier`] — the static checker every filter must pass before it can
+//!   be installed (bounded length, forward jumps only, in-range targets,
+//!   terminating returns), mirroring the kernel's checker so that filters are
+//!   guaranteed to terminate.
+//! * [`vm`] — the interpreter, a user-space port of the kernel evaluator with
+//!   the VARAN `event` extension.
+//! * [`asm`] — a small assembler for the textual syntax used in Listing 1 of
+//!   the paper, so rules can be written exactly as they appear there.
+//!
+//! # Example: the paper's Listing 1
+//!
+//! ```
+//! use varan_bpf::{asm::assemble, seccomp::{RetValue, SeccompData}, vm::{FilterContext, Vm}};
+//!
+//! # fn main() -> Result<(), varan_bpf::BpfError> {
+//! let program = assemble(r#"
+//!     ld event[0]
+//!     jeq #108, getegid       /* __NR_getegid */
+//!     jeq #2, open            /* __NR_open */
+//!     jmp bad
+//! getegid:
+//!     ld [0]                  /* offsetof(struct seccomp_data, nr) */
+//!     jeq #102, good          /* __NR_getuid */
+//! open:
+//!     ld [0]
+//!     jeq #104, good          /* __NR_getgid */
+//! bad: ret #0                 /* SECCOMP_RET_KILL */
+//! good: ret #0x7fff0000       /* SECCOMP_RET_ALLOW */
+//! "#)?;
+//!
+//! // The follower executed getuid (102) while the leader executed getegid (108):
+//! let follower = SeccompData::for_syscall(102, &[]);
+//! let context = FilterContext::new(follower).with_leader_events(vec![108]);
+//! let verdict = Vm::new(&program)?.run(&context)?;
+//! assert_eq!(RetValue::decode(verdict), RetValue::Allow);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod asm;
+pub mod insn;
+pub mod seccomp;
+pub mod verifier;
+pub mod vm;
+
+mod error;
+
+pub use error::BpfError;
+pub use insn::{Instruction, Program};
+pub use seccomp::{RetValue, SeccompData};
+pub use vm::{FilterContext, Vm};

@@ -1,0 +1,212 @@
+//! The `seccomp_data` layout and `SECCOMP_RET_*` verdict encoding.
+//!
+//! VARAN's rewrite rules reuse the seccomp-bpf convention: the filter inspects
+//! a 64-byte `seccomp_data` structure describing the system call the follower
+//! is attempting, and returns a 32-bit verdict whose high bits select the
+//! action (§3.4 and Listing 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Byte offset of the `nr` field inside `seccomp_data`.
+pub const OFF_NR: u32 = 0;
+/// Byte offset of the `arch` field.
+pub const OFF_ARCH: u32 = 4;
+/// Byte offset of the `instruction_pointer` field.
+pub const OFF_IP: u32 = 8;
+/// Byte offset of the first system-call argument.
+pub const OFF_ARGS: u32 = 16;
+/// Total size of `seccomp_data` in bytes.
+pub const SECCOMP_DATA_SIZE: u32 = 64;
+
+/// `AUDIT_ARCH_X86_64`, the architecture tag carried in `seccomp_data.arch`.
+pub const AUDIT_ARCH_X86_64: u32 = 0xC000_003E;
+
+/// `SECCOMP_RET_KILL`: terminate the offending task.
+pub const SECCOMP_RET_KILL: u32 = 0x0000_0000;
+/// `SECCOMP_RET_TRAP`: deliver a SIGSYS.
+pub const SECCOMP_RET_TRAP: u32 = 0x0003_0000;
+/// `SECCOMP_RET_ERRNO`: fail the call with an errno in the low 16 bits.
+pub const SECCOMP_RET_ERRNO: u32 = 0x0005_0000;
+/// `SECCOMP_RET_TRACE`: notify a tracer.
+pub const SECCOMP_RET_TRACE: u32 = 0x7ff0_0000;
+/// `SECCOMP_RET_ALLOW`: let the call proceed.
+pub const SECCOMP_RET_ALLOW: u32 = 0x7fff_0000;
+/// Mask selecting the action part of a verdict.
+pub const SECCOMP_RET_ACTION: u32 = 0x7fff_0000;
+/// Mask selecting the data part of a verdict.
+pub const SECCOMP_RET_DATA: u32 = 0x0000_ffff;
+
+/// The system-call description handed to a filter, one per intercepted call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeccompData {
+    /// System-call number the follower is attempting.
+    pub nr: i32,
+    /// Architecture tag ([`AUDIT_ARCH_X86_64`] in this reproduction).
+    pub arch: u32,
+    /// Instruction pointer at the call site.
+    pub instruction_pointer: u64,
+    /// The six register arguments.
+    pub args: [u64; 6],
+}
+
+impl Default for SeccompData {
+    fn default() -> Self {
+        SeccompData {
+            nr: 0,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0,
+            args: [0; 6],
+        }
+    }
+}
+
+impl SeccompData {
+    /// Builds a `seccomp_data` for system call `nr` with the given arguments
+    /// (missing arguments are zero).
+    #[must_use]
+    pub fn for_syscall(nr: i32, args: &[u64]) -> Self {
+        let mut all = [0u64; 6];
+        for (slot, value) in all.iter_mut().zip(args.iter()) {
+            *slot = *value;
+        }
+        SeccompData {
+            nr,
+            args: all,
+            ..SeccompData::default()
+        }
+    }
+
+    /// Serialises the structure into its 64-byte little-endian kernel layout,
+    /// which is the byte area absolute loads read from.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; SECCOMP_DATA_SIZE as usize] {
+        let mut bytes = [0u8; SECCOMP_DATA_SIZE as usize];
+        bytes[0..4].copy_from_slice(&self.nr.to_le_bytes());
+        bytes[4..8].copy_from_slice(&self.arch.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.instruction_pointer.to_le_bytes());
+        for (index, arg) in self.args.iter().enumerate() {
+            let start = 16 + index * 8;
+            bytes[start..start + 8].copy_from_slice(&arg.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Byte offset of the low 32 bits of argument `index`, for use with
+    /// absolute loads (`ld [OFF_ARGS + 8*index]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6`.
+    #[must_use]
+    pub fn arg_offset(index: usize) -> u32 {
+        assert!(index < 6, "seccomp_data has six arguments");
+        OFF_ARGS + (index as u32) * 8
+    }
+}
+
+/// Decoded filter verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetValue {
+    /// Kill the offending follower task.
+    Kill,
+    /// Deliver a trap (SIGSYS) to the follower.
+    Trap,
+    /// Fail the system call with the given errno.
+    Errno(u16),
+    /// Notify a tracer with the given data value.
+    Trace(u16),
+    /// Allow the divergent system call to proceed.
+    Allow,
+    /// Any other action value.
+    Other(u32),
+}
+
+impl RetValue {
+    /// Decodes a raw 32-bit verdict.
+    #[must_use]
+    pub fn decode(raw: u32) -> Self {
+        match raw & SECCOMP_RET_ACTION {
+            x if x == SECCOMP_RET_ALLOW => RetValue::Allow,
+            x if x == SECCOMP_RET_TRAP => RetValue::Trap,
+            x if x == SECCOMP_RET_ERRNO => RetValue::Errno((raw & SECCOMP_RET_DATA) as u16),
+            x if x == SECCOMP_RET_TRACE => RetValue::Trace((raw & SECCOMP_RET_DATA) as u16),
+            0 => RetValue::Kill,
+            _ => RetValue::Other(raw),
+        }
+    }
+
+    /// Encodes the verdict back into its raw 32-bit form.
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        match self {
+            RetValue::Kill => SECCOMP_RET_KILL,
+            RetValue::Trap => SECCOMP_RET_TRAP,
+            RetValue::Errno(errno) => SECCOMP_RET_ERRNO | u32::from(errno),
+            RetValue::Trace(data) => SECCOMP_RET_TRACE | u32::from(data),
+            RetValue::Allow => SECCOMP_RET_ALLOW,
+            RetValue::Other(raw) => raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_kernel_offsets() {
+        let data = SeccompData {
+            nr: 59,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0x400123,
+            args: [1, 2, 3, 4, 5, 6],
+        };
+        let bytes = data.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 59);
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            AUDIT_ARCH_X86_64
+        );
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            0x400123
+        );
+        assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(bytes[56..64].try_into().unwrap()), 6);
+    }
+
+    #[test]
+    fn arg_offsets() {
+        assert_eq!(SeccompData::arg_offset(0), 16);
+        assert_eq!(SeccompData::arg_offset(5), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "six arguments")]
+    fn arg_offset_bounds() {
+        let _ = SeccompData::arg_offset(6);
+    }
+
+    #[test]
+    fn for_syscall_pads_arguments() {
+        let data = SeccompData::for_syscall(2, &[7, 8]);
+        assert_eq!(data.nr, 2);
+        assert_eq!(data.args, [7, 8, 0, 0, 0, 0]);
+        assert_eq!(data.arch, AUDIT_ARCH_X86_64);
+    }
+
+    #[test]
+    fn verdict_round_trips() {
+        for verdict in [
+            RetValue::Kill,
+            RetValue::Allow,
+            RetValue::Trap,
+            RetValue::Errno(38),
+            RetValue::Trace(7),
+        ] {
+            assert_eq!(RetValue::decode(verdict.encode()), verdict);
+        }
+        assert_eq!(RetValue::decode(0x7fff_0000), RetValue::Allow);
+        assert_eq!(RetValue::decode(0), RetValue::Kill);
+    }
+}

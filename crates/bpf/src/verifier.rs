@@ -1,0 +1,243 @@
+//! Static verification of filter programs.
+//!
+//! Every rewrite rule is verified when loaded, before it can ever run,
+//! mirroring the kernel's classic-BPF checker: bounded length, a known opcode
+//! whitelist, in-range scratch-memory slots, forward-only jumps that stay
+//! inside the program, no division by a constant zero, and a terminating
+//! return.  Because jumps can only move forward, any program that passes the
+//! verifier is guaranteed to terminate — the property the paper calls out as
+//! one of the advantages of using BPF for rewrite rules (§3.4).
+
+use crate::error::BpfError;
+use crate::insn::{
+    class, Instruction, BPF_ABS, BPF_ADD, BPF_ALU, BPF_AND, BPF_B, BPF_DIV, BPF_H, BPF_IMM,
+    BPF_IND, BPF_JA, BPF_JEQ, BPF_JGE, BPF_JGT, BPF_JMP, BPF_JSET, BPF_K, BPF_LD, BPF_LDX,
+    BPF_LEN, BPF_LSH, BPF_MAXINSNS, BPF_MEM, BPF_MEMWORDS, BPF_MISC, BPF_MOD, BPF_MSH, BPF_MUL,
+    BPF_NEG, BPF_OR, BPF_RET, BPF_RSH, BPF_ST, BPF_STX, BPF_SUB, BPF_TAX, BPF_TXA, BPF_W, BPF_X,
+    BPF_XOR,
+};
+
+/// Checks `program` and returns it unchanged if it is valid.
+///
+/// # Errors
+///
+/// Returns the corresponding [`BpfError`] for the first violation found.
+pub fn verify(program: &[Instruction]) -> Result<(), BpfError> {
+    if program.is_empty() {
+        return Err(BpfError::EmptyProgram);
+    }
+    if program.len() > BPF_MAXINSNS {
+        return Err(BpfError::ProgramTooLong {
+            len: program.len(),
+            max: BPF_MAXINSNS,
+        });
+    }
+    for (index, insn) in program.iter().enumerate() {
+        verify_instruction(program, index, insn)?;
+    }
+    let last = program.last().expect("program is non-empty");
+    if !last.is_return() {
+        return Err(BpfError::MissingReturn);
+    }
+    Ok(())
+}
+
+fn verify_instruction(
+    program: &[Instruction],
+    index: usize,
+    insn: &Instruction,
+) -> Result<(), BpfError> {
+    let len = program.len();
+    let invalid = || BpfError::InvalidOpcode {
+        index,
+        code: insn.code,
+    };
+    match class(insn.code) {
+        BPF_LD => {
+            let mode = insn.code & 0xe0;
+            let size = insn.code & 0x18;
+            match mode {
+                BPF_IMM | BPF_LEN => {}
+                BPF_ABS | BPF_IND => {
+                    if size != BPF_W && size != BPF_H && size != BPF_B {
+                        return Err(invalid());
+                    }
+                }
+                BPF_MEM => {
+                    if insn.k >= BPF_MEMWORDS {
+                        return Err(BpfError::InvalidMemorySlot {
+                            index,
+                            slot: insn.k,
+                        });
+                    }
+                }
+                _ => return Err(invalid()),
+            }
+        }
+        BPF_LDX => {
+            let mode = insn.code & 0xe0;
+            match mode {
+                BPF_IMM | BPF_LEN | BPF_MSH => {}
+                BPF_MEM => {
+                    if insn.k >= BPF_MEMWORDS {
+                        return Err(BpfError::InvalidMemorySlot {
+                            index,
+                            slot: insn.k,
+                        });
+                    }
+                }
+                _ => return Err(invalid()),
+            }
+        }
+        BPF_ST | BPF_STX => {
+            if insn.k >= BPF_MEMWORDS {
+                return Err(BpfError::InvalidMemorySlot {
+                    index,
+                    slot: insn.k,
+                });
+            }
+        }
+        BPF_ALU => {
+            let op = insn.code & 0xf0;
+            let src = insn.code & 0x08;
+            match op {
+                BPF_ADD | BPF_SUB | BPF_MUL | BPF_OR | BPF_AND | BPF_LSH | BPF_RSH | BPF_XOR => {}
+                BPF_DIV | BPF_MOD => {
+                    if src == BPF_K && insn.k == 0 {
+                        return Err(BpfError::DivisionByZero { index });
+                    }
+                }
+                BPF_NEG => {}
+                _ => return Err(invalid()),
+            }
+            if src != BPF_K && src != BPF_X {
+                return Err(invalid());
+            }
+        }
+        BPF_JMP => {
+            let op = insn.code & 0xf0;
+            match op {
+                BPF_JA => {
+                    let target = index as u64 + 1 + u64::from(insn.k);
+                    if target >= len as u64 {
+                        return Err(BpfError::InvalidJump { index });
+                    }
+                }
+                BPF_JEQ | BPF_JGT | BPF_JGE | BPF_JSET => {
+                    let jt = index + 1 + insn.jt as usize;
+                    let jf = index + 1 + insn.jf as usize;
+                    if jt >= len || jf >= len {
+                        return Err(BpfError::InvalidJump { index });
+                    }
+                }
+                _ => return Err(invalid()),
+            }
+        }
+        BPF_RET => {}
+        BPF_MISC => {
+            let op = insn.code & 0xf8;
+            if op != BPF_TAX && op != BPF_TXA {
+                return Err(invalid());
+            }
+        }
+        _ => return Err(invalid()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Builder;
+    use crate::seccomp::SECCOMP_RET_ALLOW;
+
+    fn allow() -> Instruction {
+        Builder::ret(SECCOMP_RET_ALLOW)
+    }
+
+    #[test]
+    fn accepts_a_minimal_allow_all_filter() {
+        verify(&[allow()]).unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_programs() {
+        assert_eq!(verify(&[]).unwrap_err(), BpfError::EmptyProgram);
+    }
+
+    #[test]
+    fn rejects_oversized_programs() {
+        let program = vec![allow(); BPF_MAXINSNS + 1];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::ProgramTooLong { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let program = vec![Builder::load_data(0)];
+        assert_eq!(verify(&program).unwrap_err(), BpfError::MissingReturn);
+    }
+
+    #[test]
+    fn rejects_out_of_range_jumps() {
+        let program = vec![Builder::jump_eq(1, 5, 0), allow()];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::InvalidJump { index: 0 }
+        ));
+        let program = vec![Builder::jump_always(9), allow()];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::InvalidJump { index: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_memory_slots() {
+        let program = vec![
+            Instruction::stmt(BPF_ST, 40),
+            allow(),
+        ];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::InvalidMemorySlot { slot: 40, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_constant_division_by_zero() {
+        let program = vec![
+            Instruction::stmt(BPF_ALU | BPF_DIV | BPF_K, 0),
+            allow(),
+        ];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::DivisionByZero { index: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_opcodes() {
+        let program = vec![Instruction::stmt(0x00f8, 0), allow()];
+        assert!(matches!(
+            verify(&program).unwrap_err(),
+            BpfError::InvalidOpcode { .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_forward_jump_chains() {
+        let program = vec![
+            Builder::load_event(0),
+            Builder::jump_eq(108, 1, 0),
+            Builder::jump_always(2),
+            Builder::load_data(0),
+            Builder::jump_eq(102, 0, 1),
+            Builder::ret(SECCOMP_RET_ALLOW),
+            Builder::ret(0),
+        ];
+        verify(&program).unwrap();
+    }
+}

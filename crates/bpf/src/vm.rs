@@ -1,0 +1,373 @@
+//! The BPF interpreter with VARAN's `event` extension.
+//!
+//! The interpreter is a user-space port of the kernel's classic-BPF
+//! evaluator, extended for N-version execution: an absolute load whose offset
+//! lies in the [`crate::insn::EVENT_EXT_BASE`] window reads from the leader's
+//! event stream instead of the follower's `seccomp_data`, which lets a rule
+//! compare the system calls executed across versions (§3.4).
+
+use crate::error::BpfError;
+use crate::insn::{
+    class, Instruction, BPF_A, BPF_ABS, BPF_ADD, BPF_ALU, BPF_AND, BPF_B, BPF_DIV, BPF_H,
+    BPF_IMM, BPF_IND, BPF_JA, BPF_JEQ, BPF_JGE, BPF_JGT, BPF_JMP, BPF_JSET, BPF_LD, BPF_LDX,
+    BPF_LEN, BPF_LSH, BPF_MEM, BPF_MEMWORDS, BPF_MISC, BPF_MOD, BPF_MSH, BPF_MUL, BPF_NEG,
+    BPF_OR, BPF_RET, BPF_RSH, BPF_ST, BPF_STX, BPF_SUB, BPF_TAX, BPF_TXA, BPF_X, BPF_XOR,
+    EVENT_EXT_BASE,
+};
+use crate::seccomp::{SeccompData, SECCOMP_DATA_SIZE};
+use crate::verifier;
+
+/// The input a filter runs against: the follower's attempted system call plus
+/// a window into the leader's event stream.
+#[derive(Debug, Clone)]
+pub struct FilterContext {
+    data: [u8; SECCOMP_DATA_SIZE as usize],
+    leader_events: Vec<u32>,
+}
+
+impl Default for FilterContext {
+    fn default() -> Self {
+        FilterContext::new(SeccompData::default())
+    }
+}
+
+impl FilterContext {
+    /// Creates a context for the follower's attempted system call.
+    #[must_use]
+    pub fn new(data: SeccompData) -> Self {
+        FilterContext {
+            data: data.to_bytes(),
+            leader_events: Vec::new(),
+        }
+    }
+
+    /// Attaches the leader's upcoming event stream (system-call numbers, the
+    /// current divergent event first), consuming and returning the context.
+    #[must_use]
+    pub fn with_leader_events(mut self, events: Vec<u32>) -> Self {
+        self.leader_events = events;
+        self
+    }
+
+    /// The serialised `seccomp_data` absolute loads read from.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The leader's event stream words.
+    #[must_use]
+    pub fn leader_events(&self) -> &[u32] {
+        &self.leader_events
+    }
+
+    fn load_word(&self, offset: u32) -> Result<u32, BpfError> {
+        if offset >= EVENT_EXT_BASE {
+            let index = offset - EVENT_EXT_BASE;
+            return self
+                .leader_events
+                .get(index as usize)
+                .copied()
+                .ok_or(BpfError::EventOutOfBounds { index });
+        }
+        let offset = offset as usize;
+        if offset + 4 > self.data.len() {
+            return Err(BpfError::LoadOutOfBounds {
+                offset: offset as u32,
+            });
+        }
+        Ok(u32::from_le_bytes(
+            self.data[offset..offset + 4].try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn load_half(&self, offset: u32) -> Result<u32, BpfError> {
+        let offset = offset as usize;
+        if offset + 2 > self.data.len() {
+            return Err(BpfError::LoadOutOfBounds {
+                offset: offset as u32,
+            });
+        }
+        Ok(u32::from(u16::from_le_bytes(
+            self.data[offset..offset + 2].try_into().expect("2 bytes"),
+        )))
+    }
+
+    fn load_byte(&self, offset: u32) -> Result<u32, BpfError> {
+        self.data
+            .get(offset as usize)
+            .map(|&byte| u32::from(byte))
+            .ok_or(BpfError::LoadOutOfBounds { offset })
+    }
+}
+
+/// A verified, executable filter.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Vec<Instruction>,
+}
+
+impl Vm {
+    /// Verifies `program` and wraps it for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error if the program is invalid.
+    pub fn new(program: &[Instruction]) -> Result<Self, BpfError> {
+        verifier::verify(program)?;
+        Ok(Vm {
+            program: program.to_vec(),
+        })
+    }
+
+    /// The verified program.
+    #[must_use]
+    pub fn program(&self) -> &[Instruction] {
+        &self.program
+    }
+
+    /// Runs the filter against `context` and returns the raw 32-bit verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error for out-of-bounds loads, missing leader events
+    /// or division by a zero-valued X register.  (Control-flow errors are
+    /// impossible on a verified program.)
+    pub fn run(&self, context: &FilterContext) -> Result<u32, BpfError> {
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut mem = [0u32; BPF_MEMWORDS as usize];
+        let mut pc = 0usize;
+
+        loop {
+            let insn = self.program[pc];
+            pc += 1;
+            match class(insn.code) {
+                BPF_LD => {
+                    let mode = insn.code & 0xe0;
+                    let size = insn.code & 0x18;
+                    a = match mode {
+                        BPF_IMM => insn.k,
+                        BPF_LEN => SECCOMP_DATA_SIZE,
+                        BPF_MEM => mem[insn.k as usize],
+                        BPF_ABS => load_sized(context, size, insn.k)?,
+                        BPF_IND => load_sized(context, size, x.wrapping_add(insn.k))?,
+                        _ => unreachable!("verifier rejects unknown load modes"),
+                    };
+                }
+                BPF_LDX => {
+                    let mode = insn.code & 0xe0;
+                    x = match mode {
+                        BPF_IMM => insn.k,
+                        BPF_LEN => SECCOMP_DATA_SIZE,
+                        BPF_MEM => mem[insn.k as usize],
+                        BPF_MSH => (context.load_byte(insn.k)? & 0xf) * 4,
+                        _ => unreachable!("verifier rejects unknown ldx modes"),
+                    };
+                }
+                BPF_ST => mem[insn.k as usize] = a,
+                BPF_STX => mem[insn.k as usize] = x,
+                BPF_ALU => {
+                    let operand = if insn.code & 0x08 == BPF_X { x } else { insn.k };
+                    let op = insn.code & 0xf0;
+                    a = match op {
+                        BPF_ADD => a.wrapping_add(operand),
+                        BPF_SUB => a.wrapping_sub(operand),
+                        BPF_MUL => a.wrapping_mul(operand),
+                        BPF_DIV => {
+                            if operand == 0 {
+                                return Err(BpfError::RuntimeDivisionByZero);
+                            }
+                            a / operand
+                        }
+                        BPF_MOD => {
+                            if operand == 0 {
+                                return Err(BpfError::RuntimeDivisionByZero);
+                            }
+                            a % operand
+                        }
+                        BPF_OR => a | operand,
+                        BPF_AND => a & operand,
+                        BPF_XOR => a ^ operand,
+                        BPF_LSH => a.wrapping_shl(operand),
+                        BPF_RSH => a.wrapping_shr(operand),
+                        BPF_NEG => (a as i32).wrapping_neg() as u32,
+                        _ => unreachable!("verifier rejects unknown alu ops"),
+                    };
+                }
+                BPF_JMP => {
+                    let operand = if insn.code & 0x08 == BPF_X { x } else { insn.k };
+                    let op = insn.code & 0xf0;
+                    match op {
+                        BPF_JA => pc += insn.k as usize,
+                        _ => {
+                            let taken = match op {
+                                BPF_JEQ => a == operand,
+                                BPF_JGT => a > operand,
+                                BPF_JGE => a >= operand,
+                                BPF_JSET => a & operand != 0,
+                                _ => unreachable!("verifier rejects unknown jumps"),
+                            };
+                            pc += if taken {
+                                insn.jt as usize
+                            } else {
+                                insn.jf as usize
+                            };
+                        }
+                    }
+                }
+                BPF_RET => {
+                    let value = if insn.code & 0x18 == BPF_A { a } else { insn.k };
+                    return Ok(value);
+                }
+                BPF_MISC => {
+                    if insn.code & 0xf8 == BPF_TAX {
+                        x = a;
+                    } else {
+                        debug_assert_eq!(insn.code & 0xf8, BPF_TXA);
+                        a = x;
+                    }
+                }
+                _ => unreachable!("verifier rejects unknown classes"),
+            }
+        }
+    }
+}
+
+fn load_sized(context: &FilterContext, size: u16, offset: u32) -> Result<u32, BpfError> {
+    match size {
+        BPF_H => context.load_half(offset),
+        BPF_B => context.load_byte(offset),
+        _ => context.load_word(offset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Builder, BPF_K};
+    use crate::seccomp::{RetValue, SECCOMP_RET_ALLOW, SECCOMP_RET_KILL};
+
+    fn run(program: &[Instruction], context: &FilterContext) -> u32 {
+        Vm::new(program).unwrap().run(context).unwrap()
+    }
+
+    #[test]
+    fn allow_all_filter() {
+        let program = [Builder::ret(SECCOMP_RET_ALLOW)];
+        let context = FilterContext::new(SeccompData::for_syscall(1, &[]));
+        assert_eq!(run(&program, &context), SECCOMP_RET_ALLOW);
+    }
+
+    #[test]
+    fn matches_on_syscall_number() {
+        // Allow only __NR_getuid (102).
+        let program = [
+            Builder::load_data(0),
+            Builder::jump_eq(102, 0, 1),
+            Builder::ret(SECCOMP_RET_ALLOW),
+            Builder::ret(SECCOMP_RET_KILL),
+        ];
+        let allow = FilterContext::new(SeccompData::for_syscall(102, &[]));
+        let kill = FilterContext::new(SeccompData::for_syscall(104, &[]));
+        assert_eq!(run(&program, &allow), SECCOMP_RET_ALLOW);
+        assert_eq!(run(&program, &kill), SECCOMP_RET_KILL);
+    }
+
+    #[test]
+    fn inspects_syscall_arguments() {
+        // Allow only if arg0 == 42.
+        let program = [
+            Builder::load_data(SeccompData::arg_offset(0)),
+            Builder::jump_eq(42, 0, 1),
+            Builder::ret(SECCOMP_RET_ALLOW),
+            Builder::ret(SECCOMP_RET_KILL),
+        ];
+        let yes = FilterContext::new(SeccompData::for_syscall(0, &[42]));
+        let no = FilterContext::new(SeccompData::for_syscall(0, &[41]));
+        assert_eq!(RetValue::decode(run(&program, &yes)), RetValue::Allow);
+        assert_eq!(RetValue::decode(run(&program, &no)), RetValue::Kill);
+    }
+
+    #[test]
+    fn event_extension_reads_leader_stream() {
+        let program = [
+            Builder::load_event(0),
+            Builder::jump_eq(108, 0, 1),
+            Builder::ret(SECCOMP_RET_ALLOW),
+            Builder::ret(SECCOMP_RET_KILL),
+        ];
+        let context = FilterContext::new(SeccompData::for_syscall(102, &[]))
+            .with_leader_events(vec![108, 2]);
+        assert_eq!(run(&program, &context), SECCOMP_RET_ALLOW);
+        let missing = FilterContext::new(SeccompData::for_syscall(102, &[]));
+        let err = Vm::new(&program).unwrap().run(&missing).unwrap_err();
+        assert_eq!(err, BpfError::EventOutOfBounds { index: 0 });
+    }
+
+    #[test]
+    fn alu_and_scratch_memory_work() {
+        // a = nr * 2 + 1 stored to M[3], reloaded and returned via RET A.
+        let program = [
+            Builder::load_data(0),
+            Instruction::stmt(crate::insn::BPF_ALU | BPF_MUL | BPF_K, 2),
+            Instruction::stmt(crate::insn::BPF_ALU | BPF_ADD | BPF_K, 1),
+            Instruction::stmt(crate::insn::BPF_ST, 3),
+            Builder::load_imm(0),
+            Instruction::stmt(crate::insn::BPF_LD | crate::insn::BPF_W | BPF_MEM, 3),
+            Instruction::stmt(crate::insn::BPF_RET | BPF_A, 0),
+        ];
+        let context = FilterContext::new(SeccompData::for_syscall(10, &[]));
+        assert_eq!(run(&program, &context), 21);
+    }
+
+    #[test]
+    fn tax_txa_and_indirect_loads() {
+        // X = A = 16 (arg area offset); A = word at [X + 0] = arg0 low word.
+        let program = [
+            Builder::load_imm(16),
+            Instruction::stmt(crate::insn::BPF_MISC | BPF_TAX, 0),
+            Instruction::stmt(crate::insn::BPF_LD | crate::insn::BPF_W | BPF_IND, 0),
+            Instruction::stmt(crate::insn::BPF_RET | BPF_A, 0),
+        ];
+        let context = FilterContext::new(SeccompData::for_syscall(0, &[0xDEAD_BEEF]));
+        assert_eq!(run(&program, &context), 0xDEAD_BEEF);
+
+        let program = [
+            Builder::load_imm(7),
+            Instruction::stmt(crate::insn::BPF_MISC | BPF_TAX, 0),
+            Builder::load_imm(0),
+            Instruction::stmt(crate::insn::BPF_MISC | BPF_TXA, 0),
+            Instruction::stmt(crate::insn::BPF_RET | BPF_A, 0),
+        ];
+        assert_eq!(run(&program, &FilterContext::default()), 7);
+    }
+
+    #[test]
+    fn out_of_bounds_loads_are_runtime_errors() {
+        let program = [Builder::load_data(100), Builder::ret(0)];
+        let vm = Vm::new(&program).unwrap();
+        let err = vm.run(&FilterContext::default()).unwrap_err();
+        assert_eq!(err, BpfError::LoadOutOfBounds { offset: 100 });
+    }
+
+    #[test]
+    fn runtime_division_by_zero_with_x() {
+        let program = [
+            Builder::load_imm(10),
+            Instruction::stmt(crate::insn::BPF_ALU | BPF_DIV | BPF_X, 0),
+            Builder::ret(0),
+        ];
+        let vm = Vm::new(&program).unwrap();
+        assert_eq!(
+            vm.run(&FilterContext::default()).unwrap_err(),
+            BpfError::RuntimeDivisionByZero
+        );
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_at_construction() {
+        assert!(Vm::new(&[]).is_err());
+        assert!(Vm::new(&[Builder::load_data(0)]).is_err());
+    }
+}

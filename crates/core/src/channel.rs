@@ -1,0 +1,161 @@
+//! The per-version data channel (§3.3.2).
+//!
+//! Events travel through the shared ring buffer, but information that cannot
+//! be transferred via shared memory — in particular open file descriptors —
+//! travels over a per-version *data channel* (a UNIX domain socket pair in
+//! the original system).  Whenever the leader obtains a new descriptor it
+//! sends it to every follower, effectively duplicating the descriptor into
+//! their processes; this is also what makes transparent leader replacement
+//! possible, because a promoted follower already holds equivalents of every
+//! descriptor the old leader was using.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use varan_kernel::process::Pid;
+
+/// A descriptor transfer message: "the descriptor the leader calls
+/// `leader_fd` is available in your process as `local_fd`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdTransfer {
+    /// Descriptor number in the leader's table (the number the application
+    /// sees, since followers replay the leader's results verbatim).
+    pub leader_fd: i32,
+    /// Descriptor number in the receiving follower's table.
+    pub local_fd: i32,
+}
+
+/// Additional control messages carried by the data channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelMessage {
+    /// A descriptor was duplicated into the receiving process.
+    Fd(FdTransfer),
+    /// The coordinator promotes the receiving follower to leader (§5.1).
+    Promote,
+    /// The coordinator discards the receiving follower.
+    Discard,
+}
+
+#[derive(Debug, Default)]
+struct ChannelInner {
+    messages: Mutex<VecDeque<ChannelMessage>>,
+}
+
+/// One follower's data channel.  The coordinator/leader side pushes
+/// messages; the follower's monitor drains them.
+#[derive(Debug, Clone, Default)]
+pub struct DataChannel {
+    inner: Arc<ChannelInner>,
+    peer: Pid,
+}
+
+impl DataChannel {
+    /// Creates a channel whose receiving end belongs to process `peer`.
+    #[must_use]
+    pub fn new(peer: Pid) -> Self {
+        DataChannel {
+            inner: Arc::new(ChannelInner::default()),
+            peer,
+        }
+    }
+
+    /// The process on the receiving end.
+    #[must_use]
+    pub fn peer(&self) -> Pid {
+        self.peer
+    }
+
+    /// Sends a message to the follower.
+    pub fn send(&self, message: ChannelMessage) {
+        self.inner.messages.lock().push_back(message);
+    }
+
+    /// Sends a descriptor transfer.
+    pub fn send_fd(&self, leader_fd: i32, local_fd: i32) {
+        self.send(ChannelMessage::Fd(FdTransfer {
+            leader_fd,
+            local_fd,
+        }));
+    }
+
+    /// Receives the next message, if any.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<ChannelMessage> {
+        self.inner.messages.lock().pop_front()
+    }
+
+    /// Receives the next descriptor transfer, skipping over (and returning to
+    /// the queue tail) any other control messages.
+    #[must_use]
+    pub fn recv_fd(&self) -> Option<FdTransfer> {
+        let mut messages = self.inner.messages.lock();
+        let position = messages
+            .iter()
+            .position(|message| matches!(message, ChannelMessage::Fd(_)))?;
+        match messages.remove(position) {
+            Some(ChannelMessage::Fd(transfer)) => Some(transfer),
+            _ => None,
+        }
+    }
+
+    /// Number of undelivered messages.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inner.messages.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_transfers_are_delivered_in_order() {
+        let channel = DataChannel::new(7);
+        assert_eq!(channel.peer(), 7);
+        channel.send_fd(5, 9);
+        channel.send_fd(6, 10);
+        assert_eq!(channel.pending(), 2);
+        assert_eq!(
+            channel.recv_fd(),
+            Some(FdTransfer {
+                leader_fd: 5,
+                local_fd: 9
+            })
+        );
+        assert_eq!(
+            channel.recv_fd(),
+            Some(FdTransfer {
+                leader_fd: 6,
+                local_fd: 10
+            })
+        );
+        assert_eq!(channel.recv_fd(), None);
+    }
+
+    #[test]
+    fn control_messages_are_not_consumed_by_fd_receives() {
+        let channel = DataChannel::new(1);
+        channel.send(ChannelMessage::Promote);
+        channel.send_fd(3, 4);
+        assert_eq!(
+            channel.recv_fd(),
+            Some(FdTransfer {
+                leader_fd: 3,
+                local_fd: 4
+            })
+        );
+        assert_eq!(channel.try_recv(), Some(ChannelMessage::Promote));
+        assert_eq!(channel.try_recv(), None);
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let channel = DataChannel::new(2);
+        let sender = channel.clone();
+        sender.send(ChannelMessage::Discard);
+        assert_eq!(channel.try_recv(), Some(ChannelMessage::Discard));
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared state wired between the coordinator and the per-version monitors.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use varan_kernel::process::Pid;
+use varan_ring::{Event, RingBuffer, WaitStrategy};
+
+use crate::channel::DataChannel;
+use crate::error::CoreError;
+use crate::stats::SharedCounters;
+
+/// The set of ring buffers for one N-version execution: one ring per thread
+/// tuple (§3.3.3), each with one consumer slot per follower.
+#[derive(Debug)]
+pub struct RingSet {
+    rings: Vec<Arc<RingBuffer<Event>>>,
+}
+
+impl RingSet {
+    /// Creates `tuples` rings of `capacity` slots with `consumers` follower
+    /// slots each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-buffer construction errors (invalid capacity).
+    pub fn new(
+        tuples: usize,
+        capacity: usize,
+        consumers: usize,
+        strategy: WaitStrategy,
+    ) -> Result<Self, CoreError> {
+        let mut rings = Vec::with_capacity(tuples);
+        for _ in 0..tuples.max(1) {
+            rings.push(Arc::new(RingBuffer::new(capacity, consumers, strategy)?));
+        }
+        Ok(RingSet { rings })
+    }
+
+    /// The ring used by thread tuple `tid` (clamped to the last ring if the
+    /// application spawns more threads than tuples were provisioned for).
+    #[must_use]
+    pub fn ring(&self, tid: usize) -> &Arc<RingBuffer<Event>> {
+        let index = tid.min(self.rings.len() - 1);
+        &self.rings[index]
+    }
+
+    /// Number of provisioned thread tuples.
+    #[must_use]
+    pub fn tuples(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Total number of events published across all rings.
+    #[must_use]
+    pub fn total_published(&self) -> u64 {
+        self.rings.iter().map(|ring| ring.published()).sum()
+    }
+
+    /// The largest backlog of consumer `slot` across all rings ("log
+    /// distance" between the leader and that follower).
+    #[must_use]
+    pub fn max_backlog(&self, slot: usize) -> u64 {
+        self.rings
+            .iter()
+            .filter_map(|ring| ring.backlog(slot))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The coordinator's handle to one follower, used by the leader for
+/// descriptor transfers and by the failover logic.
+#[derive(Debug, Clone)]
+pub struct FollowerLink {
+    /// Version index of the follower.
+    pub index: usize,
+    /// The follower's virtual process.
+    pub pid: Pid,
+    /// The follower's data channel.
+    pub channel: DataChannel,
+    /// Cleared when the follower crashes, is killed or is discarded.
+    pub alive: Arc<AtomicBool>,
+}
+
+impl FollowerLink {
+    /// Returns `true` while the follower is still participating.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Marks the follower as discarded.
+    pub fn discard(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// The per-version context handed to a monitor.
+#[derive(Debug, Clone)]
+pub struct VersionContext {
+    /// Version index (0 is the initially designated leader).
+    pub index: usize,
+    /// The version's virtual process.
+    pub pid: Pid,
+    /// Statistics counters.
+    pub counters: SharedCounters,
+    /// Data channel for descriptor transfers and control messages.
+    pub channel: DataChannel,
+    /// The variant's Lamport clock (shared by all of its threads, §3.3.3).
+    pub clock: varan_ring::VariantClock,
+    /// Set when the follower is killed by an unresolved divergence.
+    pub killed: Arc<AtomicBool>,
+    /// Set by the coordinator when this follower must become the leader.
+    pub promoted: Arc<AtomicBool>,
+}
+
+impl VersionContext {
+    /// Returns `true` once this version has been promoted to leader.
+    #[must_use]
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` once this version has been killed.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
+    }
+}
+
+/// A shared sampler for the leader–follower log distance (§5.3).
+#[derive(Debug)]
+pub struct LogDistanceSampler {
+    samples: Mutex<Vec<u64>>,
+    every: u64,
+    counter: AtomicU64,
+}
+
+impl LogDistanceSampler {
+    /// Creates a sampler that records one sample every `every` publishes.
+    #[must_use]
+    pub fn new(every: u64) -> Self {
+        LogDistanceSampler {
+            samples: Mutex::new(Vec::new()),
+            every: every.max(1),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Possibly records `distance`, depending on the sampling interval.
+    pub fn observe(&self, distance: u64) {
+        let count = self.counter.fetch_add(1, Ordering::Relaxed);
+        if count % self.every == 0 {
+            self.samples.lock().push(distance);
+        }
+    }
+
+    /// The median of the recorded samples (0 when no samples were taken).
+    #[must_use]
+    pub fn median(&self) -> u64 {
+        let mut samples = self.samples.lock().clone();
+        if samples.is_empty() {
+            return 0;
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+
+    /// The maximum recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.samples.lock().iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+}
+
+/// The followers' links, shared between the leader monitor (descriptor
+/// transfers) and the coordinator (failover).
+pub type SharedFollowers = Arc<RwLock<Vec<FollowerLink>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_set_clamps_thread_indices() {
+        let set = RingSet::new(2, 16, 1, WaitStrategy::Spin).unwrap();
+        assert_eq!(set.tuples(), 2);
+        // Index past the end falls back to the last ring instead of panicking.
+        let ring = set.ring(10);
+        assert_eq!(ring.capacity(), 16);
+        assert_eq!(set.total_published(), 0);
+    }
+
+    #[test]
+    fn ring_set_requires_valid_capacity() {
+        assert!(RingSet::new(1, 3, 1, WaitStrategy::Spin).is_err());
+    }
+
+    #[test]
+    fn follower_link_lifecycle() {
+        let link = FollowerLink {
+            index: 1,
+            pid: 42,
+            channel: DataChannel::new(42),
+            alive: Arc::new(AtomicBool::new(true)),
+        };
+        assert!(link.is_alive());
+        link.discard();
+        assert!(!link.is_alive());
+    }
+
+    #[test]
+    fn sampler_reports_median_and_max() {
+        let sampler = LogDistanceSampler::new(1);
+        assert!(sampler.is_empty());
+        for distance in [1, 9, 3, 7, 5] {
+            sampler.observe(distance);
+        }
+        assert_eq!(sampler.len(), 5);
+        assert_eq!(sampler.median(), 5);
+        assert_eq!(sampler.max(), 9);
+    }
+
+    #[test]
+    fn sampler_subsamples() {
+        let sampler = LogDistanceSampler::new(10);
+        for distance in 0..100 {
+            sampler.observe(distance);
+        }
+        assert_eq!(sampler.len(), 10);
+    }
+}

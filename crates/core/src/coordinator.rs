@@ -1,0 +1,675 @@
+//! The coordinator and zygote: setting up and supervising an N-version
+//! execution (§3.1 and §5.1 of the paper).
+//!
+//! The coordinator is the only centralised component of the architecture.
+//! Its job is to prepare the versions for execution and establish the
+//! communication channels: it creates the shared memory pool and the ring
+//! buffers, asks the zygote to spawn one process per version, wires up the
+//! per-version data channels, installs the leader/follower monitors and then
+//! lets the versions run in a decentralised manner.  At run time it only
+//! intervenes for crash handling: followers that crash are unsubscribed and
+//! discarded; if the leader crashes, the follower with the smallest internal
+//! identifier is promoted by switching its system call table and restarting
+//! its interrupted system call.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use varan_kernel::process::Pid;
+use varan_kernel::Kernel;
+use varan_ring::{PoolAllocator, PoolConfig, VariantClock, WaitStrategy};
+
+use crate::channel::{ChannelMessage, DataChannel};
+use crate::context::{FollowerLink, LogDistanceSampler, RingSet, VersionContext};
+use crate::costs::MonitorCosts;
+use crate::error::CoreError;
+use crate::monitor::{FollowerMonitor, LeaderCore, LeaderMonitor};
+use crate::program::{ProgramExit, SyscallInterface, VersionProgram};
+use crate::rules::RuleEngine;
+use crate::stats::{NvxReport, SharedCounters, VersionCounters};
+
+/// Configuration of an N-version execution.
+#[derive(Debug)]
+pub struct NvxConfig {
+    /// Ring buffer capacity in events (the paper's default is 256).
+    pub ring_capacity: usize,
+    /// How followers wait for events (busy-wait, yield or block).
+    pub wait_strategy: WaitStrategy,
+    /// Number of thread tuples (per-thread ring buffers) to provision.
+    pub max_thread_tuples: usize,
+    /// Shared memory pool configuration.
+    pub pool: PoolConfig,
+    /// System-call sequence rewrite rules.
+    pub rules: RuleEngine,
+    /// Monitor cost model.
+    pub monitor_costs: MonitorCosts,
+    /// Record one log-distance sample every this many published events.
+    pub log_distance_sample_every: u64,
+}
+
+impl Default for NvxConfig {
+    fn default() -> Self {
+        NvxConfig {
+            ring_capacity: 256,
+            wait_strategy: WaitStrategy::Block,
+            max_thread_tuples: 8,
+            pool: PoolConfig {
+                pool_size: 64 * 1024 * 1024,
+                ..PoolConfig::default()
+            },
+            rules: RuleEngine::new(),
+            monitor_costs: MonitorCosts::default(),
+            log_distance_sample_every: 16,
+        }
+    }
+}
+
+impl NvxConfig {
+    /// Creates the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        NvxConfig::default()
+    }
+
+    /// Sets the ring capacity, consuming and returning the configuration.
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Sets the rewrite rules, consuming and returning the configuration.
+    #[must_use]
+    pub fn with_rules(mut self, rules: RuleEngine) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Sets the wait strategy, consuming and returning the configuration.
+    #[must_use]
+    pub fn with_wait_strategy(mut self, strategy: WaitStrategy) -> Self {
+        self.wait_strategy = strategy;
+        self
+    }
+}
+
+/// The zygote process: spawns new version processes on request from the
+/// coordinator (§3.1).  Using a dedicated spawner keeps the communication
+/// channels of previously spawned versions from leaking into new ones.
+#[derive(Debug)]
+pub struct Zygote {
+    requests: mpsc::Sender<ZygoteRequest>,
+    thread: Option<JoinHandle<()>>,
+}
+
+struct ZygoteRequest {
+    name: String,
+    reply: mpsc::Sender<Pid>,
+}
+
+impl std::fmt::Debug for ZygoteRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZygoteRequest").field("name", &self.name).finish()
+    }
+}
+
+impl Zygote {
+    /// Starts the zygote for `kernel`.
+    #[must_use]
+    pub fn start(kernel: &Kernel) -> Self {
+        let (sender, receiver) = mpsc::channel::<ZygoteRequest>();
+        let kernel = kernel.clone();
+        let thread = std::thread::Builder::new()
+            .name("varan-zygote".into())
+            .spawn(move || {
+                while let Ok(request) = receiver.recv() {
+                    let pid = kernel.spawn_process(&request.name);
+                    let _ = request.reply.send(pid);
+                }
+            })
+            .expect("spawn zygote thread");
+        Zygote {
+            requests: sender,
+            thread: Some(thread),
+        }
+    }
+
+    /// Asks the zygote to create a process running `name` and returns its pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zygote thread has died, which indicates a bug in the
+    /// coordinator rather than a runtime condition.
+    #[must_use]
+    pub fn spawn(&self, name: &str) -> Pid {
+        let (reply, response) = mpsc::channel();
+        self.requests
+            .send(ZygoteRequest {
+                name: name.to_owned(),
+                reply,
+            })
+            .expect("zygote is running");
+        response.recv().expect("zygote replies")
+    }
+}
+
+impl Drop for Zygote {
+    fn drop(&mut self) {
+        // Closing the request channel lets the zygote thread exit.
+        let (sender, _) = mpsc::channel();
+        let _ = std::mem::replace(&mut self.requests, sender);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Outcome message sent by each version runner to the coordinator's control
+/// loop.
+#[derive(Debug)]
+enum VersionEvent {
+    Finished(usize, ProgramExit),
+    Panicked(usize, String),
+}
+
+/// A launched N-version execution; call [`RunningNvx::wait`] to collect the
+/// report.
+#[derive(Debug)]
+pub struct RunningNvx {
+    version_threads: Vec<JoinHandle<()>>,
+    control_thread: JoinHandle<ControlSummary>,
+    counters: Vec<SharedCounters>,
+    rings: Arc<RingSet>,
+    sampler: Arc<LogDistanceSampler>,
+    started: Instant,
+}
+
+#[derive(Debug, Default)]
+struct ControlSummary {
+    exits: Vec<Option<String>>,
+    promotions: u64,
+    discarded: u64,
+}
+
+/// The N-version execution framework entry point.
+#[derive(Debug)]
+pub struct NvxSystem;
+
+impl NvxSystem {
+    /// Launches `versions` under the monitor with the given configuration.
+    /// Version 0 is the initially designated leader; the remaining versions
+    /// are followers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoVersions`] for an empty version list and
+    /// propagates ring-buffer construction errors.
+    pub fn launch(
+        kernel: &Kernel,
+        versions: Vec<Box<dyn VersionProgram>>,
+        config: NvxConfig,
+    ) -> Result<RunningNvx, CoreError> {
+        if versions.is_empty() {
+            return Err(CoreError::NoVersions);
+        }
+        // Zero followers means zero consumer slots: the leader streams into
+        // the ring unhindered (this is the "0 followers" interception-only
+        // configuration measured in Figures 5 and 6).
+        let follower_count = versions.len() - 1;
+        let rings = Arc::new(RingSet::new(
+            config.max_thread_tuples,
+            config.ring_capacity,
+            follower_count,
+            config.wait_strategy,
+        )?);
+        let pool = Arc::new(PoolAllocator::new(config.pool.clone()));
+        let rules = Arc::new(config.rules.clone());
+        let sampler = Arc::new(LogDistanceSampler::new(config.log_distance_sample_every));
+        let followers: crate::context::SharedFollowers = Arc::new(RwLock::new(Vec::new()));
+        let zygote = Zygote::start(kernel);
+
+        // Step B/C/D of Figure 2: spawn one process per version and create
+        // its communication channels.
+        let mut contexts = Vec::with_capacity(versions.len());
+        for (index, version) in versions.iter().enumerate() {
+            let pid = zygote.spawn(&version.name());
+            let context = VersionContext {
+                index,
+                pid,
+                counters: Arc::new(VersionCounters::new()),
+                channel: DataChannel::new(pid),
+                clock: VariantClock::new(),
+                killed: Arc::new(AtomicBool::new(false)),
+                promoted: Arc::new(AtomicBool::new(false)),
+            };
+            contexts.push(context);
+        }
+        {
+            let mut links = followers.write();
+            for context in contexts.iter().skip(1) {
+                links.push(FollowerLink {
+                    index: context.index,
+                    pid: context.pid,
+                    channel: context.channel.clone(),
+                    alive: Arc::new(AtomicBool::new(true)),
+                });
+            }
+        }
+
+        // Build the monitors and start the version threads.
+        let (events_tx, events_rx) = mpsc::channel::<VersionEvent>();
+        let mut version_threads = Vec::with_capacity(versions.len());
+        let counters: Vec<SharedCounters> = contexts
+            .iter()
+            .map(|context| Arc::clone(&context.counters))
+            .collect();
+
+        for (index, mut program) in versions.into_iter().enumerate() {
+            let context = contexts[index].clone();
+            let kernel = kernel.clone();
+            let mut interface: Box<dyn SyscallInterface> = if index == 0 {
+                let core = LeaderCore::new(
+                    kernel.clone(),
+                    context.pid,
+                    0,
+                    Arc::clone(&rings),
+                    Arc::clone(&pool),
+                    Arc::clone(&followers),
+                    config.monitor_costs.clone(),
+                    Arc::clone(&sampler),
+                );
+                Box::new(LeaderMonitor::new(core, context.clone()))
+            } else {
+                let promoted_core = LeaderCore::new(
+                    kernel.clone(),
+                    context.pid,
+                    0,
+                    Arc::clone(&rings),
+                    Arc::clone(&pool),
+                    Arc::clone(&followers),
+                    config.monitor_costs.clone(),
+                    Arc::clone(&sampler),
+                );
+                Box::new(FollowerMonitor::new(
+                    kernel.clone(),
+                    context.clone(),
+                    Arc::clone(&rings),
+                    index - 1,
+                    Arc::clone(&pool),
+                    Arc::clone(&rules),
+                    config.monitor_costs.clone(),
+                    promoted_core,
+                )?)
+            };
+
+            let events_tx = events_tx.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("varan-version-{index}"))
+                .spawn(move || {
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| program.run(interface.as_mut())));
+                    let message = match result {
+                        Ok(exit) => {
+                            if let ProgramExit::Crashed(signal) = exit {
+                                let _ = kernel.deliver_signal(context.pid, signal);
+                            }
+                            VersionEvent::Finished(index, exit)
+                        }
+                        Err(panic) => {
+                            let text = panic
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                                .unwrap_or_else(|| "panic".to_owned());
+                            VersionEvent::Panicked(index, text)
+                        }
+                    };
+                    let _ = events_tx.send(message);
+                })
+                .expect("spawn version thread");
+            version_threads.push(thread);
+        }
+        drop(events_tx);
+
+        // The coordinator's control loop: crash handling and leader election.
+        let control_followers = Arc::clone(&followers);
+        let control_contexts = contexts.clone();
+        let version_count = version_threads.len();
+        let control_thread = std::thread::Builder::new()
+            .name("varan-coordinator".into())
+            .spawn(move || {
+                let mut summary = ControlSummary {
+                    exits: vec![None; version_count],
+                    ..ControlSummary::default()
+                };
+                let mut current_leader = 0usize;
+                let mut received = 0usize;
+                while received < version_count {
+                    let event = match events_rx.recv() {
+                        Ok(event) => event,
+                        Err(_) => break,
+                    };
+                    received += 1;
+                    let (index, description, is_failure) = match event {
+                        VersionEvent::Finished(index, ProgramExit::Exited(status)) => {
+                            (index, format!("exited({status})"), false)
+                        }
+                        VersionEvent::Finished(index, ProgramExit::Crashed(signal)) => {
+                            (index, format!("crashed({signal:?})"), true)
+                        }
+                        VersionEvent::Panicked(index, text) => {
+                            (index, format!("panicked({text})"), true)
+                        }
+                    };
+                    summary.exits[index] = Some(description);
+                    if !is_failure {
+                        continue;
+                    }
+                    if index == current_leader {
+                        // Leader crash: promote the live follower with the
+                        // smallest internal identifier (§5.1).
+                        let links = control_followers.read();
+                        let candidate = links
+                            .iter()
+                            .filter(|link| link.is_alive())
+                            .map(|link| link.index)
+                            .filter(|&candidate| {
+                                !control_contexts[candidate]
+                                    .killed
+                                    .load(std::sync::atomic::Ordering::Acquire)
+                            })
+                            .min();
+                        if let Some(next_leader) = candidate {
+                            for link in links.iter() {
+                                if link.index == next_leader {
+                                    link.discard();
+                                    link.channel.send(ChannelMessage::Promote);
+                                }
+                            }
+                            control_contexts[next_leader]
+                                .promoted
+                                .store(true, std::sync::atomic::Ordering::Release);
+                            current_leader = next_leader;
+                            summary.promotions += 1;
+                        }
+                    } else {
+                        // Follower crash or kill: unsubscribe and discard it.
+                        let links = control_followers.read();
+                        for link in links.iter() {
+                            if link.index == index {
+                                link.discard();
+                                link.channel.send(ChannelMessage::Discard);
+                            }
+                        }
+                        summary.discarded += 1;
+                    }
+                }
+                summary
+            })
+            .expect("spawn coordinator thread");
+
+        Ok(RunningNvx {
+            version_threads,
+            control_thread,
+            counters,
+            rings,
+            sampler,
+            started: Instant::now(),
+        })
+    }
+}
+
+impl RunningNvx {
+    /// Waits for every version to finish and assembles the execution report.
+    #[must_use]
+    pub fn wait(self) -> NvxReport {
+        for thread in self.version_threads {
+            let _ = thread.join();
+        }
+        let summary = self
+            .control_thread
+            .join()
+            .unwrap_or_else(|_| ControlSummary::default());
+        NvxReport {
+            versions: self
+                .counters
+                .iter()
+                .map(|counters| counters.snapshot())
+                .collect(),
+            exits: summary.exits,
+            promotions: summary.promotions,
+            discarded_followers: summary.discarded,
+            max_log_distance: self.sampler.max(),
+            median_log_distance: self.sampler.median(),
+            events_published: self.rings.total_published(),
+            wall_nanos: self.started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Convenience wrapper: launches the versions, waits for completion and
+/// returns the report.
+///
+/// # Errors
+///
+/// Propagates [`NvxSystem::launch`] errors.
+pub fn run_nvx(
+    kernel: &Kernel,
+    versions: Vec<Box<dyn VersionProgram>>,
+    config: NvxConfig,
+) -> Result<NvxReport, CoreError> {
+    Ok(NvxSystem::launch(kernel, versions, config)?.wait())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_kernel::signal::Signal;
+    use varan_kernel::syscall::SyscallRequest;
+    use varan_kernel::Sysno;
+
+    /// A program that performs a deterministic mix of system calls.
+    struct MixProgram {
+        label: String,
+        iterations: u32,
+        crash_at: Option<u32>,
+        extra_getuid: bool,
+    }
+
+    impl MixProgram {
+        fn new(label: &str, iterations: u32) -> Self {
+            MixProgram {
+                label: label.to_owned(),
+                iterations,
+                crash_at: None,
+                extra_getuid: false,
+            }
+        }
+    }
+
+    impl VersionProgram for MixProgram {
+        fn name(&self) -> String {
+            self.label.clone()
+        }
+
+        fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+            let fd = sys.open("/dev/null", varan_kernel::fs::flags::O_WRONLY);
+            for i in 0..self.iterations {
+                if Some(i) == self.crash_at {
+                    return ProgramExit::Crashed(Signal::Sigsegv);
+                }
+                if self.extra_getuid {
+                    sys.syscall(&SyscallRequest::new(Sysno::Getuid, [0; 6]));
+                }
+                sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+                sys.write(fd as i32, &vec![0u8; 128]);
+                sys.time();
+            }
+            sys.close(fd as i32);
+            sys.exit(0);
+            ProgramExit::Exited(0)
+        }
+    }
+
+    #[test]
+    fn two_identical_versions_run_in_lockless_step() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("v1", 50)),
+            Box::new(MixProgram::new("v1-copy", 50)),
+        ];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert!(report.all_clean(), "exits: {:?}", report.exits);
+        assert_eq!(report.promotions, 0);
+        assert_eq!(report.discarded_followers, 0);
+        assert!(report.events_published > 100);
+        // Leader executed the calls; the follower replayed them.
+        assert!(report.versions[0].cycles > 0);
+        assert!(report.versions[1].events > 0);
+        assert_eq!(
+            report.versions[0].events, report.versions[1].events,
+            "follower must consume exactly what the leader published"
+        );
+        // The follower spent fewer kernel cycles (only process-local calls).
+        assert!(report.versions[1].cycles < report.versions[0].cycles);
+    }
+
+    #[test]
+    fn follower_receives_transferred_descriptors() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("a", 5)),
+            Box::new(MixProgram::new("b", 5)),
+        ];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert!(report.versions[0].fd_transfers >= 1);
+        assert!(report.versions[1].fd_transfers >= 1);
+    }
+
+    #[test]
+    fn six_followers_scale_without_divergence() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> = (0..7)
+            .map(|i| Box::new(MixProgram::new(&format!("v{i}"), 20)) as Box<dyn VersionProgram>)
+            .collect();
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert!(report.all_clean());
+        assert_eq!(report.versions.len(), 7);
+        for follower in &report.versions[1..] {
+            assert_eq!(follower.divergences_killed, 0);
+            assert!(follower.events > 0);
+        }
+    }
+
+    #[test]
+    fn leader_crash_promotes_the_first_follower() {
+        let kernel = Kernel::new();
+        let mut crashing = MixProgram::new("buggy-leader", 30);
+        crashing.crash_at = Some(10);
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(crashing),
+            Box::new(MixProgram::new("healthy-1", 30)),
+            Box::new(MixProgram::new("healthy-2", 30)),
+        ];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert_eq!(report.promotions, 1);
+        assert!(report.exits[0].as_deref().unwrap().starts_with("crashed"));
+        assert!(report.exits[1].as_deref().unwrap().starts_with("exited"));
+        assert!(report.exits[2].as_deref().unwrap().starts_with("exited"));
+        // The promoted follower restarted the interrupted call and went on to
+        // execute real kernel work.
+        assert!(report.versions[1].restarts >= 1);
+        assert!(report.versions[1].cycles > report.versions[2].cycles);
+    }
+
+    #[test]
+    fn follower_crash_is_discarded_without_affecting_the_leader() {
+        let kernel = Kernel::new();
+        let mut crashing = MixProgram::new("buggy-follower", 30);
+        crashing.crash_at = Some(5);
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 30)),
+            Box::new(crashing),
+            Box::new(MixProgram::new("healthy", 30)),
+        ];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert_eq!(report.promotions, 0);
+        assert_eq!(report.discarded_followers, 1);
+        assert!(report.exits[0].as_deref().unwrap().starts_with("exited"));
+        assert!(report.exits[2].as_deref().unwrap().starts_with("exited"));
+    }
+
+    #[test]
+    fn divergent_follower_without_rules_is_killed() {
+        let kernel = Kernel::new();
+        let mut divergent = MixProgram::new("divergent", 10);
+        divergent.extra_getuid = true;
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 10)),
+            Box::new(divergent),
+        ];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert_eq!(report.versions[1].divergences_killed, 1);
+        assert_eq!(report.discarded_followers, 1);
+        assert!(report.exits[1].as_deref().unwrap().starts_with("panicked"));
+        assert!(report.exits[0].as_deref().unwrap().starts_with("exited"));
+    }
+
+    #[test]
+    fn divergent_follower_with_rules_keeps_running() {
+        let kernel = Kernel::new();
+        let mut rules = RuleEngine::new();
+        rules
+            .allow_extra_call(
+                "extra-getuid",
+                Sysno::Getuid.number(),
+                Sysno::Getegid.number(),
+            )
+            .unwrap();
+        let mut divergent = MixProgram::new("divergent", 10);
+        divergent.extra_getuid = true;
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 10)),
+            Box::new(divergent),
+        ];
+        let config = NvxConfig::default().with_rules(rules);
+        let report = run_nvx(&kernel, versions, config).unwrap();
+        assert!(report.all_clean(), "exits: {:?}", report.exits);
+        assert_eq!(report.versions[1].divergences_killed, 0);
+        assert_eq!(report.versions[1].divergences_allowed, 10);
+    }
+
+    #[test]
+    fn empty_version_list_is_rejected() {
+        let kernel = Kernel::new();
+        let err = NvxSystem::launch(&kernel, Vec::new(), NvxConfig::default()).unwrap_err();
+        assert_eq!(err, CoreError::NoVersions);
+    }
+
+    #[test]
+    fn single_version_runs_with_monitor_only() {
+        let kernel = Kernel::new();
+        let versions: Vec<Box<dyn VersionProgram>> =
+            vec![Box::new(MixProgram::new("solo", 25))];
+        let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
+        assert!(report.all_clean());
+        assert!(report.versions[0].events > 0);
+    }
+
+    #[test]
+    fn zygote_spawns_processes_on_request() {
+        let kernel = Kernel::new();
+        let zygote = Zygote::start(&kernel);
+        let a = zygote.spawn("version-a");
+        let b = zygote.spawn("version-b");
+        assert_ne!(a, b);
+        assert!(kernel.process_alive(a));
+        assert!(kernel.process_alive(b));
+    }
+}

@@ -1,0 +1,167 @@
+//! The monitor-side cost model.
+//!
+//! `varan-kernel`'s [`CostModel`](varan_kernel::cost::CostModel) prices the
+//! *native* execution of a system call; this module prices what the monitor
+//! adds on top: the interception trampoline, publishing or consuming a ring
+//! buffer event, copying an out-of-line payload through the shared memory
+//! pool, and transferring a file descriptor over the data channel.  The
+//! defaults are calibrated from Figure 4 of the paper (the `intercept`,
+//! `leader` and `follower` bars minus the `native` bar), so regenerating the
+//! micro-benchmark reproduces the paper's cost structure.
+
+use serde::{Deserialize, Serialize};
+
+use varan_kernel::cost::Cycles;
+
+/// Cycles the monitor adds to a system call, by mechanism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorCosts {
+    /// Cost of the rewritten-jump interception path (entry point, register
+    /// save/restore, table lookup).  Figure 4: `intercept - native` ≈ 70
+    /// cycles for regular calls.
+    pub intercept: Cycles,
+    /// Interception cost for virtual (vDSO) system calls, which go through
+    /// the generated stub (§3.2.1).  Figure 4: 122 − 49 ≈ 73 cycles.
+    pub intercept_vsyscall: Cycles,
+    /// Leader cost of publishing one event into the ring buffer.
+    /// Figure 4 (`close`): 1718 − 1330 ≈ 390 cycles.
+    pub event_publish: Cycles,
+    /// Follower cost of consuming one event from the ring buffer.
+    /// Figure 4 (`close` follower): ≈ 260 cycles.
+    pub event_consume: Cycles,
+    /// Leader cost of copying a 512-byte payload into the shared pool.
+    /// Figure 4 (`read` leader − `close` leader): ≈ 1370 cycles per 512 B.
+    pub payload_publish_per_512: Cycles,
+    /// Follower cost of copying a 512-byte payload out of the shared pool.
+    /// Figure 4 (`read` follower − `close` follower): ≈ 1700 cycles per 512 B.
+    pub payload_consume_per_512: Cycles,
+    /// Leader cost of sending one descriptor over the data channel.
+    /// Figure 4 (`open` leader − intercepted open − publish): ≈ 5400 cycles.
+    pub fd_send: Cycles,
+    /// Follower cost of receiving one descriptor.
+    /// Figure 4 (`open` follower): ≈ 7100 cycles.
+    pub fd_receive: Cycles,
+    /// Extra cost charged to a ptrace-style monitor for each context switch
+    /// between tracee and monitor (used by the baselines, not by VARAN).
+    pub ptrace_switch: Cycles,
+}
+
+impl Default for MonitorCosts {
+    fn default() -> Self {
+        MonitorCosts {
+            intercept: 70,
+            intercept_vsyscall: 73,
+            event_publish: 390,
+            event_consume: 260,
+            payload_publish_per_512: 1370,
+            payload_consume_per_512: 1700,
+            fd_send: 5400,
+            fd_receive: 7100,
+            ptrace_switch: 3200,
+        }
+    }
+}
+
+impl MonitorCosts {
+    /// Creates the Figure 4-calibrated default model.
+    #[must_use]
+    pub fn new() -> Self {
+        MonitorCosts::default()
+    }
+
+    /// Leader-side cost of copying `bytes` of payload into the pool.
+    #[must_use]
+    pub fn payload_publish(&self, bytes: usize) -> Cycles {
+        self.payload_publish_per_512 * bytes as Cycles / 512
+    }
+
+    /// Follower-side cost of copying `bytes` of payload out of the pool.
+    #[must_use]
+    pub fn payload_consume(&self, bytes: usize) -> Cycles {
+        self.payload_consume_per_512 * bytes as Cycles / 512
+    }
+
+    /// Total leader-side overhead for recording a call with `payload` bytes
+    /// of out-of-line data and `fds` descriptor transfers.
+    #[must_use]
+    pub fn leader_overhead(&self, virtual_call: bool, payload: usize, fds: usize) -> Cycles {
+        self.intercept_cost(virtual_call)
+            + self.event_publish
+            + self.payload_publish(payload)
+            + self.fd_send * fds as Cycles
+    }
+
+    /// Total follower-side overhead for replaying such a call.
+    #[must_use]
+    pub fn follower_overhead(&self, virtual_call: bool, payload: usize, fds: usize) -> Cycles {
+        self.intercept_cost(virtual_call)
+            + self.event_consume
+            + self.payload_consume(payload)
+            + self.fd_receive * fds as Cycles
+    }
+
+    /// The plain interception cost for a call.
+    #[must_use]
+    pub fn intercept_cost(&self, virtual_call: bool) -> Cycles {
+        if virtual_call {
+            self.intercept_vsyscall
+        } else {
+            self.intercept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_kernel::cost::CostModel;
+    use varan_kernel::Sysno;
+
+    #[test]
+    fn figure_4_shape_is_reproduced() {
+        let native = CostModel::default();
+        let monitor = MonitorCosts::default();
+
+        // close(-1): leader ≈ 1718, follower ≈ 257 in the paper.
+        let close_native = native.native_cost(Sysno::Close, 0);
+        let close_leader = close_native + monitor.leader_overhead(false, 0, 0);
+        let close_follower = monitor.follower_overhead(false, 0, 0);
+        assert!(close_leader > close_native);
+        assert!(close_follower < close_native, "follower is cheaper than native");
+
+        // read(512): leader pays the extra shared-memory copy.
+        let read_leader = native.native_cost(Sysno::Read, 512) + monitor.leader_overhead(false, 512, 0);
+        let write_leader =
+            native.native_cost(Sysno::Write, 512) + monitor.leader_overhead(false, 0, 0);
+        assert!(read_leader > write_leader);
+
+        // open: the descriptor transfer dominates for both sides.
+        let open_leader = native.native_cost(Sysno::Open, 0) + monitor.leader_overhead(false, 0, 1);
+        let open_follower = monitor.follower_overhead(false, 0, 1);
+        assert!(open_leader > 2 * native.native_cost(Sysno::Open, 0));
+        assert!(open_follower > close_follower * 10);
+        assert!(open_follower < open_leader);
+
+        // time: overhead is large relatively but small absolutely.
+        let time_leader = native.native_cost(Sysno::Time, 0) + monitor.leader_overhead(true, 0, 0);
+        assert!(time_leader < close_native);
+    }
+
+    #[test]
+    fn payload_costs_scale_linearly() {
+        let monitor = MonitorCosts::default();
+        assert_eq!(monitor.payload_publish(0), 0);
+        assert_eq!(monitor.payload_publish(512), monitor.payload_publish_per_512);
+        assert_eq!(
+            monitor.payload_consume(1024),
+            2 * monitor.payload_consume_per_512
+        );
+    }
+
+    #[test]
+    fn vsyscall_interception_uses_its_own_cost() {
+        let monitor = MonitorCosts::default();
+        assert_eq!(monitor.intercept_cost(true), monitor.intercept_vsyscall);
+        assert_eq!(monitor.intercept_cost(false), monitor.intercept);
+    }
+}

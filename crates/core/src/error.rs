@@ -1,0 +1,111 @@
+//! Error type for the NVX framework.
+
+use std::error::Error;
+use std::fmt;
+
+use varan_ring::RingError;
+
+/// Errors produced while setting up or running an N-version execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The configuration asked for zero versions.
+    NoVersions,
+    /// A ring-buffer or shared-memory error occurred during setup.
+    Ring(RingError),
+    /// A BPF rewrite rule failed to assemble or verify.
+    Rule(String),
+    /// A version thread panicked or could not be joined.
+    VersionFailed {
+        /// Index of the failing version.
+        version: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// A follower diverged from the leader and no rewrite rule allowed it.
+    UnresolvedDivergence {
+        /// Index of the diverging follower.
+        version: usize,
+        /// System call the follower attempted.
+        follower_sysno: u16,
+        /// System call the leader executed at that point.
+        leader_sysno: u16,
+    },
+    /// No live follower was available to promote after the leader crashed.
+    NoFollowerToPromote,
+    /// A record-replay log could not be decoded.
+    CorruptLog(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoVersions => write!(f, "at least one version is required"),
+            CoreError::Ring(err) => write!(f, "ring buffer error: {err}"),
+            CoreError::Rule(reason) => write!(f, "rewrite rule error: {reason}"),
+            CoreError::VersionFailed { version, reason } => {
+                write!(f, "version {version} failed: {reason}")
+            }
+            CoreError::UnresolvedDivergence {
+                version,
+                follower_sysno,
+                leader_sysno,
+            } => write!(
+                f,
+                "follower {version} attempted syscall {follower_sysno} while the leader executed {leader_sysno} and no rewrite rule allowed the divergence"
+            ),
+            CoreError::NoFollowerToPromote => {
+                write!(f, "leader crashed and no live follower is available to promote")
+            }
+            CoreError::CorruptLog(reason) => write!(f, "corrupt record-replay log: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<RingError> for CoreError {
+    fn from(err: RingError) -> Self {
+        CoreError::Ring(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let cases = vec![
+            CoreError::NoVersions,
+            CoreError::Ring(RingError::ZeroCapacity),
+            CoreError::Rule("backward jump".into()),
+            CoreError::VersionFailed {
+                version: 2,
+                reason: "panicked".into(),
+            },
+            CoreError::UnresolvedDivergence {
+                version: 1,
+                follower_sysno: 102,
+                leader_sysno: 108,
+            },
+            CoreError::NoFollowerToPromote,
+            CoreError::CorruptLog("truncated".into()),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_errors_convert() {
+        let err: CoreError = RingError::ZeroCapacity.into();
+        assert!(matches!(err, CoreError::Ring(RingError::ZeroCapacity)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

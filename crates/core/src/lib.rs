@@ -1,0 +1,84 @@
+//! # VARAN — an efficient N-version execution framework (reproduction)
+//!
+//! This crate is the core of a from-scratch Rust reproduction of
+//! *"Varan the Unbelievable: An Efficient N-version Execution Framework"*
+//! (Hosek & Cadar, ASPLOS 2015).  It runs N versions of a program in
+//! parallel: one **leader** interacts with the outside world and streams
+//! every external event into a shared ring buffer; the **followers** replay
+//! that stream, so all N versions stay in sync without lock-step execution
+//! and without a central monitor on the hot path.
+//!
+//! The crate provides:
+//!
+//! * [`program`] — the [`VersionProgram`]/[`SyscallInterface`] traits that
+//!   application versions are written against, plus a native executor.
+//! * [`coordinator`] — the [`NvxSystem`] entry point, the coordinator's
+//!   control loop and the zygote process spawner (§3.1 of the paper).
+//! * [`monitor`] — the leader and follower monitors implementing the
+//!   event-streaming architecture (§3.3).
+//! * [`table`] — the per-version system call tables (§3.2).
+//! * [`channel`] — the per-version data channel used to transfer file
+//!   descriptors (§3.3.2).
+//! * [`rules`] — BPF-based system-call sequence rewrite rules (§2.3, §3.4).
+//! * [`sanitize`] — live sanitization support (§5.3).
+//! * [`record_replay`] — the persistent-log record-replay clients (§5.4).
+//! * [`costs`], [`stats`] — the monitor cost model and execution reports.
+//!
+//! # Example: run two versions of a program in parallel
+//!
+//! ```
+//! use varan_core::coordinator::{run_nvx, NvxConfig};
+//! use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+//! use varan_kernel::Kernel;
+//!
+//! struct Hello;
+//!
+//! impl VersionProgram for Hello {
+//!     fn name(&self) -> String {
+//!         "hello".to_owned()
+//!     }
+//!     fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+//!         sys.write(1, b"hello from a version\n");
+//!         sys.exit(0);
+//!         ProgramExit::Exited(0)
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), varan_core::CoreError> {
+//! let kernel = Kernel::new();
+//! let report = run_nvx(
+//!     &kernel,
+//!     vec![Box::new(Hello), Box::new(Hello)],
+//!     NvxConfig::default(),
+//! )?;
+//! assert!(report.all_clean());
+//! assert_eq!(report.versions.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod channel;
+pub mod context;
+pub mod coordinator;
+pub mod costs;
+pub mod monitor;
+pub mod program;
+pub mod record_replay;
+pub mod rules;
+pub mod sanitize;
+pub mod stats;
+pub mod table;
+
+mod error;
+
+pub use coordinator::{run_nvx, NvxConfig, NvxSystem, RunningNvx, Zygote};
+pub use costs::MonitorCosts;
+pub use error::CoreError;
+pub use program::{DirectExecutor, ProgramExit, SyscallInterface, VersionProgram};
+pub use rules::{RuleAction, RuleEngine};
+pub use sanitize::{SanitizedVersion, Sanitizer};
+pub use stats::{NvxReport, VersionStats};
+pub use table::{HandlerAction, Role, SyscallTable};

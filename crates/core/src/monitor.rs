@@ -1,0 +1,576 @@
+//! The per-version monitors: event streaming between leader and followers
+//! (§3.3 of the paper).
+//!
+//! Every version runs with a monitor interposed on its system calls.  The
+//! **leader**'s monitor executes each call against the kernel, transfers any
+//! newly created descriptors to the followers over their data channels, and
+//! publishes an event (with out-of-line payloads in the shared memory pool)
+//! into the ring buffer.  A **follower**'s monitor replays those events: it
+//! returns the leader's results to its own copy of the application without
+//! touching the outside world, except for process-local calls which it
+//! executes itself.  When a follower's next call does not match the next
+//! event, the BPF rewrite rules decide whether the divergence is allowed
+//! (§3.4); when the coordinator promotes a follower after a leader crash, the
+//! monitor swaps its system call table and takes over as leader (§5.1).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use varan_kernel::process::Pid;
+use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::{Errno, Kernel};
+use varan_ring::{
+    ClockOrdering, Consumer, Event, PoolAllocator, Producer, SharedPtr, SharedRegion,
+};
+
+use crate::context::{LogDistanceSampler, RingSet, SharedFollowers, VersionContext};
+use crate::costs::MonitorCosts;
+use crate::program::SyscallInterface;
+use crate::rules::{RuleAction, RuleEngine};
+use crate::stats::VersionCounters;
+use crate::table::{HandlerAction, SyscallTable};
+
+/// How long a follower waits for the next event before re-checking its
+/// promotion and kill flags.
+const FOLLOWER_POLL: Duration = Duration::from_millis(2);
+
+/// The leader-side recording engine, shared by the leader's monitor and by a
+/// follower's monitor after promotion.
+#[derive(Debug)]
+pub(crate) struct LeaderCore {
+    kernel: Kernel,
+    pid: Pid,
+    tid: u32,
+    producer: Producer<Event>,
+    ring_capacity: u64,
+    pool: Arc<PoolAllocator>,
+    followers: SharedFollowers,
+    rings: Arc<RingSet>,
+    costs: MonitorCosts,
+    sampler: Arc<LogDistanceSampler>,
+    /// Payload regions attached to recent events; freed once every follower
+    /// is guaranteed to have consumed them (the publish of event `n` implies
+    /// event `n - capacity` has been consumed by all gating consumers).
+    payload_window: VecDeque<(u64, SharedRegion)>,
+}
+
+impl LeaderCore {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        kernel: Kernel,
+        pid: Pid,
+        tid: u32,
+        rings: Arc<RingSet>,
+        pool: Arc<PoolAllocator>,
+        followers: SharedFollowers,
+        costs: MonitorCosts,
+        sampler: Arc<LogDistanceSampler>,
+    ) -> Self {
+        let ring = rings.ring(tid as usize);
+        LeaderCore {
+            kernel,
+            pid,
+            tid,
+            producer: ring.producer(),
+            ring_capacity: ring.capacity() as u64,
+            pool: Arc::clone(&pool),
+            followers,
+            rings,
+            costs,
+            sampler,
+            payload_window: VecDeque::new(),
+        }
+    }
+
+    /// Executes `request` against the kernel, streams it to the followers and
+    /// returns the outcome, updating `counters`.
+    pub(crate) fn execute_and_record(
+        &mut self,
+        request: &SyscallRequest,
+        clock: &varan_ring::VariantClock,
+        counters: &VersionCounters,
+    ) -> SyscallOutcome {
+        let outcome = self.kernel.syscall(self.pid, request);
+        VersionCounters::add(&counters.cycles, outcome.cost);
+
+        // 1. Transfer any newly created descriptor to every live follower
+        //    over its data channel, before the event becomes visible.
+        let mut fd_transfers = 0usize;
+        if let Some(fd_info) = outcome.fd {
+            let followers = self.followers.read();
+            for link in followers.iter().filter(|link| link.is_alive()) {
+                if let Ok(local_fd) = self.kernel.transfer_fd(self.pid, fd_info.fd, link.pid) {
+                    link.channel.send_fd(fd_info.fd, local_fd);
+                    fd_transfers += 1;
+                }
+            }
+            VersionCounters::add(&counters.fd_transfers, 1);
+        }
+
+        // 2. Copy any out-of-line payload into the shared memory pool.
+        let payload_len = outcome.payload_len();
+        let shared = match &outcome.data {
+            Some(data) if !data.is_empty() => match self.pool.alloc_and_write(data) {
+                Ok(region) => Some(region),
+                Err(_) => None, // pool exhausted: fall back to no payload reuse
+            },
+            _ => None,
+        };
+        let shared_ptr = shared.map(|region| region.ptr()).unwrap_or(SharedPtr::NULL);
+
+        // 3. Publish the event, stamped with the variant clock.
+        let timestamp = clock.tick();
+        let event = Event::syscall(request.sysno.number(), &request.args, outcome.result)
+            .with_tid(self.tid)
+            .with_clock(timestamp)
+            .with_shared(shared_ptr);
+        let sequence = self.producer.publish(event);
+        if let Some(region) = shared {
+            self.payload_window.push_back((sequence, region));
+        }
+        // Free payloads that every follower has necessarily consumed.
+        while let Some(&(seq, region)) = self.payload_window.front() {
+            if seq + self.ring_capacity <= sequence {
+                let _ = self.pool.free(region);
+                self.payload_window.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 4. Account the monitor overhead and sample the log distance.
+        let overhead = self.costs.leader_overhead(
+            request.sysno.is_virtual(),
+            payload_len,
+            if fd_transfers > 0 { 1 } else { 0 },
+        );
+        VersionCounters::add(&counters.monitor_cycles, overhead);
+        VersionCounters::add(&counters.events, 1);
+        VersionCounters::add(&counters.syscalls, 1);
+        self.kernel.clock().advance(overhead);
+        let max_backlog = {
+            let followers = self.followers.read();
+            followers
+                .iter()
+                .filter(|link| link.is_alive())
+                .map(|link| self.rings.max_backlog(link.index.saturating_sub(1)))
+                .max()
+                .unwrap_or(0)
+        };
+        self.sampler.observe(max_backlog);
+
+        SyscallOutcome {
+            cost: outcome.cost + overhead,
+            ..outcome
+        }
+    }
+
+    pub(crate) fn execute_locally(
+        &mut self,
+        request: &SyscallRequest,
+        counters: &VersionCounters,
+    ) -> SyscallOutcome {
+        let outcome = self.kernel.syscall(self.pid, request);
+        VersionCounters::add(&counters.cycles, outcome.cost);
+        VersionCounters::add(&counters.local_calls, 1);
+        VersionCounters::add(&counters.syscalls, 1);
+        VersionCounters::add(
+            &counters.monitor_cycles,
+            self.costs.intercept_cost(request.sysno.is_virtual()),
+        );
+        outcome
+    }
+}
+
+/// The monitor interposed on the leader version.
+#[derive(Debug)]
+pub struct LeaderMonitor {
+    core: LeaderCore,
+    context: VersionContext,
+    table: SyscallTable,
+    next_tid: Arc<std::sync::atomic::AtomicU32>,
+}
+
+impl LeaderMonitor {
+    pub(crate) fn new(core: LeaderCore, context: VersionContext) -> Self {
+        LeaderMonitor {
+            core,
+            context,
+            table: SyscallTable::leader(),
+            next_tid: Arc::new(std::sync::atomic::AtomicU32::new(1)),
+        }
+    }
+
+    /// The version context this monitor serves.
+    #[must_use]
+    pub fn context(&self) -> &VersionContext {
+        &self.context
+    }
+
+    /// The system call table currently installed.
+    #[must_use]
+    pub fn table(&self) -> &SyscallTable {
+        &self.table
+    }
+}
+
+impl SyscallInterface for LeaderMonitor {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        match self.table.action(request.sysno) {
+            HandlerAction::ExecuteLocally => {
+                self.core.execute_locally(request, &self.context.counters)
+            }
+            HandlerAction::Deny => {
+                SyscallOutcome::err(request.sysno, Errno::ENOSYS, self.core.costs.intercept)
+            }
+            _ => self
+                .core
+                .execute_and_record(request, &self.context.clock, &self.context.counters),
+        }
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let core = LeaderCore::new(
+            self.core.kernel.clone(),
+            self.core.pid,
+            tid,
+            Arc::clone(&self.core.rings),
+            Arc::clone(&self.core.pool),
+            Arc::clone(&self.core.followers),
+            self.core.costs.clone(),
+            Arc::clone(&self.core.sampler),
+        );
+        Box::new(LeaderMonitor {
+            core,
+            context: self.context.clone(),
+            table: self.table.clone(),
+            next_tid: Arc::clone(&self.next_tid),
+        })
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        VersionCounters::add(&self.context.counters.cycles, cycles);
+        self.core.kernel.clock().advance(cycles);
+    }
+}
+
+/// The monitor interposed on a follower version.
+#[derive(Debug)]
+pub struct FollowerMonitor {
+    kernel: Kernel,
+    context: VersionContext,
+    table: SyscallTable,
+    consumer: Consumer<Event>,
+    pool: Arc<PoolAllocator>,
+    rules: Arc<RuleEngine>,
+    costs: MonitorCosts,
+    /// Leader descriptor number → descriptor number in this follower's
+    /// process (populated from the data channel, §3.3.2).
+    fd_map: HashMap<i64, i32>,
+    /// An event read from the ring but not yet consumed (pushed back when a
+    /// divergence was resolved by executing an extra local call).
+    pending: Option<Event>,
+    /// The leader engine used after promotion.
+    promoted_core: Option<LeaderCore>,
+    promotion_handled: bool,
+    tid: u32,
+    next_tid: Arc<std::sync::atomic::AtomicU32>,
+    rings: Arc<RingSet>,
+}
+
+impl FollowerMonitor {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        kernel: Kernel,
+        context: VersionContext,
+        rings: Arc<RingSet>,
+        consumer_slot: usize,
+        pool: Arc<PoolAllocator>,
+        rules: Arc<RuleEngine>,
+        costs: MonitorCosts,
+        promoted_core: LeaderCore,
+    ) -> Result<Self, crate::error::CoreError> {
+        let consumer = rings.ring(0).consumer(consumer_slot)?;
+        Ok(FollowerMonitor {
+            kernel,
+            context,
+            table: SyscallTable::follower(),
+            consumer,
+            pool,
+            rules,
+            costs,
+            fd_map: HashMap::new(),
+            pending: None,
+            promoted_core: Some(promoted_core),
+            promotion_handled: false,
+            tid: 0,
+            next_tid: Arc::new(std::sync::atomic::AtomicU32::new(1)),
+            rings,
+        })
+    }
+
+    /// The version context this monitor serves.
+    #[must_use]
+    pub fn context(&self) -> &VersionContext {
+        &self.context
+    }
+
+    /// The descriptor translation map accumulated from the data channel.
+    #[must_use]
+    pub fn fd_map(&self) -> &HashMap<i64, i32> {
+        &self.fd_map
+    }
+
+    /// The thread tuple this monitor belongs to (0 for the main thread).
+    #[must_use]
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    fn drain_fd_channel(&mut self) {
+        while let Some(transfer) = self.context.channel.recv_fd() {
+            self.fd_map.insert(i64::from(transfer.leader_fd), transfer.local_fd);
+            VersionCounters::add(&self.context.counters.fd_transfers, 1);
+            VersionCounters::add(&self.context.counters.monitor_cycles, self.costs.fd_receive);
+        }
+    }
+
+    /// Waits for the next event, respecting the variant clock's
+    /// happens-before order and the promotion/kill flags.
+    ///
+    /// Promotion only takes effect once the ring has been drained: a freshly
+    /// promoted follower first catches up with everything the crashed leader
+    /// already published, so the remaining followers keep seeing a single
+    /// consistent stream.
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            if self.context.is_killed() {
+                return None;
+            }
+            let event = match self.pending.take() {
+                Some(event) => event,
+                None => match self.consumer.try_next() {
+                    Some(event) => event,
+                    None => {
+                        if self.context.is_promoted() {
+                            return None;
+                        }
+                        match self.consumer.next_timeout(FOLLOWER_POLL) {
+                            Some(event) => event,
+                            None => continue,
+                        }
+                    }
+                },
+            };
+            match self.context.clock.check(event.clock()) {
+                ClockOrdering::Ready | ClockOrdering::Stale => return Some(event),
+                ClockOrdering::NotYet => {
+                    // An event from another thread tuple must be consumed
+                    // first; hold on to this one and wait.
+                    self.pending = Some(event);
+                    if self.context.is_killed() {
+                        return None;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn translate_fd_args(&self, request: &SyscallRequest) -> SyscallRequest {
+        let mut translated = request.clone();
+        if let Some(&local) = self.fd_map.get(&(request.args[0] as i64)) {
+            translated.args[0] = local as u64;
+        }
+        translated
+    }
+
+    fn replay(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        loop {
+            let event = match self.next_event() {
+                Some(event) => event,
+                None => return self.after_wait_interrupted(request),
+            };
+            if event.sysno() == request.sysno.number() {
+                return self.consume_matching(request, event);
+            }
+            // Divergence: consult the rewrite rules (§3.4).
+            let leader_events = vec![u32::from(event.sysno())];
+            let (action, _rule) = self.rules.evaluate(request, &leader_events);
+            match action {
+                RuleAction::ExecuteExtra => {
+                    VersionCounters::add(&self.context.counters.divergences_allowed, 1);
+                    self.pending = Some(event);
+                    let translated = self.translate_fd_args(request);
+                    let outcome = self.kernel.syscall(self.context.pid, &translated);
+                    VersionCounters::add(&self.context.counters.cycles, outcome.cost);
+                    VersionCounters::add(&self.context.counters.syscalls, 1);
+                    return outcome;
+                }
+                RuleAction::SkipLeaderEvent => {
+                    VersionCounters::add(&self.context.counters.divergences_allowed, 1);
+                    self.context.clock.observe(event.clock());
+                    continue;
+                }
+                RuleAction::Kill => {
+                    VersionCounters::add(&self.context.counters.divergences_killed, 1);
+                    self.context.killed.store(true, Ordering::Release);
+                    panic!(
+                        "varan: follower {} killed: attempted {} while leader executed {}",
+                        self.context.index,
+                        request.sysno.name(),
+                        event.sysno()
+                    );
+                }
+            }
+        }
+    }
+
+    fn consume_matching(&mut self, request: &SyscallRequest, event: Event) -> SyscallOutcome {
+        self.context.clock.observe(event.clock());
+        let payload = if event.has_payload() {
+            Some(self.pool.read(event.shared()))
+        } else {
+            None
+        };
+        let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0);
+        let mut fds = 0usize;
+        if request.sysno.creates_fd() && event.result() >= 0 {
+            self.drain_fd_channel();
+            fds = 1;
+        }
+        let overhead =
+            self.costs
+                .follower_overhead(request.sysno.is_virtual(), payload_len, fds);
+        VersionCounters::add(&self.context.counters.monitor_cycles, overhead);
+        VersionCounters::add(&self.context.counters.events, 1);
+        VersionCounters::add(&self.context.counters.syscalls, 1);
+        let mut outcome = SyscallOutcome::ok(request.sysno, event.result(), overhead);
+        if let Some(data) = payload {
+            outcome = outcome.with_data(data);
+        }
+        if fds > 0 {
+            outcome = outcome.with_fd(event.result() as i32);
+        }
+        outcome
+    }
+
+    /// Handles a request whose event wait was interrupted by a promotion or a
+    /// kill verdict.
+    fn after_wait_interrupted(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        if self.context.is_promoted() {
+            self.ensure_promoted();
+            // The interrupted call is restarted and executed by the new
+            // leader, mirroring the -ERESTARTSYS handling in §3.2.
+            VersionCounters::add(&self.context.counters.restarts, 1);
+            return self.leader_execute(request);
+        }
+        // Killed: unwind this version.
+        panic!(
+            "varan: follower {} killed while waiting for events",
+            self.context.index
+        );
+    }
+
+    fn ensure_promoted(&mut self) {
+        if self.promotion_handled {
+            return;
+        }
+        self.promotion_handled = true;
+        self.table.promote_to_leader();
+        self.consumer.unsubscribe();
+    }
+
+    fn leader_execute(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        let translated = self.translate_fd_args(request);
+        let core = self
+            .promoted_core
+            .as_mut()
+            .expect("promoted follower has a leader core");
+        core.execute_and_record(&translated, &self.context.clock, &self.context.counters)
+    }
+
+    fn execute_locally(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        let translated = self.translate_fd_args(request);
+        let outcome = self.kernel.syscall(self.context.pid, &translated);
+        VersionCounters::add(&self.context.counters.cycles, outcome.cost);
+        VersionCounters::add(&self.context.counters.local_calls, 1);
+        VersionCounters::add(&self.context.counters.syscalls, 1);
+        VersionCounters::add(
+            &self.context.counters.monitor_cycles,
+            self.costs.intercept_cost(request.sysno.is_virtual()),
+        );
+        outcome
+    }
+}
+
+impl SyscallInterface for FollowerMonitor {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        if self.context.is_promoted() {
+            self.ensure_promoted();
+            return match self.table.action(request.sysno) {
+                HandlerAction::ExecuteLocally => self.execute_locally(request),
+                HandlerAction::Deny => {
+                    SyscallOutcome::err(request.sysno, Errno::ENOSYS, self.costs.intercept)
+                }
+                _ => self.leader_execute(request),
+            };
+        }
+        match self.table.action(request.sysno) {
+            HandlerAction::ExecuteLocally => self.execute_locally(request),
+            HandlerAction::Deny => {
+                SyscallOutcome::err(request.sysno, Errno::ENOSYS, self.costs.intercept)
+            }
+            _ => self.replay(request),
+        }
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let consumer_slot = self.consumer.index();
+        let consumer = self
+            .rings
+            .ring(tid as usize)
+            .consumer(consumer_slot)
+            .unwrap_or_else(|err| {
+                panic!(
+                    "varan: no free ring for thread {tid} (increase max_thread_tuples): {err}"
+                )
+            });
+        let core = LeaderCore::new(
+            self.kernel.clone(),
+            self.context.pid,
+            tid,
+            Arc::clone(&self.rings),
+            Arc::clone(&self.promoted_core.as_ref().expect("core").pool),
+            Arc::clone(&self.promoted_core.as_ref().expect("core").followers),
+            self.costs.clone(),
+            Arc::clone(&self.promoted_core.as_ref().expect("core").sampler),
+        );
+        Box::new(FollowerMonitor {
+            kernel: self.kernel.clone(),
+            context: self.context.clone(),
+            table: self.table.clone(),
+            consumer,
+            pool: Arc::clone(&self.pool),
+            rules: Arc::clone(&self.rules),
+            costs: self.costs.clone(),
+            fd_map: self.fd_map.clone(),
+            pending: None,
+            promoted_core: Some(core),
+            promotion_handled: self.promotion_handled,
+            tid,
+            next_tid: Arc::clone(&self.next_tid),
+            rings: Arc::clone(&self.rings),
+        })
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        // Followers run the same computation on their own core; it counts
+        // towards their own cycle budget but never touches the leader path.
+        VersionCounters::add(&self.context.counters.cycles, cycles);
+    }
+}

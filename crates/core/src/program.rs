@@ -1,0 +1,263 @@
+//! The interface between application versions and the execution environment.
+//!
+//! A *version* (one of the N program variants run by VARAN) is expressed as a
+//! [`VersionProgram`]: a piece of code that issues system calls through a
+//! [`SyscallInterface`] it is handed at run time.  The same program can then
+//! be executed:
+//!
+//! * natively, through a [`DirectExecutor`] that forwards every call straight
+//!   to the virtual kernel (the baseline in all performance experiments);
+//! * as the **leader**, through a monitor that executes calls and records
+//!   them into the shared ring buffer; or
+//! * as a **follower**, through a monitor that replays the leader's events.
+//!
+//! This is the reproduction's equivalent of the paper's "off-the-shelf
+//! binaries": instead of rewriting machine code at load time, the monitor is
+//! interposed behind the same system-call boundary the rewriting would hook
+//! (see `DESIGN.md` for the substitution argument; the machine-code half of
+//! the mechanism is exercised separately by `varan-rewrite`).
+
+use varan_kernel::process::Pid;
+use varan_kernel::signal::Signal;
+use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::Kernel;
+
+/// How a version's execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramExit {
+    /// The program ran to completion and exited with the given status.
+    Exited(i32),
+    /// The program crashed with the given signal (e.g. the segmentation
+    /// fault exercised by the transparent-failover experiments, §5.1).
+    Crashed(Signal),
+}
+
+impl ProgramExit {
+    /// Returns `true` if the program terminated normally.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, ProgramExit::Exited(_))
+    }
+}
+
+/// The system-call interface handed to a running version.
+///
+/// All interaction with the outside world goes through [`syscall`]; the
+/// provided methods are thin typed wrappers used by the miniature
+/// applications.
+///
+/// [`syscall`]: SyscallInterface::syscall
+pub trait SyscallInterface: Send {
+    /// Issues a system call and returns its outcome.
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome;
+
+    /// Creates an interface for a new application thread (a new thread tuple
+    /// with its own ring buffer, §3.3.3).
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface>;
+
+    /// Accounts for `cycles` of user-space computation performed by the
+    /// version (request parsing, hashing, template rendering, ...).
+    ///
+    /// Computation is process-local: it is never streamed between versions,
+    /// it only contributes to the version's own cycle accounting, which is
+    /// how the simulator captures the compute-to-syscall ratio that
+    /// determines how well monitor overhead amortises.
+    fn cpu_work(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// `open(path, flags)`, returning the descriptor or a negative errno.
+    fn open(&mut self, path: &str, flags: u64) -> i64 {
+        self.syscall(&SyscallRequest::open(path, flags)).result
+    }
+
+    /// `close(fd)`.
+    fn close(&mut self, fd: i32) -> i64 {
+        self.syscall(&SyscallRequest::close(fd)).result
+    }
+
+    /// `read(fd, len)`, returning the bytes read (empty on EOF or error).
+    fn read(&mut self, fd: i32, len: usize) -> Vec<u8> {
+        self.syscall(&SyscallRequest::read(fd, len))
+            .data
+            .unwrap_or_default()
+    }
+
+    /// `write(fd, data)`, returning the number of bytes written or an errno.
+    fn write(&mut self, fd: i32, data: &[u8]) -> i64 {
+        self.syscall(&SyscallRequest::write(fd, data.to_vec())).result
+    }
+
+    /// `socket()`.
+    fn socket(&mut self) -> i64 {
+        self.syscall(&SyscallRequest::socket()).result
+    }
+
+    /// `bind(fd, port)`.
+    fn bind(&mut self, fd: i32, port: u16) -> i64 {
+        self.syscall(&SyscallRequest::bind(fd, port)).result
+    }
+
+    /// `listen(fd, backlog)`.
+    fn listen(&mut self, fd: i32, backlog: u32) -> i64 {
+        self.syscall(&SyscallRequest::listen(fd, backlog)).result
+    }
+
+    /// `accept(fd)`, returning the new descriptor or a negative errno.
+    fn accept(&mut self, fd: i32) -> i64 {
+        self.syscall(&SyscallRequest::accept(fd)).result
+    }
+
+    /// `connect(fd, port)`.
+    fn connect(&mut self, fd: i32, port: u16) -> i64 {
+        self.syscall(&SyscallRequest::connect(fd, port)).result
+    }
+
+    /// `time(NULL)`.
+    fn time(&mut self) -> i64 {
+        self.syscall(&SyscallRequest::time()).result
+    }
+
+    /// `exit_group(status)`.
+    fn exit(&mut self, status: i32) -> i64 {
+        self.syscall(&SyscallRequest::exit(status)).result
+    }
+}
+
+/// One of the N program versions run by the framework.
+///
+/// Implementations live in `varan-apps`; the monitor is oblivious to how the
+/// versions were produced (different revisions, sanitized builds, diversified
+/// variants — §7 of the paper).
+pub trait VersionProgram: Send {
+    /// Human-readable name of this version (e.g. `"redis-7fb16ba"`).
+    fn name(&self) -> String;
+
+    /// Runs the version to completion against the given interface.
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit;
+}
+
+/// Executes a program natively: every system call goes straight to the
+/// kernel, with no monitor in between.  Used for baseline measurements.
+#[derive(Debug, Clone)]
+pub struct DirectExecutor {
+    kernel: Kernel,
+    pid: Pid,
+}
+
+impl DirectExecutor {
+    /// Creates an executor for a fresh process named `name`.
+    #[must_use]
+    pub fn new(kernel: &Kernel, name: &str) -> Self {
+        let pid = kernel.spawn_process(name);
+        DirectExecutor {
+            kernel: kernel.clone(),
+            pid,
+        }
+    }
+
+    /// Wraps an existing process.
+    #[must_use]
+    pub fn for_pid(kernel: &Kernel, pid: Pid) -> Self {
+        DirectExecutor {
+            kernel: kernel.clone(),
+            pid,
+        }
+    }
+
+    /// The process this executor issues calls as.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+impl SyscallInterface for DirectExecutor {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        self.kernel.syscall(self.pid, request)
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        // Threads share the process; each gets its own handle.
+        Box::new(self.clone())
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        self.kernel.charge_compute(cycles);
+    }
+}
+
+/// Runs `program` natively to completion and returns its exit status along
+/// with the cycles the kernel charged to it.
+pub fn run_native(kernel: &Kernel, program: &mut dyn VersionProgram) -> (ProgramExit, u64) {
+    let before = kernel.stats().total_cycles;
+    let mut executor = DirectExecutor::new(kernel, &program.name());
+    let exit = program.run(&mut executor);
+    let after = kernel.stats().total_cycles;
+    (exit, after - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_kernel::Sysno;
+
+    /// A trivial program used by the unit tests.
+    struct CountdownProgram {
+        iterations: u32,
+    }
+
+    impl VersionProgram for CountdownProgram {
+        fn name(&self) -> String {
+            "countdown".to_owned()
+        }
+
+        fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+            for _ in 0..self.iterations {
+                sys.time();
+                sys.write(1, b"tick\n");
+            }
+            sys.exit(0);
+            ProgramExit::Exited(0)
+        }
+    }
+
+    #[test]
+    fn direct_executor_reaches_the_kernel() {
+        let kernel = Kernel::new();
+        let mut executor = DirectExecutor::new(&kernel, "direct");
+        assert!(executor.time() >= 1_426_464_000);
+        assert_eq!(executor.write(1, b"hello"), 5);
+        let fd = executor.open("/dev/null", 0);
+        assert!(fd >= 3);
+        assert_eq!(executor.close(fd as i32), 0);
+        assert_eq!(executor.close(fd as i32), varan_kernel::Errno::EBADF.as_ret());
+    }
+
+    #[test]
+    fn run_native_accounts_cycles() {
+        let kernel = Kernel::new();
+        let mut program = CountdownProgram { iterations: 10 };
+        let (exit, cycles) = run_native(&kernel, &mut program);
+        assert_eq!(exit, ProgramExit::Exited(0));
+        assert!(exit.is_clean());
+        assert!(cycles > 0);
+        let stats = kernel.stats();
+        assert_eq!(stats.syscalls.get(&Sysno::Time), Some(&10));
+        assert_eq!(stats.syscalls.get(&Sysno::Write), Some(&10));
+    }
+
+    #[test]
+    fn spawned_thread_interfaces_share_the_process() {
+        let kernel = Kernel::new();
+        let mut executor = DirectExecutor::new(&kernel, "threads");
+        let mut worker = executor.spawn_thread();
+        worker.write(1, b"from worker");
+        assert_eq!(kernel.console_output(executor.pid()), b"from worker");
+    }
+
+    #[test]
+    fn crashed_exit_is_not_clean() {
+        assert!(!ProgramExit::Crashed(Signal::Sigsegv).is_clean());
+    }
+}

@@ -1,0 +1,305 @@
+//! System-call sequence rewrite rules (§2.3 and §3.4).
+//!
+//! When a follower's next system call does not match the next event streamed
+//! by the leader, the follower consults its rewrite rules before giving up.
+//! Rules are BPF programs in the seccomp dialect with VARAN's `event`
+//! extension (see `varan-bpf`): the filter inspects the follower's attempted
+//! call (`ld [0]`, arguments at `ld [16]`…) and the leader's upcoming events
+//! (`ld event[k]`), and returns `SECCOMP_RET_ALLOW` to permit the divergence
+//! or `SECCOMP_RET_KILL` to terminate the follower.
+//!
+//! Two rule lists exist, matching the two divergence categories from §2.3:
+//!
+//! * **addition** rules fire when the *follower* wants to execute a call the
+//!   leader did not (the follower executes it locally and the leader's event
+//!   stream is left untouched);
+//! * **removal** rules fire when the *leader* executed a call the follower
+//!   does not issue (the leader's event is skipped).
+//!
+//! Coalescing patterns are expressed as a combination of the two.
+
+use varan_bpf::asm::assemble;
+use varan_bpf::seccomp::{RetValue, SeccompData};
+use varan_bpf::vm::{FilterContext, Vm};
+use varan_bpf::Program;
+use varan_kernel::syscall::SyscallRequest;
+
+use crate::error::CoreError;
+
+/// How a detected divergence should be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleAction {
+    /// The follower executes its additional system call locally and retries
+    /// matching against the same leader event.
+    ExecuteExtra,
+    /// The leader's event is dropped and the follower retries matching its
+    /// call against the next event.
+    SkipLeaderEvent,
+    /// The follower is killed (no rule allowed the divergence).
+    Kill,
+}
+
+/// A compiled rewrite rule.
+#[derive(Debug, Clone)]
+struct Rule {
+    name: String,
+    program: Program,
+}
+
+/// The follower-side rewrite-rule engine.
+#[derive(Debug, Clone, Default)]
+pub struct RuleEngine {
+    addition_rules: Vec<Rule>,
+    removal_rules: Vec<Rule>,
+}
+
+impl RuleEngine {
+    /// Creates an engine with no rules (any divergence kills the follower,
+    /// which is the behaviour of prior lock-step NVX systems).
+    #[must_use]
+    pub fn new() -> Self {
+        RuleEngine::default()
+    }
+
+    /// Returns `true` if no rules are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addition_rules.is_empty() && self.removal_rules.is_empty()
+    }
+
+    /// Number of installed rules (addition + removal).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addition_rules.len() + self.removal_rules.len()
+    }
+
+    /// Installs an *addition* rule from BPF assembly text (the format of
+    /// Listing 1 in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Rule`] if the program does not assemble or fails
+    /// verification.
+    pub fn add_addition_rule(&mut self, name: &str, source: &str) -> Result<(), CoreError> {
+        let program = assemble(source).map_err(|err| CoreError::Rule(err.to_string()))?;
+        self.addition_rules.push(Rule {
+            name: name.to_owned(),
+            program,
+        });
+        Ok(())
+    }
+
+    /// Installs a *removal* rule from BPF assembly text.  The filter sees the
+    /// leader's surplus event as `ld event[0]` and the follower's next call
+    /// as `ld [0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Rule`] if the program does not assemble or fails
+    /// verification.
+    pub fn add_removal_rule(&mut self, name: &str, source: &str) -> Result<(), CoreError> {
+        let program = assemble(source).map_err(|err| CoreError::Rule(err.to_string()))?;
+        self.removal_rules.push(Rule {
+            name: name.to_owned(),
+            program,
+        });
+        Ok(())
+    }
+
+    /// Convenience: installs an addition rule allowing the follower to
+    /// execute `extra` whenever the leader's next event is `leader_next`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors (should not happen for generated rules).
+    pub fn allow_extra_call(
+        &mut self,
+        name: &str,
+        extra: u16,
+        leader_next: u16,
+    ) -> Result<(), CoreError> {
+        let source = format!(
+            "ld event[0]\n jeq #{leader_next}, check\n jmp bad\ncheck: ld [0]\n jeq #{extra}, good\nbad: ret #0\ngood: ret #0x7fff0000\n"
+        );
+        self.add_addition_rule(name, &source)
+    }
+
+    /// Convenience: installs a removal rule allowing the leader's `surplus`
+    /// event to be skipped whenever the follower's next call is
+    /// `follower_next`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors (should not happen for generated rules).
+    pub fn allow_skipped_call(
+        &mut self,
+        name: &str,
+        surplus: u16,
+        follower_next: u16,
+    ) -> Result<(), CoreError> {
+        let source = format!(
+            "ld event[0]\n jeq #{surplus}, check\n jmp bad\ncheck: ld [0]\n jeq #{follower_next}, good\nbad: ret #0\ngood: ret #0x7fff0000\n"
+        );
+        self.add_removal_rule(name, &source)
+    }
+
+    fn run_rules(
+        rules: &[Rule],
+        follower: &SyscallRequest,
+        leader_events: &[u32],
+    ) -> Option<String> {
+        let data = SeccompData::for_syscall(i32::from(follower.sysno.number()), &follower.args);
+        let context = FilterContext::new(data).with_leader_events(leader_events.to_vec());
+        for rule in rules {
+            let vm = match Vm::new(&rule.program) {
+                Ok(vm) => vm,
+                Err(_) => continue,
+            };
+            if let Ok(verdict) = vm.run(&context) {
+                if RetValue::decode(verdict) == RetValue::Allow {
+                    return Some(rule.name.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolves a divergence: the follower attempted `follower` while the
+    /// leader's upcoming events (current first) are `leader_events`.
+    ///
+    /// Returns the action to take and, when a rule fired, its name.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        follower: &SyscallRequest,
+        leader_events: &[u32],
+    ) -> (RuleAction, Option<String>) {
+        if let Some(name) = Self::run_rules(&self.addition_rules, follower, leader_events) {
+            return (RuleAction::ExecuteExtra, Some(name));
+        }
+        if let Some(name) = Self::run_rules(&self.removal_rules, follower, leader_events) {
+            return (RuleAction::SkipLeaderEvent, Some(name));
+        }
+        (RuleAction::Kill, None)
+    }
+
+    /// The exact rule from Listing 1 of the paper, which allows Lighttpd
+    /// revision 2436 (follower) to issue its additional `getuid`/`getgid`
+    /// checks while running against revision 2435 as leader.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for signature consistency.
+    pub fn with_listing_1(mut self) -> Result<Self, CoreError> {
+        self.add_addition_rule(
+            "lighttpd-2436-issetugid",
+            r"
+            ld event[0]
+            jeq #108, getegid   /* __NR_getegid */
+            jeq #2, open        /* __NR_open */
+            jmp bad
+        getegid:
+            ld [0]              /* offsetof(struct seccomp_data, nr) */
+            jeq #102, good      /* __NR_getuid */
+        open:
+            ld [0]
+            jeq #104, good      /* __NR_getgid */
+        bad: ret #0             /* SECCOMP_RET_KILL */
+        good: ret #0x7fff0000   /* SECCOMP_RET_ALLOW */
+        ",
+        )?;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_kernel::Sysno;
+
+    fn request(sysno: Sysno) -> SyscallRequest {
+        SyscallRequest::new(sysno, [0; 6])
+    }
+
+    #[test]
+    fn empty_engine_kills_all_divergences() {
+        let engine = RuleEngine::new();
+        assert!(engine.is_empty());
+        let (action, rule) = engine.evaluate(&request(Sysno::Getuid), &[108]);
+        assert_eq!(action, RuleAction::Kill);
+        assert!(rule.is_none());
+    }
+
+    #[test]
+    fn listing_1_allows_the_lighttpd_divergence() {
+        let engine = RuleEngine::new().with_listing_1().unwrap();
+        assert_eq!(engine.len(), 1);
+        // Follower wants getuid (102) while leader executed getegid (108).
+        let (action, rule) = engine.evaluate(&request(Sysno::Getuid), &[108]);
+        assert_eq!(action, RuleAction::ExecuteExtra);
+        assert_eq!(rule.as_deref(), Some("lighttpd-2436-issetugid"));
+        // Follower wants getgid (104) while the leader is about to open (2).
+        let (action, _) = engine.evaluate(&request(Sysno::Getgid), &[2]);
+        assert_eq!(action, RuleAction::ExecuteExtra);
+        // Anything else is killed.
+        let (action, _) = engine.evaluate(&request(Sysno::Write), &[108]);
+        assert_eq!(action, RuleAction::Kill);
+    }
+
+    #[test]
+    fn generated_addition_rules_match_only_their_pair() {
+        let mut engine = RuleEngine::new();
+        engine
+            .allow_extra_call("read-urandom", Sysno::Open.number(), Sysno::Open.number())
+            .unwrap();
+        engine
+            .allow_extra_call("extra-read", Sysno::Read.number(), Sysno::Open.number())
+            .unwrap();
+        let (action, rule) = engine.evaluate(&request(Sysno::Read), &[u32::from(Sysno::Open.number())]);
+        assert_eq!(action, RuleAction::ExecuteExtra);
+        assert_eq!(rule.as_deref(), Some("extra-read"));
+        let (action, _) = engine.evaluate(&request(Sysno::Write), &[u32::from(Sysno::Open.number())]);
+        assert_eq!(action, RuleAction::Kill);
+    }
+
+    #[test]
+    fn removal_rules_skip_leader_events() {
+        let mut engine = RuleEngine::new();
+        engine
+            .allow_skipped_call("leader-extra-fcntl", Sysno::Fcntl.number(), Sysno::Write.number())
+            .unwrap();
+        let (action, rule) = engine.evaluate(
+            &request(Sysno::Write),
+            &[u32::from(Sysno::Fcntl.number()), u32::from(Sysno::Write.number())],
+        );
+        assert_eq!(action, RuleAction::SkipLeaderEvent);
+        assert_eq!(rule.as_deref(), Some("leader-extra-fcntl"));
+    }
+
+    #[test]
+    fn addition_rules_take_precedence_over_removal_rules() {
+        let mut engine = RuleEngine::new();
+        engine
+            .allow_extra_call("extra", Sysno::Getuid.number(), Sysno::Getegid.number())
+            .unwrap();
+        engine
+            .allow_skipped_call("skip", Sysno::Getegid.number(), Sysno::Getuid.number())
+            .unwrap();
+        let (action, _) = engine.evaluate(
+            &request(Sysno::Getuid),
+            &[u32::from(Sysno::Getegid.number())],
+        );
+        assert_eq!(action, RuleAction::ExecuteExtra);
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        let mut engine = RuleEngine::new();
+        let err = engine.add_addition_rule("broken", "frobnicate #1").unwrap_err();
+        assert!(matches!(err, CoreError::Rule(_)));
+        let err = engine
+            .add_removal_rule("no-return", "ld [0]")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rule(_)));
+    }
+}

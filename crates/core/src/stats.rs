@@ -1,0 +1,191 @@
+//! Per-version and system-wide execution statistics.
+//!
+//! The evaluation harness derives every figure of the paper from these
+//! counters: cycles charged to the leader (throughput overhead), events
+//! streamed, ring backlog ("log distance", §5.3), divergences resolved by
+//! rewrite rules (§5.2), descriptor transfers, and failover promotions
+//! (§5.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counters updated by one version's monitor.
+#[derive(Debug, Default)]
+pub struct VersionCounters {
+    /// System calls intercepted by this version's monitor.
+    pub syscalls: AtomicU64,
+    /// Cycles charged for this version's own kernel executions.
+    pub cycles: AtomicU64,
+    /// Cycles attributed to monitor bookkeeping (recording or replaying).
+    pub monitor_cycles: AtomicU64,
+    /// Events published (leader) or consumed (follower).
+    pub events: AtomicU64,
+    /// Process-local calls executed without streaming.
+    pub local_calls: AtomicU64,
+    /// Descriptor transfers sent (leader) or received (follower).
+    pub fd_transfers: AtomicU64,
+    /// Divergences permitted by a rewrite rule.
+    pub divergences_allowed: AtomicU64,
+    /// Divergences that killed the follower.
+    pub divergences_killed: AtomicU64,
+    /// System calls restarted (`-ERESTARTSYS`), e.g. after a promotion.
+    pub restarts: AtomicU64,
+}
+
+impl VersionCounters {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        VersionCounters::default()
+    }
+
+    /// Adds `value` to a counter.
+    pub fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> VersionStats {
+        VersionStats {
+            syscalls: self.syscalls.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            monitor_cycles: self.monitor_cycles.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            local_calls: self.local_calls.load(Ordering::Relaxed),
+            fd_transfers: self.fd_transfers.load(Ordering::Relaxed),
+            divergences_allowed: self.divergences_allowed.load(Ordering::Relaxed),
+            divergences_killed: self.divergences_killed.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of [`VersionCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// System calls intercepted.
+    pub syscalls: u64,
+    /// Kernel cycles charged to this version.
+    pub cycles: u64,
+    /// Monitor bookkeeping cycles.
+    pub monitor_cycles: u64,
+    /// Events published or consumed.
+    pub events: u64,
+    /// Process-local calls executed.
+    pub local_calls: u64,
+    /// Descriptor transfers.
+    pub fd_transfers: u64,
+    /// Divergences allowed by rewrite rules.
+    pub divergences_allowed: u64,
+    /// Divergences that killed the follower.
+    pub divergences_killed: u64,
+    /// Restarted system calls.
+    pub restarts: u64,
+}
+
+impl VersionStats {
+    /// Total cycles attributed to this version (kernel work plus monitor
+    /// bookkeeping), the quantity used for overhead calculations.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles + self.monitor_cycles
+    }
+}
+
+/// A shareable handle to one version's counters.
+pub type SharedCounters = Arc<VersionCounters>;
+
+/// The report produced by one N-version execution.
+#[derive(Debug, Clone, Default)]
+pub struct NvxReport {
+    /// Per-version statistics, index 0 being the initial leader.
+    pub versions: Vec<VersionStats>,
+    /// Exit descriptions per version (`None` if the version never finished).
+    pub exits: Vec<Option<String>>,
+    /// Number of leader promotions that occurred (§5.1).
+    pub promotions: u64,
+    /// Number of followers discarded after crashes or kill verdicts.
+    pub discarded_followers: u64,
+    /// Maximum ring backlog observed for any follower ("log distance").
+    pub max_log_distance: u64,
+    /// Median ring backlog observed ("median size of the log", §5.3).
+    pub median_log_distance: u64,
+    /// Total events published into all ring buffers.
+    pub events_published: u64,
+    /// Wall-clock duration of the run in nanoseconds (host time).
+    pub wall_nanos: u64,
+}
+
+impl NvxReport {
+    /// Cycles charged to the leader path (version 0 unless promoted).
+    #[must_use]
+    pub fn leader_cycles(&self) -> u64 {
+        self.versions.first().map(VersionStats::total_cycles).unwrap_or(0)
+    }
+
+    /// Overhead of this run relative to a native run that consumed
+    /// `native_cycles`, expressed as a ratio (1.0 = no overhead).
+    #[must_use]
+    pub fn overhead_vs(&self, native_cycles: u64) -> f64 {
+        if native_cycles == 0 {
+            return 1.0;
+        }
+        self.leader_cycles() as f64 / native_cycles as f64
+    }
+
+    /// Returns `true` if every version ran to completion without crashing.
+    #[must_use]
+    pub fn all_clean(&self) -> bool {
+        self.exits.iter().all(|exit| {
+            exit.as_deref()
+                .map(|text| text.starts_with("exited"))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_round_trip() {
+        let counters = VersionCounters::new();
+        VersionCounters::add(&counters.syscalls, 10);
+        VersionCounters::add(&counters.cycles, 1000);
+        VersionCounters::add(&counters.monitor_cycles, 200);
+        let stats = counters.snapshot();
+        assert_eq!(stats.syscalls, 10);
+        assert_eq!(stats.total_cycles(), 1200);
+    }
+
+    #[test]
+    fn overhead_is_relative_to_native() {
+        let report = NvxReport {
+            versions: vec![VersionStats {
+                cycles: 1500,
+                monitor_cycles: 0,
+                ..VersionStats::default()
+            }],
+            ..NvxReport::default()
+        };
+        assert!((report.overhead_vs(1000) - 1.5).abs() < 1e-9);
+        assert!((report.overhead_vs(0) - 1.0).abs() < 1e-9);
+        assert_eq!(report.leader_cycles(), 1500);
+    }
+
+    #[test]
+    fn all_clean_requires_exit_strings() {
+        let mut report = NvxReport {
+            exits: vec![Some("exited(0)".into()), Some("exited(0)".into())],
+            ..NvxReport::default()
+        };
+        assert!(report.all_clean());
+        report.exits.push(Some("crashed(Sigsegv)".into()));
+        assert!(!report.all_clean());
+        report.exits.pop();
+        report.exits.push(None);
+        assert!(!report.all_clean());
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-version system call tables (§3.2 of the paper).
+//!
+//! After binary rewriting, every intercepted system call lands in the
+//! monitor's entry point, which "consults an internal system call table to
+//! check whether there is a handler installed for that particular system
+//! call".  The only difference between the leader and the followers is this
+//! table: the leader's handlers execute the call and record it, the
+//! followers' handlers replay it from the ring buffer.  The table can be
+//! swapped at run time, which is how a follower is promoted to leader during
+//! transparent failover (§5.1).
+
+use std::collections::HashMap;
+
+use varan_kernel::sysno::{Sysno, ALL_SYSCALLS};
+
+/// What the monitor's entry point does with an intercepted system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandlerAction {
+    /// Execute the call against the kernel and record the result into the
+    /// ring buffer (leader behaviour).
+    ExecuteAndRecord,
+    /// Read the result from the ring buffer without executing the call
+    /// (follower behaviour).
+    Replay,
+    /// Execute the call locally without recording or replaying it
+    /// (process-local calls such as `mmap`, executed by every version).
+    ExecuteLocally,
+    /// Execute the call and also append it to a persistent log (the
+    /// record-replay recorder client, §5.4).
+    ExecuteAndPersist,
+    /// Refuse the call with `ENOSYS` (used to fence off unsupported calls).
+    Deny,
+}
+
+/// The role a version currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The version that interacts with the outside world.
+    Leader,
+    /// A version that replays the leader's events.
+    Follower,
+}
+
+/// A per-version dispatch table mapping system calls to handler actions.
+#[derive(Debug, Clone)]
+pub struct SyscallTable {
+    role: Role,
+    default_action: HandlerAction,
+    overrides: HashMap<Sysno, HandlerAction>,
+}
+
+impl SyscallTable {
+    /// The table installed in the leader: execute and record everything,
+    /// except process-local calls which are executed without recording.
+    #[must_use]
+    pub fn leader() -> Self {
+        let mut table = SyscallTable {
+            role: Role::Leader,
+            default_action: HandlerAction::ExecuteAndRecord,
+            overrides: HashMap::new(),
+        };
+        for &sysno in ALL_SYSCALLS {
+            if sysno.is_process_local() {
+                table.overrides.insert(sysno, HandlerAction::ExecuteLocally);
+            }
+        }
+        table
+    }
+
+    /// The table installed in followers: replay everything, except
+    /// process-local calls which are executed locally.
+    #[must_use]
+    pub fn follower() -> Self {
+        let mut table = SyscallTable {
+            role: Role::Follower,
+            default_action: HandlerAction::Replay,
+            overrides: HashMap::new(),
+        };
+        for &sysno in ALL_SYSCALLS {
+            if sysno.is_process_local() {
+                table.overrides.insert(sysno, HandlerAction::ExecuteLocally);
+            }
+        }
+        table
+    }
+
+    /// The table installed in the record-replay recorder (§5.4): like the
+    /// leader, but every recorded call is also persisted.
+    #[must_use]
+    pub fn recorder() -> Self {
+        let mut table = SyscallTable::leader();
+        table.default_action = HandlerAction::ExecuteAndPersist;
+        table
+    }
+
+    /// The role this table corresponds to.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The action installed for `sysno`.
+    #[must_use]
+    pub fn action(&self, sysno: Sysno) -> HandlerAction {
+        self.overrides
+            .get(&sysno)
+            .copied()
+            .unwrap_or(self.default_action)
+    }
+
+    /// Installs a custom handler for one system call, mirroring the Python
+    /// template generator the prototype ships for producing new tables.
+    pub fn install(&mut self, sysno: Sysno, action: HandlerAction) -> &mut Self {
+        self.overrides.insert(sysno, action);
+        self
+    }
+
+    /// Switches this table to the leader configuration in place — the
+    /// operation performed on a promoted follower during failover.
+    pub fn promote_to_leader(&mut self) {
+        let replacement = SyscallTable::leader();
+        self.role = replacement.role;
+        self.default_action = replacement.default_action;
+        self.overrides = replacement.overrides;
+    }
+
+    /// Number of system calls with explicit (non-default) handlers.
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_executes_and_records() {
+        let table = SyscallTable::leader();
+        assert_eq!(table.role(), Role::Leader);
+        assert_eq!(table.action(Sysno::Write), HandlerAction::ExecuteAndRecord);
+        assert_eq!(table.action(Sysno::Open), HandlerAction::ExecuteAndRecord);
+        // Process-local calls are not streamed.
+        assert_eq!(table.action(Sysno::Mmap), HandlerAction::ExecuteLocally);
+        assert_eq!(table.action(Sysno::Futex), HandlerAction::ExecuteLocally);
+    }
+
+    #[test]
+    fn follower_replays() {
+        let table = SyscallTable::follower();
+        assert_eq!(table.role(), Role::Follower);
+        assert_eq!(table.action(Sysno::Write), HandlerAction::Replay);
+        assert_eq!(table.action(Sysno::Time), HandlerAction::Replay);
+        assert_eq!(table.action(Sysno::Brk), HandlerAction::ExecuteLocally);
+    }
+
+    #[test]
+    fn promotion_switches_the_table() {
+        let mut table = SyscallTable::follower();
+        table.promote_to_leader();
+        assert_eq!(table.role(), Role::Leader);
+        assert_eq!(table.action(Sysno::Write), HandlerAction::ExecuteAndRecord);
+    }
+
+    #[test]
+    fn custom_handlers_can_be_installed() {
+        let mut table = SyscallTable::leader();
+        table.install(Sysno::Getrandom, HandlerAction::Deny);
+        assert_eq!(table.action(Sysno::Getrandom), HandlerAction::Deny);
+        assert!(table.override_count() > 0);
+    }
+
+    #[test]
+    fn recorder_persists_by_default() {
+        let table = SyscallTable::recorder();
+        assert_eq!(table.action(Sysno::Write), HandlerAction::ExecuteAndPersist);
+        assert_eq!(table.action(Sysno::Mmap), HandlerAction::ExecuteLocally);
+    }
+}

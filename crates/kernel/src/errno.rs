@@ -1,0 +1,140 @@
+//! Error numbers returned by the virtual kernel.
+//!
+//! System calls report failure the Linux way: a negative return value whose
+//! magnitude is the errno.  [`Errno`] enumerates the values the virtual
+//! kernel uses, plus `ERESTARTSYS`, which the monitor's system-call entry
+//! point recognises when restarting interrupted calls during transparent
+//! failover (§3.2, §5.1 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error numbers used by the virtual kernel (Linux values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Try again (non-blocking operation would block).
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// File exists.
+    EEXIST = 17,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files.
+    EMFILE = 24,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Address already in use.
+    EADDRINUSE = 98,
+    /// Connection reset by peer.
+    ECONNRESET = 104,
+    /// Transport endpoint is not connected.
+    ENOTCONN = 107,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+    /// Restart the interrupted system call (kernel-internal).
+    ERESTARTSYS = 512,
+}
+
+impl Errno {
+    /// The negative return value carrying this errno.
+    #[must_use]
+    pub fn as_ret(self) -> i64 {
+        -(self as i32 as i64)
+    }
+
+    /// Decodes a negative system-call result into an errno, if it is one.
+    #[must_use]
+    pub fn from_ret(value: i64) -> Option<Errno> {
+        if value >= 0 {
+            return None;
+        }
+        let code = (-value) as i32;
+        Some(match code {
+            1 => Errno::EPERM,
+            2 => Errno::ENOENT,
+            4 => Errno::EINTR,
+            9 => Errno::EBADF,
+            11 => Errno::EAGAIN,
+            12 => Errno::ENOMEM,
+            13 => Errno::EACCES,
+            17 => Errno::EEXIST,
+            20 => Errno::ENOTDIR,
+            21 => Errno::EISDIR,
+            22 => Errno::EINVAL,
+            24 => Errno::EMFILE,
+            28 => Errno::ENOSPC,
+            32 => Errno::EPIPE,
+            38 => Errno::ENOSYS,
+            98 => Errno::EADDRINUSE,
+            104 => Errno::ECONNRESET,
+            107 => Errno::ENOTCONN,
+            111 => Errno::ECONNREFUSED,
+            512 => Errno::ERESTARTSYS,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_encoding_round_trips() {
+        for errno in [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EBADF,
+            Errno::EAGAIN,
+            Errno::EINVAL,
+            Errno::EPIPE,
+            Errno::ECONNREFUSED,
+            Errno::ERESTARTSYS,
+        ] {
+            let ret = errno.as_ret();
+            assert!(ret < 0);
+            assert_eq!(Errno::from_ret(ret), Some(errno));
+        }
+    }
+
+    #[test]
+    fn positive_values_are_not_errnos() {
+        assert_eq!(Errno::from_ret(0), None);
+        assert_eq!(Errno::from_ret(42), None);
+        assert_eq!(Errno::from_ret(-99_999), None);
+    }
+
+    #[test]
+    fn linux_numbering() {
+        assert_eq!(Errno::ENOENT.as_ret(), -2);
+        assert_eq!(Errno::EBADF.as_ret(), -9);
+        assert_eq!(Errno::ERESTARTSYS.as_ret(), -512);
+    }
+}

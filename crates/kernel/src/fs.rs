@@ -1,0 +1,406 @@
+//! The in-memory virtual file system.
+//!
+//! The VFS provides what the paper's benchmarks touch: regular files (web
+//! roots, configuration files, the queue journal), directories, and the
+//! character devices used by the micro-benchmarks and by Lighttpd revision
+//! 2524 (`/dev/null`, `/dev/zero`, `/dev/urandom`).  It is deliberately
+//! simple — a path-keyed map of nodes — because the monitors interpose on the
+//! system-call layer above it, not on its internals.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use crate::errno::Errno;
+
+/// The kinds of nodes a path can resolve to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A regular file with contents.
+    File(Vec<u8>),
+    /// A directory.
+    Directory,
+    /// `/dev/null`: reads return EOF, writes are discarded.
+    DevNull,
+    /// `/dev/zero`: reads return zero bytes, writes are discarded.
+    DevZero,
+    /// `/dev/urandom`: reads return pseudo-random bytes.
+    DevUrandom,
+}
+
+impl Node {
+    /// Returns `true` for device nodes.
+    #[must_use]
+    pub fn is_device(&self) -> bool {
+        matches!(self, Node::DevNull | Node::DevZero | Node::DevUrandom)
+    }
+
+    /// Size reported by `stat` (devices and directories report zero).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Node::File(data) => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Flags accepted by `open` (subset of the Linux values).
+pub mod flags {
+    /// Open read-only.
+    pub const O_RDONLY: u64 = 0o0;
+    /// Open write-only.
+    pub const O_WRONLY: u64 = 0o1;
+    /// Open read-write.
+    pub const O_RDWR: u64 = 0o2;
+    /// Create the file if it does not exist.
+    pub const O_CREAT: u64 = 0o100;
+    /// Truncate the file on open.
+    pub const O_TRUNC: u64 = 0o1000;
+    /// Append on every write.
+    pub const O_APPEND: u64 = 0o2000;
+    /// Non-blocking mode.
+    pub const O_NONBLOCK: u64 = 0o4000;
+}
+
+/// The in-memory file system tree.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    nodes: BTreeMap<String, Node>,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// Creates a VFS pre-populated with the standard directories and devices.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        for dir in ["/", "/dev", "/tmp", "/etc", "/var", "/var/www", "/data"] {
+            nodes.insert(dir.to_owned(), Node::Directory);
+        }
+        nodes.insert("/dev/null".to_owned(), Node::DevNull);
+        nodes.insert("/dev/zero".to_owned(), Node::DevZero);
+        nodes.insert("/dev/urandom".to_owned(), Node::DevUrandom);
+        nodes.insert(
+            "/etc/hostname".to_owned(),
+            Node::File(b"varan-testbed\n".to_vec()),
+        );
+        Vfs { nodes }
+    }
+
+    fn parent_exists(&self, path: &str) -> bool {
+        match path.rfind('/') {
+            Some(0) => true,
+            Some(index) => matches!(self.nodes.get(&path[..index]), Some(Node::Directory)),
+            None => false,
+        }
+    }
+
+    /// Looks up the node at `path`.
+    #[must_use]
+    pub fn lookup(&self, path: &str) -> Option<&Node> {
+        self.nodes.get(path)
+    }
+
+    /// Returns `true` if `path` exists.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Creates (or replaces) a regular file with the given contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the parent directory does not exist and
+    /// [`Errno::EISDIR`] if the path names an existing directory.
+    pub fn create_file(&mut self, path: &str, data: Vec<u8>) -> Result<(), Errno> {
+        if matches!(self.nodes.get(path), Some(Node::Directory)) {
+            return Err(Errno::EISDIR);
+        }
+        if !self.parent_exists(path) {
+            return Err(Errno::ENOENT);
+        }
+        self.nodes.insert(path.to_owned(), Node::File(data));
+        Ok(())
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EEXIST`] if the path already exists and
+    /// [`Errno::ENOENT`] if the parent is missing.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
+        if self.nodes.contains_key(path) {
+            return Err(Errno::EEXIST);
+        }
+        if !self.parent_exists(path) {
+            return Err(Errno::ENOENT);
+        }
+        self.nodes.insert(path.to_owned(), Node::Directory);
+        Ok(())
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the path is missing and
+    /// [`Errno::EISDIR`] for directories.
+    pub fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        match self.nodes.get(path) {
+            None => Err(Errno::ENOENT),
+            Some(Node::Directory) => Err(Errno::EISDIR),
+            Some(_) => {
+                self.nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads up to `len` bytes from `path` starting at `offset`.
+    ///
+    /// Device semantics: `/dev/null` returns EOF, `/dev/zero` returns zeroes,
+    /// `/dev/urandom` returns bytes from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] for missing paths and [`Errno::EISDIR`] for
+    /// directories.
+    pub fn read(
+        &self,
+        path: &str,
+        offset: usize,
+        len: usize,
+        rng: &mut SmallRng,
+    ) -> Result<Vec<u8>, Errno> {
+        match self.nodes.get(path) {
+            None => Err(Errno::ENOENT),
+            Some(Node::Directory) => Err(Errno::EISDIR),
+            Some(Node::DevNull) => Ok(Vec::new()),
+            Some(Node::DevZero) => Ok(vec![0u8; len]),
+            Some(Node::DevUrandom) => {
+                let mut buffer = vec![0u8; len];
+                rng.fill_bytes(&mut buffer);
+                Ok(buffer)
+            }
+            Some(Node::File(data)) => {
+                if offset >= data.len() {
+                    return Ok(Vec::new());
+                }
+                let end = (offset + len).min(data.len());
+                Ok(data[offset..end].to_vec())
+            }
+        }
+    }
+
+    /// Writes `data` to `path` at `offset` (or at the end when `append`).
+    /// Returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] for missing paths and [`Errno::EISDIR`] for
+    /// directories.
+    pub fn write(
+        &mut self,
+        path: &str,
+        offset: usize,
+        data: &[u8],
+        append: bool,
+    ) -> Result<usize, Errno> {
+        match self.nodes.get_mut(path) {
+            None => Err(Errno::ENOENT),
+            Some(Node::Directory) => Err(Errno::EISDIR),
+            Some(Node::DevNull) | Some(Node::DevZero) | Some(Node::DevUrandom) => Ok(data.len()),
+            Some(Node::File(contents)) => {
+                let start = if append { contents.len() } else { offset };
+                if start + data.len() > contents.len() {
+                    contents.resize(start + data.len(), 0);
+                }
+                contents[start..start + data.len()].copy_from_slice(data);
+                Ok(data.len())
+            }
+        }
+    }
+
+    /// Truncates a regular file to zero length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] for missing paths; devices are ignored.
+    pub fn truncate(&mut self, path: &str) -> Result<(), Errno> {
+        match self.nodes.get_mut(path) {
+            None => Err(Errno::ENOENT),
+            Some(Node::File(contents)) => {
+                contents.clear();
+                Ok(())
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Size of the node at `path` as reported by `stat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the path does not exist.
+    pub fn size(&self, path: &str) -> Result<usize, Errno> {
+        self.nodes.get(path).map(Node::size).ok_or(Errno::ENOENT)
+    }
+
+    /// Lists the direct children of a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] for missing paths and [`Errno::ENOTDIR`] for
+    /// non-directories.
+    pub fn list_dir(&self, path: &str) -> Result<Vec<String>, Errno> {
+        match self.nodes.get(path) {
+            None => return Err(Errno::ENOENT),
+            Some(Node::Directory) => {}
+            Some(_) => return Err(Errno::ENOTDIR),
+        }
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        Ok(self
+            .nodes
+            .keys()
+            .filter(|candidate| {
+                candidate.starts_with(&prefix)
+                    && candidate.len() > prefix.len()
+                    && !candidate[prefix.len()..].contains('/')
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// Total number of nodes (used by tests).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_layout_exists() {
+        let vfs = Vfs::new();
+        assert!(vfs.exists("/dev/null"));
+        assert!(vfs.exists("/dev/urandom"));
+        assert!(vfs.exists("/tmp"));
+        assert!(matches!(vfs.lookup("/dev/zero"), Some(Node::DevZero)));
+        assert!(vfs.lookup("/dev/null").unwrap().is_device());
+    }
+
+    #[test]
+    fn file_read_write_round_trip() {
+        let mut vfs = Vfs::new();
+        vfs.create_file("/var/www/index.html", b"<html>hello</html>".to_vec())
+            .unwrap();
+        let data = vfs.read("/var/www/index.html", 0, 1024, &mut rng()).unwrap();
+        assert_eq!(data, b"<html>hello</html>");
+        // Partial read with offset.
+        let tail = vfs.read("/var/www/index.html", 6, 5, &mut rng()).unwrap();
+        assert_eq!(tail, b"hello");
+        // Overwrite part of the file.
+        vfs.write("/var/www/index.html", 6, b"world", false).unwrap();
+        let data = vfs.read("/var/www/index.html", 0, 1024, &mut rng()).unwrap();
+        assert_eq!(data, b"<html>world</html>");
+        assert_eq!(vfs.size("/var/www/index.html").unwrap(), 18);
+    }
+
+    #[test]
+    fn append_extends_the_file() {
+        let mut vfs = Vfs::new();
+        vfs.create_file("/data/journal", b"a".to_vec()).unwrap();
+        vfs.write("/data/journal", 0, b"bc", true).unwrap();
+        assert_eq!(vfs.read("/data/journal", 0, 10, &mut rng()).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn device_semantics() {
+        let mut vfs = Vfs::new();
+        assert!(vfs.read("/dev/null", 0, 128, &mut rng()).unwrap().is_empty());
+        assert_eq!(vfs.read("/dev/zero", 0, 4, &mut rng()).unwrap(), vec![0; 4]);
+        let random = vfs.read("/dev/urandom", 0, 16, &mut rng()).unwrap();
+        assert_eq!(random.len(), 16);
+        assert_ne!(random, vec![0; 16]);
+        // Writes to devices succeed and are discarded.
+        assert_eq!(vfs.write("/dev/null", 0, b"discard", false).unwrap(), 7);
+    }
+
+    #[test]
+    fn urandom_is_deterministic_per_seed() {
+        let vfs = Vfs::new();
+        let a = vfs.read("/dev/urandom", 0, 8, &mut rng()).unwrap();
+        let b = vfs.read("/dev/urandom", 0, 8, &mut rng()).unwrap();
+        assert_eq!(a, b, "same seed, same bytes");
+    }
+
+    #[test]
+    fn missing_paths_and_directories_error() {
+        let mut vfs = Vfs::new();
+        assert_eq!(
+            vfs.read("/missing", 0, 1, &mut rng()).unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(vfs.write("/missing", 0, b"x", false).unwrap_err(), Errno::ENOENT);
+        assert_eq!(vfs.read("/tmp", 0, 1, &mut rng()).unwrap_err(), Errno::EISDIR);
+        assert_eq!(
+            vfs.create_file("/nodir/file", Vec::new()).unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(vfs.create_file("/tmp", Vec::new()).unwrap_err(), Errno::EISDIR);
+        assert_eq!(vfs.unlink("/tmp").unwrap_err(), Errno::EISDIR);
+        assert_eq!(vfs.unlink("/nope").unwrap_err(), Errno::ENOENT);
+        assert_eq!(vfs.size("/nope").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn mkdir_and_listing() {
+        let mut vfs = Vfs::new();
+        vfs.mkdir("/var/www/static").unwrap();
+        assert_eq!(vfs.mkdir("/var/www/static").unwrap_err(), Errno::EEXIST);
+        assert_eq!(vfs.mkdir("/a/b").unwrap_err(), Errno::ENOENT);
+        vfs.create_file("/var/www/index.html", Vec::new()).unwrap();
+        let mut children = vfs.list_dir("/var/www").unwrap();
+        children.sort();
+        assert_eq!(children, vec!["/var/www/index.html", "/var/www/static"]);
+        assert_eq!(vfs.list_dir("/dev/null").unwrap_err(), Errno::ENOTDIR);
+    }
+
+    #[test]
+    fn unlink_removes_files() {
+        let mut vfs = Vfs::new();
+        vfs.create_file("/tmp/scratch", b"x".to_vec()).unwrap();
+        vfs.unlink("/tmp/scratch").unwrap();
+        assert!(!vfs.exists("/tmp/scratch"));
+    }
+
+    #[test]
+    fn truncate_clears_contents() {
+        let mut vfs = Vfs::new();
+        vfs.create_file("/tmp/log", b"contents".to_vec()).unwrap();
+        vfs.truncate("/tmp/log").unwrap();
+        assert_eq!(vfs.size("/tmp/log").unwrap(), 0);
+        assert_eq!(vfs.truncate("/absent").unwrap_err(), Errno::ENOENT);
+    }
+}

@@ -1,0 +1,63 @@
+//! Virtual operating-system substrate for the VARAN N-version execution
+//! framework reproduction.
+//!
+//! The original VARAN runs real Linux binaries on a real kernel.  This crate
+//! is the reproduction's stand-in for that environment (see `DESIGN.md`): a
+//! deterministic, thread-safe virtual kernel exposing an x86-64-style system
+//! call ABI, against which the miniature applications in `varan-apps` are
+//! written and upon which the monitors in `varan-core` and `varan-baselines`
+//! interpose.  It provides:
+//!
+//! * [`sysno`] — the system-call numbers (x86-64 values) and names.
+//! * [`syscall`] — the [`SyscallRequest`] / [`SyscallOutcome`] ABI: arguments
+//!   by value, payloads by buffer, file-descriptor results flagged for
+//!   transfer, and a per-call cycle cost.
+//! * [`fs`] — an in-memory VFS with regular files, directories and the
+//!   devices the paper's benchmarks touch (`/dev/null`, `/dev/zero`,
+//!   `/dev/urandom`).
+//! * [`net`] — a loopback TCP-like network: listeners, connections and byte
+//!   streams, enough to host the C10k server benchmarks.
+//! * [`process`] — processes, threads and per-process file-descriptor tables.
+//! * [`signal`] — signal numbers and per-process pending sets (used by the
+//!   failover experiments).
+//! * [`time`] — the virtual monotonic clock, advanced by the cost model.
+//! * [`cost`] — the cycle cost model, calibrated to the native measurements
+//!   in Figure 4 of the paper so that relative costs are preserved.
+//! * [`kernel`] — the [`Kernel`] object tying everything together and the
+//!   syscall dispatcher.
+//!
+//! # Example
+//!
+//! ```
+//! use varan_kernel::{Kernel, syscall::SyscallRequest, sysno::Sysno};
+//!
+//! let kernel = Kernel::new();
+//! let pid = kernel.spawn_process("demo");
+//! // write(1, "hello") — fd 1 is the process's pre-opened console sink.
+//! let outcome = kernel.syscall(pid, &SyscallRequest::write(1, b"hello".to_vec()));
+//! assert_eq!(outcome.result, 5);
+//! assert!(outcome.cost > 0);
+//! // close(-1) — the paper's micro-benchmark no-op syscall.
+//! let outcome = kernel.syscall(pid, &SyscallRequest::new(Sysno::Close, [u64::MAX, 0, 0, 0, 0, 0]));
+//! assert!(outcome.result < 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cost;
+pub mod fs;
+pub mod kernel;
+pub mod net;
+pub mod process;
+pub mod signal;
+pub mod syscall;
+pub mod sysno;
+pub mod time;
+
+mod errno;
+
+pub use errno::Errno;
+pub use kernel::Kernel;
+pub use syscall::{FdInfo, SyscallOutcome, SyscallRequest};
+pub use sysno::Sysno;

@@ -1,0 +1,494 @@
+//! The loopback network: listeners, connections and byte streams.
+//!
+//! The paper evaluates VARAN on C10k network servers driven by client load
+//! generators over a 1 Gb link.  In this reproduction both sides live in one
+//! process: servers and clients are threads, and this module provides the
+//! TCP-like substrate between them — port-addressed listeners with accept
+//! queues and bidirectional, flow-controlled byte streams.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::errno::Errno;
+
+/// Maximum number of bytes buffered in each direction of a connection before
+/// writers block (a crude model of TCP flow control).
+pub const STREAM_WINDOW: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct StreamBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct StreamHalf {
+    buf: Mutex<StreamBuf>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl StreamHalf {
+    fn new() -> Self {
+        StreamHalf {
+            buf: Mutex::new(StreamBuf::default()),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        }
+    }
+
+    fn write(&self, data: &[u8]) -> Result<usize, Errno> {
+        let mut buf = self.buf.lock();
+        if buf.closed {
+            return Err(Errno::EPIPE);
+        }
+        while buf.data.len() + data.len() > STREAM_WINDOW {
+            self.writable.wait(&mut buf);
+            if buf.closed {
+                return Err(Errno::EPIPE);
+            }
+        }
+        buf.data.extend(data.iter().copied());
+        self.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, len: usize, blocking: bool) -> Result<Vec<u8>, Errno> {
+        let mut buf = self.buf.lock();
+        loop {
+            if !buf.data.is_empty() {
+                let take = len.min(buf.data.len());
+                let out: Vec<u8> = buf.data.drain(..take).collect();
+                self.writable.notify_all();
+                return Ok(out);
+            }
+            if buf.closed {
+                return Ok(Vec::new()); // EOF
+            }
+            if !blocking {
+                return Err(Errno::EAGAIN);
+            }
+            self.readable.wait(&mut buf);
+        }
+    }
+
+    fn close(&self) {
+        let mut buf = self.buf.lock();
+        buf.closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn pending(&self) -> usize {
+        self.buf.lock().data.len()
+    }
+
+    fn is_closed(&self) -> bool {
+        self.buf.lock().closed
+    }
+}
+
+/// A bidirectional connection between a client and a server endpoint.
+#[derive(Debug)]
+pub struct Connection {
+    id: u64,
+    client_to_server: StreamHalf,
+    server_to_client: StreamHalf,
+}
+
+/// Which side of a [`Connection`] an [`Endpoint`] speaks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The side that called `connect`.
+    Client,
+    /// The side returned by `accept`.
+    Server,
+}
+
+/// One side of an established connection; behaves like a connected socket.
+#[derive(Clone)]
+pub struct Endpoint {
+    conn: Arc<Connection>,
+    side: Side,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("conn", &self.conn.id)
+            .field("side", &self.side)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Unique identifier of the underlying connection (same on both sides).
+    #[must_use]
+    pub fn connection_id(&self) -> u64 {
+        self.conn.id
+    }
+
+    /// Which side this endpoint speaks for.
+    #[must_use]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    fn outgoing(&self) -> &StreamHalf {
+        match self.side {
+            Side::Client => &self.conn.client_to_server,
+            Side::Server => &self.conn.server_to_client,
+        }
+    }
+
+    fn incoming(&self) -> &StreamHalf {
+        match self.side {
+            Side::Client => &self.conn.server_to_client,
+            Side::Server => &self.conn.client_to_server,
+        }
+    }
+
+    /// Sends `data` to the peer, blocking if the window is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EPIPE`] if the peer has closed its receiving side.
+    pub fn write(&self, data: &[u8]) -> Result<usize, Errno> {
+        self.outgoing().write(data)
+    }
+
+    /// Receives up to `len` bytes.  An empty vector means end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EAGAIN`] if `blocking` is false and no data is ready.
+    pub fn read(&self, len: usize, blocking: bool) -> Result<Vec<u8>, Errno> {
+        self.incoming().read(len, blocking)
+    }
+
+    /// Number of bytes waiting to be read.
+    #[must_use]
+    pub fn readable_bytes(&self) -> usize {
+        self.incoming().pending()
+    }
+
+    /// Closes this endpoint's sending direction (the peer sees EOF) and marks
+    /// its receiving direction closed too.
+    pub fn close(&self) {
+        self.outgoing().close();
+        self.incoming().close();
+    }
+
+    /// Returns `true` if the peer can no longer send to us.
+    #[must_use]
+    pub fn peer_closed(&self) -> bool {
+        self.incoming().is_closed()
+    }
+}
+
+/// A listening socket bound to a port.
+#[derive(Debug)]
+pub struct Listener {
+    port: u16,
+    backlog: usize,
+    queue: Mutex<VecDeque<Endpoint>>,
+    pending: Condvar,
+    closed: AtomicBool,
+    accepted: AtomicU64,
+}
+
+impl Listener {
+    /// The port this listener is bound to.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Total connections accepted so far.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Accepts the next pending connection, blocking until one arrives or the
+    /// listener is closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EINVAL`] once the listener has been closed and its
+    /// queue drained, and [`Errno::EAGAIN`] in non-blocking mode with an
+    /// empty queue.
+    pub fn accept(&self, blocking: bool) -> Result<Endpoint, Errno> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(endpoint) = queue.pop_front() {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                return Ok(endpoint);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(Errno::EINVAL);
+            }
+            if !blocking {
+                return Err(Errno::EAGAIN);
+            }
+            self.pending.wait(&mut queue);
+        }
+    }
+
+    /// Like [`Listener::accept`] but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EAGAIN`] on timeout and [`Errno::EINVAL`] if closed.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Endpoint, Errno> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(endpoint) = queue.pop_front() {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                return Ok(endpoint);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(Errno::EINVAL);
+            }
+            if self.pending.wait_for(&mut queue, timeout).timed_out() && queue.is_empty() {
+                return Err(Errno::EAGAIN);
+            }
+        }
+    }
+
+    /// Number of connections waiting to be accepted.
+    #[must_use]
+    pub fn pending_connections(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Stops accepting new connections and wakes blocked acceptors.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.pending.notify_all();
+    }
+
+    /// Returns `true` once the listener has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// The machine-wide network namespace: the set of bound ports.
+#[derive(Debug, Default)]
+pub struct Network {
+    listeners: Mutex<HashMap<u16, Arc<Listener>>>,
+    next_connection: AtomicU64,
+}
+
+impl Network {
+    /// Creates an empty network namespace.
+    #[must_use]
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Binds a listener to `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EADDRINUSE`] if the port already has a live listener.
+    pub fn listen(&self, port: u16, backlog: usize) -> Result<Arc<Listener>, Errno> {
+        let mut listeners = self.listeners.lock();
+        if let Some(existing) = listeners.get(&port) {
+            if !existing.is_closed() {
+                return Err(Errno::EADDRINUSE);
+            }
+        }
+        let listener = Arc::new(Listener {
+            port,
+            backlog: backlog.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            pending: Condvar::new(),
+            closed: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+        });
+        listeners.insert(port, Arc::clone(&listener));
+        Ok(listener)
+    }
+
+    /// Looks up the live listener bound to `port`.
+    #[must_use]
+    pub fn listener(&self, port: u16) -> Option<Arc<Listener>> {
+        self.listeners
+            .lock()
+            .get(&port)
+            .filter(|listener| !listener.is_closed())
+            .cloned()
+    }
+
+    /// Establishes a connection to the listener on `port` and returns the
+    /// client-side endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ECONNREFUSED`] if no live listener is bound to the
+    /// port or its backlog is full.
+    pub fn connect(&self, port: u16) -> Result<Endpoint, Errno> {
+        let listener = self.listener(port).ok_or(Errno::ECONNREFUSED)?;
+        let id = self.next_connection.fetch_add(1, Ordering::Relaxed);
+        let connection = Arc::new(Connection {
+            id,
+            client_to_server: StreamHalf::new(),
+            server_to_client: StreamHalf::new(),
+        });
+        let server_end = Endpoint {
+            conn: Arc::clone(&connection),
+            side: Side::Server,
+        };
+        let client_end = Endpoint {
+            conn: connection,
+            side: Side::Client,
+        };
+        {
+            let mut queue = listener.queue.lock();
+            if listener.is_closed() {
+                return Err(Errno::ECONNREFUSED);
+            }
+            if queue.len() >= listener.backlog {
+                return Err(Errno::ECONNREFUSED);
+            }
+            queue.push_back(server_end);
+            listener.pending.notify_one();
+        }
+        Ok(client_end)
+    }
+
+    /// Number of ports with live listeners.
+    #[must_use]
+    pub fn live_listeners(&self) -> usize {
+        self.listeners
+            .lock()
+            .values()
+            .filter(|listener| !listener.is_closed())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_requires_a_listener() {
+        let net = Network::new();
+        assert_eq!(net.connect(8080).unwrap_err(), Errno::ECONNREFUSED);
+    }
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let net = Network::new();
+        let listener = net.listen(8080, 16).unwrap();
+        let client = net.connect(8080).unwrap();
+        let server = listener.accept(true).unwrap();
+
+        client.write(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let request = server.read(1024, true).unwrap();
+        assert_eq!(request, b"GET / HTTP/1.1\r\n\r\n");
+
+        server.write(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        let response = client.read(1024, true).unwrap();
+        assert!(response.starts_with(b"HTTP/1.1 200"));
+        assert_eq!(listener.accepted(), 1);
+        assert_eq!(client.connection_id(), server.connection_id());
+        assert_ne!(client.side(), server.side());
+    }
+
+    #[test]
+    fn ports_cannot_be_double_bound() {
+        let net = Network::new();
+        let first = net.listen(9000, 4).unwrap();
+        assert_eq!(net.listen(9000, 4).unwrap_err(), Errno::EADDRINUSE);
+        first.close();
+        // After closing, the port can be reused.
+        assert!(net.listen(9000, 4).is_ok());
+    }
+
+    #[test]
+    fn close_propagates_eof_and_epipe() {
+        let net = Network::new();
+        let listener = net.listen(8081, 4).unwrap();
+        let client = net.connect(8081).unwrap();
+        let server = listener.accept(true).unwrap();
+        client.close();
+        assert!(server.read(16, true).unwrap().is_empty(), "EOF after close");
+        assert_eq!(server.write(b"late").unwrap_err(), Errno::EPIPE);
+        assert!(server.peer_closed());
+    }
+
+    #[test]
+    fn nonblocking_read_and_accept_return_eagain() {
+        let net = Network::new();
+        let listener = net.listen(8082, 4).unwrap();
+        assert_eq!(listener.accept(false).unwrap_err(), Errno::EAGAIN);
+        assert_eq!(
+            listener.accept_timeout(Duration::from_millis(5)).unwrap_err(),
+            Errno::EAGAIN
+        );
+        let client = net.connect(8082).unwrap();
+        let server = listener.accept(true).unwrap();
+        assert_eq!(server.read(8, false).unwrap_err(), Errno::EAGAIN);
+        client.write(b"x").unwrap();
+        assert_eq!(server.readable_bytes(), 1);
+        assert_eq!(server.read(8, false).unwrap(), b"x");
+    }
+
+    #[test]
+    fn backlog_limits_pending_connections() {
+        let net = Network::new();
+        let listener = net.listen(8083, 2).unwrap();
+        let _a = net.connect(8083).unwrap();
+        let _b = net.connect(8083).unwrap();
+        assert_eq!(listener.pending_connections(), 2);
+        assert_eq!(net.connect(8083).unwrap_err(), Errno::ECONNREFUSED);
+    }
+
+    #[test]
+    fn closed_listener_rejects_connect_and_accept() {
+        let net = Network::new();
+        let listener = net.listen(8084, 4).unwrap();
+        listener.close();
+        assert_eq!(net.connect(8084).unwrap_err(), Errno::ECONNREFUSED);
+        assert_eq!(listener.accept(true).unwrap_err(), Errno::EINVAL);
+        assert_eq!(net.live_listeners(), 0);
+    }
+
+    #[test]
+    fn cross_thread_echo_server() {
+        let net = Arc::new(Network::new());
+        let listener = net.listen(8090, 64).unwrap();
+        let server = std::thread::spawn(move || {
+            let endpoint = listener.accept(true).unwrap();
+            loop {
+                let data = endpoint.read(256, true).unwrap();
+                if data.is_empty() {
+                    break;
+                }
+                endpoint.write(&data).unwrap();
+            }
+        });
+        let client = net.connect(8090).unwrap();
+        for i in 0..50u8 {
+            let message = vec![i; 100];
+            client.write(&message).unwrap();
+            let mut echoed = Vec::new();
+            while echoed.len() < 100 {
+                echoed.extend(client.read(100 - echoed.len(), true).unwrap());
+            }
+            assert_eq!(echoed, message);
+        }
+        client.close();
+        server.join().unwrap();
+    }
+}

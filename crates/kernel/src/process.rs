@@ -1,0 +1,431 @@
+//! Processes, threads and file-descriptor tables.
+//!
+//! Versions run by the monitor each get their own virtual process with its
+//! own descriptor table — which is exactly what makes the file-descriptor
+//! transfer mechanism of §3.3.2 necessary: when the leader opens a file or
+//! accepts a connection, the resulting descriptor must be duplicated into
+//! every follower's table so that a follower can take over seamlessly if the
+//! leader crashes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::errno::Errno;
+use crate::net::{Endpoint, Listener};
+use crate::signal::{PendingSignals, Signal};
+
+/// Process identifier.
+pub type Pid = u32;
+/// Thread identifier (process-local index).
+pub type Tid = u32;
+
+/// Maximum number of open descriptors per process.
+pub const MAX_FDS: usize = 1024;
+
+/// A shared pipe buffer (created by the `pipe` system call).
+#[derive(Debug, Default)]
+pub struct Pipe {
+    buffer: parking_lot::Mutex<Vec<u8>>,
+}
+
+impl Pipe {
+    /// Appends data to the pipe.
+    pub fn push(&self, data: &[u8]) {
+        self.buffer.lock().extend_from_slice(data);
+    }
+
+    /// Drains up to `len` bytes from the pipe.
+    pub fn drain(&self, len: usize) -> Vec<u8> {
+        let mut buffer = self.buffer.lock();
+        let take = len.min(buffer.len());
+        buffer.drain(..take).collect()
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Returns `true` if the pipe holds no data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone)]
+pub enum FdObject {
+    /// The process's console (pre-opened as fds 0–2); writes are collected
+    /// for inspection by tests.
+    Console,
+    /// An open file in the VFS, with its own offset.
+    File {
+        /// Path of the file.
+        path: String,
+        /// Current read/write offset.
+        offset: u64,
+        /// Whether writes append.
+        append: bool,
+    },
+    /// A bound, listening socket.
+    Listener(Arc<Listener>),
+    /// A connected stream socket.
+    Stream(Endpoint),
+    /// A socket created by `socket` but not yet listening/connected; `bind`
+    /// records the port here until `listen` turns it into a listener.
+    UnboundSocket {
+        /// Port recorded by `bind`, if any.
+        bound_port: Option<u16>,
+    },
+    /// The read end of a pipe.
+    PipeRead(Arc<Pipe>),
+    /// The write end of a pipe.
+    PipeWrite(Arc<Pipe>),
+    /// An epoll instance (interest list is kept in the entry).
+    Epoll {
+        /// Descriptors registered with `epoll_ctl`.
+        watched: Vec<i32>,
+    },
+}
+
+/// A descriptor-table entry.
+#[derive(Debug, Clone)]
+pub struct FdEntry {
+    /// The object the descriptor refers to.
+    pub object: FdObject,
+    /// Close-on-exec flag (set by `fcntl(F_SETFD, FD_CLOEXEC)`).
+    pub cloexec: bool,
+    /// Non-blocking flag.
+    pub nonblocking: bool,
+}
+
+impl FdEntry {
+    /// Creates a blocking entry with default flags.
+    #[must_use]
+    pub fn new(object: FdObject) -> Self {
+        FdEntry {
+            object,
+            cloexec: false,
+            nonblocking: false,
+        }
+    }
+}
+
+/// The state of one virtual process.
+#[derive(Debug)]
+pub struct ProcessState {
+    /// Process identifier.
+    pub pid: Pid,
+    /// Parent process, if any.
+    pub parent: Option<Pid>,
+    /// Human-readable name (the "binary" it runs).
+    pub name: String,
+    /// Open file descriptors.
+    pub fds: HashMap<i32, FdEntry>,
+    next_fd: i32,
+    /// Thread identifiers belonging to this process.
+    pub threads: Vec<Tid>,
+    /// Exit status once the process has exited.
+    pub exit_status: Option<i32>,
+    /// Signals delivered but not yet consumed.
+    pub pending_signals: PendingSignals,
+    /// Console output captured from writes to fds 1 and 2.
+    pub console: Vec<u8>,
+    /// Current program break (for `brk`).
+    pub brk: u64,
+    /// Next address handed out by `mmap`.
+    pub next_mmap: u64,
+}
+
+impl ProcessState {
+    fn new(pid: Pid, parent: Option<Pid>, name: &str) -> Self {
+        let mut fds = HashMap::new();
+        for fd in 0..3 {
+            fds.insert(fd, FdEntry::new(FdObject::Console));
+        }
+        ProcessState {
+            pid,
+            parent,
+            name: name.to_owned(),
+            fds,
+            next_fd: 3,
+            threads: vec![0],
+            exit_status: None,
+            pending_signals: PendingSignals::new(),
+            console: Vec::new(),
+            brk: 0x0060_0000,
+            next_mmap: 0x7f00_0000_0000,
+        }
+    }
+
+    /// Allocates the lowest free descriptor number and installs `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EMFILE`] when the table is full.
+    pub fn install_fd(&mut self, entry: FdEntry) -> Result<i32, Errno> {
+        if self.fds.len() >= MAX_FDS {
+            return Err(Errno::EMFILE);
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, entry);
+        Ok(fd)
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EBADF`] if the descriptor is not open.
+    pub fn fd(&self, fd: i32) -> Result<&FdEntry, Errno> {
+        self.fds.get(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Mutable descriptor lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EBADF`] if the descriptor is not open.
+    pub fn fd_mut(&mut self, fd: i32) -> Result<&mut FdEntry, Errno> {
+        self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EBADF`] if the descriptor is not open.
+    pub fn close_fd(&mut self, fd: i32) -> Result<FdEntry, Errno> {
+        self.fds.remove(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Registers a new thread and returns its identifier.
+    pub fn spawn_thread(&mut self) -> Tid {
+        let tid = self.threads.len() as Tid;
+        self.threads.push(tid);
+        tid
+    }
+
+    /// Returns `true` once the process has exited.
+    #[must_use]
+    pub fn has_exited(&self) -> bool {
+        self.exit_status.is_some()
+    }
+
+    /// Delivers a signal to this process.
+    pub fn deliver_signal(&mut self, signal: Signal) {
+        self.pending_signals.push(signal);
+    }
+}
+
+/// The table of all live (and exited-but-not-reaped) processes.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    next_pid: Pid,
+    processes: HashMap<Pid, ProcessState>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcessTable {
+            next_pid: 1,
+            processes: HashMap::new(),
+        }
+    }
+
+    /// Creates a new process running `name` and returns its pid.
+    pub fn spawn(&mut self, name: &str, parent: Option<Pid>) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.processes.insert(pid, ProcessState::new(pid, parent, name));
+        pid
+    }
+
+    /// Forks `parent`, duplicating its descriptor table, and returns the
+    /// child's pid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the parent does not exist.
+    pub fn fork(&mut self, parent: Pid) -> Result<Pid, Errno> {
+        let (name, fds, next_fd, brk, next_mmap) = {
+            let parent_state = self.processes.get(&parent).ok_or(Errno::ENOENT)?;
+            (
+                parent_state.name.clone(),
+                parent_state.fds.clone(),
+                parent_state.next_fd,
+                parent_state.brk,
+                parent_state.next_mmap,
+            )
+        };
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let mut child = ProcessState::new(pid, Some(parent), &name);
+        child.fds = fds;
+        child.next_fd = next_fd;
+        child.brk = brk;
+        child.next_mmap = next_mmap;
+        self.processes.insert(pid, child);
+        Ok(pid)
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the pid is unknown.
+    pub fn get(&self, pid: Pid) -> Result<&ProcessState, Errno> {
+        self.processes.get(&pid).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutable access to a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the pid is unknown.
+    pub fn get_mut(&mut self, pid: Pid) -> Result<&mut ProcessState, Errno> {
+        self.processes.get_mut(&pid).ok_or(Errno::ENOENT)
+    }
+
+    /// Removes a process from the table entirely.
+    pub fn remove(&mut self, pid: Pid) -> Option<ProcessState> {
+        self.processes.remove(&pid)
+    }
+
+    /// Number of processes in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` if no processes exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Iterates over all pids.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.processes.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_start_with_standard_fds() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn("redis", None);
+        let process = table.get(pid).unwrap();
+        assert_eq!(process.fds.len(), 3);
+        assert!(matches!(process.fd(0).unwrap().object, FdObject::Console));
+        assert!(process.fd(3).is_err());
+        assert_eq!(process.threads.len(), 1);
+        assert!(!process.has_exited());
+    }
+
+    #[test]
+    fn fd_allocation_is_sequential() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn("app", None);
+        let process = table.get_mut(pid).unwrap();
+        let a = process.install_fd(FdEntry::new(FdObject::UnboundSocket { bound_port: None })).unwrap();
+        let b = process.install_fd(FdEntry::new(FdObject::UnboundSocket { bound_port: None })).unwrap();
+        assert_eq!((a, b), (3, 4));
+        process.close_fd(a).unwrap();
+        assert!(process.fd(a).is_err());
+        assert_eq!(process.close_fd(a).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn fd_table_has_a_limit() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn("greedy", None);
+        let process = table.get_mut(pid).unwrap();
+        for _ in 0..(MAX_FDS - 3) {
+            process.install_fd(FdEntry::new(FdObject::UnboundSocket { bound_port: None })).unwrap();
+        }
+        assert_eq!(
+            process
+                .install_fd(FdEntry::new(FdObject::UnboundSocket { bound_port: None }))
+                .unwrap_err(),
+            Errno::EMFILE
+        );
+    }
+
+    #[test]
+    fn fork_duplicates_the_descriptor_table() {
+        let mut table = ProcessTable::new();
+        let parent = table.spawn("nginx", None);
+        let fd = {
+            let state = table.get_mut(parent).unwrap();
+            state
+                .install_fd(FdEntry::new(FdObject::File {
+                    path: "/var/www/index.html".into(),
+                    offset: 0,
+                    append: false,
+                }))
+                .unwrap()
+        };
+        let child = table.fork(parent).unwrap();
+        let child_state = table.get(child).unwrap();
+        assert_eq!(child_state.parent, Some(parent));
+        assert!(matches!(
+            child_state.fd(fd).unwrap().object,
+            FdObject::File { .. }
+        ));
+        assert_eq!(child_state.name, "nginx");
+        assert!(table.fork(999).is_err());
+    }
+
+    #[test]
+    fn pids_are_unique_and_removable() {
+        let mut table = ProcessTable::new();
+        let a = table.spawn("a", None);
+        let b = table.spawn("b", None);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert!(table.remove(a).is_some());
+        assert!(table.get(a).is_err());
+        assert_eq!(table.pids().count(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn signals_are_queued_per_process() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn("victim", None);
+        let process = table.get_mut(pid).unwrap();
+        process.deliver_signal(Signal::Sigsegv);
+        assert!(process.pending_signals.contains(Signal::Sigsegv));
+        assert_eq!(process.pending_signals.pop(), Some(Signal::Sigsegv));
+    }
+
+    #[test]
+    fn threads_get_sequential_tids() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn("memcached", None);
+        let process = table.get_mut(pid).unwrap();
+        assert_eq!(process.spawn_thread(), 1);
+        assert_eq!(process.spawn_thread(), 2);
+        assert_eq!(process.threads.len(), 3);
+    }
+
+    #[test]
+    fn pipes_buffer_bytes() {
+        let pipe = Pipe::default();
+        assert!(pipe.is_empty());
+        pipe.push(b"abcdef");
+        assert_eq!(pipe.len(), 6);
+        assert_eq!(pipe.drain(4), b"abcd");
+        assert_eq!(pipe.drain(10), b"ef");
+        assert!(pipe.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Signal numbers and per-process pending sets.
+//!
+//! Signals play two roles in VARAN: they are one of the event kinds streamed
+//! from the leader to the followers (§2.2), and the `SIGSEGV` handler
+//! installed in every version is how the coordinator learns that a version
+//! crashed during transparent failover (§5.1).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Signal numbers used by the virtual kernel (Linux values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Signal {
+    /// Interactive interrupt.
+    Sigint = 2,
+    /// Kill (cannot be handled).
+    Sigkill = 9,
+    /// User-defined signal 1.
+    Sigusr1 = 10,
+    /// Invalid memory reference — the crash signal used by failover.
+    Sigsegv = 11,
+    /// Broken pipe.
+    Sigpipe = 13,
+    /// Termination request.
+    Sigterm = 15,
+    /// Child status changed.
+    Sigchld = 17,
+    /// Bad system call (seccomp's `SECCOMP_RET_TRAP` delivers this).
+    Sigsys = 31,
+}
+
+impl Signal {
+    /// The signal's number.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a signal up by number.
+    #[must_use]
+    pub fn from_number(number: u8) -> Option<Signal> {
+        Some(match number {
+            2 => Signal::Sigint,
+            9 => Signal::Sigkill,
+            10 => Signal::Sigusr1,
+            11 => Signal::Sigsegv,
+            13 => Signal::Sigpipe,
+            15 => Signal::Sigterm,
+            17 => Signal::Sigchld,
+            31 => Signal::Sigsys,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` if the default disposition of this signal terminates
+    /// the process.
+    #[must_use]
+    pub fn is_fatal(self) -> bool {
+        !matches!(self, Signal::Sigchld | Signal::Sigusr1)
+    }
+}
+
+/// A FIFO of signals delivered to a process but not yet consumed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PendingSignals {
+    queue: VecDeque<Signal>,
+}
+
+impl PendingSignals {
+    /// Creates an empty pending set.
+    #[must_use]
+    pub fn new() -> Self {
+        PendingSignals::default()
+    }
+
+    /// Queues a signal for delivery.
+    pub fn push(&mut self, signal: Signal) {
+        self.queue.push_back(signal);
+    }
+
+    /// Dequeues the oldest pending signal.
+    pub fn pop(&mut self) -> Option<Signal> {
+        self.queue.pop_front()
+    }
+
+    /// Returns `true` if no signals are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending signals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if `signal` is pending.
+    #[must_use]
+    pub fn contains(&self, signal: Signal) -> bool {
+        self.queue.contains(&signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_linux() {
+        assert_eq!(Signal::Sigsegv.number(), 11);
+        assert_eq!(Signal::Sigkill.number(), 9);
+        assert_eq!(Signal::Sigsys.number(), 31);
+        assert_eq!(Signal::from_number(11), Some(Signal::Sigsegv));
+        assert_eq!(Signal::from_number(250), None);
+    }
+
+    #[test]
+    fn fatality_classification() {
+        assert!(Signal::Sigsegv.is_fatal());
+        assert!(Signal::Sigkill.is_fatal());
+        assert!(!Signal::Sigchld.is_fatal());
+        assert!(!Signal::Sigusr1.is_fatal());
+    }
+
+    #[test]
+    fn pending_queue_is_fifo() {
+        let mut pending = PendingSignals::new();
+        assert!(pending.is_empty());
+        pending.push(Signal::Sigusr1);
+        pending.push(Signal::Sigsegv);
+        assert_eq!(pending.len(), 2);
+        assert!(pending.contains(Signal::Sigsegv));
+        assert_eq!(pending.pop(), Some(Signal::Sigusr1));
+        assert_eq!(pending.pop(), Some(Signal::Sigsegv));
+        assert_eq!(pending.pop(), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! The system-call ABI: requests, outcomes and descriptor-transfer records.
+//!
+//! Applications in `varan-apps` issue [`SyscallRequest`]s; the kernel (or a
+//! monitor interposing on it) answers with a [`SyscallOutcome`].  The shape
+//! of these types mirrors what VARAN must move between versions: six by-value
+//! arguments, an optional byte payload (the buffer written or read), the
+//! result, and — for calls that create descriptors — a record of the new
+//! descriptor so the monitor knows it must be transferred over the data
+//! channel (§3.3.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::Cycles;
+use crate::errno::Errno;
+use crate::fs::flags;
+use crate::sysno::Sysno;
+
+/// `lseek` whence values.
+pub mod whence {
+    /// Seek from the start of the file.
+    pub const SEEK_SET: u64 = 0;
+    /// Seek from the current offset.
+    pub const SEEK_CUR: u64 = 1;
+    /// Seek from the end of the file.
+    pub const SEEK_END: u64 = 2;
+}
+
+/// `fcntl` command values.
+pub mod fcntl {
+    /// Get the close-on-exec flag.
+    pub const F_GETFD: u64 = 1;
+    /// Set the close-on-exec flag.
+    pub const F_SETFD: u64 = 2;
+    /// Get the file status flags.
+    pub const F_GETFL: u64 = 3;
+    /// Set the file status flags.
+    pub const F_SETFL: u64 = 4;
+    /// The close-on-exec flag value.
+    pub const FD_CLOEXEC: u64 = 1;
+}
+
+/// A system call as issued by an application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallRequest {
+    /// Which system call.
+    pub sysno: Sysno,
+    /// The six register arguments (unused ones are zero).
+    pub args: [u64; 6],
+    /// Optional byte payload (e.g. the buffer passed to `write`, or the path
+    /// passed to `open`).
+    pub data: Option<Vec<u8>>,
+}
+
+impl SyscallRequest {
+    /// Creates a request with explicit arguments and no payload.
+    #[must_use]
+    pub fn new(sysno: Sysno, args: [u64; 6]) -> Self {
+        SyscallRequest {
+            sysno,
+            args,
+            data: None,
+        }
+    }
+
+    /// Attaches a byte payload, consuming and returning the request.
+    #[must_use]
+    pub fn with_data(mut self, data: Vec<u8>) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Number of payload bytes attached to the request.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.data.as_ref().map(Vec::len).unwrap_or(0)
+    }
+
+    /// `read(fd, len)`.
+    #[must_use]
+    pub fn read(fd: i32, len: usize) -> Self {
+        SyscallRequest::new(Sysno::Read, [fd as u64, 0, len as u64, 0, 0, 0])
+    }
+
+    /// `write(fd, data)`.
+    #[must_use]
+    pub fn write(fd: i32, data: Vec<u8>) -> Self {
+        SyscallRequest::new(Sysno::Write, [fd as u64, 0, data.len() as u64, 0, 0, 0])
+            .with_data(data)
+    }
+
+    /// `open(path, flags)`.
+    #[must_use]
+    pub fn open(path: &str, open_flags: u64) -> Self {
+        SyscallRequest::new(Sysno::Open, [0, open_flags, 0, 0, 0, 0])
+            .with_data(path.as_bytes().to_vec())
+    }
+
+    /// `open(path, O_RDONLY)`.
+    #[must_use]
+    pub fn open_read(path: &str) -> Self {
+        SyscallRequest::open(path, flags::O_RDONLY)
+    }
+
+    /// `close(fd)`.
+    #[must_use]
+    pub fn close(fd: i32) -> Self {
+        SyscallRequest::new(Sysno::Close, [fd as u64, 0, 0, 0, 0, 0])
+    }
+
+    /// `stat(path)` — the outcome's result is the file size.
+    #[must_use]
+    pub fn stat(path: &str) -> Self {
+        SyscallRequest::new(Sysno::Stat, [0; 6]).with_data(path.as_bytes().to_vec())
+    }
+
+    /// `lseek(fd, offset, whence)`.
+    #[must_use]
+    pub fn lseek(fd: i32, offset: i64, whence: u64) -> Self {
+        SyscallRequest::new(Sysno::Lseek, [fd as u64, offset as u64, whence, 0, 0, 0])
+    }
+
+    /// `socket()`.
+    #[must_use]
+    pub fn socket() -> Self {
+        SyscallRequest::new(Sysno::Socket, [2 /* AF_INET */, 1 /* SOCK_STREAM */, 0, 0, 0, 0])
+    }
+
+    /// `bind(fd, port)`.
+    #[must_use]
+    pub fn bind(fd: i32, port: u16) -> Self {
+        SyscallRequest::new(Sysno::Bind, [fd as u64, u64::from(port), 0, 0, 0, 0])
+    }
+
+    /// `listen(fd, backlog)`.
+    #[must_use]
+    pub fn listen(fd: i32, backlog: u32) -> Self {
+        SyscallRequest::new(Sysno::Listen, [fd as u64, u64::from(backlog), 0, 0, 0, 0])
+    }
+
+    /// `accept(fd)`.
+    #[must_use]
+    pub fn accept(fd: i32) -> Self {
+        SyscallRequest::new(Sysno::Accept, [fd as u64, 0, 0, 0, 0, 0])
+    }
+
+    /// `connect(fd, port)`.
+    #[must_use]
+    pub fn connect(fd: i32, port: u16) -> Self {
+        SyscallRequest::new(Sysno::Connect, [fd as u64, u64::from(port), 0, 0, 0, 0])
+    }
+
+    /// `fcntl(fd, cmd, arg)`.
+    #[must_use]
+    pub fn fcntl(fd: i32, cmd: u64, arg: u64) -> Self {
+        SyscallRequest::new(Sysno::Fcntl, [fd as u64, cmd, arg, 0, 0, 0])
+    }
+
+    /// `getuid()` (and friends, via [`SyscallRequest::new`]).
+    #[must_use]
+    pub fn getuid() -> Self {
+        SyscallRequest::new(Sysno::Getuid, [0; 6])
+    }
+
+    /// `time(NULL)`.
+    #[must_use]
+    pub fn time() -> Self {
+        SyscallRequest::new(Sysno::Time, [0; 6])
+    }
+
+    /// `gettimeofday()`.
+    #[must_use]
+    pub fn gettimeofday() -> Self {
+        SyscallRequest::new(Sysno::Gettimeofday, [0; 6])
+    }
+
+    /// `clock_gettime(CLOCK_MONOTONIC)`.
+    #[must_use]
+    pub fn clock_gettime() -> Self {
+        SyscallRequest::new(Sysno::ClockGettime, [1, 0, 0, 0, 0, 0])
+    }
+
+    /// `fork()`.
+    #[must_use]
+    pub fn fork() -> Self {
+        SyscallRequest::new(Sysno::Fork, [0; 6])
+    }
+
+    /// `exit_group(status)`.
+    #[must_use]
+    pub fn exit(status: i32) -> Self {
+        SyscallRequest::new(Sysno::ExitGroup, [status as u64, 0, 0, 0, 0, 0])
+    }
+
+    /// `getrandom(len)`.
+    #[must_use]
+    pub fn getrandom(len: usize) -> Self {
+        SyscallRequest::new(Sysno::Getrandom, [0, len as u64, 0, 0, 0, 0])
+    }
+
+    /// `nanosleep(micros)`.
+    #[must_use]
+    pub fn nanosleep(micros: u64) -> Self {
+        SyscallRequest::new(Sysno::Nanosleep, [micros, 0, 0, 0, 0, 0])
+    }
+
+    /// `mmap(len)`.
+    #[must_use]
+    pub fn mmap(len: usize) -> Self {
+        SyscallRequest::new(Sysno::Mmap, [0, len as u64, 0, 0, 0, 0])
+    }
+
+    /// `unlink(path)`.
+    #[must_use]
+    pub fn unlink(path: &str) -> Self {
+        SyscallRequest::new(Sysno::Unlink, [0; 6]).with_data(path.as_bytes().to_vec())
+    }
+
+    /// `mkdir(path)`.
+    #[must_use]
+    pub fn mkdir(path: &str) -> Self {
+        SyscallRequest::new(Sysno::Mkdir, [0; 6]).with_data(path.as_bytes().to_vec())
+    }
+
+    /// The payload interpreted as a path (for `open`, `stat`, ...).
+    #[must_use]
+    pub fn path(&self) -> Option<String> {
+        self.data
+            .as_ref()
+            .map(|bytes| String::from_utf8_lossy(bytes).into_owned())
+    }
+}
+
+/// Description of a descriptor created by a system call, used by the monitor
+/// to drive the data-channel transfer to followers (§3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdInfo {
+    /// The descriptor number in the process that executed the call.
+    pub fd: i32,
+}
+
+/// The kernel's (or monitor's) answer to a [`SyscallRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallOutcome {
+    /// Which system call this answers.
+    pub sysno: Sysno,
+    /// The return value (negative values carry an [`Errno`]).
+    pub result: i64,
+    /// Bytes returned to the caller (e.g. the buffer filled by `read`).
+    pub data: Option<Vec<u8>>,
+    /// Set when the call created a descriptor that must be transferred.
+    pub fd: Option<FdInfo>,
+    /// Cycles charged for the call (native execution cost).
+    pub cost: Cycles,
+}
+
+impl SyscallOutcome {
+    /// Creates a successful outcome with no payload.
+    #[must_use]
+    pub fn ok(sysno: Sysno, result: i64, cost: Cycles) -> Self {
+        SyscallOutcome {
+            sysno,
+            result,
+            data: None,
+            fd: None,
+            cost,
+        }
+    }
+
+    /// Creates a failed outcome carrying `errno`.
+    #[must_use]
+    pub fn err(sysno: Sysno, errno: Errno, cost: Cycles) -> Self {
+        SyscallOutcome {
+            sysno,
+            result: errno.as_ret(),
+            data: None,
+            fd: None,
+            cost,
+        }
+    }
+
+    /// Attaches returned bytes, consuming and returning the outcome.
+    #[must_use]
+    pub fn with_data(mut self, data: Vec<u8>) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Flags a created descriptor, consuming and returning the outcome.
+    #[must_use]
+    pub fn with_fd(mut self, fd: i32) -> Self {
+        self.fd = Some(FdInfo { fd });
+        self
+    }
+
+    /// Returns `true` if the result indicates failure.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.result < 0
+    }
+
+    /// The errno carried by a failed result, if any.
+    #[must_use]
+    pub fn errno(&self) -> Option<Errno> {
+        Errno::from_ret(self.result)
+    }
+
+    /// Number of payload bytes carried by the outcome.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.data.as_ref().map(Vec::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_arguments() {
+        let read = SyscallRequest::read(5, 512);
+        assert_eq!(read.sysno, Sysno::Read);
+        assert_eq!(read.args[0], 5);
+        assert_eq!(read.args[2], 512);
+        assert_eq!(read.payload_len(), 0);
+
+        let write = SyscallRequest::write(1, b"abc".to_vec());
+        assert_eq!(write.args[2], 3);
+        assert_eq!(write.payload_len(), 3);
+
+        let open = SyscallRequest::open_read("/dev/null");
+        assert_eq!(open.path().as_deref(), Some("/dev/null"));
+
+        let exit = SyscallRequest::exit(7);
+        assert_eq!(exit.sysno, Sysno::ExitGroup);
+        assert_eq!(exit.args[0], 7);
+    }
+
+    #[test]
+    fn outcome_error_helpers() {
+        let ok = SyscallOutcome::ok(Sysno::Close, 0, 100);
+        assert!(!ok.is_error());
+        assert_eq!(ok.errno(), None);
+
+        let err = SyscallOutcome::err(Sysno::Open, Errno::ENOENT, 100);
+        assert!(err.is_error());
+        assert_eq!(err.errno(), Some(Errno::ENOENT));
+        assert_eq!(err.result, -2);
+    }
+
+    #[test]
+    fn outcome_builders_compose() {
+        let outcome = SyscallOutcome::ok(Sysno::Accept, 7, 2500)
+            .with_fd(7)
+            .with_data(vec![1, 2, 3]);
+        assert_eq!(outcome.fd, Some(FdInfo { fd: 7 }));
+        assert_eq!(outcome.payload_len(), 3);
+        assert_eq!(outcome.cost, 2500);
+    }
+
+    #[test]
+    fn requests_and_outcomes_are_cloneable_value_types() {
+        let request = SyscallRequest::write(3, b"payload".to_vec());
+        assert_eq!(request.clone(), request);
+        let outcome = SyscallOutcome::ok(Sysno::Write, 7, 1430);
+        assert_eq!(outcome.clone(), outcome);
+    }
+}

@@ -1,0 +1,122 @@
+//! The virtual monotonic clock.
+//!
+//! The simulated machine needs a notion of time that is (a) deterministic and
+//! (b) advanced by the cost model rather than by the host's wall clock, so
+//! that experiments are reproducible.  The clock counts cycles; helpers
+//! convert to seconds/microseconds for the `time`, `gettimeofday` and
+//! `clock_gettime` system calls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cost::Cycles;
+
+/// Epoch offset reported by the clock, so that `time()` returns a plausible
+/// Unix timestamp instead of a small number (2015-03-16, the week the paper
+/// was presented at ASPLOS).
+pub const EPOCH_SECONDS: u64 = 1_426_464_000;
+
+/// A shared, monotonically increasing cycle counter.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    cycles: AtomicU64,
+    cycles_per_us: u64,
+}
+
+impl VirtualClock {
+    /// Creates a clock for a machine running at `cycles_per_us` cycles per
+    /// microsecond (3500 for the paper's 3.5 GHz Xeon).
+    #[must_use]
+    pub fn new(cycles_per_us: u64) -> Self {
+        VirtualClock {
+            cycles: AtomicU64::new(0),
+            cycles_per_us: cycles_per_us.max(1),
+        }
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycles(&self) -> Cycles {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `cycles` and returns the new value.
+    pub fn advance(&self, cycles: Cycles) -> Cycles {
+        self.cycles.fetch_add(cycles, Ordering::Relaxed) + cycles
+    }
+
+    /// Current time in whole microseconds since boot.
+    #[must_use]
+    pub fn micros(&self) -> u64 {
+        self.cycles() / self.cycles_per_us
+    }
+
+    /// Current Unix timestamp in seconds (epoch-offset plus elapsed time),
+    /// which is what the `time` system call returns.
+    #[must_use]
+    pub fn unix_seconds(&self) -> u64 {
+        EPOCH_SECONDS + self.micros() / 1_000_000
+    }
+
+    /// `(seconds, microseconds)` pair as returned by `gettimeofday`.
+    #[must_use]
+    pub fn timeofday(&self) -> (u64, u64) {
+        let micros = self.micros();
+        (EPOCH_SECONDS + micros / 1_000_000, micros % 1_000_000)
+    }
+
+    /// `(seconds, nanoseconds)` pair as returned by `clock_gettime` with a
+    /// monotonic clock id.
+    #[must_use]
+    pub fn monotonic(&self) -> (u64, u64) {
+        let nanos = self.micros() * 1_000 + (self.cycles() % self.cycles_per_us) * 1_000
+            / self.cycles_per_us;
+        (nanos / 1_000_000_000, nanos % 1_000_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let clock = VirtualClock::new(3_500);
+        assert_eq!(clock.cycles(), 0);
+        assert_eq!(clock.advance(7_000), 7_000);
+        assert_eq!(clock.cycles(), 7_000);
+        assert_eq!(clock.micros(), 2);
+    }
+
+    #[test]
+    fn unix_time_starts_at_epoch_offset() {
+        let clock = VirtualClock::new(3_500);
+        assert_eq!(clock.unix_seconds(), EPOCH_SECONDS);
+        clock.advance(3_500 * 1_000_000 * 3); // three simulated seconds
+        assert_eq!(clock.unix_seconds(), EPOCH_SECONDS + 3);
+    }
+
+    #[test]
+    fn timeofday_carries_microseconds() {
+        let clock = VirtualClock::new(1_000);
+        clock.advance(1_500_000); // 1.5 ms -> 1500 us
+        let (seconds, micros) = clock.timeofday();
+        assert_eq!(seconds, EPOCH_SECONDS);
+        assert_eq!(micros, 1_500);
+    }
+
+    #[test]
+    fn monotonic_reports_nanoseconds() {
+        let clock = VirtualClock::new(1_000);
+        clock.advance(2_000_000_000); // 2 s worth of cycles at 1 GHz
+        let (seconds, nanos) = clock.monotonic();
+        assert_eq!(seconds, 2);
+        assert!(nanos < 1_000_000_000);
+    }
+
+    #[test]
+    fn zero_frequency_is_clamped() {
+        let clock = VirtualClock::new(0);
+        clock.advance(10);
+        assert_eq!(clock.micros(), 10);
+    }
+}

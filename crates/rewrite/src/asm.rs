@@ -1,0 +1,518 @@
+//! A miniature x86-64 assembler used to build synthetic text segments.
+//!
+//! The original VARAN rewrites the text segments of real ELF binaries.  In
+//! this reproduction the rewriter is exercised on synthetic segments produced
+//! by this assembler (see `DESIGN.md`): the encodings are genuine x86-64
+//! machine code, so the decoder, scanner and patcher operate on exactly the
+//! byte patterns they would see in real programs.
+
+use std::collections::HashMap;
+
+/// A pending label fixup.
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    /// Offset of the displacement field to patch.
+    at: usize,
+    /// Width of the displacement in bytes (1 or 4).
+    width: u8,
+    /// Offset of the end of the instruction (displacements are relative to it).
+    next: usize,
+    /// Label the displacement refers to.
+    label: Label,
+}
+
+/// An opaque label handle returned by [`Assembler::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental x86-64 machine-code builder.
+///
+/// # Examples
+///
+/// ```
+/// use varan_rewrite::asm::Assembler;
+///
+/// let mut asm = Assembler::new();
+/// let top = asm.label();
+/// asm.bind(top);
+/// asm.mov_eax_imm(0);
+/// asm.cmp_eax_imm(10);
+/// asm.jne(top);
+/// asm.syscall();
+/// asm.ret();
+/// let code = asm.finish();
+/// assert!(!code.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    code: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Current offset (where the next instruction will be emitted).
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len());
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.code.extend_from_slice(bytes);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(&[0x90]);
+    }
+
+    /// Emits `count` single-byte nops.
+    pub fn nops(&mut self, count: usize) {
+        for _ in 0..count {
+            self.nop();
+        }
+    }
+
+    /// `mov eax, imm32`
+    pub fn mov_eax_imm(&mut self, imm: u32) {
+        self.emit(&[0xB8]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `mov edi, imm32`
+    pub fn mov_edi_imm(&mut self, imm: u32) {
+        self.emit(&[0xBF]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `mov esi, imm32`
+    pub fn mov_esi_imm(&mut self, imm: u32) {
+        self.emit(&[0xBE]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `mov edx, imm32`
+    pub fn mov_edx_imm(&mut self, imm: u32) {
+        self.emit(&[0xBA]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `movabs rax, imm64`
+    pub fn mov_rax_imm64(&mut self, imm: u64) {
+        self.emit(&[0x48, 0xB8]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `add eax, imm32`
+    pub fn add_eax_imm(&mut self, imm: u32) {
+        self.emit(&[0x05]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `add eax, ebx`
+    pub fn add_eax_ebx(&mut self) {
+        self.emit(&[0x01, 0xD8]);
+    }
+
+    /// `xor eax, eax`
+    pub fn xor_eax_eax(&mut self) {
+        self.emit(&[0x31, 0xC0]);
+    }
+
+    /// `cmp eax, imm32`
+    pub fn cmp_eax_imm(&mut self, imm: u32) {
+        self.emit(&[0x3D]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// `push rbp`
+    pub fn push_rbp(&mut self) {
+        self.emit(&[0x55]);
+    }
+
+    /// `pop rbp`
+    pub fn pop_rbp(&mut self) {
+        self.emit(&[0x5D]);
+    }
+
+    /// `mov rbp, rsp`
+    pub fn mov_rbp_rsp(&mut self) {
+        self.emit(&[0x48, 0x89, 0xE5]);
+    }
+
+    /// `mov [rbp-8], eax` (disp8 ModRM form)
+    pub fn store_eax_local(&mut self) {
+        self.emit(&[0x89, 0x45, 0xF8]);
+    }
+
+    /// `mov eax, [rbp-8]` (disp8 ModRM form)
+    pub fn load_eax_local(&mut self) {
+        self.emit(&[0x8B, 0x45, 0xF8]);
+    }
+
+    /// `lea rax, [rip+disp32]` — a RIP-relative form common in real code.
+    pub fn lea_rax_rip(&mut self, disp: i32) {
+        self.emit(&[0x48, 0x8D, 0x05]);
+        self.emit(&disp.to_le_bytes());
+    }
+
+    /// `rdtsc`
+    pub fn rdtsc(&mut self) {
+        self.emit(&[0x0F, 0x31]);
+    }
+
+    /// `syscall` (the x86-64 fast system call instruction).
+    pub fn syscall(&mut self) {
+        self.emit(&[0x0F, 0x05]);
+    }
+
+    /// `int 0x80` (the legacy 32-bit system call).
+    pub fn int80(&mut self) {
+        self.emit(&[0xCD, 0x80]);
+    }
+
+    /// `int3`
+    pub fn int3(&mut self) {
+        self.emit(&[0xCC]);
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.emit(&[0xC3]);
+    }
+
+    /// `leave`
+    pub fn leave(&mut self) {
+        self.emit(&[0xC9]);
+    }
+
+    /// `jmp label` (rel32 form).
+    pub fn jmp(&mut self, label: Label) {
+        self.emit(&[0xE9]);
+        self.emit_label_rel32(label);
+    }
+
+    /// `jmp rel8` with an explicit raw displacement (for edge-case tests).
+    pub fn jmp_rel8_raw(&mut self, disp: i8) {
+        self.emit(&[0xEB, disp as u8]);
+    }
+
+    /// `call label` (rel32 form).
+    pub fn call(&mut self, label: Label) {
+        self.emit(&[0xE8]);
+        self.emit_label_rel32(label);
+    }
+
+    /// `jne label` (rel32 form).
+    pub fn jne(&mut self, label: Label) {
+        self.emit(&[0x0F, 0x85]);
+        self.emit_label_rel32(label);
+    }
+
+    /// `je label` (rel32 form).
+    pub fn je(&mut self, label: Label) {
+        self.emit(&[0x0F, 0x84]);
+        self.emit_label_rel32(label);
+    }
+
+    /// `jne label` using the short (rel8) form; the label must already be
+    /// bound and within range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unbound or the displacement does not fit in a
+    /// signed byte.
+    pub fn jne_short(&mut self, label: Label) {
+        let target = self.labels[label.0].expect("short jumps require a bound label");
+        self.emit(&[0x75]);
+        let next = self.code.len() + 1;
+        let disp = target as i64 - next as i64;
+        assert!(
+            (-128..=127).contains(&disp),
+            "short jump displacement out of range"
+        );
+        self.emit(&[(disp as i8) as u8]);
+    }
+
+    fn emit_label_rel32(&mut self, label: Label) {
+        let at = self.code.len();
+        self.emit(&[0, 0, 0, 0]);
+        self.fixups.push(Fixup {
+            at,
+            width: 4,
+            next: self.code.len(),
+            label,
+        });
+    }
+
+    /// Finalises the code, resolving all label fixups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0].expect("unbound label referenced");
+            let disp = target as i64 - fixup.next as i64;
+            match fixup.width {
+                4 => {
+                    let bytes = (disp as i32).to_le_bytes();
+                    self.code[fixup.at..fixup.at + 4].copy_from_slice(&bytes);
+                }
+                1 => {
+                    self.code[fixup.at] = (disp as i8) as u8;
+                }
+                _ => unreachable!("unsupported fixup width"),
+            }
+        }
+        self.code
+    }
+}
+
+/// Describes one system-call invocation to embed in a synthetic function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallSlot {
+    /// System call number loaded into `eax` before the `syscall` instruction.
+    pub number: u32,
+    /// If `true`, emit the legacy `int 0x80` form instead of `syscall`.
+    pub legacy: bool,
+}
+
+/// Builds a realistic function body containing the given system calls,
+/// interleaved with ALU work, loads/stores, a loop and a few branches.
+///
+/// The generated code mimics the instruction mix of compiled C around syscall
+/// wrappers so that the scanner and patcher are exercised on representative
+/// byte patterns.
+#[must_use]
+pub fn synthetic_function(slots: &[SyscallSlot], filler: usize) -> Vec<u8> {
+    let mut asm = Assembler::new();
+    asm.push_rbp();
+    asm.mov_rbp_rsp();
+    asm.xor_eax_eax();
+    let loop_top = asm.label();
+    asm.bind(loop_top);
+    asm.add_eax_imm(1);
+    asm.store_eax_local();
+    for slot in slots {
+        asm.load_eax_local();
+        asm.mov_eax_imm(slot.number);
+        asm.mov_edi_imm(0);
+        if slot.legacy {
+            asm.int80();
+        } else {
+            asm.syscall();
+        }
+        asm.store_eax_local();
+        asm.nops(filler.min(8));
+    }
+    asm.load_eax_local();
+    asm.cmp_eax_imm(100);
+    asm.jne(loop_top);
+    asm.leave();
+    asm.ret();
+    asm.finish()
+}
+
+/// Builds a whole synthetic "text segment": `functions` copies of
+/// [`synthetic_function`], each containing `syscalls_per_function` syscall
+/// sites with distinct system-call numbers.
+#[must_use]
+pub fn synthetic_text_segment(functions: usize, syscalls_per_function: usize) -> Vec<u8> {
+    let mut code = Vec::new();
+    let mut number = 0u32;
+    for _ in 0..functions {
+        let slots: Vec<SyscallSlot> = (0..syscalls_per_function)
+            .map(|i| {
+                number += 1;
+                SyscallSlot {
+                    number,
+                    legacy: i % 5 == 4,
+                }
+            })
+            .collect();
+        code.extend_from_slice(&synthetic_function(&slots, 3));
+        // Function alignment padding, as emitted by real compilers.
+        while code.len() % 16 != 0 {
+            code.push(0x90);
+        }
+    }
+    code
+}
+
+/// A named entry in a synthetic symbol table (used by the vDSO model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolTable {
+    symbols: HashMap<String, usize>,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolTable {
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// Records `name` at `offset`.
+    pub fn define(&mut self, name: &str, offset: usize) {
+        self.symbols.insert(name.to_owned(), offset);
+    }
+
+    /// Looks up the offset of `name`.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over `(name, offset)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.symbols.iter().map(|(name, &offset)| (name.as_str(), offset))
+    }
+
+    /// Number of symbols defined.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if no symbols are defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder;
+
+    #[test]
+    fn assembled_code_is_fully_decodable() {
+        let code = synthetic_text_segment(4, 3);
+        let mut offset = 0;
+        while offset < code.len() {
+            let instruction = decoder::decode(&code, offset).expect("decodable");
+            offset = instruction.end();
+        }
+        assert_eq!(offset, code.len());
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut asm = Assembler::new();
+        let start = asm.label();
+        let end = asm.label();
+        asm.bind(start);
+        asm.mov_eax_imm(1);
+        asm.je(end);
+        asm.jmp(start);
+        asm.bind(end);
+        asm.ret();
+        let code = asm.finish();
+        // je target: the ret at the end.
+        let je = decoder::decode(&code, 5).unwrap();
+        assert_eq!(je.branch_target(), Some(code.len() - 1));
+        // jmp target: offset 0.
+        let jmp = decoder::decode(&code, 11).unwrap();
+        assert_eq!(jmp.branch_target(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_finish() {
+        let mut asm = Assembler::new();
+        let label = asm.label();
+        asm.jmp(label);
+        let _ = asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let label = asm.label();
+        asm.bind(label);
+        asm.bind(label);
+    }
+
+    #[test]
+    fn synthetic_function_contains_requested_syscalls() {
+        let slots = [
+            SyscallSlot {
+                number: 1,
+                legacy: false,
+            },
+            SyscallSlot {
+                number: 2,
+                legacy: true,
+            },
+        ];
+        let code = synthetic_function(&slots, 2);
+        let mut syscalls = 0;
+        let mut offset = 0;
+        while offset < code.len() {
+            let instruction = decoder::decode(&code, offset).unwrap();
+            if instruction.is_syscall() {
+                syscalls += 1;
+            }
+            offset = instruction.end();
+        }
+        assert_eq!(syscalls, 2);
+    }
+
+    #[test]
+    fn short_jumps_encode_correctly() {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.nop();
+        asm.jne_short(top);
+        let code = asm.finish();
+        let jne = decoder::decode(&code, 1).unwrap();
+        assert_eq!(jne.branch_target(), Some(0));
+    }
+
+    #[test]
+    fn symbol_table_round_trips() {
+        let mut table = SymbolTable::new();
+        assert!(table.is_empty());
+        table.define("time", 0x40);
+        table.define("gettimeofday", 0x80);
+        assert_eq!(table.lookup("time"), Some(0x40));
+        assert_eq!(table.lookup("missing"), None);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.iter().count(), 2);
+    }
+}

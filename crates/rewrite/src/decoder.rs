@@ -1,0 +1,637 @@
+//! x86-64 instruction length decoder.
+//!
+//! The binary rewriter does not need full semantic disassembly: to relocate
+//! the instructions surrounding a system call it only needs to know where
+//! every instruction *starts and ends*, and which instructions are
+//! control-flow transfers (whose targets must not fall inside a detour).
+//! This module implements exactly that — "a simple x86 disassembler" in the
+//! paper's words (§3.2) — as a table-driven length decoder covering the
+//! instruction forms produced by ordinary compiled code: legacy and REX
+//! prefixes, one- and two-byte opcodes, ModRM/SIB addressing, displacements
+//! and immediates.
+//!
+//! Unknown or 64-bit-invalid opcodes yield
+//! [`RewriteError::UndecodableInstruction`], letting the caller decide whether
+//! to abort or fall back to interrupt-based interception for that region.
+
+use crate::error::RewriteError;
+
+/// Maximum encodable length of an x86-64 instruction.
+pub const MAX_INSTRUCTION_LEN: usize = 15;
+
+/// Coarse classification of a decoded instruction, sufficient for the
+/// rewriter's control-flow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionClass {
+    /// `syscall` (0F 05) — the x86-64 fast system call.
+    Syscall,
+    /// `int imm8` (CD xx); `Int(0x80)` is the legacy 32-bit system call.
+    Int(u8),
+    /// `int3` (CC) breakpoint.
+    Int3,
+    /// `jmp rel8` (EB).
+    JumpRel8,
+    /// `jmp rel32` (E9).
+    JumpRel32,
+    /// `call rel32` (E8).
+    CallRel32,
+    /// Conditional jump with an 8-bit displacement (70–7F, E0–E3).
+    CondJumpRel8,
+    /// Conditional jump with a 32-bit displacement (0F 80–8F).
+    CondJumpRel32,
+    /// `ret` / `ret imm16`.
+    Ret,
+    /// `nop` and multi-byte nops.
+    Nop,
+    /// Anything else.
+    Other,
+}
+
+/// A decoded instruction: its position, length and classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Offset of the first byte, relative to the start of the decoded buffer.
+    pub offset: usize,
+    /// Total length in bytes, including prefixes.
+    pub len: usize,
+    /// Coarse classification.
+    pub class: InstructionClass,
+    /// Signed displacement of a relative branch, if this is one.
+    pub rel_displacement: Option<i32>,
+}
+
+impl Instruction {
+    /// Offset one past the last byte of the instruction.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// Returns `true` if this instruction is a system call entry point
+    /// (`syscall` or `int 0x80`).
+    #[must_use]
+    pub fn is_syscall(&self) -> bool {
+        matches!(
+            self.class,
+            InstructionClass::Syscall | InstructionClass::Int(0x80)
+        )
+    }
+
+    /// Returns `true` if this instruction is a relative control-flow transfer.
+    #[must_use]
+    pub fn is_relative_branch(&self) -> bool {
+        self.rel_displacement.is_some()
+    }
+
+    /// The buffer-relative target of a relative branch, if representable.
+    ///
+    /// Returns `None` for non-branches and for branches whose target lies
+    /// outside the decoded buffer (negative or overflowing offsets).
+    #[must_use]
+    pub fn branch_target(&self) -> Option<usize> {
+        let disp = self.rel_displacement?;
+        let next = self.end() as i64;
+        let target = next + i64::from(disp);
+        if target < 0 {
+            None
+        } else {
+            Some(target as usize)
+        }
+    }
+}
+
+/// Immediate-operand encodings understood by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Imm {
+    None,
+    /// One byte.
+    I8,
+    /// Two bytes.
+    I16,
+    /// Two or four bytes depending on the operand-size prefix ("z" form).
+    Iz,
+    /// Two, four or eight bytes depending on prefixes ("v" form, B8–BF movs).
+    Iv,
+    /// Eight-byte memory offset (A0–A3 moffs in 64-bit mode).
+    Moffs,
+    /// `enter`: imm16 followed by imm8.
+    Enter,
+}
+
+/// Per-opcode decoding info: does it take ModRM, and what immediate follows.
+#[derive(Debug, Clone, Copy)]
+struct OpcodeInfo {
+    modrm: bool,
+    imm: Imm,
+}
+
+const fn info(modrm: bool, imm: Imm) -> Option<OpcodeInfo> {
+    Some(OpcodeInfo { modrm, imm })
+}
+
+/// Returns decoding info for a one-byte opcode, or `None` if the opcode is
+/// invalid in 64-bit mode / not supported.
+fn one_byte_info(op: u8) -> Option<OpcodeInfo> {
+    match op {
+        // ALU r/m,r and r,r/m forms: 00-03, 08-0B, 10-13, ..., 38-3B.
+        0x00..=0x03
+        | 0x08..=0x0B
+        | 0x10..=0x13
+        | 0x18..=0x1B
+        | 0x20..=0x23
+        | 0x28..=0x2B
+        | 0x30..=0x33
+        | 0x38..=0x3B => info(true, Imm::None),
+        // ALU al,imm8 forms.
+        0x04 | 0x0C | 0x14 | 0x1C | 0x24 | 0x2C | 0x34 | 0x3C => info(false, Imm::I8),
+        // ALU eax,imm32 forms.
+        0x05 | 0x0D | 0x15 | 0x1D | 0x25 | 0x2D | 0x35 | 0x3D => info(false, Imm::Iz),
+        // push/pop r64.
+        0x50..=0x5F => info(false, Imm::None),
+        // movsxd r64, r/m32.
+        0x63 => info(true, Imm::None),
+        // push imm32 / imul r,r/m,imm32 / push imm8 / imul r,r/m,imm8.
+        0x68 => info(false, Imm::Iz),
+        0x69 => info(true, Imm::Iz),
+        0x6A => info(false, Imm::I8),
+        0x6B => info(true, Imm::I8),
+        // ins/outs string ops.
+        0x6C..=0x6F => info(false, Imm::None),
+        // jcc rel8.
+        0x70..=0x7F => info(false, Imm::I8),
+        // Immediate group 1.
+        0x80 => info(true, Imm::I8),
+        0x81 => info(true, Imm::Iz),
+        0x83 => info(true, Imm::I8),
+        // test/xchg/mov/lea/pop.
+        0x84..=0x8F => info(true, Imm::None),
+        // nop / xchg rAX / cwde / cdq / wait / pushf / popf / sahf / lahf.
+        0x90..=0x99 | 0x9B..=0x9F => info(false, Imm::None),
+        // mov al/eax <-> moffs (64-bit offset in long mode).
+        0xA0..=0xA3 => info(false, Imm::Moffs),
+        // movs/cmps.
+        0xA4..=0xA7 => info(false, Imm::None),
+        // test al,imm8 / test eax,imm32.
+        0xA8 => info(false, Imm::I8),
+        0xA9 => info(false, Imm::Iz),
+        // stos/lods/scas.
+        0xAA..=0xAF => info(false, Imm::None),
+        // mov r8, imm8.
+        0xB0..=0xB7 => info(false, Imm::I8),
+        // mov r32/r64, imm32/imm64.
+        0xB8..=0xBF => info(false, Imm::Iv),
+        // Shift group with imm8.
+        0xC0 | 0xC1 => info(true, Imm::I8),
+        // ret imm16 / ret.
+        0xC2 => info(false, Imm::I16),
+        0xC3 => info(false, Imm::None),
+        // mov r/m, imm.
+        0xC6 => info(true, Imm::I8),
+        0xC7 => info(true, Imm::Iz),
+        // enter imm16, imm8 / leave.
+        0xC8 => info(false, Imm::Enter),
+        0xC9 => info(false, Imm::None),
+        // far ret / int3 / int imm8 / iret.
+        0xCA => info(false, Imm::I16),
+        0xCB => info(false, Imm::None),
+        0xCC => info(false, Imm::None),
+        0xCD => info(false, Imm::I8),
+        0xCF => info(false, Imm::None),
+        // Shift group by 1/cl.
+        0xD0..=0xD3 => info(true, Imm::None),
+        // xlat.
+        0xD7 => info(false, Imm::None),
+        // x87 escape opcodes.
+        0xD8..=0xDF => info(true, Imm::None),
+        // loopne/loope/loop/jcxz rel8.
+        0xE0..=0xE3 => info(false, Imm::I8),
+        // in/out imm8.
+        0xE4..=0xE7 => info(false, Imm::I8),
+        // call rel32 / jmp rel32 / jmp rel8.
+        0xE8 => info(false, Imm::Iz),
+        0xE9 => info(false, Imm::Iz),
+        0xEB => info(false, Imm::I8),
+        // in/out dx.
+        0xEC..=0xEF => info(false, Imm::None),
+        // int1 / hlt / cmc.
+        0xF1 | 0xF4 | 0xF5 => info(false, Imm::None),
+        // Unary group 3 (test has an immediate, handled separately).
+        0xF6 | 0xF7 => info(true, Imm::None),
+        // clc..std.
+        0xF8..=0xFD => info(false, Imm::None),
+        // inc/dec group 4, group 5 (inc/dec/call/jmp/push r/m).
+        0xFE | 0xFF => info(true, Imm::None),
+        _ => None,
+    }
+}
+
+/// Returns decoding info for a two-byte (`0F xx`) opcode.
+fn two_byte_info(op: u8) -> Option<OpcodeInfo> {
+    match op {
+        // syscall / clts / sysret / invd / wbinvd / ud2.
+        0x05 | 0x06 | 0x07 | 0x08 | 0x09 | 0x0B => info(false, Imm::None),
+        // SSE moves and conversions, prefetch/nop hints.
+        0x10..=0x17 | 0x18..=0x1F | 0x28..=0x2F => info(true, Imm::None),
+        // mov to/from control and debug registers.
+        0x20..=0x23 => info(true, Imm::None),
+        // wrmsr / rdtsc / rdmsr / rdpmc / sysenter / sysexit.
+        0x30..=0x35 => info(false, Imm::None),
+        // cmovcc.
+        0x40..=0x4F => info(true, Imm::None),
+        // SSE arithmetic; 70-73 take an imm8.
+        0x50..=0x6F => info(true, Imm::None),
+        0x70..=0x73 => info(true, Imm::I8),
+        0x74..=0x7F => info(true, Imm::None),
+        // jcc rel32.
+        0x80..=0x8F => info(false, Imm::Iz),
+        // setcc.
+        0x90..=0x9F => info(true, Imm::None),
+        // push/pop fs/gs, cpuid, bt, shld.
+        0xA0 | 0xA1 | 0xA2 | 0xA8 | 0xA9 | 0xAA => info(false, Imm::None),
+        0xA3 | 0xA5 | 0xAB | 0xAD | 0xAE | 0xAF => info(true, Imm::None),
+        0xA4 | 0xAC => info(true, Imm::I8),
+        // cmpxchg, btr, movzx/movsx, bsf/bsr, btc.
+        0xB0 | 0xB1 | 0xB3 | 0xB6 | 0xB7 | 0xBB..=0xBF => info(true, Imm::None),
+        // Group 8: bt/bts/btr/btc r/m, imm8.
+        0xBA => info(true, Imm::I8),
+        // xadd, cmpps (imm8), movnti, pinsrw (imm8), pextrw (imm8), shufps (imm8), group 9.
+        0xC0 | 0xC1 | 0xC3 | 0xC7 => info(true, Imm::None),
+        0xC2 | 0xC4 | 0xC5 | 0xC6 => info(true, Imm::I8),
+        // bswap.
+        0xC8..=0xCF => info(false, Imm::None),
+        // Remaining SSE/MMX blocks all take ModRM and no immediate.
+        0xD0..=0xFE => info(true, Imm::None),
+        _ => None,
+    }
+}
+
+/// Decodes the instruction starting at `offset` inside `code`.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::UndecodableInstruction`] for opcodes outside the
+/// supported set and [`RewriteError::TruncatedInstruction`] if the
+/// instruction would run past the end of `code`.
+pub fn decode(code: &[u8], offset: usize) -> Result<Instruction, RewriteError> {
+    let mut cursor = offset;
+    let truncated = |offset| RewriteError::TruncatedInstruction { offset };
+    let mut operand_size_16 = false;
+    let mut rex_w = false;
+
+    // Legacy prefixes (any number, in any order).
+    loop {
+        let byte = *code.get(cursor).ok_or(truncated(offset))?;
+        match byte {
+            0xF0 | 0xF2 | 0xF3 | 0x2E | 0x36 | 0x3E | 0x26 | 0x64 | 0x65 | 0x67 => cursor += 1,
+            0x66 => {
+                operand_size_16 = true;
+                cursor += 1;
+            }
+            _ => break,
+        }
+        if cursor - offset > MAX_INSTRUCTION_LEN {
+            return Err(RewriteError::UndecodableInstruction {
+                offset,
+                opcode: byte,
+            });
+        }
+    }
+
+    // REX prefix (at most one, immediately before the opcode).
+    if let Some(&byte) = code.get(cursor) {
+        if (0x40..=0x4F).contains(&byte) {
+            rex_w = byte & 0x08 != 0;
+            cursor += 1;
+        }
+    }
+
+    let opcode = *code.get(cursor).ok_or(truncated(offset))?;
+    cursor += 1;
+
+    let (op_info, class, second_opcode) = if opcode == 0x0F {
+        let second = *code.get(cursor).ok_or(truncated(offset))?;
+        cursor += 1;
+        let op_info = two_byte_info(second).ok_or(RewriteError::UndecodableInstruction {
+            offset,
+            opcode: second,
+        })?;
+        let class = match second {
+            0x05 => InstructionClass::Syscall,
+            0x80..=0x8F => InstructionClass::CondJumpRel32,
+            0x1F => InstructionClass::Nop,
+            _ => InstructionClass::Other,
+        };
+        (op_info, class, Some(second))
+    } else {
+        let op_info = one_byte_info(opcode).ok_or(RewriteError::UndecodableInstruction {
+            offset,
+            opcode,
+        })?;
+        let class = match opcode {
+            0xCC => InstructionClass::Int3,
+            0xCD => InstructionClass::Other, // refined after the immediate is read
+            0xE8 => InstructionClass::CallRel32,
+            0xE9 => InstructionClass::JumpRel32,
+            0xEB => InstructionClass::JumpRel8,
+            0x70..=0x7F | 0xE0..=0xE3 => InstructionClass::CondJumpRel8,
+            0xC2 | 0xC3 | 0xCA | 0xCB => InstructionClass::Ret,
+            0x90 => InstructionClass::Nop,
+            _ => InstructionClass::Other,
+        };
+        (op_info, class, None)
+    };
+
+    // ModRM, SIB and displacement.
+    let mut group3_imm = Imm::None;
+    if op_info.modrm {
+        let modrm = *code.get(cursor).ok_or(truncated(offset))?;
+        cursor += 1;
+        let modbits = modrm >> 6;
+        let reg = (modrm >> 3) & 0x7;
+        let rm = modrm & 0x7;
+        if modbits != 0b11 && rm == 0b100 {
+            // SIB byte present.
+            let sib = *code.get(cursor).ok_or(truncated(offset))?;
+            cursor += 1;
+            let base = sib & 0x7;
+            if modbits == 0b00 && base == 0b101 {
+                cursor += 4; // disp32 with no base register
+            }
+        }
+        match modbits {
+            0b00 => {
+                if rm == 0b101 {
+                    cursor += 4; // RIP-relative disp32
+                }
+            }
+            0b01 => cursor += 1,
+            0b10 => cursor += 4,
+            _ => {}
+        }
+        // Group 3 (F6/F7): the `test` forms (reg 0 and 1) carry an immediate.
+        if second_opcode.is_none() && (opcode == 0xF6 || opcode == 0xF7) && reg <= 1 {
+            group3_imm = if opcode == 0xF6 { Imm::I8 } else { Imm::Iz };
+        }
+    }
+
+    // Immediate operand.
+    let imm = if group3_imm != Imm::None {
+        group3_imm
+    } else {
+        op_info.imm
+    };
+    let imm_len = match imm {
+        Imm::None => 0,
+        Imm::I8 => 1,
+        Imm::I16 => 2,
+        Imm::Iz => {
+            if operand_size_16 {
+                2
+            } else {
+                4
+            }
+        }
+        Imm::Iv => {
+            if rex_w {
+                8
+            } else if operand_size_16 {
+                2
+            } else {
+                4
+            }
+        }
+        Imm::Moffs => 8,
+        Imm::Enter => 3,
+    };
+    if cursor + imm_len > code.len() {
+        return Err(truncated(offset));
+    }
+    let imm_start = cursor;
+    cursor += imm_len;
+
+    let len = cursor - offset;
+    if len > MAX_INSTRUCTION_LEN {
+        return Err(RewriteError::UndecodableInstruction { offset, opcode });
+    }
+
+    // Refine the classification now that the immediate bytes are known.
+    let mut class = class;
+    let mut rel_displacement = None;
+    match class {
+        InstructionClass::JumpRel8 | InstructionClass::CondJumpRel8 => {
+            rel_displacement = Some(i32::from(code[imm_start] as i8));
+        }
+        InstructionClass::JumpRel32
+        | InstructionClass::CallRel32
+        | InstructionClass::CondJumpRel32 => {
+            let bytes = [
+                code[imm_start],
+                code[imm_start + 1],
+                code[imm_start + 2],
+                code[imm_start + 3],
+            ];
+            rel_displacement = Some(i32::from_le_bytes(bytes));
+        }
+        _ => {}
+    }
+    if second_opcode.is_none() && opcode == 0xCD {
+        class = InstructionClass::Int(code[imm_start]);
+    }
+
+    Ok(Instruction {
+        offset,
+        len,
+        class,
+        rel_displacement,
+    })
+}
+
+/// An iterator decoding successive instructions from a byte buffer.
+///
+/// Produced by [`iter`]; yields `Err` once and stops if an undecodable or
+/// truncated instruction is encountered.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    code: &'a [u8],
+    offset: usize,
+    failed: bool,
+}
+
+/// Decodes `code` from `start` to the end, one instruction at a time.
+#[must_use]
+pub fn iter(code: &[u8], start: usize) -> Iter<'_> {
+    Iter {
+        code,
+        offset: start,
+        failed: false,
+    }
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = Result<Instruction, RewriteError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset >= self.code.len() {
+            return None;
+        }
+        match decode(self.code, self.offset) {
+            Ok(instruction) => {
+                self.offset = instruction.end();
+                Some(Ok(instruction))
+            }
+            Err(error) => {
+                self.failed = true;
+                Some(Err(error))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn len_of(bytes: &[u8]) -> usize {
+        decode(bytes, 0).expect("decodable").len
+    }
+
+    #[test]
+    fn decodes_simple_one_byte_instructions() {
+        assert_eq!(len_of(&[0x90]), 1); // nop
+        assert_eq!(len_of(&[0xC3]), 1); // ret
+        assert_eq!(len_of(&[0x50]), 1); // push rax
+        assert_eq!(len_of(&[0xCC]), 1); // int3
+        assert_eq!(len_of(&[0xF4]), 1); // hlt
+    }
+
+    #[test]
+    fn decodes_syscall_and_int80() {
+        let syscall = decode(&[0x0F, 0x05], 0).unwrap();
+        assert_eq!(syscall.len, 2);
+        assert_eq!(syscall.class, InstructionClass::Syscall);
+        assert!(syscall.is_syscall());
+
+        let int80 = decode(&[0xCD, 0x80], 0).unwrap();
+        assert_eq!(int80.len, 2);
+        assert_eq!(int80.class, InstructionClass::Int(0x80));
+        assert!(int80.is_syscall());
+
+        let int1 = decode(&[0xCD, 0x01], 0).unwrap();
+        assert!(!int1.is_syscall());
+    }
+
+    #[test]
+    fn decodes_mov_immediates() {
+        assert_eq!(len_of(&[0xB8, 1, 0, 0, 0]), 5); // mov eax, 1
+        assert_eq!(len_of(&[0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8]), 10); // movabs rax, imm64
+        assert_eq!(len_of(&[0x66, 0xB8, 1, 0]), 4); // mov ax, 1
+        assert_eq!(len_of(&[0xB0, 0x7F]), 2); // mov al, 0x7f
+    }
+
+    #[test]
+    fn decodes_modrm_and_sib_forms() {
+        assert_eq!(len_of(&[0x89, 0xD8]), 2); // mov eax, ebx (reg-reg)
+        assert_eq!(len_of(&[0x89, 0x45, 0x08]), 3); // mov [rbp+8], eax (disp8)
+        assert_eq!(len_of(&[0x89, 0x85, 0x00, 0x01, 0x00, 0x00]), 6); // disp32
+        assert_eq!(len_of(&[0x8B, 0x04, 0x25, 0x10, 0x00, 0x00, 0x00]), 7); // SIB, no base
+        assert_eq!(len_of(&[0x48, 0x8B, 0x04, 0xC8]), 4); // mov rax, [rax+rcx*8]
+        assert_eq!(len_of(&[0x8B, 0x05, 0x44, 0x33, 0x22, 0x11]), 6); // RIP-relative
+    }
+
+    #[test]
+    fn decodes_group3_test_immediates() {
+        assert_eq!(len_of(&[0xF7, 0xC0, 1, 0, 0, 0]), 6); // test eax, imm32
+        assert_eq!(len_of(&[0xF6, 0xC1, 0x01]), 3); // test cl, imm8
+        assert_eq!(len_of(&[0xF7, 0xD8]), 2); // neg eax (no immediate)
+    }
+
+    #[test]
+    fn decodes_branches_with_targets() {
+        let jmp = decode(&[0xEB, 0x10], 0).unwrap();
+        assert_eq!(jmp.class, InstructionClass::JumpRel8);
+        assert_eq!(jmp.branch_target(), Some(0x12));
+
+        let call = decode(&[0xE8, 0x00, 0x01, 0x00, 0x00], 0).unwrap();
+        assert_eq!(call.class, InstructionClass::CallRel32);
+        assert_eq!(call.branch_target(), Some(0x105));
+
+        let jcc = decode(&[0x0F, 0x84, 0x20, 0x00, 0x00, 0x00], 0).unwrap();
+        assert_eq!(jcc.class, InstructionClass::CondJumpRel32);
+        assert_eq!(jcc.branch_target(), Some(0x26));
+
+        let backwards = decode(&[0x75, 0xFE], 0).unwrap(); // jnz -2 (to itself)
+        assert_eq!(backwards.branch_target(), Some(0));
+
+        let out_of_range = decode(&[0x75, 0x80], 0).unwrap(); // target before buffer
+        assert_eq!(out_of_range.branch_target(), None);
+    }
+
+    #[test]
+    fn decodes_two_byte_opcodes() {
+        assert_eq!(len_of(&[0x0F, 0xB6, 0xC0]), 3); // movzx eax, al
+        assert_eq!(len_of(&[0x0F, 0xAF, 0xC3]), 3); // imul eax, ebx
+        assert_eq!(len_of(&[0x0F, 0x1F, 0x40, 0x00]), 4); // 4-byte nop
+        assert_eq!(len_of(&[0x0F, 0xA2]), 2); // cpuid
+        assert_eq!(len_of(&[0x0F, 0x31]), 2); // rdtsc
+        assert_eq!(len_of(&[0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00]), 6); // 6-byte nop
+    }
+
+    #[test]
+    fn rejects_invalid_opcodes() {
+        assert!(matches!(
+            decode(&[0x06], 0),
+            Err(RewriteError::UndecodableInstruction { opcode: 0x06, .. })
+        ));
+        assert!(matches!(
+            decode(&[0x0F, 0xFF, 0x00], 0),
+            Err(RewriteError::UndecodableInstruction { opcode: 0xFF, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_instructions() {
+        assert!(matches!(
+            decode(&[0xB8, 0x01], 0),
+            Err(RewriteError::TruncatedInstruction { .. })
+        ));
+        assert!(matches!(
+            decode(&[0x0F], 0),
+            Err(RewriteError::TruncatedInstruction { .. })
+        ));
+        assert!(matches!(
+            decode(&[0x89], 0),
+            Err(RewriteError::TruncatedInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn prefixes_are_counted_in_length() {
+        // lock cmpxchg [rdx], ecx
+        assert_eq!(len_of(&[0xF0, 0x0F, 0xB1, 0x0A]), 4);
+        // rep movsb
+        assert_eq!(len_of(&[0xF3, 0xA4]), 2);
+        // fs-segment mov with REX.
+        assert_eq!(len_of(&[0x64, 0x48, 0x8B, 0x04, 0x25, 0, 0, 0, 0]), 9);
+    }
+
+    #[test]
+    fn iterator_walks_a_basic_block() {
+        // mov eax, 1; syscall; ret
+        let code = [0xB8, 1, 0, 0, 0, 0x0F, 0x05, 0xC3];
+        let decoded: Vec<Instruction> = iter(&code, 0).collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].len, 5);
+        assert_eq!(decoded[1].class, InstructionClass::Syscall);
+        assert_eq!(decoded[2].class, InstructionClass::Ret);
+        assert_eq!(decoded[2].end(), code.len());
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let code = [0x90, 0x06, 0x90];
+        let results: Vec<_> = iter(&code, 0).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

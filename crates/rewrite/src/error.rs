@@ -1,0 +1,100 @@
+//! Error type for the binary rewriting pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while scanning or rewriting a code segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RewriteError {
+    /// An instruction could not be decoded at the given segment offset.
+    UndecodableInstruction {
+        /// Offset of the first undecodable byte, relative to the segment base.
+        offset: usize,
+        /// The opcode byte that could not be classified.
+        opcode: u8,
+    },
+    /// An instruction appears to run past the end of the segment.
+    TruncatedInstruction {
+        /// Offset of the truncated instruction.
+        offset: usize,
+    },
+    /// The trampoline area is full; no more detours can be emitted.
+    TrampolineExhausted {
+        /// Bytes of trampoline space configured.
+        capacity: usize,
+    },
+    /// A jump displacement does not fit in the signed 32-bit field of
+    /// `jmp rel32` (segment and trampoline too far apart).
+    DisplacementOverflow {
+        /// Offset of the patch site.
+        offset: usize,
+    },
+    /// The segment violates the W⊕X discipline for the attempted operation.
+    PermissionViolation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A vDSO symbol required for rewriting was not found.
+    MissingVdsoSymbol(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UndecodableInstruction { offset, opcode } => write!(
+                f,
+                "undecodable instruction at offset {offset:#x} (opcode {opcode:#04x})"
+            ),
+            RewriteError::TruncatedInstruction { offset } => {
+                write!(f, "instruction at offset {offset:#x} is truncated")
+            }
+            RewriteError::TrampolineExhausted { capacity } => {
+                write!(f, "trampoline area of {capacity} bytes exhausted")
+            }
+            RewriteError::DisplacementOverflow { offset } => write!(
+                f,
+                "jump displacement at offset {offset:#x} does not fit in 32 bits"
+            ),
+            RewriteError::PermissionViolation { reason } => {
+                write!(f, "w^x permission violation: {reason}")
+            }
+            RewriteError::MissingVdsoSymbol(name) => {
+                write!(f, "vdso symbol `{name}` not found")
+            }
+        }
+    }
+}
+
+impl Error for RewriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases = vec![
+            RewriteError::UndecodableInstruction {
+                offset: 0x10,
+                opcode: 0x0f,
+            },
+            RewriteError::TruncatedInstruction { offset: 0x20 },
+            RewriteError::TrampolineExhausted { capacity: 64 },
+            RewriteError::DisplacementOverflow { offset: 0x30 },
+            RewriteError::PermissionViolation {
+                reason: "segment mapped writable and executable".into(),
+            },
+            RewriteError::MissingVdsoSymbol("time".into()),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RewriteError>();
+    }
+}

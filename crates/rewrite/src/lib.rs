@@ -1,0 +1,70 @@
+//! Selective binary rewriting for the VARAN N-version execution framework
+//! reproduction (§3.2 of the paper).
+//!
+//! VARAN intercepts system calls without `ptrace` by rewriting, in place,
+//! every system-call instruction of a loaded text segment into a jump to an
+//! internal system-call entry point.  This crate implements that machinery:
+//!
+//! * [`decoder`] — an x86-64 instruction *length* decoder (prefixes, REX,
+//!   ModRM/SIB, displacements, immediates) sufficient to walk a text segment
+//!   instruction by instruction.
+//! * [`scanner`] — walks a [`CodeSegment`] and reports every system-call site
+//!   (`syscall`, `int 0x80`) together with the surrounding instruction
+//!   boundaries and the set of potential branch targets.
+//! * [`patcher`] — performs *binary detouring via trampolines*: each 2-byte
+//!   system-call instruction is replaced by a 5-byte `jmp rel32` to a
+//!   trampoline, relocating the neighbouring instructions; when relocation is
+//!   unsafe (a relocated byte is a potential branch target) the site falls
+//!   back to a 2-byte software interrupt, exactly as described in §3.2.
+//! * [`vdso`] — rewriting of virtual system calls exported by a synthetic
+//!   vDSO segment (§3.2.1): entry points are replaced by jumps to dynamically
+//!   generated stubs, and trampolines preserve the original entry code.
+//! * [`wxorx`] — the W⊕X discipline tracker the rewriter follows so that no
+//!   segment is ever writable and executable at the same time.
+//! * [`asm`] — a miniature x86-64 assembler used to generate realistic
+//!   synthetic text segments for tests and benchmarks (the stand-in for real
+//!   ELF executables; see `DESIGN.md`).
+//!
+//! The crate operates on owned byte buffers ([`CodeSegment`]) rather than live
+//! process memory, which keeps the algorithms identical while remaining safe
+//! and portable.
+//!
+//! # Example
+//!
+//! ```
+//! use varan_rewrite::{asm::Assembler, patcher::{PatchConfig, Patcher}, CodeSegment};
+//!
+//! # fn main() -> Result<(), varan_rewrite::RewriteError> {
+//! // Build a synthetic text segment containing two system calls.
+//! let mut asm = Assembler::new();
+//! asm.mov_eax_imm(1);      // __NR_write
+//! asm.syscall();
+//! asm.mov_eax_imm(60);     // __NR_exit
+//! asm.syscall();
+//! asm.ret();
+//! let segment = CodeSegment::new(0x40_0000, asm.finish());
+//!
+//! // Rewrite every syscall into a jump to the monitor's entry point.
+//! let patcher = Patcher::new(PatchConfig::default());
+//! let outcome = patcher.rewrite(&segment)?;
+//! assert_eq!(outcome.patches.len(), 2);
+//! assert_eq!(outcome.remaining_syscalls(), 0, "no un-rewritten syscalls remain");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod asm;
+pub mod decoder;
+pub mod patcher;
+pub mod scanner;
+pub mod vdso;
+pub mod wxorx;
+
+mod error;
+mod segment;
+
+pub use error::RewriteError;
+pub use segment::{CodeSegment, Permissions};

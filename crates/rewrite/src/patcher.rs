@@ -1,0 +1,683 @@
+//! Rewriting system-call sites into jumps: binary detouring via trampolines
+//! (§3.2).
+//!
+//! A system-call instruction is only two bytes long but a `jmp rel32` needs
+//! five, so the patcher must relocate the instructions following the site
+//! into a per-site trampoline.  When relocation is impossible — because one
+//! of the bytes that would be overwritten is a potential branch target — the
+//! site is instead rewritten to a two-byte software interrupt, which the
+//! monitor catches through a signal handler and redirects to the same
+//! system-call entry point (the paper's `INT 0x0` fallback).
+//!
+//! The emitted layout mirrors the original system:
+//!
+//! ```text
+//!  text segment                         trampoline area
+//!  ┌──────────────────────────┐         ┌─────────────────────────────┐
+//!  │ ...                      │         │ [entry thunk]               │
+//!  │ jmp  site_trampoline ────┼────────▶│ call entry_point            │
+//!  │ nop (padding)            │         │ <relocated instructions>    │
+//!  │ ...                ◀─────┼─────────┼─ jmp  back_to_text          │
+//!  └──────────────────────────┘         └─────────────────────────────┘
+//! ```
+
+use crate::decoder::{self, InstructionClass};
+use crate::error::RewriteError;
+use crate::scanner::{self, ScanReport, SyscallSite};
+use crate::segment::CodeSegment;
+
+/// Size, in bytes, of a `jmp rel32` / `call rel32` instruction.
+const JMP_REL32_LEN: usize = 5;
+/// Size of the synthetic entry thunk placed at the start of the trampoline
+/// area when no external entry point is configured.
+const ENTRY_THUNK_LEN: usize = 16;
+
+/// Configuration of the patcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchConfig {
+    /// Virtual address of the monitor's system-call entry point.  When
+    /// `None`, a synthetic entry thunk is emitted at the start of the
+    /// trampoline area and used as the target.
+    pub entry_point: Option<u64>,
+    /// Base virtual address of the trampoline area.  When `None`, the area is
+    /// placed immediately after the text segment (16-byte aligned), which is
+    /// where VARAN maps its per-segment trampoline pages.
+    pub trampoline_base: Option<u64>,
+    /// Maximum number of bytes of trampoline code that may be emitted.
+    pub trampoline_capacity: usize,
+    /// Whether sites that cannot be detoured may fall back to an interrupt.
+    pub interrupt_fallback: bool,
+    /// Interrupt vector used by the fallback (the paper uses `INT 0x0`).
+    pub interrupt_vector: u8,
+}
+
+impl Default for PatchConfig {
+    fn default() -> Self {
+        PatchConfig {
+            entry_point: None,
+            trampoline_base: None,
+            trampoline_capacity: 64 * 1024,
+            interrupt_fallback: true,
+            interrupt_vector: 0x00,
+        }
+    }
+}
+
+/// How a particular site was rewritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchMethod {
+    /// The site was overwritten with a `jmp rel32` to a trampoline.
+    Detour {
+        /// Offset of the site's trampoline inside the trampoline segment.
+        trampoline_offset: usize,
+        /// Number of original bytes overwritten at the site.
+        covered: usize,
+        /// Number of instruction bytes relocated into the trampoline.
+        relocated: usize,
+    },
+    /// The site was overwritten with a 2-byte software interrupt.
+    Interrupt {
+        /// The interrupt vector emitted.
+        vector: u8,
+    },
+    /// The site's instruction was absorbed into the trampoline of an earlier,
+    /// overlapping site and rewritten there as a call to the entry point.
+    Inlined {
+        /// Offset of the absorbing trampoline inside the trampoline segment.
+        trampoline_offset: usize,
+    },
+    /// The site could not be rewritten (only possible when
+    /// [`PatchConfig::interrupt_fallback`] is disabled).
+    Skipped,
+}
+
+/// The rewrite record for one system-call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    /// The site that was rewritten.
+    pub site: SyscallSite,
+    /// How it was rewritten.
+    pub method: PatchMethod,
+}
+
+/// Aggregate statistics about one rewrite pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// System-call sites found by the scanner.
+    pub sites: usize,
+    /// Sites rewritten with a detour.
+    pub detours: usize,
+    /// Sites rewritten with the interrupt fallback.
+    pub interrupts: usize,
+    /// Sites absorbed into an earlier trampoline.
+    pub inlined: usize,
+    /// Sites left untouched (fallback disabled).
+    pub skipped: usize,
+    /// Bytes of original code relocated into trampolines.
+    pub relocated_bytes: usize,
+    /// Padding bytes written into the text segment.
+    pub nop_bytes: usize,
+    /// Total bytes of trampoline code emitted (including the entry thunk).
+    pub trampoline_bytes: usize,
+}
+
+/// The result of rewriting one code segment.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The rewritten text segment (same base address as the input).
+    pub patched: CodeSegment,
+    /// The trampoline segment generated for this text segment.
+    pub trampoline: CodeSegment,
+    /// Per-site rewrite records, in ascending site order.
+    pub patches: Vec<Patch>,
+    /// Aggregate statistics.
+    pub stats: PatchStats,
+    /// Virtual address used as the system-call entry point.
+    pub entry_point: u64,
+}
+
+impl RewriteOutcome {
+    /// Re-scans the patched text segment and returns how many system-call
+    /// instructions remain (zero unless sites were skipped).
+    #[must_use]
+    pub fn remaining_syscalls(&self) -> usize {
+        scanner::scan_with_policy(&self.patched, scanner::ScanPolicy::SkipUnknown)
+            .map(|report| report.site_count())
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Checks the structural invariants of the rewrite:
+    /// the patched segment has the same length as the original, every
+    /// detoured site starts with a `jmp rel32` into the trampoline area, and
+    /// every interrupt site starts with the configured interrupt opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RewriteError::PermissionViolation`] describing the first
+    /// violated invariant (reusing the error type's free-form reason).
+    pub fn verify(&self) -> Result<(), RewriteError> {
+        let code = self.patched.bytes();
+        for patch in &self.patches {
+            let offset = patch.site.offset;
+            match patch.method {
+                PatchMethod::Detour { .. } => {
+                    if code[offset] != 0xE9 {
+                        return Err(RewriteError::PermissionViolation {
+                            reason: format!("detoured site {offset:#x} does not start with jmp"),
+                        });
+                    }
+                    let instruction = decoder::decode(code, offset)?;
+                    let target = instruction
+                        .branch_target()
+                        .map(|t| self.patched.base() + t as u64);
+                    // Branch target resolution is segment-relative; convert to
+                    // an absolute address before comparing with the trampoline.
+                    let absolute = match instruction.rel_displacement {
+                        Some(disp) => {
+                            let next = self.patched.base() + instruction.end() as u64;
+                            Some((next as i64 + i64::from(disp)) as u64)
+                        }
+                        None => target,
+                    };
+                    let inside = absolute
+                        .map(|addr| {
+                            addr >= self.trampoline.base() && addr < self.trampoline.end()
+                        })
+                        .unwrap_or(false);
+                    if !inside {
+                        return Err(RewriteError::PermissionViolation {
+                            reason: format!(
+                                "detour at {offset:#x} does not target the trampoline area"
+                            ),
+                        });
+                    }
+                }
+                PatchMethod::Interrupt { vector } => {
+                    if code[offset] != 0xCD || code[offset + 1] != vector {
+                        return Err(RewriteError::PermissionViolation {
+                            reason: format!("interrupt site {offset:#x} not rewritten"),
+                        });
+                    }
+                }
+                PatchMethod::Inlined { .. } | PatchMethod::Skipped => {}
+            }
+        }
+        if self.patched.len() != self.patched.bytes().len() {
+            return Err(RewriteError::PermissionViolation {
+                reason: "patched segment length mismatch".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The selective binary rewriter.
+#[derive(Debug, Clone, Default)]
+pub struct Patcher {
+    config: PatchConfig,
+}
+
+impl Patcher {
+    /// Creates a patcher with the given configuration.
+    #[must_use]
+    pub fn new(config: PatchConfig) -> Self {
+        Patcher { config }
+    }
+
+    /// The configuration this patcher uses.
+    #[must_use]
+    pub fn config(&self) -> &PatchConfig {
+        &self.config
+    }
+
+    /// Scans and rewrites `segment`, returning the patched segment, the
+    /// generated trampolines and per-site records.
+    ///
+    /// # Errors
+    ///
+    /// Returns decoding errors from the scanner, or
+    /// [`RewriteError::TrampolineExhausted`] /
+    /// [`RewriteError::DisplacementOverflow`] if the trampoline area cannot
+    /// hold the required detours.
+    pub fn rewrite(&self, segment: &CodeSegment) -> Result<RewriteOutcome, RewriteError> {
+        let report = scanner::scan(segment)?;
+        self.rewrite_with_report(segment, &report)
+    }
+
+    /// Like [`Patcher::rewrite`] but reuses an existing scan report.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Patcher::rewrite`].
+    pub fn rewrite_with_report(
+        &self,
+        segment: &CodeSegment,
+        report: &ScanReport,
+    ) -> Result<RewriteOutcome, RewriteError> {
+        let trampoline_base = self
+            .config
+            .trampoline_base
+            .unwrap_or_else(|| (segment.end() + 0xF) & !0xF);
+        let mut trampoline: Vec<u8> = Vec::new();
+        let entry_point = match self.config.entry_point {
+            Some(address) => address,
+            None => {
+                // Synthetic entry thunk: a recognisable pad of `int3`.
+                trampoline.extend_from_slice(&[0xCC; ENTRY_THUNK_LEN]);
+                trampoline_base
+            }
+        };
+
+        let mut patched = segment.bytes().to_vec();
+        let mut patches = Vec::with_capacity(report.sites.len());
+        let mut stats = PatchStats {
+            sites: report.sites.len(),
+            ..PatchStats::default()
+        };
+        // Sites already absorbed by an earlier trampoline: (offset, tramp_off).
+        let mut inlined_sites: Vec<(usize, usize)> = Vec::new();
+
+        for site in &report.sites {
+            if let Some(&(_, trampoline_offset)) = inlined_sites
+                .iter()
+                .find(|(offset, _)| *offset == site.offset)
+            {
+                patches.push(Patch {
+                    site: *site,
+                    method: PatchMethod::Inlined { trampoline_offset },
+                });
+                stats.inlined += 1;
+                continue;
+            }
+            match self.try_detour(
+                segment,
+                report,
+                site,
+                &mut patched,
+                &mut trampoline,
+                trampoline_base,
+                entry_point,
+                &mut inlined_sites,
+            )? {
+                Some((method, relocated, nops)) => {
+                    stats.detours += 1;
+                    stats.relocated_bytes += relocated;
+                    stats.nop_bytes += nops;
+                    patches.push(Patch {
+                        site: *site,
+                        method,
+                    });
+                }
+                None => {
+                    if self.config.interrupt_fallback {
+                        patched[site.offset] = 0xCD;
+                        patched[site.offset + 1] = self.config.interrupt_vector;
+                        stats.interrupts += 1;
+                        patches.push(Patch {
+                            site: *site,
+                            method: PatchMethod::Interrupt {
+                                vector: self.config.interrupt_vector,
+                            },
+                        });
+                    } else {
+                        stats.skipped += 1;
+                        patches.push(Patch {
+                            site: *site,
+                            method: PatchMethod::Skipped,
+                        });
+                    }
+                }
+            }
+        }
+
+        stats.trampoline_bytes = trampoline.len();
+        Ok(RewriteOutcome {
+            patched: CodeSegment::new(segment.base(), patched),
+            trampoline: CodeSegment::new(trampoline_base, trampoline),
+            patches,
+            stats,
+            entry_point,
+        })
+    }
+
+    /// Attempts to detour `site`. Returns `Ok(None)` if the site must fall
+    /// back to an interrupt, `Ok(Some(...))` on success.
+    #[allow(clippy::too_many_arguments)]
+    fn try_detour(
+        &self,
+        segment: &CodeSegment,
+        report: &ScanReport,
+        site: &SyscallSite,
+        patched: &mut [u8],
+        trampoline: &mut Vec<u8>,
+        trampoline_base: u64,
+        entry_point: u64,
+        inlined_sites: &mut Vec<(usize, usize)>,
+    ) -> Result<Option<(PatchMethod, usize, usize)>, RewriteError> {
+        let code = segment.bytes();
+        // Collect the instructions that the 5-byte jump will overwrite.
+        let mut covered = 0usize;
+        let mut instructions = Vec::new();
+        let mut cursor = site.offset;
+        while covered < JMP_REL32_LEN {
+            if cursor >= code.len() {
+                return Ok(None); // segment ends before we can cover 5 bytes
+            }
+            let instruction = match decoder::decode(code, cursor) {
+                Ok(instruction) => instruction,
+                Err(_) => return Ok(None),
+            };
+            // A later instruction that is itself a branch target means some
+            // other code jumps into the middle of the region we would
+            // overwrite; relocating it would break that jump.
+            if cursor != site.offset && report.branch_targets.contains(&cursor) {
+                return Ok(None);
+            }
+            covered += instruction.len;
+            instructions.push(instruction);
+            cursor += instruction.len;
+        }
+
+        // Relocated instructions are everything after the syscall itself.
+        // Relative rel8 branches cannot be relocated safely (their range is
+        // too small to reach back); rel32 branches get their displacement
+        // fixed up below.
+        for instruction in &instructions[1..] {
+            if matches!(
+                instruction.class,
+                InstructionClass::JumpRel8 | InstructionClass::CondJumpRel8
+            ) {
+                return Ok(None);
+            }
+        }
+
+        let trampoline_offset = trampoline.len();
+        let trampoline_va = trampoline_base + trampoline_offset as u64;
+        let site_va = segment.base() + site.offset as u64;
+
+        // 1. call entry_point
+        let mut thunk: Vec<u8> = Vec::new();
+        let call_next = trampoline_va + JMP_REL32_LEN as u64;
+        let call_disp = i64_to_i32(entry_point as i64 - call_next as i64)
+            .ok_or(RewriteError::DisplacementOverflow {
+                offset: site.offset,
+            })?;
+        thunk.push(0xE8);
+        thunk.extend_from_slice(&call_disp.to_le_bytes());
+
+        // 2. relocated instructions (with rel32 fixups).
+        let mut relocated_bytes = 0usize;
+        for instruction in &instructions[1..] {
+            let old_bytes = &code[instruction.offset..instruction.end()];
+            let new_offset_va = trampoline_va + thunk.len() as u64;
+            if instruction.is_syscall() {
+                // An overlapping syscall site: rewrite it, inside the
+                // trampoline, as another call to the entry point.
+                let next = new_offset_va + JMP_REL32_LEN as u64;
+                let disp = i64_to_i32(entry_point as i64 - next as i64).ok_or(
+                    RewriteError::DisplacementOverflow {
+                        offset: instruction.offset,
+                    },
+                )?;
+                thunk.push(0xE8);
+                thunk.extend_from_slice(&disp.to_le_bytes());
+                inlined_sites.push((instruction.offset, trampoline_offset));
+            } else if let Some(disp) = instruction.rel_displacement {
+                // rel32 branch: retarget it from its new location.
+                let old_next_va = segment.base() + instruction.end() as u64;
+                let target_va = old_next_va as i64 + i64::from(disp);
+                let new_next_va = new_offset_va + instruction.len as u64;
+                let new_disp = i64_to_i32(target_va - new_next_va as i64).ok_or(
+                    RewriteError::DisplacementOverflow {
+                        offset: instruction.offset,
+                    },
+                )?;
+                let disp_pos = instruction.len - 4;
+                thunk.extend_from_slice(&old_bytes[..disp_pos]);
+                thunk.extend_from_slice(&new_disp.to_le_bytes());
+            } else {
+                thunk.extend_from_slice(old_bytes);
+            }
+            relocated_bytes += instruction.len;
+        }
+
+        // 3. jmp back to the first byte after the covered region.
+        let resume_va = site_va + covered as u64;
+        let jmp_back_next = trampoline_va + thunk.len() as u64 + JMP_REL32_LEN as u64;
+        let back_disp = i64_to_i32(resume_va as i64 - jmp_back_next as i64).ok_or(
+            RewriteError::DisplacementOverflow {
+                offset: site.offset,
+            },
+        )?;
+        thunk.push(0xE9);
+        thunk.extend_from_slice(&back_disp.to_le_bytes());
+
+        if trampoline.len() + thunk.len() > self.config.trampoline_capacity {
+            return Err(RewriteError::TrampolineExhausted {
+                capacity: self.config.trampoline_capacity,
+            });
+        }
+        trampoline.extend_from_slice(&thunk);
+
+        // 4. overwrite the site with `jmp trampoline` plus nop padding.
+        let jmp_next = site_va + JMP_REL32_LEN as u64;
+        let jmp_disp = i64_to_i32(trampoline_va as i64 - jmp_next as i64).ok_or(
+            RewriteError::DisplacementOverflow {
+                offset: site.offset,
+            },
+        )?;
+        patched[site.offset] = 0xE9;
+        patched[site.offset + 1..site.offset + 5].copy_from_slice(&jmp_disp.to_le_bytes());
+        let nops = covered - JMP_REL32_LEN;
+        for pad in 0..nops {
+            patched[site.offset + JMP_REL32_LEN + pad] = 0x90;
+        }
+
+        Ok(Some((
+            PatchMethod::Detour {
+                trampoline_offset,
+                covered,
+                relocated: relocated_bytes,
+            },
+            relocated_bytes,
+            nops,
+        )))
+    }
+}
+
+fn i64_to_i32(value: i64) -> Option<i32> {
+    i32::try_from(value).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{synthetic_text_segment, Assembler};
+    use crate::scanner::scan;
+
+    fn segment_of(code: Vec<u8>) -> CodeSegment {
+        CodeSegment::new(0x40_0000, code)
+    }
+
+    #[test]
+    fn rewrites_every_site_in_a_synthetic_segment() {
+        let segment = segment_of(synthetic_text_segment(6, 3));
+        let before = scan(&segment).unwrap().site_count();
+        assert_eq!(before, 18);
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.patches.len(), 18);
+        assert_eq!(outcome.remaining_syscalls(), 0);
+        outcome.verify().unwrap();
+        assert_eq!(outcome.stats.sites, 18);
+        assert_eq!(
+            outcome.stats.detours + outcome.stats.interrupts + outcome.stats.inlined,
+            18
+        );
+        assert!(outcome.stats.trampoline_bytes > 0);
+    }
+
+    #[test]
+    fn patched_segment_preserves_length_and_base() {
+        let segment = segment_of(synthetic_text_segment(2, 2));
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.patched.len(), segment.len());
+        assert_eq!(outcome.patched.base(), segment.base());
+    }
+
+    #[test]
+    fn falls_back_to_interrupt_when_branch_targets_block_relocation() {
+        // A branch targets the instruction immediately after the syscall, so
+        // the 5-byte detour would overwrite a jump destination.
+        let mut asm = Assembler::new();
+        let after = asm.label();
+        asm.mov_eax_imm(1);
+        asm.je(after); // jumps to the instruction after the syscall
+        asm.syscall();
+        asm.bind(after);
+        asm.nop();
+        asm.nop();
+        asm.nop();
+        asm.ret();
+        let segment = segment_of(asm.finish());
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.interrupts, 1);
+        assert_eq!(outcome.stats.detours, 0);
+        assert_eq!(outcome.remaining_syscalls(), 0);
+        outcome.verify().unwrap();
+        // The interrupt keeps the original 2-byte footprint.
+        let site = outcome.patches[0].site.offset;
+        assert_eq!(outcome.patched.bytes()[site], 0xCD);
+        assert_eq!(outcome.patched.bytes()[site + 1], 0x00);
+    }
+
+    #[test]
+    fn syscall_at_end_of_segment_falls_back() {
+        let mut asm = Assembler::new();
+        asm.mov_eax_imm(60);
+        asm.syscall(); // nothing after it: cannot cover 5 bytes
+        let segment = segment_of(asm.finish());
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.interrupts, 1);
+        assert_eq!(outcome.remaining_syscalls(), 0);
+    }
+
+    #[test]
+    fn adjacent_syscalls_are_inlined_into_one_trampoline() {
+        let mut asm = Assembler::new();
+        asm.mov_eax_imm(0);
+        asm.syscall();
+        asm.syscall(); // absorbed into the first site's covered region
+        asm.nop();
+        asm.ret();
+        let segment = segment_of(asm.finish());
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.detours, 1);
+        assert_eq!(outcome.stats.inlined, 1);
+        assert_eq!(outcome.remaining_syscalls(), 0);
+        assert!(matches!(
+            outcome.patches[1].method,
+            PatchMethod::Inlined { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_fallback_skips_unrelocatable_sites() {
+        let mut asm = Assembler::new();
+        asm.mov_eax_imm(60);
+        asm.syscall();
+        let segment = segment_of(asm.finish());
+        let config = PatchConfig {
+            interrupt_fallback: false,
+            ..PatchConfig::default()
+        };
+        let outcome = Patcher::new(config).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.skipped, 1);
+        assert_eq!(outcome.remaining_syscalls(), 1);
+    }
+
+    #[test]
+    fn trampoline_exhaustion_is_reported() {
+        let segment = segment_of(synthetic_text_segment(4, 4));
+        let config = PatchConfig {
+            trampoline_capacity: 32,
+            ..PatchConfig::default()
+        };
+        let err = Patcher::new(config).rewrite(&segment).unwrap_err();
+        assert!(matches!(err, RewriteError::TrampolineExhausted { .. }));
+    }
+
+    #[test]
+    fn external_entry_point_is_used_verbatim() {
+        let segment = segment_of(synthetic_text_segment(1, 1));
+        let entry = segment.end() + 0x1000;
+        let config = PatchConfig {
+            entry_point: Some(entry),
+            ..PatchConfig::default()
+        };
+        let outcome = Patcher::new(config).rewrite(&segment).unwrap();
+        assert_eq!(outcome.entry_point, entry);
+        // No synthetic entry thunk: trampoline starts with the first detour.
+        assert_eq!(outcome.trampoline.bytes()[0], 0xE8);
+    }
+
+    #[test]
+    fn far_away_entry_point_overflows_displacement() {
+        let segment = segment_of(synthetic_text_segment(1, 1));
+        let config = PatchConfig {
+            entry_point: Some(0x7FFF_FFFF_F000),
+            ..PatchConfig::default()
+        };
+        let err = Patcher::new(config).rewrite(&segment).unwrap_err();
+        assert!(matches!(err, RewriteError::DisplacementOverflow { .. }));
+    }
+
+    #[test]
+    fn relocated_rel32_branches_are_fixed_up() {
+        // Build: syscall; jne back_label  -- the jne is relocated and must be
+        // retargeted so that it still reaches `back_label`.
+        let mut asm = Assembler::new();
+        let back = asm.label();
+        asm.bind(back);
+        asm.nop();
+        asm.mov_eax_imm(7);
+        asm.syscall();
+        asm.jne(back);
+        asm.nop();
+        asm.ret();
+        let segment = segment_of(asm.finish());
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.detours, 1);
+        outcome.verify().unwrap();
+        // Find the relocated jne (0F 85) inside the trampoline and check that
+        // its displacement resolves to the original target address.
+        let trampoline = outcome.trampoline.bytes();
+        let mut offset = ENTRY_THUNK_LEN; // skip the entry thunk
+        let mut found = false;
+        while offset < trampoline.len() {
+            let instruction = decoder::decode(trampoline, offset).unwrap();
+            if instruction.class == InstructionClass::CondJumpRel32 {
+                let next_va = outcome.trampoline.base() + instruction.end() as u64;
+                let target =
+                    (next_va as i64 + i64::from(instruction.rel_displacement.unwrap())) as u64;
+                assert_eq!(target, segment.base(), "jne must still target `back`");
+                found = true;
+            }
+            offset = instruction.end();
+        }
+        assert!(found, "relocated jne not found in trampoline");
+    }
+
+    #[test]
+    fn stats_account_for_padding() {
+        // syscall followed by a 5-byte instruction: covered = 7, padding = 2.
+        let mut asm = Assembler::new();
+        asm.syscall();
+        asm.mov_eax_imm(1);
+        asm.ret();
+        let segment = segment_of(asm.finish());
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        assert_eq!(outcome.stats.detours, 1);
+        assert_eq!(outcome.stats.nop_bytes, 2);
+        assert_eq!(outcome.stats.relocated_bytes, 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! Scanning a code segment for system-call sites (§3.2).
+//!
+//! Whenever code is loaded into memory (or an existing mapping is made
+//! executable), VARAN scans each code page to find the system-call
+//! instructions to rewrite.  The scanner walks the segment with the length
+//! decoder, recording:
+//!
+//! * every system-call site (`syscall` / `int 0x80`),
+//! * every instruction boundary (needed by the patcher to relocate code), and
+//! * every *potential branch target* — the destination of any relative jump
+//!   or call inside the segment.  A site whose detour would overwrite a
+//!   branch target cannot be safely detoured and falls back to an interrupt.
+
+use std::collections::BTreeSet;
+
+use crate::decoder::{self, Instruction, InstructionClass};
+use crate::error::RewriteError;
+use crate::segment::CodeSegment;
+
+/// The encoding used at a system-call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallKind {
+    /// The 2-byte x86-64 `syscall` instruction.
+    Syscall,
+    /// The 2-byte legacy `int 0x80` instruction.
+    Int80,
+}
+
+/// One system-call instruction found in a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyscallSite {
+    /// Offset of the first byte of the instruction, relative to the segment.
+    pub offset: usize,
+    /// Instruction length in bytes (always 2 for both supported encodings).
+    pub len: usize,
+    /// Which encoding was found.
+    pub kind: SyscallKind,
+}
+
+/// How the scanner reacts to bytes it cannot decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Abort the scan with an error (default; matches the prototype, which
+    /// only rewrites segments it fully understands).
+    #[default]
+    Strict,
+    /// Skip a single byte and resume decoding at the next offset, BIRD-style.
+    /// Data embedded in text sections is tolerated at the cost of potentially
+    /// missing sites hidden behind undecodable bytes.
+    SkipUnknown,
+}
+
+/// Result of scanning one code segment.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Number of instructions decoded.
+    pub instructions: usize,
+    /// Offsets (relative to the segment) at which each instruction starts.
+    pub boundaries: BTreeSet<usize>,
+    /// System-call sites found, in ascending offset order.
+    pub sites: Vec<SyscallSite>,
+    /// Offsets that are the target of some relative branch within the segment.
+    pub branch_targets: BTreeSet<usize>,
+    /// Number of bytes skipped (only non-zero under [`ScanPolicy::SkipUnknown`]).
+    pub skipped_bytes: usize,
+}
+
+impl ScanReport {
+    /// Returns `true` if `offset` is a decoded instruction boundary.
+    #[must_use]
+    pub fn is_boundary(&self, offset: usize) -> bool {
+        self.boundaries.contains(&offset)
+    }
+
+    /// Returns `true` if any branch targets a byte in `range`.
+    #[must_use]
+    pub fn has_branch_target_in(&self, range: std::ops::Range<usize>) -> bool {
+        self.branch_targets.range(range).next().is_some()
+    }
+
+    /// Number of system-call sites found.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+/// Scans `segment` with the default [`ScanPolicy::Strict`] policy.
+///
+/// # Errors
+///
+/// Propagates decode errors from the underlying [`decoder`].
+pub fn scan(segment: &CodeSegment) -> Result<ScanReport, RewriteError> {
+    scan_with_policy(segment, ScanPolicy::Strict)
+}
+
+/// Scans `segment` under the given policy.
+///
+/// # Errors
+///
+/// Under [`ScanPolicy::Strict`], returns the first decode error encountered.
+/// Under [`ScanPolicy::SkipUnknown`], undecodable bytes are skipped and the
+/// scan always succeeds.
+pub fn scan_with_policy(
+    segment: &CodeSegment,
+    policy: ScanPolicy,
+) -> Result<ScanReport, RewriteError> {
+    let code = segment.bytes();
+    let mut report = ScanReport::default();
+    let mut offset = 0usize;
+    while offset < code.len() {
+        match decoder::decode(code, offset) {
+            Ok(instruction) => {
+                record(&mut report, &instruction);
+                offset = instruction.end();
+            }
+            Err(error) => match policy {
+                ScanPolicy::Strict => return Err(error),
+                ScanPolicy::SkipUnknown => {
+                    report.skipped_bytes += 1;
+                    offset += 1;
+                }
+            },
+        }
+    }
+    Ok(report)
+}
+
+fn record(report: &mut ScanReport, instruction: &Instruction) {
+    report.instructions += 1;
+    report.boundaries.insert(instruction.offset);
+    match instruction.class {
+        InstructionClass::Syscall => report.sites.push(SyscallSite {
+            offset: instruction.offset,
+            len: instruction.len,
+            kind: SyscallKind::Syscall,
+        }),
+        InstructionClass::Int(0x80) => report.sites.push(SyscallSite {
+            offset: instruction.offset,
+            len: instruction.len,
+            kind: SyscallKind::Int80,
+        }),
+        _ => {}
+    }
+    if instruction.is_relative_branch() {
+        if let Some(target) = instruction.branch_target() {
+            report.branch_targets.insert(target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{synthetic_text_segment, Assembler};
+
+    fn segment_of(code: Vec<u8>) -> CodeSegment {
+        CodeSegment::new(0x40_0000, code)
+    }
+
+    #[test]
+    fn finds_every_syscall_site() {
+        let segment = segment_of(synthetic_text_segment(5, 4));
+        let report = scan(&segment).unwrap();
+        assert_eq!(report.site_count(), 20);
+        assert!(report.instructions > 20);
+        // Sites are reported in ascending order and are 2 bytes long.
+        for window in report.sites.windows(2) {
+            assert!(window[0].offset < window[1].offset);
+        }
+        assert!(report.sites.iter().all(|site| site.len == 2));
+    }
+
+    #[test]
+    fn distinguishes_syscall_from_int80() {
+        let mut asm = Assembler::new();
+        asm.syscall();
+        asm.int80();
+        asm.ret();
+        let report = scan(&segment_of(asm.finish())).unwrap();
+        assert_eq!(report.sites.len(), 2);
+        assert_eq!(report.sites[0].kind, SyscallKind::Syscall);
+        assert_eq!(report.sites[1].kind, SyscallKind::Int80);
+    }
+
+    #[test]
+    fn collects_branch_targets() {
+        let mut asm = Assembler::new();
+        let target = asm.label();
+        asm.mov_eax_imm(1); // offset 0, len 5
+        asm.bind(target); // offset 5
+        asm.nop();
+        asm.jmp(target);
+        asm.ret();
+        let report = scan(&segment_of(asm.finish())).unwrap();
+        assert!(report.branch_targets.contains(&5));
+        assert!(report.has_branch_target_in(4..6));
+        assert!(!report.has_branch_target_in(0..5));
+    }
+
+    #[test]
+    fn strict_policy_propagates_errors() {
+        // 0x06 is invalid in 64-bit mode.
+        let segment = segment_of(vec![0x90, 0x06, 0x90]);
+        assert!(scan(&segment).is_err());
+    }
+
+    #[test]
+    fn skip_policy_resynchronises() {
+        let mut code = vec![0x90, 0x06];
+        let mut asm = Assembler::new();
+        asm.mov_eax_imm(39);
+        asm.syscall();
+        asm.ret();
+        code.extend_from_slice(&asm.finish());
+        let report = scan_with_policy(&segment_of(code), ScanPolicy::SkipUnknown).unwrap();
+        assert_eq!(report.skipped_bytes, 1);
+        assert_eq!(report.site_count(), 1);
+    }
+
+    #[test]
+    fn empty_segment_scans_cleanly() {
+        let report = scan(&segment_of(Vec::new())).unwrap();
+        assert_eq!(report.instructions, 0);
+        assert_eq!(report.site_count(), 0);
+    }
+
+    #[test]
+    fn boundaries_cover_every_instruction_start() {
+        let mut asm = Assembler::new();
+        asm.push_rbp(); // 0
+        asm.mov_rbp_rsp(); // 1
+        asm.mov_eax_imm(60); // 4
+        asm.syscall(); // 9
+        asm.leave(); // 11
+        asm.ret(); // 12
+        let report = scan(&segment_of(asm.finish())).unwrap();
+        let expected: Vec<usize> = vec![0, 1, 4, 9, 11, 12];
+        assert_eq!(report.boundaries.iter().copied().collect::<Vec<_>>(), expected);
+        assert!(report.is_boundary(9));
+        assert!(!report.is_boundary(10));
+    }
+}

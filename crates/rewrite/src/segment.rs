@@ -1,0 +1,183 @@
+//! Code segments: the unit of loading and rewriting.
+
+use std::fmt;
+
+/// Memory permissions of a segment, used by the W⊕X tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Permissions {
+    /// Segment may be read.
+    pub read: bool,
+    /// Segment may be written.
+    pub write: bool,
+    /// Segment may be executed.
+    pub execute: bool,
+}
+
+impl Permissions {
+    /// Read + execute (the normal state of a text segment).
+    pub const RX: Permissions = Permissions {
+        read: true,
+        write: false,
+        execute: true,
+    };
+    /// Read + write (the state while the rewriter patches a segment).
+    pub const RW: Permissions = Permissions {
+        read: true,
+        write: true,
+        execute: false,
+    };
+    /// Read only.
+    pub const R: Permissions = Permissions {
+        read: true,
+        write: false,
+        execute: false,
+    };
+    /// Read + write + execute — forbidden by the W⊕X discipline.
+    pub const RWX: Permissions = Permissions {
+        read: true,
+        write: true,
+        execute: true,
+    };
+
+    /// Returns `true` if these permissions violate the W⊕X discipline.
+    #[must_use]
+    pub fn violates_wxorx(self) -> bool {
+        self.write && self.execute
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// A contiguous region of executable code loaded at a (virtual) base address.
+///
+/// This is the reproduction's stand-in for an mmapped ELF text segment: the
+/// scanner and patcher operate on these owned buffers (see `DESIGN.md`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CodeSegment {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for CodeSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodeSegment")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("len", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl CodeSegment {
+    /// Creates a segment containing `bytes` loaded at virtual address `base`.
+    #[must_use]
+    pub fn new(base: u64, bytes: Vec<u8>) -> Self {
+        CodeSegment { base, bytes }
+    }
+
+    /// The virtual address of the first byte.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The segment contents.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the segment contents (used by the patcher once the
+    /// W⊕X tracker has granted write access).
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Length of the segment in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the segment contains no code.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Virtual address one past the end of the segment.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Translates a virtual address into a segment offset, if it falls inside
+    /// the segment.
+    #[must_use]
+    pub fn offset_of(&self, address: u64) -> Option<usize> {
+        if address >= self.base && address < self.end() {
+            Some((address - self.base) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Translates a segment offset into a virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is past the end of the segment.
+    #[must_use]
+    pub fn address_of(&self, offset: usize) -> u64 {
+        assert!(offset <= self.bytes.len(), "offset out of range");
+        self.base + offset as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions_display_like_proc_maps() {
+        assert_eq!(Permissions::RX.to_string(), "r-x");
+        assert_eq!(Permissions::RW.to_string(), "rw-");
+        assert_eq!(Permissions::R.to_string(), "r--");
+        assert_eq!(Permissions::RWX.to_string(), "rwx");
+    }
+
+    #[test]
+    fn wxorx_violation_detection() {
+        assert!(Permissions::RWX.violates_wxorx());
+        assert!(!Permissions::RX.violates_wxorx());
+        assert!(!Permissions::RW.violates_wxorx());
+    }
+
+    #[test]
+    fn address_offset_round_trip() {
+        let segment = CodeSegment::new(0x1000, vec![0x90; 16]);
+        assert_eq!(segment.len(), 16);
+        assert!(!segment.is_empty());
+        assert_eq!(segment.end(), 0x1010);
+        assert_eq!(segment.offset_of(0x1008), Some(8));
+        assert_eq!(segment.offset_of(0x0fff), None);
+        assert_eq!(segment.offset_of(0x1010), None);
+        assert_eq!(segment.address_of(8), 0x1008);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of range")]
+    fn address_of_out_of_range_panics() {
+        let segment = CodeSegment::new(0x1000, vec![0x90; 4]);
+        let _ = segment.address_of(5);
+    }
+}

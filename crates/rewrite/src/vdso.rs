@@ -1,0 +1,314 @@
+//! Virtual system call (vDSO) handling (§3.2.1).
+//!
+//! Certain Linux system calls — `clock_gettime`, `getcpu`, `gettimeofday` and
+//! `time` — are implemented entirely in user space inside the vDSO segment,
+//! so they never reach the kernel and cannot be intercepted by `ptrace`.
+//! VARAN is, to the authors' knowledge, the first NVX system to handle them,
+//! by binary rewriting: every exported vDSO function entry point is replaced
+//! with a jump to dynamically generated stub code that calls the monitor's
+//! system-call entry point, and a trampoline preserves the moved prologue so
+//! the original function can still be invoked by the monitor itself.
+//!
+//! The kernel advertises the vDSO base address in the ELF auxiliary vector
+//! under `AT_SYSINFO_EHDR`; [`locate_base`] models that lookup.
+
+use crate::asm::{Assembler, SymbolTable};
+use crate::decoder;
+use crate::error::RewriteError;
+use crate::segment::CodeSegment;
+
+/// The auxiliary-vector tag carrying the vDSO base address.
+pub const AT_SYSINFO_EHDR: u64 = 33;
+
+/// Size of a `jmp rel32`.
+const JMP_REL32_LEN: usize = 5;
+
+/// The virtual system calls exported by the (synthetic) vDSO.
+pub const VDSO_SYMBOLS: [&str; 4] = [
+    "__vdso_clock_gettime",
+    "__vdso_getcpu",
+    "__vdso_gettimeofday",
+    "__vdso_time",
+];
+
+/// Finds the vDSO base address in an auxiliary vector of `(tag, value)` pairs.
+#[must_use]
+pub fn locate_base(auxv: &[(u64, u64)]) -> Option<u64> {
+    auxv.iter()
+        .find(|(tag, _)| *tag == AT_SYSINFO_EHDR)
+        .map(|(_, value)| *value)
+}
+
+/// A synthetic vDSO segment: machine code for the four exported functions
+/// plus a symbol table, standing in for the kernel-provided mapping.
+#[derive(Debug, Clone)]
+pub struct Vdso {
+    segment: CodeSegment,
+    symbols: SymbolTable,
+}
+
+impl Vdso {
+    /// Builds a synthetic vDSO mapped at `base`.
+    ///
+    /// Each exported function has a realistic prologue (`push rbp; mov
+    /// rbp, rsp`), reads the TSC, does a little arithmetic and returns — the
+    /// same shape as the real implementations, and enough to exercise
+    /// prologue relocation.
+    #[must_use]
+    pub fn synthetic(base: u64) -> Self {
+        let mut code = Vec::new();
+        let mut symbols = SymbolTable::new();
+        for (index, name) in VDSO_SYMBOLS.iter().enumerate() {
+            symbols.define(name, code.len());
+            let mut asm = Assembler::new();
+            asm.push_rbp();
+            asm.mov_rbp_rsp();
+            asm.rdtsc();
+            asm.add_eax_imm(index as u32 + 1);
+            asm.store_eax_local();
+            asm.load_eax_local();
+            asm.leave();
+            asm.ret();
+            code.extend_from_slice(&asm.finish());
+            while code.len() % 16 != 0 {
+                code.push(0x90);
+            }
+        }
+        Vdso {
+            segment: CodeSegment::new(base, code),
+            symbols,
+        }
+    }
+
+    /// The vDSO code segment.
+    #[must_use]
+    pub fn segment(&self) -> &CodeSegment {
+        &self.segment
+    }
+
+    /// The exported symbol table.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Virtual address of the named symbol.
+    #[must_use]
+    pub fn symbol_address(&self, name: &str) -> Option<u64> {
+        self.symbols
+            .lookup(name)
+            .map(|offset| self.segment.base() + offset as u64)
+    }
+}
+
+/// Rewrite record for one vDSO symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VdsoPatch {
+    /// Symbol name.
+    pub name: String,
+    /// Offset of the function entry inside the vDSO segment.
+    pub entry_offset: usize,
+    /// Offset of the generated stub inside the stub segment.
+    pub stub_offset: usize,
+    /// Offset of the original-code trampoline inside the stub segment.
+    pub trampoline_offset: usize,
+    /// Number of original prologue bytes relocated into the trampoline.
+    pub relocated: usize,
+}
+
+/// Result of rewriting a vDSO segment.
+#[derive(Debug, Clone)]
+pub struct VdsoRewriteOutcome {
+    /// The patched vDSO segment (entry points replaced with jumps).
+    pub patched: CodeSegment,
+    /// The dynamically generated stub/trampoline segment.
+    pub stubs: CodeSegment,
+    /// Per-symbol rewrite records.
+    pub patches: Vec<VdsoPatch>,
+    /// Entry point the stubs call into.
+    pub entry_point: u64,
+}
+
+impl VdsoRewriteOutcome {
+    /// Virtual address of the trampoline that invokes the *original*
+    /// implementation of `name` — this is how the monitor itself can keep
+    /// using the fast vDSO path after rewriting.
+    #[must_use]
+    pub fn original_entry(&self, name: &str) -> Option<u64> {
+        self.patches
+            .iter()
+            .find(|patch| patch.name == name)
+            .map(|patch| self.stubs.base() + patch.trampoline_offset as u64)
+    }
+}
+
+/// Rewrites every exported function of `vdso`.
+///
+/// `entry_point` is the virtual address of the monitor's system-call entry
+/// handler (the same handler regular rewritten system calls jump to); the
+/// stub segment is placed immediately after the vDSO mapping.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::MissingVdsoSymbol`] if a required symbol is absent
+/// and decoding/displacement errors if the prologue cannot be relocated.
+pub fn rewrite_vdso(vdso: &Vdso, entry_point: u64) -> Result<VdsoRewriteOutcome, RewriteError> {
+    let mut patched = vdso.segment().bytes().to_vec();
+    let stub_base = (vdso.segment().end() + 0xF) & !0xF;
+    let mut stubs: Vec<u8> = Vec::new();
+    let mut patches = Vec::new();
+
+    for name in VDSO_SYMBOLS {
+        let entry_offset = vdso
+            .symbols()
+            .lookup(name)
+            .ok_or_else(|| RewriteError::MissingVdsoSymbol(name.to_owned()))?;
+
+        // Gather the prologue instructions that the 5-byte jump overwrites.
+        let code = vdso.segment().bytes();
+        let mut covered = 0usize;
+        let mut cursor = entry_offset;
+        let mut prologue = Vec::new();
+        while covered < JMP_REL32_LEN {
+            let instruction = decoder::decode(code, cursor)?;
+            covered += instruction.len;
+            prologue.push(instruction);
+            cursor += instruction.len;
+        }
+
+        // Stub: call the monitor entry point, then return to the caller.
+        let stub_offset = stubs.len();
+        let stub_va = stub_base + stub_offset as u64;
+        let call_disp = i32::try_from(entry_point as i64 - (stub_va + 5) as i64).map_err(|_| {
+            RewriteError::DisplacementOverflow {
+                offset: entry_offset,
+            }
+        })?;
+        stubs.push(0xE8);
+        stubs.extend_from_slice(&call_disp.to_le_bytes());
+        stubs.push(0xC3); // ret
+
+        // Trampoline: the relocated prologue followed by a jump back to the
+        // remainder of the original function, so the original implementation
+        // stays callable.
+        let trampoline_offset = stubs.len();
+        for instruction in &prologue {
+            stubs.extend_from_slice(&code[instruction.offset..instruction.end()]);
+        }
+        let resume_va = vdso.segment().base() + (entry_offset + covered) as u64;
+        let jmp_va = stub_base + stubs.len() as u64;
+        let back_disp = i32::try_from(resume_va as i64 - (jmp_va + 5) as i64).map_err(|_| {
+            RewriteError::DisplacementOverflow {
+                offset: entry_offset,
+            }
+        })?;
+        stubs.push(0xE9);
+        stubs.extend_from_slice(&back_disp.to_le_bytes());
+
+        // Patch the original entry point: jump to the stub, pad with nops.
+        let entry_va = vdso.segment().base() + entry_offset as u64;
+        let jmp_disp = i32::try_from(stub_va as i64 - (entry_va + 5) as i64).map_err(|_| {
+            RewriteError::DisplacementOverflow {
+                offset: entry_offset,
+            }
+        })?;
+        patched[entry_offset] = 0xE9;
+        patched[entry_offset + 1..entry_offset + 5].copy_from_slice(&jmp_disp.to_le_bytes());
+        for pad in JMP_REL32_LEN..covered {
+            patched[entry_offset + pad] = 0x90;
+        }
+
+        patches.push(VdsoPatch {
+            name: name.to_owned(),
+            entry_offset,
+            stub_offset,
+            trampoline_offset,
+            relocated: covered,
+        });
+    }
+
+    Ok(VdsoRewriteOutcome {
+        patched: CodeSegment::new(vdso.segment().base(), patched),
+        stubs: CodeSegment::new(stub_base, stubs),
+        patches,
+        entry_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner;
+
+    const VDSO_BASE: u64 = 0x7FFF_F7FF_A000 & 0x7FFF_FFFF; // keep displacements in range
+
+    #[test]
+    fn synthetic_vdso_exports_all_symbols() {
+        let vdso = Vdso::synthetic(VDSO_BASE);
+        for name in VDSO_SYMBOLS {
+            assert!(vdso.symbol_address(name).is_some(), "{name} missing");
+        }
+        assert_eq!(vdso.symbols().len(), 4);
+        // All code decodes cleanly.
+        let report = scanner::scan(vdso.segment()).unwrap();
+        assert!(report.instructions > 0);
+        assert_eq!(report.site_count(), 0, "vdso functions make no syscalls");
+    }
+
+    #[test]
+    fn locate_base_reads_auxiliary_vector() {
+        let auxv = [(3u64, 0x1000u64), (AT_SYSINFO_EHDR, 0xABCD_0000), (6, 4096)];
+        assert_eq!(locate_base(&auxv), Some(0xABCD_0000));
+        assert_eq!(locate_base(&auxv[..1]), None);
+    }
+
+    #[test]
+    fn rewrites_every_symbol_entry() {
+        let vdso = Vdso::synthetic(VDSO_BASE);
+        let entry_point = vdso.segment().end() + 0x10_000;
+        let outcome = rewrite_vdso(&vdso, entry_point).unwrap();
+        assert_eq!(outcome.patches.len(), 4);
+        for patch in &outcome.patches {
+            // Entry now starts with a jmp rel32.
+            assert_eq!(outcome.patched.bytes()[patch.entry_offset], 0xE9);
+            assert!(patch.relocated >= JMP_REL32_LEN);
+        }
+        // Stubs segment starts with a call (to the entry point) per symbol.
+        assert_eq!(outcome.stubs.bytes()[0], 0xE8);
+    }
+
+    #[test]
+    fn patched_entry_jumps_to_its_stub() {
+        let vdso = Vdso::synthetic(VDSO_BASE);
+        let outcome = rewrite_vdso(&vdso, vdso.segment().end() + 0x1000).unwrap();
+        for patch in &outcome.patches {
+            let instruction =
+                decoder::decode(outcome.patched.bytes(), patch.entry_offset).unwrap();
+            let next_va = outcome.patched.base() + instruction.end() as u64;
+            let target = (next_va as i64 + i64::from(instruction.rel_displacement.unwrap())) as u64;
+            assert_eq!(target, outcome.stubs.base() + patch.stub_offset as u64);
+        }
+    }
+
+    #[test]
+    fn trampoline_preserves_the_original_prologue() {
+        let vdso = Vdso::synthetic(VDSO_BASE);
+        let outcome = rewrite_vdso(&vdso, vdso.segment().end() + 0x1000).unwrap();
+        for patch in &outcome.patches {
+            let original =
+                &vdso.segment().bytes()[patch.entry_offset..patch.entry_offset + patch.relocated];
+            let relocated = &outcome.stubs.bytes()
+                [patch.trampoline_offset..patch.trampoline_offset + patch.relocated];
+            assert_eq!(original, relocated, "prologue of {} altered", patch.name);
+            assert!(outcome.original_entry(&patch.name).is_some());
+        }
+        assert!(outcome.original_entry("__vdso_missing").is_none());
+    }
+
+    #[test]
+    fn far_entry_point_reports_overflow() {
+        let vdso = Vdso::synthetic(0x1000);
+        let err = rewrite_vdso(&vdso, 0x7FFF_FFFF_FFFF).unwrap_err();
+        assert!(matches!(err, RewriteError::DisplacementOverflow { .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! W⊕X discipline tracking (§3.2).
+//!
+//! To prevent attackers from injecting system calls into the program, the
+//! binary rewriter follows a W⊕X discipline throughout execution: no segment
+//! is ever mapped writable and executable at the same time.  This module
+//! tracks the permissions of every segment the rewriter touches and exposes a
+//! transactional helper that temporarily downgrades a text segment to
+//! read/write while it is being patched.
+
+use std::collections::HashMap;
+
+use crate::error::RewriteError;
+use crate::segment::Permissions;
+
+/// Identifier of a tracked segment (e.g. its base address).
+pub type SegmentId = u64;
+
+/// A recorded permission transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The segment whose permissions changed.
+    pub segment: SegmentId,
+    /// Permissions before the change (`None` for the initial mapping).
+    pub from: Option<Permissions>,
+    /// Permissions after the change.
+    pub to: Permissions,
+}
+
+/// Tracks segment permissions and enforces the W⊕X discipline.
+///
+/// # Examples
+///
+/// ```
+/// use varan_rewrite::wxorx::WxorxTracker;
+/// use varan_rewrite::Permissions;
+///
+/// # fn main() -> Result<(), varan_rewrite::RewriteError> {
+/// let mut tracker = WxorxTracker::new();
+/// tracker.map(0x40_0000, Permissions::RX)?;
+/// // Patch the segment inside a transaction that never exposes RWX.
+/// tracker.rewrite_transaction(0x40_0000, |_| Ok(()))?;
+/// assert_eq!(tracker.permissions(0x40_0000), Some(Permissions::RX));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct WxorxTracker {
+    segments: HashMap<SegmentId, Permissions>,
+    transitions: Vec<Transition>,
+    violations_rejected: u64,
+}
+
+impl WxorxTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        WxorxTracker::default()
+    }
+
+    /// Registers a new segment mapping with the given permissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RewriteError::PermissionViolation`] if the requested
+    /// permissions are writable *and* executable.
+    pub fn map(&mut self, segment: SegmentId, perms: Permissions) -> Result<(), RewriteError> {
+        if perms.violates_wxorx() {
+            self.violations_rejected += 1;
+            return Err(RewriteError::PermissionViolation {
+                reason: format!("mapping segment {segment:#x} as {perms} violates w^x"),
+            });
+        }
+        self.transitions.push(Transition {
+            segment,
+            from: self.segments.get(&segment).copied(),
+            to: perms,
+        });
+        self.segments.insert(segment, perms);
+        Ok(())
+    }
+
+    /// Changes the permissions of an already mapped segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RewriteError::PermissionViolation`] if the segment is not
+    /// mapped or the new permissions violate W⊕X.
+    pub fn mprotect(
+        &mut self,
+        segment: SegmentId,
+        perms: Permissions,
+    ) -> Result<(), RewriteError> {
+        let current = self.segments.get(&segment).copied().ok_or_else(|| {
+            RewriteError::PermissionViolation {
+                reason: format!("segment {segment:#x} is not mapped"),
+            }
+        })?;
+        if perms.violates_wxorx() {
+            self.violations_rejected += 1;
+            return Err(RewriteError::PermissionViolation {
+                reason: format!("mprotect of segment {segment:#x} to {perms} violates w^x"),
+            });
+        }
+        self.transitions.push(Transition {
+            segment,
+            from: Some(current),
+            to: perms,
+        });
+        self.segments.insert(segment, perms);
+        Ok(())
+    }
+
+    /// Removes a segment from the tracker (munmap).
+    pub fn unmap(&mut self, segment: SegmentId) {
+        self.segments.remove(&segment);
+    }
+
+    /// Current permissions of `segment`, if mapped.
+    #[must_use]
+    pub fn permissions(&self, segment: SegmentId) -> Option<Permissions> {
+        self.segments.get(&segment).copied()
+    }
+
+    /// All permission transitions recorded so far, in order.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of W⊕X violations that were rejected.
+    #[must_use]
+    pub fn violations_rejected(&self) -> u64 {
+        self.violations_rejected
+    }
+
+    /// Returns `true` if no currently mapped segment is both writable and
+    /// executable (this should always hold).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.segments.values().all(|perms| !perms.violates_wxorx())
+    }
+
+    /// Runs `patch` with `segment` temporarily remapped read/write, restoring
+    /// the segment to read/execute afterwards — the sequence the rewriter
+    /// performs for every text segment it patches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the permission changes and from `patch`; the
+    /// segment is restored to RX even when `patch` fails.
+    pub fn rewrite_transaction<F>(
+        &mut self,
+        segment: SegmentId,
+        patch: F,
+    ) -> Result<(), RewriteError>
+    where
+        F: FnOnce(&mut Self) -> Result<(), RewriteError>,
+    {
+        self.mprotect(segment, Permissions::RW)?;
+        let result = patch(self);
+        self.mprotect(segment, Permissions::RX)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_rwx_mappings() {
+        let mut tracker = WxorxTracker::new();
+        assert!(tracker.map(0x1000, Permissions::RWX).is_err());
+        assert!(tracker.map(0x1000, Permissions::RX).is_ok());
+        assert!(tracker.mprotect(0x1000, Permissions::RWX).is_err());
+        assert_eq!(tracker.violations_rejected(), 2);
+        assert!(tracker.is_consistent());
+    }
+
+    #[test]
+    fn mprotect_requires_existing_mapping() {
+        let mut tracker = WxorxTracker::new();
+        assert!(tracker.mprotect(0x2000, Permissions::RW).is_err());
+    }
+
+    #[test]
+    fn transaction_restores_rx_on_success_and_failure() {
+        let mut tracker = WxorxTracker::new();
+        tracker.map(0x1000, Permissions::RX).unwrap();
+        tracker.rewrite_transaction(0x1000, |_| Ok(())).unwrap();
+        assert_eq!(tracker.permissions(0x1000), Some(Permissions::RX));
+
+        let err = tracker
+            .rewrite_transaction(0x1000, |_| {
+                Err(RewriteError::PermissionViolation {
+                    reason: "synthetic failure".into(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::PermissionViolation { .. }));
+        assert_eq!(tracker.permissions(0x1000), Some(Permissions::RX));
+    }
+
+    #[test]
+    fn transitions_are_recorded_in_order() {
+        let mut tracker = WxorxTracker::new();
+        tracker.map(0x1000, Permissions::RX).unwrap();
+        tracker.rewrite_transaction(0x1000, |_| Ok(())).unwrap();
+        let kinds: Vec<Permissions> = tracker.transitions().iter().map(|t| t.to).collect();
+        assert_eq!(
+            kinds,
+            vec![Permissions::RX, Permissions::RW, Permissions::RX]
+        );
+        assert_eq!(tracker.transitions()[0].from, None);
+        assert_eq!(tracker.transitions()[1].from, Some(Permissions::RX));
+    }
+
+    #[test]
+    fn unmap_forgets_the_segment() {
+        let mut tracker = WxorxTracker::new();
+        tracker.map(0x1000, Permissions::R).unwrap();
+        tracker.unmap(0x1000);
+        assert_eq!(tracker.permissions(0x1000), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Lamport logical clocks for ordering events across ring buffers (§3.3.3).
+//!
+//! Multi-threaded applications use one ring buffer per thread tuple.  To keep
+//! followers from replaying events in an order that violates the leader's
+//! happens-before relation, every variant owns a single logical clock shared
+//! by all of its threads: the leader increments it when publishing an event
+//! and stamps the event with the new value; a follower thread only consumes an
+//! event when its own variant clock has caught up with the event's timestamp.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result of comparing an event timestamp against a variant clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockOrdering {
+    /// The event is the next one in the variant's happens-before order and may
+    /// be consumed now.
+    Ready,
+    /// Some earlier event has not been consumed yet; the caller must wait.
+    NotYet,
+    /// The event's timestamp is in the past (already consumed); consuming it
+    /// again would indicate a protocol error.
+    Stale,
+}
+
+/// A shared atomic Lamport clock (one per variant, shared by its threads).
+///
+/// # Examples
+///
+/// ```
+/// use varan_ring::{ClockOrdering, LamportClock};
+///
+/// let leader = LamportClock::new();
+/// let follower = LamportClock::new();
+///
+/// // Leader stamps two events.
+/// let t1 = leader.tick();
+/// let t2 = leader.tick();
+/// assert!(t1 < t2);
+///
+/// // Follower must consume them in order.
+/// assert_eq!(follower.check(t2), ClockOrdering::NotYet);
+/// assert_eq!(follower.check(t1), ClockOrdering::Ready);
+/// follower.advance(t1);
+/// assert_eq!(follower.check(t2), ClockOrdering::Ready);
+/// ```
+#[derive(Debug, Default)]
+pub struct LamportClock {
+    value: AtomicU64,
+}
+
+impl LamportClock {
+    /// Creates a clock starting at zero (no events stamped or consumed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        LamportClock {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Current clock value: the number of events stamped (leader side) or
+    /// consumed (follower side) so far.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// Leader side: increments the clock and returns the timestamp to attach
+    /// to the event being published.
+    pub fn tick(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Follower side: classifies an event timestamp against this clock.
+    #[must_use]
+    pub fn check(&self, timestamp: u64) -> ClockOrdering {
+        let current = self.value();
+        if timestamp == current + 1 {
+            ClockOrdering::Ready
+        } else if timestamp > current + 1 {
+            ClockOrdering::NotYet
+        } else {
+            ClockOrdering::Stale
+        }
+    }
+
+    /// Follower side: records that the event stamped `timestamp` has been
+    /// consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if events are consumed out of order, which
+    /// would indicate a violation of the happens-before enforcement.
+    pub fn advance(&self, timestamp: u64) {
+        let previous = self.value.swap(timestamp, Ordering::AcqRel);
+        debug_assert!(
+            timestamp == previous + 1,
+            "variant clock advanced out of order: {previous} -> {timestamp}"
+        );
+    }
+
+    /// Observes an external timestamp, advancing the clock to at least that
+    /// value (classic Lamport `max(local, remote)` merge).  Used when a
+    /// variant joins mid-stream, e.g. a freshly promoted leader.
+    pub fn observe(&self, timestamp: u64) {
+        let mut current = self.value();
+        while timestamp > current {
+            match self.value.compare_exchange(
+                current,
+                timestamp,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// A cloneable handle to a variant's shared clock.
+///
+/// The leader's threads and a follower's threads each share one
+/// `VariantClock` (named `T` and `T'` in Figure 3 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct VariantClock {
+    inner: Arc<LamportClock>,
+}
+
+impl VariantClock {
+    /// Creates a fresh variant clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        VariantClock {
+            inner: Arc::new(LamportClock::new()),
+        }
+    }
+
+    /// Access the underlying [`LamportClock`].
+    #[must_use]
+    pub fn clock(&self) -> &LamportClock {
+        &self.inner
+    }
+
+    /// Leader side: stamp a new event.
+    pub fn tick(&self) -> u64 {
+        self.inner.tick()
+    }
+
+    /// Follower side: classify an event timestamp.
+    #[must_use]
+    pub fn check(&self, timestamp: u64) -> ClockOrdering {
+        self.inner.check(timestamp)
+    }
+
+    /// Follower side: record consumption of an event.
+    pub fn advance(&self, timestamp: u64) {
+        self.inner.advance(timestamp);
+    }
+
+    /// Merge with an externally observed timestamp.
+    pub fn observe(&self, timestamp: u64) {
+        self.inner.observe(timestamp);
+    }
+
+    /// Current clock value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.inner.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let clock = LamportClock::new();
+        let a = clock.tick();
+        let b = clock.tick();
+        let c = clock.tick();
+        assert!(a < b && b < c);
+        assert_eq!(clock.value(), 3);
+    }
+
+    #[test]
+    fn check_classifies_ready_notyet_stale() {
+        let clock = LamportClock::new();
+        assert_eq!(clock.check(1), ClockOrdering::Ready);
+        assert_eq!(clock.check(2), ClockOrdering::NotYet);
+        clock.advance(1);
+        assert_eq!(clock.check(1), ClockOrdering::Stale);
+        assert_eq!(clock.check(2), ClockOrdering::Ready);
+    }
+
+    #[test]
+    fn observe_never_moves_backwards() {
+        let clock = LamportClock::new();
+        clock.observe(10);
+        assert_eq!(clock.value(), 10);
+        clock.observe(5);
+        assert_eq!(clock.value(), 10);
+        clock.observe(12);
+        assert_eq!(clock.value(), 12);
+    }
+
+    #[test]
+    fn shared_handles_see_each_others_updates() {
+        let variant = VariantClock::new();
+        let other = variant.clone();
+        variant.tick();
+        assert_eq!(other.value(), 1);
+    }
+
+    #[test]
+    fn concurrent_ticks_produce_unique_timestamps() {
+        let clock = std::sync::Arc::new(LamportClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let clock = std::sync::Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                (0..250).map(|_| clock.tick()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "timestamps must be unique");
+        assert_eq!(clock.value(), 1000);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the event-streaming primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ring buffer, pool allocator and related primitives.
+///
+/// # Examples
+///
+/// ```
+/// use varan_ring::{RingBuffer, RingError, Event, WaitStrategy};
+///
+/// let err = RingBuffer::<Event>::new(3, 1, WaitStrategy::Spin).unwrap_err();
+/// assert!(matches!(err, RingError::CapacityNotPowerOfTwo(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RingError {
+    /// The requested ring capacity is not a power of two.
+    CapacityNotPowerOfTwo(usize),
+    /// The requested ring capacity is zero.
+    ZeroCapacity,
+    /// A consumer index was out of range for the ring.
+    InvalidConsumer {
+        /// The requested consumer slot.
+        index: usize,
+        /// The number of consumer slots the ring was created with.
+        consumers: usize,
+    },
+    /// The consumer slot was already claimed by another follower.
+    ConsumerAlreadyClaimed(usize),
+    /// The shared-memory pool ran out of backing space.
+    OutOfSharedMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available in the pool when the request failed.
+        available: usize,
+    },
+    /// An allocation request exceeded the largest bucket size.
+    AllocationTooLarge {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// The largest chunk size supported by the pool.
+        max_chunk: usize,
+    },
+    /// A shared region handle did not belong to the pool it was returned to.
+    ForeignRegion,
+    /// A shared region was freed twice.
+    DoubleFree,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::CapacityNotPowerOfTwo(n) => {
+                write!(f, "ring capacity {n} is not a power of two")
+            }
+            RingError::ZeroCapacity => write!(f, "ring capacity must be non-zero"),
+            RingError::InvalidConsumer { index, consumers } => write!(
+                f,
+                "consumer index {index} out of range for ring with {consumers} consumer slots"
+            ),
+            RingError::ConsumerAlreadyClaimed(index) => {
+                write!(f, "consumer slot {index} already claimed")
+            }
+            RingError::OutOfSharedMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shared memory pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            RingError::AllocationTooLarge {
+                requested,
+                max_chunk,
+            } => write!(
+                f,
+                "allocation of {requested} bytes exceeds largest bucket chunk of {max_chunk} bytes"
+            ),
+            RingError::ForeignRegion => write!(f, "shared region does not belong to this pool"),
+            RingError::DoubleFree => write!(f, "shared region was already freed"),
+        }
+    }
+}
+
+impl Error for RingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let cases: Vec<RingError> = vec![
+            RingError::CapacityNotPowerOfTwo(7),
+            RingError::ZeroCapacity,
+            RingError::InvalidConsumer {
+                index: 4,
+                consumers: 2,
+            },
+            RingError::ConsumerAlreadyClaimed(1),
+            RingError::OutOfSharedMemory {
+                requested: 128,
+                available: 64,
+            },
+            RingError::AllocationTooLarge {
+                requested: 1 << 30,
+                max_chunk: 4096,
+            },
+            RingError::ForeignRegion,
+            RingError::DoubleFree,
+        ];
+        for case in cases {
+            let text = case.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RingError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared-memory event-streaming primitives for the VARAN N-version execution
+//! framework reproduction.
+//!
+//! This crate contains the communication substrate described in §3.3 of
+//! *"Varan the Unbelievable: An Efficient N-version Execution Framework"*
+//! (Hosek & Cadar, ASPLOS 2015):
+//!
+//! * [`Event`] — the fixed-size (64-byte, cache-line sized) record the leader
+//!   publishes for every external action (system call, signal, fork, exit).
+//! * [`RingBuffer`] — a Disruptor-style single-producer / multi-consumer ring
+//!   buffer held entirely in memory, allowing largely lock-free communication
+//!   between the leader and its followers (§3.3.1).
+//! * [`WaitLock`] — the blocking-wait primitive used by followers when the
+//!   leader is stuck in a long blocking system call (§3.3.1).
+//! * [`LamportClock`] — the per-variant logical clock used to order events
+//!   across the ring buffers of a multi-threaded application (§3.3.3).
+//! * [`PoolAllocator`] — the bucketed shared-memory pool allocator used for
+//!   out-of-line system-call payloads (§3.3.4).
+//! * [`EventPump`] — the paper's *discarded* first design (one queue per
+//!   follower plus a central pump), kept as an ablation baseline.
+//!
+//! In the original system these structures live in a POSIX shared-memory
+//! segment mapped into every version's address space; in this reproduction the
+//! versions are threads of one process and the structures are shared through
+//! [`std::sync::Arc`], which preserves the synchronisation algorithms and
+//! memory layout while remaining portable (see `DESIGN.md`, substitution
+//! table).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use varan_ring::{Event, EventKind, RingBuffer, WaitStrategy};
+//!
+//! # fn main() -> Result<(), varan_ring::RingError> {
+//! // A leader and two followers share a 256-slot ring.
+//! let ring: Arc<RingBuffer<Event>> = Arc::new(RingBuffer::new(256, 2, WaitStrategy::Spin)?);
+//! let producer = ring.producer();
+//! let mut consumer = ring.consumer(0)?;
+//!
+//! producer.publish(Event::syscall(1 /* write */, &[1, 0, 64], 64));
+//! let event = consumer.next_blocking();
+//! assert_eq!(event.kind(), EventKind::Syscall);
+//! assert_eq!(event.result(), 64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod clock;
+mod error;
+mod event;
+mod pump;
+mod ring;
+mod sequence;
+mod shmem;
+mod waitlock;
+
+pub use clock::{ClockOrdering, LamportClock, VariantClock};
+pub use error::RingError;
+pub use event::{Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE};
+pub use pump::{EventPump, PumpQueue};
+pub use ring::{Consumer, Producer, RingBuffer, WaitStrategy};
+pub use sequence::Sequence;
+pub use shmem::{AllocStats, PoolAllocator, PoolConfig, SharedRegion};
+pub use waitlock::WaitLock;

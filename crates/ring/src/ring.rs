@@ -1,0 +1,663 @@
+//! Disruptor-style shared ring buffer (§3.3.1).
+//!
+//! The leader publishes events into a fixed-size ring held entirely in memory;
+//! each follower consumes the stream at its own pace through a dedicated
+//! consumer slot.  The design follows the LMAX Disruptor pattern cited by the
+//! paper: a single monotonically increasing publication cursor, one gating
+//! sequence per consumer, cache-padded counters, and no locks on the hot path
+//! (locks are only used by the optional blocking wait strategy and during
+//! allocation, exactly as described in the paper).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::atomic::AtomicCell;
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::RingError;
+use crate::sequence::Sequence;
+
+/// How a waiting party (producer waiting for space, consumer waiting for an
+/// event) should behave (§3.3.1).
+///
+/// The paper's followers busy-wait by default and fall back to a futex-based
+/// *waitlock* around blocking system calls; both behaviours are available
+/// here, plus a cooperative-yield middle ground used in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitStrategy {
+    /// Busy-wait (spin) until progress is possible. Lowest latency, burns CPU.
+    #[default]
+    Spin,
+    /// Spin but call [`std::thread::yield_now`] between polls.
+    Yield,
+    /// Block on a condition variable until the other side signals progress.
+    Block,
+}
+
+/// Aggregate statistics exposed by the ring for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Total events published since creation.
+    pub published: u64,
+    /// Number of times the producer had to wait for a slow consumer.
+    pub producer_waits: u64,
+    /// Number of times any consumer had to wait for the producer.
+    pub consumer_waits: u64,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    mask: u64,
+    slots: Vec<CachePadded<AtomicCell<T>>>,
+    /// Highest published slot (u64::MAX before the first publication).
+    cursor: Sequence,
+    /// Next slot index to be claimed by a producer.
+    claim: CachePadded<AtomicU64>,
+    /// Last slot consumed by each follower (u64::MAX before the first).
+    consumers: Vec<Sequence>,
+    /// Which consumer slots are live; retired slots no longer gate the producer.
+    active: Vec<AtomicBool>,
+    claimed: Vec<AtomicBool>,
+    strategy: WaitStrategy,
+    // Blocking wait support.
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    // Statistics.
+    producer_waits: AtomicU64,
+    consumer_waits: AtomicU64,
+}
+
+impl<T> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("capacity", &self.capacity)
+            .field("cursor", &self.cursor)
+            .field("strategy", &self.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A single-address-space stand-in for VARAN's shared-memory event ring.
+///
+/// The ring is created with a fixed capacity (a power of two; the paper's
+/// default is 256) and a fixed number of consumer slots, one per follower.
+/// Producers and consumers are obtained with [`RingBuffer::producer`] and
+/// [`RingBuffer::consumer`] and may be moved to other threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use varan_ring::{Event, RingBuffer, WaitStrategy};
+///
+/// # fn main() -> Result<(), varan_ring::RingError> {
+/// let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Yield)?);
+/// let producer = ring.producer();
+/// let mut consumer = ring.consumer(0)?;
+/// producer.publish(Event::syscall(3, &[1], 0));
+/// assert_eq!(consumer.next_blocking().sysno(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct RingBuffer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for RingBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RingBuffer")
+            .field("capacity", &self.shared.capacity)
+            .field("consumers", &self.shared.consumers.len())
+            .field("strategy", &self.shared.strategy)
+            .finish()
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
+    /// Creates a ring with `capacity` slots (must be a non-zero power of two)
+    /// and `consumers` follower slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::ZeroCapacity`] if `capacity` is zero and
+    /// [`RingError::CapacityNotPowerOfTwo`] if it is not a power of two.
+    pub fn new(
+        capacity: usize,
+        consumers: usize,
+        strategy: WaitStrategy,
+    ) -> Result<Self, RingError> {
+        if capacity == 0 {
+            return Err(RingError::ZeroCapacity);
+        }
+        if !capacity.is_power_of_two() {
+            return Err(RingError::CapacityNotPowerOfTwo(capacity));
+        }
+        let slots = (0..capacity)
+            .map(|_| CachePadded::new(AtomicCell::new(T::default())))
+            .collect();
+        let shared = Shared {
+            capacity,
+            mask: capacity as u64 - 1,
+            slots,
+            cursor: Sequence::new(),
+            claim: CachePadded::new(AtomicU64::new(0)),
+            consumers: (0..consumers).map(|_| Sequence::new()).collect(),
+            active: (0..consumers).map(|_| AtomicBool::new(true)).collect(),
+            claimed: (0..consumers).map(|_| AtomicBool::new(false)).collect(),
+            strategy,
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            producer_waits: AtomicU64::new(0),
+            consumer_waits: AtomicU64::new(0),
+        };
+        Ok(RingBuffer {
+            shared: Arc::new(shared),
+        })
+    }
+
+    /// Creates a ring with the paper's default capacity of 256 events.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (256 is a power of two); the `Result` is kept
+    /// for signature consistency with [`RingBuffer::new`].
+    pub fn with_default_capacity(
+        consumers: usize,
+        strategy: WaitStrategy,
+    ) -> Result<Self, RingError> {
+        Self::new(256, consumers, strategy)
+    }
+
+    /// Returns a producer handle for publishing events into this ring.
+    #[must_use]
+    pub fn producer(self: &Arc<Self>) -> Producer<T> {
+        Producer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Claims consumer slot `index` and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConsumer`] if `index` is out of range and
+    /// [`RingError::ConsumerAlreadyClaimed`] if the slot was already handed
+    /// out.
+    pub fn consumer(self: &Arc<Self>, index: usize) -> Result<Consumer<T>, RingError> {
+        let claimed = self
+            .shared
+            .claimed
+            .get(index)
+            .ok_or(RingError::InvalidConsumer {
+                index,
+                consumers: self.shared.consumers.len(),
+            })?;
+        if claimed.swap(true, Ordering::AcqRel) {
+            return Err(RingError::ConsumerAlreadyClaimed(index));
+        }
+        Ok(Consumer {
+            shared: Arc::clone(&self.shared),
+            index,
+            next: 0,
+        })
+    }
+
+    /// The ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The number of consumer slots (live or retired).
+    #[must_use]
+    pub fn consumer_slots(&self) -> usize {
+        self.shared.consumers.len()
+    }
+
+    /// Number of events published so far.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.shared.cursor.count()
+    }
+
+    /// Snapshot of ring statistics.
+    #[must_use]
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            published: self.shared.cursor.count(),
+            producer_waits: self.shared.producer_waits.load(Ordering::Relaxed),
+            consumer_waits: self.shared.consumer_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The number of events consumer `index` still has to process before it
+    /// catches up with the leader ("log distance", §5.3).
+    ///
+    /// Returns `None` for out-of-range or retired consumers.
+    #[must_use]
+    pub fn backlog(&self, index: usize) -> Option<u64> {
+        let seq = self.shared.consumers.get(index)?;
+        if !self.shared.active.get(index)?.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(self.shared.cursor.count().saturating_sub(seq.count()))
+    }
+}
+
+impl<T> Shared<T> {
+    fn min_active_consumed(&self) -> u64 {
+        let mut min = u64::MAX;
+        let mut any = false;
+        for (seq, active) in self.consumers.iter().zip(self.active.iter()) {
+            if active.load(Ordering::Acquire) {
+                any = true;
+                min = min.min(seq.count());
+            }
+        }
+        if any {
+            min
+        } else {
+            // No live consumers: nothing gates the producer.
+            u64::MAX
+        }
+    }
+
+    fn wait(&self, spin_count: &mut u32) {
+        match self.strategy {
+            WaitStrategy::Spin => std::hint::spin_loop(),
+            WaitStrategy::Yield => std::thread::yield_now(),
+            WaitStrategy::Block => {
+                // Re-check happens in the caller's loop; bounded wait avoids
+                // missed wakeups turning into deadlocks.
+                let mut guard = self.mutex.lock();
+                self.condvar
+                    .wait_for(&mut guard, Duration::from_micros(50));
+            }
+        }
+        *spin_count = spin_count.saturating_add(1);
+    }
+
+    fn notify(&self) {
+        if self.strategy == WaitStrategy::Block {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
+    }
+}
+
+/// Publishing side of a [`RingBuffer`]; held by the leader's monitor.
+///
+/// Cloning the producer is cheap; all clones publish into the same ring and
+/// are safe to use from multiple leader threads (each process/thread tuple
+/// normally has its own ring, §3.3.3, but the producer itself is also
+/// multi-thread safe).
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Producer<T> {
+    fn clone(&self) -> Self {
+        Producer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> Producer<T> {
+    /// Publishes `value`, blocking (according to the ring's wait strategy)
+    /// until a slot is free, and returns the sequence number it was assigned.
+    pub fn publish(&self, value: T) -> u64 {
+        let shared = &*self.shared;
+        let seq = shared.claim.fetch_add(1, Ordering::AcqRel);
+        // Wait for space: slot `seq` overwrites slot `seq - capacity`, which
+        // must have been consumed by every live follower.
+        let mut spins = 0u32;
+        let mut waited = false;
+        while seq
+            >= shared
+                .min_active_consumed()
+                .saturating_add(shared.capacity as u64)
+        {
+            waited = true;
+            shared.wait(&mut spins);
+        }
+        if waited {
+            shared.producer_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = (seq & shared.mask) as usize;
+        shared.slots[idx].store(value);
+        // Publish in order: wait until every earlier claim has been published.
+        let mut spins = 0u32;
+        loop {
+            let cursor = shared.cursor.get();
+            let expected_prev = seq.wrapping_sub(1);
+            if cursor == expected_prev {
+                break;
+            }
+            shared.wait(&mut spins);
+        }
+        shared.cursor.set(seq);
+        shared.notify();
+        seq
+    }
+
+    /// Attempts to publish without waiting for space.
+    ///
+    /// Returns `Ok(sequence)` on success or `Err(value)` (handing the value
+    /// back) if the ring is full.  Used by the security-oriented unbuffered
+    /// configuration discussed in §6.
+    pub fn try_publish(&self, value: T) -> Result<u64, T> {
+        let shared = &*self.shared;
+        // Single check against the current claim; racy over-claiming is
+        // avoided by doing a CAS on the claim counter.
+        loop {
+            let seq = shared.claim.load(Ordering::Acquire);
+            if seq
+                >= shared
+                    .min_active_consumed()
+                    .saturating_add(shared.capacity as u64)
+            {
+                return Err(value);
+            }
+            if shared
+                .claim
+                .compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let idx = (seq & shared.mask) as usize;
+            shared.slots[idx].store(value);
+            let mut spins = 0u32;
+            while shared.cursor.get() != seq.wrapping_sub(1) {
+                shared.wait(&mut spins);
+            }
+            shared.cursor.set(seq);
+            shared.notify();
+            return Ok(seq);
+        }
+    }
+
+    /// Number of events published into the ring so far.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.shared.cursor.count()
+    }
+}
+
+/// Consuming side of a [`RingBuffer`]; held by a follower's monitor.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    index: usize,
+    /// Next sequence this consumer expects to read.
+    next: u64,
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Consumer")
+            .field("index", &self.index)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> Consumer<T> {
+    /// The consumer slot index this handle was created for.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Returns the next event if one has been published, without blocking.
+    pub fn try_next(&mut self) -> Option<T> {
+        let shared = &*self.shared;
+        if shared.cursor.count() <= self.next {
+            return None;
+        }
+        let idx = (self.next & shared.mask) as usize;
+        let value = shared.slots[idx].load();
+        shared.consumers[self.index].set(self.next);
+        shared.notify();
+        self.next += 1;
+        Some(value)
+    }
+
+    /// Blocks (according to the ring's wait strategy) until the next event is
+    /// available and returns it.
+    pub fn next_blocking(&mut self) -> T {
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            if let Some(value) = self.try_next() {
+                if waited {
+                    self.shared.consumer_waits.fetch_add(1, Ordering::Relaxed);
+                }
+                return value;
+            }
+            waited = true;
+            self.shared.wait(&mut spins);
+        }
+    }
+
+    /// Blocks until the next event is available or `timeout` elapses.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            if let Some(value) = self.try_next() {
+                return Some(value);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.shared.wait(&mut spins);
+        }
+    }
+
+    /// Number of events this consumer has not yet processed.
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.shared.cursor.count().saturating_sub(self.next)
+    }
+
+    /// Sequence number of the next event this consumer will read.
+    #[must_use]
+    pub fn next_sequence(&self) -> u64 {
+        self.next
+    }
+
+    /// Permanently retires this consumer so it no longer gates the producer.
+    ///
+    /// Used when a follower crashes or is discarded by the coordinator (§5.1).
+    pub fn unsubscribe(&mut self) {
+        self.shared.active[self.index].store(false, Ordering::Release);
+        self.shared.notify();
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.active[self.index].store(false, Ordering::Release);
+        self.shared.notify();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn rejects_bad_capacities() {
+        assert_eq!(
+            RingBuffer::<Event>::new(0, 1, WaitStrategy::Spin).unwrap_err(),
+            RingError::ZeroCapacity
+        );
+        assert_eq!(
+            RingBuffer::<Event>::new(6, 1, WaitStrategy::Spin).unwrap_err(),
+            RingError::CapacityNotPowerOfTwo(6)
+        );
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        let ring = RingBuffer::<Event>::with_default_capacity(1, WaitStrategy::Spin).unwrap();
+        assert_eq!(ring.capacity(), 256);
+    }
+
+    #[test]
+    fn single_consumer_receives_in_order() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Yield).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        for i in 0..100u16 {
+            producer.publish(Event::syscall(i, &[], i as i64));
+            let event = consumer.next_blocking();
+            assert_eq!(event.sysno(), i);
+        }
+        assert_eq!(ring.published(), 100);
+    }
+
+    #[test]
+    fn consumer_slots_cannot_be_claimed_twice() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Spin).unwrap());
+        let _c = ring.consumer(0).unwrap();
+        assert_eq!(
+            ring.consumer(0).unwrap_err(),
+            RingError::ConsumerAlreadyClaimed(0)
+        );
+        assert!(matches!(
+            ring.consumer(3).unwrap_err(),
+            RingError::InvalidConsumer { index: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn try_publish_fails_when_full() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let _consumer = ring.consumer(0).unwrap();
+        for i in 0..4 {
+            assert!(producer.try_publish(Event::checkpoint(i)).is_ok());
+        }
+        assert!(producer.try_publish(Event::checkpoint(4)).is_err());
+    }
+
+    #[test]
+    fn unsubscribed_consumer_stops_gating() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        consumer.unsubscribe();
+        // Far more events than the capacity: would deadlock if the retired
+        // consumer still gated the producer.
+        for i in 0..64 {
+            producer.publish(Event::checkpoint(i));
+        }
+        assert_eq!(ring.published(), 64);
+        assert_eq!(ring.backlog(0), None);
+    }
+
+    #[test]
+    fn two_follower_threads_see_identical_streams() {
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 2, WaitStrategy::Yield).unwrap());
+        let producer = ring.producer();
+        let total = 500u64;
+        let mut handles = Vec::new();
+        for slot in 0..2 {
+            let mut consumer = ring.consumer(slot).unwrap();
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..total {
+                    seen.push(consumer.next_blocking().args()[0]);
+                }
+                seen
+            }));
+        }
+        for i in 0..total {
+            producer.publish(Event::checkpoint(i));
+        }
+        for handle in handles {
+            let seen = handle.join().unwrap();
+            let expected: Vec<u64> = (0..total).collect();
+            assert_eq!(seen, expected);
+        }
+        let stats = ring.stats();
+        assert_eq!(stats.published, total);
+    }
+
+    #[test]
+    fn blocking_strategy_delivers() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Block).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        let handle = std::thread::spawn(move || consumer.next_blocking());
+        std::thread::sleep(Duration::from_millis(20));
+        producer.publish(Event::exit(0));
+        assert_eq!(handle.join().unwrap().kind(), crate::EventKind::Exit);
+    }
+
+    #[test]
+    fn backlog_tracks_distance_between_leader_and_follower() {
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        for i in 0..6 {
+            producer.publish(Event::checkpoint(i));
+        }
+        assert_eq!(ring.backlog(0), Some(6));
+        assert_eq!(consumer.backlog(), 6);
+        let _ = consumer.next_blocking();
+        assert_eq!(ring.backlog(0), Some(5));
+    }
+
+    #[test]
+    fn try_next_returns_none_when_empty() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let mut consumer = ring.consumer(0).unwrap();
+        assert!(consumer.try_next().is_none());
+        assert!(consumer
+            .next_timeout(Duration::from_millis(5))
+            .is_none());
+    }
+
+    #[test]
+    fn multi_producer_publishes_are_all_delivered() {
+        let ring = Arc::new(RingBuffer::<Event>::new(64, 1, WaitStrategy::Yield).unwrap());
+        let mut consumer = ring.consumer(0).unwrap();
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let producer = ring.producer();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    producer.publish(Event::checkpoint(p * 1000 + i));
+                }
+            }));
+        }
+        let mut seen = Vec::new();
+        for _ in 0..400 {
+            seen.push(consumer.next_blocking().args()[0]);
+        }
+        for handle in producers {
+            handle.join().unwrap();
+        }
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

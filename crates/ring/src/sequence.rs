@@ -1,0 +1,118 @@
+//! Cache-padded monotonic sequence counters.
+//!
+//! The Disruptor pattern coordinates producers and consumers exclusively
+//! through monotonically increasing sequence numbers.  Each counter lives on
+//! its own cache line to avoid false sharing between the leader (producer)
+//! and follower (consumer) threads, mirroring the cache-aligned layout used by
+//! the original VARAN implementation (§3.3.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Sentinel value meaning "this sequence is not (yet/any longer) in use".
+///
+/// Consumer slots start at this value and return to it when a follower is
+/// discarded (e.g. after it crashes, §5.1) so that it no longer gates the
+/// producer.
+pub(crate) const SEQUENCE_INITIAL: u64 = u64::MAX;
+
+/// A cache-padded, monotonically increasing sequence counter.
+///
+/// Sequences start at [`u64::MAX`] (conceptually "-1") so that the first
+/// published slot is sequence `0`, matching the LMAX Disruptor convention.
+///
+/// # Examples
+///
+/// ```
+/// use varan_ring::Sequence;
+///
+/// let seq = Sequence::new();
+/// assert_eq!(seq.get(), u64::MAX);
+/// seq.set(5);
+/// assert_eq!(seq.get(), 5);
+/// ```
+#[derive(Debug)]
+pub struct Sequence {
+    value: CachePadded<AtomicU64>,
+}
+
+impl Default for Sequence {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequence {
+    /// Creates a sequence initialised to the pre-first value ([`u64::MAX`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Sequence {
+            value: CachePadded::new(AtomicU64::new(SEQUENCE_INITIAL)),
+        }
+    }
+
+    /// Creates a sequence initialised to `value`.
+    #[must_use]
+    pub fn with_value(value: u64) -> Self {
+        Sequence {
+            value: CachePadded::new(AtomicU64::new(value)),
+        }
+    }
+
+    /// Reads the current value with acquire ordering.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value` with release ordering.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Release);
+    }
+
+    /// Returns `true` if the sequence is at its pre-first/retired value.
+    #[must_use]
+    pub fn is_initial(&self) -> bool {
+        self.get() == SEQUENCE_INITIAL
+    }
+
+    /// Number of slots published so far (`0` when nothing has been published).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        let v = self.get();
+        if v == SEQUENCE_INITIAL {
+            0
+        } else {
+            v + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_initial() {
+        let seq = Sequence::new();
+        assert!(seq.is_initial());
+        assert_eq!(seq.count(), 0);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let seq = Sequence::with_value(41);
+        assert_eq!(seq.get(), 41);
+        seq.set(42);
+        assert_eq!(seq.get(), 42);
+        assert_eq!(seq.count(), 43);
+        assert!(!seq.is_initial());
+    }
+
+    #[test]
+    fn occupies_distinct_cache_lines() {
+        // CachePadded guarantees at least 64-byte alignment on x86-64.
+        assert!(std::mem::size_of::<Sequence>() >= 64);
+    }
+}

@@ -1,0 +1,178 @@
+//! The *waitlock*: a blocking-wait primitive for followers (§3.3.1).
+//!
+//! Followers normally busy-wait on the ring buffer.  When the leader is stuck
+//! in a long blocking system call (e.g. `accept` on an idle server) busy
+//! waiting wastes a core per follower, so followers acquire a waitlock and
+//! sleep until the leader wakes up and notifies them.  The original
+//! implementation combines C11 atomics with Linux futexes; this reproduction
+//! uses an atomic generation counter plus a condition variable, which has the
+//! same semantics (wait-until-notified with no lost wakeups).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A notification primitive with futex-like semantics.
+///
+/// `wait` blocks until `notify` (or `notify_all`) is called *after* the
+/// waiter started waiting; notifications are never lost because waiters
+/// capture the generation counter before blocking.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use varan_ring::WaitLock;
+///
+/// let lock = Arc::new(WaitLock::new());
+/// let waiter = Arc::clone(&lock);
+/// let handle = std::thread::spawn(move || waiter.wait_timeout(Duration::from_secs(5)));
+/// std::thread::sleep(Duration::from_millis(10));
+/// lock.notify_all();
+/// assert!(handle.join().unwrap(), "waiter should have been woken");
+/// ```
+#[derive(Debug)]
+pub struct WaitLock {
+    generation: AtomicU64,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    waiters: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+impl Default for WaitLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitLock {
+    /// Creates a new waitlock with no pending notifications.
+    #[must_use]
+    pub fn new() -> Self {
+        WaitLock {
+            generation: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            waiters: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Current generation; increases by one for every notification.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Blocks the calling thread until the next notification.
+    pub fn wait(&self) {
+        let target = self.generation();
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.mutex.lock();
+        while self.generation() == target {
+            self.condvar.wait(&mut guard);
+        }
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until the next notification or until `timeout` elapses.
+    ///
+    /// Returns `true` if a notification was received, `false` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let target = self.generation();
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.mutex.lock();
+        let mut woken = true;
+        while self.generation() == target {
+            if self.condvar.wait_for(&mut guard, timeout).timed_out() {
+                woken = self.generation() != target;
+                break;
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        woken
+    }
+
+    /// Wakes every thread currently blocked in [`WaitLock::wait`].
+    pub fn notify_all(&self) {
+        let _guard = self.mutex.lock();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.condvar.notify_all();
+    }
+
+    /// Wakes a single blocked thread (all callers observe the new generation,
+    /// so at most one spurious extra thread may also wake, as with futexes).
+    pub fn notify_one(&self) {
+        let _guard = self.mutex.lock();
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.condvar.notify_one();
+    }
+
+    /// Number of threads currently blocked (approximate, for diagnostics).
+    #[must_use]
+    pub fn waiters(&self) -> u64 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Total number of notifications issued so far.
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn notification_before_wait_is_not_lost_for_new_generation() {
+        let lock = WaitLock::new();
+        assert_eq!(lock.generation(), 0);
+        lock.notify_all();
+        assert_eq!(lock.generation(), 1);
+        // A wait started after the notification must block until the next one,
+        // so a timed wait should time out.
+        assert!(!lock.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_without_notification() {
+        let lock = WaitLock::new();
+        assert!(!lock.wait_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn notify_wakes_multiple_waiters() {
+        let lock = Arc::new(WaitLock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let waiter = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                waiter.wait_timeout(Duration::from_secs(5))
+            }));
+        }
+        // Give the waiters a moment to block, then wake them all.
+        std::thread::sleep(Duration::from_millis(20));
+        lock.notify_all();
+        for handle in handles {
+            assert!(handle.join().unwrap());
+        }
+        assert_eq!(lock.wakeups(), 1);
+    }
+
+    #[test]
+    fn notify_one_advances_generation() {
+        let lock = WaitLock::new();
+        lock.notify_one();
+        lock.notify_one();
+        assert_eq!(lock.generation(), 2);
+        assert_eq!(lock.wakeups(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-revision execution (§5.2 of the paper): Lighttpd revision 2435 runs
+//! as the leader while revision 2436 — which issues two *additional* system
+//! calls (`getuid`, `getgid`) per request — runs as a follower.  A BPF
+//! rewrite rule (Listing 1 of the paper, reproduced verbatim in
+//! `RuleEngine::with_listing_1`) allows the divergence; without it the
+//! follower would be killed at the first request.
+//!
+//! ```text
+//! cargo run --example multi_revision
+//! ```
+
+use varan::apps::clients::wrk;
+use varan::apps::revisions::{lighttpd_revision, lighttpd_rules};
+use varan::apps::servers::httpd::revs;
+use varan::apps::servers::ServerConfig;
+use varan::core::coordinator::{NvxConfig, NvxSystem};
+use varan::core::VersionProgram;
+use varan::kernel::Kernel;
+
+fn run_pair(with_rules: bool) -> Result<(), varan::core::CoreError> {
+    let kernel = Kernel::new();
+    kernel
+        .populate_file("/var/www/index.html", vec![b'x'; 2048])
+        .expect("web root");
+    let port = if with_rules { 18_080 } else { 18_081 };
+    let connections = 3u64;
+    let config = ServerConfig::on_port(port).with_connections(connections);
+
+    let versions: Vec<Box<dyn VersionProgram>> = vec![
+        Box::new(lighttpd_revision(revs::REV_2435, &config)),
+        Box::new(lighttpd_revision(revs::REV_2436, &config)),
+    ];
+    let rules = if with_rules {
+        lighttpd_rules(revs::REV_2435, revs::REV_2436)?
+    } else {
+        varan::core::RuleEngine::new()
+    };
+    let running = NvxSystem::launch(&kernel, versions, NvxConfig::default().with_rules(rules))?;
+
+    let client_kernel = kernel.clone();
+    let client = std::thread::spawn(move || {
+        wrk(&client_kernel, port, connections as usize, 4, "/index.html")
+    });
+    let client_report = client.join().expect("client");
+    let report = running.wait();
+
+    println!(
+        "rules {:<3} | requests served: {:>2} | follower divergences allowed: {:>2} | follower exit: {}",
+        if with_rules { "on" } else { "off" },
+        client_report.requests,
+        report.versions[1].divergences_allowed,
+        report.exits[1].as_deref().unwrap_or("?")
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), varan::core::CoreError> {
+    println!("Lighttpd 2435 (leader) + 2436 (follower), with and without Listing 1 rules:\n");
+    run_pair(true)?;
+    run_pair(false)?;
+    println!("\nWith the rule the follower keeps up despite its extra getuid/getgid calls;");
+    println!("without it the first divergence kills the follower, as in prior NVX systems.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run two versions of a small program under the VARAN monitor.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! One version is designated the leader and actually executes system calls;
+//! the other replays the leader's event stream.  The report at the end shows
+//! how much work each side did.
+
+use varan::core::coordinator::{run_nvx, NvxConfig};
+use varan::core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan::kernel::fs::flags;
+use varan::kernel::Kernel;
+
+/// A small program: write a greeting, copy a file, read the clock.
+struct Greeter {
+    label: String,
+}
+
+impl VersionProgram for Greeter {
+    fn name(&self) -> String {
+        format!("greeter-{}", self.label)
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        sys.write(1, b"hello from an N-version program\n");
+
+        // Copy /etc/hostname to /tmp/hostname-copy.
+        let input = sys.open("/etc/hostname", flags::O_RDONLY) as i32;
+        let contents = sys.read(input, 256);
+        sys.close(input);
+        let output = sys.open("/tmp/hostname-copy", flags::O_WRONLY | flags::O_CREAT) as i32;
+        sys.write(output, &contents);
+        sys.close(output);
+
+        // A few virtual system calls.
+        for _ in 0..5 {
+            sys.time();
+        }
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+fn main() -> Result<(), varan::core::CoreError> {
+    let kernel = Kernel::new();
+    let versions: Vec<Box<dyn VersionProgram>> = vec![
+        Box::new(Greeter { label: "v1".into() }),
+        Box::new(Greeter { label: "v2".into() }),
+    ];
+    let report = run_nvx(&kernel, versions, NvxConfig::default())?;
+
+    println!("exits               : {:?}", report.exits);
+    println!("events streamed     : {}", report.events_published);
+    println!(
+        "leader cycles       : {} (kernel) + {} (monitor)",
+        report.versions[0].cycles, report.versions[0].monitor_cycles
+    );
+    println!(
+        "follower cycles     : {} (kernel) + {} (monitor)",
+        report.versions[1].cycles, report.versions[1].monitor_cycles
+    );
+    println!(
+        "descriptor transfers: {} sent / {} received",
+        report.versions[0].fd_transfers, report.versions[1].fd_transfers
+    );
+    println!("file written once   : {:?}", kernel.file_exists("/tmp/hostname-copy"));
+    Ok(())
+}

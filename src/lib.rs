@@ -1,0 +1,59 @@
+//! # varan — an N-version execution framework (reproduction)
+//!
+//! This umbrella crate re-exports the crates that make up the from-scratch
+//! Rust reproduction of *"Varan the Unbelievable: An Efficient N-version
+//! Execution Framework"* (Hosek & Cadar, ASPLOS 2015) and hosts the runnable
+//! examples and the cross-crate integration tests.
+//!
+//! * [`core`](varan_core) — the framework itself: coordinator, zygote,
+//!   leader/follower monitors, event streaming, system call tables, rewrite
+//!   rules, transparent failover, live sanitization and record-replay.
+//! * [`ring`](varan_ring) — the shared ring buffer, waitlocks, Lamport
+//!   clocks and the shared-memory pool allocator.
+//! * [`rewrite`](varan_rewrite) — selective binary rewriting of system-call
+//!   sites and vDSO entry points.
+//! * [`bpf`](varan_bpf) — the BPF virtual machine, verifier and assembler
+//!   used for system-call sequence rewrite rules.
+//! * [`kernel`](varan_kernel) — the virtual OS substrate the reproduction
+//!   runs on (see `DESIGN.md` for the substitution argument).
+//! * [`apps`](varan_apps) — miniature server applications, client workloads
+//!   and SPEC-like CPU kernels.
+//! * [`baselines`](varan_baselines) — prior-work lock-step and record-replay
+//!   baselines used by the comparison experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use varan::core::coordinator::{run_nvx, NvxConfig};
+//! use varan::core::program::{ProgramExit, SyscallInterface, VersionProgram};
+//! use varan::kernel::Kernel;
+//!
+//! struct Hello;
+//! impl VersionProgram for Hello {
+//!     fn name(&self) -> String {
+//!         "hello".into()
+//!     }
+//!     fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+//!         sys.write(1, b"hello\n");
+//!         ProgramExit::Exited(0)
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), varan::core::CoreError> {
+//! let kernel = Kernel::new();
+//! let report = run_nvx(&kernel, vec![Box::new(Hello), Box::new(Hello)], NvxConfig::default())?;
+//! assert!(report.all_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use varan_apps as apps;
+pub use varan_baselines as baselines;
+pub use varan_bpf as bpf;
+pub use varan_core as core;
+pub use varan_kernel as kernel;
+pub use varan_rewrite as rewrite;
+pub use varan_ring as ring;

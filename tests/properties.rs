@@ -1,0 +1,148 @@
+//! Property-based tests over the core data structures, spanning crates.
+
+use proptest::prelude::*;
+
+use varan::bpf::asm::assemble;
+use varan::bpf::seccomp::{RetValue, SeccompData};
+use varan::bpf::vm::{FilterContext, Vm};
+use varan::core::record_replay::{LogEntry, RecordLog};
+use varan::kernel::syscall::SyscallRequest;
+use varan::kernel::{Kernel, Sysno};
+use varan::rewrite::asm::{synthetic_function, SyscallSlot};
+use varan::rewrite::patcher::{PatchConfig, Patcher};
+use varan::rewrite::scanner;
+use varan::rewrite::CodeSegment;
+use varan::ring::{Event, PoolAllocator, RingBuffer, WaitStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Everything published into the ring is consumed exactly once, in order,
+    /// whatever the capacity and batch size.
+    #[test]
+    fn ring_buffer_preserves_order(
+        capacity_pow in 2u32..8,
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let capacity = 1usize << capacity_pow;
+        let ring = std::sync::Arc::new(
+            RingBuffer::<Event>::new(capacity, 1, WaitStrategy::Yield).unwrap(),
+        );
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        let expected = values.clone();
+        let handle = std::thread::spawn(move || {
+            expected
+                .iter()
+                .map(|_| consumer.next_blocking().args()[0])
+                .collect::<Vec<u64>>()
+        });
+        for value in &values {
+            producer.publish(Event::checkpoint(*value));
+        }
+        let seen = handle.join().unwrap();
+        prop_assert_eq!(seen, values);
+    }
+
+    /// Pool allocations never alias: concurrent-looking interleavings of
+    /// allocate/write/read/free round-trip every payload.
+    #[test]
+    fn pool_allocator_round_trips_disjoint_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..2048), 1..40),
+    ) {
+        let pool = PoolAllocator::default();
+        let regions: Vec<_> = payloads
+            .iter()
+            .map(|payload| pool.alloc_and_write(payload).unwrap())
+            .collect();
+        for (region, payload) in regions.iter().zip(payloads.iter()) {
+            prop_assert_eq!(&pool.read(region.ptr()), payload);
+        }
+        for region in regions {
+            pool.free(region).unwrap();
+        }
+        prop_assert_eq!(pool.stats().live_chunks, 0);
+    }
+
+    /// The binary rewriter never leaves a system-call instruction behind and
+    /// never changes the segment length, for any mix of syscall sites.
+    #[test]
+    fn patcher_removes_every_syscall_site(
+        numbers in proptest::collection::vec(0u32..400, 1..12),
+        filler in 0usize..6,
+    ) {
+        let slots: Vec<SyscallSlot> = numbers
+            .iter()
+            .enumerate()
+            .map(|(index, &number)| SyscallSlot { number, legacy: index % 4 == 3 })
+            .collect();
+        let code = synthetic_function(&slots, filler);
+        let segment = CodeSegment::new(0x40_0000, code);
+        let sites_before = scanner::scan(&segment).unwrap().site_count();
+        prop_assert_eq!(sites_before, slots.len());
+
+        let outcome = Patcher::new(PatchConfig::default()).rewrite(&segment).unwrap();
+        prop_assert_eq!(outcome.patched.len(), segment.len());
+        prop_assert_eq!(outcome.remaining_syscalls(), 0);
+        outcome.verify().unwrap();
+    }
+
+    /// The record-replay log encoding is lossless for arbitrary entries.
+    #[test]
+    fn record_log_encoding_round_trips(
+        entries in proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u64>(), 6), any::<i64>(),
+             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..512))),
+            0..50,
+        ),
+    ) {
+        let mut log = RecordLog::new();
+        for (sysno, args, result, payload) in entries {
+            let mut fixed = [0u64; 6];
+            fixed.copy_from_slice(&args);
+            log.push(LogEntry { sysno, args: fixed, result, payload });
+        }
+        let decoded = RecordLog::decode(&log.encode()).unwrap();
+        prop_assert_eq!(decoded, log);
+    }
+
+    /// Generated "allow extra call" BPF rules always verify and always return
+    /// a decodable verdict.
+    #[test]
+    fn generated_bpf_rules_always_verify(extra in 0u16..400, leader in 0u16..400, probe in 0i32..400) {
+        let source = format!(
+            "ld event[0]\n jeq #{leader}, check\n jmp bad\ncheck: ld [0]\n jeq #{extra}, good\nbad: ret #0\ngood: ret #0x7fff0000\n"
+        );
+        let program = assemble(&source).unwrap();
+        let vm = Vm::new(&program).unwrap();
+        let context = FilterContext::new(SeccompData::for_syscall(probe, &[]))
+            .with_leader_events(vec![u32::from(leader)]);
+        let verdict = RetValue::decode(vm.run(&context).unwrap());
+        if probe == i32::from(extra) {
+            prop_assert_eq!(verdict, RetValue::Allow);
+        } else {
+            prop_assert_eq!(verdict, RetValue::Kill);
+        }
+    }
+
+    /// The virtual kernel's file descriptors are process-isolated: a
+    /// descriptor opened in one process is never valid in another.
+    #[test]
+    fn kernel_descriptors_are_per_process(opens in 1usize..20) {
+        let kernel = Kernel::new();
+        let first = kernel.spawn_process("first");
+        let second = kernel.spawn_process("second");
+        let mut last_fd = -1;
+        for _ in 0..opens {
+            let outcome = kernel.syscall(first, &SyscallRequest::open_read("/dev/null"));
+            prop_assert!(outcome.result >= 3);
+            last_fd = outcome.result as i32;
+        }
+        let foreign = kernel.syscall(second, &SyscallRequest::read(last_fd, 1));
+        prop_assert_eq!(foreign.errno(), Some(varan::kernel::Errno::EBADF));
+        prop_assert_eq!(
+            kernel.stats().syscalls.get(&Sysno::Open).copied().unwrap_or(0),
+            opens as u64
+        );
+    }
+}
