@@ -91,26 +91,92 @@ pub fn connect_retry(kernel: &Kernel, port: u16, timeout: Duration) -> Option<En
     }
 }
 
-/// Reads bytes until the accumulated buffer contains `needle` (or the peer
-/// closes).  Returns the buffer.
-fn read_until(endpoint: &Endpoint, needle: &[u8], limit: usize) -> Vec<u8> {
+/// Upper bound on waiting for one reply: a server that died without closing
+/// its connections must fail the request, not hang the client (and with it
+/// the whole benchmark harness). Shared with the scenario probes so every
+/// consumer agrees on what counts as a dead service.
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Reads from `endpoint` until `stop(&buffer)` holds, within an overall
+/// `deadline`. Returns `Some(buffer)` only once `stop` is satisfied; EOF or
+/// the deadline expiring first yields `None`, so a partial reply from a
+/// dying server is a failure, never a success with a deadline-sized
+/// "latency". Wakes precisely on data arrival (condvar, no polling).
+pub fn read_until_satisfied(
+    endpoint: &Endpoint,
+    deadline: Duration,
+    stop: impl Fn(&[u8]) -> bool,
+) -> Option<Vec<u8>> {
+    let end = Instant::now() + deadline;
     let mut buffer = Vec::new();
-    while !contains(&buffer, needle) && buffer.len() < limit {
-        match endpoint.read(1024, true) {
-            Ok(chunk) if chunk.is_empty() => break,
+    loop {
+        if stop(&buffer) {
+            return Some(buffer);
+        }
+        let now = Instant::now();
+        if now >= end {
+            return None;
+        }
+        match endpoint.read_timeout(2048, end - now) {
+            Ok(chunk) if chunk.is_empty() => return None, // EOF before satisfied
             Ok(chunk) => buffer.extend_from_slice(&chunk),
-            Err(_) => break,
+            Err(_) => return None, // timed out
         }
     }
-    buffer
+}
+
+/// Reads until the accumulated buffer contains `needle`. Returns `None` on
+/// EOF, timeout, or `limit` bytes without the needle.
+fn read_until(endpoint: &Endpoint, needle: &[u8], limit: usize) -> Option<Vec<u8>> {
+    let buffer = read_until_satisfied(endpoint, CLIENT_READ_TIMEOUT, |buffer| {
+        contains(buffer, needle) || buffer.len() >= limit
+    })?;
+    contains(&buffer, needle).then_some(buffer)
 }
 
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    !needle.is_empty() && haystack.windows(needle.len()).any(|window| window == needle)
+    find(haystack, needle).is_some()
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// True once `buffer` holds a complete `RESERVED <id> <len>\r\n<payload>\r\n`
+/// frame. The server writes the whole frame in one stream write, so the
+/// read that finds "RESERVED" usually swallows the payload too — the stop
+/// predicate must account for it rather than issuing a second read against
+/// an already-drained stream.
+fn reserved_frame_complete(buffer: &[u8]) -> bool {
+    let Some(position) = find(buffer, b"RESERVED") else {
+        return false;
+    };
+    let frame = &buffer[position..];
+    let Some(header_end) = find(frame, b"\r\n") else {
+        return false;
+    };
+    let header = String::from_utf8_lossy(&frame[..header_end]);
+    let Some(payload_len) = header
+        .split_whitespace()
+        .nth(2)
+        .and_then(|token| token.parse::<usize>().ok())
+    else {
+        return false;
+    };
+    frame.len() >= header_end + 2 + payload_len + 2
 }
 
 /// Reads one full HTTP response (headers plus `Content-Length` body).
 fn read_http_response(endpoint: &Endpoint) -> Option<Vec<u8>> {
+    // One overall deadline for the whole response, not per read: a server
+    // trickling bytes without ever completing the header must still fail
+    // the request in bounded time.
+    let end = Instant::now() + CLIENT_READ_TIMEOUT;
     let mut buffer = Vec::new();
     loop {
         let text = String::from_utf8_lossy(&buffer).into_owned();
@@ -124,9 +190,28 @@ fn read_http_response(endpoint: &Endpoint) -> Option<Vec<u8>> {
                 return Some(buffer);
             }
         }
-        match endpoint.read(2048, true) {
+        let now = Instant::now();
+        if now >= end {
+            return None;
+        }
+        match endpoint.read_timeout(2048, end - now) {
             Ok(chunk) if chunk.is_empty() => {
-                return if buffer.is_empty() { None } else { Some(buffer) }
+                // EOF: only a close-delimited response — complete headers
+                // with no Content-Length — is acceptable here. Truncated
+                // headers, or a declared body the stream never delivered,
+                // mean the server died mid-reply: a failed request.
+                let text = String::from_utf8_lossy(&buffer).into_owned();
+                let Some(header_end) = text.find("\r\n\r\n") else {
+                    return None;
+                };
+                let declared = text
+                    .lines()
+                    .find_map(|line| line.strip_prefix("Content-Length: "))
+                    .and_then(|value| value.trim().parse::<usize>().ok());
+                return match declared {
+                    Some(length) if buffer.len() < header_end + 4 + length => None,
+                    _ => Some(buffer),
+                };
             }
             Ok(chunk) => buffer.extend_from_slice(&chunk),
             Err(_) => return None,
@@ -198,11 +283,10 @@ pub fn redis_benchmark(
                 errors += 1;
                 continue;
             }
-            let reply = read_until(&endpoint, b"\n", 1 << 16);
-            if reply.is_empty() {
+            let Some(reply) = read_until(&endpoint, b"\n", 1 << 16) else {
                 errors += 1;
                 continue;
-            }
+            };
             samples.push(started.elapsed().as_secs_f64() * 1e6);
             bytes += reply.len() as u64;
             requests += 1;
@@ -223,11 +307,7 @@ pub fn redis_hmget_probe(kernel: &Kernel, port: u16, key: &str) -> Option<f64> {
         .ok()?;
     let reply = read_until(&endpoint, b"\n", 1 << 12);
     endpoint.close();
-    if reply.is_empty() {
-        None
-    } else {
-        Some(started.elapsed().as_secs_f64() * 1e6)
-    }
+    reply.map(|_| started.elapsed().as_secs_f64() * 1e6)
 }
 
 /// `wrk`: `connections` keep-alive connections each fetching `path`
@@ -356,13 +436,13 @@ pub fn memslap(
                 errors += 1;
                 continue;
             }
-            let reply = read_until(&endpoint, b"STORED\r\n", 1 << 12);
-            if reply.is_empty() {
-                errors += 1;
-            } else {
-                bytes += reply.len() as u64;
-                samples.push(started.elapsed().as_secs_f64() * 1e6);
-                requests += 1;
+            match read_until(&endpoint, b"STORED\r\n", 1 << 12) {
+                None => errors += 1,
+                Some(reply) => {
+                    bytes += reply.len() as u64;
+                    samples.push(started.elapsed().as_secs_f64() * 1e6);
+                    requests += 1;
+                }
             }
         }
         for i in 0..per_conn_ops {
@@ -372,13 +452,13 @@ pub fn memslap(
                 errors += 1;
                 continue;
             }
-            let reply = read_until(&endpoint, b"END\r\n", 1 << 14);
-            if reply.is_empty() {
-                errors += 1;
-            } else {
-                bytes += reply.len() as u64;
-                samples.push(started.elapsed().as_secs_f64() * 1e6);
-                requests += 1;
+            match read_until(&endpoint, b"END\r\n", 1 << 14) {
+                None => errors += 1,
+                Some(reply) => {
+                    bytes += reply.len() as u64;
+                    samples.push(started.elapsed().as_secs_f64() * 1e6);
+                    requests += 1;
+                }
             }
         }
         endpoint.write(b"quit\r\n").ok();
@@ -417,11 +497,15 @@ pub fn beanstalkd_benchmark(
                 errors += 1;
                 continue;
             }
-            let reply = read_until(&endpoint, b"RESERVED", 1 << 14);
-            if reply.is_empty() {
+            // The reply must hold the complete RESERVED frame including its
+            // payload — the server writes it in one go, so reading only up
+            // to "RESERVED" would leave nothing for a follow-up drain read.
+            let Some(reply) =
+                read_until_satisfied(&endpoint, CLIENT_READ_TIMEOUT, reserved_frame_complete)
+            else {
                 errors += 1;
                 continue;
-            }
+            };
             // Extract the job id from "INSERTED <id>" to delete it.
             let text = String::from_utf8_lossy(&reply).into_owned();
             let id: u64 = text
@@ -430,13 +514,14 @@ pub fn beanstalkd_benchmark(
                 .nth(1)
                 .and_then(|token| token.parse().ok())
                 .unwrap_or(0);
-            // Drain the rest of the RESERVED frame (payload + CRLF).
-            let _ = read_until(&endpoint, b"\r\n", 1 << 14);
             if endpoint.write(format!("delete {id}\n").as_bytes()).is_err() {
                 errors += 1;
                 continue;
             }
-            let deleted = read_until(&endpoint, b"\r\n", 1 << 12);
+            let Some(deleted) = read_until(&endpoint, b"\r\n", 1 << 12) else {
+                errors += 1;
+                continue;
+            };
             bytes += (reply.len() + deleted.len()) as u64;
             samples.push(started.elapsed().as_secs_f64() * 1e6);
             requests += 1;

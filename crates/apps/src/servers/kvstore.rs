@@ -14,12 +14,12 @@ use varan_kernel::signal::Signal;
 
 use super::{open_listener, ConnReader, ServerConfig};
 
-/// The Redis-like server.
 /// User-space cycles a real Redis spends processing one command (parsing,
 /// dictionary lookups, reply construction) — a few microseconds on the
 /// paper's 3.5 GHz machine.
 pub const COMPUTE_PER_COMMAND: u64 = 20_000;
 
+/// The Redis-like server.
 #[derive(Debug, Clone)]
 pub struct KvServer {
     config: ServerConfig,

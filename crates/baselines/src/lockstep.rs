@@ -119,6 +119,16 @@ impl Central {
         if round.discarded[index] {
             return SyscallOutcome::err(request.sysno, Errno::ENOSYS, 0);
         }
+        // A fast version can reach its next system call while the previous
+        // round is still being collected by the others; submitting into the
+        // stale round would re-trigger the monitor against leftover
+        // submissions and manufacture a divergence. Wait for the reset.
+        while round.outcome.is_some() {
+            self.completed.wait(&mut round);
+        }
+        if round.discarded[index] {
+            return SyscallOutcome::err(request.sysno, Errno::ENOSYS, 0);
+        }
         let my_round = round.round;
         round.submitted[index] = Some(request.clone());
         round.arrivals += 1;

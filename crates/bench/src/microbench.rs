@@ -24,7 +24,8 @@ pub enum MicroCall {
     Close,
     /// `write(/dev/null, buf, 512)`.
     Write,
-    /// `read(/dev/null, buf, 512)`.
+    /// `read(/dev/zero, buf, 512)` — a full 512-byte transfer, so the
+    /// leader's shared-memory payload copy is part of the measurement.
     Read,
     /// `open("/dev/null", O_RDONLY)` (+ the closing `close`, subtracted out).
     Open,
@@ -110,7 +111,9 @@ impl VersionProgram for MicroProgram {
                 sys.close(fd);
             }
             MicroCall::Read => {
-                let fd = sys.open("/dev/null", flags::O_RDONLY) as i32;
+                // /dev/zero, not /dev/null: the latter returns EOF, and the
+                // row is meant to measure a real 512-byte payload transfer.
+                let fd = sys.open("/dev/zero", flags::O_RDONLY) as i32;
                 for _ in 0..self.iterations {
                     sys.syscall(&SyscallRequest::read(fd, 512));
                 }

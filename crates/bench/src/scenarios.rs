@@ -74,23 +74,11 @@ fn probe(kernel: &Kernel, port: u16, commands: &str, expect: &str) -> Option<f64
     let endpoint = connect_retry(kernel, port, Duration::from_secs(20))?;
     let started = std::time::Instant::now();
     endpoint.write(commands.as_bytes()).ok()?;
-    let mut buffer = Vec::new();
-    loop {
-        let chunk = endpoint.read(512, true).ok()?;
-        if chunk.is_empty() {
-            break;
-        }
-        buffer.extend_from_slice(&chunk);
-        if String::from_utf8_lossy(&buffer).contains(expect) {
-            break;
-        }
-    }
+    let buffer = clients::read_until_satisfied(&endpoint, clients::CLIENT_READ_TIMEOUT, |buffer| {
+        String::from_utf8_lossy(buffer).contains(expect)
+    });
     endpoint.close();
-    if String::from_utf8_lossy(&buffer).contains(expect) {
-        Some(started.elapsed().as_secs_f64() * 1e6)
-    } else {
-        None
-    }
+    buffer.map(|_| started.elapsed().as_secs_f64() * 1e6)
 }
 
 /// Runs the Lighttpd crash-bug failover experiment of §5.1 (revisions
@@ -115,26 +103,14 @@ pub fn failover_lighttpd(buggy_leader: bool) -> FailoverResult {
             endpoint
                 .write(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
                 .ok()?;
-            let mut buffer = Vec::new();
-            loop {
-                let chunk = endpoint.read(2048, true).ok()?;
-                if chunk.is_empty() {
-                    break;
-                }
-                buffer.extend_from_slice(&chunk);
-                // A 200 response carries the 4 kB page; a 404 is tiny.
-                if buffer.len() >= 4096
-                    || String::from_utf8_lossy(&buffer).contains("404 Not Found")
-                {
-                    break;
-                }
-            }
+            // A 200 response carries the 4 kB page; a 404 is tiny. Only a
+            // complete response counts: a service that died mid-response
+            // must fail the probe, not score a 10 s "latency".
+            let buffer = clients::read_until_satisfied(&endpoint, clients::CLIENT_READ_TIMEOUT, |b| {
+                b.len() >= 4096 || String::from_utf8_lossy(b).contains("404 Not Found")
+            });
             endpoint.close();
-            if buffer.is_empty() {
-                None
-            } else {
-                Some(started.elapsed().as_secs_f64() * 1e6)
-            }
+            buffer.map(|_| started.elapsed().as_secs_f64() * 1e6)
         }
     };
 

@@ -18,6 +18,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use varan_kernel::process::Pid;
 use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
 use varan_kernel::{Errno, Kernel};
@@ -35,6 +37,15 @@ use crate::table::{HandlerAction, SyscallTable};
 /// How long a follower waits for the next event before re-checking its
 /// promotion and kill flags.
 const FOLLOWER_POLL: Duration = Duration::from_millis(2);
+
+/// How long a follower facing a fatal divergence verdict waits for a
+/// possible promotion before killing itself. A divergence at a crashed
+/// leader's final events races with the coordinator's promotion decision;
+/// the coordinator adjudicates within microseconds, so this bound is only
+/// ever paid in full by genuinely divergent followers of a healthy leader
+/// (their kill is delayed, never averted). Sized generously so even a
+/// descheduled coordinator on a loaded CI machine wins the race.
+const PROMOTION_GRACE: Duration = Duration::from_millis(200);
 
 /// The leader-side recording engine, shared by the leader's monitor and by a
 /// follower's monitor after promotion.
@@ -268,8 +279,10 @@ pub struct FollowerMonitor {
     rules: Arc<RuleEngine>,
     costs: MonitorCosts,
     /// Leader descriptor number → descriptor number in this follower's
-    /// process (populated from the data channel, §3.3.2).
-    fd_map: HashMap<i64, i32>,
+    /// process (populated from the data channel, §3.3.2). Shared across the
+    /// version's thread monitors, like the process-wide descriptor table it
+    /// mirrors — any thread may drain a transfer another thread needs.
+    fd_map: Arc<Mutex<HashMap<i64, i32>>>,
     /// An event read from the ring but not yet consumed (pushed back when a
     /// divergence was resolved by executing an extra local call).
     pending: Option<Event>,
@@ -302,7 +315,7 @@ impl FollowerMonitor {
             pool,
             rules,
             costs,
-            fd_map: HashMap::new(),
+            fd_map: Arc::new(Mutex::new(HashMap::new())),
             pending: None,
             promoted_core: Some(promoted_core),
             promotion_handled: false,
@@ -318,10 +331,11 @@ impl FollowerMonitor {
         &self.context
     }
 
-    /// The descriptor translation map accumulated from the data channel.
+    /// A snapshot of the descriptor translation map accumulated from the
+    /// data channel.
     #[must_use]
-    pub fn fd_map(&self) -> &HashMap<i64, i32> {
-        &self.fd_map
+    pub fn fd_map(&self) -> HashMap<i64, i32> {
+        self.fd_map.lock().clone()
     }
 
     /// The thread tuple this monitor belongs to (0 for the main thread).
@@ -332,7 +346,9 @@ impl FollowerMonitor {
 
     fn drain_fd_channel(&mut self) {
         while let Some(transfer) = self.context.channel.recv_fd() {
-            self.fd_map.insert(i64::from(transfer.leader_fd), transfer.local_fd);
+            self.fd_map
+                .lock()
+                .insert(i64::from(transfer.leader_fd), transfer.local_fd);
             VersionCounters::add(&self.context.counters.fd_transfers, 1);
             VersionCounters::add(&self.context.counters.monitor_cycles, self.costs.fd_receive);
         }
@@ -382,7 +398,7 @@ impl FollowerMonitor {
 
     fn translate_fd_args(&self, request: &SyscallRequest) -> SyscallRequest {
         let mut translated = request.clone();
-        if let Some(&local) = self.fd_map.get(&(request.args[0] as i64)) {
+        if let Some(&local) = self.fd_map.lock().get(&(request.args[0] as i64)) {
             translated.args[0] = local as u64;
         }
         translated
@@ -416,6 +432,23 @@ impl FollowerMonitor {
                     continue;
                 }
                 RuleAction::Kill => {
+                    // A crashed leader's tail can legitimately diverge from a
+                    // healthy follower at the crash-triggering request, and
+                    // the verdict races with the coordinator's promotion
+                    // decision — give it a bounded window before treating
+                    // the divergence as fatal.
+                    let mut waited = Duration::ZERO;
+                    while !self.context.is_promoted() && waited < PROMOTION_GRACE {
+                        std::thread::sleep(FOLLOWER_POLL);
+                        waited += FOLLOWER_POLL;
+                    }
+                    // Once promoted, skip the stale event and keep draining;
+                    // the takeover happens in after_wait_interrupted() when
+                    // the ring is empty, preserving drain-before-promote.
+                    if self.context.is_promoted() {
+                        self.context.clock.observe(event.clock());
+                        continue;
+                    }
                     VersionCounters::add(&self.context.counters.divergences_killed, 1);
                     self.context.killed.store(true, Ordering::Release);
                     panic!(
@@ -437,9 +470,13 @@ impl FollowerMonitor {
             None
         };
         let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0);
+        // Drain on every event, not just fd-creating ones: the leader also
+        // re-transfers upgraded descriptors (e.g. listen() turning the plain
+        // socket into a listener), and the mapping must be current before
+        // this follower could ever be promoted.
+        self.drain_fd_channel();
         let mut fds = 0usize;
         if request.sysno.creates_fd() && event.result() >= 0 {
-            self.drain_fd_channel();
             fds = 1;
         }
         let overhead =
@@ -482,6 +519,10 @@ impl FollowerMonitor {
         self.promotion_handled = true;
         self.table.promote_to_leader();
         self.consumer.unsubscribe();
+        // Pick up any descriptor transfers still sitting on the data channel
+        // (the crashed leader may have died before this follower replayed an
+        // event that would have drained them).
+        self.drain_fd_channel();
     }
 
     fn leader_execute(&mut self, request: &SyscallRequest) -> SyscallOutcome {
@@ -509,8 +550,13 @@ impl FollowerMonitor {
 
 impl SyscallInterface for FollowerMonitor {
     fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
-        if self.context.is_promoted() {
-            self.ensure_promoted();
+        // A promotion must not take effect before the ring is drained: the
+        // crashed leader's published events still have to be replayed, or
+        // the new leader would re-execute (and re-publish) calls the other
+        // followers have already seen. The drain-then-switch happens inside
+        // replay()/next_event(); only once the switch is done
+        // (promotion_handled) does this monitor dispatch as a leader.
+        if self.promotion_handled {
             return match self.table.action(request.sysno) {
                 HandlerAction::ExecuteLocally => self.execute_locally(request),
                 HandlerAction::Deny => {
@@ -558,7 +604,7 @@ impl SyscallInterface for FollowerMonitor {
             pool: Arc::clone(&self.pool),
             rules: Arc::clone(&self.rules),
             costs: self.costs.clone(),
-            fd_map: self.fd_map.clone(),
+            fd_map: Arc::clone(&self.fd_map),
             pending: None,
             promoted_core: Some(core),
             promotion_handled: self.promotion_handled,

@@ -734,7 +734,11 @@ impl Kernel {
         match self.inner.net.listen(port, backlog.max(16)) {
             Ok(listener) => {
                 entry.object = FdObject::Listener(listener);
-                SyscallOutcome::ok(sysno, 0, cost)
+                // Flag the upgraded descriptor for transfer: monitors that
+                // mirrored the plain socket created by socket() must receive
+                // the listener object too, or a promoted follower would be
+                // left accepting on a stale unbound-socket clone.
+                SyscallOutcome::ok(sysno, 0, cost).with_fd(fd)
             }
             Err(errno) => SyscallOutcome::err(sysno, errno, cost),
         }

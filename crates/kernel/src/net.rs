@@ -59,6 +59,19 @@ impl StreamHalf {
     }
 
     fn read(&self, len: usize, blocking: bool) -> Result<Vec<u8>, Errno> {
+        self.read_impl(len, blocking, None)
+    }
+
+    fn read_deadline(&self, len: usize, timeout: Duration) -> Result<Vec<u8>, Errno> {
+        self.read_impl(len, true, Some(std::time::Instant::now() + timeout))
+    }
+
+    fn read_impl(
+        &self,
+        len: usize,
+        blocking: bool,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Vec<u8>, Errno> {
         let mut buf = self.buf.lock();
         loop {
             if !buf.data.is_empty() {
@@ -73,7 +86,16 @@ impl StreamHalf {
             if !blocking {
                 return Err(Errno::EAGAIN);
             }
-            self.readable.wait(&mut buf);
+            match deadline {
+                None => self.readable.wait(&mut buf),
+                Some(deadline) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(Errno::EAGAIN);
+                    }
+                    self.readable.wait_for(&mut buf, deadline - now);
+                }
+            }
         }
     }
 
@@ -169,6 +191,18 @@ impl Endpoint {
     /// Returns [`Errno::EAGAIN`] if `blocking` is false and no data is ready.
     pub fn read(&self, len: usize, blocking: bool) -> Result<Vec<u8>, Errno> {
         self.incoming().read(len, blocking)
+    }
+
+    /// Like a blocking [`Endpoint::read`], but gives up after `timeout`.
+    /// Wakes precisely on data arrival or peer close (condvar, no polling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EAGAIN`] if no data arrived within the timeout —
+    /// the escape hatch for clients of a peer that died without closing
+    /// its connections.
+    pub fn read_timeout(&self, len: usize, timeout: Duration) -> Result<Vec<u8>, Errno> {
+        self.incoming().read_deadline(len, timeout)
     }
 
     /// Number of bytes waiting to be read.

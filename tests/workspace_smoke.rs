@@ -1,0 +1,76 @@
+//! Smoke tests for the workspace wiring itself: the umbrella crate's
+//! re-exports must resolve to the member crates, and the shortest possible
+//! N-version execution must round-trip through them.
+
+use varan::core::coordinator::{run_nvx, NvxConfig};
+use varan::core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan::kernel::Kernel;
+
+/// Every umbrella re-export resolves and exposes a usable entry point.
+#[test]
+fn umbrella_reexports_resolve() {
+    // varan::kernel
+    let kernel: varan::kernel::Kernel = Kernel::new();
+    let pid = kernel.spawn_process("smoke");
+    assert!(kernel.process_alive(pid));
+
+    // varan::ring
+    let ring: varan::ring::RingBuffer<varan::ring::Event> =
+        varan::ring::RingBuffer::new(16, 1, varan::ring::WaitStrategy::Spin).unwrap();
+    assert_eq!(ring.capacity(), 16);
+
+    // varan::bpf
+    let program = varan::bpf::asm::assemble("ret #0x7fff0000\n").unwrap();
+    assert!(!program.is_empty());
+
+    // varan::rewrite
+    let segment = varan::rewrite::CodeSegment::new(0x40_0000, vec![0x90; 16]);
+    assert_eq!(segment.len(), 16);
+
+    // varan::apps
+    let config = varan::apps::servers::ServerConfig::on_port(26_001);
+    assert_eq!(config.port, 26_001);
+
+    // varan::baselines
+    let costs = varan::baselines::presets::InterpositionCosts::ptrace();
+    assert!(costs.per_call(0, false) > 0);
+
+    // varan::core
+    let nvx_config: NvxConfig = varan::core::coordinator::NvxConfig::default();
+    assert!(nvx_config.ring_capacity > 0);
+}
+
+struct Greeter;
+
+impl VersionProgram for Greeter {
+    fn name(&self) -> String {
+        "workspace-smoke".to_owned()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        sys.write(1, b"hello from the workspace smoke test\n");
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// A two-version run through the full stack exits cleanly: the leader
+/// executes, the follower replays, and the report reflects both.
+#[test]
+fn two_version_round_trip_exits_cleanly() {
+    let kernel = Kernel::new();
+    let report = run_nvx(
+        &kernel,
+        vec![Box::new(Greeter), Box::new(Greeter)],
+        NvxConfig::default(),
+    )
+    .unwrap();
+    assert!(report.all_clean(), "exits: {:?}", report.exits);
+    assert_eq!(report.versions.len(), 2);
+    assert_eq!(report.promotions, 0);
+    assert!(report.events_published >= 2, "write + exit must be streamed");
+    assert_eq!(
+        report.versions[0].events, report.versions[1].events,
+        "the follower must consume exactly what the leader published"
+    );
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the bench-authoring surface the workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration
+//! chaining, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a deliberately
+//! simple measurement loop (a warm-up pass, then mean wall-clock time over a
+//! bounded number of samples, printed to stdout). There is no statistical
+//! analysis, HTML report or comparison against saved baselines. Swap this
+//! path dependency for the crates.io `criterion` when network access is
+//! available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `cargo bench` CLI configuration. The stub accepts and ignores
+    /// the arguments (including the `--bench` flag cargo passes).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.full_name(None),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration (the stub runs a single warm-up pass).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the measurement-time budget; sampling stops early once spent.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Records the per-iteration throughput used when reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.full_name(Some(&self.name)),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks a function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Identifies a benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts = Vec::new();
+        if let Some(group) = group {
+            parts.push(group.to_string());
+        }
+        if !self.function.is_empty() {
+            parts.push(self.function.clone());
+        }
+        if let Some(parameter) = &self.parameter {
+            parts.push(parameter.clone());
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    _warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // One warm-up pass, then up to `sample_size` timed samples, stopping
+    // early once the measurement budget is spent so thread-heavy benches
+    // stay quick.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+
+    let mut bencher = Bencher::default();
+    let budget_start = Instant::now();
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+        if budget_start.elapsed() >= measurement_time {
+            break;
+        }
+    }
+
+    let iterations = bencher.iterations.max(1);
+    let mean = bencher.elapsed / iterations as u32;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => format!(
+                " ({:.0} elem/s)",
+                n as f64 * iterations as f64 / bencher.elapsed.as_secs_f64().max(f64::EPSILON)
+            ),
+            Throughput::Bytes(n) => format!(
+                " ({:.0} B/s)",
+                n as f64 * iterations as f64 / bencher.elapsed.as_secs_f64().max(f64::EPSILON)
+            ),
+        })
+        .unwrap_or_default();
+    println!("bench {name:<50} {mean:>12.3?}/iter{rate} ({iterations} samples)");
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_chain_and_run() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n + 1));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        criterion.bench_function("top_level", |b| b.iter(|| black_box(1)));
+    }
+}

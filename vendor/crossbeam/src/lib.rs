@@ -1,0 +1,137 @@
+//! Offline stand-in for `crossbeam`, covering the subset the workspace uses:
+//! `utils::CachePadded` (real alignment, zero-cost) and `atomic::AtomicCell`
+//! (lock-based here; the real crate uses atomics or a seqlock). Swap this
+//! path dependency for the crates.io `crossbeam` when network access is
+//! available.
+
+#![forbid(unsafe_code)]
+
+/// Utilities mirroring `crossbeam::utils`.
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so neighbouring values never
+    /// share a cache line (matches crossbeam's x86-64 alignment, which uses
+    /// 128 to account for the adjacent-line prefetcher).
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns `value`.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+}
+
+/// Atomics mirroring `crossbeam::atomic`.
+pub mod atomic {
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// A thread-safe mutable memory location mirroring
+    /// `crossbeam::atomic::AtomicCell`.
+    ///
+    /// The stub serialises access through a `Mutex` rather than a seqlock;
+    /// the observable semantics (linearizable load/store/swap) are the same.
+    #[derive(Default)]
+    pub struct AtomicCell<T> {
+        value: Mutex<T>,
+    }
+
+    impl<T> AtomicCell<T> {
+        /// Creates a new cell holding `value`.
+        pub fn new(value: T) -> Self {
+            Self {
+                value: Mutex::new(value),
+            }
+        }
+
+        /// Stores `value`, dropping the previous contents.
+        pub fn store(&self, value: T) {
+            *self.lock() = value;
+        }
+
+        /// Stores `value` and returns the previous contents.
+        pub fn swap(&self, value: T) -> T {
+            std::mem::replace(&mut *self.lock(), value)
+        }
+
+        /// Consumes the cell, returning the contents.
+        pub fn into_inner(self) -> T {
+            self.value.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.value.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Returns a copy of the contents.
+        pub fn load(&self) -> T {
+            *self.lock()
+        }
+    }
+
+    impl<T: Default> AtomicCell<T> {
+        /// Takes the contents, leaving `T::default()` in place.
+        pub fn take(&self) -> T {
+            self.swap(T::default())
+        }
+    }
+
+    impl<T: Copy + fmt::Debug> fmt::Debug for AtomicCell<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("AtomicCell").field("value", &self.load()).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::AtomicCell;
+
+        #[test]
+        fn load_store_swap() {
+            let cell = AtomicCell::new(7u64);
+            assert_eq!(cell.load(), 7);
+            cell.store(9);
+            assert_eq!(cell.swap(11), 9);
+            assert_eq!(cell.into_inner(), 11);
+        }
+    }
+}

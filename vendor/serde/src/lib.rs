@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and their derive macros
+//! so `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! exactly as it would against the real crate. No data-model plumbing is
+//! provided because nothing in the workspace serializes yet; swap this path
+//! dependency for the crates.io `serde` when network access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no data model in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no data model in the stub).
+pub trait Deserialize<'de>: Sized {}

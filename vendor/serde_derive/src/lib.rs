@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real `serde_derive`
+//! cannot be fetched. The framework only uses `#[derive(Serialize,
+//! Deserialize)]` as a forward-compatibility marker (nothing in the tree
+//! serializes through serde's data model yet), so these derives accept the
+//! same syntax — including `#[serde(...)]` helper attributes — and expand to
+//! an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Derive macro accepting `#[derive(Serialize)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro accepting `#[derive(Deserialize)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
