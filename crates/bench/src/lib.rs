@@ -15,6 +15,7 @@
 //! | [`spec`] | Figures 7 and 8 — SPEC CPU2000/2006 scaling |
 //! | [`comparison`] | Table 2 — comparison with Mx, Orchestra, Tachyon |
 //! | [`scenarios`] | §5.1–§5.4 — failover, multi-revision execution, live sanitization, record-replay |
+//! | [`ringbench`] | machine-readable ring/pool throughput (`BENCH_ring.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
 #![forbid(unsafe_code)]
@@ -23,6 +24,7 @@
 pub mod comparison;
 pub mod microbench;
 pub mod report;
+pub mod ringbench;
 pub mod scenarios;
 pub mod servers;
 pub mod spec;

@@ -9,7 +9,7 @@
 //! Without `--full` the workloads are scaled down so the whole suite runs in
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
-use varan_bench::{comparison, microbench, report, scenarios, servers, spec, Scale};
+use varan_bench::{comparison, microbench, report, ringbench, scenarios, servers, spec, Scale};
 
 #[derive(Debug, Default)]
 struct Options {
@@ -24,6 +24,7 @@ struct Options {
     multirev: bool,
     sanitize: bool,
     recreplay: bool,
+    check_ring: bool,
     full: bool,
 }
 
@@ -44,6 +45,9 @@ impl Options {
                 "--multirev" => options.multirev = true,
                 "--sanitize" => options.sanitize = true,
                 "--recreplay" => options.recreplay = true,
+                // An action flag: standalone `--check-ring` must validate the
+                // existing file, not regenerate it via the default subset.
+                "--check-ring" => options.check_ring = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -64,7 +68,12 @@ impl Options {
                 "--help" | "-h" => {
                     println!(
                         "usage: figures [--all] [--full] [--fig4 --fig5 --fig6 --fig7 --fig8]\n\
-                         \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]"
+                         \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
+                         \x20              [--check-ring]\n\
+                         --fig5 also writes {path} (ring/pool throughput);\n\
+                         --check-ring validates {path} and exits non-zero if it is malformed\n\
+                         or the disruptor does not beat the event-pump baseline at 3 followers.",
+                        path = varan_bench::ringbench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
                 }
@@ -110,6 +119,14 @@ fn main() {
     if options.fig5 {
         let series = servers::figure_5(scale, max_followers);
         println!("{}", report::render_server_figure("Figure 5", &series));
+        // The machine-readable counterpart: the event-streaming hot path
+        // measured directly, recorded for future PRs to regress against.
+        let ring_report = ringbench::run(scale);
+        println!("{}", ring_report.render());
+        match ring_report.write_to(ringbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", ringbench::DEFAULT_PATH),
+            Err(err) => eprintln!("warning: could not write {}: {err}", ringbench::DEFAULT_PATH),
+        }
     }
     if options.fig6 {
         let series = servers::figure_6(scale, max_followers);
@@ -157,5 +174,14 @@ fn main() {
         let operations = if options.full { 400 } else { 80 };
         let result = scenarios::record_replay(operations);
         println!("{}", report::render_record_replay(&result));
+    }
+    if options.check_ring {
+        match ringbench::validate_file(ringbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", ringbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_ring check failed: {err}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,0 +1,390 @@
+//! Machine-readable ring-buffer benchmark (`BENCH_ring.json`).
+//!
+//! The criterion benches under `benches/` print human-oriented numbers; this
+//! module measures the same event-streaming hot paths — disruptor ring vs
+//! the discarded event-pump baseline at 1 and 3 followers, plus the shared
+//! pool's allocation and read paths — and serialises them to a small JSON
+//! file so future changes have a perf trajectory to regress against
+//! (`figures --fig5` writes it, `figures --check-ring` validates it and CI
+//! fails if the disruptor stops beating the pump).
+//!
+//! All measurements interleave the producer and consumers on one thread:
+//! cross-thread spin throughput on a single-core CI box measures the
+//! scheduler's yield quantum, not the synchronisation cost, whereas the
+//! interleaved topology times the data plane itself (slot store/load,
+//! gating, cursor publication, queue locks) deterministically.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use varan_ring::{Event, EventPump, PoolAllocator, PumpQueue, RingBuffer, WaitStrategy};
+
+use crate::Scale;
+
+/// Schema identifier stamped into the JSON so consumers can detect format
+/// drift.
+pub const SCHEMA: &str = "varan-bench-ring/v1";
+
+/// Default output path, relative to the working directory.
+pub const DEFAULT_PATH: &str = "BENCH_ring.json";
+
+/// Events streamed per throughput measurement.
+const QUICK_EVENTS: u64 = 262_144;
+/// Ring/queue capacity used by every measurement.
+const CAPACITY: usize = 1024;
+/// Events per published batch / pump burst.
+const CHUNK: u64 = 256;
+/// Payload size for the pool measurements.
+const PAYLOAD: usize = 4096;
+
+/// Events-per-second results for the event-streaming data plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingBenchReport {
+    /// Events streamed per measured series.
+    pub events: u64,
+    /// Disruptor ring, per-event publish + per-event consume, 1 follower.
+    pub disruptor_1f: f64,
+    /// Disruptor ring, per-event publish + per-event consume, 3 followers.
+    pub disruptor_3f: f64,
+    /// Disruptor ring, batched publish + batched drain, 1 follower.
+    pub disruptor_batch_1f: f64,
+    /// Disruptor ring, batched publish + batched drain, 3 followers.
+    pub disruptor_batch_3f: f64,
+    /// Event-pump baseline, 1 follower.
+    pub pump_1f: f64,
+    /// Event-pump baseline, 3 followers.
+    pub pump_3f: f64,
+    /// Pool alloc+free cycles per second.
+    pub pool_alloc_free_per_sec: f64,
+    /// `PoolAllocator::read` (fresh `Vec` per call) reads per second.
+    pub pool_read_per_sec: f64,
+    /// `PoolAllocator::read_into` (reused buffer) reads per second.
+    pub pool_read_into_per_sec: f64,
+}
+
+fn disruptor_events_per_sec(followers: usize, events: u64, batched: bool) -> f64 {
+    let ring =
+        Arc::new(RingBuffer::<Event>::new(CAPACITY, followers, WaitStrategy::Spin).unwrap());
+    let producer = ring.producer();
+    let mut consumers: Vec<_> = (0..followers)
+        .map(|slot| ring.consumer(slot).unwrap())
+        .collect();
+    let chunk_events: Vec<Event> = (0..CHUNK).map(Event::checkpoint).collect();
+    let mut buffer: Vec<Event> = Vec::with_capacity(CAPACITY);
+    let start = Instant::now();
+    for _ in 0..(events / CHUNK) {
+        if batched {
+            producer.publish_batch(&chunk_events);
+        } else {
+            for event in &chunk_events {
+                producer.publish(*event);
+            }
+        }
+        for consumer in consumers.iter_mut() {
+            if batched {
+                buffer.clear();
+                assert_eq!(consumer.try_next_batch(&mut buffer, usize::MAX) as u64, CHUNK);
+            } else {
+                for _ in 0..CHUNK {
+                    std::hint::black_box(consumer.try_next().unwrap());
+                }
+            }
+        }
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+fn pump_events_per_sec(followers: usize, events: u64) -> f64 {
+    let leader = PumpQueue::new(CAPACITY);
+    let follower_queues: Vec<PumpQueue<Event>> =
+        (0..followers).map(|_| PumpQueue::new(CAPACITY)).collect();
+    let mut pump = EventPump::new(leader.clone(), follower_queues.clone());
+    let mut buffer: Vec<Event> = Vec::with_capacity(CAPACITY);
+    let start = Instant::now();
+    for chunk in 0..(events / CHUNK) {
+        for i in 0..CHUNK {
+            leader.push(Event::checkpoint(chunk * CHUNK + i));
+        }
+        pump.pump_until_empty();
+        for queue in &follower_queues {
+            buffer.clear();
+            assert_eq!(queue.pop_batch(&mut buffer, usize::MAX) as u64, CHUNK);
+        }
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+fn pool_throughputs(cycles: u64) -> (f64, f64, f64) {
+    let pool = PoolAllocator::default();
+    let region = pool.alloc_and_write(&vec![0xabu8; PAYLOAD]).unwrap();
+    let ptr = region.ptr();
+
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let region = pool.alloc(PAYLOAD).unwrap();
+        pool.free(std::hint::black_box(region)).unwrap();
+    }
+    let alloc_free = cycles as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..cycles {
+        std::hint::black_box(pool.read(ptr));
+    }
+    let read = cycles as f64 / start.elapsed().as_secs_f64();
+
+    let mut buffer = Vec::with_capacity(PAYLOAD);
+    let start = Instant::now();
+    for _ in 0..cycles {
+        std::hint::black_box(pool.read_into(ptr, &mut buffer));
+    }
+    let read_into = cycles as f64 / start.elapsed().as_secs_f64();
+
+    (alloc_free, read, read_into)
+}
+
+/// Runs every measurement and returns the report.
+#[must_use]
+pub fn run(scale: Scale) -> RingBenchReport {
+    let events = match scale {
+        Scale::Quick => QUICK_EVENTS,
+        Scale::Full => QUICK_EVENTS * 8,
+    };
+    let pool_cycles = events / 4;
+    let (pool_alloc_free_per_sec, pool_read_per_sec, pool_read_into_per_sec) =
+        pool_throughputs(pool_cycles);
+    RingBenchReport {
+        events,
+        disruptor_1f: disruptor_events_per_sec(1, events, false),
+        disruptor_3f: disruptor_events_per_sec(3, events, false),
+        disruptor_batch_1f: disruptor_events_per_sec(1, events, true),
+        disruptor_batch_3f: disruptor_events_per_sec(3, events, true),
+        pump_1f: pump_events_per_sec(1, events),
+        pump_3f: pump_events_per_sec(3, events),
+        pool_alloc_free_per_sec,
+        pool_read_per_sec,
+        pool_read_into_per_sec,
+    }
+}
+
+impl RingBenchReport {
+    /// Serialises the report to the `varan-bench-ring/v1` JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"events_per_sec\": {{");
+        let _ = writeln!(out, "    \"disruptor_1f\": {:.1},", self.disruptor_1f);
+        let _ = writeln!(out, "    \"disruptor_3f\": {:.1},", self.disruptor_3f);
+        let _ = writeln!(
+            out,
+            "    \"disruptor_batch_1f\": {:.1},",
+            self.disruptor_batch_1f
+        );
+        let _ = writeln!(
+            out,
+            "    \"disruptor_batch_3f\": {:.1},",
+            self.disruptor_batch_3f
+        );
+        let _ = writeln!(out, "    \"pump_1f\": {:.1},", self.pump_1f);
+        let _ = writeln!(out, "    \"pump_3f\": {:.1}", self.pump_3f);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"pool\": {{");
+        let _ = writeln!(
+            out,
+            "    \"alloc_free_per_sec\": {:.1},",
+            self.pool_alloc_free_per_sec
+        );
+        let _ = writeln!(out, "    \"read_per_sec\": {:.1},", self.pool_read_per_sec);
+        let _ = writeln!(
+            out,
+            "    \"read_into_per_sec\": {:.1}",
+            self.pool_read_into_per_sec
+        );
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Renders a short human-readable summary for the `figures` output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Ring-buffer data plane ({} events/series):", self.events);
+        let rows = [
+            ("disruptor, per-event, 1 follower", self.disruptor_1f),
+            ("disruptor, per-event, 3 followers", self.disruptor_3f),
+            ("disruptor, batched,   1 follower", self.disruptor_batch_1f),
+            ("disruptor, batched,   3 followers", self.disruptor_batch_3f),
+            ("event pump baseline,  1 follower", self.pump_1f),
+            ("event pump baseline,  3 followers", self.pump_3f),
+        ];
+        for (label, value) in rows {
+            let _ = writeln!(out, "  {label:<36} {:>12.0} events/s", value);
+        }
+        let _ = writeln!(
+            out,
+            "  speedup vs pump at 3 followers: {:.1}x (batched {:.1}x)",
+            self.disruptor_3f / self.pump_3f,
+            self.disruptor_batch_3f / self.pump_3f,
+        );
+        let _ = writeln!(
+            out,
+            "  pool: alloc+free {:.0}/s, read {:.0}/s, read_into {:.0}/s",
+            self.pool_alloc_free_per_sec, self.pool_read_per_sec, self.pool_read_into_per_sec,
+        );
+        out
+    }
+}
+
+/// Extracts the number following `"key":` inside `json`. Minimal parser for
+/// the flat `varan-bench-ring/v1` schema written by [`RingBenchReport`].
+fn extract_number(json: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed entry for {key:?} (no colon)"))?
+        .trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|err| format!("malformed number for {key:?}: {err}"))
+}
+
+/// Validates a `BENCH_ring.json` file: schema marker present, every metric a
+/// positive finite number, and the disruptor strictly faster than the
+/// event-pump baseline at 3 followers (both per-event and batched).
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    let json = fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("{}: missing schema marker {SCHEMA:?}", path.display()));
+    }
+    let keys = [
+        "events",
+        "disruptor_1f",
+        "disruptor_3f",
+        "disruptor_batch_1f",
+        "disruptor_batch_3f",
+        "pump_1f",
+        "pump_3f",
+        "alloc_free_per_sec",
+        "read_per_sec",
+        "read_into_per_sec",
+    ];
+    for key in keys {
+        let value = extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!(
+                "{}: metric {key:?} must be positive and finite, got {value}",
+                path.display()
+            ));
+        }
+    }
+    let disruptor = extract_number(&json, "disruptor_3f").expect("validated above");
+    let batched = extract_number(&json, "disruptor_batch_3f").expect("validated above");
+    let pump = extract_number(&json, "pump_3f").expect("validated above");
+    if disruptor <= pump {
+        return Err(format!(
+            "{}: disruptor ({disruptor:.0} events/s) does not beat the event pump \
+             ({pump:.0} events/s) at 3 followers",
+            path.display()
+        ));
+    }
+    if batched <= pump {
+        return Err(format!(
+            "{}: batched disruptor ({batched:.0} events/s) does not beat the event pump \
+             ({pump:.0} events/s) at 3 followers",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RingBenchReport {
+        RingBenchReport {
+            events: 1000,
+            disruptor_1f: 30e6,
+            disruptor_3f: 20e6,
+            disruptor_batch_1f: 70e6,
+            disruptor_batch_3f: 30e6,
+            pump_1f: 3e6,
+            pump_3f: 1.5e6,
+            pool_alloc_free_per_sec: 8e6,
+            pool_read_per_sec: 9e6,
+            pool_read_into_per_sec: 12e6,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        let dir = std::env::temp_dir().join("varan-ringbench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        sample().write_to(&path).unwrap();
+        validate_file(&path).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_a_losing_disruptor() {
+        let mut report = sample();
+        report.pump_3f = report.disruptor_3f * 2.0;
+        let dir = std::env::temp_dir().join("varan-ringbench-test-losing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("does not beat"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_json() {
+        let dir = std::env::temp_dir().join("varan-ringbench-test-malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        std::fs::write(&path, "{\"schema\": \"varan-bench-ring/v1\"}").unwrap();
+        assert!(validate_file(&path).is_err());
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(validate_file(&path).is_err());
+    }
+
+    #[test]
+    fn quick_measurement_is_sane() {
+        // A tiny inline run (not the full quick scale) to keep the test fast
+        // while still exercising the measurement plumbing end to end.
+        let throughput = disruptor_events_per_sec(1, 4096, true);
+        assert!(throughput > 0.0);
+        let pump = pump_events_per_sec(1, 4096);
+        assert!(pump > 0.0);
+    }
+}

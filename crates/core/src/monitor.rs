@@ -268,6 +268,18 @@ impl SyscallInterface for LeaderMonitor {
     }
 }
 
+/// An event taken out of the ring together with its out-of-line payload.
+///
+/// The payload is copied out of the shared pool the moment the event leaves
+/// the ring (batch refill), because draining a batch advances the gating
+/// sequence past the event — after which the leader is free to reuse the
+/// pool region once it laps the ring.
+#[derive(Debug, Clone)]
+struct StagedEvent {
+    event: Event,
+    payload: Option<Vec<u8>>,
+}
+
 /// The monitor interposed on a follower version.
 #[derive(Debug)]
 pub struct FollowerMonitor {
@@ -283,9 +295,14 @@ pub struct FollowerMonitor {
     /// version's thread monitors, like the process-wide descriptor table it
     /// mirrors — any thread may drain a transfer another thread needs.
     fd_map: Arc<Mutex<HashMap<i64, i32>>>,
+    /// Events drained from the ring in one batch (gating sequence advanced
+    /// once per batch, §3.3.1) and not yet replayed. Replayed front to back.
+    batch: VecDeque<StagedEvent>,
+    /// Scratch buffer reused by batch refills.
+    batch_scratch: Vec<Event>,
     /// An event read from the ring but not yet consumed (pushed back when a
     /// divergence was resolved by executing an extra local call).
-    pending: Option<Event>,
+    pending: Option<StagedEvent>,
     /// The leader engine used after promotion.
     promoted_core: Option<LeaderCore>,
     promotion_handled: bool,
@@ -316,6 +333,8 @@ impl FollowerMonitor {
             rules,
             costs,
             fd_map: Arc::new(Mutex::new(HashMap::new())),
+            batch: VecDeque::new(),
+            batch_scratch: Vec::new(),
             pending: None,
             promoted_core: Some(promoted_core),
             promotion_handled: false,
@@ -354,39 +373,83 @@ impl FollowerMonitor {
         }
     }
 
+    /// Couples `event` with a private copy of its out-of-line payload.
+    ///
+    /// Must be called while the event's slot is still gated (peeked but not
+    /// yet acknowledged): the leader only recycles a payload's pool region
+    /// after every follower's gating sequence has moved past the event, so
+    /// copying before [`Consumer::advance`] can never race the reuse.
+    fn stage(&self, event: Event) -> StagedEvent {
+        let payload = if event.has_payload() {
+            Some(self.pool.read(event.shared()))
+        } else {
+            None
+        };
+        StagedEvent { event, payload }
+    }
+
+    /// Drains every published event into the local batch with one gating
+    /// advance (§3.3.1 batched consumption). Returns `true` if any event was
+    /// staged.
+    ///
+    /// Peek → copy payloads → acknowledge, in that order: the gating
+    /// sequence only advances (freeing the slots *and* their payload
+    /// regions for the producer) once every payload in the batch has been
+    /// copied out of the shared pool.
+    fn refill_batch(&mut self) -> bool {
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        scratch.clear();
+        let peeked = self.consumer.peek_batch(&mut scratch, usize::MAX);
+        for event in scratch.iter().copied() {
+            let staged = self.stage(event);
+            self.batch.push_back(staged);
+        }
+        self.consumer.advance(peeked);
+        self.batch_scratch = scratch;
+        peeked > 0
+    }
+
     /// Waits for the next event, respecting the variant clock's
     /// happens-before order and the promotion/kill flags.
+    ///
+    /// Events are pulled from the ring in batches — the gating sequence
+    /// advances once per drained batch rather than once per event — and
+    /// replayed front to back from the local queue.
     ///
     /// Promotion only takes effect once the ring has been drained: a freshly
     /// promoted follower first catches up with everything the crashed leader
     /// already published, so the remaining followers keep seeing a single
     /// consistent stream.
-    fn next_event(&mut self) -> Option<Event> {
+    fn next_event(&mut self) -> Option<StagedEvent> {
         loop {
             if self.context.is_killed() {
                 return None;
             }
-            let event = match self.pending.take() {
-                Some(event) => event,
-                None => match self.consumer.try_next() {
-                    Some(event) => event,
+            let staged = match self.pending.take() {
+                Some(staged) => staged,
+                None => match self.batch.pop_front() {
+                    Some(staged) => staged,
                     None => {
+                        if self.refill_batch() {
+                            continue;
+                        }
                         if self.context.is_promoted() {
                             return None;
                         }
-                        match self.consumer.next_timeout(FOLLOWER_POLL) {
-                            Some(event) => event,
-                            None => continue,
-                        }
+                        // Ring empty: wait (bounded, so the kill/promotion
+                        // flags are re-checked) without consuming anything —
+                        // the next refill stages whatever arrives.
+                        self.consumer.wait_for_published(FOLLOWER_POLL);
+                        continue;
                     }
                 },
             };
-            match self.context.clock.check(event.clock()) {
-                ClockOrdering::Ready | ClockOrdering::Stale => return Some(event),
+            match self.context.clock.check(staged.event.clock()) {
+                ClockOrdering::Ready | ClockOrdering::Stale => return Some(staged),
                 ClockOrdering::NotYet => {
                     // An event from another thread tuple must be consumed
                     // first; hold on to this one and wait.
-                    self.pending = Some(event);
+                    self.pending = Some(staged);
                     if self.context.is_killed() {
                         return None;
                     }
@@ -406,12 +469,13 @@ impl FollowerMonitor {
 
     fn replay(&mut self, request: &SyscallRequest) -> SyscallOutcome {
         loop {
-            let event = match self.next_event() {
-                Some(event) => event,
+            let staged = match self.next_event() {
+                Some(staged) => staged,
                 None => return self.after_wait_interrupted(request),
             };
+            let event = staged.event;
             if event.sysno() == request.sysno.number() {
-                return self.consume_matching(request, event);
+                return self.consume_matching(request, staged);
             }
             // Divergence: consult the rewrite rules (§3.4).
             let leader_events = vec![u32::from(event.sysno())];
@@ -419,7 +483,7 @@ impl FollowerMonitor {
             match action {
                 RuleAction::ExecuteExtra => {
                     VersionCounters::add(&self.context.counters.divergences_allowed, 1);
-                    self.pending = Some(event);
+                    self.pending = Some(staged);
                     let translated = self.translate_fd_args(request);
                     let outcome = self.kernel.syscall(self.context.pid, &translated);
                     VersionCounters::add(&self.context.counters.cycles, outcome.cost);
@@ -462,13 +526,9 @@ impl FollowerMonitor {
         }
     }
 
-    fn consume_matching(&mut self, request: &SyscallRequest, event: Event) -> SyscallOutcome {
+    fn consume_matching(&mut self, request: &SyscallRequest, staged: StagedEvent) -> SyscallOutcome {
+        let StagedEvent { event, payload } = staged;
         self.context.clock.observe(event.clock());
-        let payload = if event.has_payload() {
-            Some(self.pool.read(event.shared()))
-        } else {
-            None
-        };
         let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0);
         // Drain on every event, not just fd-creating ones: the leader also
         // re-transfers upgraded descriptors (e.g. listen() turning the plain
@@ -605,6 +665,8 @@ impl SyscallInterface for FollowerMonitor {
             rules: Arc::clone(&self.rules),
             costs: self.costs.clone(),
             fd_map: Arc::clone(&self.fd_map),
+            batch: VecDeque::new(),
+            batch_scratch: Vec::new(),
             pending: None,
             promoted_core: Some(core),
             promotion_handled: self.promotion_handled,

@@ -8,8 +8,12 @@
 //! * [`Event`] — the fixed-size (64-byte, cache-line sized) record the leader
 //!   publishes for every external action (system call, signal, fork, exit).
 //! * [`RingBuffer`] — a Disruptor-style single-producer / multi-consumer ring
-//!   buffer held entirely in memory, allowing largely lock-free communication
-//!   between the leader and its followers (§3.3.1).
+//!   buffer held entirely in memory, giving genuinely lock-free communication
+//!   between the leader and its followers (§3.3.1): seqlock slot storage
+//!   under cursor-gated publication, a cached minimum gating sequence in the
+//!   producer, and batched consumption that advances the gating sequence
+//!   once per drained batch (see `ring.rs` module docs for the ordering
+//!   argument).
 //! * [`WaitLock`] — the blocking-wait primitive used by followers when the
 //!   leader is stuck in a long blocking system call (§3.3.1).
 //! * [`LamportClock`] — the per-variant logical clock used to order events

@@ -110,6 +110,39 @@ impl<T> PumpQueue<T> {
         value
     }
 
+    /// Dequeues up to `max` events into `out` under a single lock
+    /// acquisition, returning how many were appended.  The batched
+    /// counterpart of [`PumpQueue::try_pop`], so the pump baseline pays one
+    /// lock per burst rather than one per event.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut queue = self.inner.queue.lock();
+        let take = queue.len().min(max);
+        out.reserve(take);
+        for _ in 0..take {
+            out.push(queue.pop_front().expect("len checked"));
+        }
+        if take > 0 {
+            self.inner.not_full.notify_all();
+        }
+        take
+    }
+
+    /// Enqueues every value in `values` under as few lock acquisitions as
+    /// possible, blocking whenever the queue is full.
+    pub fn push_slice(&self, values: &[T])
+    where
+        T: Clone,
+    {
+        let mut queue = self.inner.queue.lock();
+        for value in values {
+            while queue.len() >= self.inner.capacity {
+                self.inner.not_full.wait(&mut queue);
+            }
+            queue.push_back(value.clone());
+            self.inner.not_empty.notify_one();
+        }
+    }
+
     /// Dequeues the oldest event, giving up after `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = Instant::now() + timeout;
@@ -189,13 +222,24 @@ impl<T: Clone> EventPump<T> {
     }
 
     /// Drains the leader queue until it is empty, returning the number of
-    /// events dispatched.
+    /// events dispatched.  Works in batches: one lock on the leader queue
+    /// per burst and one lock per follower queue per burst, instead of one
+    /// of each per event.
     pub fn pump_until_empty(&mut self) -> u64 {
         let mut moved = 0;
-        while self.pump_once() {
-            moved += 1;
+        let mut batch = Vec::new();
+        loop {
+            batch.clear();
+            if self.leader.pop_batch(&mut batch, usize::MAX) == 0 {
+                return moved;
+            }
+            for follower in &self.followers {
+                follower.push_slice(&batch);
+            }
+            let n = batch.len() as u64;
+            self.dispatched += n;
+            moved += n;
         }
-        moved
     }
 
     /// Pumps exactly `count` events, blocking for each one.
@@ -268,6 +312,33 @@ mod tests {
             }
             assert_eq!(ids, vec![0, 1, 2, 3, 4]);
         }
+    }
+
+    #[test]
+    fn pop_batch_and_push_slice_round_trip() {
+        let queue = PumpQueue::new(8);
+        queue.push_slice(&[1u32, 2, 3, 4, 5]);
+        let mut out = Vec::new();
+        assert_eq!(queue.pop_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(queue.pop_batch(&mut out, usize::MAX), 2);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(queue.pop_batch(&mut out, usize::MAX), 0);
+    }
+
+    #[test]
+    fn push_slice_blocks_until_space() {
+        let queue = PumpQueue::new(2);
+        let writer = queue.clone();
+        let handle = std::thread::spawn(move || writer.push_slice(&[1u32, 2, 3, 4]));
+        let mut seen = Vec::new();
+        while seen.len() < 4 {
+            if let Some(v) = queue.pop_timeout(Duration::from_secs(5)) {
+                seen.push(v);
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -7,6 +7,27 @@
 //! sequence per consumer, cache-padded counters, and no locks on the hot path
 //! (locks are only used by the optional blocking wait strategy and during
 //! allocation, exactly as described in the paper).
+//!
+//! # Publication ordering: cursor gating vs the seqlock fallback
+//!
+//! Slot contents are synchronised by **cursor gating**: a producer stores
+//! into slot `seq & mask` strictly before its release-store of `seq` into the
+//! publication cursor, and a consumer acquire-loads the cursor before reading
+//! any slot at or below it.  That acquire/release edge is what makes the slot
+//! read well-defined — a consumer never touches a slot the cursor has not
+//! vouched for, and a producer never overwrites a slot until every live
+//! gating sequence has moved past it (the space check against
+//! [`Producer`]'s cached minimum gating sequence).  The per-slot
+//! [`AtomicCell`] seqlock is a *fallback* integrity layer on top of that
+//! protocol: on the uncontended path its optimistic read succeeds on the
+//! first attempt (two atomic loads around a 64-byte copy, no retry), and only
+//! if a store to the *same* slot is literally in flight — which cursor gating
+//! already makes unreachable for correctly sequenced accesses — does the
+//! reader retry instead of ever blocking.  There is no mutex or condvar
+//! anywhere on the publish→consume path under [`WaitStrategy::Spin`] and
+//! [`WaitStrategy::Yield`]; under [`WaitStrategy::Block`] the condvar mutex
+//! is taken only by parties that actually wait, and `notify` skips it
+//! entirely while the waiter count is zero.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +86,9 @@ struct Shared<T> {
     // Blocking wait support.
     mutex: Mutex<()>,
     condvar: Condvar,
+    /// Number of threads currently blocked on the condvar; lets `notify`
+    /// skip the mutex entirely when nobody is waiting.
+    waiters: AtomicU64,
     // Statistics.
     producer_waits: AtomicU64,
     consumer_waits: AtomicU64,
@@ -150,6 +174,7 @@ impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
             strategy,
             mutex: Mutex::new(()),
             condvar: Condvar::new(),
+            waiters: AtomicU64::new(0),
             producer_waits: AtomicU64::new(0),
             consumer_waits: AtomicU64::new(0),
         };
@@ -176,6 +201,7 @@ impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
     pub fn producer(self: &Arc<Self>) -> Producer<T> {
         Producer {
             shared: Arc::clone(&self.shared),
+            cached_gate: AtomicU64::new(0),
         }
     }
 
@@ -271,17 +297,23 @@ impl<T> Shared<T> {
             WaitStrategy::Yield => std::thread::yield_now(),
             WaitStrategy::Block => {
                 // Re-check happens in the caller's loop; bounded wait avoids
-                // missed wakeups turning into deadlocks.
+                // missed wakeups turning into deadlocks (a notifier may read
+                // the waiter count as zero in the instant before we block).
+                self.waiters.fetch_add(1, Ordering::SeqCst);
                 let mut guard = self.mutex.lock();
                 self.condvar
                     .wait_for(&mut guard, Duration::from_micros(50));
+                drop(guard);
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
         *spin_count = spin_count.saturating_add(1);
     }
 
     fn notify(&self) {
-        if self.strategy == WaitStrategy::Block {
+        // Uncontended fast path: a single relaxed-ish atomic load. The mutex
+        // is only touched when a thread is actually parked on the condvar.
+        if self.strategy == WaitStrategy::Block && self.waiters.load(Ordering::SeqCst) > 0 {
             let _guard = self.mutex.lock();
             self.condvar.notify_all();
         }
@@ -296,12 +328,20 @@ impl<T> Shared<T> {
 /// multi-thread safe).
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
+    /// Cached copy of the minimum gating sequence (a consumed-events count).
+    /// Consumer sequences only move forward, so any claim below
+    /// `cached_gate + capacity` is safe without rescanning every follower —
+    /// the classic Disruptor optimisation that turns N acquire loads per
+    /// publish into roughly one rescan per ring lap.  Per-handle (clones
+    /// start cold), so no cross-producer cache-line traffic.
+    cached_gate: AtomicU64,
 }
 
 impl<T> Clone for Producer<T> {
     fn clone(&self) -> Self {
         Producer {
             shared: Arc::clone(&self.shared),
+            cached_gate: AtomicU64::new(0),
         }
     }
 }
@@ -315,6 +355,45 @@ impl<T> fmt::Debug for Producer<T> {
 }
 
 impl<T: Copy + Default + Send + 'static> Producer<T> {
+    /// Waits until slot `seq` may be written (every live follower has
+    /// consumed the slot it overwrites), using the cached gating sequence to
+    /// avoid rescanning the follower sequences on the fast path.
+    fn wait_for_space(&self, seq: u64) {
+        let shared = &*self.shared;
+        let gate = self.cached_gate.load(Ordering::Relaxed);
+        if seq < gate.saturating_add(shared.capacity as u64) {
+            // Fast path: the cache already proves the slot is free. One
+            // relaxed load, no follower rescan.
+            return;
+        }
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            let gate = shared.min_active_consumed();
+            if seq < gate.saturating_add(shared.capacity as u64) {
+                self.cached_gate.store(gate, Ordering::Relaxed);
+                break;
+            }
+            waited = true;
+            shared.wait(&mut spins);
+        }
+        if waited {
+            shared.producer_waits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes slots `first..=last` in claim order: waits until every
+    /// earlier claim is visible, then release-stores the new cursor.
+    fn commit(&self, first: u64, last: u64) {
+        let shared = &*self.shared;
+        let mut spins = 0u32;
+        while shared.cursor.get() != first.wrapping_sub(1) {
+            shared.wait(&mut spins);
+        }
+        shared.cursor.set(last);
+        shared.notify();
+    }
+
     /// Publishes `value`, blocking (according to the ring's wait strategy)
     /// until a slot is free, and returns the sequence number it was assigned.
     pub fn publish(&self, value: T) -> u64 {
@@ -322,34 +401,43 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
         let seq = shared.claim.fetch_add(1, Ordering::AcqRel);
         // Wait for space: slot `seq` overwrites slot `seq - capacity`, which
         // must have been consumed by every live follower.
-        let mut spins = 0u32;
-        let mut waited = false;
-        while seq
-            >= shared
-                .min_active_consumed()
-                .saturating_add(shared.capacity as u64)
-        {
-            waited = true;
-            shared.wait(&mut spins);
-        }
-        if waited {
-            shared.producer_waits.fetch_add(1, Ordering::Relaxed);
-        }
+        self.wait_for_space(seq);
         let idx = (seq & shared.mask) as usize;
         shared.slots[idx].store(value);
-        // Publish in order: wait until every earlier claim has been published.
-        let mut spins = 0u32;
-        loop {
-            let cursor = shared.cursor.get();
-            let expected_prev = seq.wrapping_sub(1);
-            if cursor == expected_prev {
-                break;
-            }
-            shared.wait(&mut spins);
-        }
-        shared.cursor.set(seq);
-        shared.notify();
+        self.commit(seq, seq);
         seq
+    }
+
+    /// Publishes every value in `values` as one claim, amortising the claim
+    /// `fetch_add`, the gating check and the cursor store over the whole
+    /// batch, and returns the sequence assigned to the first value (`None`
+    /// for an empty batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is longer than the ring capacity (the batch could
+    /// never fit in flight at once).
+    pub fn publish_batch(&self, values: &[T]) -> Option<u64> {
+        let shared = &*self.shared;
+        let n = values.len() as u64;
+        if n == 0 {
+            return None;
+        }
+        assert!(
+            values.len() <= shared.capacity,
+            "batch of {} events exceeds ring capacity {}",
+            values.len(),
+            shared.capacity
+        );
+        let first = shared.claim.fetch_add(n, Ordering::AcqRel);
+        let last = first + (n - 1);
+        self.wait_for_space(last);
+        for (i, value) in values.iter().enumerate() {
+            let idx = ((first + i as u64) & shared.mask) as usize;
+            shared.slots[idx].store(*value);
+        }
+        self.commit(first, last);
+        Some(first)
     }
 
     /// Attempts to publish without waiting for space.
@@ -363,12 +451,15 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
         // avoided by doing a CAS on the claim counter.
         loop {
             let seq = shared.claim.load(Ordering::Acquire);
-            if seq
-                >= shared
-                    .min_active_consumed()
-                    .saturating_add(shared.capacity as u64)
-            {
-                return Err(value);
+            let mut gate = self.cached_gate.load(Ordering::Relaxed);
+            if seq >= gate.saturating_add(shared.capacity as u64) {
+                // The cache is a lower bound on consumption; rescan before
+                // declaring the ring full.
+                gate = shared.min_active_consumed();
+                self.cached_gate.store(gate, Ordering::Relaxed);
+                if seq >= gate.saturating_add(shared.capacity as u64) {
+                    return Err(value);
+                }
             }
             if shared
                 .claim
@@ -379,12 +470,7 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
             }
             let idx = (seq & shared.mask) as usize;
             shared.slots[idx].store(value);
-            let mut spins = 0u32;
-            while shared.cursor.get() != seq.wrapping_sub(1) {
-                shared.wait(&mut spins);
-            }
-            shared.cursor.set(seq);
-            shared.notify();
+            self.commit(seq, seq);
             return Ok(seq);
         }
     }
@@ -432,6 +518,94 @@ impl<T: Copy + Default + Send + 'static> Consumer<T> {
         shared.notify();
         self.next += 1;
         Some(value)
+    }
+
+    /// Copies every published event (up to `max`) into `out` **without**
+    /// advancing the gating sequence, and returns how many were appended.
+    ///
+    /// The copied slots stay gated — the producer cannot overwrite them (nor
+    /// release resources tied to them, like pool payload regions) until
+    /// [`Consumer::advance`] acknowledges the batch.  Use the peek/advance
+    /// pair when batch processing needs to read side data that lives only as
+    /// long as the slot is unconsumed; use [`Consumer::try_next_batch`] when
+    /// the events are self-contained.
+    pub fn peek_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let shared = &*self.shared;
+        let published = shared.cursor.count();
+        if published <= self.next || max == 0 {
+            return 0;
+        }
+        let available = (published - self.next).min(max as u64);
+        out.reserve(available as usize);
+        for i in 0..available {
+            let idx = ((self.next + i) & shared.mask) as usize;
+            out.push(shared.slots[idx].load());
+        }
+        available as usize
+    }
+
+    /// Acknowledges `count` events previously returned by
+    /// [`Consumer::peek_batch`]: one release store of the gating sequence
+    /// and one notification for the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of published-but-unconsumed
+    /// events (acknowledging events that were never read would let the
+    /// producer overwrite live slots).
+    pub fn advance(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let shared = &*self.shared;
+        let published = shared.cursor.count();
+        assert!(
+            count as u64 <= published - self.next,
+            "cannot acknowledge {count} events: only {} published and unconsumed",
+            published - self.next
+        );
+        self.next += count as u64;
+        // One gating advance per batch: frees `count` slots for the
+        // producer in a single release store.
+        shared.consumers[self.index].set(self.next - 1);
+        shared.notify();
+    }
+
+    /// Reads every published event (up to `max`) into `out`, advancing the
+    /// gating sequence **once** for the whole batch, and returns how many
+    /// events were appended.
+    ///
+    /// Compared to calling [`Consumer::try_next`] in a loop this performs a
+    /// single acquire load of the cursor, a single release store of the
+    /// gating sequence and a single notification, no matter how many events
+    /// were pending — the batched-consumption optimisation of §3.3.1.
+    pub fn try_next_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let taken = self.peek_batch(out, max);
+        self.advance(taken);
+        taken
+    }
+
+    /// Waits (according to the ring's wait strategy) until at least one
+    /// unconsumed event is published or `timeout` elapses, without consuming
+    /// anything.  Returns `true` if an event is available.
+    pub fn wait_for_published(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            if self.shared.cursor.count() > self.next {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.shared.wait(&mut spins);
+        }
+    }
+
+    /// Reads **every** event published up to the cursor into `out`, advancing
+    /// the gating sequence once, and returns how many events were appended.
+    pub fn drain(&mut self, out: &mut Vec<T>) -> usize {
+        self.try_next_batch(out, usize::MAX)
     }
 
     /// Blocks (according to the ring's wait strategy) until the next event is
@@ -631,6 +805,136 @@ mod tests {
         assert!(consumer
             .next_timeout(Duration::from_millis(5))
             .is_none());
+    }
+
+    #[test]
+    fn batched_drain_advances_gating_and_frees_producer_space() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        // Fill the ring to capacity; the next publish cannot proceed.
+        for i in 0..8 {
+            assert!(producer.try_publish(Event::checkpoint(i)).is_ok());
+        }
+        assert!(producer.try_publish(Event::checkpoint(8)).is_err());
+        // One drain advances the gating sequence once for the whole batch...
+        let mut batch = Vec::new();
+        assert_eq!(consumer.drain(&mut batch), 8);
+        let ids: Vec<u64> = batch.iter().map(|e| e.args()[0]).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+        // ...which frees a full ring of producer space in one step.
+        for i in 8..16 {
+            assert!(
+                producer.try_publish(Event::checkpoint(i)).is_ok(),
+                "slot {i} should be free after the batched drain"
+            );
+        }
+        assert!(producer.try_publish(Event::checkpoint(16)).is_err());
+    }
+
+    #[test]
+    fn peeked_events_stay_gated_until_advanced() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        for i in 0..4 {
+            producer.publish(Event::checkpoint(i));
+        }
+        let mut batch = Vec::new();
+        assert_eq!(consumer.peek_batch(&mut batch, usize::MAX), 4);
+        // Peeking must not release the slots: the producer is still gated.
+        assert!(producer.try_publish(Event::checkpoint(4)).is_err());
+        // Re-peeking returns the same events (nothing was consumed).
+        let mut again = Vec::new();
+        assert_eq!(consumer.peek_batch(&mut again, usize::MAX), 4);
+        assert_eq!(batch, again);
+        consumer.advance(4);
+        assert!(producer.try_publish(Event::checkpoint(4)).is_ok());
+        assert_eq!(consumer.next_sequence(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot acknowledge")]
+    fn advancing_past_published_panics() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        producer.publish(Event::checkpoint(0));
+        consumer.advance(2);
+    }
+
+    #[test]
+    fn wait_for_published_times_out_and_detects_events() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Yield).unwrap());
+        let producer = ring.producer();
+        let consumer = ring.consumer(0).unwrap();
+        assert!(!consumer.wait_for_published(Duration::from_millis(5)));
+        producer.publish(Event::checkpoint(0));
+        assert!(consumer.wait_for_published(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn try_next_batch_respects_max_and_order() {
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        for i in 0..10 {
+            producer.publish(Event::checkpoint(i));
+        }
+        let mut batch = Vec::new();
+        assert_eq!(consumer.try_next_batch(&mut batch, 4), 4);
+        assert_eq!(consumer.try_next_batch(&mut batch, usize::MAX), 6);
+        assert_eq!(consumer.try_next_batch(&mut batch, usize::MAX), 0);
+        let ids: Vec<u64> = batch.iter().map(|e| e.args()[0]).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        assert_eq!(consumer.next_sequence(), 10);
+    }
+
+    #[test]
+    fn publish_batch_assigns_contiguous_sequences() {
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Yield).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        assert_eq!(producer.publish_batch(&[]), None);
+        let events: Vec<Event> = (0..12).map(Event::checkpoint).collect();
+        let handle = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while seen.len() < 12 {
+                let mut batch = Vec::new();
+                consumer.try_next_batch(&mut batch, usize::MAX);
+                seen.extend(batch.iter().map(|e| e.args()[0]));
+            }
+            seen
+        });
+        assert_eq!(producer.publish_batch(&events[..5]), Some(0));
+        assert_eq!(producer.publish_batch(&events[5..]), Some(5));
+        assert_eq!(handle.join().unwrap(), (0..12).collect::<Vec<u64>>());
+        assert_eq!(ring.published(), 12);
+    }
+
+    #[test]
+    fn publish_batch_blocks_until_consumers_free_space() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Yield).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        let total = 64u64;
+        let drain = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while (seen.len() as u64) < total {
+                let mut batch = Vec::new();
+                consumer.try_next_batch(&mut batch, usize::MAX);
+                seen.extend(batch.iter().map(|e| e.args()[0]));
+                std::thread::yield_now();
+            }
+            seen
+        });
+        // Publish far more than the capacity in max-size batches; each batch
+        // must wait for the drain thread to free space.
+        for chunk in 0..(total / 8) {
+            let events: Vec<Event> = (chunk * 8..(chunk + 1) * 8).map(Event::checkpoint).collect();
+            producer.publish_batch(&events);
+        }
+        assert_eq!(drain.join().unwrap(), (0..total).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -62,23 +62,27 @@ impl Sequence {
 
     /// Reads the current value with acquire ordering.
     #[must_use]
+    #[inline]
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Acquire)
     }
 
     /// Publishes `value` with release ordering.
+    #[inline]
     pub fn set(&self, value: u64) {
         self.value.store(value, Ordering::Release);
     }
 
     /// Returns `true` if the sequence is at its pre-first/retired value.
     #[must_use]
+    #[inline]
     pub fn is_initial(&self) -> bool {
         self.get() == SEQUENCE_INITIAL
     }
 
     /// Number of slots published so far (`0` when nothing has been published).
     #[must_use]
+    #[inline]
     pub fn count(&self) -> u64 {
         let v = self.get();
         if v == SEQUENCE_INITIAL {

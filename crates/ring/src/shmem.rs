@@ -13,7 +13,15 @@
 //! In the original system the pool lives in a POSIX shared-memory segment; in
 //! this reproduction it is a heap arena shared between the leader and follower
 //! threads, addressed by the same offset-based shared pointers.
+//!
+//! The read path is kept hot-path-clean: segments are bump-allocated so the
+//! directory is base-sorted and [`PoolAllocator::read_into`] /
+//! [`PoolAllocator::read_with`] resolve a shared pointer with one O(log n)
+//! binary search and copy into a caller-owned buffer (or borrow in place)
+//! without allocating.  Double frees are detected in O(1) via a mirror set of
+//! each bucket's free list.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -94,17 +102,50 @@ pub struct AllocStats {
     pub arena_bytes: u64,
 }
 
+/// Free chunks of one bucket: a LIFO stack for O(1) alloc plus a mirror set
+/// for O(1) double-free detection (`free.contains` on the stack was O(n)).
+#[derive(Debug, Default)]
+struct FreeList {
+    stack: Vec<u32>,
+    members: HashSet<u32>,
+}
+
+impl FreeList {
+    fn pop(&mut self) -> Option<u32> {
+        let offset = self.stack.pop()?;
+        self.members.remove(&offset);
+        Some(offset)
+    }
+
+    /// Pushes `offset`; returns `false` (without pushing) if it was already
+    /// free.
+    fn push(&mut self, offset: u32) -> bool {
+        if !self.members.insert(offset) {
+            return false;
+        }
+        self.stack.push(offset);
+        true
+    }
+
+    fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
 #[derive(Debug)]
 struct Bucket {
     chunk_size: usize,
-    /// Global arena offsets of free chunks. Guarded by the per-bucket lock.
-    free: Mutex<Vec<u32>>,
+    /// Free chunks (global arena offsets). Guarded by the per-bucket lock.
+    free: Mutex<FreeList>,
 }
 
 #[derive(Debug, Default)]
 struct Segment {
     /// Global offset of the first byte of this segment.
     base: u32,
+    /// Segment length in bytes, fixed at creation (kept outside the data
+    /// lock so `locate` never has to lock the payload bytes).
+    len: u32,
     data: RwLock<Vec<u8>>,
 }
 
@@ -177,7 +218,7 @@ impl PoolAllocator {
             .iter()
             .map(|&chunk_size| Bucket {
                 chunk_size,
-                free: Mutex::new(Vec::new()),
+                free: Mutex::new(FreeList::default()),
             })
             .collect();
         PoolAllocator {
@@ -289,6 +330,7 @@ impl PoolAllocator {
             .fetch_add(segment_bytes as u64, Ordering::Relaxed) as u32;
         let segment = Segment {
             base,
+            len: segment_bytes as u32,
             data: RwLock::new(vec![0u8; segment_bytes]),
         };
         self.segments.write().push(segment);
@@ -299,15 +341,22 @@ impl PoolAllocator {
         Ok(())
     }
 
+    /// Maps a global arena offset to `(segment index, offset inside it)`.
+    ///
+    /// Segments are bump-allocated under the grow lock, so the directory is
+    /// append-only and base-sorted: a binary search finds the owning segment
+    /// in O(log n) instead of scanning (and locking) every segment.
     fn locate(&self, offset: u32) -> Option<(usize, usize)> {
         let segments = self.segments.read();
-        for (index, segment) in segments.iter().enumerate() {
-            let len = segment.data.read().len() as u32;
-            if offset >= segment.base && offset < segment.base + len {
-                return Some((index, (offset - segment.base) as usize));
-            }
+        let index = segments
+            .partition_point(|segment| segment.base <= offset)
+            .checked_sub(1)?;
+        let segment = &segments[index];
+        if offset < segment.base + segment.len {
+            Some((index, (offset - segment.base) as usize))
+        } else {
+            None
         }
-        None
     }
 
     /// Copies `data` into the region identified by `ptr`.
@@ -334,20 +383,57 @@ impl PoolAllocator {
 
     /// Reads the full contents of the region identified by `ptr`.
     ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`PoolAllocator::read_into`] (reused buffer) or
+    /// [`PoolAllocator::read_with`] (borrow, no copy).
+    ///
     /// # Panics
     ///
     /// Panics if `ptr` does not identify a region inside this pool.
     #[must_use]
     pub fn read(&self, ptr: SharedPtr) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ptr.len() as usize);
+        self.read_into(ptr, &mut buf);
+        buf
+    }
+
+    /// Copies the region identified by `ptr` into `buf`, reusing its
+    /// capacity (the buffer is cleared first), and returns the number of
+    /// bytes copied.
+    ///
+    /// After the buffer has grown to the largest payload size this performs
+    /// zero heap allocations per read, unlike [`PoolAllocator::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is non-null and does not identify a region inside
+    /// this pool.
+    pub fn read_into(&self, ptr: SharedPtr, buf: &mut Vec<u8>) -> usize {
+        buf.clear();
         if ptr.is_null() {
-            return Vec::new();
+            return 0;
+        }
+        self.read_with(ptr, |bytes| buf.extend_from_slice(bytes));
+        ptr.len() as usize
+    }
+
+    /// Calls `f` with the region's bytes borrowed in place — a zero-copy
+    /// read for callers that only inspect the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is non-null and does not identify a region inside
+    /// this pool.
+    pub fn read_with<R>(&self, ptr: SharedPtr, f: impl FnOnce(&[u8]) -> R) -> R {
+        if ptr.is_null() {
+            return f(&[]);
         }
         let (segment_index, local) = self
             .locate(ptr.offset())
             .expect("shared pointer does not belong to this pool");
         let segments = self.segments.read();
         let segment = segments[segment_index].data.read();
-        segment[local..local + ptr.len() as usize].to_vec()
+        f(&segment[local..local + ptr.len() as usize])
     }
 
     /// Returns a region's chunk to its bucket's free list.
@@ -365,10 +451,11 @@ impl PoolAllocator {
             .get(region.bucket)
             .ok_or(RingError::ForeignRegion)?;
         let mut free = bucket.free.lock();
-        if free.contains(&region.ptr().offset()) {
+        // O(1) membership check via the free list's mirror set (previously a
+        // linear `Vec::contains` scan).
+        if !free.push(region.ptr().offset()) {
             return Err(RingError::DoubleFree);
         }
-        free.push(region.ptr().offset());
         self.live_chunks.fetch_sub(1, Ordering::Relaxed);
         self.total_frees.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -455,6 +542,70 @@ mod tests {
     fn null_pointer_reads_empty() {
         let pool = PoolAllocator::default();
         assert!(pool.read(SharedPtr::NULL).is_empty());
+        let mut buf = vec![1, 2, 3];
+        assert_eq!(pool.read_into(SharedPtr::NULL, &mut buf), 0);
+        assert!(buf.is_empty());
+        assert_eq!(pool.read_with(SharedPtr::NULL, <[u8]>::len), 0);
+    }
+
+    #[test]
+    fn read_into_reuses_buffer_capacity() {
+        let pool = PoolAllocator::default();
+        let big = pool.alloc_and_write(&[0xaa; 900]).unwrap();
+        let small = pool.alloc_and_write(b"tiny").unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(pool.read_into(big.ptr(), &mut buf), 900);
+        assert_eq!(buf, vec![0xaa; 900]);
+        let capacity = buf.capacity();
+        assert_eq!(pool.read_into(small.ptr(), &mut buf), 4);
+        assert_eq!(buf, b"tiny");
+        assert_eq!(buf.capacity(), capacity, "read_into must not reallocate");
+    }
+
+    #[test]
+    fn read_with_borrows_in_place() {
+        let pool = PoolAllocator::default();
+        let region = pool.alloc_and_write(b"zero copy").unwrap();
+        let sum: u64 = pool.read_with(region.ptr(), |bytes| {
+            bytes.iter().map(|&b| u64::from(b)).sum()
+        });
+        assert_eq!(sum, b"zero copy".iter().map(|&b| u64::from(b)).sum());
+    }
+
+    #[test]
+    fn locate_finds_regions_across_many_segments() {
+        // Small segments force many grow calls; the base-sorted binary
+        // search must resolve a pointer in every one of them.
+        let pool = PoolAllocator::new(PoolConfig {
+            pool_size: 1024 * 1024,
+            bucket_sizes: vec![32, 128],
+            chunks_per_segment: 2,
+        });
+        let mut regions = Vec::new();
+        for i in 0..64u8 {
+            let len = if i % 2 == 0 { 20 } else { 100 };
+            let payload = vec![i; len];
+            regions.push((pool.alloc_and_write(&payload).unwrap(), payload));
+        }
+        assert!(pool.stats().segments >= 32);
+        for (region, payload) in &regions {
+            assert_eq!(&pool.read(region.ptr()), payload);
+        }
+        // Offsets outside every segment are rejected, not misattributed.
+        assert!(matches!(
+            pool.free(SharedRegion {
+                ptr: SharedPtr::new(u32::MAX - 8, 4),
+                bucket: 0
+            }),
+            Err(RingError::ForeignRegion)
+        ));
+        assert!(matches!(
+            pool.free(SharedRegion {
+                ptr: SharedPtr::new(1, 4),
+                bucket: 0
+            }),
+            Err(RingError::ForeignRegion)
+        ));
     }
 
     #[test]

@@ -70,12 +70,21 @@ impl WaitLock {
     /// Blocks the calling thread until the next notification.
     pub fn wait(&self) {
         let target = self.generation();
-        self.waiters.fetch_add(1, Ordering::Relaxed);
+        // The waiter count must be visible before the generation re-check
+        // under the mutex: a notifier bumps the generation first and only
+        // then consults the count, so either it sees this waiter (and takes
+        // the mutex to wake it) or this waiter sees the new generation (and
+        // never blocks). This store-buffer (Dekker) pattern requires *every*
+        // access involved to participate in the SeqCst total order — the
+        // generation re-checks below use SeqCst loads, not the Acquire load
+        // of `generation()`.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.mutex.lock();
-        while self.generation() == target {
+        while self.generation.load(Ordering::SeqCst) == target {
             self.condvar.wait(&mut guard);
         }
-        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Blocks until the next notification or until `timeout` elapses.
@@ -83,34 +92,50 @@ impl WaitLock {
     /// Returns `true` if a notification was received, `false` on timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
         let target = self.generation();
-        self.waiters.fetch_add(1, Ordering::Relaxed);
+        // See `wait` for the ordering argument (SeqCst loads required).
+        self.waiters.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.mutex.lock();
         let mut woken = true;
-        while self.generation() == target {
+        while self.generation.load(Ordering::SeqCst) == target {
             if self.condvar.wait_for(&mut guard, timeout).timed_out() {
-                woken = self.generation() != target;
+                woken = self.generation.load(Ordering::SeqCst) != target;
                 break;
             }
         }
-        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
         woken
     }
 
     /// Wakes every thread currently blocked in [`WaitLock::wait`].
+    ///
+    /// When nobody is waiting this is mutex-free: one atomic bump of the
+    /// generation and one atomic load of the waiter count — the leader pays
+    /// no lock for notifying followers that are all busy-spinning on the
+    /// ring (§3.3.1's locking discipline).
     pub fn notify_all(&self) {
-        let _guard = self.mutex.lock();
-        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.generation.fetch_add(1, Ordering::SeqCst);
         self.wakeups.fetch_add(1, Ordering::Relaxed);
-        self.condvar.notify_all();
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // The mutex pairs the wakeup with the waiter's generation
+            // re-check: a waiter holding the mutex has either blocked (and
+            // will be notified) or already seen the new generation.
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
     }
 
     /// Wakes a single blocked thread (all callers observe the new generation,
     /// so at most one spurious extra thread may also wake, as with futexes).
+    ///
+    /// Mutex-free when nobody is waiting, like [`WaitLock::notify_all`].
     pub fn notify_one(&self) {
-        let _guard = self.mutex.lock();
-        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.generation.fetch_add(1, Ordering::SeqCst);
         self.wakeups.fetch_add(1, Ordering::Relaxed);
-        self.condvar.notify_one();
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_one();
+        }
     }
 
     /// Number of threads currently blocked (approximate, for diagnostics).

@@ -1,10 +1,10 @@
 //! Offline stand-in for `crossbeam`, covering the subset the workspace uses:
 //! `utils::CachePadded` (real alignment, zero-cost) and `atomic::AtomicCell`
-//! (lock-based here; the real crate uses atomics or a seqlock). Swap this
-//! path dependency for the crates.io `crossbeam` when network access is
-//! available.
+//! (a genuine per-cell seqlock, like the crates.io implementation uses for
+//! types wider than the machine's atomics). Swap this path dependency for the
+//! crates.io `crossbeam` when network access is available.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 /// Utilities mirroring `crossbeam::utils`.
 pub mod utils {
@@ -59,52 +59,129 @@ pub mod utils {
 }
 
 /// Atomics mirroring `crossbeam::atomic`.
+#[allow(unsafe_code)]
 pub mod atomic {
+    use std::cell::UnsafeCell;
     use std::fmt;
-    use std::sync::Mutex;
+    use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
     /// A thread-safe mutable memory location mirroring
     /// `crossbeam::atomic::AtomicCell`.
     ///
-    /// The stub serialises access through a `Mutex` rather than a seqlock;
-    /// the observable semantics (linearizable load/store/swap) are the same.
-    #[derive(Default)]
+    /// Implemented as a per-cell **seqlock**, the same fallback the real
+    /// crate uses for types wider than the platform's native atomics:
+    ///
+    /// * the `stamp` is even while the cell is unlocked and holds the value
+    ///   `LOCKED` (1) while a writer is inside the critical section;
+    /// * writers acquire the stamp with a `swap`, mutate the value, and
+    ///   release by storing `previous_stamp + 2`;
+    /// * readers (`load`) snapshot the stamp, copy the value with volatile
+    ///   reads, and retry if the stamp was odd or changed underneath them.
+    ///
+    /// Readers therefore never block and never touch a mutex — they spin only
+    /// if a store is in flight on the *same* cell at the same instant, and
+    /// writers hold the "lock" only for the duration of a 64-byte copy.
     pub struct AtomicCell<T> {
-        value: Mutex<T>,
+        /// Even = unlocked version stamp; [`LOCKED`] = writer active.
+        stamp: AtomicUsize,
+        value: UnsafeCell<T>,
+    }
+
+    /// Stamp value marking a writer inside its critical section. Stamps start
+    /// at 0 and advance by 2 per store, so they are never equal to `LOCKED`.
+    const LOCKED: usize = 1;
+
+    // SAFETY: the seqlock protocol serialises writers (the `swap` on `stamp`
+    // admits one writer at a time) and readers only return values whose copy
+    // was validated against an unchanged, even stamp, so a cell can be shared
+    // across threads whenever the value itself can be sent between them.
+    unsafe impl<T: Send> Send for AtomicCell<T> {}
+    unsafe impl<T: Send> Sync for AtomicCell<T> {}
+
+    impl<T: Default> Default for AtomicCell<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
     }
 
     impl<T> AtomicCell<T> {
         /// Creates a new cell holding `value`.
-        pub fn new(value: T) -> Self {
+        pub const fn new(value: T) -> Self {
             Self {
-                value: Mutex::new(value),
+                stamp: AtomicUsize::new(0),
+                value: UnsafeCell::new(value),
             }
+        }
+
+        /// Acquires the writer side of the seqlock, returning the stamp to
+        /// restore (plus two) on release.
+        fn write_lock(&self) -> usize {
+            loop {
+                let previous = self.stamp.swap(LOCKED, Ordering::Acquire);
+                if previous != LOCKED {
+                    // Order the LOCKED stamp before the data writes on
+                    // weakly-ordered architectures: a reader must never see
+                    // in-flight data under a stale even stamp. Mirrors the
+                    // fence the crates.io seqlock issues after its swap.
+                    fence(Ordering::Release);
+                    return previous;
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        fn write_unlock(&self, previous: usize) {
+            self.stamp.store(previous.wrapping_add(2), Ordering::Release);
         }
 
         /// Stores `value`, dropping the previous contents.
         pub fn store(&self, value: T) {
-            *self.lock() = value;
+            drop(self.swap(value));
         }
 
         /// Stores `value` and returns the previous contents.
         pub fn swap(&self, value: T) -> T {
-            std::mem::replace(&mut *self.lock(), value)
+            let previous = self.write_lock();
+            // SAFETY: the writer lock is held, so no other writer touches the
+            // value; readers may race but validate the stamp before using
+            // their copy.
+            let old = unsafe { std::ptr::replace(self.value.get(), value) };
+            self.write_unlock(previous);
+            old
         }
 
         /// Consumes the cell, returning the contents.
         pub fn into_inner(self) -> T {
-            self.value.into_inner().unwrap_or_else(|e| e.into_inner())
-        }
-
-        fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.value.lock().unwrap_or_else(|e| e.into_inner())
+            self.value.into_inner()
         }
     }
 
     impl<T: Copy> AtomicCell<T> {
-        /// Returns a copy of the contents.
+        /// Returns a copy of the contents without blocking.
+        ///
+        /// Lock-free for readers: retries only while a store to this exact
+        /// cell is in flight.
         pub fn load(&self) -> T {
-            *self.lock()
+            loop {
+                let before = self.stamp.load(Ordering::Acquire);
+                if before == LOCKED {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // SAFETY: `T: Copy` so reading a bitwise snapshot is sound as
+                // long as we only *use* it after validating that no writer
+                // overlapped the copy. A concurrent writer may race with this
+                // read; the volatile read keeps the compiler from tearing or
+                // caching it, mirroring the crates.io seqlock.
+                let value = unsafe { std::ptr::read_volatile(self.value.get()) };
+                // The fence orders the value copy before the stamp re-check.
+                fence(Ordering::Acquire);
+                let after = self.stamp.load(Ordering::Relaxed);
+                if before == after {
+                    return value;
+                }
+                std::hint::spin_loop();
+            }
         }
     }
 
@@ -124,6 +201,8 @@ pub mod atomic {
     #[cfg(test)]
     mod tests {
         use super::AtomicCell;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
 
         #[test]
         fn load_store_swap() {
@@ -132,6 +211,70 @@ pub mod atomic {
             cell.store(9);
             assert_eq!(cell.swap(11), 9);
             assert_eq!(cell.into_inner(), 11);
+        }
+
+        #[test]
+        fn take_leaves_default() {
+            let cell = AtomicCell::new(5u32);
+            assert_eq!(cell.take(), 5);
+            assert_eq!(cell.load(), 0);
+        }
+
+        #[test]
+        fn concurrent_loads_never_observe_torn_values() {
+            // A value wide enough that a torn read would be observable: all
+            // four lanes must always agree.
+            #[derive(Clone, Copy)]
+            struct Wide([u64; 4]);
+            impl Wide {
+                fn new(x: u64) -> Self {
+                    Wide([x, x.wrapping_mul(3), !x, x ^ 0xdead_beef])
+                }
+                fn check(self) {
+                    let x = self.0[0];
+                    assert_eq!(self.0[1], x.wrapping_mul(3));
+                    assert_eq!(self.0[2], !x);
+                    assert_eq!(self.0[3], x ^ 0xdead_beef);
+                }
+            }
+
+            let cell = Arc::new(AtomicCell::new(Wide::new(0)));
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                readers.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        cell.load().check();
+                    }
+                }));
+            }
+            for i in 0..200_000u64 {
+                cell.store(Wide::new(i));
+            }
+            stop.store(true, Ordering::Relaxed);
+            for reader in readers {
+                reader.join().unwrap();
+            }
+        }
+
+        #[test]
+        fn writers_serialise() {
+            let cell = Arc::new(AtomicCell::new(0u64));
+            let mut writers = Vec::new();
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                writers.push(std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        cell.swap(1);
+                    }
+                }));
+            }
+            for writer in writers {
+                writer.join().unwrap();
+            }
+            assert_eq!(cell.load(), 1);
         }
     }
 }
