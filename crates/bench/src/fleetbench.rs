@@ -1,0 +1,469 @@
+//! Machine-readable elastic-fleet churn benchmark (`BENCH_fleet.json`).
+//!
+//! Measures what elastic membership costs the leader: a 3-version workload
+//! (leader + two followers) runs under sustained syscall load twice — once
+//! undisturbed (the no-churn baseline) and once while fleet members join,
+//! catch up via checkpoint + journal replay, go live and detach in a loop.
+//! The headline metrics:
+//!
+//! * **leader throughput during churn** vs the no-churn baseline — the
+//!   acceptance bar is that churn costs the leader less than half its
+//!   throughput (the joiner catch-up path must not gate the publish path);
+//! * **catch-up latency** — attach-to-live time per joiner, i.e. how long a
+//!   freshly attached follower needs to restore the checkpoint, drain the
+//!   journal tail and reach live ring consumption.
+//!
+//! `figures --fig-fleet` writes the JSON, `figures --check-fleet` validates
+//! it (schema marker, positive finite metrics, churn ratio ≥ 0.5) and the CI
+//! smoke step fails on violation.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::fleet::FleetConfig;
+use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Kernel, Sysno};
+
+use crate::Scale;
+
+/// Schema identifier stamped into the JSON.
+pub const SCHEMA: &str = "varan-bench-fleet/v1";
+
+/// Default output path, relative to the working directory.
+pub const DEFAULT_PATH: &str = "BENCH_fleet.json";
+
+/// Leader throughput during churn must stay above this fraction of the
+/// no-churn baseline (the ISSUE's acceptance bar).
+pub const MIN_CHURN_RATIO: f64 = 0.5;
+
+/// Iterations of the sustained workload at quick scale (3 streamed events
+/// per iteration).
+const QUICK_ITERATIONS: u32 = 20_000;
+
+/// A steady syscall-generating server stand-in.
+struct SustainedLoad {
+    name: String,
+    iterations: u32,
+}
+
+impl VersionProgram for SustainedLoad {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/zero", 0);
+        for _ in 0..self.iterations {
+            sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+            sys.read(fd as i32, 64);
+            sys.time();
+        }
+        sys.close(fd as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+fn versions(iterations: u32) -> Vec<Box<dyn VersionProgram>> {
+    (0..3)
+        .map(|i| {
+            Box::new(SustainedLoad {
+                name: format!("v{i}"),
+                iterations,
+            }) as Box<dyn VersionProgram>
+        })
+        .collect()
+}
+
+/// Results of the churn scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBenchReport {
+    /// Workload iterations per run.
+    pub iterations: u32,
+    /// Leader events/second with the fleet disabled entirely (no journal).
+    pub plain_events_per_sec: f64,
+    /// Leader events/second with the fleet enabled (journal spilling every
+    /// event) but no member churn — the no-churn baseline the churn run is
+    /// held against, so the gate measures *churn* cost; journaling overhead
+    /// is reported separately as `plain / baseline`.
+    pub baseline_events_per_sec: f64,
+    /// Leader events/second while members joined and left throughout.
+    pub churn_events_per_sec: f64,
+    /// Joiners attached during the churn run.
+    pub attaches: u64,
+    /// Joiners detached again mid-run.
+    pub detaches: u64,
+    /// Crashed-follower re-arms (0 in this scenario).
+    pub rearms: u64,
+    /// Catch-up latencies (attach → live), milliseconds, one per joiner
+    /// that went live.
+    pub catch_up_ms: Vec<f64>,
+}
+
+impl FleetBenchReport {
+    /// `churn / baseline` leader-throughput ratio.
+    #[must_use]
+    pub fn churn_ratio(&self) -> f64 {
+        self.churn_events_per_sec / self.baseline_events_per_sec
+    }
+
+    /// Leader slowdown caused by journal spilling alone (`plain /
+    /// baseline`; 1.0 = free, larger = costlier).
+    #[must_use]
+    pub fn journal_overhead(&self) -> f64 {
+        self.plain_events_per_sec / self.baseline_events_per_sec
+    }
+
+    /// Median catch-up latency in milliseconds (0 when no joiner went live).
+    #[must_use]
+    pub fn median_catch_up_ms(&self) -> f64 {
+        if self.catch_up_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.catch_up_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 2]
+    }
+
+    /// Largest observed catch-up latency in milliseconds.
+    #[must_use]
+    pub fn max_catch_up_ms(&self) -> f64 {
+        self.catch_up_ms.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+fn run_baseline(iterations: u32, journal_dir: Option<&Path>) -> f64 {
+    let kernel = Kernel::new();
+    let mut config = NvxConfig::default();
+    if let Some(dir) = journal_dir {
+        let _ = fs::remove_dir_all(dir);
+        config = config.with_fleet(FleetConfig::new(dir).with_spares(1).with_auto_rearm(false));
+    }
+    let started = Instant::now();
+    let report = varan_core::coordinator::run_nvx(&kernel, versions(iterations), config)
+        .expect("baseline run");
+    let throughput = report.events_published as f64 / started.elapsed().as_secs_f64();
+    assert!(report.all_clean(), "baseline exits: {:?}", report.exits);
+    if let Some(dir) = journal_dir {
+        let _ = fs::remove_dir_all(dir);
+    }
+    throughput
+}
+
+fn run_churn(iterations: u32, journal_dir: &Path) -> FleetBenchReport {
+    let _ = fs::remove_dir_all(journal_dir);
+    let kernel = Kernel::new();
+    let config = NvxConfig::default().with_fleet(
+        FleetConfig::new(journal_dir)
+            .with_spares(2)
+            .with_auto_rearm(false),
+    );
+    let started = Instant::now();
+    let running =
+        NvxSystem::launch(&kernel, versions(iterations), config).expect("churn launch");
+    let fleet = running.fleet().expect("fleet enabled");
+
+    // Churn driver: keep attaching a member, waiting until it is live, then
+    // detaching it — so for most of the run a joiner is somewhere in the
+    // restore/replay/handover pipeline.
+    let stop_churn = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn_fleet = fleet.clone();
+    let churn_stop = std::sync::Arc::clone(&stop_churn);
+    let driver = std::thread::spawn(move || {
+        let mut attaches = 0u64;
+        let mut detaches = 0u64;
+        let mut catch_up_ms = Vec::new();
+        while !churn_stop.load(std::sync::atomic::Ordering::Acquire) {
+            let Ok(member) = churn_fleet.attach(&format!("churn-{attaches}")) else {
+                break; // no slot came back: stop churning
+            };
+            attaches += 1;
+            if !member.wait_live(Duration::from_secs(30)) {
+                break;
+            }
+            if let Some(latency) = member.catch_up_latency() {
+                catch_up_ms.push(latency.as_secs_f64() * 1000.0);
+            }
+            // Let it observe some live traffic before detaching (and keep
+            // the churn sustained rather than a checkpoint storm — every
+            // attach snapshots the kernel tables under their locks).
+            std::thread::sleep(Duration::from_millis(5));
+            if churn_fleet.detach(member.index) {
+                detaches += 1;
+            }
+            // The member hands its slot back asynchronously; wait for it so
+            // the next attach finds a free slot.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while churn_fleet.available_spares() == 0 && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+        }
+        (attaches, detaches, catch_up_ms)
+    });
+
+    let report = running.wait();
+    let elapsed = started.elapsed().as_secs_f64();
+    assert!(report.all_clean(), "churn exits: {:?}", report.exits);
+    stop_churn.store(true, std::sync::atomic::Ordering::Release);
+    let (attaches, detaches, catch_up_ms) = driver.join().expect("churn driver");
+    // Members attached after the run's own shutdown pass are stopped here.
+    fleet.shutdown();
+    let _ = fs::remove_dir_all(journal_dir);
+    FleetBenchReport {
+        iterations,
+        plain_events_per_sec: 0.0,    // filled by `run`
+        baseline_events_per_sec: 0.0, // filled by `run`
+        churn_events_per_sec: report.events_published as f64 / elapsed,
+        attaches,
+        detaches,
+        rearms: fleet.rearmed(),
+        catch_up_ms,
+    }
+}
+
+/// Runs the baseline and churn scenarios and returns the report.
+#[must_use]
+pub fn run(scale: Scale) -> FleetBenchReport {
+    let iterations = match scale {
+        Scale::Quick => QUICK_ITERATIONS,
+        Scale::Full => QUICK_ITERATIONS * 8,
+    };
+    let journal_dir = std::env::temp_dir().join(format!(
+        "varan-fleetbench-{}",
+        std::process::id()
+    ));
+    let plain = run_baseline(iterations, None);
+    let baseline = run_baseline(iterations, Some(&journal_dir));
+    let mut report = run_churn(iterations, &journal_dir);
+    report.plain_events_per_sec = plain;
+    report.baseline_events_per_sec = baseline;
+    report
+}
+
+impl FleetBenchReport {
+    /// Serialises the report to the `varan-bench-fleet/v1` JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"iterations\": {},", self.iterations);
+        let _ = writeln!(out, "  \"leader_events_per_sec\": {{");
+        let _ = writeln!(out, "    \"plain\": {:.1},", self.plain_events_per_sec);
+        let _ = writeln!(out, "    \"baseline\": {:.1},", self.baseline_events_per_sec);
+        let _ = writeln!(out, "    \"during_churn\": {:.1},", self.churn_events_per_sec);
+        let _ = writeln!(out, "    \"churn_ratio\": {:.4},", self.churn_ratio());
+        let _ = writeln!(out, "    \"journal_overhead\": {:.4}", self.journal_overhead());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"churn\": {{");
+        let _ = writeln!(out, "    \"attaches\": {},", self.attaches);
+        let _ = writeln!(out, "    \"detaches\": {},", self.detaches);
+        let _ = writeln!(out, "    \"rearms\": {}", self.rearms);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"catch_up_ms\": {{");
+        let _ = writeln!(out, "    \"median\": {:.3},", self.median_catch_up_ms());
+        let _ = writeln!(out, "    \"max\": {:.3},", self.max_catch_up_ms());
+        let _ = writeln!(out, "    \"samples\": {}", self.catch_up_ms.len());
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Renders a short human-readable summary for the `figures` output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Elastic fleet under churn ({} iterations, 3 versions + joiners):",
+            self.iterations
+        );
+        let _ = writeln!(
+            out,
+            "  leader throughput, fleet off     {:>12.0} events/s",
+            self.plain_events_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "  leader throughput, no churn      {:>12.0} events/s (journal spill {:.2}x)",
+            self.baseline_events_per_sec,
+            self.journal_overhead()
+        );
+        let _ = writeln!(
+            out,
+            "  leader throughput, under churn   {:>12.0} events/s ({:.0}% of baseline)",
+            self.churn_events_per_sec,
+            self.churn_ratio() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  joins {} / leaves {} / re-arms {}",
+            self.attaches, self.detaches, self.rearms
+        );
+        let _ = writeln!(
+            out,
+            "  catch-up latency: median {:.2} ms, max {:.2} ms ({} joiners went live)",
+            self.median_catch_up_ms(),
+            self.max_catch_up_ms(),
+            self.catch_up_ms.len()
+        );
+        out
+    }
+}
+
+/// Extracts the number following `"key":` inside `json` (same minimal
+/// parser shape as `ringbench`).
+fn extract_number(json: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed entry for {key:?} (no colon)"))?
+        .trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|err| format!("malformed number for {key:?}: {err}"))
+}
+
+/// Validates a `BENCH_fleet.json` file: schema marker present, throughput
+/// metrics positive and finite, at least one attach with a live catch-up
+/// sample, and the leader keeping at least [`MIN_CHURN_RATIO`] of its
+/// no-churn throughput during churn.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    let json = fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("{}: missing schema marker {SCHEMA:?}", path.display()));
+    }
+    for key in ["baseline", "during_churn", "churn_ratio"] {
+        let value =
+            extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!(
+                "{}: metric {key:?} must be positive and finite, got {value}",
+                path.display()
+            ));
+        }
+    }
+    for key in ["attaches", "samples"] {
+        let value =
+            extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
+        if value < 1.0 {
+            return Err(format!(
+                "{}: expected at least one {key} during churn, got {value}",
+                path.display()
+            ));
+        }
+    }
+    let ratio = extract_number(&json, "churn_ratio").expect("validated above");
+    if ratio < MIN_CHURN_RATIO {
+        return Err(format!(
+            "{}: leader throughput during churn dropped to {:.0}% of the no-churn \
+             baseline (floor is {:.0}%) — joiner catch-up is gating the publish path",
+            path.display(),
+            ratio * 100.0,
+            MIN_CHURN_RATIO * 100.0
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetBenchReport {
+        FleetBenchReport {
+            iterations: 1000,
+            plain_events_per_sec: 1.1e6,
+            baseline_events_per_sec: 1.0e6,
+            churn_events_per_sec: 0.9e6,
+            attaches: 5,
+            detaches: 4,
+            rearms: 0,
+            catch_up_ms: vec![3.0, 1.0, 2.0],
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("varan-fleetbench-test-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("BENCH_fleet.json")
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        let path = temp_path("ok");
+        sample().write_to(&path).unwrap();
+        validate_file(&path).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_a_gated_leader() {
+        let mut report = sample();
+        report.churn_events_per_sec = report.baseline_events_per_sec * 0.3;
+        let path = temp_path("gated");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("gating the publish path"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_json_and_zero_churn() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "{\"schema\": \"varan-bench-fleet/v1\"}").unwrap();
+        assert!(validate_file(&path).is_err());
+        let mut report = sample();
+        report.attaches = 0;
+        report.write_to(&path).unwrap();
+        assert!(validate_file(&path).is_err());
+    }
+
+    #[test]
+    fn stats_are_computed_over_samples() {
+        let report = sample();
+        assert!((report.churn_ratio() - 0.9).abs() < 1e-9);
+        assert!((report.median_catch_up_ms() - 2.0).abs() < 1e-9);
+        assert!((report.max_catch_up_ms() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_churn_run_completes_end_to_end() {
+        // A miniature inline run exercising the full attach/detach pipeline.
+        let journal_dir = std::env::temp_dir().join(format!(
+            "varan-fleetbench-inline-{}",
+            std::process::id()
+        ));
+        let mut report = run_churn(5000, &journal_dir);
+        report.plain_events_per_sec = 1.0;
+        report.baseline_events_per_sec = 1.0;
+        assert!(report.churn_events_per_sec > 0.0);
+        assert!(report.attaches >= 1);
+    }
+}

@@ -16,12 +16,14 @@
 //! | [`comparison`] | Table 2 — comparison with Mx, Orchestra, Tachyon |
 //! | [`scenarios`] | §5.1–§5.4 — failover, multi-revision execution, live sanitization, record-replay |
 //! | [`ringbench`] | machine-readable ring/pool throughput (`BENCH_ring.json`) |
+//! | [`fleetbench`] | machine-readable elastic-fleet churn scenario (`BENCH_fleet.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod comparison;
+pub mod fleetbench;
 pub mod microbench;
 pub mod report;
 pub mod ringbench;

@@ -9,7 +9,9 @@
 //! Without `--full` the workloads are scaled down so the whole suite runs in
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
-use varan_bench::{comparison, microbench, report, ringbench, scenarios, servers, spec, Scale};
+use varan_bench::{
+    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, spec, Scale,
+};
 
 #[derive(Debug, Default)]
 struct Options {
@@ -24,7 +26,9 @@ struct Options {
     multirev: bool,
     sanitize: bool,
     recreplay: bool,
+    fig_fleet: bool,
     check_ring: bool,
+    check_fleet: bool,
     full: bool,
 }
 
@@ -45,9 +49,11 @@ impl Options {
                 "--multirev" => options.multirev = true,
                 "--sanitize" => options.sanitize = true,
                 "--recreplay" => options.recreplay = true,
-                // An action flag: standalone `--check-ring` must validate the
+                "--fig-fleet" => options.fig_fleet = true,
+                // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
                 "--check-ring" => options.check_ring = true,
+                "--check-fleet" => options.check_fleet = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -64,16 +70,21 @@ impl Options {
                     options.multirev = true;
                     options.sanitize = true;
                     options.recreplay = true;
+                    options.fig_fleet = true;
                 }
                 "--help" | "-h" => {
                     println!(
                         "usage: figures [--all] [--full] [--fig4 --fig5 --fig6 --fig7 --fig8]\n\
                          \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
-                         \x20              [--check-ring]\n\
+                         \x20              [--fig-fleet] [--check-ring] [--check-fleet]\n\
                          --fig5 also writes {path} (ring/pool throughput);\n\
                          --check-ring validates {path} and exits non-zero if it is malformed\n\
-                         or the disruptor does not beat the event-pump baseline at 3 followers.",
+                         or the disruptor does not beat the event-pump baseline at 3 followers.\n\
+                         --fig-fleet runs the elastic-fleet churn scenario and writes {fleet};\n\
+                         --check-fleet validates {fleet} (leader throughput during churn must\n\
+                         stay above 50% of the no-churn baseline).",
                         path = varan_bench::ringbench::DEFAULT_PATH,
+                        fleet = varan_bench::fleetbench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
                 }
@@ -175,11 +186,31 @@ fn main() {
         let result = scenarios::record_replay(operations);
         println!("{}", report::render_record_replay(&result));
     }
+    if options.fig_fleet {
+        let fleet_report = fleetbench::run(scale);
+        println!("{}", fleet_report.render());
+        match fleet_report.write_to(fleetbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", fleetbench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                fleetbench::DEFAULT_PATH
+            ),
+        }
+    }
     if options.check_ring {
         match ringbench::validate_file(ringbench::DEFAULT_PATH) {
             Ok(()) => println!("{} OK", ringbench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_ring check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_fleet {
+        match fleetbench::validate_file(fleetbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", fleetbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_fleet check failed: {err}");
                 std::process::exit(1);
             }
         }

@@ -13,7 +13,8 @@ use crate::error::CoreError;
 use crate::stats::SharedCounters;
 
 /// The set of ring buffers for one N-version execution: one ring per thread
-/// tuple (§3.3.3), each with one consumer slot per follower.
+/// tuple (§3.3.3), each with one consumer slot per follower plus any spare
+/// slots provisioned for followers that join at runtime (the fleet).
 #[derive(Debug)]
 pub struct RingSet {
     rings: Vec<Arc<RingBuffer<Event>>>,
@@ -32,11 +33,65 @@ impl RingSet {
         consumers: usize,
         strategy: WaitStrategy,
     ) -> Result<Self, CoreError> {
+        Self::with_spares(tuples, capacity, consumers, 0, strategy)
+    }
+
+    /// Like [`RingSet::new`] but provisions `spares` additional consumer
+    /// slots per ring for runtime joiners.  Spare slots are **retired**
+    /// immediately (they do not gate the producer) and the handles for the
+    /// main ring (tuple 0) are returned so the fleet can hand them to
+    /// joining followers, which re-activate them with
+    /// [`varan_ring::Consumer::resume_at`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-buffer construction errors (invalid capacity).
+    pub fn with_spares(
+        tuples: usize,
+        capacity: usize,
+        consumers: usize,
+        spares: usize,
+        strategy: WaitStrategy,
+    ) -> Result<Self, CoreError> {
         let mut rings = Vec::with_capacity(tuples);
         for _ in 0..tuples.max(1) {
-            rings.push(Arc::new(RingBuffer::new(capacity, consumers, strategy)?));
+            rings.push(Arc::new(RingBuffer::new(
+                capacity,
+                consumers + spares,
+                strategy,
+            )?));
         }
         Ok(RingSet { rings })
+    }
+
+    /// Claims the `spares` consumer slots above `consumers` on every ring,
+    /// retires them, and returns the main ring's handles for the fleet's
+    /// spare pool.  Must be called before any event is published (a
+    /// still-active unclaimed spare slot would gate the producer at
+    /// sequence 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates slot-claiming errors (out of range, already claimed).
+    pub fn claim_spares(
+        &self,
+        consumers: usize,
+        spares: usize,
+    ) -> Result<Vec<varan_ring::Consumer<Event>>, CoreError> {
+        let mut pool = Vec::with_capacity(spares);
+        for (tuple, ring) in self.rings.iter().enumerate() {
+            for slot in consumers..consumers + spares {
+                let mut consumer = ring.consumer(slot)?;
+                consumer.unsubscribe();
+                if tuple == 0 {
+                    pool.push(consumer);
+                }
+                // Non-main tuples: the claimed handle is dropped here, which
+                // keeps the slot retired for the whole run (joiners consume
+                // the main tuple only; see `fleet.rs`).
+            }
+        }
+        Ok(pool)
     }
 
     /// The ring used by thread tuple `tid` (clamped to the last ring if the
@@ -75,7 +130,8 @@ impl RingSet {
 /// descriptor transfers and by the failover logic.
 #[derive(Debug, Clone)]
 pub struct FollowerLink {
-    /// Version index of the follower.
+    /// Version index of the follower (fleet joiners get indices past the
+    /// launched version count).
     pub index: usize,
     /// The follower's virtual process.
     pub pid: Pid,
@@ -83,13 +139,45 @@ pub struct FollowerLink {
     pub channel: DataChannel,
     /// Cleared when the follower crashes, is killed or is discarded.
     pub alive: Arc<AtomicBool>,
+    /// The ring consumer slot the follower drains (used by the failover
+    /// logic to rank candidates by backlog).
+    pub slot: usize,
+    /// Set while the follower is still replaying the spill journal (a
+    /// joiner that has not yet reached live ring consumption).  A
+    /// catching-up follower is skipped for promotion.
+    pub catching_up: Arc<AtomicBool>,
+    /// Whether this follower runs an application version and can take over
+    /// as leader.  Observer joiners attached by the fleet are not
+    /// promotable.
+    pub promotable: bool,
 }
 
 impl FollowerLink {
+    /// Creates the link for launched follower `index` (slot `index - 1`),
+    /// promotable and not catching up.
+    #[must_use]
+    pub fn for_version(index: usize, pid: Pid, channel: DataChannel) -> Self {
+        FollowerLink {
+            index,
+            pid,
+            channel,
+            alive: Arc::new(AtomicBool::new(true)),
+            slot: index.saturating_sub(1),
+            catching_up: Arc::new(AtomicBool::new(false)),
+            promotable: true,
+        }
+    }
+
     /// Returns `true` while the follower is still participating.
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` while the follower is still replaying the journal.
+    #[must_use]
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up.load(Ordering::Acquire)
     }
 
     /// Marks the follower as discarded.
@@ -213,15 +301,31 @@ mod tests {
 
     #[test]
     fn follower_link_lifecycle() {
-        let link = FollowerLink {
-            index: 1,
-            pid: 42,
-            channel: DataChannel::new(42),
-            alive: Arc::new(AtomicBool::new(true)),
-        };
+        let link = FollowerLink::for_version(1, 42, DataChannel::new(42));
         assert!(link.is_alive());
+        assert!(!link.is_catching_up());
+        assert!(link.promotable);
+        assert_eq!(link.slot, 0);
         link.discard();
         assert!(!link.is_alive());
+    }
+
+    #[test]
+    fn spare_slots_are_retired_and_claimable_once() {
+        let set = RingSet::with_spares(2, 16, 0, 2, WaitStrategy::Spin).unwrap();
+        let pool = set.claim_spares(0, 2).unwrap();
+        assert_eq!(pool.len(), 2, "main-ring spare handles only");
+        for consumer in &pool {
+            assert!(!consumer.is_active(), "spares must not gate the producer");
+        }
+        // Publishing far past the capacity works: no spare gates the ring.
+        let producer = set.ring(0).producer();
+        for i in 0..64 {
+            producer.publish(Event::checkpoint(i));
+        }
+        assert_eq!(set.ring(0).published(), 64);
+        // Claiming the same slots again fails.
+        assert!(set.claim_spares(1, 2).is_err());
     }
 
     #[test]

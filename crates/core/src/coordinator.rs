@@ -13,22 +13,23 @@
 //! its interrupted system call.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use varan_kernel::process::Pid;
 use varan_kernel::Kernel;
-use varan_ring::{PoolAllocator, PoolConfig, VariantClock, WaitStrategy};
+use varan_ring::{EventJournal, PoolAllocator, PoolConfig, VariantClock, WaitStrategy};
 
 use crate::channel::{ChannelMessage, DataChannel};
 use crate::context::{FollowerLink, LogDistanceSampler, RingSet, VersionContext};
 use crate::costs::MonitorCosts;
 use crate::error::CoreError;
+use crate::fleet::{FleetConfig, FleetController};
 use crate::monitor::{FollowerMonitor, LeaderCore, LeaderMonitor};
 use crate::program::{ProgramExit, SyscallInterface, VersionProgram};
 use crate::rules::RuleEngine;
@@ -51,6 +52,9 @@ pub struct NvxConfig {
     pub monitor_costs: MonitorCosts,
     /// Record one log-distance sample every this many published events.
     pub log_distance_sample_every: u64,
+    /// Elastic-fleet configuration; `None` (the default) fixes the version
+    /// set at launch exactly as before.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for NvxConfig {
@@ -66,6 +70,7 @@ impl Default for NvxConfig {
             rules: RuleEngine::new(),
             monitor_costs: MonitorCosts::default(),
             log_distance_sample_every: 16,
+            fleet: None,
         }
     }
 }
@@ -95,6 +100,14 @@ impl NvxConfig {
     #[must_use]
     pub fn with_wait_strategy(mut self, strategy: WaitStrategy) -> Self {
         self.wait_strategy = strategy;
+        self
+    }
+
+    /// Enables the elastic fleet (runtime follower join/leave), consuming
+    /// and returning the configuration.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 }
@@ -187,6 +200,7 @@ pub struct RunningNvx {
     counters: Vec<SharedCounters>,
     rings: Arc<RingSet>,
     sampler: Arc<LogDistanceSampler>,
+    fleet: Option<FleetController>,
     started: Instant,
 }
 
@@ -222,12 +236,39 @@ impl NvxSystem {
         // the ring unhindered (this is the "0 followers" interception-only
         // configuration measured in Figures 5 and 6).
         let follower_count = versions.len() - 1;
-        let rings = Arc::new(RingSet::new(
+        let spare_slots = config.fleet.as_ref().map(|fleet| fleet.spares).unwrap_or(0);
+        let rings = Arc::new(RingSet::with_spares(
             config.max_thread_tuples,
             config.ring_capacity,
             follower_count,
+            spare_slots,
             config.wait_strategy,
         )?);
+        // Spare slots for runtime joiners are claimed (and retired) before
+        // any event is published; they re-activate via `Consumer::resume_at`
+        // when a follower attaches.
+        let spare_pool = rings.claim_spares(follower_count, spare_slots)?;
+        let journal: Option<Arc<EventJournal>> = match &config.fleet {
+            Some(fleet) => {
+                let journal = EventJournal::open(fleet.journal.clone())
+                    .map_err(|err| CoreError::Fleet(format!("journal open: {err}")))?;
+                // The ring's sequence numbering starts at 0 for every
+                // launch; a journal carried over from a previous run would
+                // be numbered past that, silently misaligning every
+                // joiner's replay→ring handover.  Refuse it outright.
+                if journal.tail_sequence() != 0 {
+                    return Err(CoreError::Fleet(format!(
+                        "journal directory {} already holds {} events from a previous \
+                         run; the ring numbers events from 0, so each launch needs a \
+                         fresh (or emptied) journal directory",
+                        fleet.journal.dir.display(),
+                        journal.tail_sequence(),
+                    )));
+                }
+                Some(Arc::new(journal))
+            }
+            None => None,
+        };
         let pool = Arc::new(PoolAllocator::new(config.pool.clone()));
         let rules = Arc::new(config.rules.clone());
         let sampler = Arc::new(LogDistanceSampler::new(config.log_distance_sample_every));
@@ -253,12 +294,11 @@ impl NvxSystem {
         {
             let mut links = followers.write();
             for context in contexts.iter().skip(1) {
-                links.push(FollowerLink {
-                    index: context.index,
-                    pid: context.pid,
-                    channel: context.channel.clone(),
-                    alive: Arc::new(AtomicBool::new(true)),
-                });
+                links.push(FollowerLink::for_version(
+                    context.index,
+                    context.pid,
+                    context.channel.clone(),
+                ));
             }
         }
 
@@ -283,6 +323,7 @@ impl NvxSystem {
                     Arc::clone(&followers),
                     config.monitor_costs.clone(),
                     Arc::clone(&sampler),
+                    journal.clone(),
                 );
                 Box::new(LeaderMonitor::new(core, context.clone()))
             } else {
@@ -295,6 +336,7 @@ impl NvxSystem {
                     Arc::clone(&followers),
                     config.monitor_costs.clone(),
                     Arc::clone(&sampler),
+                    journal.clone(),
                 );
                 Box::new(FollowerMonitor::new(
                     kernel.clone(),
@@ -337,9 +379,36 @@ impl NvxSystem {
         }
         drop(events_tx);
 
+        // The elastic-fleet control plane, when enabled.  It owns the zygote
+        // (runtime joins need the spawner alive for the whole run); without
+        // a fleet the zygote is dropped here exactly as before.
+        let current_leader = Arc::new(AtomicUsize::new(0));
+        let preferred_successor: Arc<Mutex<Option<usize>>> = Arc::new(Mutex::new(None));
+        let fleet = match (&config.fleet, journal) {
+            (Some(fleet_config), Some(journal)) => Some(FleetController::new(
+                kernel.clone(),
+                zygote,
+                Arc::clone(&rings),
+                Arc::clone(&pool),
+                Arc::clone(&followers),
+                journal,
+                contexts.clone(),
+                Arc::clone(&current_leader),
+                Arc::clone(&preferred_successor),
+                spare_pool,
+                fleet_config.record_stream,
+            )),
+            _ => None,
+        };
+        let auto_rearm = config.fleet.as_ref().map(|f| f.auto_rearm).unwrap_or(false);
+
         // The coordinator's control loop: crash handling and leader election.
         let control_followers = Arc::clone(&followers);
         let control_contexts = contexts.clone();
+        let control_rings = Arc::clone(&rings);
+        let control_leader = Arc::clone(&current_leader);
+        let control_preferred = Arc::clone(&preferred_successor);
+        let control_fleet = fleet.clone();
         let version_count = version_threads.len();
         let control_thread = std::thread::Builder::new()
             .name("varan-coordinator".into())
@@ -348,7 +417,6 @@ impl NvxSystem {
                     exits: vec![None; version_count],
                     ..ControlSummary::default()
                 };
-                let mut current_leader = 0usize;
                 let mut received = 0usize;
                 while received < version_count {
                     let event = match events_rx.recv() {
@@ -371,21 +439,28 @@ impl NvxSystem {
                     if !is_failure {
                         continue;
                     }
-                    if index == current_leader {
-                        // Leader crash: promote the live follower with the
-                        // smallest internal identifier (§5.1).
-                        let links = control_followers.read();
-                        let candidate = links
-                            .iter()
-                            .filter(|link| link.is_alive())
-                            .map(|link| link.index)
-                            .filter(|&candidate| {
-                                !control_contexts[candidate]
-                                    .killed
-                                    .load(std::sync::atomic::Ordering::Acquire)
-                            })
-                            .min();
+                    if index == control_leader.load(Ordering::Acquire) {
+                        // Leader crash: promote the most-caught-up live
+                        // follower (§5.1); followers still catching up from
+                        // the journal are skipped, and an explicit
+                        // `FleetController::promote` hint wins when eligible.
+                        let preferred = control_preferred.lock().take();
+                        let candidate = {
+                            let links = control_followers.read();
+                            select_promotion_candidate(
+                                &links,
+                                |index| {
+                                    control_contexts
+                                        .get(index)
+                                        .map(|context| context.is_killed())
+                                        .unwrap_or(true)
+                                },
+                                |link| control_rings.max_backlog(link.slot),
+                                preferred,
+                            )
+                        };
                         if let Some(next_leader) = candidate {
+                            let links = control_followers.read();
                             for link in links.iter() {
                                 if link.index == next_leader {
                                     link.discard();
@@ -395,19 +470,29 @@ impl NvxSystem {
                             control_contexts[next_leader]
                                 .promoted
                                 .store(true, std::sync::atomic::Ordering::Release);
-                            current_leader = next_leader;
+                            control_leader.store(next_leader, Ordering::Release);
                             summary.promotions += 1;
                         }
                     } else {
                         // Follower crash or kill: unsubscribe and discard it.
-                        let links = control_followers.read();
-                        for link in links.iter() {
-                            if link.index == index {
-                                link.discard();
-                                link.channel.send(ChannelMessage::Discard);
+                        {
+                            let links = control_followers.read();
+                            for link in links.iter() {
+                                if link.index == index {
+                                    link.discard();
+                                    link.channel.send(ChannelMessage::Discard);
+                                }
                             }
                         }
                         summary.discarded += 1;
+                        // Re-arm the lost follower from a spare: stream
+                        // redundancy is restored instead of degrading
+                        // monotonically.
+                        if auto_rearm {
+                            if let Some(fleet) = &control_fleet {
+                                let _ = fleet.rearm(index);
+                            }
+                        }
                     }
                 }
                 summary
@@ -420,12 +505,48 @@ impl NvxSystem {
             counters,
             rings,
             sampler,
+            fleet,
             started: Instant::now(),
         })
     }
 }
 
+/// Picks the follower to promote after a leader crash: among the live,
+/// promotable, **not catching-up** and not-killed followers, the one with
+/// the smallest ring backlog (most caught up), breaking ties by smallest
+/// version index.  An explicit `preferred` candidate wins if (and only if)
+/// it is eligible itself.
+pub(crate) fn select_promotion_candidate(
+    links: &[FollowerLink],
+    is_killed: impl Fn(usize) -> bool,
+    backlog_of: impl Fn(&FollowerLink) -> u64,
+    preferred: Option<usize>,
+) -> Option<usize> {
+    let eligible = |link: &&FollowerLink| {
+        link.is_alive() && link.promotable && !link.is_catching_up() && !is_killed(link.index)
+    };
+    if let Some(want) = preferred {
+        if links.iter().filter(eligible).any(|link| link.index == want) {
+            return Some(want);
+        }
+    }
+    links
+        .iter()
+        .filter(eligible)
+        .map(|link| (backlog_of(link), link.index))
+        .min()
+        .map(|(_, index)| index)
+}
+
 impl RunningNvx {
+    /// The elastic-fleet control plane, when the execution was launched
+    /// with [`NvxConfig::fleet`].  Clone the controller to keep issuing
+    /// attach/detach commands while (and after) [`RunningNvx::wait`] runs.
+    #[must_use]
+    pub fn fleet(&self) -> Option<FleetController> {
+        self.fleet.clone()
+    }
+
     /// Waits for every version to finish and assembles the execution report.
     #[must_use]
     pub fn wait(self) -> NvxReport {
@@ -436,6 +557,10 @@ impl RunningNvx {
             .control_thread
             .join()
             .unwrap_or_else(|_| ControlSummary::default());
+        // Versions and coordinator are done: stop the fleet's observers.
+        if let Some(fleet) = &self.fleet {
+            fleet.shutdown();
+        }
         NvxReport {
             versions: self
                 .counters
@@ -569,6 +694,10 @@ mod tests {
 
     #[test]
     fn leader_crash_promotes_the_first_follower() {
+        // "First" among equals: with both followers equally caught up the
+        // most-caught-up rule tie-breaks by smallest index, so this is the
+        // historical §5.1 behaviour; when backlogs differ the promoted
+        // follower may be the other one, hence the behavioural assertions.
         let kernel = Kernel::new();
         let mut crashing = MixProgram::new("buggy-leader", 30);
         crashing.crash_at = Some(10);
@@ -582,10 +711,69 @@ mod tests {
         assert!(report.exits[0].as_deref().unwrap().starts_with("crashed"));
         assert!(report.exits[1].as_deref().unwrap().starts_with("exited"));
         assert!(report.exits[2].as_deref().unwrap().starts_with("exited"));
-        // The promoted follower restarted the interrupted call and went on to
-        // execute real kernel work.
-        assert!(report.versions[1].restarts >= 1);
-        assert!(report.versions[1].cycles > report.versions[2].cycles);
+        // The promoted follower restarted the interrupted call and went on
+        // to execute real kernel work; the other follower replayed only.
+        let promoted = (1..3)
+            .find(|&i| report.versions[i].restarts >= 1)
+            .expect("one follower was promoted and restarted the call");
+        let other = 3 - promoted;
+        assert!(report.versions[promoted].cycles > report.versions[other].cycles);
+    }
+
+    fn synthetic_link(index: usize, catching_up: bool, promotable: bool) -> FollowerLink {
+        let link = FollowerLink::for_version(index, index as Pid, DataChannel::new(index as Pid));
+        link.catching_up
+            .store(catching_up, std::sync::atomic::Ordering::Release);
+        FollowerLink { promotable, ..link }
+    }
+
+    #[test]
+    fn promotion_skips_followers_still_catching_up_from_the_journal() {
+        // Follower 1 is mid-catch-up (small backlog, but its stream position
+        // is still coming from the journal); follower 2 is live with a
+        // larger backlog.  The live follower must win.
+        let links = vec![synthetic_link(1, true, true), synthetic_link(2, false, true)];
+        let backlogs = |link: &FollowerLink| if link.index == 1 { 0 } else { 40 };
+        let candidate = select_promotion_candidate(&links, |_| false, backlogs, None);
+        assert_eq!(candidate, Some(2));
+        // With nobody catching up, the most-caught-up follower wins instead.
+        let links = vec![synthetic_link(1, false, true), synthetic_link(2, false, true)];
+        let candidate = select_promotion_candidate(&links, |_| false, backlogs, None);
+        assert_eq!(candidate, Some(1));
+    }
+
+    #[test]
+    fn promotion_prefers_most_caught_up_and_respects_eligible_hints() {
+        let links = vec![
+            synthetic_link(1, false, true),
+            synthetic_link(2, false, true),
+            synthetic_link(3, false, false), // observer joiner: never promotable
+        ];
+        let backlogs = |link: &FollowerLink| match link.index {
+            1 => 12,
+            2 => 3,
+            _ => 0,
+        };
+        // Smallest backlog wins; the non-promotable joiner (backlog 0) never does.
+        assert_eq!(
+            select_promotion_candidate(&links, |_| false, backlogs, None),
+            Some(2)
+        );
+        // An eligible explicit hint overrides the backlog ranking.
+        assert_eq!(
+            select_promotion_candidate(&links, |_| false, backlogs, Some(1)),
+            Some(1)
+        );
+        // An ineligible hint (the observer) falls back to the ranking.
+        assert_eq!(
+            select_promotion_candidate(&links, |_| false, backlogs, Some(3)),
+            Some(2)
+        );
+        // Killed followers are skipped entirely.
+        assert_eq!(
+            select_promotion_candidate(&links, |index| index == 2, backlogs, None),
+            Some(1)
+        );
     }
 
     #[test]
@@ -643,6 +831,122 @@ mod tests {
         assert!(report.all_clean(), "exits: {:?}", report.exits);
         assert_eq!(report.versions[1].divergences_killed, 0);
         assert_eq!(report.versions[1].divergences_allowed, 10);
+    }
+
+    fn fleet_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "varan-fleet-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fleet_attach_mid_run_catches_up_and_goes_live() {
+        let kernel = Kernel::new();
+        let dir = fleet_dir("attach");
+        let config = NvxConfig::default().with_fleet(
+            crate::fleet::FleetConfig::new(&dir)
+                .with_spares(2)
+                .with_auto_rearm(false)
+                .with_record_stream(true),
+        );
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 1500)),
+            Box::new(MixProgram::new("follower", 1500)),
+        ];
+        let running = NvxSystem::launch(&kernel, versions, config).unwrap();
+        let fleet = running.fleet().expect("fleet enabled");
+        // Let the run build up a journal backlog, then join mid-flight.
+        while fleet.journal().tail_sequence() < 200 {
+            std::thread::yield_now();
+        }
+        let member = fleet.attach("mid-run-observer").unwrap();
+        assert!(
+            member.wait_live(std::time::Duration::from_secs(20)),
+            "joiner failed to go live: {:?}",
+            member.failure()
+        );
+        assert!(member.start_sequence >= 200, "attached mid-run");
+        let report = running.wait();
+        assert!(report.all_clean(), "exits: {:?}", report.exits);
+        // Sequence-for-sequence: the joiner observed exactly the events from
+        // its checkpoint boundary to the end of the stream.
+        assert_eq!(
+            member.events_observed(),
+            report.events_published - member.start_sequence
+        );
+        let stream = member.stream();
+        assert_eq!(stream.first().map(|r| r.seq), Some(member.start_sequence));
+        assert_eq!(
+            stream.last().map(|r| r.seq),
+            Some(report.events_published - 1)
+        );
+        // Contiguous, strictly ordered.
+        for (offset, record) in stream.iter().enumerate() {
+            assert_eq!(record.seq, member.start_sequence + offset as u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_follower_is_rearmed_from_a_spare() {
+        let kernel = Kernel::new();
+        let dir = fleet_dir("rearm");
+        let config = NvxConfig::default().with_fleet(
+            crate::fleet::FleetConfig::new(&dir).with_spares(1).with_auto_rearm(true),
+        );
+        let mut crashing = MixProgram::new("buggy-follower", 200);
+        crashing.crash_at = Some(5);
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 200)),
+            Box::new(crashing),
+            Box::new(MixProgram::new("healthy", 200)),
+        ];
+        let running = NvxSystem::launch(&kernel, versions, config).unwrap();
+        let fleet = running.fleet().expect("fleet enabled");
+        let report = running.wait();
+        assert_eq!(report.discarded_followers, 1);
+        assert_eq!(report.promotions, 0);
+        assert_eq!(fleet.rearmed(), 1, "the lost follower was re-armed from a spare");
+        assert_eq!(fleet.members().len(), 1);
+        assert!(fleet.members()[0].name.starts_with("spare-for-"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_detach_returns_the_spare_slot() {
+        let kernel = Kernel::new();
+        let dir = fleet_dir("detach");
+        let config = NvxConfig::default().with_fleet(
+            crate::fleet::FleetConfig::new(&dir).with_spares(1).with_auto_rearm(false),
+        );
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 1200)),
+            Box::new(MixProgram::new("follower", 1200)),
+        ];
+        let running = NvxSystem::launch(&kernel, versions, config).unwrap();
+        let fleet = running.fleet().expect("fleet enabled");
+        let member = fleet.attach("to-be-detached").unwrap();
+        assert!(member.wait_live(std::time::Duration::from_secs(20)));
+        assert_eq!(fleet.available_spares(), 0);
+        // With the only slot in use, another attach is refused.
+        assert!(matches!(
+            fleet.attach("overflow"),
+            Err(CoreError::Fleet(_))
+        ));
+        assert!(fleet.detach(member.index));
+        // The member's thread hands the slot back as it retires.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while fleet.available_spares() == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(fleet.available_spares(), 1);
+        assert!(!fleet.detach(member.index), "already detached");
+        let report = running.wait();
+        assert!(report.all_clean());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

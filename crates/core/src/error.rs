@@ -35,6 +35,8 @@ pub enum CoreError {
     NoFollowerToPromote,
     /// A record-replay log could not be decoded.
     CorruptLog(String),
+    /// An elastic-fleet operation (attach, checkpoint, journal) failed.
+    Fleet(String),
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +60,7 @@ impl fmt::Display for CoreError {
                 write!(f, "leader crashed and no live follower is available to promote")
             }
             CoreError::CorruptLog(reason) => write!(f, "corrupt record-replay log: {reason}"),
+            CoreError::Fleet(reason) => write!(f, "fleet operation failed: {reason}"),
         }
     }
 }
@@ -91,6 +94,7 @@ mod tests {
             },
             CoreError::NoFollowerToPromote,
             CoreError::CorruptLog("truncated".into()),
+            CoreError::Fleet("no spare ring slot available".into()),
         ];
         for case in cases {
             assert!(!case.to_string().is_empty());

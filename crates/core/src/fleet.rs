@@ -1,0 +1,830 @@
+//! The elastic follower fleet: runtime join/leave on top of kernel
+//! checkpoints and the spill-to-disk event journal.
+//!
+//! The coordinator of the base system fixes the version set at launch: a
+//! follower that dies is discarded and nothing can ever be added back, so a
+//! long-running deployment degrades monotonically.  This module adds the
+//! control plane the paper's deployment scenarios assume — rolling a patched
+//! revision into a live service, re-arming failover spares, attaching a
+//! sanitised observer on demand (§5.2, §5.3):
+//!
+//! * [`FleetController::attach`] — joins a new follower to a *running*
+//!   execution.  The joiner restores the latest
+//!   [`varan_kernel::KernelCheckpoint`] (taken on the spot, at the journal's
+//!   current event boundary), replays the journal tail, and atomically
+//!   transitions to live ring consumption.
+//! * [`FleetController::detach`] — removes a follower, returning its ring
+//!   slot to the spare pool.
+//! * [`FleetController::promote`] — names the preferred successor for the
+//!   next leader failover.
+//! * [`FleetController::set_spares`] — bounds how many fleet members may be
+//!   attached concurrently.
+//! * Auto re-arm: when a launched follower crashes, the coordinator asks the
+//!   fleet to attach a spare observer in its place, so stream redundancy is
+//!   restored instead of lost.
+//!
+//! # The catch-up protocol
+//!
+//! A joiner must end up observing the identical event stream as a
+//! from-start follower, without ever stalling the leader.  The protocol
+//! (simplified; the leader appends every event to the journal **before**
+//! publishing it to the ring):
+//!
+//! 1. **Checkpoint.** Read the journal tail sequence `S`, then snapshot the
+//!    kernel (leader process + fs/net/signal tables).  The snapshot may
+//!    include effects of events `>= S` — harmless, because replay never
+//!    re-executes against the kernel — but can never miss an event `< S`.
+//! 2. **Restore.** Spawn a process, restore the snapshot into it (identity
+//!    descriptor translation), and only then link the joiner into the
+//!    follower set so descriptor transfers start flowing.  Descriptors
+//!    created between snapshot and link are healed lazily: a replayed
+//!    fd-creating event with no mapping triggers a kernel-side transfer.
+//! 3. **Unregistered replay.** Replay journal records from `S` in batches.
+//!    The joiner holds no gating sequence, so the leader's ring space is
+//!    never gated by this phase no matter how far behind the joiner is.
+//! 4. **Registration.** Once the replay position is within half a ring lap
+//!    of the cursor, register the gating sequence at the replay position
+//!    ([`varan_ring::Consumer::resume_at`]) and keep replaying from the
+//!    journal, advancing the gate per batch.  From here the leader can run
+//!    at most one lap ahead — the bounded hand-off window.
+//! 5. **Live.** When the journal has no records past the replay position,
+//!    every remaining event is (or will be published) in the ring at or
+//!    above the gate; switch to batched ring consumption.  The member's
+//!    `catching_up` flag clears, making it eligible for the failover logic.
+//!
+//! Retention of the journal is anchored at the oldest checkpoint still
+//! being restored from ([`varan_ring::EventJournal::set_anchor`]); once no
+//! attach is in flight the anchor follows the tail.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use varan_kernel::process::Pid;
+use varan_kernel::{Kernel, Sysno};
+use varan_ring::{Consumer, Event, EventJournal, JournalConfig, JournalRecord, PoolAllocator};
+
+use crate::channel::DataChannel;
+use crate::context::{FollowerLink, RingSet, SharedFollowers, VersionContext};
+use crate::coordinator::Zygote;
+use crate::error::CoreError;
+
+/// How often a joiner re-checks its stop flag while idle.
+const JOINER_POLL: Duration = Duration::from_millis(2);
+
+/// Journal records replayed per batch during catch-up.
+const REPLAY_BATCH: usize = 1024;
+
+/// Configuration of the elastic fleet, enabling runtime join/leave when set
+/// on [`crate::coordinator::NvxConfig::fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Where (and how) the spill journal persists the event stream.
+    pub journal: JournalConfig,
+    /// Spare ring consumer slots provisioned at launch — the maximum number
+    /// of concurrently attached fleet members.
+    pub spares: usize,
+    /// Re-arm a crashed launched follower by attaching a spare observer.
+    pub auto_rearm: bool,
+    /// Record the full observed stream per member (`seq`, `sysno`, `result`,
+    /// `clock` per event) — used by convergence tests; the rolling digest is
+    /// always kept.
+    pub record_stream: bool,
+}
+
+impl FleetConfig {
+    /// A fleet journaling under `dir` with two spare slots.
+    #[must_use]
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        FleetConfig {
+            journal: JournalConfig::new(dir),
+            spares: 2,
+            auto_rearm: true,
+            record_stream: false,
+        }
+    }
+
+    /// Sets the number of spare consumer slots.
+    #[must_use]
+    pub fn with_spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Enables or disables automatic re-arm of crashed followers.
+    #[must_use]
+    pub fn with_auto_rearm(mut self, auto_rearm: bool) -> Self {
+        self.auto_rearm = auto_rearm;
+        self
+    }
+
+    /// Enables full stream recording on every member.
+    #[must_use]
+    pub fn with_record_stream(mut self, record: bool) -> Self {
+        self.record_stream = record;
+        self
+    }
+}
+
+/// One event as observed by a fleet member, for stream-convergence checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRecord {
+    /// Event sequence number (journal == ring numbering).
+    pub seq: u64,
+    /// System call (or signal) number.
+    pub sysno: u16,
+    /// Result the leader observed.
+    pub result: i64,
+    /// Lamport timestamp.
+    pub clock: u64,
+}
+
+/// Why a fleet member stopped, when it did not stop cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberFailure(pub String);
+
+/// Everything a freshly spawned joiner thread needs; sent over the
+/// bootstrap channel once the member is fully registered.
+struct JoinerBootstrap {
+    member: Arc<FleetMember>,
+    consumer: Consumer<Event>,
+    channel: DataChannel,
+    fd_map: HashMap<i64, i32>,
+    attach_started: Instant,
+}
+
+/// A follower attached at runtime.  Handles are shared between the caller,
+/// the controller and the member's own thread.
+#[derive(Debug)]
+pub struct FleetMember {
+    /// Version index assigned to this member (past the launched versions).
+    pub index: usize,
+    /// Name the member's virtual process runs under.
+    pub name: String,
+    /// The member's virtual process.
+    pub pid: Pid,
+    /// Event sequence of the checkpoint this member restored — the first
+    /// event it observed.
+    pub start_sequence: u64,
+    catching_up: Arc<AtomicBool>,
+    alive: Arc<AtomicBool>,
+    stop: AtomicBool,
+    live: AtomicBool,
+    catch_up_nanos: AtomicU64,
+    events_observed: AtomicU64,
+    digest: AtomicU64,
+    stream: Mutex<Vec<StreamRecord>>,
+    failure: Mutex<Option<MemberFailure>>,
+}
+
+impl FleetMember {
+    /// Returns `true` while the member is replaying the journal.
+    #[must_use]
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` once the member consumes the live ring.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` while the member participates in the follower set.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Number of events observed so far (journal + ring).
+    #[must_use]
+    pub fn events_observed(&self) -> u64 {
+        self.events_observed.load(Ordering::Relaxed)
+    }
+
+    /// Rolling FNV-1a digest over every observed `(seq, sysno, result,
+    /// clock, payload length)` tuple; two members that observed the same
+    /// stream have the same digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.load(Ordering::Acquire)
+    }
+
+    /// The observed stream (empty unless [`FleetConfig::record_stream`]).
+    #[must_use]
+    pub fn stream(&self) -> Vec<StreamRecord> {
+        self.stream.lock().clone()
+    }
+
+    /// Time from attach to live ring consumption, once live.
+    #[must_use]
+    pub fn catch_up_latency(&self) -> Option<Duration> {
+        if self.is_live() {
+            Some(Duration::from_nanos(self.catch_up_nanos.load(Ordering::Acquire)))
+        } else {
+            None
+        }
+    }
+
+    /// The failure that stopped this member, if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<MemberFailure> {
+        self.failure.lock().clone()
+    }
+
+    /// Blocks until the member reaches live consumption (or fails/stops),
+    /// up to `timeout`.  Returns `true` if it went live.
+    #[must_use]
+    pub fn wait_live(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_live() {
+                return true;
+            }
+            if self.failure().is_some() || !self.is_alive() {
+                return false;
+            }
+            std::thread::sleep(JOINER_POLL);
+        }
+        self.is_live()
+    }
+
+    fn observe(
+        &self,
+        seq: u64,
+        sysno: u16,
+        result: i64,
+        clock: u64,
+        payload_len: u64,
+        record_stream: bool,
+    ) {
+        // FNV-1a folded over the tuple's little-endian bytes.
+        let mut hash = self.digest.load(Ordering::Relaxed);
+        if hash == 0 {
+            hash = 0xcbf2_9ce4_8422_2325;
+        }
+        for chunk in [seq, u64::from(sysno), result as u64, clock, payload_len] {
+            for byte in chunk.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        self.digest.store(hash, Ordering::Release);
+        self.events_observed.fetch_add(1, Ordering::Relaxed);
+        if record_stream {
+            self.stream.lock().push(StreamRecord {
+                seq,
+                sysno,
+                result,
+                clock,
+            });
+        }
+    }
+
+    fn fail(&self, reason: String) {
+        *self.failure.lock() = Some(MemberFailure(reason));
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+struct FleetInner {
+    kernel: Kernel,
+    zygote: Zygote,
+    rings: Arc<RingSet>,
+    pool: Arc<PoolAllocator>,
+    followers: SharedFollowers,
+    journal: Arc<EventJournal>,
+    contexts: Vec<VersionContext>,
+    current_leader: Arc<AtomicUsize>,
+    record_stream: bool,
+    /// Retired main-ring consumer handles available to joiners.
+    spares: Mutex<Vec<Consumer<Event>>>,
+    /// Soft cap on concurrently attached members ([`FleetController::set_spares`]).
+    max_members: AtomicUsize,
+    members: Mutex<Vec<Arc<FleetMember>>>,
+    joiners: Mutex<Vec<JoinHandle<()>>>,
+    next_index: AtomicUsize,
+    /// Checkpoint sequences with a restore in flight; the journal anchor is
+    /// their minimum (or the tail when none).
+    restoring: Mutex<Vec<u64>>,
+    preferred_successor: Arc<Mutex<Option<usize>>>,
+    rearms: AtomicU64,
+}
+
+impl std::fmt::Debug for FleetInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetInner")
+            .field("members", &self.members.lock().len())
+            .field("spares", &self.spares.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Control plane of the elastic fleet; cheap to clone.
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    inner: Arc<FleetInner>,
+}
+
+impl FleetController {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        kernel: Kernel,
+        zygote: Zygote,
+        rings: Arc<RingSet>,
+        pool: Arc<PoolAllocator>,
+        followers: SharedFollowers,
+        journal: Arc<EventJournal>,
+        contexts: Vec<VersionContext>,
+        current_leader: Arc<AtomicUsize>,
+        preferred_successor: Arc<Mutex<Option<usize>>>,
+        spares: Vec<Consumer<Event>>,
+        record_stream: bool,
+    ) -> Self {
+        let version_count = contexts.len();
+        let max_members = spares.len();
+        FleetController {
+            inner: Arc::new(FleetInner {
+                kernel,
+                zygote,
+                rings,
+                pool,
+                followers,
+                journal,
+                contexts,
+                current_leader,
+                record_stream,
+                spares: Mutex::new(spares),
+                max_members: AtomicUsize::new(max_members),
+                members: Mutex::new(Vec::new()),
+                joiners: Mutex::new(Vec::new()),
+                next_index: AtomicUsize::new(version_count),
+                restoring: Mutex::new(Vec::new()),
+                preferred_successor,
+                rearms: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The spill journal backing this fleet.
+    #[must_use]
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.inner.journal
+    }
+
+    /// Every member ever attached (including detached ones).
+    #[must_use]
+    pub fn members(&self) -> Vec<Arc<FleetMember>> {
+        self.inner.members.lock().clone()
+    }
+
+    /// Number of currently attached (alive) members.
+    #[must_use]
+    pub fn active_members(&self) -> usize {
+        self.inner
+            .members
+            .lock()
+            .iter()
+            .filter(|member| member.is_alive())
+            .count()
+    }
+
+    /// Number of spare slots currently available for attaching.
+    #[must_use]
+    pub fn available_spares(&self) -> usize {
+        self.inner.spares.lock().len()
+    }
+
+    /// How many followers were automatically re-armed after crashes.
+    #[must_use]
+    pub fn rearmed(&self) -> u64 {
+        self.inner.rearms.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the number of concurrently attached members to `n` (cannot
+    /// exceed the spare slots provisioned at launch); returns the effective
+    /// cap.
+    pub fn set_spares(&self, n: usize) -> usize {
+        let provisioned =
+            self.inner.spares.lock().len() + self.active_members();
+        let cap = n.min(provisioned);
+        self.inner.max_members.store(cap, Ordering::Release);
+        cap
+    }
+
+    /// Names the preferred successor for the next leader failover.  The
+    /// coordinator still requires the candidate to be alive, promotable and
+    /// caught up at crash time; otherwise it falls back to the
+    /// most-caught-up live follower.
+    pub fn promote(&self, index: usize) {
+        *self.inner.preferred_successor.lock() = Some(index);
+    }
+
+    /// Attaches a new follower to the running execution and returns its
+    /// member handle immediately; catch-up proceeds on the member's thread
+    /// (use [`FleetMember::wait_live`] to await the transition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Fleet`] when no spare slot is available, the
+    /// member cap is reached, or checkpoint/restore fails.
+    pub fn attach(&self, name: &str) -> Result<Arc<FleetMember>, CoreError> {
+        let inner = &self.inner;
+        if self.active_members() >= inner.max_members.load(Ordering::Acquire) {
+            return Err(CoreError::Fleet(format!(
+                "member cap {} reached",
+                inner.max_members.load(Ordering::Acquire)
+            )));
+        }
+        // Claim the ring slot first: it is the cheap, contended resource,
+        // and holding it up front means a lost attach race can never leak
+        // the more expensive state (a spawned process, a follower link).
+        let consumer = inner
+            .spares
+            .lock()
+            .pop()
+            .ok_or_else(|| CoreError::Fleet("no spare ring slot available".into()))?;
+
+        // 1. Checkpoint at the current event boundary.  The sequence is read
+        //    *before* the kernel snapshot and registered as a retention
+        //    anchor before any snapshotting, so the journal cannot retire
+        //    the records this restore will replay.
+        let sequence = {
+            let mut restoring = inner.restoring.lock();
+            let sequence = inner.journal.tail_sequence();
+            restoring.push(sequence);
+            sequence
+        };
+        let attach_started = Instant::now();
+        let result = self.attach_inner(name, sequence, attach_started, consumer);
+        if result.is_err() {
+            self.finish_restore(sequence);
+        }
+        result
+    }
+
+    fn attach_inner(
+        &self,
+        name: &str,
+        sequence: u64,
+        attach_started: Instant,
+        consumer: Consumer<Event>,
+    ) -> Result<Arc<FleetMember>, CoreError> {
+        let inner = &self.inner;
+        let leader_index = inner.current_leader.load(Ordering::Acquire);
+        let leader_pid = inner.contexts[leader_index].pid;
+        let mut checkpoint = match inner.kernel.checkpoint(leader_pid, sequence, &HashMap::new())
+        {
+            Ok(checkpoint) => checkpoint,
+            Err(errno) => {
+                inner.spares.lock().push(consumer);
+                return Err(CoreError::Fleet(format!("checkpoint failed: {errno:?}")));
+            }
+        };
+        // The leader translates descriptors to itself by identity; record
+        // that as the checkpointed version's translation map.
+        checkpoint.fd_translation = checkpoint
+            .process
+            .fds
+            .iter()
+            .map(|fd| (i64::from(fd.fd), fd.fd))
+            .collect();
+
+        // 2. Restore into a fresh process, then link it into the follower
+        //    set (restore-before-link: a descriptor transferred while the
+        //    link exists can never be clobbered by the restore).
+        let pid = inner.zygote.spawn(name);
+        let fd_map = match inner.kernel.restore_process(&checkpoint, pid) {
+            Ok(fd_map) => fd_map,
+            Err(errno) => {
+                inner.kernel.processes_lock().remove(pid);
+                inner.spares.lock().push(consumer);
+                return Err(CoreError::Fleet(format!("restore failed: {errno:?}")));
+            }
+        };
+
+        // 3. Spawn the member's thread *before* publishing any link/member
+        //    state; it parks on a bootstrap channel, so a thread-spawn
+        //    failure unwinds to nothing (slot returned, process removed,
+        //    no half-registered follower).
+        let index = inner.next_index.fetch_add(1, Ordering::Relaxed);
+        let (boot_tx, boot_rx) = std::sync::mpsc::channel::<JoinerBootstrap>();
+        let controller = self.clone();
+        let handle = match std::thread::Builder::new()
+            .name(format!("varan-joiner-{index}"))
+            .spawn(move || {
+                if let Ok(boot) = boot_rx.recv() {
+                    controller.run_joiner(
+                        boot.member,
+                        boot.consumer,
+                        boot.channel,
+                        boot.fd_map,
+                        boot.attach_started,
+                    );
+                }
+            }) {
+            Ok(handle) => handle,
+            Err(err) => {
+                inner.kernel.processes_lock().remove(pid);
+                inner.spares.lock().push(consumer);
+                return Err(CoreError::Fleet(format!("spawn joiner thread: {err}")));
+            }
+        };
+
+        let channel = DataChannel::new(pid);
+        let catching_up = Arc::new(AtomicBool::new(true));
+        let alive = Arc::new(AtomicBool::new(true));
+        let link = FollowerLink {
+            index,
+            pid,
+            channel: channel.clone(),
+            alive: Arc::clone(&alive),
+            slot: consumer.index(),
+            catching_up: Arc::clone(&catching_up),
+            promotable: false,
+        };
+        inner.followers.write().push(link);
+
+        let member = Arc::new(FleetMember {
+            index,
+            name: name.to_owned(),
+            pid,
+            start_sequence: sequence,
+            catching_up,
+            alive,
+            stop: AtomicBool::new(false),
+            live: AtomicBool::new(false),
+            catch_up_nanos: AtomicU64::new(0),
+            events_observed: AtomicU64::new(0),
+            digest: AtomicU64::new(0),
+            stream: Mutex::new(Vec::new()),
+            failure: Mutex::new(None),
+        });
+        inner.members.lock().push(Arc::clone(&member));
+        inner.joiners.lock().push(handle);
+
+        // 4–5. Hand the parked thread its state; catch-up proceeds there.
+        boot_tx
+            .send(JoinerBootstrap {
+                member: Arc::clone(&member),
+                consumer,
+                channel,
+                fd_map,
+                attach_started,
+            })
+            .expect("joiner thread is parked on the bootstrap channel");
+        Ok(member)
+    }
+
+    /// Detaches member `index`: its thread unsubscribes from the ring and
+    /// returns the slot to the spare pool.  Returns `false` for an unknown
+    /// or already-detached member.
+    pub fn detach(&self, index: usize) -> bool {
+        let members = self.inner.members.lock();
+        let Some(member) = members.iter().find(|member| member.index == index) else {
+            return false;
+        };
+        if !member.is_alive() {
+            return false;
+        }
+        member.stop.store(true, Ordering::Release);
+        self.discard_link(index);
+        true
+    }
+
+    /// Re-arms a crashed launched follower by attaching a spare observer in
+    /// its place (called by the coordinator's control loop).
+    pub(crate) fn rearm(&self, crashed_index: usize) -> Option<Arc<FleetMember>> {
+        match self.attach(&format!("spare-for-{crashed_index}")) {
+            Ok(member) => {
+                self.inner.rearms.fetch_add(1, Ordering::Relaxed);
+                Some(member)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Stops every member and joins their threads.  Called by
+    /// [`crate::coordinator::RunningNvx::wait`] once the versions finished.
+    pub fn shutdown(&self) {
+        for member in self.inner.members.lock().iter() {
+            member.stop.store(true, Ordering::Release);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.joiners.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn discard_link(&self, index: usize) {
+        let followers = self.inner.followers.read();
+        for link in followers.iter() {
+            if link.index == index {
+                link.discard();
+            }
+        }
+    }
+
+    fn finish_restore(&self, sequence: u64) {
+        let inner = &self.inner;
+        let mut restoring = inner.restoring.lock();
+        if let Some(at) = restoring.iter().position(|&seq| seq == sequence) {
+            restoring.swap_remove(at);
+        }
+        let anchor = restoring
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or_else(|| inner.journal.tail_sequence());
+        inner.journal.set_anchor(anchor);
+    }
+
+    /// The member's thread: journal replay, registration, live consumption.
+    fn run_joiner(
+        &self,
+        member: Arc<FleetMember>,
+        mut consumer: Consumer<Event>,
+        channel: DataChannel,
+        mut fd_map: HashMap<i64, i32>,
+        attach_started: Instant,
+    ) {
+        let inner = &self.inner;
+        let ring = Arc::clone(inner.rings.ring(0));
+        let capacity = ring.capacity() as u64;
+        let mut pos = member.start_sequence;
+        let mut registered = false;
+        let record_stream = inner.record_stream;
+
+        // Phases 3 and 4: replay the journal, register within half a lap.
+        loop {
+            if member.stop.load(Ordering::Acquire) || !member.is_alive() {
+                self.retire(member, consumer);
+                return;
+            }
+            let (start, records) = match inner.journal.read_from(pos, REPLAY_BATCH) {
+                Ok(read) => read,
+                Err(err) => {
+                    member.fail(format!("journal read at {pos}: {err}"));
+                    self.retire(member, consumer);
+                    return;
+                }
+            };
+            if !records.is_empty() && start != pos {
+                member.fail(format!(
+                    "journal gap: wanted sequence {pos}, oldest retained is {start}"
+                ));
+                self.retire(member, consumer);
+                return;
+            }
+            if records.is_empty() {
+                if registered {
+                    break; // tail reached while gating: hand over to the ring
+                }
+                // Nothing to replay and not yet registered: the distance is
+                // zero, so register immediately.
+                consumer.resume_at(pos);
+                registered = true;
+                continue;
+            }
+            self.drain_fd_channel(&channel, &mut fd_map);
+            for record in &records {
+                self.observe_record(&member, pos, record, &mut fd_map, record_stream);
+                pos += 1;
+            }
+            if registered {
+                consumer.resume_at(pos);
+            } else if ring.published().saturating_sub(pos) < capacity / 2 {
+                consumer.resume_at(pos);
+                registered = true;
+            }
+        }
+
+        // Phase 5: live ring consumption.
+        member.catching_up.store(false, Ordering::Release);
+        member
+            .catch_up_nanos
+            .store(attach_started.elapsed().as_nanos() as u64, Ordering::Release);
+        member.live.store(true, Ordering::Release);
+        self.finish_restore(member.start_sequence);
+
+        let mut batch: Vec<Event> = Vec::new();
+        loop {
+            // A detached (or failed) member leaves immediately; a stopping
+            // one (`shutdown`, issued once the versions have finished)
+            // drains the ring tail first so its observed stream is complete.
+            if !member.is_alive() {
+                break;
+            }
+            batch.clear();
+            let taken = consumer.peek_batch(&mut batch, usize::MAX);
+            if taken == 0 {
+                if member.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                consumer.wait_for_published(JOINER_POLL);
+                continue;
+            }
+            self.drain_fd_channel(&channel, &mut fd_map);
+            for event in batch.iter().take(taken) {
+                // Payloads must be hashed while the slot is still gated —
+                // after `advance` the leader may recycle the pool region.
+                let payload_len = u64::from(event.shared().len());
+                member.observe(
+                    pos,
+                    event.sysno(),
+                    event.result(),
+                    event.clock(),
+                    payload_len,
+                    record_stream,
+                );
+                self.heal_fd_mapping(event.sysno(), event.result(), &mut fd_map, member.pid);
+                pos += 1;
+            }
+            consumer.advance(taken);
+        }
+        self.retire(member, consumer);
+    }
+
+    fn observe_record(
+        &self,
+        member: &FleetMember,
+        seq: u64,
+        record: &JournalRecord,
+        fd_map: &mut HashMap<i64, i32>,
+        record_stream: bool,
+    ) {
+        let payload_len = record.payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
+        member.observe(
+            seq,
+            record.sysno,
+            record.result,
+            record.clock,
+            payload_len,
+            record_stream,
+        );
+        self.heal_fd_mapping(record.sysno, record.result, fd_map, member.pid);
+    }
+
+    fn drain_fd_channel(&self, channel: &DataChannel, fd_map: &mut HashMap<i64, i32>) {
+        while let Some(transfer) = channel.recv_fd() {
+            fd_map.insert(i64::from(transfer.leader_fd), transfer.local_fd);
+        }
+    }
+
+    /// Installs a descriptor mapping for an fd-creating event the checkpoint
+    /// predates and no transfer covered (created between snapshot and link).
+    fn heal_fd_mapping(
+        &self,
+        sysno: u16,
+        result: i64,
+        fd_map: &mut HashMap<i64, i32>,
+        pid: Pid,
+    ) {
+        if result < 0 || fd_map.contains_key(&result) {
+            return;
+        }
+        let Some(sysno) = Sysno::from_number(sysno) else {
+            return;
+        };
+        if !sysno.creates_fd() {
+            return;
+        }
+        let leader_index = self.inner.current_leader.load(Ordering::Acquire);
+        let leader_pid = self.inner.contexts[leader_index].pid;
+        if let Ok(local) = self
+            .inner
+            .kernel
+            .transfer_fd(leader_pid, result as i32, pid)
+        {
+            fd_map.insert(result, local);
+        }
+    }
+
+    /// Final cleanup of a member's thread: leave the ring, return the slot
+    /// to the spare pool, release the member's retention anchor.
+    fn retire(&self, member: Arc<FleetMember>, mut consumer: Consumer<Event>) {
+        consumer.unsubscribe();
+        self.discard_link(member.index);
+        member.alive.store(false, Ordering::Release);
+        if !member.is_live() {
+            // Never went live: the restore anchor is still held.
+            self.finish_restore(member.start_sequence);
+        }
+        self.inner.spares.lock().push(consumer);
+    }
+}
+
+// The pool is not used directly yet (payload digests use lengths, not
+// bytes), but the handle keeps the allocator alive as long as any joiner
+// might read shared regions.
+impl FleetController {
+    /// The shared pool allocator of the execution this fleet belongs to.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PoolAllocator> {
+        &self.inner.pool
+    }
+}

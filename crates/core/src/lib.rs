@@ -22,6 +22,8 @@
 //! * [`rules`] — BPF-based system-call sequence rewrite rules (§2.3, §3.4).
 //! * [`sanitize`] — live sanitization support (§5.3).
 //! * [`record_replay`] — the persistent-log record-replay clients (§5.4).
+//! * [`fleet`] — the elastic follower fleet: runtime join/leave via kernel
+//!   checkpoints and the spill-to-disk event journal.
 //! * [`costs`], [`stats`] — the monitor cost model and execution reports.
 //!
 //! # Example: run two versions of a program in parallel
@@ -64,6 +66,7 @@ pub mod channel;
 pub mod context;
 pub mod coordinator;
 pub mod costs;
+pub mod fleet;
 pub mod monitor;
 pub mod program;
 pub mod record_replay;
@@ -77,6 +80,7 @@ mod error;
 pub use coordinator::{run_nvx, NvxConfig, NvxSystem, RunningNvx, Zygote};
 pub use costs::MonitorCosts;
 pub use error::CoreError;
+pub use fleet::{FleetConfig, FleetController, FleetMember, StreamRecord};
 pub use program::{DirectExecutor, ProgramExit, SyscallInterface, VersionProgram};
 pub use rules::{RuleAction, RuleEngine};
 pub use sanitize::{SanitizedVersion, Sanitizer};

@@ -24,7 +24,8 @@ use varan_kernel::process::Pid;
 use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
 use varan_kernel::{Errno, Kernel};
 use varan_ring::{
-    ClockOrdering, Consumer, Event, PoolAllocator, Producer, SharedPtr, SharedRegion,
+    ClockOrdering, Consumer, Event, EventJournal, JournalRecord, PoolAllocator, Producer,
+    SharedPtr, SharedRegion,
 };
 
 use crate::context::{LogDistanceSampler, RingSet, SharedFollowers, VersionContext};
@@ -65,6 +66,13 @@ pub(crate) struct LeaderCore {
     /// is guaranteed to have consumed them (the publish of event `n` implies
     /// event `n - capacity` has been consumed by all gating consumers).
     payload_window: VecDeque<(u64, SharedRegion)>,
+    /// The fleet's spill journal, when elastic membership is enabled.  Every
+    /// main-tuple event is appended here **before** it is published to the
+    /// ring: journal coverage is therefore always a superset of the
+    /// published stream, which is what makes a joiner's
+    /// journal-replay→ring handover race-free (see `varan_ring::journal`
+    /// and `Consumer::resume_at`).
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl LeaderCore {
@@ -78,8 +86,15 @@ impl LeaderCore {
         followers: SharedFollowers,
         costs: MonitorCosts,
         sampler: Arc<LogDistanceSampler>,
+        journal: Option<Arc<EventJournal>>,
     ) -> Self {
         let ring = rings.ring(tid as usize);
+        // Journal coverage must be a superset of ring 0's stream (the
+        // joiner handover depends on it), so the gate is ring *identity*,
+        // not the raw tid: with a single provisioned tuple every thread's
+        // publishes clamp to ring 0 and must all be spilled.
+        let feeds_main_ring = (tid as usize).min(rings.tuples().saturating_sub(1)) == 0;
+        let journal = if feeds_main_ring { journal } else { None };
         LeaderCore {
             kernel,
             pid,
@@ -92,6 +107,7 @@ impl LeaderCore {
             costs,
             sampler,
             payload_window: VecDeque::new(),
+            journal,
         }
     }
 
@@ -131,12 +147,34 @@ impl LeaderCore {
         };
         let shared_ptr = shared.map(|region| region.ptr()).unwrap_or(SharedPtr::NULL);
 
-        // 3. Publish the event, stamped with the variant clock.
+        // 3. Publish the event, stamped with the variant clock.  With the
+        //    fleet enabled the event is spilled to the journal *first*:
+        //    anything visible in the ring is then guaranteed to be readable
+        //    from the journal too, so a joining follower that switches from
+        //    journal replay to ring consumption can never fall into a gap.
         let timestamp = clock.tick();
         let event = Event::syscall(request.sysno.number(), &request.args, outcome.result)
             .with_tid(self.tid)
             .with_clock(timestamp)
             .with_shared(shared_ptr);
+        if let Some(journal) = &self.journal {
+            // The journal record mirrors what the *ring* event advertises:
+            // when the pool was exhausted the event carries no payload
+            // handle, so the journal must not carry the payload either —
+            // otherwise a journal-replaying joiner and a live follower
+            // would disagree about the very same event.
+            let payload = if event.has_payload() {
+                outcome.data.clone()
+            } else {
+                None
+            };
+            let mut record = JournalRecord::from_event(&event, payload);
+            record.args = request.args;
+            // An append failure (disk full) only degrades elasticity —
+            // running followers are unaffected — so it must not take
+            // down the leader's syscall path.
+            let _ = journal.append(record);
+        }
         let sequence = self.producer.publish(event);
         if let Some(region) = shared {
             self.payload_window.push_back((sequence, region));
@@ -253,6 +291,7 @@ impl SyscallInterface for LeaderMonitor {
             Arc::clone(&self.core.followers),
             self.core.costs.clone(),
             Arc::clone(&self.core.sampler),
+            self.core.journal.clone(),
         );
         Box::new(LeaderMonitor {
             core,
@@ -655,6 +694,7 @@ impl SyscallInterface for FollowerMonitor {
             Arc::clone(&self.promoted_core.as_ref().expect("core").followers),
             self.costs.clone(),
             Arc::clone(&self.promoted_core.as_ref().expect("core").sampler),
+            self.promoted_core.as_ref().expect("core").journal.clone(),
         );
         Box::new(FollowerMonitor {
             kernel: self.kernel.clone(),

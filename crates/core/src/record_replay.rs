@@ -8,8 +8,10 @@
 //! persisted events.  This module implements that log and the two clients:
 //!
 //! * [`RecordLog`] — the persistent log: one entry per system call, with the
-//!   arguments, result and any payload, plus a compact binary encoding and
-//!   file save/load helpers.
+//!   arguments, result and any payload.  Its on-disk form is a journal
+//!   segment of `varan_ring::journal` (the same format the leader spills for
+//!   late-joining followers), so there is a single event encoding across
+//!   record-replay and the elastic fleet.
 //! * [`Recorder`] — wraps any [`SyscallInterface`] and appends every call to
 //!   a log while forwarding it (the record-phase client).
 //! * [`Replayer`] — serves system calls *from* a log without executing them
@@ -21,6 +23,8 @@ use std::path::Path;
 
 use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
 use varan_kernel::{Errno, Sysno};
+use varan_ring::journal::{decode_segment, encode_segment, JournalRecord};
+use varan_ring::EventKind;
 
 use crate::error::CoreError;
 use crate::program::SyscallInterface;
@@ -39,13 +43,39 @@ pub struct LogEntry {
 }
 
 /// A persistent event log.
+///
+/// Since the elastic-fleet work there is **one** on-disk event format: a
+/// saved record-replay log *is* a journal segment (first sequence 0) in the
+/// encoding of [`varan_ring::journal`] — the same frames the leader spills
+/// for late-joining followers.  Anything that reads journal segments can
+/// read a saved log and vice versa.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecordLog {
     entries: Vec<LogEntry>,
 }
 
-/// Magic bytes identifying a serialized log.
-const LOG_MAGIC: &[u8; 4] = b"VRN1";
+impl LogEntry {
+    fn to_record(&self) -> JournalRecord {
+        JournalRecord {
+            kind: EventKind::Syscall,
+            sysno: self.sysno,
+            tid: 0,
+            clock: 0,
+            result: self.result,
+            args: self.args,
+            payload: self.payload.clone(),
+        }
+    }
+
+    fn from_record(record: JournalRecord) -> LogEntry {
+        LogEntry {
+            sysno: record.sysno,
+            args: record.args,
+            result: record.result,
+            payload: record.payload,
+        }
+    }
+}
 
 impl RecordLog {
     /// Creates an empty log.
@@ -86,71 +116,30 @@ impl RecordLog {
             .sum()
     }
 
-    /// Serialises the log into its compact binary form.
+    /// Serialises the log as a single journal segment with first sequence 0.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(32 + self.entries.len() * 72);
-        bytes.extend_from_slice(LOG_MAGIC);
-        bytes.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
-        for entry in &self.entries {
-            bytes.extend_from_slice(&entry.sysno.to_le_bytes());
-            for arg in entry.args {
-                bytes.extend_from_slice(&arg.to_le_bytes());
-            }
-            bytes.extend_from_slice(&entry.result.to_le_bytes());
-            match &entry.payload {
-                Some(payload) => {
-                    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-                    bytes.extend_from_slice(payload);
-                }
-                None => bytes.extend_from_slice(&u64::MAX.to_le_bytes()),
-            }
-        }
-        bytes
+        let records: Vec<JournalRecord> =
+            self.entries.iter().map(LogEntry::to_record).collect();
+        encode_segment(0, &records)
     }
 
-    /// Decodes a log previously produced by [`RecordLog::encode`].
+    /// Decodes a log previously produced by [`RecordLog::encode`] (or any
+    /// complete journal segment).
+    ///
+    /// Decoding is strict and fully bounds-checked: a truncated, torn or
+    /// corrupt input returns [`CoreError::CorruptLog`] naming the failing
+    /// byte offset, never a panic.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::CorruptLog`] if the bytes are malformed.
     pub fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
-        let corrupt = |reason: &str| CoreError::CorruptLog(reason.to_owned());
-        if bytes.len() < 12 || &bytes[0..4] != LOG_MAGIC {
-            return Err(corrupt("missing magic header"));
-        }
-        let count = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")) as usize;
-        let mut cursor = 12usize;
-        let mut entries = Vec::with_capacity(count.min(1 << 20));
-        let take = |cursor: &mut usize, len: usize| -> Result<&[u8], CoreError> {
-            let end = *cursor + len;
-            let slice = bytes
-                .get(*cursor..end)
-                .ok_or_else(|| CoreError::CorruptLog("truncated log".to_owned()))?;
-            *cursor = end;
-            Ok(slice)
-        };
-        for _ in 0..count {
-            let sysno = u16::from_le_bytes(take(&mut cursor, 2)?.try_into().expect("2"));
-            let mut args = [0u64; 6];
-            for arg in &mut args {
-                *arg = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-            }
-            let result = i64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-            let payload_len = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-            let payload = if payload_len == u64::MAX {
-                None
-            } else {
-                Some(take(&mut cursor, payload_len as usize)?.to_vec())
-            };
-            entries.push(LogEntry {
-                sysno,
-                args,
-                result,
-                payload,
-            });
-        }
-        Ok(RecordLog { entries })
+        let (_first_seq, records) = decode_segment(bytes)
+            .map_err(|err| CoreError::CorruptLog(err.to_string()))?;
+        Ok(RecordLog {
+            entries: records.into_iter().map(LogEntry::from_record).collect(),
+        })
     }
 
     /// Writes the encoded log to `path`.
@@ -360,6 +349,50 @@ mod tests {
         SmallWorkload.run(&mut recorder);
         let mut bytes = recorder.into_log().encode();
         bytes.truncate(bytes.len() - 8);
+        assert!(RecordLog::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn saved_logs_are_journal_segments() {
+        // One on-disk event format: a saved RecordLog decodes as a journal
+        // segment, and a journal segment of syscall records decodes as a log.
+        let kernel = Kernel::new();
+        let mut recorder = Recorder::new(Box::new(DirectExecutor::new(&kernel, "seg")));
+        SmallWorkload.run(&mut recorder);
+        let log = recorder.into_log();
+        let bytes = log.encode();
+        let (first_seq, records) = varan_ring::journal::decode_segment(&bytes).unwrap();
+        assert_eq!(first_seq, 0);
+        assert_eq!(records.len(), log.len());
+        assert_eq!(records[0].sysno, Sysno::Open.number());
+        let reencoded = varan_ring::journal::encode_segment(0, &records);
+        assert_eq!(RecordLog::decode(&reencoded).unwrap(), log);
+    }
+
+    #[test]
+    fn decode_reports_offsets_for_midstream_corruption() {
+        let kernel = Kernel::new();
+        let mut recorder = Recorder::new(Box::new(DirectExecutor::new(&kernel, "mid")));
+        SmallWorkload.run(&mut recorder);
+        let mut bytes = recorder.into_log().encode();
+        // Flip the first frame's kind byte to an unknown value: corruption,
+        // reported with its byte offset instead of a panic.
+        bytes[16] = 0xEE;
+        match RecordLog::decode(&bytes) {
+            Err(CoreError::CorruptLog(reason)) => {
+                assert!(reason.contains("byte 16"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
+        }
+        // A payload length pointing past the end is truncation, not a panic.
+        let kernel = Kernel::new();
+        let mut recorder = Recorder::new(Box::new(DirectExecutor::new(&kernel, "mid2")));
+        SmallWorkload.run(&mut recorder);
+        let mut bytes = recorder.into_log().encode();
+        // The final frame (close, no payload) ends in its payload-length
+        // marker; make it claim a megabyte that is not there.
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&(1u64 << 20).to_le_bytes());
         assert!(RecordLog::decode(&bytes).is_err());
     }
 

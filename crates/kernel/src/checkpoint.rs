@@ -1,0 +1,792 @@
+//! Checkpoint/restore of virtual-kernel state.
+//!
+//! Elastic membership (followers joining a running N-version execution)
+//! needs more than the event stream: a joiner must first acquire the
+//! *state* the stream's future events will be interpreted against — open
+//! descriptors, the files behind them, the listening sockets, pending
+//! signals, and the descriptor-translation map its monitor will use.  A
+//! [`KernelCheckpoint`] is a serializable snapshot of exactly that, taken
+//! at an event-sequence boundary: `sequence` names the first event the
+//! restored state has **not** observed, so a joiner restores the checkpoint
+//! and replays the spill journal from `sequence` onwards.
+//!
+//! Two restore modes exist, because the virtual kernel is shared by every
+//! version of a run:
+//!
+//! * [`Kernel::restore_process`] — live attach: installs the checkpointed
+//!   descriptor table into a freshly spawned process *of the same kernel*,
+//!   resolving listeners against the live network namespace (a restored
+//!   listener shares the accept queue, exactly as a transferred descriptor
+//!   would).  The shared fs/net tables are already live truth and are left
+//!   untouched.
+//! * [`Kernel::restore_filesystem`] + [`Kernel::restore_process`] on a
+//!   **fresh** kernel — offline restore: rebuilds files, directories and
+//!   listeners from the snapshot first (disaster recovery, or replaying a
+//!   journal against a from-scratch kernel).
+//!
+//! Live stream connections cannot be resurrected from a serialized
+//! snapshot (their peer is gone); they restore as disconnected endpoints —
+//! reads see EOF, writes see `EPIPE` — which mirrors what a real process
+//! would observe after its peer vanished.  Pipe contents are likewise not
+//! persisted: a restored pipe is empty.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::errno::Errno;
+use crate::fs::Node;
+use crate::kernel::Kernel;
+use crate::net::Endpoint;
+use crate::process::{FdEntry, FdObject, Pid};
+use crate::signal::Signal;
+
+/// Magic bytes opening every encoded checkpoint.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"VRNCKPT1";
+
+/// Upper bound accepted for any single length field while decoding.
+const MAX_FIELD: u64 = 1 << 30;
+
+/// Error produced when an encoded checkpoint cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt checkpoint at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializable form of one descriptor-table object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdObjectSnapshot {
+    /// The process console (fds 0–2 and any duplicates).
+    Console,
+    /// An open VFS file.
+    File {
+        /// Path of the file.
+        path: String,
+        /// Read/write offset at checkpoint time.
+        offset: u64,
+        /// Whether writes append.
+        append: bool,
+    },
+    /// A listening socket; restored by re-attaching to the live listener on
+    /// `port` (or re-binding it during an offline restore).
+    Listener {
+        /// Bound port.
+        port: u16,
+        /// Backlog the listener was created with.
+        backlog: u32,
+    },
+    /// A connected stream; restores as a disconnected endpoint.
+    Stream,
+    /// A socket created but not yet listening/connected.
+    UnboundSocket {
+        /// Port recorded by `bind`, if any.
+        bound_port: Option<u16>,
+    },
+    /// The read end of a pipe (restored empty).
+    PipeRead,
+    /// The write end of a pipe (restored empty).
+    PipeWrite,
+    /// An epoll instance with its interest list.
+    Epoll {
+        /// Descriptors registered with `epoll_ctl`.
+        watched: Vec<i32>,
+    },
+}
+
+/// Serializable form of one descriptor-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdSnapshot {
+    /// Descriptor number.
+    pub fd: i32,
+    /// Close-on-exec flag.
+    pub cloexec: bool,
+    /// Non-blocking flag.
+    pub nonblocking: bool,
+    /// The object behind the descriptor.
+    pub object: FdObjectSnapshot,
+}
+
+/// Serializable form of one virtual process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProcessSnapshot {
+    /// Process name (the "binary" it runs).
+    pub name: String,
+    /// Next descriptor number the table would hand out.
+    pub next_fd: i32,
+    /// Program break.
+    pub brk: u64,
+    /// Next `mmap` address.
+    pub next_mmap: u64,
+    /// Number of threads the process had spawned.
+    pub threads: u32,
+    /// Pending (delivered but unconsumed) signal numbers, oldest first.
+    pub pending_signals: Vec<u8>,
+    /// The descriptor table.
+    pub fds: Vec<FdSnapshot>,
+}
+
+/// One VFS node in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSnapshot {
+    /// Absolute path.
+    pub path: String,
+    /// The node at that path.
+    pub node: Node,
+}
+
+/// A serializable snapshot of the virtual kernel's fs/net/process/signal
+/// tables plus a per-version descriptor-translation map, taken at an
+/// event-sequence boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelCheckpoint {
+    /// First event sequence the snapshot has **not** observed: journal
+    /// replay after restore starts here.
+    pub sequence: u64,
+    /// The checkpointed process (the leader, for fleet attach).
+    pub process: ProcessSnapshot,
+    /// Every VFS node (the fs table).
+    pub files: Vec<FileSnapshot>,
+    /// Ports with live listeners and their backlogs (the net table).
+    pub listeners: Vec<(u16, u32)>,
+    /// The checkpointed version's descriptor-translation map
+    /// (leader descriptor number → descriptor number in that version).
+    pub fd_translation: Vec<(i64, i32)>,
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn fail<T>(&self, reason: &'static str) -> Result<T, CheckpointError> {
+        Err(CheckpointError {
+            offset: self.at,
+            reason,
+        })
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .at
+            .checked_add(len)
+            .ok_or(CheckpointError {
+                offset: self.at,
+                reason: "length overflows",
+            })?;
+        let slice = self.bytes.get(self.at..end).ok_or(CheckpointError {
+            offset: self.at,
+            reason: "truncated",
+        })?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        let len = self.u64()?;
+        if len > MAX_FIELD {
+            return self.fail("length exceeds the 1 GiB bound");
+        }
+        Ok(len as usize)
+    }
+
+    fn bytes_field(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let len = self.len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        let bytes = self.bytes_field()?;
+        String::from_utf8(bytes).map_err(|_| CheckpointError {
+            offset: self.at,
+            reason: "invalid utf-8 in string field",
+        })
+    }
+}
+
+fn encode_fd_object(out: &mut Vec<u8>, object: &FdObjectSnapshot) {
+    match object {
+        FdObjectSnapshot::Console => out.push(0),
+        FdObjectSnapshot::File {
+            path,
+            offset,
+            append,
+        } => {
+            out.push(1);
+            put_bytes(out, path.as_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.push(u8::from(*append));
+        }
+        FdObjectSnapshot::Listener { port, backlog } => {
+            out.push(2);
+            out.extend_from_slice(&port.to_le_bytes());
+            out.extend_from_slice(&backlog.to_le_bytes());
+        }
+        FdObjectSnapshot::Stream => out.push(3),
+        FdObjectSnapshot::UnboundSocket { bound_port } => {
+            out.push(4);
+            match bound_port {
+                Some(port) => {
+                    out.push(1);
+                    out.extend_from_slice(&port.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        FdObjectSnapshot::PipeRead => out.push(5),
+        FdObjectSnapshot::PipeWrite => out.push(6),
+        FdObjectSnapshot::Epoll { watched } => {
+            out.push(7);
+            out.extend_from_slice(&(watched.len() as u64).to_le_bytes());
+            for fd in watched {
+                out.extend_from_slice(&fd.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn decode_fd_object(reader: &mut Reader<'_>) -> Result<FdObjectSnapshot, CheckpointError> {
+    Ok(match reader.u8()? {
+        0 => FdObjectSnapshot::Console,
+        1 => FdObjectSnapshot::File {
+            path: reader.string()?,
+            offset: reader.u64()?,
+            append: reader.u8()? != 0,
+        },
+        2 => FdObjectSnapshot::Listener {
+            port: reader.u16()?,
+            backlog: reader.u32()?,
+        },
+        3 => FdObjectSnapshot::Stream,
+        4 => match reader.u8()? {
+            0 => FdObjectSnapshot::UnboundSocket { bound_port: None },
+            1 => FdObjectSnapshot::UnboundSocket {
+                bound_port: Some(reader.u16()?),
+            },
+            _ => return reader.fail("invalid option tag for bound port"),
+        },
+        5 => FdObjectSnapshot::PipeRead,
+        6 => FdObjectSnapshot::PipeWrite,
+        7 => {
+            let count = reader.len()?;
+            let mut watched = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                watched.push(reader.u32()? as i32);
+            }
+            FdObjectSnapshot::Epoll { watched }
+        }
+        _ => return reader.fail("unknown descriptor-object tag"),
+    })
+}
+
+fn encode_node(out: &mut Vec<u8>, node: &Node) {
+    match node {
+        Node::File(data) => {
+            out.push(0);
+            put_bytes(out, data);
+        }
+        Node::Directory => out.push(1),
+        Node::DevNull => out.push(2),
+        Node::DevZero => out.push(3),
+        Node::DevUrandom => out.push(4),
+    }
+}
+
+fn decode_node(reader: &mut Reader<'_>) -> Result<Node, CheckpointError> {
+    Ok(match reader.u8()? {
+        0 => Node::File(reader.bytes_field()?),
+        1 => Node::Directory,
+        2 => Node::DevNull,
+        3 => Node::DevZero,
+        4 => Node::DevUrandom,
+        _ => return reader.fail("unknown vfs node tag"),
+    })
+}
+
+impl KernelCheckpoint {
+    /// Serialises the checkpoint into its binary form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&self.sequence.to_le_bytes());
+
+        // Process table entry.
+        put_bytes(&mut out, self.process.name.as_bytes());
+        out.extend_from_slice(&self.process.next_fd.to_le_bytes());
+        out.extend_from_slice(&self.process.brk.to_le_bytes());
+        out.extend_from_slice(&self.process.next_mmap.to_le_bytes());
+        out.extend_from_slice(&self.process.threads.to_le_bytes());
+        put_bytes(&mut out, &self.process.pending_signals);
+        out.extend_from_slice(&(self.process.fds.len() as u64).to_le_bytes());
+        for fd in &self.process.fds {
+            out.extend_from_slice(&fd.fd.to_le_bytes());
+            out.push(u8::from(fd.cloexec));
+            out.push(u8::from(fd.nonblocking));
+            encode_fd_object(&mut out, &fd.object);
+        }
+
+        // Fs table.
+        out.extend_from_slice(&(self.files.len() as u64).to_le_bytes());
+        for file in &self.files {
+            put_bytes(&mut out, file.path.as_bytes());
+            encode_node(&mut out, &file.node);
+        }
+
+        // Net table.
+        out.extend_from_slice(&(self.listeners.len() as u64).to_le_bytes());
+        for (port, backlog) in &self.listeners {
+            out.extend_from_slice(&port.to_le_bytes());
+            out.extend_from_slice(&backlog.to_le_bytes());
+        }
+
+        // Descriptor-translation map.
+        out.extend_from_slice(&(self.fd_translation.len() as u64).to_le_bytes());
+        for (leader_fd, local_fd) in &self.fd_translation {
+            out.extend_from_slice(&leader_fd.to_le_bytes());
+            out.extend_from_slice(&local_fd.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a checkpoint previously produced by [`KernelCheckpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] with the failing offset if the bytes are
+    /// truncated, carry invalid tags or lie about any length.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut reader = Reader { bytes, at: 0 };
+        if reader.take(CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError {
+                offset: 0,
+                reason: "missing checkpoint magic",
+            });
+        }
+        let sequence = reader.u64()?;
+
+        let name = reader.string()?;
+        let next_fd = reader.u32()? as i32;
+        let brk = reader.u64()?;
+        let next_mmap = reader.u64()?;
+        let threads = reader.u32()?;
+        let pending_signals = reader.bytes_field()?;
+        let fd_count = reader.len()?;
+        let mut fds = Vec::with_capacity(fd_count.min(1 << 16));
+        for _ in 0..fd_count {
+            let fd = reader.u32()? as i32;
+            let cloexec = reader.u8()? != 0;
+            let nonblocking = reader.u8()? != 0;
+            let object = decode_fd_object(&mut reader)?;
+            fds.push(FdSnapshot {
+                fd,
+                cloexec,
+                nonblocking,
+                object,
+            });
+        }
+
+        let file_count = reader.len()?;
+        let mut files = Vec::with_capacity(file_count.min(1 << 16));
+        for _ in 0..file_count {
+            let path = reader.string()?;
+            let node = decode_node(&mut reader)?;
+            files.push(FileSnapshot { path, node });
+        }
+
+        let listener_count = reader.len()?;
+        let mut listeners = Vec::with_capacity(listener_count.min(1 << 16));
+        for _ in 0..listener_count {
+            listeners.push((reader.u16()?, reader.u32()?));
+        }
+
+        let translation_count = reader.len()?;
+        let mut fd_translation = Vec::with_capacity(translation_count.min(1 << 16));
+        for _ in 0..translation_count {
+            let leader_fd = reader.u64()? as i64;
+            let local_fd = reader.u32()? as i32;
+            fd_translation.push((leader_fd, local_fd));
+        }
+        if reader.at != bytes.len() {
+            return reader.fail("trailing bytes after checkpoint");
+        }
+        Ok(KernelCheckpoint {
+            sequence,
+            process: ProcessSnapshot {
+                name,
+                next_fd,
+                brk,
+                next_mmap,
+                threads,
+                pending_signals,
+                fds,
+            },
+            files,
+            listeners,
+            fd_translation,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Taking and restoring checkpoints
+// ---------------------------------------------------------------------
+
+pub(crate) fn snapshot_fd_object(object: &FdObject) -> FdObjectSnapshot {
+    match object {
+        FdObject::Console => FdObjectSnapshot::Console,
+        FdObject::File {
+            path,
+            offset,
+            append,
+        } => FdObjectSnapshot::File {
+            path: path.clone(),
+            offset: *offset,
+            append: *append,
+        },
+        FdObject::Listener(listener) => FdObjectSnapshot::Listener {
+            port: listener.port(),
+            backlog: listener.backlog() as u32,
+        },
+        FdObject::Stream(_) => FdObjectSnapshot::Stream,
+        FdObject::UnboundSocket { bound_port } => FdObjectSnapshot::UnboundSocket {
+            bound_port: *bound_port,
+        },
+        FdObject::PipeRead(_) => FdObjectSnapshot::PipeRead,
+        FdObject::PipeWrite(_) => FdObjectSnapshot::PipeWrite,
+        FdObject::Epoll { watched } => FdObjectSnapshot::Epoll {
+            watched: watched.clone(),
+        },
+    }
+}
+
+impl Kernel {
+    /// Takes a checkpoint of this kernel's fs/net/signal tables and of
+    /// process `pid`'s state, stamped with event `sequence` (the first event
+    /// the snapshot has not observed) and carrying `fd_translation` as the
+    /// checkpointed version's descriptor-translation map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if `pid` is unknown.
+    pub fn checkpoint(
+        &self,
+        pid: Pid,
+        sequence: u64,
+        fd_translation: &HashMap<i64, i32>,
+    ) -> Result<KernelCheckpoint, Errno> {
+        let process = self.snapshot_process(pid)?;
+        let files = self
+            .vfs_entries()
+            .into_iter()
+            .map(|(path, node)| FileSnapshot { path, node })
+            .collect();
+        let listeners = self
+            .network()
+            .live_listeners_snapshot()
+            .into_iter()
+            .map(|(port, backlog)| (port, backlog as u32))
+            .collect();
+        let mut fd_translation: Vec<(i64, i32)> =
+            fd_translation.iter().map(|(&k, &v)| (k, v)).collect();
+        fd_translation.sort_unstable();
+        Ok(KernelCheckpoint {
+            sequence,
+            process,
+            files,
+            listeners,
+            fd_translation,
+        })
+    }
+
+    /// Restores a checkpointed process image into the (already spawned)
+    /// process `target`: descriptor table, pending signals, break and mmap
+    /// cursors.  Listeners re-attach to the live network namespace when the
+    /// port is still bound (sharing the accept queue, as a transferred
+    /// descriptor would) and are re-bound otherwise; streams restore as
+    /// disconnected endpoints; pipes restore empty.
+    ///
+    /// Returns the joiner's descriptor-translation map: every checkpointed
+    /// descriptor is installed *at its original number*, so the map is the
+    /// identity over the snapshot's descriptors — exactly what a follower
+    /// monitor needs to translate the leader's descriptor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if `target` is unknown.
+    pub fn restore_process(
+        &self,
+        checkpoint: &KernelCheckpoint,
+        target: Pid,
+    ) -> Result<HashMap<i64, i32>, Errno> {
+        let mut entries = Vec::with_capacity(checkpoint.process.fds.len());
+        let mut translation = HashMap::with_capacity(checkpoint.process.fds.len());
+        for fd in &checkpoint.process.fds {
+            let object = match &fd.object {
+                FdObjectSnapshot::Console => FdObject::Console,
+                FdObjectSnapshot::File {
+                    path,
+                    offset,
+                    append,
+                } => FdObject::File {
+                    path: path.clone(),
+                    offset: *offset,
+                    append: *append,
+                },
+                FdObjectSnapshot::Listener { port, backlog } => {
+                    let listener = match self.network().listener(*port) {
+                        Some(live) => live,
+                        None => self
+                            .network()
+                            .listen(*port, *backlog as usize)
+                            .map_err(|_| Errno::EADDRINUSE)?,
+                    };
+                    FdObject::Listener(listener)
+                }
+                FdObjectSnapshot::Stream => FdObject::Stream(Endpoint::disconnected()),
+                FdObjectSnapshot::UnboundSocket { bound_port } => FdObject::UnboundSocket {
+                    bound_port: *bound_port,
+                },
+                FdObjectSnapshot::PipeRead => {
+                    FdObject::PipeRead(std::sync::Arc::new(crate::process::Pipe::default()))
+                }
+                FdObjectSnapshot::PipeWrite => {
+                    FdObject::PipeWrite(std::sync::Arc::new(crate::process::Pipe::default()))
+                }
+                FdObjectSnapshot::Epoll { watched } => FdObject::Epoll {
+                    watched: watched.clone(),
+                },
+            };
+            let mut entry = FdEntry::new(object);
+            entry.cloexec = fd.cloexec;
+            entry.nonblocking = fd.nonblocking;
+            entries.push((fd.fd, entry));
+            translation.insert(i64::from(fd.fd), fd.fd);
+        }
+        {
+            let mut table = self.processes_lock();
+            let process = table.get_mut(target)?;
+            process.restore_fds(entries, checkpoint.process.next_fd);
+            process.brk = checkpoint.process.brk;
+            process.next_mmap = checkpoint.process.next_mmap;
+            for signo in &checkpoint.process.pending_signals {
+                if let Some(signal) = Signal::from_number(*signo) {
+                    process.deliver_signal(signal);
+                }
+            }
+        }
+        Ok(translation)
+    }
+
+    /// Rebuilds the checkpointed fs and net tables into this kernel:
+    /// missing files, directories, devices and listeners are created; paths
+    /// that already exist are left untouched (the live tables are newer
+    /// truth than the snapshot).  Use on a fresh kernel for a full offline
+    /// restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VFS errors for unrestorable paths.
+    pub fn restore_filesystem(&self, checkpoint: &KernelCheckpoint) -> Result<(), Errno> {
+        // Parents first: the snapshot is sorted by construction (BTreeMap
+        // iteration order), but re-sort defensively for decoded inputs.
+        let mut files = checkpoint.files.clone();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        for file in &files {
+            if self.file_exists(&file.path) {
+                continue;
+            }
+            match &file.node {
+                Node::Directory => self.vfs_mkdir(&file.path)?,
+                Node::File(data) => self.populate_file(&file.path, data.clone())?,
+                // Devices exist in every fresh VFS; nothing to do for the
+                // standard ones, and custom device paths are not supported.
+                Node::DevNull | Node::DevZero | Node::DevUrandom => {}
+            }
+        }
+        for (port, backlog) in &checkpoint.listeners {
+            if self.network().listener(*port).is_none() {
+                let _ = self.network().listen(*port, *backlog as usize);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::SyscallRequest;
+    use crate::Sysno;
+
+    fn populated_kernel() -> (Kernel, Pid) {
+        let kernel = Kernel::new();
+        kernel
+            .populate_file("/var/www/index.html", b"<html>varan</html>".to_vec())
+            .unwrap();
+        let pid = kernel.spawn_process("server-v1");
+        // open a file
+        let open = kernel.syscall(pid, &SyscallRequest::open("/var/www/index.html", 0));
+        assert!(open.result >= 0);
+        // socket + bind + listen
+        let sock = kernel.syscall(pid, &SyscallRequest::new(Sysno::Socket, [0; 6]));
+        assert!(sock.result >= 0);
+        let fd = sock.result as u64;
+        kernel.syscall(pid, &SyscallRequest::new(Sysno::Bind, [fd, 6379, 0, 0, 0, 0]));
+        let listen =
+            kernel.syscall(pid, &SyscallRequest::new(Sysno::Listen, [fd, 16, 0, 0, 0, 0]));
+        assert_eq!(listen.result, 0);
+        kernel.deliver_signal(pid, Signal::Sigusr1).unwrap();
+        (kernel, pid)
+    }
+
+    #[test]
+    fn checkpoint_captures_all_four_tables() {
+        let (kernel, pid) = populated_kernel();
+        let translation: HashMap<i64, i32> = [(3i64, 3i32)].into_iter().collect();
+        let checkpoint = kernel.checkpoint(pid, 42, &translation).unwrap();
+        assert_eq!(checkpoint.sequence, 42);
+        assert_eq!(checkpoint.process.name, "server-v1");
+        assert!(checkpoint.process.fds.len() >= 5, "console x3 + file + listener");
+        assert!(checkpoint
+            .files
+            .iter()
+            .any(|f| f.path == "/var/www/index.html"));
+        assert_eq!(checkpoint.listeners, vec![(6379, 16)]);
+        assert_eq!(checkpoint.process.pending_signals, vec![Signal::Sigusr1.number()]);
+        assert_eq!(checkpoint.fd_translation, vec![(3, 3)]);
+        assert!(kernel.checkpoint(999, 0, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let (kernel, pid) = populated_kernel();
+        let checkpoint = kernel.checkpoint(pid, 7, &HashMap::new()).unwrap();
+        let bytes = checkpoint.encode();
+        let decoded = KernelCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, checkpoint);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_corrupt_bytes() {
+        assert!(KernelCheckpoint::decode(b"junk").is_err());
+        let (kernel, pid) = populated_kernel();
+        let checkpoint = kernel.checkpoint(pid, 7, &HashMap::new()).unwrap();
+        let bytes = checkpoint.encode();
+        // Every truncation point must fail cleanly, never panic.
+        for cut in [1, 8, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(KernelCheckpoint::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Corrupt magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(KernelCheckpoint::decode(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(KernelCheckpoint::decode(&long).is_err());
+        // A length field claiming more than the 1 GiB bound.
+        let mut lying = bytes;
+        lying[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(KernelCheckpoint::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn live_restore_shares_the_listener_and_translates_identically() {
+        let (kernel, pid) = populated_kernel();
+        let checkpoint = kernel.checkpoint(pid, 0, &HashMap::new()).unwrap();
+        let joiner = kernel.spawn_process("joiner");
+        let translation = kernel.restore_process(&checkpoint, joiner).unwrap();
+        // Identity translation over every checkpointed descriptor.
+        for fd in &checkpoint.process.fds {
+            assert_eq!(translation.get(&i64::from(fd.fd)), Some(&fd.fd));
+        }
+        // The restored listener shares the live accept queue: a connection
+        // made to the leader's port is acceptable through the joiner's fd.
+        let _client = kernel.network().connect(6379).unwrap();
+        let accept = kernel.syscall(joiner, &SyscallRequest::new(Sysno::Accept, [4, 0, 0, 0, 0, 0]));
+        assert!(accept.result >= 0, "joiner accepts via restored listener: {accept:?}");
+        // The restored file descriptor reads the same file.
+        let read = kernel.syscall(joiner, &SyscallRequest::read(3, 5));
+        assert_eq!(read.result, 5);
+    }
+
+    #[test]
+    fn offline_restore_rebuilds_fs_and_net_on_a_fresh_kernel() {
+        let (kernel, pid) = populated_kernel();
+        let bytes = kernel.checkpoint(pid, 9, &HashMap::new()).unwrap().encode();
+
+        let fresh = Kernel::new();
+        let checkpoint = KernelCheckpoint::decode(&bytes).unwrap();
+        fresh.restore_filesystem(&checkpoint).unwrap();
+        assert_eq!(
+            fresh.read_file("/var/www/index.html").unwrap(),
+            b"<html>varan</html>".to_vec()
+        );
+        assert!(fresh.network().listener(6379).is_some());
+
+        let pid = fresh.spawn_process(&checkpoint.process.name);
+        fresh.restore_process(&checkpoint, pid).unwrap();
+        let read = fresh.syscall(pid, &SyscallRequest::read(3, 6));
+        assert_eq!(read.result, 6, "restored fd 3 reads the restored file");
+        assert_eq!(fresh.take_signal(pid), Some(Signal::Sigusr1));
+    }
+
+    #[test]
+    fn restored_streams_are_disconnected_not_dangling() {
+        let (kernel, pid) = populated_kernel();
+        // Give the leader a live stream fd.
+        let listener = kernel.network().listen(7000, 4).unwrap();
+        let _client = kernel.network().connect(7000).unwrap();
+        let endpoint = listener.accept(true).unwrap();
+        let stream_fd = {
+            let mut table = kernel.processes_lock();
+            table
+                .get_mut(pid)
+                .unwrap()
+                .install_fd(FdEntry::new(FdObject::Stream(endpoint)))
+                .unwrap()
+        };
+        let checkpoint = kernel.checkpoint(pid, 0, &HashMap::new()).unwrap();
+        let joiner = kernel.spawn_process("joiner");
+        kernel.restore_process(&checkpoint, joiner).unwrap();
+        let read = kernel.syscall(joiner, &SyscallRequest::read(stream_fd, 8));
+        // EOF (0), not a hang and not EBADF.
+        assert_eq!(read.result, 0);
+    }
+}

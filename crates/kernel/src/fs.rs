@@ -108,6 +108,16 @@ impl Vfs {
         self.nodes.get(path)
     }
 
+    /// A snapshot of every node (path → node), in path order; the fs table
+    /// of a kernel checkpoint.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(String, Node)> {
+        self.nodes
+            .iter()
+            .map(|(path, node)| (path.clone(), node.clone()))
+            .collect()
+    }
+
     /// Returns `true` if `path` exists.
     #[must_use]
     pub fn exists(&self, path: &str) -> bool {

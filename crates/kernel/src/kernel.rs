@@ -234,6 +234,47 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoint support (see `checkpoint.rs`)
+    // ------------------------------------------------------------------
+
+    /// Takes a serializable snapshot of process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if the pid is unknown.
+    pub(crate) fn snapshot_process(
+        &self,
+        pid: Pid,
+    ) -> Result<crate::checkpoint::ProcessSnapshot, Errno> {
+        let table = self.inner.processes.lock();
+        Ok(table.get(pid)?.snapshot())
+    }
+
+    /// Locked access to the process table, for checkpoint restore and tests.
+    #[must_use]
+    pub fn processes_lock(&self) -> parking_lot::MutexGuard<'_, ProcessTable> {
+        self.inner.processes.lock()
+    }
+
+    /// A snapshot of every VFS node (path → node), for checkpointing.
+    #[must_use]
+    pub fn vfs_entries(&self) -> Vec<(String, Node)> {
+        self.inner.vfs.lock().entries()
+    }
+
+    /// Creates a directory in the VFS (checkpoint restore helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates VFS errors.
+    pub fn vfs_mkdir(&self, path: &str) -> Result<(), Errno> {
+        match self.inner.vfs.lock().mkdir(path) {
+            Ok(()) | Err(Errno::EEXIST) => Ok(()),
+            Err(errno) => Err(errno),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Filesystem helpers (workload setup and assertions)
     // ------------------------------------------------------------------
 

@@ -25,6 +25,9 @@
 //!   in Figure 4 of the paper so that relative costs are preserved.
 //! * [`kernel`] — the [`Kernel`] object tying everything together and the
 //!   syscall dispatcher.
+//! * [`checkpoint`] — serializable snapshots of the fs/net/process/signal
+//!   tables (plus the per-version descriptor-translation map), the substrate
+//!   for followers joining a running execution at an event boundary.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod cost;
 pub mod fs;
 pub mod kernel;
@@ -57,6 +61,7 @@ pub mod time;
 
 mod errno;
 
+pub use checkpoint::{CheckpointError, KernelCheckpoint};
 pub use errno::Errno;
 pub use kernel::Kernel;
 pub use syscall::{FdInfo, SyscallOutcome, SyscallRequest};

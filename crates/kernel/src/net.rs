@@ -149,6 +149,26 @@ impl fmt::Debug for Endpoint {
 }
 
 impl Endpoint {
+    /// Creates an endpoint whose connection is already closed on both sides:
+    /// reads see end-of-stream, writes see `EPIPE`.  This is what a stream
+    /// descriptor restores to from a kernel checkpoint — the live peer of a
+    /// serialized connection cannot be resurrected, so the restored process
+    /// observes exactly what it would had the peer vanished.
+    #[must_use]
+    pub fn disconnected() -> Endpoint {
+        let connection = Connection {
+            id: u64::MAX,
+            client_to_server: StreamHalf::new(),
+            server_to_client: StreamHalf::new(),
+        };
+        connection.client_to_server.close();
+        connection.server_to_client.close();
+        Endpoint {
+            conn: Arc::new(connection),
+            side: Side::Client,
+        }
+    }
+
     /// Unique identifier of the underlying connection (same on both sides).
     #[must_use]
     pub fn connection_id(&self) -> u64 {
@@ -241,6 +261,12 @@ impl Listener {
     #[must_use]
     pub fn port(&self) -> u16 {
         self.port
+    }
+
+    /// The backlog this listener was created with.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.backlog
     }
 
     /// Total connections accepted so far.
@@ -397,6 +423,21 @@ impl Network {
             listener.pending.notify_one();
         }
         Ok(client_end)
+    }
+
+    /// Snapshot of the net table for checkpointing: every live listener's
+    /// `(port, backlog)`, sorted by port.
+    #[must_use]
+    pub fn live_listeners_snapshot(&self) -> Vec<(u16, usize)> {
+        let mut ports: Vec<(u16, usize)> = self
+            .listeners
+            .lock()
+            .values()
+            .filter(|listener| !listener.is_closed())
+            .map(|listener| (listener.port(), listener.backlog()))
+            .collect();
+        ports.sort_unstable();
+        ports
     }
 
     /// Number of ports with live listeners.

@@ -202,6 +202,46 @@ impl ProcessState {
         self.fds.remove(&fd).ok_or(Errno::EBADF)
     }
 
+    /// Takes a serializable snapshot of this process for a kernel
+    /// checkpoint (see `checkpoint.rs`).
+    #[must_use]
+    pub fn snapshot(&self) -> crate::checkpoint::ProcessSnapshot {
+        let mut fds: Vec<crate::checkpoint::FdSnapshot> = self
+            .fds
+            .iter()
+            .map(|(&fd, entry)| crate::checkpoint::FdSnapshot {
+                fd,
+                cloexec: entry.cloexec,
+                nonblocking: entry.nonblocking,
+                object: crate::checkpoint::snapshot_fd_object(&entry.object),
+            })
+            .collect();
+        fds.sort_by_key(|snapshot| snapshot.fd);
+        let mut pending = self.pending_signals.clone();
+        let mut pending_signals = Vec::with_capacity(pending.len());
+        while let Some(signal) = pending.pop() {
+            pending_signals.push(signal.number());
+        }
+        crate::checkpoint::ProcessSnapshot {
+            name: self.name.clone(),
+            next_fd: self.next_fd,
+            brk: self.brk,
+            next_mmap: self.next_mmap,
+            threads: self.threads.len() as u32,
+            pending_signals,
+            fds,
+        }
+    }
+
+    /// Replaces the descriptor table wholesale with `entries` (each at its
+    /// stated descriptor number) and sets the allocation cursor; used by
+    /// checkpoint restore so a restored process sees the leader's exact
+    /// descriptor numbering.
+    pub fn restore_fds(&mut self, entries: Vec<(i32, FdEntry)>, next_fd: i32) {
+        self.fds = entries.into_iter().collect();
+        self.next_fd = next_fd.max(3);
+    }
+
     /// Registers a new thread and returns its identifier.
     pub fn spawn_thread(&mut self) -> Tid {
         let tid = self.threads.len() as Tid;

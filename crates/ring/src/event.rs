@@ -51,6 +51,22 @@ impl EventKind {
     pub fn is_terminal(self) -> bool {
         matches!(self, EventKind::Exit)
     }
+
+    /// Looks a kind up by its `u8` value (the on-disk journal encoding).
+    #[must_use]
+    pub fn from_u8(value: u8) -> Option<EventKind> {
+        Some(match value {
+            0 => EventKind::Empty,
+            1 => EventKind::Syscall,
+            2 => EventKind::Signal,
+            3 => EventKind::Fork,
+            4 => EventKind::Exit,
+            5 => EventKind::FdTransfer,
+            6 => EventKind::LeaderSwitch,
+            7 => EventKind::Checkpoint,
+            _ => return None,
+        })
+    }
 }
 
 impl Default for EventKind {
@@ -242,6 +258,15 @@ impl Event {
             args: [id, 0, 0, 0],
             ..Event::default()
         }
+    }
+
+    /// Overrides the event kind, consuming and returning the event.  Used
+    /// when reconstructing an event from its journal record, whose frame
+    /// stores the kind explicitly.
+    #[must_use]
+    pub fn with_kind(mut self, kind: EventKind) -> Self {
+        self.kind = kind;
+        self
     }
 
     /// Attaches a Lamport timestamp, consuming and returning the event.

@@ -1,0 +1,834 @@
+//! The spill-to-disk event journal: a segmented, append-only, disk-backed
+//! log of the leader's event stream.
+//!
+//! The in-memory ring buffer (§3.3.1) is deliberately tiny — one lap of
+//! events — which is exactly why a *late-joining* or *lagging* follower can
+//! never be served from it: by the time the follower attaches, the slots it
+//! needs have been recycled.  The journal solves this by having the producer
+//! spill every published event to an append-only log on disk.  Followers that
+//! are catching up read the journal at their own pace without ever gating
+//! the leader's ring space; only once a follower is within one ring lap of
+//! the cursor does it register a gating sequence and switch to live ring
+//! consumption (see `varan_core::fleet`).
+//!
+//! # Checkpoint-anchored retention
+//!
+//! The journal cannot grow forever.  Retention is anchored at the **oldest
+//! live checkpoint**: a joiner restores a kernel checkpoint taken at event
+//! sequence `S` and then replays the journal from `S`, so every segment
+//! whose events all precede the oldest checkpoint any live (or future)
+//! joiner could restore from is dead weight and is deleted by
+//! [`EventJournal::set_anchor`].  Whole segments are the retention unit —
+//! a segment is only removed once *every* record in it lies below the
+//! anchor — so a reader positioned at or above the anchor always finds a
+//! contiguous record stream from its position to the tail.
+//!
+//! # On-disk format
+//!
+//! One format serves both this journal and the record-replay log
+//! (`varan_core::record_replay` encodes its `RecordLog` as a single segment
+//! with first-sequence 0): a segment file is the [`SEGMENT_MAGIC`] header,
+//! the little-endian `u64` sequence number of its first record, then a run
+//! of frames.  Each frame is a fixed 71-byte header (kind, sysno, tid,
+//! clock, result, six argument registers, payload length) followed by the
+//! payload bytes.  Decoding validates every length against the remaining
+//! input, so a truncated or corrupt file yields [`JournalError`] — or, for
+//! the *final* segment of a journal that died mid-append, a clean
+//! truncation to the last whole frame ([`decode_segment_lossy`]).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{Event, EventKind, EVENT_INLINE_ARGS};
+
+/// Magic bytes opening every journal segment (and every record-replay log).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"VRNJSEG1";
+
+/// Number of argument registers preserved per record (the full x86-64
+/// system-call register set, not just the [`EVENT_INLINE_ARGS`] an in-ring
+/// event keeps inline).
+pub const JOURNAL_ARGS: usize = 6;
+
+/// Fixed size of a frame before its payload bytes.
+const FRAME_HEADER: usize = 1 + 2 + 4 + 8 + 8 + 8 * JOURNAL_ARGS + 8;
+
+/// Payload-length marker meaning "no payload" (distinct from an empty one).
+const NO_PAYLOAD: u64 = u64::MAX;
+
+/// Upper bound accepted for a single payload while decoding; anything larger
+/// is treated as corruption rather than attempted as an allocation.
+const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// Errors produced while encoding, decoding or persisting journal data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// The bytes do not start with [`SEGMENT_MAGIC`].
+    BadMagic,
+    /// The input ended in the middle of a header or frame.
+    Truncated {
+        /// Byte offset at which the input ran out.
+        offset: usize,
+    },
+    /// A frame carried a field that cannot be valid (unknown event kind,
+    /// absurd payload length).
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// An I/O error while reading or writing segment files.
+    Io(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::BadMagic => write!(f, "journal segment: missing magic header"),
+            JournalError::Truncated { offset } => {
+                write!(f, "journal segment truncated at byte {offset}")
+            }
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal segment corrupt at byte {offset}: {reason}")
+            }
+            JournalError::Io(err) => write!(f, "journal i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(err: std::io::Error) -> Self {
+        JournalError::Io(err.to_string())
+    }
+}
+
+/// One event as persisted in the journal: the ring event's fields plus the
+/// two argument registers and the out-of-line payload that do not fit in a
+/// 64-byte ring slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The kind of external action ([`EventKind`] as its `u8` value).
+    pub kind: EventKind,
+    /// System call (or signal) number.
+    pub sysno: u16,
+    /// Producing thread index within the variant.
+    pub tid: u32,
+    /// Lamport timestamp attached by the producing variant.
+    pub clock: u64,
+    /// Result the leader observed.
+    pub result: i64,
+    /// All six argument registers.
+    pub args: [u64; JOURNAL_ARGS],
+    /// Out-of-line payload, materialised inline on disk.
+    pub payload: Option<Vec<u8>>,
+}
+
+impl JournalRecord {
+    /// Builds a record from an in-ring event and its copied-out payload.
+    /// The two argument registers an event does not keep inline are zero.
+    #[must_use]
+    pub fn from_event(event: &Event, payload: Option<Vec<u8>>) -> Self {
+        let mut args = [0u64; JOURNAL_ARGS];
+        args[..EVENT_INLINE_ARGS].copy_from_slice(event.args());
+        JournalRecord {
+            kind: event.kind(),
+            sysno: event.sysno(),
+            tid: event.tid(),
+            clock: event.clock(),
+            result: event.result(),
+            args,
+            payload,
+        }
+    }
+
+    /// Reconstructs the in-ring view of this record (the payload, which
+    /// would live in the shared pool, is returned separately by the caller
+    /// holding this record).
+    #[must_use]
+    pub fn to_event(&self) -> Event {
+        Event::syscall(self.sysno, &self.args[..EVENT_INLINE_ARGS], self.result)
+            .with_kind(self.kind)
+            .with_tid(self.tid)
+            .with_clock(self.clock)
+    }
+
+    /// Appends this record's frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.sysno.to_le_bytes());
+        out.extend_from_slice(&self.tid.to_le_bytes());
+        out.extend_from_slice(&self.clock.to_le_bytes());
+        out.extend_from_slice(&self.result.to_le_bytes());
+        for arg in self.args {
+            out.extend_from_slice(&arg.to_le_bytes());
+        }
+        match &self.payload {
+            Some(payload) => {
+                out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            None => out.extend_from_slice(&NO_PAYLOAD.to_le_bytes()),
+        }
+    }
+
+    /// Decodes one frame starting at `*cursor`, advancing the cursor past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Truncated`] if the input ends inside the
+    /// frame and [`JournalError::Corrupt`] for invalid field values; the
+    /// cursor is left unspecified on error.
+    pub fn decode_from(bytes: &[u8], cursor: &mut usize) -> Result<Self, JournalError> {
+        let start = *cursor;
+        let header = bytes
+            .get(start..start.saturating_add(FRAME_HEADER))
+            .ok_or(JournalError::Truncated { offset: start })?;
+        let take8 = |at: usize| -> u64 {
+            u64::from_le_bytes(header[at..at + 8].try_into().expect("8 bytes"))
+        };
+        let kind = EventKind::from_u8(header[0]).ok_or(JournalError::Corrupt {
+            offset: start,
+            reason: "unknown event kind",
+        })?;
+        let sysno = u16::from_le_bytes(header[1..3].try_into().expect("2 bytes"));
+        let tid = u32::from_le_bytes(header[3..7].try_into().expect("4 bytes"));
+        let clock = take8(7);
+        let result = take8(15) as i64;
+        let mut args = [0u64; JOURNAL_ARGS];
+        for (i, arg) in args.iter_mut().enumerate() {
+            *arg = take8(23 + 8 * i);
+        }
+        let payload_len = take8(23 + 8 * JOURNAL_ARGS);
+        let mut at = start + FRAME_HEADER;
+        let payload = if payload_len == NO_PAYLOAD {
+            None
+        } else {
+            if payload_len > MAX_PAYLOAD {
+                return Err(JournalError::Corrupt {
+                    offset: start,
+                    reason: "payload length exceeds the 1 GiB bound",
+                });
+            }
+            let end = at
+                .checked_add(payload_len as usize)
+                .ok_or(JournalError::Corrupt {
+                    offset: start,
+                    reason: "payload length overflows",
+                })?;
+            let payload = bytes
+                .get(at..end)
+                .ok_or(JournalError::Truncated { offset: at })?
+                .to_vec();
+            at = end;
+            Some(payload)
+        };
+        *cursor = at;
+        Ok(JournalRecord {
+            kind,
+            sysno,
+            tid,
+            clock,
+            result,
+            args,
+            payload,
+        })
+    }
+}
+
+/// Encodes a whole segment: magic, first-record sequence, frames.
+#[must_use]
+pub fn encode_segment(first_seq: u64, records: &[JournalRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + records.len() * (FRAME_HEADER + 16));
+    out.extend_from_slice(SEGMENT_MAGIC);
+    out.extend_from_slice(&first_seq.to_le_bytes());
+    for record in records {
+        record.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decodes a segment strictly: every byte must belong to a whole frame.
+///
+/// # Errors
+///
+/// Returns [`JournalError`] for a missing header, a truncated frame or any
+/// invalid field — this is the right mode for a log that claims to be
+/// complete, like a saved record-replay log.
+pub fn decode_segment(bytes: &[u8]) -> Result<(u64, Vec<JournalRecord>), JournalError> {
+    let (first_seq, records, truncated_at) = decode_segment_lossy(bytes)?;
+    if let Some(offset) = truncated_at {
+        return Err(JournalError::Truncated { offset });
+    }
+    Ok((first_seq, records))
+}
+
+/// Decodes a segment, tolerating a torn final frame: returns every whole
+/// frame plus the byte offset of the torn tail, if any.  Used when opening
+/// a journal directory whose writer may have died mid-append.
+///
+/// # Errors
+///
+/// Still returns [`JournalError`] if the magic header itself is missing or
+/// a *non-final* portion is corrupt (an unknown kind or absurd length is
+/// corruption, not tearing).
+pub fn decode_segment_lossy(
+    bytes: &[u8],
+) -> Result<(u64, Vec<JournalRecord>, Option<usize>), JournalError> {
+    if bytes.len() < SEGMENT_MAGIC.len() + 8 || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let first_seq = u64::from_le_bytes(
+        bytes[SEGMENT_MAGIC.len()..SEGMENT_MAGIC.len() + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let mut cursor = SEGMENT_MAGIC.len() + 8;
+    let mut records = Vec::new();
+    while cursor < bytes.len() {
+        let frame_start = cursor;
+        match JournalRecord::decode_from(bytes, &mut cursor) {
+            Ok(record) => records.push(record),
+            Err(JournalError::Truncated { .. }) => {
+                return Ok((first_seq, records, Some(frame_start)))
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok((first_seq, records, None))
+}
+
+/// Configuration of an [`EventJournal`].
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// Records per segment before rotating to a new file.
+    pub segment_records: usize,
+}
+
+impl JournalConfig {
+    /// A journal rooted at `dir` with the default segment size.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            segment_records: 4096,
+        }
+    }
+
+    /// Overrides the records-per-segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_records(mut self, records: usize) -> Self {
+        self.segment_records = records.max(1);
+        self
+    }
+}
+
+/// A sealed (fully written, rotated-away-from) segment.
+#[derive(Debug)]
+struct SealedSegment {
+    first_seq: u64,
+    len: u64,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    sealed: VecDeque<SealedSegment>,
+    /// The active segment's records, kept in memory so readers can serve
+    /// the tail without re-reading a file the writer still appends to.
+    /// `Arc`-wrapped so a reader's batch copy under the lock is a run of
+    /// pointer clones; the payload bytes are only cloned outside the lock.
+    active: Vec<Arc<JournalRecord>>,
+    active_first: u64,
+    /// Buffered writer for the active segment: appends cost a memcpy, not a
+    /// syscall (readers never look at the active *file* — they read the
+    /// in-memory copy above — so buffering does not delay visibility; the
+    /// buffer is flushed on rotation and on drop, and a torn tail from a
+    /// crash is what `open`'s recovery truncates away).
+    active_file: BufWriter<File>,
+    next_seq: u64,
+    anchor: u64,
+}
+
+impl Drop for JournalInner {
+    fn drop(&mut self) {
+        let _ = self.active_file.flush();
+    }
+}
+
+/// The disk-backed event journal: one writer (the leader's monitor), any
+/// number of readers (joining followers), segmented files with
+/// checkpoint-anchored retention.
+///
+/// All operations take a short internal lock; the writer's append is a
+/// memory push plus one buffered file write, so the leader's publish path
+/// never waits on a reader (readers never hold the lock across I/O on the
+/// active segment — its tail is served from memory).
+pub struct EventJournal {
+    config: JournalConfig,
+    inner: Mutex<JournalInner>,
+}
+
+impl fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("EventJournal")
+            .field("dir", &self.config.dir)
+            .field("segments", &(inner.sealed.len() + 1))
+            .field("next_seq", &inner.next_seq)
+            .field("anchor", &inner.anchor)
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("seg-{first_seq:020}.vrj"))
+}
+
+fn open_segment_file(path: &Path, first_seq: u64) -> Result<BufWriter<File>, JournalError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(SEGMENT_MAGIC)?;
+    writer.write_all(&first_seq.to_le_bytes())?;
+    Ok(writer)
+}
+
+impl EventJournal {
+    /// Creates (or reopens) the journal at `config.dir`.
+    ///
+    /// Reopening scans the directory: sealed segments are indexed, and the
+    /// newest segment is recovered leniently — a torn final frame (the
+    /// writer died mid-append) is truncated away rather than fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError`] for I/O failures or a segment whose
+    /// *non-tail* contents are corrupt.
+    pub fn open(config: JournalConfig) -> Result<Self, JournalError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&config.dir)?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|path| {
+                path.extension().map(|ext| ext == "vrj").unwrap_or(false)
+            })
+            .collect();
+        paths.sort();
+
+        let mut sealed = VecDeque::new();
+        let mut next_seq = 0u64;
+        let mut recovered_tail: Option<(u64, Vec<JournalRecord>)> = None;
+        let last_index = paths.len().saturating_sub(1);
+        for (i, path) in paths.iter().enumerate() {
+            let bytes = std::fs::read(path)?;
+            if i == last_index {
+                // The newest segment becomes the active one; tolerate (and
+                // truncate away) a torn final frame.
+                let (first_seq, records, torn) = decode_segment_lossy(&bytes)?;
+                if torn.is_some() {
+                    std::fs::write(path, encode_segment(first_seq, &records))?;
+                }
+                next_seq = first_seq + records.len() as u64;
+                recovered_tail = Some((first_seq, records));
+            } else {
+                let (first_seq, records) = decode_segment(&bytes)?;
+                next_seq = first_seq + records.len() as u64;
+                sealed.push_back(SealedSegment {
+                    first_seq,
+                    len: records.len() as u64,
+                    path: path.clone(),
+                });
+            }
+        }
+
+        let (active_first, active) = recovered_tail.unwrap_or((next_seq, Vec::new()));
+        let active: Vec<Arc<JournalRecord>> = active.into_iter().map(Arc::new).collect();
+        let path = segment_path(&config.dir, active_first);
+        let active_file = if active.is_empty() {
+            open_segment_file(&path, active_first)?
+        } else {
+            // Reopen for append; the recovery rewrite above left only whole
+            // frames in the file.
+            BufWriter::new(OpenOptions::new().append(true).open(&path)?)
+        };
+        let anchor = sealed
+            .front()
+            .map(|segment| segment.first_seq)
+            .unwrap_or(active_first);
+        Ok(EventJournal {
+            config,
+            inner: Mutex::new(JournalInner {
+                sealed,
+                active,
+                active_first,
+                active_file,
+                next_seq,
+                anchor,
+            }),
+        })
+    }
+
+    /// Appends one record and returns the sequence number it was assigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] if the segment file cannot be written.
+    pub fn append(&self, record: JournalRecord) -> Result<u64, JournalError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER + 16);
+        record.encode_into(&mut frame);
+        let record = Arc::new(record);
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.active_file.write_all(&frame)?;
+        inner.active.push(record);
+        inner.next_seq += 1;
+        if inner.active.len() >= self.config.segment_records {
+            self.rotate_locked(&mut inner)?;
+        }
+        Ok(seq)
+    }
+
+    /// Seals the active segment and starts a new one.
+    fn rotate_locked(&self, inner: &mut JournalInner) -> Result<(), JournalError> {
+        inner.active_file.flush()?;
+        let first_seq = inner.active_first;
+        let len = inner.active.len() as u64;
+        let path = segment_path(&self.config.dir, first_seq);
+        inner.sealed.push_back(SealedSegment {
+            first_seq,
+            len,
+            path,
+        });
+        inner.active.clear();
+        inner.active_first = inner.next_seq;
+        let path = segment_path(&self.config.dir, inner.active_first);
+        inner.active_file = open_segment_file(&path, inner.active_first)?;
+        Ok(())
+    }
+
+    /// Flushes the active segment file to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on failure.
+    pub fn flush(&self) -> Result<(), JournalError> {
+        self.inner.lock().active_file.flush().map_err(Into::into)
+    }
+
+    /// The sequence number the next appended record will receive (equal to
+    /// the number of records ever appended).
+    #[must_use]
+    pub fn tail_sequence(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// The oldest sequence number still retained.
+    #[must_use]
+    pub fn oldest_sequence(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .sealed
+            .front()
+            .map(|segment| segment.first_seq)
+            .unwrap_or(inner.active_first)
+    }
+
+    /// The current retention anchor.
+    #[must_use]
+    pub fn anchor(&self) -> u64 {
+        self.inner.lock().anchor
+    }
+
+    /// Moves the retention anchor to `seq` (the oldest live checkpoint's
+    /// event sequence) and deletes every sealed segment that lies entirely
+    /// below it.  The anchor never moves backwards.
+    pub fn set_anchor(&self, seq: u64) {
+        let mut inner = self.inner.lock();
+        if seq <= inner.anchor {
+            return;
+        }
+        inner.anchor = seq;
+        while let Some(front) = inner.sealed.front() {
+            if front.first_seq + front.len <= seq {
+                let dead = inner.sealed.pop_front().expect("front exists");
+                let _ = std::fs::remove_file(&dead.path);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads up to `max` records starting at sequence `from`.
+    ///
+    /// Returns the sequence of the first record returned (`>= from`; greater
+    /// only if `from` has already been retired past by the retention anchor,
+    /// which a correctly anchored reader never observes) and the records.
+    /// An empty vector means the journal holds nothing at or after `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError`] if a sealed segment cannot be read back.
+    pub fn read_from(
+        &self,
+        from: u64,
+        max: usize,
+    ) -> Result<(u64, Vec<JournalRecord>), JournalError> {
+        // Index the sealed segments under the lock, but do the file reads —
+        // and the materialisation of the active tail's records (payload
+        // clones) — outside it, so a catching-up reader never stalls the
+        // appender: the lock-held work is pointer clones only.
+        let (sealed_paths, active_first, active_tail): (
+            Vec<(u64, u64, PathBuf)>,
+            u64,
+            Vec<Arc<JournalRecord>>,
+        ) = {
+            let inner = self.inner.lock();
+            let sealed = inner
+                .sealed
+                .iter()
+                .filter(|segment| segment.first_seq + segment.len > from)
+                .map(|segment| (segment.first_seq, segment.len, segment.path.clone()))
+                .collect();
+            let skip = (from.saturating_sub(inner.active_first)) as usize;
+            let take: Vec<Arc<JournalRecord>> = inner
+                .active
+                .iter()
+                .skip(skip)
+                .take(max)
+                .cloned()
+                .collect();
+            (sealed, inner.active_first, take)
+        };
+
+        let mut start = from;
+        let mut records: Vec<JournalRecord> = Vec::new();
+        for (first_seq, _len, path) in sealed_paths {
+            if records.len() >= max {
+                break;
+            }
+            let bytes = std::fs::read(&path)?;
+            let (file_first, segment_records) = decode_segment(&bytes)?;
+            debug_assert_eq!(file_first, first_seq);
+            let skip = (start.saturating_sub(first_seq)) as usize;
+            if records.is_empty() {
+                start = start.max(first_seq);
+            }
+            records.extend(
+                segment_records
+                    .into_iter()
+                    .skip(skip)
+                    .take(max - records.len()),
+            );
+        }
+        if records.len() < max && !active_tail.is_empty() {
+            if records.is_empty() {
+                start = start.max(active_first);
+            }
+            let room = max - records.len();
+            records.extend(
+                active_tail
+                    .iter()
+                    .take(room)
+                    .map(|record| (**record).clone()),
+            );
+        }
+        Ok((start, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64) -> JournalRecord {
+        JournalRecord {
+            kind: EventKind::Syscall,
+            sysno: (seed % 300) as u16,
+            tid: (seed % 5) as u32,
+            clock: seed,
+            result: seed as i64 - 7,
+            args: [seed, seed + 1, seed + 2, seed + 3, seed + 4, seed + 5],
+            payload: if seed.is_multiple_of(3) {
+                Some(vec![seed as u8; (seed % 17) as usize])
+            } else {
+                None
+            },
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "varan-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn frame_round_trips_with_and_without_payload() {
+        for seed in 0..20u64 {
+            let original = record(seed);
+            let mut bytes = Vec::new();
+            original.encode_into(&mut bytes);
+            let mut cursor = 0usize;
+            let decoded = JournalRecord::decode_from(&bytes, &mut cursor).unwrap();
+            assert_eq!(decoded, original);
+            assert_eq!(cursor, bytes.len());
+        }
+    }
+
+    #[test]
+    fn empty_payload_stays_distinct_from_none() {
+        let mut with_empty = record(1);
+        with_empty.payload = Some(Vec::new());
+        let mut bytes = Vec::new();
+        with_empty.encode_into(&mut bytes);
+        let mut cursor = 0;
+        let decoded = JournalRecord::decode_from(&bytes, &mut cursor).unwrap();
+        assert_eq!(decoded.payload, Some(Vec::new()));
+    }
+
+    #[test]
+    fn event_conversion_preserves_inline_fields() {
+        let original = record(9);
+        let event = original.to_event();
+        let back = JournalRecord::from_event(&event, original.payload.clone());
+        assert_eq!(back.kind, original.kind);
+        assert_eq!(back.sysno, original.sysno);
+        assert_eq!(back.clock, original.clock);
+        assert_eq!(back.result, original.result);
+        assert_eq!(&back.args[..EVENT_INLINE_ARGS], &original.args[..EVENT_INLINE_ARGS]);
+        // The two spilled registers are not representable in a ring event.
+        assert_eq!(back.args[4], 0);
+    }
+
+    #[test]
+    fn segment_decode_rejects_garbage() {
+        assert_eq!(decode_segment(b"junk").unwrap_err(), JournalError::BadMagic);
+        let mut bytes = encode_segment(0, &[record(1)]);
+        bytes[0] = b'X';
+        assert_eq!(decode_segment(&bytes).unwrap_err(), JournalError::BadMagic);
+        let mut bytes = encode_segment(0, &[record(1)]);
+        bytes[16] = 200; // unknown event kind
+        assert!(matches!(
+            decode_segment(&bytes).unwrap_err(),
+            JournalError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn strict_decode_rejects_torn_tail_lossy_recovers_it() {
+        let records: Vec<JournalRecord> = (0..5).map(record).collect();
+        let mut bytes = encode_segment(7, &records);
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            decode_segment(&bytes).unwrap_err(),
+            JournalError::Truncated { .. }
+        ));
+        let (first, recovered, torn) = decode_segment_lossy(&bytes).unwrap();
+        assert_eq!(first, 7);
+        assert_eq!(recovered, records[..4].to_vec());
+        assert!(torn.is_some());
+    }
+
+    #[test]
+    fn journal_appends_rotates_and_reads_back() {
+        let dir = temp_dir("rotate");
+        let journal =
+            EventJournal::open(JournalConfig::new(&dir).with_segment_records(8)).unwrap();
+        for seed in 0..30u64 {
+            assert_eq!(journal.append(record(seed)).unwrap(), seed);
+        }
+        assert_eq!(journal.tail_sequence(), 30);
+        let (start, all) = journal.read_from(0, usize::MAX).unwrap();
+        assert_eq!(start, 0);
+        assert_eq!(all.len(), 30);
+        assert_eq!(all[17], record(17));
+        // Mid-stream read crossing a segment boundary.
+        let (start, tail) = journal.read_from(13, 10).unwrap();
+        assert_eq!(start, 13);
+        assert_eq!(tail.len(), 10);
+        assert_eq!(tail[0], record(13));
+        // Past the tail.
+        let (_, none) = journal.read_from(30, usize::MAX).unwrap();
+        assert!(none.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_a_torn_active_segment() {
+        let dir = temp_dir("torn");
+        {
+            let journal =
+                EventJournal::open(JournalConfig::new(&dir).with_segment_records(100)).unwrap();
+            for seed in 0..10u64 {
+                journal.append(record(seed)).unwrap();
+            }
+            journal.flush().unwrap();
+        }
+        // Tear the final frame of the active segment.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let journal =
+            EventJournal::open(JournalConfig::new(&dir).with_segment_records(100)).unwrap();
+        assert_eq!(journal.tail_sequence(), 9, "torn record truncated, not fatal");
+        let (_, records) = journal.read_from(0, usize::MAX).unwrap();
+        assert_eq!(records, (0..9).map(record).collect::<Vec<_>>());
+        // Appending continues from the recovered position.
+        assert_eq!(journal.append(record(99)).unwrap(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_deletes_whole_segments_below_the_anchor() {
+        let dir = temp_dir("retain");
+        let journal =
+            EventJournal::open(JournalConfig::new(&dir).with_segment_records(4)).unwrap();
+        for seed in 0..20u64 {
+            journal.append(record(seed)).unwrap();
+        }
+        assert_eq!(journal.oldest_sequence(), 0);
+        journal.set_anchor(10);
+        // Segments [0..4) and [4..8) die; [8..12) survives because record 10
+        // lives in it.
+        assert_eq!(journal.oldest_sequence(), 8);
+        assert_eq!(journal.anchor(), 10);
+        let (start, records) = journal.read_from(10, usize::MAX).unwrap();
+        assert_eq!(start, 10);
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[0], record(10));
+        // The anchor never moves backwards.
+        journal.set_anchor(3);
+        assert_eq!(journal.anchor(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_log_style_single_segment_round_trip() {
+        // The record-replay log encodes itself as one segment with
+        // first_seq 0; make sure that shape round-trips here too.
+        let records: Vec<JournalRecord> = (0..12).map(record).collect();
+        let bytes = encode_segment(0, &records);
+        let (first, decoded) = decode_segment(&bytes).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(decoded, records);
+    }
+}

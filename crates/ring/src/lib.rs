@@ -22,6 +22,10 @@
 //!   out-of-line system-call payloads (§3.3.4).
 //! * [`EventPump`] — the paper's *discarded* first design (one queue per
 //!   follower plus a central pump), kept as an ablation baseline.
+//! * [`journal`] — the segmented, disk-backed spill journal that extends the
+//!   bounded in-memory ring into an unbounded catch-up log for followers
+//!   that join (or lag) at runtime, with retention anchored at the oldest
+//!   live kernel checkpoint.
 //!
 //! In the original system these structures live in a POSIX shared-memory
 //! segment mapped into every version's address space; in this reproduction the
@@ -56,6 +60,7 @@
 mod clock;
 mod error;
 mod event;
+pub mod journal;
 mod pump;
 mod ring;
 mod sequence;
@@ -65,6 +70,7 @@ mod waitlock;
 pub use clock::{ClockOrdering, LamportClock, VariantClock};
 pub use error::RingError;
 pub use event::{Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE};
+pub use journal::{EventJournal, JournalConfig, JournalError, JournalRecord};
 pub use pump::{EventPump, PumpQueue};
 pub use ring::{Consumer, Producer, RingBuffer, WaitStrategy};
 pub use sequence::Sequence;

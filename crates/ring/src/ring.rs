@@ -659,6 +659,41 @@ impl<T: Copy + Default + Send + 'static> Consumer<T> {
         self.shared.active[self.index].store(false, Ordering::Release);
         self.shared.notify();
     }
+
+    /// Returns `true` while this consumer slot gates the producer.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.shared.active[self.index].load(Ordering::Acquire)
+    }
+
+    /// (Re)registers this consumer at sequence `next`: the gating sequence
+    /// is placed just below `next` (so slots `next..` are protected from
+    /// reuse) and the slot is marked active.
+    ///
+    /// This is the elastic-membership primitive: a **joining** follower that
+    /// has been catching up from the spill journal calls this once its
+    /// replay position is within one ring lap of the cursor, atomically
+    /// transitioning from journal replay to live ring consumption; while
+    /// still registered, it also calls this after every replayed journal
+    /// batch so its gate keeps pace and the producer is never gated by more
+    /// than the backlog it just cleared.
+    ///
+    /// Safety of mid-flight registration rests on two facts: a producer's
+    /// cached gating minimum is always `<=` the published cursor, so a stale
+    /// cache can only authorise overwriting slots *below* the cursor at the
+    /// time the cache was taken — all of which the joiner reads from the
+    /// journal, never the ring (the leader appends to the journal **before**
+    /// publishing); and the gating sequence is release-stored before the
+    /// slot is flipped active, so any rescan that observes the slot also
+    /// observes its sequence.
+    pub fn resume_at(&mut self, next: u64) {
+        self.next = next;
+        // `next == 0` wraps to the SEQUENCE_INITIAL sentinel, which is the
+        // correct "nothing consumed yet" gate.
+        self.shared.consumers[self.index].set(next.wrapping_sub(1));
+        self.shared.active[self.index].store(true, Ordering::Release);
+        self.shared.notify();
+    }
 }
 
 impl<T> Drop for Consumer<T> {

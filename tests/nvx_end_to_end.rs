@@ -128,7 +128,12 @@ fn redis_failover_survives_a_crashing_leader_mid_request() {
 
     let report = running.wait();
     assert_eq!(report.promotions, 1);
-    assert!(report.versions[1].restarts >= 1, "the interrupted call is restarted");
+    // The coordinator promotes the most-caught-up live follower (not
+    // necessarily the first); whichever won restarted the interrupted call.
+    assert!(
+        report.versions[1..].iter().any(|v| v.restarts >= 1),
+        "the interrupted call is restarted by the promoted follower"
+    );
 }
 
 #[test]
