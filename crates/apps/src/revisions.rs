@@ -7,6 +7,7 @@
 //! 2523/2524, 2577/2578) and therefore need rewrite rules.  This module
 //! builds those version sets and the matching [`RuleEngine`] configurations.
 
+use varan_core::upgrade::UpgradeStep;
 use varan_core::{RuleEngine, VersionProgram};
 use varan_kernel::Sysno;
 
@@ -45,6 +46,32 @@ pub fn redis_revision_set(config: &ServerConfig, buggy_leader: bool) -> Vec<Box<
         versions.push(buggy);
     }
     versions
+}
+
+/// Builds the §5.1 Redis revision range as a **live-upgrade chain** instead
+/// of a boot-time version set: the oldest revision is returned as the
+/// initial (launched) leader, and each successive revision becomes one
+/// [`UpgradeStep`] for `varan_core::upgrade::UpgradeOrchestrator::run_chain`,
+/// ordered oldest → newest.  The consecutive revisions have identical
+/// system-call behaviour, so no rewrite rules are needed between hops; the
+/// newest revision carries the `HMGET` crash bug and is expected to crash
+/// while replaying history during its canary stage, exercising the
+/// pipeline's automatic rollback.
+#[must_use]
+pub fn redis_upgrade_chain(config: &ServerConfig) -> (Box<dyn VersionProgram>, Vec<UpgradeStep>) {
+    let initial: Box<dyn VersionProgram> = Box::new(
+        KvServer::new(config.clone()).with_revision(REDIS_REVISIONS[0], false),
+    );
+    let steps = REDIS_REVISIONS[1..]
+        .iter()
+        .map(|revision| {
+            let buggy = *revision == REDIS_REVISIONS[7];
+            UpgradeStep::new(Box::new(
+                KvServer::new(config.clone()).with_revision(revision, buggy),
+            ))
+        })
+        .collect();
+    (initial, steps)
 }
 
 /// Builds a Lighttpd-like server at the given revision.
@@ -144,6 +171,18 @@ mod tests {
         let as_follower = redis_revision_set(&config, false);
         assert_eq!(as_follower[0].name(), "redis-9a22de8");
         assert_eq!(as_follower[7].name(), "redis-7fb16ba");
+    }
+
+    #[test]
+    fn redis_upgrade_chain_orders_oldest_to_newest() {
+        let config = ServerConfig::on_port(6380).with_connections(4);
+        let (initial, steps) = redis_upgrade_chain(&config);
+        assert_eq!(initial.name(), "redis-9a22de8");
+        assert_eq!(steps.len(), 7);
+        assert_eq!(steps[0].program.name(), "redis-1fa3304");
+        assert_eq!(steps[6].program.name(), "redis-7fb16ba");
+        // Identical-behaviour hops carry no rules.
+        assert!(steps.iter().all(|step| step.candidate_rules.is_empty()));
     }
 
     #[test]

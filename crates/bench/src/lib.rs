@@ -17,6 +17,7 @@
 //! | [`scenarios`] | §5.1–§5.4 — failover, multi-revision execution, live sanitization, record-replay |
 //! | [`ringbench`] | machine-readable ring/pool throughput (`BENCH_ring.json`) |
 //! | [`fleetbench`] | machine-readable elastic-fleet churn scenario (`BENCH_fleet.json`) |
+//! | [`upgradebench`] | machine-readable zero-downtime rolling upgrade (`BENCH_upgrade.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
 #![forbid(unsafe_code)]
@@ -30,6 +31,7 @@ pub mod ringbench;
 pub mod scenarios;
 pub mod servers;
 pub mod spec;
+pub mod upgradebench;
 
 /// Scale of an experiment run: `Quick` keeps the harness suitable for CI and
 /// the test suite, `Full` uses larger workloads closer to the paper's.

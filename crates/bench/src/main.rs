@@ -10,7 +10,8 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, spec, Scale,
+    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, spec,
+    upgradebench, Scale,
 };
 
 #[derive(Debug, Default)]
@@ -27,8 +28,10 @@ struct Options {
     sanitize: bool,
     recreplay: bool,
     fig_fleet: bool,
+    fig_upgrade: bool,
     check_ring: bool,
     check_fleet: bool,
+    check_upgrade: bool,
     full: bool,
 }
 
@@ -50,10 +53,12 @@ impl Options {
                 "--sanitize" => options.sanitize = true,
                 "--recreplay" => options.recreplay = true,
                 "--fig-fleet" => options.fig_fleet = true,
+                "--fig-upgrade" => options.fig_upgrade = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
                 "--check-ring" => options.check_ring = true,
                 "--check-fleet" => options.check_fleet = true,
+                "--check-upgrade" => options.check_upgrade = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -71,20 +76,27 @@ impl Options {
                     options.sanitize = true;
                     options.recreplay = true;
                     options.fig_fleet = true;
+                    options.fig_upgrade = true;
                 }
                 "--help" | "-h" => {
                     println!(
                         "usage: figures [--all] [--full] [--fig4 --fig5 --fig6 --fig7 --fig8]\n\
                          \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
-                         \x20              [--fig-fleet] [--check-ring] [--check-fleet]\n\
+                         \x20              [--fig-fleet] [--fig-upgrade] [--check-ring] [--check-fleet]\n\
+                         \x20              [--check-upgrade]\n\
                          --fig5 also writes {path} (ring/pool throughput);\n\
                          --check-ring validates {path} and exits non-zero if it is malformed\n\
                          or the disruptor does not beat the event-pump baseline at 3 followers.\n\
                          --fig-fleet runs the elastic-fleet churn scenario and writes {fleet};\n\
                          --check-fleet validates {fleet} (leader throughput during churn must\n\
-                         stay above 50% of the no-churn baseline).",
+                         stay above 50% of the no-churn baseline).\n\
+                         --fig-upgrade drives the 8-revision Redis rolling upgrade under live\n\
+                         traffic and writes {upgrade}; --check-upgrade validates {upgrade}\n\
+                         (zero failed client requests, >= 6 promotions, the bad revision\n\
+                         rolled back).",
                         path = varan_bench::ringbench::DEFAULT_PATH,
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
+                        upgrade = varan_bench::upgradebench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
                 }
@@ -197,6 +209,17 @@ fn main() {
             ),
         }
     }
+    if options.fig_upgrade {
+        let upgrade_report = upgradebench::run(scale);
+        println!("{}", upgrade_report.render());
+        match upgrade_report.write_to(upgradebench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", upgradebench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                upgradebench::DEFAULT_PATH
+            ),
+        }
+    }
     if options.check_ring {
         match ringbench::validate_file(ringbench::DEFAULT_PATH) {
             Ok(()) => println!("{} OK", ringbench::DEFAULT_PATH),
@@ -211,6 +234,15 @@ fn main() {
             Ok(()) => println!("{} OK", fleetbench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_fleet check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_upgrade {
+        match upgradebench::validate_file(upgradebench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", upgradebench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_upgrade check failed: {err}");
                 std::process::exit(1);
             }
         }

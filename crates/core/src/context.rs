@@ -1,12 +1,12 @@
 //! Shared state wired between the coordinator and the per-version monitors.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use varan_kernel::process::Pid;
-use varan_ring::{Event, RingBuffer, WaitStrategy};
+use varan_ring::{Consumer, Event, RingBuffer, WaitStrategy};
 
 use crate::channel::DataChannel;
 use crate::error::CoreError;
@@ -150,6 +150,11 @@ pub struct FollowerLink {
     /// as leader.  Observer joiners attached by the fleet are not
     /// promotable.
     pub promotable: bool,
+    /// Whether descriptor transfers to this follower must preserve the
+    /// leader's descriptor numbers ([`varan_kernel::Kernel::transfer_fd_identity`]).
+    /// Upgrade members mirror the stream's numbering so the numbers their
+    /// replayed application holds stay valid across a promotion.
+    pub identity_fds: bool,
 }
 
 impl FollowerLink {
@@ -165,6 +170,7 @@ impl FollowerLink {
             slot: index.saturating_sub(1),
             catching_up: Arc::new(AtomicBool::new(false)),
             promotable: true,
+            identity_fds: false,
         }
     }
 
@@ -186,6 +192,182 @@ impl FollowerLink {
     }
 }
 
+/// Everything the current leader needs to execute a planned handover
+/// (`crate::upgrade`): the ring slot it will occupy as a follower afterwards
+/// and the identity of the successor it yields to.
+#[derive(Debug)]
+pub struct HandoverTicket {
+    /// The (retired) consumer slot the demoted leader re-activates at the
+    /// stream position where it stopped publishing.
+    pub consumer: Consumer<Event>,
+    /// Version index of the successor (the soaked upgrade candidate).
+    pub successor_index: usize,
+    /// The successor's promotion flag; set by the demoting leader once it
+    /// has stopped publishing and registered its gate.
+    pub successor_promoted: Arc<AtomicBool>,
+    /// The execution's current-leader register, updated as part of the
+    /// handover.
+    pub current_leader: Arc<AtomicUsize>,
+    /// The rewrite-rule registry the demoted leader resolves its divergence
+    /// verdicts through (scoped rules for the retiree are installed by the
+    /// orchestrator before the handover is requested).
+    pub rules: Arc<crate::rules::ScopedRules>,
+    /// Where the demoted leader's consumer slot is returned when it later
+    /// retires or is promoted again.
+    pub slot_pool: Arc<Mutex<Vec<Consumer<Event>>>>,
+}
+
+/// State machine of a planned handover request (see [`HandoverCell`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoverState {
+    /// No handover pending.
+    Idle,
+    /// A ticket is posted; the leader has not yet picked it up.
+    Requested,
+    /// The leader is executing the demotion.
+    InProgress,
+    /// The leader has demoted itself and promoted the successor.
+    Demoted,
+    /// The leader refused the ticket (the successor died first) and
+    /// continues leading; the ticket's slot went back to the spare pool.
+    Aborted,
+}
+
+const HANDOVER_IDLE: u8 = 0;
+const HANDOVER_REQUESTED: u8 = 1;
+const HANDOVER_IN_PROGRESS: u8 = 2;
+const HANDOVER_DEMOTED: u8 = 3;
+const HANDOVER_ABORTED: u8 = 4;
+
+/// The planned-handover mailbox of one version: the upgrade orchestrator
+/// posts a [`HandoverTicket`], the version's monitor picks it up at its next
+/// system-call boundary, demotes itself to a follower and acknowledges.
+///
+/// The cell is a tiny lock-free state machine so the orchestrator can
+/// *cancel* a request that the leader has not begun executing (e.g. a
+/// handover timed out because the leader is parked in a long blocking call
+/// with no traffic): cancellation and pickup race through a single
+/// compare-and-swap, so exactly one side wins.
+#[derive(Debug, Default)]
+pub struct HandoverCell {
+    state: AtomicU8,
+    ticket: Mutex<Option<HandoverTicket>>,
+}
+
+impl HandoverCell {
+    /// Creates an idle cell.
+    #[must_use]
+    pub fn new() -> Self {
+        HandoverCell::default()
+    }
+
+    /// Current state of the cell.
+    #[must_use]
+    pub fn state(&self) -> HandoverState {
+        match self.state.load(Ordering::Acquire) {
+            HANDOVER_REQUESTED => HandoverState::Requested,
+            HANDOVER_IN_PROGRESS => HandoverState::InProgress,
+            HANDOVER_DEMOTED => HandoverState::Demoted,
+            HANDOVER_ABORTED => HandoverState::Aborted,
+            _ => HandoverState::Idle,
+        }
+    }
+
+    /// Cheap check used on the monitor's hot path.
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.state.load(Ordering::Acquire) == HANDOVER_REQUESTED
+    }
+
+    /// Posts a ticket.  Returns `false` (and drops nothing — the ticket is
+    /// handed back) if a handover is already pending or executing.
+    pub fn request(&self, ticket: HandoverTicket) -> Result<(), HandoverTicket> {
+        let mut slot = self.ticket.lock();
+        if self
+            .state
+            .compare_exchange(
+                HANDOVER_IDLE,
+                HANDOVER_REQUESTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return Err(ticket);
+        }
+        *slot = Some(ticket);
+        Ok(())
+    }
+
+    /// Monitor side: claims a posted ticket.  Returns `None` if no request
+    /// is pending (or it was cancelled first).
+    #[must_use]
+    pub fn begin(&self) -> Option<HandoverTicket> {
+        if self
+            .state
+            .compare_exchange(
+                HANDOVER_REQUESTED,
+                HANDOVER_IN_PROGRESS,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return None;
+        }
+        self.ticket.lock().take()
+    }
+
+    /// Monitor side: acknowledges that the demotion finished.
+    pub fn complete(&self) {
+        self.state.store(HANDOVER_DEMOTED, Ordering::Release);
+    }
+
+    /// Monitor side: refuses a claimed ticket (dead successor); the leader
+    /// keeps leading.
+    pub fn abort(&self) {
+        self.state.store(HANDOVER_ABORTED, Ordering::Release);
+    }
+
+    /// Orchestrator side: cancels a request the leader has not begun.  On
+    /// success the unclaimed ticket is returned (so its consumer slot can go
+    /// back to the spare pool); `None` means the leader already started or
+    /// finished the demotion.
+    #[must_use]
+    pub fn cancel(&self) -> Option<HandoverTicket> {
+        let mut slot = self.ticket.lock();
+        if self
+            .state
+            .compare_exchange(
+                HANDOVER_REQUESTED,
+                HANDOVER_IDLE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return None;
+        }
+        slot.take()
+    }
+
+    /// Orchestrator side: returns the cell to idle after observing
+    /// [`HandoverState::Demoted`] or [`HandoverState::Aborted`], making the
+    /// version eligible for a future handover (a rolled-back upgrade may
+    /// re-promote and later re-demote the same version).
+    pub fn reset(&self) {
+        for terminal in [HANDOVER_DEMOTED, HANDOVER_ABORTED] {
+            if self
+                .state
+                .compare_exchange(terminal, HANDOVER_IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
 /// The per-version context handed to a monitor.
 #[derive(Debug, Clone)]
 pub struct VersionContext {
@@ -203,9 +385,28 @@ pub struct VersionContext {
     pub killed: Arc<AtomicBool>,
     /// Set by the coordinator when this follower must become the leader.
     pub promoted: Arc<AtomicBool>,
+    /// Planned-handover mailbox (set by the upgrade orchestrator when this
+    /// version, as leader, must yield to a soaked candidate).
+    pub handover: Arc<HandoverCell>,
 }
 
 impl VersionContext {
+    /// Creates the context for version `index` running as process `pid`,
+    /// with fresh counters, channel, clock and flags.
+    #[must_use]
+    pub fn new(index: usize, pid: Pid) -> Self {
+        VersionContext {
+            index,
+            pid,
+            counters: Arc::new(crate::stats::VersionCounters::new()),
+            channel: DataChannel::new(pid),
+            clock: varan_ring::VariantClock::new(),
+            killed: Arc::new(AtomicBool::new(false)),
+            promoted: Arc::new(AtomicBool::new(false)),
+            handover: Arc::new(HandoverCell::new()),
+        }
+    }
+
     /// Returns `true` once this version has been promoted to leader.
     #[must_use]
     pub fn is_promoted(&self) -> bool {
@@ -326,6 +527,46 @@ mod tests {
         assert_eq!(set.ring(0).published(), 64);
         // Claiming the same slots again fails.
         assert!(set.claim_spares(1, 2).is_err());
+    }
+
+    #[test]
+    fn handover_cell_pickup_and_cancel_race_resolves_once() {
+        use std::sync::atomic::AtomicUsize;
+
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Spin).unwrap());
+        let make_ticket = |consumer| HandoverTicket {
+            consumer,
+            successor_index: 9,
+            successor_promoted: Arc::new(AtomicBool::new(false)),
+            current_leader: Arc::new(AtomicUsize::new(0)),
+            rules: Arc::new(crate::rules::ScopedRules::default()),
+            slot_pool: Arc::new(Mutex::new(Vec::new())),
+        };
+
+        let cell = HandoverCell::new();
+        assert_eq!(cell.state(), HandoverState::Idle);
+        assert!(cell.begin().is_none(), "nothing posted yet");
+
+        let consumer = ring.consumer(0).unwrap();
+        cell.request(make_ticket(consumer)).unwrap();
+        assert!(cell.is_requested());
+
+        // The leader claims the ticket; a late cancel must lose.
+        let ticket = cell.begin().expect("posted");
+        assert_eq!(ticket.successor_index, 9);
+        assert!(cell.cancel().is_none(), "pickup already won");
+        assert_eq!(cell.state(), HandoverState::InProgress);
+        cell.complete();
+        assert_eq!(cell.state(), HandoverState::Demoted);
+        cell.reset();
+        assert_eq!(cell.state(), HandoverState::Idle);
+
+        // A cancelled request hands the ticket (and its slot) back.
+        cell.request(make_ticket(ticket.consumer)).unwrap();
+        let returned = cell.cancel().expect("cancel wins before pickup");
+        assert_eq!(returned.successor_index, 9);
+        assert_eq!(cell.state(), HandoverState::Idle);
+        assert!(cell.begin().is_none());
     }
 
     #[test]

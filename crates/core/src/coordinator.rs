@@ -13,7 +13,7 @@
 //! its interrupted system call.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,17 +23,17 @@ use parking_lot::{Mutex, RwLock};
 
 use varan_kernel::process::Pid;
 use varan_kernel::Kernel;
-use varan_ring::{EventJournal, PoolAllocator, PoolConfig, VariantClock, WaitStrategy};
+use varan_ring::{EventJournal, PoolAllocator, PoolConfig, WaitStrategy};
 
-use crate::channel::{ChannelMessage, DataChannel};
+use crate::channel::ChannelMessage;
 use crate::context::{FollowerLink, LogDistanceSampler, RingSet, VersionContext};
 use crate::costs::MonitorCosts;
 use crate::error::CoreError;
 use crate::fleet::{FleetConfig, FleetController};
 use crate::monitor::{FollowerMonitor, LeaderCore, LeaderMonitor};
 use crate::program::{ProgramExit, SyscallInterface, VersionProgram};
-use crate::rules::RuleEngine;
-use crate::stats::{NvxReport, SharedCounters, VersionCounters};
+use crate::rules::{RuleEngine, ScopedRules};
+use crate::stats::{NvxReport, SharedCounters};
 
 /// Configuration of an N-version execution.
 #[derive(Debug)]
@@ -46,8 +46,13 @@ pub struct NvxConfig {
     pub max_thread_tuples: usize,
     /// Shared memory pool configuration.
     pub pool: PoolConfig,
-    /// System-call sequence rewrite rules.
+    /// System-call sequence rewrite rules applied to every follower that has
+    /// no scoped rule set of its own.
     pub rules: RuleEngine,
+    /// Rewrite rules scoped to individual versions (index, engine): each
+    /// listed follower resolves divergences through its own engine instead
+    /// of the shared default (§3.4 scoping for multi-revision fleets).
+    pub version_rules: Vec<(usize, RuleEngine)>,
     /// Monitor cost model.
     pub monitor_costs: MonitorCosts,
     /// Record one log-distance sample every this many published events.
@@ -68,6 +73,7 @@ impl Default for NvxConfig {
                 ..PoolConfig::default()
             },
             rules: RuleEngine::new(),
+            version_rules: Vec::new(),
             monitor_costs: MonitorCosts::default(),
             log_distance_sample_every: 16,
             fleet: None,
@@ -100,6 +106,15 @@ impl NvxConfig {
     #[must_use]
     pub fn with_wait_strategy(mut self, strategy: WaitStrategy) -> Self {
         self.wait_strategy = strategy;
+        self
+    }
+
+    /// Scopes a rewrite-rule engine to version `index` (followers without a
+    /// scoped engine keep using [`NvxConfig::rules`]), consuming and
+    /// returning the configuration.
+    #[must_use]
+    pub fn with_version_rules(mut self, index: usize, rules: RuleEngine) -> Self {
+        self.version_rules.push((index, rules));
         self
     }
 
@@ -270,7 +285,10 @@ impl NvxSystem {
             None => None,
         };
         let pool = Arc::new(PoolAllocator::new(config.pool.clone()));
-        let rules = Arc::new(config.rules.clone());
+        let rules = Arc::new(ScopedRules::new(config.rules.clone()));
+        for (index, engine) in &config.version_rules {
+            rules.install(*index, engine.clone());
+        }
         let sampler = Arc::new(LogDistanceSampler::new(config.log_distance_sample_every));
         let followers: crate::context::SharedFollowers = Arc::new(RwLock::new(Vec::new()));
         let zygote = Zygote::start(kernel);
@@ -280,16 +298,7 @@ impl NvxSystem {
         let mut contexts = Vec::with_capacity(versions.len());
         for (index, version) in versions.iter().enumerate() {
             let pid = zygote.spawn(&version.name());
-            let context = VersionContext {
-                index,
-                pid,
-                counters: Arc::new(VersionCounters::new()),
-                channel: DataChannel::new(pid),
-                clock: VariantClock::new(),
-                killed: Arc::new(AtomicBool::new(false)),
-                promoted: Arc::new(AtomicBool::new(false)),
-            };
-            contexts.push(context);
+            contexts.push(VersionContext::new(index, pid));
         }
         {
             let mut links = followers.write();
@@ -397,6 +406,10 @@ impl NvxSystem {
                 Arc::clone(&preferred_successor),
                 spare_pool,
                 fleet_config.record_stream,
+                fleet_config.retain_history,
+                config.monitor_costs.clone(),
+                Arc::clone(&sampler),
+                Arc::clone(&rules),
             )),
             _ => None,
         };
@@ -437,6 +450,17 @@ impl NvxSystem {
                     };
                     summary.exits[index] = Some(description);
                     if !is_failure {
+                        // A cleanly exited version no longer consumes or
+                        // leads; mark its links dead so descriptor
+                        // transfers stop and no later election (including
+                        // the fleet's member-leader crash election) can
+                        // pick an exited process.
+                        let links = control_followers.read();
+                        for link in links.iter() {
+                            if link.index == index {
+                                link.discard();
+                            }
+                        }
                         continue;
                     }
                     if index == control_leader.load(Ordering::Acquire) {
@@ -595,6 +619,7 @@ pub fn run_nvx(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::DataChannel;
     use varan_kernel::signal::Signal;
     use varan_kernel::syscall::SyscallRequest;
     use varan_kernel::Sysno;
@@ -675,6 +700,70 @@ mod tests {
         let report = run_nvx(&kernel, versions, NvxConfig::default()).unwrap();
         assert!(report.versions[0].fd_transfers >= 1);
         assert!(report.versions[1].fd_transfers >= 1);
+    }
+
+    /// A version that spawns more application threads than thread tuples
+    /// are provisioned; the surplus threads must share the last ring on
+    /// both sides (leader: clamped producers; follower: shared consumer),
+    /// never panic with "no free ring for thread".
+    struct ThreadedProgram {
+        label: String,
+        workers: usize,
+        iterations: u32,
+    }
+
+    impl VersionProgram for ThreadedProgram {
+        fn name(&self) -> String {
+            self.label.clone()
+        }
+
+        fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+            let mut handles = Vec::new();
+            for _ in 0..self.workers {
+                let mut worker = sys.spawn_thread();
+                let iterations = self.iterations;
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..iterations {
+                        worker.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+                        worker.time();
+                    }
+                }));
+            }
+            for _ in 0..self.iterations {
+                sys.time();
+            }
+            for handle in handles {
+                handle.join().expect("worker finishes");
+            }
+            sys.exit(0);
+            ProgramExit::Exited(0)
+        }
+    }
+
+    #[test]
+    fn threads_beyond_provisioned_tuples_share_the_clamped_ring() {
+        let kernel = Kernel::new();
+        // 1 main thread + 3 workers over 2 tuples: workers 2 and 3 clamp
+        // onto ring 1 and share its consumer, exactly as the leader clamps
+        // its producers.
+        let mut config = NvxConfig::default();
+        config.max_thread_tuples = 2;
+        let versions: Vec<Box<dyn VersionProgram>> = (0..2)
+            .map(|i| {
+                Box::new(ThreadedProgram {
+                    label: format!("threaded-{i}"),
+                    workers: 3,
+                    iterations: 25,
+                }) as Box<dyn VersionProgram>
+            })
+            .collect();
+        let report = run_nvx(&kernel, versions, config).unwrap();
+        assert!(report.all_clean(), "exits: {:?}", report.exits);
+        assert_eq!(report.versions[1].divergences_killed, 0);
+        assert_eq!(
+            report.versions[0].events, report.versions[1].events,
+            "every published event must be replayed exactly once"
+        );
     }
 
     #[test]
@@ -807,6 +896,46 @@ mod tests {
         assert_eq!(report.discarded_followers, 1);
         assert!(report.exits[1].as_deref().unwrap().starts_with("panicked"));
         assert!(report.exits[0].as_deref().unwrap().starts_with("exited"));
+    }
+
+    #[test]
+    fn version_scoped_rules_cover_only_their_follower() {
+        let mut rules = RuleEngine::new();
+        rules
+            .allow_extra_call(
+                "extra-getuid",
+                Sysno::Getuid.number(),
+                Sysno::Getegid.number(),
+            )
+            .unwrap();
+
+        // Scoped to the divergent follower (index 1): it survives, without
+        // loosening anything globally.
+        let kernel = Kernel::new();
+        let mut divergent = MixProgram::new("divergent", 10);
+        divergent.extra_getuid = true;
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 10)),
+            Box::new(divergent),
+        ];
+        let config = NvxConfig::default().with_version_rules(1, rules.clone());
+        let report = run_nvx(&kernel, versions, config).unwrap();
+        assert!(report.all_clean(), "exits: {:?}", report.exits);
+        assert_eq!(report.versions[1].divergences_allowed, 10);
+
+        // Scoped to the *wrong* follower: the divergent one still answers to
+        // the (empty) default engine and is killed.
+        let kernel = Kernel::new();
+        let mut divergent = MixProgram::new("divergent", 10);
+        divergent.extra_getuid = true;
+        let versions: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(MixProgram::new("leader", 10)),
+            Box::new(divergent),
+        ];
+        let config = NvxConfig::default().with_version_rules(2, rules);
+        let report = run_nvx(&kernel, versions, config).unwrap();
+        assert_eq!(report.versions[1].divergences_killed, 1);
+        assert_eq!(report.discarded_followers, 1);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! attach is in flight the anchor follows the tail.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -69,9 +70,13 @@ use varan_kernel::{Kernel, Sysno};
 use varan_ring::{Consumer, Event, EventJournal, JournalConfig, JournalRecord, PoolAllocator};
 
 use crate::channel::DataChannel;
-use crate::context::{FollowerLink, RingSet, SharedFollowers, VersionContext};
+use crate::context::{FollowerLink, LogDistanceSampler, RingSet, SharedFollowers, VersionContext};
 use crate::coordinator::Zygote;
+use crate::costs::MonitorCosts;
 use crate::error::CoreError;
+use crate::monitor::{CatchUp, FdHealer, FollowerMonitor, LeaderCore, SlotPool};
+use crate::program::{ProgramExit, VersionProgram};
+use crate::rules::{RuleEngine, ScopedRules};
 
 /// How often a joiner re-checks its stop flag while idle.
 const JOINER_POLL: Duration = Duration::from_millis(2);
@@ -94,6 +99,14 @@ pub struct FleetConfig {
     /// `clock` per event) — used by convergence tests; the rolling digest is
     /// always kept.
     pub record_stream: bool,
+    /// Retain the complete journal history (anchor pinned at sequence 0)
+    /// instead of retiring segments behind the oldest live checkpoint.
+    /// Required by [`FleetController::attach_version`]: a runtime-attached
+    /// application version starts its program from the beginning and replays
+    /// the *entire* stream to reach the leader's state, so no segment may
+    /// ever be retired.  This is the live-upgrade trade-off — disk for the
+    /// ability to roll a new revision into a running service.
+    pub retain_history: bool,
 }
 
 impl FleetConfig {
@@ -105,7 +118,19 @@ impl FleetConfig {
             spares: 2,
             auto_rearm: true,
             record_stream: false,
+            retain_history: false,
         }
+    }
+
+    /// A fleet configured for live upgrades: full journal retention and the
+    /// given number of spare slots (each in-flight canary and each retired
+    /// ex-leader occupies one).
+    #[must_use]
+    pub fn for_upgrades(dir: impl Into<std::path::PathBuf>, spares: usize) -> Self {
+        FleetConfig::new(dir)
+            .with_spares(spares)
+            .with_auto_rearm(false)
+            .with_retain_history(true)
     }
 
     /// Sets the number of spare consumer slots.
@@ -126,6 +151,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_record_stream(mut self, record: bool) -> Self {
         self.record_stream = record;
+        self
+    }
+
+    /// Enables (or disables) full journal retention, the prerequisite for
+    /// [`FleetController::attach_version`].
+    #[must_use]
+    pub fn with_retain_history(mut self, retain: bool) -> Self {
+        self.retain_history = retain;
         self
     }
 }
@@ -291,6 +324,123 @@ impl FleetMember {
     }
 }
 
+/// An application version attached to a *running* execution — the canary of
+/// the live-upgrade pipeline (`crate::upgrade`).
+///
+/// Unlike the observer [`FleetMember`], a version member drives a real
+/// [`VersionProgram`] through the follower replay path: its program starts
+/// from the beginning and replays the **entire** journal (its own system
+/// calls matched against the historical stream, divergences resolved by the
+/// rule set scoped to this member), so by the time it goes live its process
+/// state mirrors the leader's.  Once live it is promotable and can take over
+/// leadership through the planned-handover path.
+#[derive(Debug)]
+pub struct VersionMember {
+    /// Version index assigned to this member (past the launched versions).
+    pub index: usize,
+    /// Name the member's virtual process runs under.
+    pub name: String,
+    /// The member's virtual process.
+    pub pid: Pid,
+    /// The member's monitor context (counters, kill/promote flags, handover
+    /// mailbox).
+    pub context: VersionContext,
+    /// The main-ring consumer slot the member drains.
+    pub slot: usize,
+    alive: Arc<AtomicBool>,
+    catching_up: Arc<AtomicBool>,
+    live: Arc<AtomicBool>,
+    catch_up_nanos: Arc<AtomicU64>,
+    detached: AtomicBool,
+    exit: Mutex<Option<String>>,
+    failure: Mutex<Option<MemberFailure>>,
+}
+
+impl VersionMember {
+    /// Returns `true` while the member's program thread is running.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` while the member is replaying the journal history.
+    #[must_use]
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` once the member consumes the live ring.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Time from attach to live ring consumption, once live.
+    #[must_use]
+    pub fn catch_up_latency(&self) -> Option<Duration> {
+        if self.is_live() {
+            Some(Duration::from_nanos(
+                self.catch_up_nanos.load(Ordering::Acquire),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Events this member has replayed (journal and ring combined).
+    #[must_use]
+    pub fn events_replayed(&self) -> u64 {
+        self.context
+            .counters
+            .events
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Divergences a scoped rewrite rule allowed for this member.
+    #[must_use]
+    pub fn divergences_allowed(&self) -> u64 {
+        self.context
+            .counters
+            .divergences_allowed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The failure that stopped this member (crash, unresolved divergence,
+    /// journal gap), if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<MemberFailure> {
+        self.failure.lock().clone()
+    }
+
+    /// How the member's program ended, when it ended cleanly (or was
+    /// detached on purpose).
+    #[must_use]
+    pub fn exit(&self) -> Option<String> {
+        self.exit.lock().clone()
+    }
+
+    /// Blocks until the member reaches live consumption (or fails/stops),
+    /// up to `timeout`.  Returns `true` if it went live.
+    #[must_use]
+    pub fn wait_live(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_live() {
+                return true;
+            }
+            if self.failure().is_some() || !self.is_alive() {
+                return false;
+            }
+            std::thread::sleep(JOINER_POLL);
+        }
+        self.is_live()
+    }
+
+    fn was_detached(&self) -> bool {
+        self.detached.load(Ordering::Acquire)
+    }
+}
+
 struct FleetInner {
     kernel: Kernel,
     zygote: Zygote,
@@ -301,11 +451,25 @@ struct FleetInner {
     contexts: Vec<VersionContext>,
     current_leader: Arc<AtomicUsize>,
     record_stream: bool,
-    /// Retired main-ring consumer handles available to joiners.
-    spares: Mutex<Vec<Consumer<Event>>>,
+    /// Whether the journal keeps its complete history (anchor pinned at 0).
+    retain_history: bool,
+    /// Monitor cost model, for the leader cores handed to version members.
+    costs: MonitorCosts,
+    /// Log-distance sampler shared with the launched monitors.
+    sampler: Arc<LogDistanceSampler>,
+    /// The scoped rewrite-rule registry of the execution.
+    rules: Arc<ScopedRules>,
+    /// Version index → pid for every launched version and fleet member;
+    /// leadership can move to a member, so leader-pid lookups go through
+    /// this rather than the launched context list.
+    pids: Arc<Mutex<HashMap<usize, Pid>>>,
+    /// Retired main-ring consumer handles available to joiners (shared with
+    /// member monitors, which return their slot here when they retire).
+    spares: SlotPool,
     /// Soft cap on concurrently attached members ([`FleetController::set_spares`]).
     max_members: AtomicUsize,
     members: Mutex<Vec<Arc<FleetMember>>>,
+    version_members: Mutex<Vec<Arc<VersionMember>>>,
     joiners: Mutex<Vec<JoinHandle<()>>>,
     next_index: AtomicUsize,
     /// Checkpoint sequences with a restore in flight; the journal anchor is
@@ -344,9 +508,25 @@ impl FleetController {
         preferred_successor: Arc<Mutex<Option<usize>>>,
         spares: Vec<Consumer<Event>>,
         record_stream: bool,
+        retain_history: bool,
+        costs: MonitorCosts,
+        sampler: Arc<LogDistanceSampler>,
+        rules: Arc<ScopedRules>,
     ) -> Self {
         let version_count = contexts.len();
         let max_members = spares.len();
+        let pids: HashMap<usize, Pid> = contexts
+            .iter()
+            .map(|context| (context.index, context.pid))
+            .collect();
+        // Pin the retention anchor at sequence 0 for the whole run: version
+        // members replay from the beginning, so no segment may ever retire.
+        // A permanent zero entry in `restoring` keeps `finish_restore`'s
+        // minimum at 0 no matter how observer attaches come and go.
+        let restoring = if retain_history { vec![0] } else { Vec::new() };
+        if retain_history {
+            journal.set_anchor(0);
+        }
         FleetController {
             inner: Arc::new(FleetInner {
                 kernel,
@@ -358,12 +538,18 @@ impl FleetController {
                 contexts,
                 current_leader,
                 record_stream,
-                spares: Mutex::new(spares),
+                retain_history,
+                costs,
+                sampler,
+                rules,
+                pids: Arc::new(Mutex::new(pids)),
+                spares: Arc::new(Mutex::new(spares)),
                 max_members: AtomicUsize::new(max_members),
                 members: Mutex::new(Vec::new()),
+                version_members: Mutex::new(Vec::new()),
                 joiners: Mutex::new(Vec::new()),
                 next_index: AtomicUsize::new(version_count),
-                restoring: Mutex::new(Vec::new()),
+                restoring: Mutex::new(restoring),
                 preferred_successor,
                 rearms: AtomicU64::new(0),
             }),
@@ -382,15 +568,32 @@ impl FleetController {
         self.inner.members.lock().clone()
     }
 
-    /// Number of currently attached (alive) members.
+    /// Number of currently attached (alive) members, observers and
+    /// application versions alike.
     #[must_use]
     pub fn active_members(&self) -> usize {
-        self.inner
+        let observers = self
+            .inner
             .members
             .lock()
             .iter()
             .filter(|member| member.is_alive())
-            .count()
+            .count();
+        let versions = self
+            .inner
+            .version_members
+            .lock()
+            .iter()
+            .filter(|member| member.is_alive())
+            .count();
+        observers + versions
+    }
+
+    /// Every application version attached at runtime (including retired
+    /// ones), in attach order.
+    #[must_use]
+    pub fn version_members(&self) -> Vec<Arc<VersionMember>> {
+        self.inner.version_members.lock().clone()
     }
 
     /// Number of spare slots currently available for attaching.
@@ -476,7 +679,12 @@ impl FleetController {
     ) -> Result<Arc<FleetMember>, CoreError> {
         let inner = &self.inner;
         let leader_index = inner.current_leader.load(Ordering::Acquire);
-        let leader_pid = inner.contexts[leader_index].pid;
+        let Some(leader_pid) = self.pid_of(leader_index) else {
+            inner.spares.lock().push(consumer);
+            return Err(CoreError::Fleet(format!(
+                "current leader index {leader_index} has no registered process"
+            )));
+        };
         let mut checkpoint = match inner.kernel.checkpoint(leader_pid, sequence, &HashMap::new())
         {
             Ok(checkpoint) => checkpoint,
@@ -512,6 +720,7 @@ impl FleetController {
         //    failure unwinds to nothing (slot returned, process removed,
         //    no half-registered follower).
         let index = inner.next_index.fetch_add(1, Ordering::Relaxed);
+        inner.pids.lock().insert(index, pid);
         let (boot_tx, boot_rx) = std::sync::mpsc::channel::<JoinerBootstrap>();
         let controller = self.clone();
         let handle = match std::thread::Builder::new()
@@ -546,6 +755,7 @@ impl FleetController {
             slot: consumer.index(),
             catching_up: Arc::clone(&catching_up),
             promotable: false,
+            identity_fds: false,
         };
         inner.followers.write().push(link);
 
@@ -596,6 +806,252 @@ impl FleetController {
         true
     }
 
+    /// Attaches a new **application version** to the running execution — the
+    /// canary stage of the live-upgrade pipeline.
+    ///
+    /// The candidate's program starts from the beginning and replays the
+    /// complete journal through the follower replay path (rule-checked
+    /// against `rules`, which is installed scoped to the new member's
+    /// index), registers its ring gate within half a lap of the cursor, and
+    /// switches to live consumption; descriptors created before the attach
+    /// are healed by kernel-side transfers from the current leader.  The
+    /// returned handle reports catch-up progress, divergence counts and
+    /// failures; once live the member is eligible for promotion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Fleet`] when the fleet was not configured with
+    /// [`FleetConfig::retain_history`], no spare slot is available, the
+    /// member cap is reached, or the joiner thread cannot be spawned.
+    pub fn attach_version(
+        &self,
+        program: Box<dyn VersionProgram>,
+        rules: RuleEngine,
+    ) -> Result<Arc<VersionMember>, CoreError> {
+        let inner = &self.inner;
+        if !inner.retain_history {
+            return Err(CoreError::Fleet(
+                "attach_version requires FleetConfig::retain_history: the candidate \
+                 replays the journal from sequence 0"
+                    .into(),
+            ));
+        }
+        if self.active_members() >= inner.max_members.load(Ordering::Acquire) {
+            return Err(CoreError::Fleet(format!(
+                "member cap {} reached",
+                inner.max_members.load(Ordering::Acquire)
+            )));
+        }
+        let consumer = inner
+            .spares
+            .lock()
+            .pop()
+            .ok_or_else(|| CoreError::Fleet("no spare ring slot available".into()))?;
+        let slot = consumer.index();
+
+        let name = program.name();
+        let pid = inner.zygote.spawn(&name);
+        let index = inner.next_index.fetch_add(1, Ordering::Relaxed);
+        inner.pids.lock().insert(index, pid);
+        inner.rules.install(index, rules);
+        let context = VersionContext::new(index, pid);
+
+        let catching_up = Arc::new(AtomicBool::new(true));
+        let live = Arc::new(AtomicBool::new(false));
+        let catch_up_nanos = Arc::new(AtomicU64::new(0));
+        let member = Arc::new(VersionMember {
+            index,
+            name: name.clone(),
+            pid,
+            context: context.clone(),
+            slot,
+            alive: Arc::new(AtomicBool::new(true)),
+            catching_up: Arc::clone(&catching_up),
+            live: Arc::clone(&live),
+            catch_up_nanos: Arc::clone(&catch_up_nanos),
+            detached: AtomicBool::new(false),
+            exit: Mutex::new(None),
+            failure: Mutex::new(None),
+        });
+
+        // The member's monitor: a follower that first replays the journal
+        // from sequence 0, with late-attach descriptor healing, returning
+        // its slot to the spare pool when it retires.
+        let promoted_core = LeaderCore::new(
+            inner.kernel.clone(),
+            pid,
+            0,
+            Arc::clone(&inner.rings),
+            Arc::clone(&inner.pool),
+            Arc::clone(&inner.followers),
+            inner.costs.clone(),
+            Arc::clone(&inner.sampler),
+            Some(Arc::clone(&inner.journal)),
+        );
+        let catch_up = CatchUp::new(
+            Arc::clone(&inner.journal),
+            Arc::clone(&catching_up),
+            Arc::clone(&live),
+            Arc::clone(&catch_up_nanos),
+        );
+        let healer = FdHealer::new(
+            inner.kernel.clone(),
+            pid,
+            Arc::clone(&inner.current_leader),
+            Arc::clone(&inner.pids),
+        );
+        let monitor = FollowerMonitor::with_consumer(
+            inner.kernel.clone(),
+            context.clone(),
+            Arc::clone(&inner.rings),
+            consumer,
+            Arc::clone(&inner.pool),
+            Arc::clone(&inner.rules),
+            inner.costs.clone(),
+            promoted_core,
+            Some(Arc::clone(&inner.spares)),
+            Some(catch_up),
+            Some(healer),
+        );
+
+        // Link the member into the follower set before its thread starts so
+        // descriptor transfers flow from the first replayed event on.
+        inner.followers.write().push(FollowerLink {
+            index,
+            pid,
+            channel: context.channel.clone(),
+            alive: Arc::new(AtomicBool::new(true)),
+            slot,
+            catching_up,
+            promotable: true,
+            identity_fds: true,
+        });
+
+        let controller = self.clone();
+        let thread_member = Arc::clone(&member);
+        let mut program = program;
+        let handle = match std::thread::Builder::new()
+            .name(format!("varan-canary-{index}"))
+            .spawn(move || {
+                let mut monitor = monitor;
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| program.run(&mut monitor)));
+                // Dropping the monitor returns the ring slot to the pool.
+                drop(monitor);
+                controller.finish_version_member(&thread_member, result);
+            }) {
+            Ok(handle) => handle,
+            Err(err) => {
+                self.discard_link(index);
+                inner.rules.remove(index);
+                inner.pids.lock().remove(&index);
+                inner.kernel.processes_lock().remove(pid);
+                return Err(CoreError::Fleet(format!("spawn canary thread: {err}")));
+            }
+        };
+        inner.version_members.lock().push(Arc::clone(&member));
+        inner.joiners.lock().push(handle);
+        Ok(member)
+    }
+
+    /// Detaches (kills) version member `index`: its replay stops at the next
+    /// event boundary and the ring slot returns to the spare pool.  The
+    /// current leader cannot be detached.  Returns `false` for an unknown,
+    /// already-stopped or leading member.
+    pub fn detach_version(&self, index: usize) -> bool {
+        if self.inner.current_leader.load(Ordering::Acquire) == index {
+            return false;
+        }
+        let members = self.inner.version_members.lock();
+        let Some(member) = members.iter().find(|member| member.index == index) else {
+            return false;
+        };
+        if !member.is_alive() {
+            return false;
+        }
+        member.detached.store(true, Ordering::Release);
+        member.context.killed.store(true, Ordering::Release);
+        self.discard_link(index);
+        true
+    }
+
+    /// Records the end of a version member's program thread.
+    fn finish_version_member(
+        &self,
+        member: &Arc<VersionMember>,
+        result: std::thread::Result<ProgramExit>,
+    ) {
+        let failure = match result {
+            Ok(ProgramExit::Exited(status)) => {
+                *member.exit.lock() = Some(format!("exited({status})"));
+                None
+            }
+            Ok(ProgramExit::Crashed(signal)) => {
+                let _ = self.inner.kernel.deliver_signal(member.pid, signal);
+                Some(format!("crashed({signal:?})"))
+            }
+            Err(panic) => {
+                let text = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "panic".to_owned());
+                if member.was_detached() {
+                    *member.exit.lock() = Some("detached".to_owned());
+                    None
+                } else {
+                    Some(format!("panicked({text})"))
+                }
+            }
+        };
+        let failed = if let Some(reason) = failure {
+            *member.failure.lock() = Some(MemberFailure(reason));
+            true
+        } else {
+            false
+        };
+        member.alive.store(false, Ordering::Release);
+        self.discard_link(member.index);
+        self.inner.rules.remove(member.index);
+        // A member that crashed *while holding leadership* is outside the
+        // coordinator's crash election (which only watches launched version
+        // threads), so the fleet runs the same §5.1 election here: promote
+        // the most-caught-up live follower — typically the retired previous
+        // leader, still attached as a warm rollback target.
+        if failed && self.inner.current_leader.load(Ordering::Acquire) == member.index {
+            self.promote_after_leader_crash();
+        }
+    }
+
+    /// Elects and promotes a successor after the current leader (a fleet
+    /// member) died: same candidate ranking as the coordinator's control
+    /// loop, applied to the follower set this controller maintains.
+    fn promote_after_leader_crash(&self) {
+        let preferred = self.inner.preferred_successor.lock().take();
+        let candidate = {
+            let links = self.inner.followers.read();
+            crate::coordinator::select_promotion_candidate(
+                &links,
+                |index| {
+                    self.context_of(index)
+                        .map(|context| context.is_killed())
+                        .unwrap_or(true)
+                },
+                |link| self.inner.rings.max_backlog(link.slot),
+                preferred,
+            )
+        };
+        let Some(next_leader) = candidate else {
+            return; // nobody eligible: the execution winds down leaderless
+        };
+        let Some(context) = self.context_of(next_leader) else {
+            return;
+        };
+        self.inner.current_leader.store(next_leader, Ordering::Release);
+        self.discard_link(next_leader);
+        context.promoted.store(true, Ordering::Release);
+    }
+
     /// Re-arms a crashed launched follower by attaching a spare observer in
     /// its place (called by the coordinator's control loop).
     pub(crate) fn rearm(&self, crashed_index: usize) -> Option<Arc<FleetMember>> {
@@ -610,9 +1066,33 @@ impl FleetController {
 
     /// Stops every member and joins their threads.  Called by
     /// [`crate::coordinator::RunningNvx::wait`] once the versions finished.
+    ///
+    /// Version members normally end on their own — they replay the very
+    /// stream whose end the launched versions just reached — so they are
+    /// given a short grace period before any straggler (e.g. one still
+    /// catching up) is detached.
     pub fn shutdown(&self) {
         for member in self.inner.members.lock().iter() {
             member.stop.store(true, Ordering::Release);
+        }
+        let grace = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < grace {
+            let pending = self
+                .inner
+                .version_members
+                .lock()
+                .iter()
+                .any(|member| member.is_alive());
+            if !pending {
+                break;
+            }
+            std::thread::sleep(JOINER_POLL);
+        }
+        for member in self.inner.version_members.lock().iter() {
+            if member.is_alive() {
+                member.detached.store(true, Ordering::Release);
+                member.context.killed.store(true, Ordering::Release);
+            }
         }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.joiners.lock());
         for handle in handles {
@@ -794,7 +1274,9 @@ impl FleetController {
             return;
         }
         let leader_index = self.inner.current_leader.load(Ordering::Acquire);
-        let leader_pid = self.inner.contexts[leader_index].pid;
+        let Some(leader_pid) = self.pid_of(leader_index) else {
+            return;
+        };
         if let Ok(local) = self
             .inner
             .kernel
@@ -802,6 +1284,11 @@ impl FleetController {
         {
             fd_map.insert(result, local);
         }
+    }
+
+    /// The pid of version `index` (launched or runtime-attached).
+    fn pid_of(&self, index: usize) -> Option<Pid> {
+        self.inner.pids.lock().get(&index).copied()
     }
 
     /// Final cleanup of a member's thread: leave the ring, return the slot
@@ -826,5 +1313,85 @@ impl FleetController {
     #[must_use]
     pub fn pool(&self) -> &Arc<PoolAllocator> {
         &self.inner.pool
+    }
+}
+
+// Hooks used by the upgrade orchestrator (`crate::upgrade`).
+impl FleetController {
+    /// Index of the version currently acting as leader.
+    #[must_use]
+    pub fn current_leader_index(&self) -> usize {
+        self.inner.current_leader.load(Ordering::Acquire)
+    }
+
+    /// The scoped rewrite-rule registry of this execution.
+    #[must_use]
+    pub fn scoped_rules(&self) -> Arc<ScopedRules> {
+        Arc::clone(&self.inner.rules)
+    }
+
+    /// Events published to the main ring so far.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.inner.rings.ring(0).published()
+    }
+
+    /// Current replay backlog of ring consumer slot `slot` ("log distance"
+    /// between the leader and the follower occupying that slot).
+    #[must_use]
+    pub fn backlog_of_slot(&self, slot: usize) -> u64 {
+        self.inner.rings.max_backlog(slot)
+    }
+
+    /// The monitor context of version `index` (launched or runtime member).
+    pub(crate) fn context_of(&self, index: usize) -> Option<VersionContext> {
+        if let Some(context) = self
+            .inner
+            .contexts
+            .iter()
+            .find(|context| context.index == index)
+        {
+            return Some(context.clone());
+        }
+        self.inner
+            .version_members
+            .lock()
+            .iter()
+            .find(|member| member.index == index)
+            .map(|member| member.context.clone())
+    }
+
+    /// Builds a planned-handover ticket that yields leadership to version
+    /// `successor_index`, claiming a spare slot for the demoted leader.
+    pub(crate) fn make_handover_ticket(
+        &self,
+        successor_index: usize,
+    ) -> Result<crate::context::HandoverTicket, CoreError> {
+        let successor = self
+            .context_of(successor_index)
+            .ok_or_else(|| CoreError::Fleet(format!("unknown version {successor_index}")))?;
+        let consumer = self
+            .inner
+            .spares
+            .lock()
+            .pop()
+            .ok_or_else(|| {
+                CoreError::Fleet("no spare ring slot for the retiring leader".into())
+            })?;
+        Ok(crate::context::HandoverTicket {
+            consumer,
+            successor_index,
+            successor_promoted: Arc::clone(&successor.promoted),
+            current_leader: Arc::clone(&self.inner.current_leader),
+            rules: Arc::clone(&self.inner.rules),
+            slot_pool: Arc::clone(&self.inner.spares),
+        })
+    }
+
+    /// Returns a cancelled ticket's consumer slot to the spare pool.
+    pub(crate) fn return_ticket(&self, ticket: crate::context::HandoverTicket) {
+        let mut consumer = ticket.consumer;
+        consumer.unsubscribe();
+        self.inner.spares.lock().push(consumer);
     }
 }

@@ -24,6 +24,8 @@
 //! * [`record_replay`] — the persistent-log record-replay clients (§5.4).
 //! * [`fleet`] — the elastic follower fleet: runtime join/leave via kernel
 //!   checkpoints and the spill-to-disk event journal.
+//! * [`upgrade`] — zero-downtime live upgrades over the elastic fleet:
+//!   canary → soak → promote → retire, with automatic rollback.
 //! * [`costs`], [`stats`] — the monitor cost model and execution reports.
 //!
 //! # Example: run two versions of a program in parallel
@@ -74,15 +76,20 @@ pub mod rules;
 pub mod sanitize;
 pub mod stats;
 pub mod table;
+pub mod upgrade;
 
 mod error;
 
 pub use coordinator::{run_nvx, NvxConfig, NvxSystem, RunningNvx, Zygote};
 pub use costs::MonitorCosts;
 pub use error::CoreError;
-pub use fleet::{FleetConfig, FleetController, FleetMember, StreamRecord};
+pub use fleet::{FleetConfig, FleetController, FleetMember, StreamRecord, VersionMember};
 pub use program::{DirectExecutor, ProgramExit, SyscallInterface, VersionProgram};
-pub use rules::{RuleAction, RuleEngine};
+pub use rules::{RuleAction, RuleEngine, ScopedRules};
 pub use sanitize::{SanitizedVersion, Sanitizer};
 pub use stats::{NvxReport, VersionStats};
 pub use table::{HandlerAction, Role, SyscallTable};
+pub use upgrade::{
+    RollbackReason, StageOutcome, StageReport, UpgradeConfig, UpgradeOrchestrator, UpgradeReport,
+    UpgradeStep,
+};

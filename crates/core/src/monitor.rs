@@ -14,9 +14,9 @@
 //! monitor swaps its system call table and takes over as leader (§5.1).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -28,16 +28,26 @@ use varan_ring::{
     SharedPtr, SharedRegion,
 };
 
-use crate::context::{LogDistanceSampler, RingSet, SharedFollowers, VersionContext};
+use crate::context::{
+    FollowerLink, HandoverTicket, LogDistanceSampler, RingSet, SharedFollowers, VersionContext,
+};
 use crate::costs::MonitorCosts;
 use crate::program::SyscallInterface;
-use crate::rules::{RuleAction, RuleEngine};
+use crate::rules::{RuleAction, ScopedRules};
 use crate::stats::VersionCounters;
 use crate::table::{HandlerAction, SyscallTable};
 
 /// How long a follower waits for the next event before re-checking its
 /// promotion and kill flags.
 const FOLLOWER_POLL: Duration = Duration::from_millis(2);
+
+/// Journal records replayed per batch by a catching-up runtime joiner.
+const REPLAY_BATCH: usize = 1024;
+
+/// A pool of retired main-ring consumer handles shared with the fleet: slots
+/// released by promoted or retired followers go back here for future
+/// joiners.
+pub(crate) type SlotPool = Arc<Mutex<Vec<Consumer<Event>>>>;
 
 /// How long a follower facing a fatal divergence verdict waits for a
 /// possible promotion before killing itself. A divergence at a crashed
@@ -128,7 +138,18 @@ impl LeaderCore {
         if let Some(fd_info) = outcome.fd {
             let followers = self.followers.read();
             for link in followers.iter().filter(|link| link.is_alive()) {
-                if let Ok(local_fd) = self.kernel.transfer_fd(self.pid, fd_info.fd, link.pid) {
+                // Upgrade members mirror the stream's descriptor numbering
+                // (identity placement, like a checkpoint restore), so the
+                // numbers their replayed application holds survive a
+                // promotion; launched followers keep the historical
+                // lowest-free placement plus translation.
+                let transferred = if link.identity_fds {
+                    self.kernel
+                        .transfer_fd_identity(self.pid, fd_info.fd, link.pid)
+                } else {
+                    self.kernel.transfer_fd(self.pid, fd_info.fd, link.pid)
+                };
+                if let Ok(local_fd) = transferred {
                     link.channel.send_fd(fd_info.fd, local_fd);
                     fd_transfers += 1;
                 }
@@ -204,7 +225,11 @@ impl LeaderCore {
             followers
                 .iter()
                 .filter(|link| link.is_alive())
-                .map(|link| self.rings.max_backlog(link.index.saturating_sub(1)))
+                // The link records its consumer slot directly: for launched
+                // followers that is `index - 1`, but fleet joiners and
+                // demoted ex-leaders sit on spare slots with no relation to
+                // their version index.
+                .map(|link| self.rings.max_backlog(link.slot))
                 .max()
                 .unwrap_or(0)
         };
@@ -214,6 +239,23 @@ impl LeaderCore {
             cost: outcome.cost + overhead,
             ..outcome
         }
+    }
+
+    /// A fresh core for the same version on thread `tid`: shares every
+    /// cross-version structure (rings, pool, followers, sampler, journal)
+    /// and gets its own producer and payload window.
+    pub(crate) fn fork_with_tid(&self, tid: u32) -> LeaderCore {
+        LeaderCore::new(
+            self.kernel.clone(),
+            self.pid,
+            tid,
+            Arc::clone(&self.rings),
+            Arc::clone(&self.pool),
+            Arc::clone(&self.followers),
+            self.costs.clone(),
+            Arc::clone(&self.sampler),
+            self.journal.clone(),
+        )
     }
 
     pub(crate) fn execute_locally(
@@ -233,6 +275,75 @@ impl LeaderCore {
     }
 }
 
+/// Executes a planned handover on the current leader's thread (the heart of
+/// the upgrade pipeline's *promote* stage, see `crate::upgrade`): the leader
+/// stops publishing by construction (it is running this instead of a system
+/// call), re-activates the granted ring slot at exactly the next sequence —
+/// so it will replay precisely the events it did not publish itself — links
+/// itself back into the follower set so the successor's descriptor transfers
+/// reach it, switches the current-leader register and only then releases the
+/// successor.  Returns the activated consumer plus the rule registry and
+/// slot pool carried by the ticket.
+///
+/// Ordering matters: the consumer gate must exist *before* the successor is
+/// allowed to publish (otherwise the demoted leader could miss events), and
+/// the successor's old follower link must be dead before it starts
+/// transferring descriptors (so it never transfers to itself).
+fn demote_to_follower(
+    context: &VersionContext,
+    ring: &Arc<varan_ring::RingBuffer<Event>>,
+    followers: &SharedFollowers,
+    ticket: HandoverTicket,
+) -> Option<(Consumer<Event>, Arc<ScopedRules>, SlotPool)> {
+    let HandoverTicket {
+        mut consumer,
+        successor_index,
+        successor_promoted,
+        current_leader,
+        rules,
+        slot_pool,
+    } = ticket;
+    // The successor may have died between the orchestrator's last liveness
+    // check and this pickup; yielding leadership to a corpse would leave
+    // the execution leaderless with a falsely successful report.  Refuse
+    // the ticket instead: the leader keeps leading, the orchestrator sees
+    // `Aborted` and rolls the hop back.
+    let successor_alive = followers
+        .read()
+        .iter()
+        .any(|link| link.index == successor_index && link.is_alive());
+    if !successor_alive {
+        consumer.unsubscribe();
+        slot_pool.lock().push(consumer);
+        context.handover.abort();
+        return None;
+    }
+    consumer.resume_at(ring.published());
+    {
+        let mut links = followers.write();
+        for link in links.iter() {
+            if link.index == successor_index {
+                link.discard();
+            }
+        }
+        links.push(FollowerLink {
+            index: context.index,
+            pid: context.pid,
+            channel: context.channel.clone(),
+            alive: Arc::new(AtomicBool::new(true)),
+            slot: consumer.index(),
+            catching_up: Arc::new(AtomicBool::new(false)),
+            promotable: true,
+            // The retiree's table *is* the stream numbering; keep it that
+            // way so a rollback re-promotion needs no renumbering.
+            identity_fds: true,
+        });
+    }
+    current_leader.store(successor_index, Ordering::Release);
+    successor_promoted.store(true, Ordering::Release);
+    Some((consumer, rules, slot_pool))
+}
+
 /// The monitor interposed on the leader version.
 #[derive(Debug)]
 pub struct LeaderMonitor {
@@ -240,6 +351,11 @@ pub struct LeaderMonitor {
     context: VersionContext,
     table: SyscallTable,
     next_tid: Arc<std::sync::atomic::AtomicU32>,
+    /// Set once this leader executed a planned handover: from then on every
+    /// call is dispatched through the embedded follower monitor (the
+    /// retired leader keeps running, replaying its successor's stream from
+    /// the spare slot granted by the handover ticket).
+    demoted: Option<Box<FollowerMonitor>>,
 }
 
 impl LeaderMonitor {
@@ -249,6 +365,7 @@ impl LeaderMonitor {
             context,
             table: SyscallTable::leader(),
             next_tid: Arc::new(std::sync::atomic::AtomicU32::new(1)),
+            demoted: None,
         }
     }
 
@@ -263,10 +380,48 @@ impl LeaderMonitor {
     pub fn table(&self) -> &SyscallTable {
         &self.table
     }
+
+    /// Picks up a posted handover ticket and retires this leader into a
+    /// follower: subsequent calls replay the successor's stream.  Only the
+    /// main-thread monitor (tuple 0) executes handovers; the upgrade
+    /// pipeline requires single-threaded application versions.
+    fn execute_handover(&mut self, ticket: HandoverTicket) {
+        let followers = Arc::clone(&self.core.followers);
+        let ring = Arc::clone(self.core.rings.ring(0));
+        let Some((consumer, rules, slot_pool)) =
+            demote_to_follower(&self.context, &ring, &followers, ticket)
+        else {
+            return; // dead successor: the handover was aborted, keep leading
+        };
+        let promoted_core = self.core.fork_with_tid(self.core.tid);
+        let follower = FollowerMonitor::with_consumer(
+            self.core.kernel.clone(),
+            self.context.clone(),
+            Arc::clone(&self.core.rings),
+            consumer,
+            Arc::clone(&self.core.pool),
+            rules,
+            self.core.costs.clone(),
+            promoted_core,
+            Some(slot_pool),
+            None,
+            None,
+        );
+        self.demoted = Some(Box::new(follower));
+        self.context.handover.complete();
+    }
 }
 
 impl SyscallInterface for LeaderMonitor {
     fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        if self.demoted.is_none() && self.core.tid == 0 && self.context.handover.is_requested() {
+            if let Some(ticket) = self.context.handover.begin() {
+                self.execute_handover(ticket);
+            }
+        }
+        if let Some(follower) = self.demoted.as_mut() {
+            return follower.syscall(request);
+        }
         match self.table.action(request.sysno) {
             HandlerAction::ExecuteLocally => {
                 self.core.execute_locally(request, &self.context.counters)
@@ -281,29 +436,25 @@ impl SyscallInterface for LeaderMonitor {
     }
 
     fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        if let Some(follower) = self.demoted.as_mut() {
+            return follower.spawn_thread();
+        }
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
-        let core = LeaderCore::new(
-            self.core.kernel.clone(),
-            self.core.pid,
-            tid,
-            Arc::clone(&self.core.rings),
-            Arc::clone(&self.core.pool),
-            Arc::clone(&self.core.followers),
-            self.core.costs.clone(),
-            Arc::clone(&self.core.sampler),
-            self.core.journal.clone(),
-        );
+        let core = self.core.fork_with_tid(tid);
         Box::new(LeaderMonitor {
             core,
             context: self.context.clone(),
             table: self.table.clone(),
             next_tid: Arc::clone(&self.next_tid),
+            demoted: None,
         })
     }
 
     fn cpu_work(&mut self, cycles: u64) {
         VersionCounters::add(&self.context.counters.cycles, cycles);
-        self.core.kernel.clock().advance(cycles);
+        if self.demoted.is_none() {
+            self.core.kernel.clock().advance(cycles);
+        }
     }
 }
 
@@ -319,28 +470,171 @@ struct StagedEvent {
     payload: Option<Vec<u8>>,
 }
 
+/// Replay state shared by every follower thread whose (clamped) thread tuple
+/// maps to the same ring: one exclusive ring consumer plus per-leader-thread
+/// queues of staged events.
+///
+/// When the application spawns more threads than thread tuples were
+/// provisioned, the leader clamps the surplus threads onto the last ring
+/// ([`RingSet::ring`]) and keeps publishing, with each event tagged by its
+/// raw tid.  The follower side must map threads identically — but a ring
+/// consumer slot can only be claimed once, so the surplus follower threads
+/// *share* the clamped ring's consumer through this queue and pick out the
+/// events tagged with their own tid.
+#[derive(Debug)]
+struct TupleQueue {
+    /// The ring consumer; `None` once released (promotion or retirement).
+    consumer: Option<Consumer<Event>>,
+    /// Events drained from the ring (payloads already copied out of the
+    /// pool) awaiting replay, keyed by the leader thread that published
+    /// them.  Replayed front to back per thread; cross-thread order is
+    /// enforced by the variant clock.
+    staged: HashMap<u32, VecDeque<StagedEvent>>,
+    /// Scratch buffer reused by batch refills.
+    scratch: Vec<Event>,
+    /// Monitors currently sharing this queue; maintained under the queue
+    /// lock so exactly one dropper observes the count reach zero and
+    /// releases the consumer (an `Arc::strong_count` check would race when
+    /// sibling threads exit concurrently).
+    owners: usize,
+}
+
+impl TupleQueue {
+    fn with_consumer(consumer: Consumer<Event>) -> Self {
+        TupleQueue {
+            consumer: Some(consumer),
+            staged: HashMap::new(),
+            scratch: Vec::new(),
+            owners: 1,
+        }
+    }
+}
+
+/// Catch-up state of a runtime joiner replaying the spill journal from
+/// sequence 0 before switching to live ring consumption (the *canary* stage
+/// of the upgrade pipeline; same protocol as `crate::fleet`'s observers but
+/// driving a real application version through the replay).
+#[derive(Debug)]
+pub(crate) struct CatchUp {
+    journal: Arc<EventJournal>,
+    /// Next journal sequence to replay.
+    pos: u64,
+    /// Whether the ring gate has been registered (within half a lap).
+    registered: bool,
+    started: Instant,
+    /// The follower link's catching-up flag, cleared at the live switch.
+    link_catching_up: Arc<AtomicBool>,
+    /// The member handle's live flag, set at the live switch.
+    live: Arc<AtomicBool>,
+    /// Attach→live latency sink, stored at the live switch.
+    catch_up_nanos: Arc<AtomicU64>,
+}
+
+impl CatchUp {
+    pub(crate) fn new(
+        journal: Arc<EventJournal>,
+        link_catching_up: Arc<AtomicBool>,
+        live: Arc<AtomicBool>,
+        catch_up_nanos: Arc<AtomicU64>,
+    ) -> Self {
+        CatchUp {
+            journal,
+            pos: 0,
+            registered: false,
+            started: Instant::now(),
+            link_catching_up,
+            live,
+            catch_up_nanos,
+        }
+    }
+}
+
+/// Installs descriptor mappings for fd-creating events that predate a
+/// runtime joiner's attach: the descriptor was transferred to the other
+/// followers when the event happened, so the joiner asks the kernel for its
+/// own duplicate from the *current* leader on first use.
+///
+/// Healing resolves a historical number against the leader's **current**
+/// table.  That is sound here because the virtual kernel never recycles
+/// descriptor numbers within a process (`install_fd` is monotonic): a
+/// number either still denotes the same object or is gone.  Across
+/// leadership generations a number can denote a newer object, but replay
+/// never executes against healed descriptors — only the state at the live
+/// switch matters, and by then every mapping has converged to the current
+/// meaning (later creation events overwrite nothing: the first heal already
+/// resolved to the live object).
+#[derive(Debug)]
+pub(crate) struct FdHealer {
+    kernel: Kernel,
+    /// The joiner's own process.
+    pid: Pid,
+    current_leader: Arc<std::sync::atomic::AtomicUsize>,
+    /// Version index → pid, covering launched versions and fleet members.
+    pids: Arc<Mutex<HashMap<usize, Pid>>>,
+}
+
+impl FdHealer {
+    pub(crate) fn new(
+        kernel: Kernel,
+        pid: Pid,
+        current_leader: Arc<std::sync::atomic::AtomicUsize>,
+        pids: Arc<Mutex<HashMap<usize, Pid>>>,
+    ) -> Self {
+        FdHealer {
+            kernel,
+            pid,
+            current_leader,
+            pids,
+        }
+    }
+
+    fn heal(&self, result: i64, fd_map: &mut HashMap<i64, i32>) {
+        if result < 0 || fd_map.contains_key(&result) {
+            return;
+        }
+        let leader = self.current_leader.load(Ordering::Acquire);
+        let Some(&leader_pid) = self.pids.lock().get(&leader) else {
+            return;
+        };
+        if leader_pid == self.pid {
+            return;
+        }
+        // Identity placement (falling back to lowest-free inside the
+        // kernel): the joiner's table mirrors the leader's numbering.
+        if let Ok(local) = self
+            .kernel
+            .transfer_fd_identity(leader_pid, result as i32, self.pid)
+        {
+            fd_map.insert(result, local);
+        }
+    }
+}
+
 /// The monitor interposed on a follower version.
 #[derive(Debug)]
 pub struct FollowerMonitor {
     kernel: Kernel,
     context: VersionContext,
     table: SyscallTable,
-    consumer: Consumer<Event>,
+    /// Replay state of this thread's (clamped) ring, shared with any sibling
+    /// threads clamped onto the same ring.
+    tuple: Arc<Mutex<TupleQueue>>,
+    /// Ring index → shared replay state, for [`FollowerMonitor::spawn_thread`]
+    /// to find (or create) the queue of a clamped ring.
+    tuples: Arc<Mutex<HashMap<usize, Weak<Mutex<TupleQueue>>>>>,
+    /// The consumer slot this version drains on every ring.
+    slot: usize,
     pool: Arc<PoolAllocator>,
-    rules: Arc<RuleEngine>,
+    rules: Arc<ScopedRules>,
     costs: MonitorCosts,
     /// Leader descriptor number → descriptor number in this follower's
     /// process (populated from the data channel, §3.3.2). Shared across the
     /// version's thread monitors, like the process-wide descriptor table it
     /// mirrors — any thread may drain a transfer another thread needs.
     fd_map: Arc<Mutex<HashMap<i64, i32>>>,
-    /// Events drained from the ring in one batch (gating sequence advanced
-    /// once per batch, §3.3.1) and not yet replayed. Replayed front to back.
-    batch: VecDeque<StagedEvent>,
-    /// Scratch buffer reused by batch refills.
-    batch_scratch: Vec<Event>,
-    /// An event read from the ring but not yet consumed (pushed back when a
-    /// divergence was resolved by executing an extra local call).
+    /// An event taken out of the staged queue but not yet consumed (pushed
+    /// back when a divergence was resolved by executing an extra local call,
+    /// or while the variant clock says another thread's event goes first).
     pending: Option<StagedEvent>,
     /// The leader engine used after promotion.
     promoted_core: Option<LeaderCore>,
@@ -348,6 +642,15 @@ pub struct FollowerMonitor {
     tid: u32,
     next_tid: Arc<std::sync::atomic::AtomicU32>,
     rings: Arc<RingSet>,
+    /// Journal catch-up state; `Some` while a runtime joiner is replaying
+    /// history, `None` once live (and always for launched followers).
+    catch_up: Option<CatchUp>,
+    /// Late-attach descriptor healing; `None` for launched followers.
+    healer: Option<FdHealer>,
+    /// Where the consumer handle goes when this follower releases it
+    /// (promotion or retirement); `None` for launched followers whose slots
+    /// are not pooled.
+    slot_pool: Option<SlotPool>,
 }
 
 impl FollowerMonitor {
@@ -358,29 +661,68 @@ impl FollowerMonitor {
         rings: Arc<RingSet>,
         consumer_slot: usize,
         pool: Arc<PoolAllocator>,
-        rules: Arc<RuleEngine>,
+        rules: Arc<ScopedRules>,
         costs: MonitorCosts,
         promoted_core: LeaderCore,
     ) -> Result<Self, crate::error::CoreError> {
         let consumer = rings.ring(0).consumer(consumer_slot)?;
-        Ok(FollowerMonitor {
+        Ok(Self::with_consumer(
             kernel,
             context,
-            table: SyscallTable::follower(),
+            rings,
             consumer,
             pool,
             rules,
             costs,
+            promoted_core,
+            None,
+            None,
+            None,
+        ))
+    }
+
+    /// Builds a follower around an already-claimed main-ring consumer: used
+    /// by the fleet for runtime joiners (with catch-up and healing state)
+    /// and by the handover path for demoted ex-leaders (with a slot pool).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_consumer(
+        kernel: Kernel,
+        context: VersionContext,
+        rings: Arc<RingSet>,
+        consumer: Consumer<Event>,
+        pool: Arc<PoolAllocator>,
+        rules: Arc<ScopedRules>,
+        costs: MonitorCosts,
+        promoted_core: LeaderCore,
+        slot_pool: Option<SlotPool>,
+        catch_up: Option<CatchUp>,
+        healer: Option<FdHealer>,
+    ) -> Self {
+        let slot = consumer.index();
+        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+        let mut registry = HashMap::new();
+        registry.insert(0usize, Arc::downgrade(&tuple));
+        FollowerMonitor {
+            kernel,
+            context,
+            table: SyscallTable::follower(),
+            tuple,
+            tuples: Arc::new(Mutex::new(registry)),
+            slot,
+            pool,
+            rules,
+            costs,
             fd_map: Arc::new(Mutex::new(HashMap::new())),
-            batch: VecDeque::new(),
-            batch_scratch: Vec::new(),
             pending: None,
             promoted_core: Some(promoted_core),
             promotion_handled: false,
             tid: 0,
             next_tid: Arc::new(std::sync::atomic::AtomicU32::new(1)),
             rings,
-        })
+            catch_up,
+            healer,
+            slot_pool,
+        }
     }
 
     /// The version context this monitor serves.
@@ -418,34 +760,155 @@ impl FollowerMonitor {
     /// yet acknowledged): the leader only recycles a payload's pool region
     /// after every follower's gating sequence has moved past the event, so
     /// copying before [`Consumer::advance`] can never race the reuse.
-    fn stage(&self, event: Event) -> StagedEvent {
+    fn stage(pool: &PoolAllocator, event: Event) -> StagedEvent {
         let payload = if event.has_payload() {
-            Some(self.pool.read(event.shared()))
+            Some(pool.read(event.shared()))
         } else {
             None
         };
         StagedEvent { event, payload }
     }
 
-    /// Drains every published event into the local batch with one gating
-    /// advance (§3.3.1 batched consumption). Returns `true` if any event was
-    /// staged.
+    /// Pops the next staged event published by this monitor's own thread.
+    fn pop_staged(&mut self) -> Option<StagedEvent> {
+        self.tuple
+            .lock()
+            .staged
+            .get_mut(&self.tid)
+            .and_then(VecDeque::pop_front)
+    }
+
+    /// Drains every published event into the shared staged queues with one
+    /// gating advance (§3.3.1 batched consumption). Returns `true` if any
+    /// event was staged.
     ///
     /// Peek → copy payloads → acknowledge, in that order: the gating
     /// sequence only advances (freeing the slots *and* their payload
     /// regions for the producer) once every payload in the batch has been
     /// copied out of the shared pool.
     fn refill_batch(&mut self) -> bool {
-        let mut scratch = std::mem::take(&mut self.batch_scratch);
-        scratch.clear();
-        let peeked = self.consumer.peek_batch(&mut scratch, usize::MAX);
-        for event in scratch.iter().copied() {
-            let staged = self.stage(event);
-            self.batch.push_back(staged);
+        if self.catch_up.is_some() {
+            return self.refill_from_journal();
         }
-        self.consumer.advance(peeked);
-        self.batch_scratch = scratch;
+        self.refill_from_ring()
+    }
+
+    fn refill_from_ring(&mut self) -> bool {
+        let mut queue = self.tuple.lock();
+        let mut scratch = std::mem::take(&mut queue.scratch);
+        scratch.clear();
+        let peeked = match queue.consumer.as_mut() {
+            Some(consumer) => consumer.peek_batch(&mut scratch, usize::MAX),
+            None => 0,
+        };
+        for event in scratch.iter().copied() {
+            let staged = Self::stage(&self.pool, event);
+            queue.staged.entry(event.tid()).or_default().push_back(staged);
+        }
+        if peeked > 0 {
+            if let Some(consumer) = queue.consumer.as_mut() {
+                consumer.advance(peeked);
+            }
+        }
+        queue.scratch = scratch;
         peeked > 0
+    }
+
+    /// One batch of the runtime joiner's catch-up protocol (mirrors
+    /// `crate::fleet`'s observer loop, phases 3–5): replay the journal
+    /// without gating the leader, register the ring gate once within half a
+    /// lap of the cursor, and switch to live ring consumption when the
+    /// journal is drained past the registered position.
+    fn refill_from_journal(&mut self) -> bool {
+        let mut cu = self.catch_up.take().expect("catch-up state");
+        let (start, records) = match cu.journal.read_from(cu.pos, REPLAY_BATCH) {
+            Ok(read) => read,
+            Err(err) => {
+                self.context.killed.store(true, Ordering::Release);
+                panic!(
+                    "varan: joiner {} journal read at {}: {err}",
+                    self.context.index, cu.pos
+                );
+            }
+        };
+        if !records.is_empty() && start != cu.pos {
+            self.context.killed.store(true, Ordering::Release);
+            panic!(
+                "varan: joiner {} journal gap: wanted sequence {}, oldest retained is {start}",
+                self.context.index, cu.pos
+            );
+        }
+        if records.is_empty() {
+            {
+                let mut queue = self.tuple.lock();
+                let consumer = queue.consumer.as_mut().expect("joiner holds its ring slot");
+                consumer.resume_at(cu.pos);
+            }
+            if !cu.registered {
+                // Nothing left to replay but the gate was not registered
+                // yet: register it and read the journal once more — the
+                // leader may have appended (journal-first) while we were
+                // registering, and those records must come from the journal,
+                // not the ring, to keep the handover race-free.
+                cu.registered = true;
+                self.catch_up = Some(cu);
+                return true;
+            }
+            // Journal drained while gating: every remaining event is (or
+            // will be) published at or above the gate — go live.
+            cu.link_catching_up.store(false, Ordering::Release);
+            cu.catch_up_nanos
+                .store(cu.started.elapsed().as_nanos() as u64, Ordering::Release);
+            cu.live.store(true, Ordering::Release);
+            return self.refill_from_ring();
+        }
+        {
+            let mut queue = self.tuple.lock();
+            for record in &records {
+                let staged = StagedEvent {
+                    event: record.to_event(),
+                    payload: record.payload.clone(),
+                };
+                queue
+                    .staged
+                    .entry(staged.event.tid())
+                    .or_default()
+                    .push_back(staged);
+            }
+            cu.pos += records.len() as u64;
+            let consumer = queue.consumer.as_mut().expect("joiner holds its ring slot");
+            if cu.registered {
+                consumer.resume_at(cu.pos);
+            } else if self.rings.ring(0).published().saturating_sub(cu.pos)
+                < (self.rings.ring(0).capacity() as u64) / 2
+            {
+                consumer.resume_at(cu.pos);
+                cu.registered = true;
+            }
+        }
+        self.catch_up = Some(cu);
+        true
+    }
+
+    /// Bounded wait for new events so the kill/promotion flags are
+    /// re-checked regularly.
+    ///
+    /// The precise condvar wait on the ring is only used while this thread
+    /// owns the queue exclusively; with siblings sharing the clamped ring
+    /// the wait must not happen under the queue lock (it would stall a
+    /// sibling whose events are already staged), so those threads fall back
+    /// to a plain bounded sleep.
+    fn wait_for_events(&self) {
+        {
+            let queue = self.tuple.lock();
+            if queue.owners == 1 {
+                if let Some(consumer) = queue.consumer.as_ref() {
+                    let _ = consumer.wait_for_published(FOLLOWER_POLL);
+                    return;
+                }
+            }
+        }
+        std::thread::sleep(FOLLOWER_POLL);
     }
 
     /// Waits for the next event, respecting the variant clock's
@@ -453,7 +916,7 @@ impl FollowerMonitor {
     ///
     /// Events are pulled from the ring in batches — the gating sequence
     /// advances once per drained batch rather than once per event — and
-    /// replayed front to back from the local queue.
+    /// replayed front to back from this thread's staged queue.
     ///
     /// Promotion only takes effect once the ring has been drained: a freshly
     /// promoted follower first catches up with everything the crashed leader
@@ -464,24 +927,21 @@ impl FollowerMonitor {
             if self.context.is_killed() {
                 return None;
             }
-            let staged = match self.pending.take() {
+            let staged = match self.pending.take().or_else(|| self.pop_staged()) {
                 Some(staged) => staged,
-                None => match self.batch.pop_front() {
-                    Some(staged) => staged,
-                    None => {
-                        if self.refill_batch() {
-                            continue;
-                        }
-                        if self.context.is_promoted() {
-                            return None;
-                        }
-                        // Ring empty: wait (bounded, so the kill/promotion
-                        // flags are re-checked) without consuming anything —
-                        // the next refill stages whatever arrives.
-                        self.consumer.wait_for_published(FOLLOWER_POLL);
+                None => {
+                    if self.refill_batch() {
                         continue;
                     }
-                },
+                    if self.context.is_promoted() {
+                        return None;
+                    }
+                    // Nothing staged for this thread: wait (bounded, so the
+                    // kill/promotion flags are re-checked) without consuming
+                    // anything — the next refill stages whatever arrives.
+                    self.wait_for_events();
+                    continue;
+                }
             };
             match self.context.clock.check(staged.event.clock()) {
                 ClockOrdering::Ready | ClockOrdering::Stale => return Some(staged),
@@ -516,15 +976,24 @@ impl FollowerMonitor {
             if event.sysno() == request.sysno.number() {
                 return self.consume_matching(request, staged);
             }
-            // Divergence: consult the rewrite rules (§3.4).
+            // Divergence: consult the rewrite rules (§3.4), resolved through
+            // the scoped registry so a runtime joiner (or retired ex-leader)
+            // answers to its own rule set without loosening anybody else's.
             let leader_events = vec![u32::from(event.sysno())];
-            let (action, _rule) = self.rules.evaluate(request, &leader_events);
+            let engine = self.rules.engine_for(self.context.index);
+            let (action, _rule) = engine.evaluate(request, &leader_events);
             match action {
                 RuleAction::ExecuteExtra => {
                     VersionCounters::add(&self.context.counters.divergences_allowed, 1);
                     self.pending = Some(staged);
                     let translated = self.translate_fd_args(request);
                     let outcome = self.kernel.syscall(self.context.pid, &translated);
+                    if let Some(fd_info) = outcome.fd {
+                        // The extra call created a descriptor the application
+                        // will name by its local number; drop any stale
+                        // leader-numbered mapping that would shadow it.
+                        self.fd_map.lock().remove(&i64::from(fd_info.fd));
+                    }
                     VersionCounters::add(&self.context.counters.cycles, outcome.cost);
                     VersionCounters::add(&self.context.counters.syscalls, 1);
                     return outcome;
@@ -577,6 +1046,12 @@ impl FollowerMonitor {
         let mut fds = 0usize;
         if request.sysno.creates_fd() && event.result() >= 0 {
             fds = 1;
+            // A runtime joiner replays events whose descriptor transfers
+            // happened before it attached; heal the missing mapping with a
+            // fresh kernel-side transfer from the current leader.
+            if let Some(healer) = &self.healer {
+                healer.heal(event.result(), &mut self.fd_map.lock());
+            }
         }
         let overhead =
             self.costs
@@ -617,11 +1092,60 @@ impl FollowerMonitor {
         }
         self.promotion_handled = true;
         self.table.promote_to_leader();
-        self.consumer.unsubscribe();
+        self.release_slot();
         // Pick up any descriptor transfers still sitting on the data channel
         // (the crashed leader may have died before this follower replayed an
         // event that would have drained them).
         self.drain_fd_channel();
+    }
+
+    /// Retires this thread's ring consumer and, when the slot came from the
+    /// fleet's spare pool, hands the handle back so a future joiner can
+    /// re-activate it (consumer claims are permanent, so a dropped handle
+    /// would leak the slot for the rest of the run).
+    fn release_slot(&mut self) {
+        let consumer = self.tuple.lock().consumer.take();
+        if let Some(mut consumer) = consumer {
+            consumer.unsubscribe();
+            if let Some(pool) = &self.slot_pool {
+                pool.lock().push(consumer);
+            }
+        }
+    }
+
+    /// Picks up a posted handover ticket: this *promoted* follower (the
+    /// current leader) retires back into a plain follower on the granted
+    /// spare slot, releasing its successor.  The inverse of
+    /// [`FollowerMonitor::ensure_promoted`], used by multi-hop upgrade
+    /// chains where the leader being retired is itself a previously promoted
+    /// candidate.
+    fn execute_unpromotion(&mut self, ticket: HandoverTicket) {
+        let followers = Arc::clone(
+            &self
+                .promoted_core
+                .as_ref()
+                .expect("promoted follower has a leader core")
+                .followers,
+        );
+        let ring = Arc::clone(self.rings.ring(0));
+        let Some((consumer, rules, slot_pool)) =
+            demote_to_follower(&self.context, &ring, &followers, ticket)
+        else {
+            return; // dead successor: the handover was aborted, keep leading
+        };
+        self.slot = consumer.index();
+        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+        let mut registry = HashMap::new();
+        registry.insert(0usize, Arc::downgrade(&tuple));
+        self.tuple = tuple;
+        self.tuples = Arc::new(Mutex::new(registry));
+        self.table = SyscallTable::follower();
+        self.rules = rules;
+        self.slot_pool = Some(slot_pool);
+        self.pending = None;
+        self.promotion_handled = false;
+        self.context.promoted.store(false, Ordering::Release);
+        self.context.handover.complete();
     }
 
     fn leader_execute(&mut self, request: &SyscallRequest) -> SyscallOutcome {
@@ -630,7 +1154,16 @@ impl FollowerMonitor {
             .promoted_core
             .as_mut()
             .expect("promoted follower has a leader core");
-        core.execute_and_record(&translated, &self.context.clock, &self.context.counters)
+        let outcome = core.execute_and_record(&translated, &self.context.clock, &self.context.counters);
+        if let Some(fd_info) = outcome.fd {
+            // The application will refer to this brand-new descriptor by its
+            // *local* number from now on.  A replay-era mapping keyed by the
+            // same number (the old leader recycled it for a different object
+            // back then) would silently shadow the new descriptor and
+            // misdirect every later call on it — drop it.
+            self.fd_map.lock().remove(&i64::from(fd_info.fd));
+        }
+        outcome
     }
 
     fn execute_locally(&mut self, request: &SyscallRequest) -> SyscallOutcome {
@@ -656,6 +1189,15 @@ impl SyscallInterface for FollowerMonitor {
         // replay()/next_event(); only once the switch is done
         // (promotion_handled) does this monitor dispatch as a leader.
         if self.promotion_handled {
+            // A planned handover retires this (promoted) leader back into a
+            // follower before the next call executes.
+            if self.tid == 0 && self.context.handover.is_requested() {
+                if let Some(ticket) = self.context.handover.begin() {
+                    self.execute_unpromotion(ticket);
+                }
+            }
+        }
+        if self.promotion_handled {
             return match self.table.action(request.sysno) {
                 HandlerAction::ExecuteLocally => self.execute_locally(request),
                 HandlerAction::Deny => {
@@ -675,44 +1217,76 @@ impl SyscallInterface for FollowerMonitor {
 
     fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
-        let consumer_slot = self.consumer.index();
-        let consumer = self
-            .rings
-            .ring(tid as usize)
-            .consumer(consumer_slot)
-            .unwrap_or_else(|err| {
-                panic!(
-                    "varan: no free ring for thread {tid} (increase max_thread_tuples): {err}"
-                )
-            });
-        let core = LeaderCore::new(
-            self.kernel.clone(),
-            self.context.pid,
-            tid,
-            Arc::clone(&self.rings),
-            Arc::clone(&self.promoted_core.as_ref().expect("core").pool),
-            Arc::clone(&self.promoted_core.as_ref().expect("core").followers),
-            self.costs.clone(),
-            Arc::clone(&self.promoted_core.as_ref().expect("core").sampler),
-            self.promoted_core.as_ref().expect("core").journal.clone(),
-        );
+        // Clamp exactly as the leader does (LeaderCore::new → RingSet::ring):
+        // threads past the provisioned tuples share the last ring. A ring's
+        // consumer slot can only be claimed once, so the surplus threads
+        // share the clamped ring's replay queue instead of panicking with
+        // "no free ring for thread".
+        let ring_index = (tid as usize).min(self.rings.tuples().saturating_sub(1));
+        let tuple = {
+            let mut registry = self.tuples.lock();
+            match registry.get(&ring_index).and_then(Weak::upgrade) {
+                Some(tuple) => {
+                    tuple.lock().owners += 1;
+                    tuple
+                }
+                None => {
+                    // A dead Weak with the slot still claimed means every
+                    // thread of this tuple exited earlier in the run
+                    // (consumer claims are permanent); spawning *another*
+                    // thread onto it afterwards is unsupported — the retired
+                    // gate cannot be safely re-registered mid-stream — and
+                    // was a panic before this monitor existed too.
+                    let consumer = self
+                        .rings
+                        .ring(ring_index)
+                        .consumer(self.slot)
+                        .unwrap_or_else(|err| {
+                            panic!(
+                                "varan: follower {} thread {tid}: cannot claim ring \
+                                 {ring_index} slot {} (threads of an exhausted tuple \
+                                 cannot be respawned): {err}",
+                                self.context.index, self.slot
+                            )
+                        });
+                    let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+                    registry.insert(ring_index, Arc::downgrade(&tuple));
+                    tuple
+                }
+            }
+        };
+        let core = self
+            .promoted_core
+            .as_ref()
+            .expect("follower has a leader core")
+            .fork_with_tid(tid);
         Box::new(FollowerMonitor {
             kernel: self.kernel.clone(),
             context: self.context.clone(),
             table: self.table.clone(),
-            consumer,
+            tuple,
+            tuples: Arc::clone(&self.tuples),
+            slot: self.slot,
             pool: Arc::clone(&self.pool),
             rules: Arc::clone(&self.rules),
             costs: self.costs.clone(),
             fd_map: Arc::clone(&self.fd_map),
-            batch: VecDeque::new(),
-            batch_scratch: Vec::new(),
             pending: None,
             promoted_core: Some(core),
             promotion_handled: self.promotion_handled,
             tid,
             next_tid: Arc::clone(&self.next_tid),
             rings: Arc::clone(&self.rings),
+            catch_up: None,
+            healer: None,
+            // The spare pool only holds *main-ring* consumers; a sibling
+            // clamped onto ring 0 must be able to return the pooled slot if
+            // it is the last owner, while non-main tuples are never pooled.
+            slot_pool: if ring_index == 0 {
+                self.slot_pool.clone()
+            } else {
+                None
+            },
         })
     }
 
@@ -720,5 +1294,22 @@ impl SyscallInterface for FollowerMonitor {
         // Followers run the same computation on their own core; it counts
         // towards their own cycle budget but never touches the leader path.
         VersionCounters::add(&self.context.counters.cycles, cycles);
+    }
+}
+
+impl Drop for FollowerMonitor {
+    fn drop(&mut self) {
+        // Hand a pooled slot back to the fleet when the follower retires
+        // (clean exit, kill, or detach); no-op when already released by a
+        // promotion. Threads sharing a clamped ring leave the release to
+        // whichever of them drops last, decided under the queue lock.
+        let last_owner = {
+            let mut queue = self.tuple.lock();
+            queue.owners = queue.owners.saturating_sub(1);
+            queue.owners == 0
+        };
+        if last_owner {
+            self.release_slot();
+        }
     }
 }

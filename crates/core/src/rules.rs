@@ -18,6 +18,11 @@
 //!
 //! Coalescing patterns are expressed as a combination of the two.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
 use varan_bpf::asm::assemble;
 use varan_bpf::seccomp::{RetValue, SeccompData};
 use varan_bpf::vm::{FilterContext, Vm};
@@ -212,6 +217,69 @@ impl RuleEngine {
     }
 }
 
+/// Per-follower rewrite-rule scoping.
+///
+/// The base system shares one [`RuleEngine`] between every follower, which is
+/// fine when all followers run the same pair of revisions — but the live
+/// upgrade pipeline (`crate::upgrade`) runs *different* revision pairs
+/// concurrently: a canary replaying the current leader needs rules for its
+/// own divergences, while a retired ex-leader following the freshly promoted
+/// revision needs the reverse rules, and neither set should loosen the
+/// divergence checks applied to anybody else.  This registry maps a version
+/// index to its own engine, falling back to the launch-time default, and
+/// supports runtime install/remove so rules can be scoped to a follower for
+/// exactly as long as it exists.
+#[derive(Debug, Default)]
+pub struct ScopedRules {
+    default: Arc<RuleEngine>,
+    scoped: RwLock<HashMap<usize, Arc<RuleEngine>>>,
+}
+
+impl ScopedRules {
+    /// Creates a registry whose fallback for unscoped versions is `default`.
+    #[must_use]
+    pub fn new(default: RuleEngine) -> Self {
+        ScopedRules {
+            default: Arc::new(default),
+            scoped: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The engine that governs divergences of version `index`: its scoped
+    /// engine when one is installed, the launch-time default otherwise.
+    #[must_use]
+    pub fn engine_for(&self, index: usize) -> Arc<RuleEngine> {
+        self.scoped
+            .read()
+            .get(&index)
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(&self.default))
+    }
+
+    /// The launch-time default engine.
+    #[must_use]
+    pub fn default_engine(&self) -> Arc<RuleEngine> {
+        Arc::clone(&self.default)
+    }
+
+    /// Installs (or replaces) the engine scoped to version `index`.
+    pub fn install(&self, index: usize, rules: RuleEngine) {
+        self.scoped.write().insert(index, Arc::new(rules));
+    }
+
+    /// Removes the engine scoped to version `index`; the version falls back
+    /// to the default.  Returns `true` if a scoped engine was installed.
+    pub fn remove(&self, index: usize) -> bool {
+        self.scoped.write().remove(&index).is_some()
+    }
+
+    /// Number of versions with a scoped engine installed.
+    #[must_use]
+    pub fn scoped_count(&self) -> usize {
+        self.scoped.read().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +357,40 @@ mod tests {
             &request(Sysno::Getuid),
             &[u32::from(Sysno::Getegid.number())],
         );
+        assert_eq!(action, RuleAction::ExecuteExtra);
+    }
+
+    #[test]
+    fn scoped_rules_override_only_their_version() {
+        let mut default = RuleEngine::new();
+        default
+            .allow_extra_call("default-extra", Sysno::Getuid.number(), Sysno::Getegid.number())
+            .unwrap();
+        let scoped = ScopedRules::new(default);
+        let mut special = RuleEngine::new();
+        special
+            .allow_skipped_call("skip-egid", Sysno::Getegid.number(), Sysno::Getuid.number())
+            .unwrap();
+        scoped.install(7, special);
+        assert_eq!(scoped.scoped_count(), 1);
+
+        // Version 7 resolves through its own engine (removal rule) ...
+        let (action, _) = scoped
+            .engine_for(7)
+            .evaluate(&request(Sysno::Getuid), &[u32::from(Sysno::Getegid.number())]);
+        assert_eq!(action, RuleAction::SkipLeaderEvent);
+        // ... while every other version still uses the default (addition rule).
+        let (action, _) = scoped
+            .engine_for(3)
+            .evaluate(&request(Sysno::Getuid), &[u32::from(Sysno::Getegid.number())]);
+        assert_eq!(action, RuleAction::ExecuteExtra);
+
+        // Removal falls back to the default.
+        assert!(scoped.remove(7));
+        assert!(!scoped.remove(7));
+        let (action, _) = scoped
+            .engine_for(7)
+            .evaluate(&request(Sysno::Getuid), &[u32::from(Sysno::Getegid.number())]);
         assert_eq!(action, RuleAction::ExecuteExtra);
     }
 

@@ -1,0 +1,253 @@
+//! Property-based tests for the rewrite-rule engine's divergence
+//! resolution, with emphasis on the *removal* path (§2.3's "removal of
+//! system calls", resolved by [`RuleAction::SkipLeaderEvent`]).
+//!
+//! The replay loop in `varan_core::monitor` advances two cursors — the
+//! leader's event stream and the follower's call stream — and consults the
+//! rule engine whenever they disagree.  The safety property of that loop is
+//! blunt: for **any** interleaving of addition divergences (the follower
+//! issues extra calls) and removal divergences (the leader issued extra
+//! calls), the streams either converge — every leader event consumed
+//! exactly once, every follower call answered, so the gating sequence keeps
+//! advancing — or the follower is killed at the divergence.  There is no
+//! third outcome: the loop must never silently skip past events (desyncing
+//! the gating sequence) and never spin without a verdict.
+
+use proptest::prelude::*;
+
+use varan_core::{RuleAction, RuleEngine};
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::Sysno;
+
+/// The base alphabet both revisions share.
+const BASE: [Sysno; 4] = [Sysno::Getegid, Sysno::Read, Sysno::Write, Sysno::Time];
+
+/// The newer revision's extra call (addition divergence).
+const EXTRA_FOLLOWER: Sysno = Sysno::Getuid;
+
+/// The older revision's extra call (removal divergence: the leader executed
+/// it, the follower never issues it).
+const EXTRA_LEADER: Sysno = Sysno::Fcntl;
+
+/// Rules covering both divergence directions, the way a multi-revision
+/// deployment would install them (§3.4): the follower may insert
+/// `EXTRA_FOLLOWER` anywhere, and the leader's `EXTRA_LEADER` events may be
+/// skipped.
+fn full_rules() -> RuleEngine {
+    let mut engine = RuleEngine::new();
+    engine
+        .add_addition_rule(
+            "allow-extra-getuid",
+            &format!(
+                "ld [0]\n jeq #{}, good\n ret #0\ngood: ret #0x7fff0000\n",
+                EXTRA_FOLLOWER.number()
+            ),
+        )
+        .unwrap();
+    engine
+        .add_removal_rule(
+            "skip-leader-fcntl",
+            &format!(
+                "ld event[0]\n jeq #{}, good\n ret #0\ngood: ret #0x7fff0000\n",
+                EXTRA_LEADER.number()
+            ),
+        )
+        .unwrap();
+    engine
+}
+
+fn request(sysno: Sysno) -> SyscallRequest {
+    SyscallRequest::new(sysno, [0; 6])
+}
+
+/// Builds a stream by inserting `extra` into `base` at each listed position
+/// (positions are clamped into range; duplicates mean adjacent extras).
+fn with_insertions(base: &[Sysno], extra: Sysno, positions: &[usize]) -> Vec<Sysno> {
+    let mut sorted: Vec<usize> = positions
+        .iter()
+        .map(|&position| position % (base.len() + 1))
+        .collect();
+    sorted.sort_unstable();
+    let mut out = Vec::with_capacity(base.len() + sorted.len());
+    let mut next = 0usize;
+    for (index, &call) in base.iter().enumerate() {
+        while next < sorted.len() && sorted[next] <= index {
+            out.push(extra);
+            next += 1;
+        }
+        out.push(call);
+    }
+    while next < sorted.len() {
+        out.push(extra);
+        next += 1;
+    }
+    out
+}
+
+/// Outcome of simulating the monitor's divergence-resolution loop.
+#[derive(Debug, PartialEq, Eq)]
+enum Sim {
+    /// Both streams fully consumed.
+    Converged {
+        allowed_extra: usize,
+        skipped: usize,
+    },
+    /// The follower was killed at (leader cursor, follower cursor).
+    Killed { leader_at: usize, follower_at: usize },
+    /// The loop exhausted its step budget — a livelock, always a bug.
+    Livelock,
+}
+
+/// Mirrors `FollowerMonitor::replay`'s cursor discipline: match on equal
+/// syscall numbers, otherwise let the engine pick which cursor advances.
+/// Trailing leader-extra events (the follower's program has already
+/// finished) are drained through the removal rules, mirroring a follower
+/// that unsubscribes cleanly only once the stream holds nothing it needs.
+fn simulate(engine: &RuleEngine, leader: &[Sysno], follower: &[Sysno]) -> Sim {
+    let mut leader_at = 0usize;
+    let mut follower_at = 0usize;
+    let mut allowed_extra = 0usize;
+    let mut skipped = 0usize;
+    let budget = 2 * (leader.len() + follower.len()) + 8;
+    for _ in 0..budget {
+        if follower_at == follower.len() && leader_at == leader.len() {
+            return Sim::Converged {
+                allowed_extra,
+                skipped,
+            };
+        }
+        if follower_at < follower.len()
+            && leader_at < leader.len()
+            && leader[leader_at] == follower[follower_at]
+        {
+            leader_at += 1;
+            follower_at += 1;
+            continue;
+        }
+        let leader_events: Vec<u32> = leader
+            .get(leader_at)
+            .map(|sysno| vec![u32::from(sysno.number())])
+            .unwrap_or_default();
+        let probe = follower
+            .get(follower_at)
+            .copied()
+            // Stream ended for the follower: probe with the next base call
+            // it would never issue, so only removal rules can fire.
+            .unwrap_or(BASE[0]);
+        let (action, _) = engine.evaluate(&request(probe), &leader_events);
+        match action {
+            RuleAction::ExecuteExtra if follower_at < follower.len() => {
+                follower_at += 1;
+                allowed_extra += 1;
+            }
+            RuleAction::SkipLeaderEvent if leader_at < leader.len() => {
+                leader_at += 1;
+                skipped += 1;
+            }
+            _ => {
+                return Sim::Killed {
+                    leader_at,
+                    follower_at,
+                }
+            }
+        }
+    }
+    Sim::Livelock
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any interleaving of addition and removal divergences converges under
+    /// the covering rule set: every leader event is consumed exactly once
+    /// (the gating sequence never silently desynchronizes), every extra is
+    /// accounted for, and the loop never livelocks.
+    #[test]
+    fn covered_interleavings_always_converge(
+        base_seed in proptest::collection::vec(0usize..4, 1..40),
+        follower_extras in proptest::collection::vec(0usize..64, 0..10),
+        leader_extras in proptest::collection::vec(0usize..64, 0..10),
+    ) {
+        let base: Vec<Sysno> = base_seed.iter().map(|&index| BASE[index]).collect();
+        let leader = with_insertions(&base, EXTRA_LEADER, &leader_extras);
+        let follower = with_insertions(&base, EXTRA_FOLLOWER, &follower_extras);
+        let engine = full_rules();
+        match simulate(&engine, &leader, &follower) {
+            Sim::Converged { allowed_extra, skipped } => {
+                prop_assert_eq!(allowed_extra, follower_extras.len());
+                prop_assert_eq!(skipped, leader_extras.len());
+            }
+            other => prop_assert!(
+                false,
+                "covered interleaving must converge, got {:?} (leader {:?}, follower {:?})",
+                other, leader, follower
+            ),
+        }
+    }
+
+    /// Without the removal rule, any leader-extra event kills the follower
+    /// at exactly the first divergence — never later, never silently
+    /// skipped past.
+    #[test]
+    fn uncovered_removals_kill_at_the_first_divergence(
+        base_seed in proptest::collection::vec(0usize..4, 1..30),
+        leader_extras in proptest::collection::vec(0usize..64, 1..6),
+    ) {
+        let base: Vec<Sysno> = base_seed.iter().map(|&index| BASE[index]).collect();
+        let leader = with_insertions(&base, EXTRA_LEADER, &leader_extras);
+        // Addition rules only: the engine can resolve follower extras but
+        // not the leader's.
+        let mut engine = RuleEngine::new();
+        engine
+            .add_addition_rule(
+                "allow-extra-getuid",
+                &format!(
+                    "ld [0]\n jeq #{}, good\n ret #0\ngood: ret #0x7fff0000\n",
+                    EXTRA_FOLLOWER.number()
+                ),
+            )
+            .unwrap();
+        let first_extra = leader
+            .iter()
+            .position(|&sysno| sysno == EXTRA_LEADER)
+            .expect("at least one leader extra");
+        match simulate(&engine, &leader, &base) {
+            Sim::Killed { leader_at, follower_at } => {
+                prop_assert_eq!(leader_at, first_extra);
+                prop_assert_eq!(follower_at, first_extra,
+                    "matched prefix must be consumed in lock-step");
+            }
+            other => prop_assert!(
+                false,
+                "uncovered removal must kill, got {:?} (leader {:?})",
+                other, leader
+            ),
+        }
+    }
+
+    /// With no rules at all, identical streams converge and any divergent
+    /// pair is killed — the lock-step baseline behaviour.
+    #[test]
+    fn empty_engine_is_strict_lockstep(
+        base_seed in proptest::collection::vec(0usize..4, 1..30),
+        diverge in proptest::option::of(0usize..64),
+    ) {
+        let base: Vec<Sysno> = base_seed.iter().map(|&index| BASE[index]).collect();
+        let engine = RuleEngine::new();
+        match diverge {
+            None => {
+                prop_assert_eq!(
+                    simulate(&engine, &base, &base),
+                    Sim::Converged { allowed_extra: 0, skipped: 0 }
+                );
+            }
+            Some(position) => {
+                let follower = with_insertions(&base, EXTRA_FOLLOWER, &[position]);
+                prop_assert!(matches!(
+                    simulate(&engine, &base, &follower),
+                    Sim::Killed { .. }
+                ));
+            }
+        }
+    }
+}

@@ -233,6 +233,38 @@ impl Kernel {
         table.get_mut(dst_pid)?.install_fd(entry)
     }
 
+    /// Like [`Kernel::transfer_fd`], but installs the duplicate at the
+    /// *same* descriptor number it has in the source process, falling back
+    /// to the lowest free number when that slot is taken.  Returns the
+    /// number actually used.
+    ///
+    /// Identity placement is what lets a runtime-attached upgrade candidate
+    /// mirror the leader's descriptor table exactly (the same way a
+    /// checkpoint restore installs descriptors at identity numbers), so the
+    /// numbers its application observed during replay stay valid after it
+    /// is promoted to leader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] / [`Errno::EBADF`] if either process or the
+    /// descriptor is missing, and [`Errno::EMFILE`] if the destination table
+    /// is full.
+    pub fn transfer_fd_identity(
+        &self,
+        src_pid: Pid,
+        src_fd: i32,
+        dst_pid: Pid,
+    ) -> Result<i32, Errno> {
+        let mut table = self.inner.processes.lock();
+        let entry = table.get(src_pid)?.fd(src_fd)?.clone();
+        let destination = table.get_mut(dst_pid)?;
+        match destination.install_fd_at(src_fd, entry.clone()) {
+            Ok(fd) => Ok(fd),
+            Err(Errno::EEXIST) => destination.install_fd(entry),
+            Err(errno) => Err(errno),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Checkpoint support (see `checkpoint.rs`)
     // ------------------------------------------------------------------

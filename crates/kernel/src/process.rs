@@ -175,6 +175,32 @@ impl ProcessState {
         Ok(fd)
     }
 
+    /// Installs `entry` at the specific descriptor number `at` (a `dup2`
+    /// into a known-free slot), keeping future allocations above it.  Used
+    /// by identity-preserving descriptor transfers: a runtime-attached
+    /// upgrade candidate mirrors the leader's descriptor numbering so its
+    /// own post-promotion allocations can never collide with a number the
+    /// replayed application already holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::EMFILE`] when the table is full, [`Errno::EBADF`]
+    /// for a negative number and [`Errno::EEXIST`] when `at` is occupied.
+    pub fn install_fd_at(&mut self, at: i32, entry: FdEntry) -> Result<i32, Errno> {
+        if self.fds.len() >= MAX_FDS {
+            return Err(Errno::EMFILE);
+        }
+        if at < 0 {
+            return Err(Errno::EBADF);
+        }
+        if self.fds.contains_key(&at) {
+            return Err(Errno::EEXIST);
+        }
+        self.fds.insert(at, entry);
+        self.next_fd = self.next_fd.max(at + 1);
+        Ok(at)
+    }
+
     /// Looks up a descriptor.
     ///
     /// # Errors

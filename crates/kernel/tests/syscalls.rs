@@ -224,6 +224,43 @@ fn fd_transfer_duplicates_descriptors_between_processes() {
 }
 
 #[test]
+fn identity_fd_transfer_preserves_the_source_number() {
+    let kernel = Kernel::new();
+    let leader = kernel.spawn_process("leader");
+    let joiner = kernel.spawn_process("joiner");
+    kernel
+        .populate_file("/data/a.txt", b"aaaa".to_vec())
+        .unwrap();
+    kernel
+        .populate_file("/data/b.txt", b"bbbb".to_vec())
+        .unwrap();
+    // Leader opens two files (fds 3 and 4); the joiner mirrors them at the
+    // identical numbers, and its own next allocation lands above them.
+    let a = kernel
+        .syscall(leader, &SyscallRequest::open_read("/data/a.txt"))
+        .result as i32;
+    let b = kernel
+        .syscall(leader, &SyscallRequest::open_read("/data/b.txt"))
+        .result as i32;
+    assert_eq!(kernel.transfer_fd_identity(leader, b, joiner).unwrap(), b);
+    assert_eq!(kernel.transfer_fd_identity(leader, a, joiner).unwrap(), a);
+    let read = kernel.syscall(joiner, &SyscallRequest::read(b, 4));
+    assert_eq!(read.data.as_deref(), Some(&b"bbbb"[..]));
+    let own = kernel
+        .syscall(joiner, &SyscallRequest::open_read("/data/a.txt"))
+        .result as i32;
+    assert!(own > b, "future allocations stay above identity installs");
+
+    // An occupied slot falls back to the lowest free number.
+    let again = kernel.transfer_fd_identity(leader, a, joiner).unwrap();
+    assert_ne!(again, a);
+    assert_eq!(
+        kernel.transfer_fd_identity(leader, 999, joiner).unwrap_err(),
+        Errno::EBADF
+    );
+}
+
+#[test]
 fn fork_and_exit_lifecycle() {
     let kernel = Kernel::new();
     let parent = kernel.spawn_process("parent");

@@ -286,8 +286,17 @@ impl<T> Shared<T> {
         if any {
             min
         } else {
-            // No live consumers: nothing gates the producer.
-            u64::MAX
+            // No live consumers: nothing gates the producer *right now* —
+            // but report the current cursor rather than infinity, so a
+            // cached copy of this value can never authorise publishing more
+            // than one lap past the cursor at the time it was taken.  That
+            // bound is what makes mid-flight registration race-free
+            // ([`Consumer::resume_at`]): a joiner that registers within a
+            // lap of the cursor forces the producer to rescan (and observe
+            // the new gate) before its slots could be overwritten.  With an
+            // infinite cache, a producer running without followers would
+            // never rescan and silently lap a late joiner.
+            self.cursor.count()
         }
     }
 
@@ -724,6 +733,48 @@ mod tests {
     fn default_capacity_matches_paper() {
         let ring = RingBuffer::<Event>::with_default_capacity(1, WaitStrategy::Spin).unwrap();
         assert_eq!(ring.capacity(), 256);
+    }
+
+    #[test]
+    fn late_registration_gates_a_previously_ungated_producer() {
+        // A ring whose only consumer slot is retired: the producer runs
+        // ungated (and its gate cache goes stale) — the state of a
+        // single-version execution before any runtime joiner attaches.
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Yield).unwrap());
+        let mut consumer = ring.consumer(0).unwrap();
+        consumer.unsubscribe();
+        let producer = ring.producer();
+        for i in 0..100 {
+            producer.publish(Event::checkpoint(i));
+        }
+        // A joiner registers at the cursor mid-flight.  The producer's
+        // cached gate must not let it lap the fresh registration: after at
+        // most one lap of further publishes it has to observe the gate and
+        // report the ring full.
+        let pos = ring.published();
+        consumer.resume_at(pos);
+        let mut accepted = 0u64;
+        while producer.try_publish(Event::checkpoint(1000 + accepted)).is_ok() {
+            accepted += 1;
+            assert!(
+                accepted <= 16,
+                "producer lapped a registered consumer (gate never observed)"
+            );
+        }
+        assert!(accepted > 0, "one lap of space is genuinely free");
+        // Draining the backlog re-opens exactly the consumed space.
+        let mut batch = Vec::new();
+        let taken = consumer.try_next_batch(&mut batch, 4);
+        assert_eq!(taken, 4);
+        assert_eq!(
+            batch[0].args()[0],
+            1000,
+            "the joiner reads from its registration point, nothing earlier"
+        );
+        for extra in 0..4 {
+            assert!(producer.try_publish(Event::checkpoint(2000 + extra)).is_ok());
+        }
+        assert!(producer.try_publish(Event::checkpoint(9999)).is_err());
     }
 
     #[test]

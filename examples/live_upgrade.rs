@@ -1,0 +1,167 @@
+//! Zero-downtime live upgrade: roll a new revision into a *running*
+//! N-version execution — canary → soak → promote → retire — with automatic
+//! rollback of a bad revision.
+//!
+//! The upgrade pipeline composes the elastic fleet (runtime attach backed by
+//! the spill journal) with the transparent-failover machinery (§5.1): the
+//! candidate revision joins as a follower, replays the entire history of the
+//! service through its own scoped rewrite rules, soaks under live load, and
+//! finally takes leadership through the same drain-then-switch handover used
+//! for crash failover — the retired leader stays attached as a follower, an
+//! instant rollback target.
+//!
+//! ```text
+//! cargo run --example live_upgrade
+//! ```
+
+use varan::core::coordinator::{NvxConfig, NvxSystem};
+use varan::core::fleet::FleetConfig;
+use varan::core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan::core::upgrade::{UpgradeConfig, UpgradeOrchestrator, UpgradeStep};
+use varan::core::RuleEngine;
+use varan::kernel::syscall::SyscallRequest;
+use varan::kernel::{Kernel, Sysno};
+
+/// A service revision: each iteration issues a fixed syscall mix; newer
+/// revisions add an extra `getuid` check (a benign §2.3 divergence).
+struct Service {
+    revision: u32,
+    requests: u32,
+    extra_getuid: bool,
+    crash_at: Option<u32>,
+}
+
+impl VersionProgram for Service {
+    fn name(&self) -> String {
+        format!("service-r{}", self.revision)
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/zero", 0);
+        for i in 0..self.requests {
+            if Some(i) == self.crash_at {
+                return ProgramExit::Crashed(varan::kernel::signal::Signal::Sigsegv);
+            }
+            if self.extra_getuid {
+                sys.syscall(&SyscallRequest::new(Sysno::Getuid, [0; 6]));
+            }
+            sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+            sys.read(fd as i32, 128);
+            sys.time();
+            // Pace on wall time (a stand-in for request inter-arrival) so
+            // the run spans the whole upgrade chain even in release builds.
+            if i % 2048 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+        sys.close(fd as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+fn main() -> Result<(), varan::core::CoreError> {
+    let kernel = Kernel::new();
+    let journal_dir = std::env::temp_dir().join(format!(
+        "varan-live-upgrade-example-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    // Revision 1 launches alone; everything else joins at runtime.  Upgrades
+    // need the full journal history retained (the candidate replays it), and
+    // the default rules teach *old* revisions to skip the new revision's
+    // extra getuid once it leads.
+    let mut skip_getuid = RuleEngine::new();
+    skip_getuid.allow_skipped_call(
+        "skip-new-getuid",
+        Sysno::Getuid.number(),
+        Sysno::Getegid.number(),
+    )?;
+    let config = NvxConfig::default()
+        .with_rules(skip_getuid.clone())
+        .with_fleet(FleetConfig::for_upgrades(&journal_dir, 4));
+    let requests = 200_000;
+    let versions: Vec<Box<dyn VersionProgram>> = vec![Box::new(Service {
+        revision: 1,
+        requests,
+        extra_getuid: false,
+        crash_at: None,
+    })];
+    let running = NvxSystem::launch(&kernel, versions, config)?;
+    let fleet = running.fleet().expect("fleet enabled");
+    let orchestrator = UpgradeOrchestrator::new(
+        fleet.clone(),
+        UpgradeConfig {
+            soak_events: 128,
+            ..UpgradeConfig::default()
+        },
+    );
+
+    // Revision 2: behaviourally identical — promoted without any rules.
+    // Revision 3: crashes deterministically — must be rolled back.
+    // Revision 4: adds the getuid check — needs scoped rules on both sides.
+    let mut allow_getuid = RuleEngine::new();
+    allow_getuid.allow_extra_call(
+        "allow-new-getuid",
+        Sysno::Getuid.number(),
+        Sysno::Getegid.number(),
+    )?;
+    let chain = vec![
+        UpgradeStep::new(Box::new(Service {
+            revision: 2,
+            requests,
+            extra_getuid: false,
+            crash_at: None,
+        })),
+        UpgradeStep::new(Box::new(Service {
+            revision: 3,
+            requests,
+            extra_getuid: false,
+            crash_at: Some(100),
+        })),
+        UpgradeStep::new(Box::new(Service {
+            revision: 4,
+            requests,
+            extra_getuid: true,
+            crash_at: None,
+        }))
+        .with_candidate_rules(allow_getuid)
+        .with_retiree_rules(skip_getuid),
+    ];
+    let report = orchestrator.run_chain(chain);
+    for stage in &report.stages {
+        println!(
+            "{}: {:?} (canary {:.2} ms, soak {} events, promote {:.2} ms, \
+             {} divergences rewritten)",
+            stage.revision,
+            stage.outcome,
+            stage.catch_up_ms,
+            stage.soak_events,
+            stage.promote_latency_ms,
+            stage.divergences_allowed,
+        );
+    }
+    println!(
+        "chain: {} promoted, {} rolled back; version {} now leads \
+         (median promote latency {:.2} ms)",
+        report.promoted(),
+        report.rolled_back(),
+        report.final_leader,
+        report.median_promote_latency_ms(),
+    );
+    assert_eq!(report.promoted(), 2);
+    assert_eq!(report.rolled_back(), 1);
+
+    let nvx = running.wait();
+    println!(
+        "run finished cleanly under {} leaders: {} events published, exits {:?}",
+        report.promoted() + 1,
+        nvx.events_published,
+        nvx.exits
+    );
+    assert!(nvx.all_clean());
+
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    Ok(())
+}

@@ -5,21 +5,22 @@
 //! Execution Framework"* (Hosek & Cadar, ASPLOS 2015) and hosts the runnable
 //! examples and the cross-crate integration tests.
 //!
-//! * [`core`](varan_core) — the framework itself: coordinator, zygote,
-//!   leader/follower monitors, event streaming, system call tables, rewrite
-//!   rules, transparent failover, live sanitization and record-replay.
-//! * [`ring`](varan_ring) — the shared ring buffer, waitlocks, Lamport
-//!   clocks and the shared-memory pool allocator.
-//! * [`rewrite`](varan_rewrite) — selective binary rewriting of system-call
-//!   sites and vDSO entry points.
-//! * [`bpf`](varan_bpf) — the BPF virtual machine, verifier and assembler
-//!   used for system-call sequence rewrite rules.
-//! * [`kernel`](varan_kernel) — the virtual OS substrate the reproduction
-//!   runs on (see `DESIGN.md` for the substitution argument).
-//! * [`apps`](varan_apps) — miniature server applications, client workloads
-//!   and SPEC-like CPU kernels.
-//! * [`baselines`](varan_baselines) — prior-work lock-step and record-replay
-//!   baselines used by the comparison experiments.
+//! * [`core`] — the framework itself: coordinator, zygote, leader/follower
+//!   monitors, event streaming, system call tables, rewrite rules,
+//!   transparent failover, live sanitization, record-replay, the elastic
+//!   fleet and the live-upgrade pipeline.
+//! * [`ring`] — the shared ring buffer, waitlocks, Lamport clocks, the
+//!   shared-memory pool allocator and the spill-to-disk event journal.
+//! * [`rewrite`] — selective binary rewriting of system-call sites and vDSO
+//!   entry points.
+//! * [`bpf`] — the BPF virtual machine, verifier and assembler used for
+//!   system-call sequence rewrite rules.
+//! * [`kernel`] — the virtual OS substrate the reproduction runs on (see
+//!   `DESIGN.md` for the substitution argument).
+//! * [`apps`] — miniature server applications, client workloads and
+//!   SPEC-like CPU kernels.
+//! * [`baselines`] — prior-work lock-step and record-replay baselines used
+//!   by the comparison experiments.
 //!
 //! # Quick start
 //!

@@ -210,7 +210,7 @@ pub mod collection {
 
     use super::{SizeRange, Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
