@@ -18,6 +18,7 @@
 //! | [`ringbench`] | machine-readable ring/pool throughput (`BENCH_ring.json`) |
 //! | [`fleetbench`] | machine-readable elastic-fleet churn scenario (`BENCH_fleet.json`) |
 //! | [`upgradebench`] | machine-readable zero-downtime rolling upgrade (`BENCH_upgrade.json`) |
+//! | [`simbench`] | machine-readable deterministic-simulation sweep (`BENCH_sim.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
 #![forbid(unsafe_code)]
@@ -30,6 +31,7 @@ pub mod report;
 pub mod ringbench;
 pub mod scenarios;
 pub mod servers;
+pub mod simbench;
 pub mod spec;
 pub mod upgradebench;
 

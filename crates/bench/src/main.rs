@@ -10,7 +10,7 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, spec,
+    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, simbench, spec,
     upgradebench, Scale,
 };
 
@@ -29,17 +29,41 @@ struct Options {
     recreplay: bool,
     fig_fleet: bool,
     fig_upgrade: bool,
+    sim_sweep: bool,
     check_ring: bool,
     check_fleet: bool,
     check_upgrade: bool,
+    check_sim: bool,
+    sim_seeds: u64,
+    sim_base_seed: u64,
     full: bool,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Options {
         let mut options = Options::default();
+        options.sim_seeds = 1_000;
         let mut any = false;
-        for arg in args {
+        let mut sim_values_given = false;
+        let mut args = args.iter();
+        while let Some(arg) = args.next() {
+            // Value-taking flags first.
+            match arg.as_str() {
+                "--seeds" | "--sim-seed" => {
+                    let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                        eprintln!("{arg} requires a numeric value");
+                        std::process::exit(2);
+                    };
+                    if arg == "--seeds" {
+                        options.sim_seeds = value.max(1);
+                    } else {
+                        options.sim_base_seed = value;
+                    }
+                    sim_values_given = true;
+                    continue;
+                }
+                _ => {}
+            }
             match arg.as_str() {
                 "--fig4" => options.fig4 = true,
                 "--fig5" => options.fig5 = true,
@@ -54,11 +78,13 @@ impl Options {
                 "--recreplay" => options.recreplay = true,
                 "--fig-fleet" => options.fig_fleet = true,
                 "--fig-upgrade" => options.fig_upgrade = true,
+                "--sim-sweep" => options.sim_sweep = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
                 "--check-ring" => options.check_ring = true,
                 "--check-fleet" => options.check_fleet = true,
                 "--check-upgrade" => options.check_upgrade = true,
+                "--check-sim" => options.check_sim = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -84,6 +110,11 @@ impl Options {
                          \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
                          \x20              [--fig-fleet] [--fig-upgrade] [--check-ring] [--check-fleet]\n\
                          \x20              [--check-upgrade]\n\
+                         \x20              [--sim-sweep [--seeds N] [--sim-seed S]] [--check-sim]\n\
+                         --sim-sweep runs the deterministic simulation sweep (N seeded fault\n\
+                         scenarios, default 1000 starting at S, default 0) and writes {sim};\n\
+                         --check-sim validates {sim} and exits non-zero on any failing seed or\n\
+                         any same-seed reproducibility mismatch (see docs/SIMULATION.md).\n\
                          --fig5 also writes {path} (ring/pool throughput);\n\
                          --check-ring validates {path} and exits non-zero if it is malformed\n\
                          or the disruptor does not beat the event-pump baseline at 3 followers.\n\
@@ -97,6 +128,7 @@ impl Options {
                         path = varan_bench::ringbench::DEFAULT_PATH,
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
                         upgrade = varan_bench::upgradebench::DEFAULT_PATH,
+                        sim = varan_bench::simbench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
                 }
@@ -106,6 +138,13 @@ impl Options {
                 }
             }
             any = true;
+        }
+        if sim_values_given && !options.sim_sweep {
+            // `--seeds`/`--sim-seed` without `--sim-sweep` would silently
+            // run the default figure subset and leave a stale
+            // BENCH_sim.json for a later --check-sim to bless.
+            eprintln!("--seeds/--sim-seed only apply to --sim-sweep (try --help)");
+            std::process::exit(2);
         }
         if !any {
             // Default: a representative quick subset.
@@ -220,6 +259,17 @@ fn main() {
             ),
         }
     }
+    if options.sim_sweep {
+        let sweep = simbench::run(options.sim_seeds, options.sim_base_seed);
+        println!("{}", simbench::render(&sweep));
+        match simbench::write_to(&sweep, simbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", simbench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                simbench::DEFAULT_PATH
+            ),
+        }
+    }
     if options.check_ring {
         match ringbench::validate_file(ringbench::DEFAULT_PATH) {
             Ok(()) => println!("{} OK", ringbench::DEFAULT_PATH),
@@ -243,6 +293,15 @@ fn main() {
             Ok(()) => println!("{} OK", upgradebench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_upgrade check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_sim {
+        match simbench::validate_file(simbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", simbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_sim check failed: {err}");
                 std::process::exit(1);
             }
         }

@@ -61,11 +61,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use varan_kernel::process::Pid;
+use varan_kernel::time::{ClockSource, SimInstant};
 use varan_kernel::{Kernel, Sysno};
 use varan_ring::{Consumer, Event, EventJournal, JournalConfig, JournalRecord, PoolAllocator};
 
@@ -163,6 +164,33 @@ impl FleetConfig {
     }
 }
 
+/// Folds one observed event into a member's rolling stream digest (FNV-1a
+/// over the tuple's little-endian bytes; a zero `hash` starts a fresh
+/// digest at the offset basis).  Exposed so convergence checks — e.g. the
+/// simulation harness comparing a member's digest against one recomputed
+/// from the journal — use the *same* fold as [`FleetMember::digest`]
+/// rather than a copy that could silently drift.
+#[must_use]
+pub fn fold_stream_digest(
+    mut hash: u64,
+    seq: u64,
+    sysno: u16,
+    result: i64,
+    clock: u64,
+    payload_len: u64,
+) -> u64 {
+    if hash == 0 {
+        hash = 0xcbf2_9ce4_8422_2325;
+    }
+    for chunk in [seq, u64::from(sysno), result as u64, clock, payload_len] {
+        for byte in chunk.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 /// One event as observed by a fleet member, for stream-convergence checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamRecord {
@@ -187,7 +215,7 @@ struct JoinerBootstrap {
     consumer: Consumer<Event>,
     channel: DataChannel,
     fd_map: HashMap<i64, i32>,
-    attach_started: Instant,
+    attach_started: SimInstant,
 }
 
 /// A follower attached at runtime.  Handles are shared between the caller,
@@ -212,6 +240,9 @@ pub struct FleetMember {
     digest: AtomicU64,
     stream: Mutex<Vec<StreamRecord>>,
     failure: Mutex<Option<MemberFailure>>,
+    /// The execution's time source ([`Kernel::wait_clock`]): wall time in
+    /// production, virtual time under simulation.
+    clock: ClockSource,
 }
 
 impl FleetMember {
@@ -270,18 +301,19 @@ impl FleetMember {
     }
 
     /// Blocks until the member reaches live consumption (or fails/stops),
-    /// up to `timeout`.  Returns `true` if it went live.
+    /// up to `timeout` on the execution's clock (virtual under simulation).
+    /// Returns `true` if it went live.
     #[must_use]
     pub fn wait_live(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        let deadline = self.clock.deadline(timeout);
+        while !deadline.expired() {
             if self.is_live() {
                 return true;
             }
             if self.failure().is_some() || !self.is_alive() {
                 return false;
             }
-            std::thread::sleep(JOINER_POLL);
+            self.clock.sleep(JOINER_POLL);
         }
         self.is_live()
     }
@@ -295,17 +327,14 @@ impl FleetMember {
         payload_len: u64,
         record_stream: bool,
     ) {
-        // FNV-1a folded over the tuple's little-endian bytes.
-        let mut hash = self.digest.load(Ordering::Relaxed);
-        if hash == 0 {
-            hash = 0xcbf2_9ce4_8422_2325;
-        }
-        for chunk in [seq, u64::from(sysno), result as u64, clock, payload_len] {
-            for byte in chunk.to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
+        let hash = fold_stream_digest(
+            self.digest.load(Ordering::Relaxed),
+            seq,
+            sysno,
+            result,
+            clock,
+            payload_len,
+        );
         self.digest.store(hash, Ordering::Release);
         self.events_observed.fetch_add(1, Ordering::Relaxed);
         if record_stream {
@@ -354,6 +383,8 @@ pub struct VersionMember {
     detached: AtomicBool,
     exit: Mutex<Option<String>>,
     failure: Mutex<Option<MemberFailure>>,
+    /// The execution's time source (see [`FleetMember::wait_live`]).
+    clock: ClockSource,
 }
 
 impl VersionMember {
@@ -420,18 +451,19 @@ impl VersionMember {
     }
 
     /// Blocks until the member reaches live consumption (or fails/stops),
-    /// up to `timeout`.  Returns `true` if it went live.
+    /// up to `timeout` on the execution's clock (virtual under simulation).
+    /// Returns `true` if it went live.
     #[must_use]
     pub fn wait_live(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        let deadline = self.clock.deadline(timeout);
+        while !deadline.expired() {
             if self.is_live() {
                 return true;
             }
             if self.failure().is_some() || !self.is_alive() {
                 return false;
             }
-            std::thread::sleep(JOINER_POLL);
+            self.clock.sleep(JOINER_POLL);
         }
         self.is_live()
     }
@@ -662,7 +694,7 @@ impl FleetController {
             restoring.push(sequence);
             sequence
         };
-        let attach_started = Instant::now();
+        let attach_started = inner.kernel.wait_clock().start();
         let result = self.attach_inner(name, sequence, attach_started, consumer);
         if result.is_err() {
             self.finish_restore(sequence);
@@ -674,7 +706,7 @@ impl FleetController {
         &self,
         name: &str,
         sequence: u64,
-        attach_started: Instant,
+        attach_started: SimInstant,
         consumer: Consumer<Event>,
     ) -> Result<Arc<FleetMember>, CoreError> {
         let inner = &self.inner;
@@ -773,6 +805,7 @@ impl FleetController {
             digest: AtomicU64::new(0),
             stream: Mutex::new(Vec::new()),
             failure: Mutex::new(None),
+            clock: inner.kernel.wait_clock(),
         });
         inner.members.lock().push(Arc::clone(&member));
         inner.joiners.lock().push(handle);
@@ -872,6 +905,7 @@ impl FleetController {
             detached: AtomicBool::new(false),
             exit: Mutex::new(None),
             failure: Mutex::new(None),
+            clock: inner.kernel.wait_clock(),
         });
 
         // The member's monitor: a follower that first replays the journal
@@ -889,6 +923,7 @@ impl FleetController {
             Some(Arc::clone(&inner.journal)),
         );
         let catch_up = CatchUp::new(
+            &inner.kernel.wait_clock(),
             Arc::clone(&inner.journal),
             Arc::clone(&catching_up),
             Arc::clone(&live),
@@ -1075,8 +1110,9 @@ impl FleetController {
         for member in self.inner.members.lock().iter() {
             member.stop.store(true, Ordering::Release);
         }
-        let grace = Instant::now() + Duration::from_secs(5);
-        while Instant::now() < grace {
+        let clock = self.inner.kernel.wait_clock();
+        let grace = clock.deadline(Duration::from_secs(5));
+        while !grace.expired() {
             let pending = self
                 .inner
                 .version_members
@@ -1086,7 +1122,7 @@ impl FleetController {
             if !pending {
                 break;
             }
-            std::thread::sleep(JOINER_POLL);
+            clock.sleep(JOINER_POLL);
         }
         for member in self.inner.version_members.lock().iter() {
             if member.is_alive() {
@@ -1130,9 +1166,10 @@ impl FleetController {
         mut consumer: Consumer<Event>,
         channel: DataChannel,
         mut fd_map: HashMap<i64, i32>,
-        attach_started: Instant,
+        attach_started: SimInstant,
     ) {
         let inner = &self.inner;
+        let clock = inner.kernel.wait_clock();
         let ring = Arc::clone(inner.rings.ring(0));
         let capacity = ring.capacity() as u64;
         let mut pos = member.start_sequence;
@@ -1205,7 +1242,11 @@ impl FleetController {
                 if member.stop.load(Ordering::Acquire) {
                     break;
                 }
-                consumer.wait_for_published(JOINER_POLL);
+                if clock.is_simulated() {
+                    clock.sleep(JOINER_POLL);
+                } else {
+                    consumer.wait_for_published(JOINER_POLL);
+                }
                 continue;
             }
             self.drain_fd_channel(&channel, &mut fd_map);
@@ -1322,6 +1363,12 @@ impl FleetController {
     #[must_use]
     pub fn current_leader_index(&self) -> usize {
         self.inner.current_leader.load(Ordering::Acquire)
+    }
+
+    /// The execution's time source (wall in production, virtual under
+    /// simulation); the upgrade orchestrator's deadlines run on it.
+    pub(crate) fn wait_clock(&self) -> ClockSource {
+        self.inner.kernel.wait_clock()
     }
 
     /// The scoped rewrite-rule registry of this execution.

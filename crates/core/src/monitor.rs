@@ -16,12 +16,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use varan_kernel::process::Pid;
+use varan_kernel::sim::SimPoint;
 use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::time::{ClockSource, SimInstant};
 use varan_kernel::{Errno, Kernel};
 use varan_ring::{
     ClockOrdering, Consumer, Event, EventJournal, JournalRecord, PoolAllocator, Producer,
@@ -55,7 +57,10 @@ pub(crate) type SlotPool = Arc<Mutex<Vec<Consumer<Event>>>>;
 /// the coordinator adjudicates within microseconds, so this bound is only
 /// ever paid in full by genuinely divergent followers of a healthy leader
 /// (their kill is delayed, never averted). Sized generously so even a
-/// descheduled coordinator on a loaded CI machine wins the race.
+/// descheduled coordinator on a loaded CI machine wins the race.  Measured
+/// against the kernel's [`ClockSource`]: under simulated time the grace is
+/// 200 *virtual* milliseconds, so a 10,000-run sweep never sleeps through
+/// it for real.
 const PROMOTION_GRACE: Duration = Duration::from_millis(200);
 
 /// The leader-side recording engine, shared by the leader's monitor and by a
@@ -521,7 +526,7 @@ pub(crate) struct CatchUp {
     pos: u64,
     /// Whether the ring gate has been registered (within half a lap).
     registered: bool,
-    started: Instant,
+    started: SimInstant,
     /// The follower link's catching-up flag, cleared at the live switch.
     link_catching_up: Arc<AtomicBool>,
     /// The member handle's live flag, set at the live switch.
@@ -532,6 +537,7 @@ pub(crate) struct CatchUp {
 
 impl CatchUp {
     pub(crate) fn new(
+        clock: &ClockSource,
         journal: Arc<EventJournal>,
         link_catching_up: Arc<AtomicBool>,
         live: Arc<AtomicBool>,
@@ -541,7 +547,7 @@ impl CatchUp {
             journal,
             pos: 0,
             registered: false,
-            started: Instant::now(),
+            started: clock.start(),
             link_catching_up,
             live,
             catch_up_nanos,
@@ -852,17 +858,24 @@ impl FollowerMonitor {
                 // not the ring, to keep the handover race-free.
                 cu.registered = true;
                 self.catch_up = Some(cu);
+                // Simulation boundary: the window between gate registration
+                // and the drain-switch is where a crashing candidate is the
+                // nastiest (the gate exists, the member is not yet live).
+                let _ = self
+                    .kernel
+                    .sim_probe(self.context.pid, SimPoint::GateRegistered);
                 return true;
             }
             // Journal drained while gating: every remaining event is (or
             // will be) published at or above the gate — go live.
+            let _ = self.kernel.sim_probe(self.context.pid, SimPoint::LiveSwitch);
             cu.link_catching_up.store(false, Ordering::Release);
             cu.catch_up_nanos
                 .store(cu.started.elapsed().as_nanos() as u64, Ordering::Release);
             cu.live.store(true, Ordering::Release);
             return self.refill_from_ring();
         }
-        {
+        let newly_registered = {
             let mut queue = self.tuple.lock();
             for record in &records {
                 let staged = StagedEvent {
@@ -879,14 +892,23 @@ impl FollowerMonitor {
             let consumer = queue.consumer.as_mut().expect("joiner holds its ring slot");
             if cu.registered {
                 consumer.resume_at(cu.pos);
+                false
             } else if self.rings.ring(0).published().saturating_sub(cu.pos)
                 < (self.rings.ring(0).capacity() as u64) / 2
             {
                 consumer.resume_at(cu.pos);
                 cu.registered = true;
+                true
+            } else {
+                false
             }
-        }
+        };
         self.catch_up = Some(cu);
+        if newly_registered {
+            let _ = self
+                .kernel
+                .sim_probe(self.context.pid, SimPoint::GateRegistered);
+        }
         true
     }
 
@@ -899,6 +921,13 @@ impl FollowerMonitor {
     /// sibling whose events are already staged), so those threads fall back
     /// to a plain bounded sleep.
     fn wait_for_events(&self) {
+        let clock = self.kernel.wait_clock();
+        if clock.is_simulated() {
+            // Virtual time: never park the thread — advance the clock and
+            // yield so the producer (or coordinator) gets the CPU.
+            clock.sleep(FOLLOWER_POLL);
+            return;
+        }
         {
             let queue = self.tuple.lock();
             if queue.owners == 1 {
@@ -1008,11 +1037,13 @@ impl FollowerMonitor {
                     // healthy follower at the crash-triggering request, and
                     // the verdict races with the coordinator's promotion
                     // decision — give it a bounded window before treating
-                    // the divergence as fatal.
-                    let mut waited = Duration::ZERO;
-                    while !self.context.is_promoted() && waited < PROMOTION_GRACE {
-                        std::thread::sleep(FOLLOWER_POLL);
-                        waited += FOLLOWER_POLL;
+                    // the divergence as fatal.  The grace runs on the
+                    // kernel's clock source (wall in production, virtual
+                    // under simulation) with the PR-1 value as the default.
+                    let clock = self.kernel.wait_clock();
+                    let grace = clock.deadline(PROMOTION_GRACE);
+                    while !self.context.is_promoted() && !grace.expired() {
+                        clock.sleep(FOLLOWER_POLL);
                     }
                     // Once promoted, skip the stale event and keep draining;
                     // the takeover happens in after_wait_interrupted() when

@@ -37,7 +37,7 @@
 //! executes on the leader's main monitor) and a fleet configured with
 //! [`crate::fleet::FleetConfig::retain_history`].
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -46,7 +46,11 @@ use crate::fleet::{FleetController, VersionMember};
 use crate::program::VersionProgram;
 use crate::rules::RuleEngine;
 
-/// How often the orchestrator polls member progress.
+/// How often the orchestrator polls member progress.  All orchestrator
+/// waits and deadlines run on the execution's clock source — wall time in
+/// production, virtual time under simulation — so the [`UpgradeConfig`]
+/// timeouts keep their historical defaults while a simulated upgrade sweep
+/// completes in wall microseconds.
 const ORCHESTRATOR_POLL: Duration = Duration::from_millis(1);
 
 /// Tunables of the upgrade pipeline.
@@ -302,6 +306,7 @@ impl UpgradeOrchestrator {
     /// rolling back automatically on any failure before the handover.
     pub fn upgrade(&self, step: UpgradeStep) -> StageReport {
         let _serial = self.in_flight.lock();
+        let clock = self.fleet.wait_clock();
         let revision = step.program.name();
         let mut report = StageReport {
             revision,
@@ -324,7 +329,7 @@ impl UpgradeOrchestrator {
             }
         };
         report.candidate_index = Some(member.index);
-        let catch_up_deadline = Instant::now() + self.config.catch_up_timeout;
+        let catch_up_deadline = clock.deadline(self.config.catch_up_timeout);
         loop {
             if member.is_live() {
                 break;
@@ -334,12 +339,12 @@ impl UpgradeOrchestrator {
                 report.outcome = StageOutcome::RolledBack(reason);
                 return report;
             }
-            if Instant::now() > catch_up_deadline {
+            if catch_up_deadline.expired() {
                 self.fleet.detach_version(member.index);
                 report.outcome = StageOutcome::RolledBack(RollbackReason::CatchUpTimeout);
                 return report;
             }
-            std::thread::sleep(ORCHESTRATOR_POLL);
+            clock.sleep(ORCHESTRATOR_POLL);
         }
         report.catch_up_ms = member
             .catch_up_latency()
@@ -348,7 +353,7 @@ impl UpgradeOrchestrator {
 
         // 2. Soak: watch divergence, lag and liveness over live replay.
         let soak_started_events = member.events_replayed();
-        let soak_deadline = Instant::now() + self.config.soak_timeout;
+        let soak_deadline = clock.deadline(self.config.soak_timeout);
         loop {
             if let Some(reason) = self.candidate_failure(&member) {
                 report.divergences_allowed = member.divergences_allowed();
@@ -370,12 +375,12 @@ impl UpgradeOrchestrator {
                 report.soak_events = soaked;
                 break;
             }
-            if Instant::now() > soak_deadline {
+            if soak_deadline.expired() {
                 self.fleet.detach_version(member.index);
                 report.outcome = StageOutcome::RolledBack(RollbackReason::SoakTimeout);
                 return report;
             }
-            std::thread::sleep(ORCHESTRATOR_POLL);
+            clock.sleep(ORCHESTRATOR_POLL);
         }
         report.divergences_allowed = member.divergences_allowed();
 
@@ -411,7 +416,7 @@ impl UpgradeOrchestrator {
                 return report;
             }
         };
-        let promote_started = Instant::now();
+        let promote_started = clock.start();
         if let Err(ticket) = old_context.handover.request(ticket) {
             self.fleet.return_ticket(ticket);
             rollback_rules(self);
@@ -419,7 +424,7 @@ impl UpgradeOrchestrator {
             report.outcome = StageOutcome::RolledBack(RollbackReason::HandoverRefused);
             return report;
         }
-        let handover_deadline = Instant::now() + self.config.handover_timeout;
+        let handover_deadline = clock.deadline(self.config.handover_timeout);
         loop {
             match old_context.handover.state() {
                 HandoverState::Demoted => break,
@@ -442,7 +447,7 @@ impl UpgradeOrchestrator {
                 }
                 _ => {}
             }
-            if Instant::now() > handover_deadline {
+            if handover_deadline.expired() {
                 if let Some(ticket) = old_context.handover.cancel() {
                     self.fleet.return_ticket(ticket);
                     rollback_rules(self);
@@ -453,7 +458,7 @@ impl UpgradeOrchestrator {
                 // The cancel lost the race: the leader is mid-demotion and
                 // will acknowledge shortly — keep waiting.
             }
-            std::thread::sleep(ORCHESTRATOR_POLL);
+            clock.sleep(ORCHESTRATOR_POLL);
         }
         old_context.handover.reset();
         // The candidate's canary-era rules were written for replaying the
@@ -466,11 +471,9 @@ impl UpgradeOrchestrator {
         //    Wait (bounded — it needs traffic) for the new leader's first
         //    published event to measure client-visible promote latency.
         let published_at_switch = self.fleet.published();
-        let publish_deadline = Instant::now() + self.config.handover_timeout;
-        while self.fleet.published() <= published_at_switch
-            && Instant::now() < publish_deadline
-        {
-            std::thread::sleep(ORCHESTRATOR_POLL);
+        let publish_deadline = clock.deadline(self.config.handover_timeout);
+        while self.fleet.published() <= published_at_switch && !publish_deadline.expired() {
+            clock.sleep(ORCHESTRATOR_POLL);
         }
         report.promote_latency_ms = promote_started.elapsed().as_secs_f64() * 1000.0;
         report.outcome = StageOutcome::Promoted;

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
@@ -14,9 +15,10 @@ use crate::fs::{flags, Node, Vfs};
 use crate::net::Network;
 use crate::process::{FdEntry, FdObject, Pid, Pipe, ProcessTable};
 use crate::signal::Signal;
+use crate::sim::{SimAction, SimDriver, SimPoint};
 use crate::syscall::{fcntl, whence, SyscallOutcome, SyscallRequest};
 use crate::sysno::Sysno;
-use crate::time::VirtualClock;
+use crate::time::{ClockSource, VirtualClock};
 
 /// Aggregate kernel statistics, used by the evaluation harness.
 #[derive(Debug, Clone, Default)]
@@ -42,10 +44,18 @@ struct KernelInner {
     vfs: Mutex<Vfs>,
     net: Network,
     processes: Mutex<ProcessTable>,
-    clock: VirtualClock,
+    clock: Arc<VirtualClock>,
     cost: CostModel,
     rng: Mutex<SmallRng>,
     stats: Mutex<KernelStats>,
+    /// Deterministic-simulation driver; consulted at syscall dispatch and
+    /// descriptor transfers when `sim_enabled` is set.
+    sim: RwLock<Option<Arc<dyn SimDriver>>>,
+    /// Fast-path guard so production executions pay one relaxed load.
+    sim_enabled: AtomicBool,
+    /// Whether blocking waits should run on virtual time
+    /// ([`ClockSource::Simulated`]) instead of the host clock.
+    sim_time: AtomicBool,
 }
 
 /// The virtual kernel.  Cheap to clone (all clones share the same state).
@@ -82,7 +92,7 @@ impl Kernel {
     /// Creates a kernel with an explicit cost model and random seed.
     #[must_use]
     pub fn with_config(cost: CostModel, seed: u64) -> Self {
-        let clock = VirtualClock::new(cost.cycles_per_us);
+        let clock = Arc::new(VirtualClock::new(cost.cycles_per_us));
         Kernel {
             inner: Arc::new(KernelInner {
                 vfs: Mutex::new(Vfs::new()),
@@ -92,6 +102,9 @@ impl Kernel {
                 cost,
                 rng: Mutex::new(SmallRng::seed_from_u64(seed)),
                 stats: Mutex::new(KernelStats::default()),
+                sim: RwLock::new(None),
+                sim_enabled: AtomicBool::new(false),
+                sim_time: AtomicBool::new(false),
             }),
         }
     }
@@ -100,6 +113,63 @@ impl Kernel {
     #[must_use]
     pub fn clock(&self) -> &VirtualClock {
         &self.inner.clock
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic simulation (see `crate::sim` and the `varan-sim` crate)
+    // ------------------------------------------------------------------
+
+    /// Installs a simulation driver: from now on every system-call dispatch
+    /// and descriptor transfer consults it (and the monitor layers probe it
+    /// at their own boundaries via [`Kernel::sim_probe`]).
+    pub fn install_sim_driver(&self, driver: Arc<dyn SimDriver>) {
+        *self.inner.sim.write() = Some(driver);
+        self.inner.sim_enabled.store(true, Ordering::Release);
+    }
+
+    /// Removes the simulation driver; probes return to their no-op fast
+    /// path.
+    pub fn clear_sim_driver(&self) {
+        self.inner.sim_enabled.store(false, Ordering::Release);
+        *self.inner.sim.write() = None;
+    }
+
+    /// Switches every [`Kernel::wait_clock`] consumer — monitor poll loops,
+    /// fleet catch-up waits, upgrade deadlines, endpoint read timeouts — to
+    /// virtual time: waits advance the shared [`VirtualClock`] and yield
+    /// instead of parking, so simulated runs never burn wall time.
+    pub fn enable_sim_time(&self) {
+        self.inner.sim_time.store(true, Ordering::Release);
+        self.inner.net.set_clock(self.wait_clock());
+    }
+
+    /// The time source blocking waits in the layers above should use: wall
+    /// time in production, virtual time once [`Kernel::enable_sim_time`]
+    /// was called.
+    #[must_use]
+    pub fn wait_clock(&self) -> ClockSource {
+        if self.inner.sim_time.load(Ordering::Acquire) {
+            ClockSource::Simulated(Arc::clone(&self.inner.clock))
+        } else {
+            ClockSource::Wall
+        }
+    }
+
+    /// Consults the installed simulation driver (no-op without one) and
+    /// applies crash/delay actions inline; a returned errno is the caller's
+    /// to surface as an operation failure.
+    pub fn sim_probe(&self, pid: Pid, point: SimPoint<'_>) -> Option<Errno> {
+        if !self.inner.sim_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let action = {
+            let driver = self.inner.sim.read();
+            match driver.as_ref() {
+                Some(driver) => driver.intercept(pid, point),
+                None => SimAction::Continue,
+            }
+        };
+        crate::sim::apply_generic(action, &self.inner.clock, "kernel probe")
     }
 
     /// The cost model in effect.
@@ -228,6 +298,16 @@ impl Kernel {
     /// descriptor is missing, and [`Errno::EMFILE`] if the destination table
     /// is full.
     pub fn transfer_fd(&self, src_pid: Pid, src_fd: i32, dst_pid: Pid) -> Result<i32, Errno> {
+        if let Some(errno) = self.sim_probe(
+            src_pid,
+            SimPoint::FdTransfer {
+                src: src_pid,
+                dst: dst_pid,
+                fd: src_fd,
+            },
+        ) {
+            return Err(errno);
+        }
         let mut table = self.inner.processes.lock();
         let entry = table.get(src_pid)?.fd(src_fd)?.clone();
         table.get_mut(dst_pid)?.install_fd(entry)
@@ -255,6 +335,16 @@ impl Kernel {
         src_fd: i32,
         dst_pid: Pid,
     ) -> Result<i32, Errno> {
+        if let Some(errno) = self.sim_probe(
+            src_pid,
+            SimPoint::FdTransfer {
+                src: src_pid,
+                dst: dst_pid,
+                fd: src_fd,
+            },
+        ) {
+            return Err(errno);
+        }
         let mut table = self.inner.processes.lock();
         let entry = table.get(src_pid)?.fd(src_fd)?.clone();
         let destination = table.get_mut(dst_pid)?;
@@ -350,7 +440,13 @@ impl Kernel {
             .inner
             .cost
             .native_cost(request.sysno, request.payload_len());
-        let outcome = self.dispatch(pid, request, cost);
+        // The simulation boundary: an installed driver may crash this
+        // thread, stretch time or fail the call before it touches any
+        // kernel state (one relaxed load when no driver is installed).
+        let outcome = match self.sim_probe(pid, SimPoint::Syscall { request }) {
+            Some(errno) => SyscallOutcome::err(request.sysno, errno, cost),
+            None => self.dispatch(pid, request, cost),
+        };
         self.inner.clock.advance(outcome.cost);
         let mut stats = self.inner.stats.lock();
         *stats.syscalls.entry(request.sysno).or_insert(0) += 1;

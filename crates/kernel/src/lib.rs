@@ -28,6 +28,11 @@
 //! * [`checkpoint`] — serializable snapshots of the fs/net/process/signal
 //!   tables (plus the per-version descriptor-translation map), the substrate
 //!   for followers joining a running execution at an event boundary.
+//! * [`sim`] — the deterministic-simulation interposition point: a
+//!   [`sim::SimDriver`] installed on the kernel is consulted at every
+//!   system-call dispatch and descriptor transfer, letting a seeded harness
+//!   (the `varan-sim` crate) crash versions, fail transfers and stretch
+//!   time at precisely chosen boundaries.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@ pub mod kernel;
 pub mod net;
 pub mod process;
 pub mod signal;
+pub mod sim;
 pub mod syscall;
 pub mod sysno;
 pub mod time;
@@ -64,5 +70,7 @@ mod errno;
 pub use checkpoint::{CheckpointError, KernelCheckpoint};
 pub use errno::Errno;
 pub use kernel::Kernel;
+pub use sim::{Corruptor, SimAction, SimDriver, SimPoint};
 pub use syscall::{FdInfo, SyscallOutcome, SyscallRequest};
 pub use sysno::Sysno;
+pub use time::{ClockSource, SimDeadline, SimInstant, VirtualClock};

@@ -15,6 +15,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::errno::Errno;
+use crate::time::ClockSource;
 
 /// Maximum number of bytes buffered in each direction of a connection before
 /// writers block (a crude model of TCP flow control).
@@ -99,6 +100,15 @@ impl StreamHalf {
         }
     }
 
+    /// Briefly parks on the readable condvar (bounded by `timeout`) when no
+    /// data is buffered — the simulated read-timeout loop's anti-spin.
+    fn wait_readable(&self, timeout: Duration) {
+        let mut buf = self.buf.lock();
+        if buf.data.is_empty() && !buf.closed {
+            self.readable.wait_for(&mut buf, timeout);
+        }
+    }
+
     fn close(&self) {
         let mut buf = self.buf.lock();
         buf.closed = true;
@@ -121,6 +131,10 @@ pub struct Connection {
     id: u64,
     client_to_server: StreamHalf,
     server_to_client: StreamHalf,
+    /// The time source deadline reads measure against: wall time in
+    /// production, the kernel's virtual clock under simulation (stamped at
+    /// `connect` time from [`Network::set_clock`]).
+    clock: ClockSource,
 }
 
 /// Which side of a [`Connection`] an [`Endpoint`] speaks for.
@@ -160,6 +174,7 @@ impl Endpoint {
             id: u64::MAX,
             client_to_server: StreamHalf::new(),
             server_to_client: StreamHalf::new(),
+            clock: ClockSource::Wall,
         };
         connection.client_to_server.close();
         connection.server_to_client.close();
@@ -214,7 +229,13 @@ impl Endpoint {
     }
 
     /// Like a blocking [`Endpoint::read`], but gives up after `timeout`.
-    /// Wakes precisely on data arrival or peer close (condvar, no polling).
+    ///
+    /// The deadline is computed against the connection's [`ClockSource`]:
+    /// under a wall clock it wakes precisely on data arrival or peer close
+    /// (condvar, no polling); under a simulated clock the wait advances
+    /// virtual time in quanta instead of parking, so a simulated client
+    /// facing a dead peer exhausts a 10-second timeout in microseconds of
+    /// wall time.
     ///
     /// # Errors
     ///
@@ -222,7 +243,28 @@ impl Endpoint {
     /// the escape hatch for clients of a peer that died without closing
     /// its connections.
     pub fn read_timeout(&self, len: usize, timeout: Duration) -> Result<Vec<u8>, Errno> {
-        self.incoming().read_deadline(len, timeout)
+        match &self.conn.clock {
+            ClockSource::Wall => self.incoming().read_deadline(len, timeout),
+            simulated => {
+                let deadline = simulated.deadline(timeout);
+                let quantum = (timeout / 64).max(Duration::from_micros(50));
+                loop {
+                    match self.incoming().read(len, false) {
+                        Err(Errno::EAGAIN) => {
+                            if deadline.expired() {
+                                return Err(Errno::EAGAIN);
+                            }
+                            // A short real parking bound keeps the loop off
+                            // the CPU while the peer works; the virtual
+                            // sleep is what actually consumes the timeout.
+                            self.incoming().wait_readable(Duration::from_micros(200));
+                            simulated.sleep(quantum);
+                        }
+                        other => return other,
+                    }
+                }
+            }
+        }
     }
 
     /// Number of bytes waiting to be read.
@@ -345,6 +387,7 @@ impl Listener {
 pub struct Network {
     listeners: Mutex<HashMap<u16, Arc<Listener>>>,
     next_connection: AtomicU64,
+    clock: Mutex<ClockSource>,
 }
 
 impl Network {
@@ -352,6 +395,14 @@ impl Network {
     #[must_use]
     pub fn new() -> Self {
         Network::default()
+    }
+
+    /// Sets the time source stamped into new connections (their
+    /// [`Endpoint::read_timeout`] deadlines measure against it).  Called by
+    /// [`crate::Kernel::enable_sim_time`]; existing connections keep the
+    /// source they were created with.
+    pub fn set_clock(&self, clock: ClockSource) {
+        *self.clock.lock() = clock;
     }
 
     /// Binds a listener to `port`.
@@ -402,6 +453,7 @@ impl Network {
             id,
             client_to_server: StreamHalf::new(),
             server_to_client: StreamHalf::new(),
+            clock: self.clock.lock().clone(),
         });
         let server_end = Endpoint {
             conn: Arc::clone(&connection),
@@ -537,6 +589,32 @@ mod tests {
         assert_eq!(net.connect(8084).unwrap_err(), Errno::ECONNREFUSED);
         assert_eq!(listener.accept(true).unwrap_err(), Errno::EINVAL);
         assert_eq!(net.live_listeners(), 0);
+    }
+
+    #[test]
+    fn simulated_read_timeout_burns_virtual_not_wall_time() {
+        use crate::time::VirtualClock;
+
+        let net = Network::new();
+        let clock = Arc::new(VirtualClock::new(1_000));
+        net.set_clock(ClockSource::Simulated(Arc::clone(&clock)));
+        let listener = net.listen(8085, 4).unwrap();
+        let client = net.connect(8085).unwrap();
+        let _server = listener.accept(true).unwrap();
+
+        // Nobody ever writes: a 10-virtual-second timeout must expire in
+        // well under a wall second.
+        let started = std::time::Instant::now();
+        let err = client.read_timeout(16, Duration::from_secs(10)).unwrap_err();
+        assert_eq!(err, Errno::EAGAIN);
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert!(clock.micros() >= 10_000_000, "timeout consumed virtual time");
+
+        // Data already buffered is returned without consuming the timeout.
+        let client2 = net.connect(8085).unwrap();
+        let server2 = listener.accept(true).unwrap();
+        server2.write(b"ok").unwrap();
+        assert_eq!(client2.read_timeout(16, Duration::from_secs(10)).unwrap(), b"ok");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Deterministic-simulation hooks: the [`SimDriver`] interposition point at
+//! the system-call dispatch boundary, plus the [`Corruptor`] used by
+//! byte-level fault-injection tests.
+//!
+//! A deterministic simulation (see the `varan-sim` crate) wants to steer a
+//! whole N-version execution from a single `u64` seed: perturb thread
+//! interleavings, crash versions at chosen system-call boundaries, fail
+//! descriptor transfers, stretch time for laggards.  The kernel is the one
+//! chokepoint every external action already flows through, so the hook
+//! lives here: when a driver is installed, [`crate::Kernel::syscall`] and
+//! the descriptor-transfer paths consult it *before* acting and apply the
+//! returned [`SimAction`].  Without a driver the probe is a single relaxed
+//! atomic load — production executions pay nothing.
+//!
+//! The hook deliberately does not try to make the host scheduler
+//! deterministic; it makes the *fault schedule* a pure function of the seed
+//! and gives the driver a place to inject seeded yields and virtual-time
+//! delays so distinct seeds explore distinct interleavings.  What a
+//! simulation asserts on (and hashes into its reproducibility trace) are
+//! the schedule-independent observables — see `varan-sim`'s crate docs.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::errno::Errno;
+use crate::process::Pid;
+use crate::syscall::SyscallRequest;
+
+/// Where in the kernel (or the monitor layers above it) a [`SimDriver`] is
+/// being consulted.
+#[derive(Debug, Clone, Copy)]
+pub enum SimPoint<'a> {
+    /// Immediately before dispatching a system call.
+    Syscall {
+        /// The request about to be dispatched.
+        request: &'a SyscallRequest,
+    },
+    /// Immediately before duplicating a descriptor into another process
+    /// (the data-channel transfer of §3.3.2).
+    FdTransfer {
+        /// Process the descriptor is copied from.
+        src: Pid,
+        /// Process the descriptor is copied into.
+        dst: Pid,
+        /// The descriptor number in the source process.
+        fd: i32,
+    },
+    /// A catching-up joiner just registered its ring gating sequence
+    /// (within half a lap of the cursor) — probed by the follower monitor.
+    GateRegistered,
+    /// A catching-up joiner is about to switch from journal replay to live
+    /// ring consumption — probed by the follower monitor.
+    LiveSwitch,
+}
+
+/// What the driver wants done at a probed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimAction {
+    /// Proceed normally.
+    Continue,
+    /// Panic on the calling thread with a recognizable message.  Version
+    /// threads run under `catch_unwind`, so an injected crash surfaces to
+    /// the coordinator exactly like a real one (§5.1 failover, upgrade
+    /// rollback) — at a precisely chosen boundary.
+    Crash,
+    /// Fail the probed operation with this errno (syscalls return an error
+    /// outcome; descriptor transfers report failure to the monitor).
+    Fail(Errno),
+    /// Advance the virtual clock by this many microseconds and yield the
+    /// thread before proceeding — a seeded laggard.
+    Delay(u64),
+}
+
+/// The driver interface a simulation harness implements.
+///
+/// Implementations must be cheap and must never block on work performed by
+/// the probed thread itself (the probe runs inline on the syscall path).
+pub trait SimDriver: Send + Sync {
+    /// Consulted at every probed point; returns the action to apply.
+    fn intercept(&self, pid: Pid, point: SimPoint<'_>) -> SimAction;
+}
+
+impl fmt::Debug for dyn SimDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SimDriver")
+    }
+}
+
+/// The panic payload prefix used by [`SimAction::Crash`]; harnesses match
+/// on it to distinguish injected crashes from real bugs.
+pub const SIM_CRASH_MESSAGE: &str = "varan-sim: injected crash";
+
+/// Applies a [`SimAction`] that is not operation-specific: panics for
+/// `Crash`, delays for `Delay`, and returns the errno (if any) for the
+/// caller to turn into an operation failure.
+pub(crate) fn apply_generic(
+    action: SimAction,
+    clock: &crate::time::VirtualClock,
+    what: &str,
+) -> Option<Errno> {
+    match action {
+        SimAction::Continue => None,
+        SimAction::Fail(errno) => Some(errno),
+        SimAction::Crash => panic!("{SIM_CRASH_MESSAGE} at {what}"),
+        SimAction::Delay(micros) => {
+            clock.advance_micros(micros);
+            std::thread::yield_now();
+            None
+        }
+    }
+}
+
+/// Seeded byte-level corruption helpers, shared by the checkpoint
+/// truncation tests (`crates/kernel/tests/`) and the simulator's journal
+/// fault mode: one implementation of "damage these bytes reproducibly"
+/// instead of ad-hoc copies per test.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    rng: SmallRng,
+}
+
+impl Corruptor {
+    /// A corruptor whose decisions are a pure function of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Corruptor {
+            rng: SmallRng::seed_from_u64(seed ^ 0xC0_22_0B_7E_D0_0D_F0_0D),
+        }
+    }
+
+    /// A seeded index in `0..bound` (0 when the bound is 0).
+    pub fn pick(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        (self.rng.next_u64() % bound as u64) as usize
+    }
+
+    /// Truncates `bytes` at a seeded offset strictly inside the buffer
+    /// (never a no-op on non-empty input) and returns the new length.
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>) -> usize {
+        let cut = self.pick(bytes.len());
+        bytes.truncate(cut);
+        cut
+    }
+
+    /// Flips one seeded bit in place; returns the affected byte offset
+    /// (`None` on empty input).
+    pub fn flip_bit(&mut self, bytes: &mut [u8]) -> Option<usize> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let at = self.pick(bytes.len());
+        let bit = self.pick(8) as u32;
+        bytes[at] ^= 1 << bit;
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A driver that fails every `Getuid`, delays every `Time` by 1 ms and
+    /// counts probes.
+    struct TestDriver {
+        probes: AtomicU64,
+    }
+
+    impl SimDriver for TestDriver {
+        fn intercept(&self, _pid: Pid, point: SimPoint<'_>) -> SimAction {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            match point {
+                SimPoint::Syscall { request } => match request.sysno {
+                    crate::Sysno::Getuid => SimAction::Fail(Errno::ECONNRESET),
+                    crate::Sysno::Time => SimAction::Delay(1_000),
+                    _ => SimAction::Continue,
+                },
+                SimPoint::FdTransfer { .. } => SimAction::Fail(Errno::ECONNRESET),
+                _ => SimAction::Continue,
+            }
+        }
+    }
+
+    #[test]
+    fn installed_driver_intercepts_syscalls_and_transfers() {
+        let kernel = Kernel::new();
+        let pid = kernel.spawn_process("sim-test");
+        let peer = kernel.spawn_process("sim-peer");
+
+        // Without a driver everything behaves normally.
+        assert_eq!(kernel.syscall(pid, &SyscallRequest::getuid()).result, 1000);
+
+        let driver = Arc::new(TestDriver {
+            probes: AtomicU64::new(0),
+        });
+        kernel.install_sim_driver(Arc::clone(&driver) as Arc<dyn SimDriver>);
+
+        // Fail action surfaces as an errno outcome.
+        let outcome = kernel.syscall(pid, &SyscallRequest::getuid());
+        assert_eq!(outcome.errno(), Some(Errno::ECONNRESET));
+        // Delay action advances the virtual clock.
+        let before = kernel.clock().micros();
+        let outcome = kernel.syscall(pid, &SyscallRequest::time());
+        assert!(!outcome.is_error());
+        assert!(kernel.clock().micros() >= before + 1_000);
+        // Transfers consult the driver too.
+        assert_eq!(kernel.transfer_fd(pid, 1, peer), Err(Errno::ECONNRESET));
+        assert!(driver.probes.load(Ordering::Relaxed) >= 3);
+
+        // Clearing restores the fast path.
+        kernel.clear_sim_driver();
+        assert_eq!(kernel.syscall(pid, &SyscallRequest::getuid()).result, 1000);
+        assert!(kernel.transfer_fd(pid, 1, peer).is_ok());
+    }
+
+    #[test]
+    fn crash_action_panics_with_the_sim_marker() {
+        struct Crasher;
+        impl SimDriver for Crasher {
+            fn intercept(&self, _pid: Pid, point: SimPoint<'_>) -> SimAction {
+                match point {
+                    SimPoint::Syscall { .. } => SimAction::Crash,
+                    _ => SimAction::Continue,
+                }
+            }
+        }
+        let kernel = Kernel::new();
+        let pid = kernel.spawn_process("crash-test");
+        kernel.install_sim_driver(Arc::new(Crasher));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kernel.syscall(pid, &SyscallRequest::getuid())
+        }))
+        .unwrap_err();
+        let text = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(text.contains(SIM_CRASH_MESSAGE), "got: {text}");
+    }
+
+    #[test]
+    fn sim_time_switches_the_wait_clock() {
+        let kernel = Kernel::new();
+        assert!(!kernel.wait_clock().is_simulated());
+        kernel.enable_sim_time();
+        assert!(kernel.wait_clock().is_simulated());
+        let before = kernel.clock().micros();
+        kernel.wait_clock().sleep(std::time::Duration::from_secs(1));
+        assert!(kernel.clock().micros() >= before + 1_000_000);
+    }
+
+    #[test]
+    fn corruptor_is_seed_deterministic() {
+        let mut a = Corruptor::new(42);
+        let mut b = Corruptor::new(42);
+        let mut bytes_a: Vec<u8> = (0..=255).collect();
+        let mut bytes_b = bytes_a.clone();
+        assert_eq!(a.pick(1000), b.pick(1000));
+        assert_eq!(a.truncate(&mut bytes_a), b.truncate(&mut bytes_b));
+        assert_eq!(bytes_a, bytes_b);
+        assert_eq!(a.flip_bit(&mut bytes_a), b.flip_bit(&mut bytes_b));
+        assert_eq!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    fn corruptor_truncate_always_shrinks_nonempty_input() {
+        let mut corruptor = Corruptor::new(7);
+        for round in 1..64 {
+            let mut bytes = vec![0u8; round];
+            let cut = corruptor.truncate(&mut bytes);
+            assert!(cut < round);
+            assert_eq!(bytes.len(), cut);
+        }
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut corruptor = Corruptor::new(9);
+        let original: Vec<u8> = (0..64).collect();
+        let mut bytes = original.clone();
+        let at = corruptor.flip_bit(&mut bytes).unwrap();
+        let differing: Vec<usize> = (0..bytes.len())
+            .filter(|&i| bytes[i] != original[i])
+            .collect();
+        assert_eq!(differing, vec![at]);
+        assert_eq!((bytes[at] ^ original[at]).count_ones(), 1);
+        assert_eq!(corruptor.flip_bit(&mut Vec::new().as_mut_slice()), None);
+    }
+}

@@ -7,6 +7,8 @@
 //! `clock_gettime` system calls.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::cost::Cycles;
 
@@ -72,6 +74,118 @@ impl VirtualClock {
             / self.cycles_per_us;
         (nanos / 1_000_000_000, nanos % 1_000_000_000)
     }
+
+    /// Advances the clock by `micros` microseconds worth of cycles.
+    pub fn advance_micros(&self, micros: u64) {
+        self.advance(micros.saturating_mul(self.cycles_per_us));
+    }
+}
+
+/// The wall-clock anchor for [`ClockSource::Wall`]: a process-wide start
+/// instant so `now()` can be expressed as a plain [`Duration`].
+fn wall_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Where blocking waits, poll backoffs and timeout deadlines get their
+/// notion of time.
+///
+/// Production executions use [`ClockSource::Wall`]: `sleep` is
+/// `std::thread::sleep`, `now` is host-monotonic, and every timeout means
+/// real seconds.  A deterministic simulation uses
+/// [`ClockSource::Simulated`]: `sleep(d)` *advances the shared
+/// [`VirtualClock`] by `d`* and yields the OS thread instead of parking it,
+/// so a 60-second catch-up timeout costs microseconds of wall time while
+/// remaining a meaningful bound in simulated time.  Code that waits through
+/// a `ClockSource` works identically under both — which is what lets the
+/// fleet, upgrade and monitor layers run a 10,000-interleaving sweep in
+/// seconds (see `varan-sim`).
+#[derive(Clone, Debug, Default)]
+pub enum ClockSource {
+    /// Host wall-clock time (`Instant` + `thread::sleep`).
+    #[default]
+    Wall,
+    /// Virtual time: waits advance the shared clock and yield.
+    Simulated(Arc<VirtualClock>),
+}
+
+impl ClockSource {
+    /// Returns `true` for a simulated source.
+    #[must_use]
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, ClockSource::Simulated(_))
+    }
+
+    /// Monotonic "time since start" in this source's domain.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        match self {
+            ClockSource::Wall => wall_anchor().elapsed(),
+            ClockSource::Simulated(clock) => Duration::from_micros(clock.micros()),
+        }
+    }
+
+    /// Sleeps for `duration` — really (wall) or by advancing the virtual
+    /// clock and yielding the thread (simulated).
+    pub fn sleep(&self, duration: Duration) {
+        match self {
+            ClockSource::Wall => std::thread::sleep(duration),
+            ClockSource::Simulated(clock) => {
+                clock.advance_micros((duration.as_micros() as u64).max(1));
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Starts a stopwatch in this source's domain.
+    #[must_use]
+    pub fn start(&self) -> SimInstant {
+        SimInstant {
+            source: self.clone(),
+            at: self.now(),
+        }
+    }
+
+    /// Creates a deadline `timeout` from now in this source's domain.
+    #[must_use]
+    pub fn deadline(&self, timeout: Duration) -> SimDeadline {
+        SimDeadline {
+            source: self.clone(),
+            at: self.now().saturating_add(timeout),
+        }
+    }
+}
+
+/// A point in [`ClockSource`] time, for elapsed-time measurements that must
+/// work under both wall and simulated clocks.
+#[derive(Clone, Debug)]
+pub struct SimInstant {
+    source: ClockSource,
+    at: Duration,
+}
+
+impl SimInstant {
+    /// Time elapsed since this instant, in the source's domain.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.source.now().saturating_sub(self.at)
+    }
+}
+
+/// A deadline in [`ClockSource`] time.
+#[derive(Clone, Debug)]
+pub struct SimDeadline {
+    source: ClockSource,
+    at: Duration,
+}
+
+impl SimDeadline {
+    /// Returns `true` once the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.source.now() >= self.at
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +232,42 @@ mod tests {
         let clock = VirtualClock::new(0);
         clock.advance(10);
         assert_eq!(clock.micros(), 10);
+    }
+
+    #[test]
+    fn simulated_sleep_advances_virtual_time_not_wall_time(){
+        let clock = Arc::new(VirtualClock::new(1_000));
+        let source = ClockSource::Simulated(Arc::clone(&clock));
+        assert!(source.is_simulated());
+        let stopwatch = source.start();
+        let wall = Instant::now();
+        source.sleep(Duration::from_secs(30));
+        assert!(wall.elapsed() < Duration::from_secs(5), "must not really sleep");
+        assert_eq!(clock.micros(), 30_000_000);
+        assert_eq!(stopwatch.elapsed(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn simulated_deadline_expires_with_the_virtual_clock() {
+        let clock = Arc::new(VirtualClock::new(1_000));
+        let source = ClockSource::Simulated(Arc::clone(&clock));
+        let deadline = source.deadline(Duration::from_millis(10));
+        assert!(!deadline.expired());
+        clock.advance_micros(9_999);
+        assert!(!deadline.expired());
+        clock.advance_micros(2);
+        assert!(deadline.expired());
+    }
+
+    #[test]
+    fn wall_source_measures_real_time() {
+        let source = ClockSource::Wall;
+        assert!(!source.is_simulated());
+        let stopwatch = source.start();
+        let deadline = source.deadline(Duration::from_millis(2));
+        assert!(!deadline.expired());
+        source.sleep(Duration::from_millis(3));
+        assert!(deadline.expired());
+        assert!(stopwatch.elapsed() >= Duration::from_millis(3));
     }
 }

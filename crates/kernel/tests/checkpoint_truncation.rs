@@ -1,0 +1,119 @@
+//! Exhaustive checkpoint-restore robustness under truncation: the decoder
+//! must reject a checkpoint cut at **every** byte offset — not a sampled
+//! subset — with a clean, offset-reporting error, never a panic and never
+//! a silently wrong snapshot.  The seeded corruption (bit flips) reuses the
+//! simulator's corruption injector ([`varan_kernel::Corruptor`]).
+
+use std::collections::HashMap;
+
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Corruptor, Kernel, KernelCheckpoint};
+
+/// Builds a checkpoint exercising every descriptor-object arm: console,
+/// files, a bound listener, a connected stream, a pipe pair and an epoll
+/// set, plus VFS files, pending signals and a translation map.
+fn rich_checkpoint() -> KernelCheckpoint {
+    let kernel = Kernel::new();
+    let pid = kernel.spawn_process("checkpointee");
+    kernel.populate_file("/data.bin", vec![7u8; 96]).unwrap();
+    kernel
+        .populate_file("/nested-ish", b"second file".to_vec())
+        .unwrap();
+
+    let file = kernel.syscall(pid, &SyscallRequest::open_read("/data.bin"));
+    assert!(file.result >= 0);
+    let socket = kernel.syscall(pid, &SyscallRequest::socket());
+    let socket_fd = socket.result as i32;
+    assert!(kernel.syscall(pid, &SyscallRequest::bind(socket_fd, 4242)).result >= 0);
+    assert!(kernel.syscall(pid, &SyscallRequest::listen(socket_fd, 8)).result >= 0);
+    // A connected stream (client side lives in the same process).
+    let client = kernel.syscall(pid, &SyscallRequest::socket());
+    assert!(
+        kernel
+            .syscall(pid, &SyscallRequest::connect(client.result as i32, 4242))
+            .result
+            >= 0
+    );
+    assert!(kernel.syscall(pid, &SyscallRequest::accept(socket_fd)).result >= 0);
+    assert!(kernel.syscall(pid, &SyscallRequest::new(varan_kernel::Sysno::Pipe, [0; 6])).result >= 0);
+    assert!(
+        kernel
+            .syscall(
+                pid,
+                &SyscallRequest::new(varan_kernel::Sysno::EpollCreate1, [0; 6])
+            )
+            .result
+            >= 0
+    );
+    kernel
+        .deliver_signal(pid, varan_kernel::signal::Signal::Sigusr1)
+        .unwrap();
+
+    let translation: HashMap<i64, i32> = [(3, 3), (9, 5), (12, 7)].into_iter().collect();
+    kernel.checkpoint(pid, 12_345, &translation).unwrap()
+}
+
+#[test]
+fn decode_rejects_truncation_at_every_byte_offset() {
+    let checkpoint = rich_checkpoint();
+    let bytes = checkpoint.encode();
+    assert!(bytes.len() > 200, "checkpoint is rich enough to matter");
+
+    // The full encoding round-trips.
+    let decoded = KernelCheckpoint::decode(&bytes).expect("full encoding decodes");
+    assert_eq!(decoded.sequence, checkpoint.sequence);
+    assert_eq!(decoded.process.fds.len(), checkpoint.process.fds.len());
+    assert_eq!(decoded.fd_translation, checkpoint.fd_translation);
+
+    // Every strict prefix must fail with a bounded, reported offset.
+    for len in 0..bytes.len() {
+        let err = KernelCheckpoint::decode(&bytes[..len]).unwrap_err();
+        assert!(
+            err.offset <= len,
+            "truncation at {len}: reported offset {} past the input",
+            err.offset
+        );
+    }
+
+    // And every single-byte extension must fail too (trailing garbage).
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(KernelCheckpoint::decode(&extended).is_err());
+}
+
+#[test]
+fn seeded_bit_flips_never_panic_the_decoder() {
+    let checkpoint = rich_checkpoint();
+    let bytes = checkpoint.encode();
+    let mut corruptor = Corruptor::new(0xC0DE);
+    for _ in 0..2_000 {
+        let mut flipped = bytes.clone();
+        corruptor.flip_bit(&mut flipped);
+        // Either a clean error or a decode; a length-field flip may also
+        // shift framing into something that still parses — what is never
+        // allowed is a panic or an out-of-bounds read.
+        match KernelCheckpoint::decode(&flipped) {
+            Ok(decoded) => {
+                let _ = decoded.encode();
+            }
+            Err(err) => assert!(err.offset <= flipped.len()),
+        }
+    }
+}
+
+#[test]
+fn truncated_checkpoints_cannot_be_restored_into_a_process() {
+    let checkpoint = rich_checkpoint();
+    let bytes = checkpoint.encode();
+    let kernel = Kernel::new();
+    let target = kernel.spawn_process("restore-target");
+    // A decode failure is the only gate restore needs: every truncation is
+    // rejected before any kernel state is touched.
+    for len in [1, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+        assert!(KernelCheckpoint::decode(&bytes[..len]).is_err());
+    }
+    // The intact bytes restore fine into a fresh process.
+    let decoded = KernelCheckpoint::decode(&bytes).unwrap();
+    let fd_map = kernel.restore_process(&decoded, target).unwrap();
+    assert!(!fd_map.is_empty());
+}

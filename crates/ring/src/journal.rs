@@ -306,6 +306,32 @@ pub fn decode_segment_lossy(
     Ok((first_seq, records, None))
 }
 
+/// Test-only fault injection on the journal's disk writes.
+///
+/// The deterministic simulator (`varan-sim`) uses this to model the ways a
+/// real log dies: torn final frames (the writer crashed mid-`write`), short
+/// writes (the filesystem accepted a prefix), flipped bits (media
+/// corruption).  The hook sees the encoded frame *about to reach the file*
+/// and may mutate or truncate it; the in-memory tail is deliberately left
+/// intact — exactly the state of a writer that believed its append
+/// succeeded — so dropping and reopening the journal exercises the real
+/// recovery path ([`EventJournal::open`]'s lossy tail decode).
+///
+/// Production executions never construct one: the only cost on the append
+/// path is an `Option` check.
+pub trait JournalFaults: Send {
+    /// Called with frame `seq`'s encoded bytes before they are written to
+    /// the active segment file; mutate (or truncate) them to inject the
+    /// fault.
+    fn on_append(&mut self, seq: u64, frame: &mut Vec<u8>);
+}
+
+impl fmt::Debug for dyn JournalFaults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JournalFaults")
+    }
+}
+
 /// Configuration of an [`EventJournal`].
 #[derive(Debug, Clone)]
 pub struct JournalConfig {
@@ -358,6 +384,8 @@ struct JournalInner {
     active_file: BufWriter<File>,
     next_seq: u64,
     anchor: u64,
+    /// Test-only write-fault injection; `None` in production.
+    faults: Option<Box<dyn JournalFaults>>,
 }
 
 impl Drop for JournalInner {
@@ -478,8 +506,19 @@ impl EventJournal {
                 active_file,
                 next_seq,
                 anchor,
+                faults: None,
             }),
         })
+    }
+
+    /// Installs a write-fault injector (see [`JournalFaults`]); test-only.
+    pub fn install_faults(&self, faults: Box<dyn JournalFaults>) {
+        self.inner.lock().faults = Some(faults);
+    }
+
+    /// Removes the write-fault injector.
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = None;
     }
 
     /// Appends one record and returns the sequence number it was assigned.
@@ -493,6 +532,12 @@ impl EventJournal {
         let record = Arc::new(record);
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
+        if let Some(faults) = inner.faults.as_mut() {
+            // The injector damages only what reaches the disk; the
+            // in-memory tail (what live readers see, and what the writer
+            // believes it appended) stays whole.
+            faults.on_append(seq, &mut frame);
+        }
         inner.active_file.write_all(&frame)?;
         inner.active.push(record);
         inner.next_seq += 1;
@@ -794,6 +839,48 @@ mod tests {
         assert_eq!(records, (0..9).map(record).collect::<Vec<_>>());
         // Appending continues from the recovered position.
         assert_eq!(journal.append(record(99)).unwrap(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_is_recovered_on_reopen() {
+        /// Tears the frame of one chosen sequence down to a prefix.
+        struct TearAt {
+            seq: u64,
+            keep: usize,
+        }
+        impl JournalFaults for TearAt {
+            fn on_append(&mut self, seq: u64, frame: &mut Vec<u8>) {
+                if seq == self.seq {
+                    let keep = self.keep.min(frame.len().saturating_sub(1));
+                    frame.truncate(keep);
+                }
+            }
+        }
+
+        let dir = temp_dir("fault-injector");
+        {
+            let journal =
+                EventJournal::open(JournalConfig::new(&dir).with_segment_records(100)).unwrap();
+            journal.install_faults(Box::new(TearAt { seq: 7, keep: 10 }));
+            for seed in 0..8u64 {
+                journal.append(record(seed)).unwrap();
+            }
+            // The writer believes all 8 made it: the in-memory tail serves
+            // live readers the whole stream.
+            assert_eq!(journal.tail_sequence(), 8);
+            let (_, live) = journal.read_from(0, usize::MAX).unwrap();
+            assert_eq!(live.len(), 8);
+            journal.flush().unwrap();
+        }
+        // Reopen: the torn final frame is truncated away, never fatal.
+        let journal =
+            EventJournal::open(JournalConfig::new(&dir).with_segment_records(100)).unwrap();
+        assert_eq!(journal.tail_sequence(), 7);
+        let (_, records) = journal.read_from(0, usize::MAX).unwrap();
+        assert_eq!(records, (0..7).map(record).collect::<Vec<_>>());
+        // Appending continues from the recovered position, uninjected.
+        assert_eq!(journal.append(record(70)).unwrap(), 7);
         std::fs::remove_dir_all(&dir).ok();
     }
 

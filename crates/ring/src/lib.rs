@@ -70,7 +70,7 @@ mod waitlock;
 pub use clock::{ClockOrdering, LamportClock, VariantClock};
 pub use error::RingError;
 pub use event::{Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE};
-pub use journal::{EventJournal, JournalConfig, JournalError, JournalRecord};
+pub use journal::{EventJournal, JournalConfig, JournalError, JournalFaults, JournalRecord};
 pub use pump::{EventPump, PumpQueue};
 pub use ring::{Consumer, Producer, RingBuffer, WaitStrategy};
 pub use sequence::Sequence;

@@ -273,6 +273,29 @@ impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
     }
 }
 
+/// Whether the `VARAN_SIM_REVERT_GATE_FIX` fault-resurrection knob is set.
+///
+/// Read once per process (so a production environment that leaked the
+/// variable cannot flip behaviour mid-run, and the no-consumer rescan path
+/// costs an atomic load instead of an environment lookup) and announced
+/// loudly on stderr: this deliberately resurrects a data-loss bug and must
+/// only ever be set by the simulation harness's self-test.
+fn gate_fix_reverted() -> bool {
+    use std::sync::OnceLock;
+    static REVERTED: OnceLock<bool> = OnceLock::new();
+    *REVERTED.get_or_init(|| {
+        let on = std::env::var_os("VARAN_SIM_REVERT_GATE_FIX").is_some();
+        if on {
+            eprintln!(
+                "varan-ring: VARAN_SIM_REVERT_GATE_FIX is set — the PR-4 \
+                 infinite-producer-gate bug is RESURRECTED for this process \
+                 (simulation self-test only; never set in production)"
+            );
+        }
+        on
+    })
+}
+
 impl<T> Shared<T> {
     fn min_active_consumed(&self) -> u64 {
         let mut min = u64::MAX;
@@ -285,6 +308,14 @@ impl<T> Shared<T> {
         }
         if any {
             min
+        } else if gate_fix_reverted() {
+            // Fault-resurrection knob for the simulator's self-test: the
+            // pre-fix behaviour (an unbounded gate a producer may cache
+            // forever, silently lapping any late-registering joiner).
+            // `varan-sim`'s sweep must rediscover this bug whenever
+            // `VARAN_SIM_REVERT_GATE_FIX` is set — the regression test
+            // that the simulation harness itself still has teeth.
+            u64::MAX
         } else {
             // No live consumers: nothing gates the producer *right now* —
             // but report the current cursor rather than infinity, so a

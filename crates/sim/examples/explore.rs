@@ -1,0 +1,37 @@
+//! Seed explorer: run a range of seeds (optionally verbose) and print each
+//! outcome — the tool `docs/SIMULATION.md` points at for reproducing a CI
+//! failure locally from its printed seed.
+//!
+//! ```text
+//! cargo run --release -p varan-sim --example explore -- <seeds> <base-seed> [-v]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let base: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let verbose = args.iter().any(|s| s == "-v");
+    let mut failures = 0u64;
+    for seed in base..base.wrapping_add(n) {
+        let started = std::time::Instant::now();
+        let plan = varan_sim::FaultPlan::generate(seed);
+        let out = varan_sim::run_plan(&plan);
+        println!(
+            "seed {seed}: mode={:?} trace={:#018x} fail={:?} ({} ms)",
+            out.mode,
+            out.trace_hash,
+            out.failure,
+            started.elapsed().as_millis()
+        );
+        if verbose || out.failure.is_some() {
+            for line in plan.describe() {
+                println!("   {line}");
+            }
+        }
+        failures += u64::from(out.failure.is_some());
+    }
+    if failures > 0 {
+        eprintln!("{failures} failing seed(s)");
+        std::process::exit(1);
+    }
+}

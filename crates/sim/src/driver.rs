@@ -1,0 +1,163 @@
+//! The seeded [`SimDriver`]: schedule perturbation, global fault state and
+//! the interleaving fingerprint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use varan_kernel::process::Pid;
+use varan_kernel::sim::{SimAction, SimDriver, SimPoint};
+use varan_kernel::Errno;
+
+use crate::plan::CandidateWindow;
+use crate::trace::Fnv;
+
+/// The driver installed on a simulated kernel.
+///
+/// Three jobs:
+///
+/// * **Perturbation.** At every syscall boundary a seeded draw may stretch
+///   virtual time and yield the thread, so different seeds push the host
+///   scheduler through different interleavings (laggards at ring-lap
+///   edges, slow coordinators, bursty leaders).  The draws consume a
+///   shared RNG in arrival order, which is deliberately *not* reproducible
+///   — the reproducible parts of a run are the plan-driven faults and the
+///   schedule-independent observables (crate docs).
+/// * **Global faults.** Failing the plan's n-th descriptor transfer, and
+///   crashing an upgrade candidate at the gate-registration / live-switch
+///   probes armed by the scenario.
+/// * **Fingerprint.** Folding `(pid, sysno)` arrival order into a hash —
+///   the sweep's "distinct schedules" diversity metric.
+#[derive(Debug)]
+pub struct SweepDriver {
+    rng: Mutex<SmallRng>,
+    schedule: Mutex<Fnv>,
+    syscalls: AtomicU64,
+    fd_transfers: AtomicU64,
+    /// 1-based global transfer indices to fail.
+    fail_fd_nth: Vec<u64>,
+    /// Armed candidate-crash window for the hop in flight (upgrade mode).
+    candidate_crash: Mutex<Option<CandidateWindow>>,
+}
+
+impl SweepDriver {
+    /// A driver seeded from the plan's seed, failing the given transfer
+    /// indices.
+    #[must_use]
+    pub fn new(seed: u64, fail_fd_nth: Vec<u64>) -> Self {
+        SweepDriver {
+            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0xD21F_7E55_C4ED_0001)),
+            schedule: Mutex::new(Fnv::new()),
+            syscalls: AtomicU64::new(0),
+            fd_transfers: AtomicU64::new(0),
+            fail_fd_nth,
+            candidate_crash: Mutex::new(None),
+        }
+    }
+
+    /// Arms (or clears) the candidate-crash window for the next hop.
+    pub fn arm_candidate_crash(&self, window: Option<CandidateWindow>) {
+        *self.candidate_crash.lock() = window;
+    }
+
+    /// The interleaving fingerprint folded so far.
+    #[must_use]
+    pub fn schedule_hash(&self) -> u64 {
+        self.schedule.lock().value()
+    }
+
+    /// Kernel syscalls intercepted so far.
+    #[must_use]
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed)
+    }
+}
+
+impl SimDriver for SweepDriver {
+    fn intercept(&self, pid: Pid, point: SimPoint<'_>) -> SimAction {
+        match point {
+            SimPoint::Syscall { request } => {
+                self.syscalls.fetch_add(1, Ordering::Relaxed);
+                let draw = {
+                    let mut schedule = self.schedule.lock();
+                    schedule.fold(u64::from(pid));
+                    schedule.fold(u64::from(request.sysno.number()));
+                    self.rng.lock().next_u64()
+                };
+                // Three calls in thirty-two get a small virtual-time stall
+                // (which also yields); one in thirty-two a bigger one that
+                // lets a whole ring lap pass elsewhere.
+                match draw % 32 {
+                    0 => SimAction::Delay(200 + draw % 2_000),
+                    1..=3 => SimAction::Delay(draw % 150),
+                    _ => SimAction::Continue,
+                }
+            }
+            SimPoint::FdTransfer { .. } => {
+                let nth = self.fd_transfers.fetch_add(1, Ordering::AcqRel) + 1;
+                if self.fail_fd_nth.contains(&nth) {
+                    SimAction::Fail(Errno::ECONNRESET)
+                } else {
+                    SimAction::Continue
+                }
+            }
+            SimPoint::GateRegistered => {
+                let armed = *self.candidate_crash.lock();
+                if matches!(armed, Some(CandidateWindow::GateRegistered)) {
+                    SimAction::Crash
+                } else {
+                    SimAction::Continue
+                }
+            }
+            SimPoint::LiveSwitch => {
+                let armed = *self.candidate_crash.lock();
+                if matches!(armed, Some(CandidateWindow::LiveSwitch)) {
+                    SimAction::Crash
+                } else {
+                    SimAction::Continue
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_kernel::SyscallRequest;
+
+    #[test]
+    fn transfer_faults_fire_on_the_chosen_index() {
+        let driver = SweepDriver::new(1, vec![2]);
+        let point = SimPoint::FdTransfer { src: 1, dst: 2, fd: 3 };
+        assert_eq!(driver.intercept(1, point), SimAction::Continue);
+        assert_eq!(
+            driver.intercept(1, point),
+            SimAction::Fail(Errno::ECONNRESET)
+        );
+        assert_eq!(driver.intercept(1, point), SimAction::Continue);
+    }
+
+    #[test]
+    fn armed_candidate_crash_hits_only_its_window() {
+        let driver = SweepDriver::new(2, Vec::new());
+        assert_eq!(driver.intercept(1, SimPoint::GateRegistered), SimAction::Continue);
+        driver.arm_candidate_crash(Some(CandidateWindow::GateRegistered));
+        assert_eq!(driver.intercept(1, SimPoint::LiveSwitch), SimAction::Continue);
+        assert_eq!(driver.intercept(1, SimPoint::GateRegistered), SimAction::Crash);
+        driver.arm_candidate_crash(None);
+        assert_eq!(driver.intercept(1, SimPoint::GateRegistered), SimAction::Continue);
+    }
+
+    #[test]
+    fn syscall_probes_fold_the_fingerprint() {
+        let driver = SweepDriver::new(3, Vec::new());
+        let before = driver.schedule_hash();
+        let request = SyscallRequest::getuid();
+        let _ = driver.intercept(7, SimPoint::Syscall { request: &request });
+        assert_ne!(driver.schedule_hash(), before);
+        assert_eq!(driver.syscalls(), 1);
+    }
+}

@@ -1,0 +1,574 @@
+//! Seeded fault plans: everything a simulated run does that a plain run
+//! would not, derived as a pure function of one `u64` seed.
+//!
+//! A [`FaultPlan`] fully describes one scenario: the mode (which subsystem
+//! is under attack), the workload shape (versions, iterations, journal
+//! size, upgrade hops, ...) and the [`Fault`]s to inject.  Because the plan
+//! is derived from the seed alone, `FaultPlan::generate(seed)` on two
+//! machines produces the identical plan — which is half of what makes a
+//! failing seed reproducible.  The other half (why re-running the same plan
+//! yields the same trace hash) is argued in the crate docs.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::trace::Fnv;
+
+/// Which subsystem a seeded run attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Versions crash at chosen syscall boundaries; failover must absorb
+    /// every combination (leader, followers, cascades).
+    Crash,
+    /// Versions issue extra system calls; divergence verdicts must be
+    /// deterministic and confined to the diverging version (or, for a
+    /// diverging leader, to its followers).
+    Divergence,
+    /// Versions are slowed at seeded points; lag at ring-lap edges must
+    /// never corrupt the stream or kill anybody.
+    Lag,
+    /// The spill journal suffers torn/short/corrupt final writes and is
+    /// reopened; recovery must truncate, never invent or crash.
+    Journal,
+    /// Fleet members join (and leave) a running execution mid-stream; a
+    /// joiner's observed stream must be byte-for-byte the leader's.
+    Churn,
+    /// A live upgrade runs its canary → soak → promote pipeline while the
+    /// candidate crashes in chosen windows; outcomes must be deterministic
+    /// and rollbacks complete.
+    Upgrade,
+    /// A client drives a crashing server fleet over the loopback network;
+    /// every request must eventually be answered (§5.1's zero-downtime
+    /// bar under retries).
+    Clients,
+}
+
+impl Mode {
+    /// Stable numeric tag folded into digests.
+    #[must_use]
+    pub fn tag(self) -> u64 {
+        match self {
+            Mode::Crash => 1,
+            Mode::Divergence => 2,
+            Mode::Lag => 3,
+            Mode::Journal => 4,
+            Mode::Churn => 5,
+            Mode::Upgrade => 6,
+            Mode::Clients => 7,
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Crash => "crash",
+            Mode::Divergence => "divergence",
+            Mode::Lag => "lag",
+            Mode::Journal => "journal",
+            Mode::Churn => "churn",
+            Mode::Upgrade => "upgrade",
+            Mode::Clients => "clients",
+        }
+    }
+}
+
+/// Where in the upgrade pipeline a candidate is crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateWindow {
+    /// During canary replay, at the candidate's own n-th system call.
+    Canary {
+        /// The candidate's own syscall count at which it crashes.
+        at_syscall: u64,
+    },
+    /// Exactly between ring-gate registration and the drain-switch to live
+    /// consumption — the window PR 4 reasons about.
+    GateRegistered,
+    /// At the live-switch boundary itself.
+    LiveSwitch,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Version `version` crashes at its own `at_syscall`-th system call
+    /// (counted in the version's own frame, so the trigger is independent
+    /// of whether it is leading or following at the time).
+    CrashVersion {
+        /// Version index.
+        version: usize,
+        /// The version's own syscall count at which it crashes.
+        at_syscall: u64,
+    },
+    /// Version `version` issues one extra `getuid` immediately before its
+    /// `at_syscall`-th call — a syscall-sequence divergence (§3.4).
+    Diverge {
+        /// Version index.
+        version: usize,
+        /// The version's own syscall count at which the extra call lands.
+        at_syscall: u64,
+    },
+    /// Version `version` stalls (virtual-time delay plus a yield) every
+    /// `every` calls — a seeded laggard probing ring-lap edges.
+    Lag {
+        /// Version index.
+        version: usize,
+        /// Stall every this many of the version's own calls.
+        every: u64,
+        /// Virtual microseconds per stall.
+        micros: u64,
+    },
+    /// The `nth` descriptor transfer of the run fails (the receiving
+    /// follower must cope with the missing mapping).
+    FailFdTransfer {
+        /// 1-based global transfer index.
+        nth: u64,
+    },
+    /// The final journal append reaches the disk torn: only `keep` of its
+    /// frame bytes are written.
+    TornWrite {
+        /// Sequence of the (final) torn record.
+        at_record: u64,
+        /// Frame bytes that survive.
+        keep: usize,
+    },
+    /// One bit of the final journal frame is flipped on its way to disk
+    /// (media corruption).
+    FlipBit {
+        /// Sequence of the (final) corrupted record.
+        at_record: u64,
+    },
+    /// Upgrade hop `hop`'s candidate crashes in the given window.
+    CrashCandidate {
+        /// 0-based hop index within the chain.
+        hop: usize,
+        /// Where in the pipeline the crash lands.
+        window: CandidateWindow,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::CrashVersion { version, at_syscall } => {
+                write!(f, "crash version {version} at its syscall #{at_syscall}")
+            }
+            Fault::Diverge { version, at_syscall } => {
+                write!(f, "diverge version {version} (extra getuid) at its syscall #{at_syscall}")
+            }
+            Fault::Lag { version, every, micros } => {
+                write!(f, "lag version {version}: {micros}us stall every {every} calls")
+            }
+            Fault::FailFdTransfer { nth } => {
+                write!(f, "fail descriptor transfer #{nth}")
+            }
+            Fault::TornWrite { at_record, keep } => {
+                write!(f, "tear the write of journal record {at_record} to {keep} bytes")
+            }
+            Fault::FlipBit { at_record } => {
+                write!(f, "flip one bit in the write of journal record {at_record}")
+            }
+            Fault::CrashCandidate { hop, window } => match window {
+                CandidateWindow::Canary { at_syscall } => write!(
+                    f,
+                    "crash upgrade hop {hop}'s candidate during canary replay at its syscall #{at_syscall}"
+                ),
+                CandidateWindow::GateRegistered => write!(
+                    f,
+                    "crash upgrade hop {hop}'s candidate between gate registration and drain-switch"
+                ),
+                CandidateWindow::LiveSwitch => {
+                    write!(f, "crash upgrade hop {hop}'s candidate at the live-switch boundary")
+                }
+            },
+        }
+    }
+}
+
+impl Fault {
+    fn fold_into(&self, fnv: &mut Fnv) {
+        match *self {
+            Fault::CrashVersion { version, at_syscall } => {
+                fnv.fold(1);
+                fnv.fold(version as u64);
+                fnv.fold(at_syscall);
+            }
+            Fault::Diverge { version, at_syscall } => {
+                fnv.fold(2);
+                fnv.fold(version as u64);
+                fnv.fold(at_syscall);
+            }
+            Fault::Lag { version, every, micros } => {
+                fnv.fold(3);
+                fnv.fold(version as u64);
+                fnv.fold(every);
+                fnv.fold(micros);
+            }
+            Fault::FailFdTransfer { nth } => {
+                fnv.fold(4);
+                fnv.fold(nth);
+            }
+            Fault::TornWrite { at_record, keep } => {
+                fnv.fold(5);
+                fnv.fold(at_record);
+                fnv.fold(keep as u64);
+            }
+            Fault::FlipBit { at_record } => {
+                fnv.fold(6);
+                fnv.fold(at_record);
+            }
+            Fault::CrashCandidate { hop, window } => {
+                fnv.fold(7);
+                fnv.fold(hop as u64);
+                match window {
+                    CandidateWindow::Canary { at_syscall } => {
+                        fnv.fold(1);
+                        fnv.fold(at_syscall);
+                    }
+                    CandidateWindow::GateRegistered => fnv.fold(2),
+                    CandidateWindow::LiveSwitch => fnv.fold(3),
+                }
+            }
+        }
+    }
+}
+
+/// A complete seeded scenario description.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from.
+    pub seed: u64,
+    /// Which subsystem is under attack.
+    pub mode: Mode,
+    /// Launched versions (leader + followers).
+    pub versions: usize,
+    /// Workload iterations per version (3 streamed calls each).
+    pub iterations: u32,
+    /// Ring-buffer capacity in events.  Seeded small-to-default so lap
+    /// edges (the paper's tiny one-lap window) are probed constantly: with
+    /// a 16-slot ring a bursty leader laps a distracted joiner in
+    /// microseconds.
+    pub ring_capacity: usize,
+    /// Journal mode: records appended before the faulty final append.
+    pub journal_records: u64,
+    /// Journal mode: records per segment (rotation threshold).
+    pub segment_records: usize,
+    /// Churn mode: observers attached mid-run.
+    pub joiners: usize,
+    /// Upgrade mode: hops in the chain.
+    pub hops: usize,
+    /// Clients mode: echo requests the client must complete.
+    pub requests: u32,
+    /// The injected faults.
+    pub faults: Vec<Fault>,
+}
+
+/// Total system calls the steady workload issues per version
+/// (open + `3 * iterations` + close + exit).
+#[must_use]
+pub fn workload_syscalls(iterations: u32) -> u64 {
+    3 * u64::from(iterations) + 3
+}
+
+impl FaultPlan {
+    /// Derives the complete plan from `seed`.
+    ///
+    /// The generator keeps plans inside the space where run outcomes are
+    /// schedule-independent (see the crate docs): crash points are
+    /// pairwise distinct, divergence plans never also crash the leader,
+    /// journal faults only hit the final write, and at most one version
+    /// survives unfaulted... er, at least one.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn generate(seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0F4A_17_94A5);
+        let mut pick = |bound: u64| -> u64 { rng.next_u64() % bound.max(1) };
+
+        let mode = match pick(16) {
+            0..=3 => Mode::Crash,
+            4..=6 => Mode::Divergence,
+            7..=8 => Mode::Lag,
+            9..=10 => Mode::Journal,
+            11..=13 => Mode::Churn,
+            14 => Mode::Upgrade,
+            _ => Mode::Clients,
+        };
+
+        let mut plan = FaultPlan {
+            seed,
+            mode,
+            versions: 2,
+            iterations: 60,
+            ring_capacity: [16, 32, 64, 128, 256][pick(5) as usize],
+            journal_records: 0,
+            segment_records: 16,
+            joiners: 0,
+            hops: 0,
+            requests: 0,
+            faults: Vec::new(),
+        };
+
+        match mode {
+            Mode::Crash => {
+                plan.versions = 2 + pick(3) as usize; // 2..=4
+                plan.iterations = 40 + pick(100) as u32;
+                let total = workload_syscalls(plan.iterations);
+                let fault_count = 1 + pick(2) as usize; // 1..=2
+                let mut versions: Vec<usize> = (0..plan.versions).collect();
+                // Keep at least one version unfaulted so the lineage ends
+                // with a clean survivor.
+                let stride = plan.versions as u64;
+                for _ in 0..fault_count.min(plan.versions - 1) {
+                    let slot = pick(versions.len() as u64) as usize;
+                    let version = versions.swap_remove(slot);
+                    // Crash points congruent to the version index modulo the
+                    // version count are pairwise distinct, which keeps the
+                    // symbolic crash order (and so the expected outcome)
+                    // unambiguous.
+                    let at_syscall = 2 + pick((total - 8) / stride) * stride + version as u64;
+                    plan.faults.push(Fault::CrashVersion {
+                        version,
+                        at_syscall,
+                    });
+                }
+                if pick(4) == 0 {
+                    plan.faults.push(Fault::FailFdTransfer { nth: 1 + pick(8) });
+                }
+            }
+            Mode::Divergence => {
+                plan.versions = 2 + pick(3) as usize;
+                plan.iterations = 40 + pick(80) as u32;
+                let total = workload_syscalls(plan.iterations);
+                let fault_count = 1 + pick(2) as usize;
+                let mut versions: Vec<usize> = (0..plan.versions).collect();
+                let stride = plan.versions as u64;
+                for _ in 0..fault_count.min(plan.versions) {
+                    let slot = pick(versions.len() as u64) as usize;
+                    let version = versions.swap_remove(slot);
+                    // Pairwise-distinct divergence points (same congruence
+                    // trick as the crash arm): a leader and a follower
+                    // diverging at the *same* point would produce matching
+                    // streams — the follower would survive, against the
+                    // expected-outcome model.
+                    plan.faults.push(Fault::Diverge {
+                        version,
+                        at_syscall: 3 + pick((total - 8) / stride) * stride + version as u64,
+                    });
+                }
+            }
+            Mode::Lag => {
+                plan.versions = 2 + pick(3) as usize;
+                plan.iterations = 80 + pick(200) as u32;
+                let fault_count = 1 + pick(2) as usize;
+                let mut versions: Vec<usize> = (0..plan.versions).collect();
+                for _ in 0..fault_count.min(plan.versions) {
+                    let slot = pick(versions.len() as u64) as usize;
+                    let version = versions.swap_remove(slot);
+                    plan.faults.push(Fault::Lag {
+                        version,
+                        every: 1 + pick(8),
+                        micros: 100 + pick(5_000),
+                    });
+                }
+            }
+            Mode::Journal => {
+                plan.versions = 0;
+                plan.segment_records = 4 + pick(60) as usize;
+                plan.journal_records = 5 + pick(180);
+                // The faulty append must be the *final* write of a dying
+                // writer; if it would land exactly on a rotation boundary
+                // the writer would seal the torn segment afterwards, which
+                // is outside the crash model — nudge off the boundary.
+                if plan.journal_records.is_multiple_of(plan.segment_records as u64) {
+                    plan.journal_records += 1;
+                }
+                // Records are numbered 0..journal_records; the dying write
+                // is the last one.
+                let at_record = plan.journal_records - 1;
+                if pick(3) == 0 {
+                    plan.faults.push(Fault::FlipBit { at_record });
+                } else {
+                    // `keep` is clamped against the actual frame length at
+                    // injection time; pick generously.
+                    plan.faults.push(Fault::TornWrite {
+                        at_record,
+                        keep: pick(96) as usize,
+                    });
+                }
+            }
+            Mode::Churn => {
+                plan.versions = 1 + pick(3) as usize; // 1..=3: includes the
+                // follower-less topology where PR 4's infinite-gate bug lived
+                plan.iterations = 150 + pick(250) as u32;
+                plan.joiners = 1 + pick(2) as usize;
+                if plan.versions >= 2 && pick(3) == 0 {
+                    // Crash a version mid-churn (any, including the leader:
+                    // the journal survives a promotion).
+                    let version = pick(plan.versions as u64) as usize;
+                    let total = workload_syscalls(plan.iterations);
+                    plan.faults.push(Fault::CrashVersion {
+                        version,
+                        at_syscall: total / 4 + pick(total / 2),
+                    });
+                }
+            }
+            Mode::Upgrade => {
+                plan.versions = 1;
+                plan.iterations = 300 + pick(300) as u32;
+                plan.hops = 1 + pick(2) as usize;
+                for hop in 0..plan.hops {
+                    match pick(5) {
+                        0 => plan.faults.push(Fault::CrashCandidate {
+                            hop,
+                            window: CandidateWindow::GateRegistered,
+                        }),
+                        1 => plan.faults.push(Fault::CrashCandidate {
+                            hop,
+                            window: CandidateWindow::LiveSwitch,
+                        }),
+                        2 => plan.faults.push(Fault::CrashCandidate {
+                            hop,
+                            window: CandidateWindow::Canary {
+                                // Strictly below the leader's journaled
+                                // warmup (the scenario waits for it), so
+                                // the crash always lands during replay.
+                                at_syscall: 3 + pick(2 * u64::from(plan.iterations) - 8),
+                            },
+                        }),
+                        _ => {} // clean hop: expect a promotion
+                    }
+                }
+            }
+            Mode::Clients => {
+                plan.versions = 2 + pick(2) as usize; // 2..=3
+                plan.requests = 16 + pick(32) as u32;
+                if pick(2) == 0 {
+                    // Crash the initial leader somewhere in the serve loop;
+                    // the promoted follower must pick the connection up.
+                    plan.faults.push(Fault::CrashVersion {
+                        version: 0,
+                        at_syscall: 4 + pick(u64::from(plan.requests)),
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// A digest of everything in the plan (folded into the trace hash).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        fnv.fold(self.seed);
+        fnv.fold(self.mode.tag());
+        fnv.fold(self.versions as u64);
+        fnv.fold(u64::from(self.iterations));
+        fnv.fold(self.ring_capacity as u64);
+        fnv.fold(self.journal_records);
+        fnv.fold(self.segment_records as u64);
+        fnv.fold(self.joiners as u64);
+        fnv.fold(self.hops as u64);
+        fnv.fold(u64::from(self.requests));
+        for fault in &self.faults {
+            fault.fold_into(&mut fnv);
+        }
+        fnv.value()
+    }
+
+    /// Human-readable description: mode, workload shape, one line per fault.
+    #[must_use]
+    pub fn describe(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "seed {:#018x}: {} mode, {} versions, {} iterations, {}-slot ring",
+            self.seed,
+            self.mode.name(),
+            self.versions,
+            self.iterations,
+            self.ring_capacity
+        )];
+        match self.mode {
+            Mode::Journal => lines.push(format!(
+                "  journal: {} records, rotate every {}",
+                self.journal_records, self.segment_records
+            )),
+            Mode::Churn => lines.push(format!("  churn: {} joiner(s)", self.joiners)),
+            Mode::Upgrade => lines.push(format!("  upgrade: {} hop(s)", self.hops)),
+            Mode::Clients => lines.push(format!("  clients: {} requests", self.requests)),
+            _ => {}
+        }
+        for fault in &self.faults {
+            lines.push(format!("  fault: {fault}"));
+        }
+        lines
+    }
+
+    /// The plan with fault `index` removed (used by the shrinker).
+    #[must_use]
+    pub fn without_fault(&self, index: usize) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.faults.remove(index);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::generate(seed);
+            let b = FaultPlan::generate(seed);
+            assert_eq!(a.digest(), b.digest(), "seed {seed}");
+            assert_eq!(a.describe(), b.describe());
+        }
+    }
+
+    #[test]
+    fn every_mode_is_reachable() {
+        use std::collections::HashSet;
+        let modes: HashSet<Mode> = (0..400u64)
+            .map(|seed| FaultPlan::generate(seed).mode)
+            .collect();
+        assert_eq!(modes.len(), 7, "got {modes:?}");
+    }
+
+    #[test]
+    fn crash_plans_keep_a_clean_survivor_with_distinct_points() {
+        for seed in 0..2_000u64 {
+            let plan = FaultPlan::generate(seed);
+            if plan.mode != Mode::Crash {
+                continue;
+            }
+            let crashes: Vec<(usize, u64)> = plan
+                .faults
+                .iter()
+                .filter_map(|fault| match fault {
+                    Fault::CrashVersion { version, at_syscall } => {
+                        Some((*version, *at_syscall))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(crashes.len() < plan.versions, "seed {seed}: no survivor");
+            for (i, a) in crashes.iter().enumerate() {
+                for b in crashes.iter().skip(i + 1) {
+                    assert_ne!(a.0, b.0, "seed {seed}: duplicate version");
+                    assert_ne!(a.1, b.1, "seed {seed}: ambiguous crash order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_fault_drops_exactly_one() {
+        let plan = FaultPlan::generate(3);
+        if plan.faults.is_empty() {
+            return;
+        }
+        let shrunk = plan.without_fault(0);
+        assert_eq!(shrunk.faults.len(), plan.faults.len() - 1);
+        assert_ne!(shrunk.digest(), plan.digest());
+    }
+}

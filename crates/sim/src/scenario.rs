@@ -1,0 +1,815 @@
+//! Running one seeded scenario end to end: build the simulated kernel,
+//! launch the mode's workload under the fault plan, check the mode's
+//! invariants and fold the schedule-independent trace hash.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::fleet::FleetConfig;
+use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_core::stats::NvxReport;
+use varan_core::upgrade::{
+    RollbackReason, StageOutcome, UpgradeConfig, UpgradeOrchestrator, UpgradeStep,
+};
+use varan_kernel::cost::CostModel;
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Corruptor, Errno, Kernel};
+use varan_ring::journal::{EventJournal, JournalConfig, JournalFaults, JournalRecord};
+use varan_ring::EventKind;
+
+use crate::driver::SweepDriver;
+use crate::plan::{CandidateWindow, Fault, FaultPlan, Mode};
+use crate::trace::{Fnv, VersionOutcome};
+use crate::workload::{FaultedProgram, SteadyWorkload, VersionFaults, VersionProbe};
+
+/// What one seeded run produced.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The seed that was run.
+    pub seed: u64,
+    /// The generated plan's mode.
+    pub mode: Mode,
+    /// Hash of the schedule-independent observables; two runs of the same
+    /// seed must produce the same value (the reproducibility contract).
+    pub trace_hash: u64,
+    /// Fingerprint of the global syscall interleaving this particular run
+    /// went through — a diversity metric, deliberately *not* reproducible.
+    pub schedule_hash: u64,
+    /// First invariant violation, if any.
+    pub failure: Option<String>,
+}
+
+/// Generates the plan for `seed` and runs it.
+#[must_use]
+pub fn run_seed(seed: u64) -> SimOutcome {
+    run_plan(&FaultPlan::generate(seed))
+}
+
+/// Collects invariant-check failures; only the first is reported.
+#[derive(Debug, Default)]
+struct Checks {
+    failure: Option<String>,
+}
+
+impl Checks {
+    fn expect(&mut self, ok: bool, describe: impl FnOnce() -> String) {
+        if !ok && self.failure.is_none() {
+            self.failure = Some(describe());
+        }
+    }
+}
+
+/// A per-run scratch directory (journal segments); unique even across
+/// re-runs of the same seed in one process.
+fn scratch_dir(seed: u64) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let run = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "varan-sim-{}-{seed:x}-{run}",
+        std::process::id()
+    ))
+}
+
+/// Per-version fault table from the plan.
+fn version_faults(plan: &FaultPlan) -> Vec<VersionFaults> {
+    let mut faults = vec![VersionFaults::default(); plan.versions];
+    for fault in &plan.faults {
+        match *fault {
+            Fault::CrashVersion { version, at_syscall } => {
+                if let Some(slot) = faults.get_mut(version) {
+                    slot.crash_at = Some(at_syscall);
+                }
+            }
+            Fault::Diverge { version, at_syscall } => {
+                if let Some(slot) = faults.get_mut(version) {
+                    slot.diverge_at = Some(at_syscall);
+                }
+            }
+            Fault::Lag { version, every, micros } => {
+                if let Some(slot) = faults.get_mut(version) {
+                    slot.lag = Some((every, micros));
+                }
+            }
+            _ => {}
+        }
+    }
+    faults
+}
+
+/// The outcome class each version is expected to end with, evaluated
+/// symbolically from the plan (schedule-independent by construction).
+fn expected_outcomes(faults: &[VersionFaults]) -> Vec<VersionOutcome> {
+    let leader_diverges = faults
+        .first()
+        .map(|fault| fault.diverge_at)
+        .unwrap_or(None);
+    faults
+        .iter()
+        .enumerate()
+        .map(|(version, fault)| {
+            if fault.crash_at.is_some() {
+                VersionOutcome::InjectedCrash
+            } else if version > 0 && fault.diverge_at.is_some() {
+                VersionOutcome::DivergenceKill
+            } else if version > 0 && leader_diverges.is_some() {
+                // A diverging leader poisons the stream for every follower.
+                VersionOutcome::DivergenceKill
+            } else {
+                VersionOutcome::Clean
+            }
+        })
+        .collect()
+}
+
+/// A simulated kernel with the sweep driver installed and virtual time on.
+fn sim_kernel(plan: &FaultPlan) -> (Kernel, Arc<SweepDriver>) {
+    let kernel = Kernel::with_config(CostModel::default(), plan.seed);
+    kernel.enable_sim_time();
+    let fail_fd: Vec<u64> = plan
+        .faults
+        .iter()
+        .filter_map(|fault| match fault {
+            Fault::FailFdTransfer { nth } => Some(*nth),
+            _ => None,
+        })
+        .collect();
+    let driver = Arc::new(SweepDriver::new(plan.seed, fail_fd));
+    kernel.install_sim_driver(Arc::clone(&driver) as Arc<dyn varan_kernel::SimDriver>);
+    (kernel, driver)
+}
+
+fn wrapped_versions(
+    plan: &FaultPlan,
+    kernel: &Kernel,
+    faults: &[VersionFaults],
+) -> (Vec<Box<dyn VersionProgram>>, Vec<Arc<VersionProbe>>) {
+    let probes: Vec<Arc<VersionProbe>> = (0..plan.versions)
+        .map(|_| Arc::new(VersionProbe::default()))
+        .collect();
+    let versions = (0..plan.versions)
+        .map(|v| {
+            Box::new(FaultedProgram::new(
+                Box::new(SteadyWorkload::new(format!("v{v}"), plan.iterations)),
+                faults[v],
+                kernel.clone(),
+                Arc::clone(&probes[v]),
+            )) as Box<dyn VersionProgram>
+        })
+        .collect();
+    (versions, probes)
+}
+
+fn fold_version_observables(
+    trace: &mut Fnv,
+    checks: &mut Checks,
+    report: &NvxReport,
+    probes: &[Arc<VersionProbe>],
+    expected: &[VersionOutcome],
+) {
+    for (version, probe) in probes.iter().enumerate() {
+        let class = VersionOutcome::classify(report.exits[version].as_deref());
+        trace.fold(probe.digest());
+        trace.fold(class.tag());
+        checks.expect(class == expected[version], || {
+            format!(
+                "version {version}: expected {:?}, exited as {:?} ({:?})",
+                expected[version], class, report.exits[version]
+            )
+        });
+    }
+}
+
+/// Crash, divergence and lag modes: a plain N-version launch under faults.
+fn run_nvx_mode(plan: &FaultPlan) -> SimOutcome {
+    let (kernel, driver) = sim_kernel(plan);
+    let faults = version_faults(plan);
+    let expected = expected_outcomes(&faults);
+    let (versions, probes) = wrapped_versions(plan, &kernel, &faults);
+
+    let mut config = NvxConfig::default();
+    config.ring_capacity = plan.ring_capacity;
+    config.pool.pool_size = 4 * 1024 * 1024;
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    match NvxSystem::launch(&kernel, versions, config) {
+        Ok(running) => {
+            let report = running.wait();
+            fold_version_observables(&mut trace, &mut checks, &report, &probes, &expected);
+            if plan.mode == Mode::Lag {
+                checks.expect(report.all_clean(), || {
+                    format!("lag mode must stay clean: {:?}", report.exits)
+                });
+                checks.expect(report.discarded_followers == 0, || {
+                    format!("lag mode discarded {} followers", report.discarded_followers)
+                });
+            }
+        }
+        Err(err) => checks.expect(false, || format!("launch failed: {err}")),
+    }
+
+    finish(plan, trace, checks, Some(&driver))
+}
+
+/// Churn mode: observers join a running (possibly crashing) execution and
+/// must observe exactly the leader's journal.
+fn run_churn_mode(plan: &FaultPlan) -> SimOutcome {
+    let (kernel, driver) = sim_kernel(plan);
+    let clock = kernel.wait_clock();
+    let faults = version_faults(plan);
+    let expected = expected_outcomes(&faults);
+    let (versions, probes) = wrapped_versions(plan, &kernel, &faults);
+    let dir = scratch_dir(plan.seed);
+
+    let mut config = NvxConfig::default();
+    config.ring_capacity = plan.ring_capacity;
+    config.pool.pool_size = 4 * 1024 * 1024;
+    config.fleet = Some(
+        FleetConfig::new(&dir)
+            .with_spares(plan.joiners)
+            .with_auto_rearm(false)
+            .with_retain_history(true),
+    );
+
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    match NvxSystem::launch(&kernel, versions, config) {
+        Ok(running) => {
+            let fleet = running.fleet().expect("fleet configured");
+            let total = crate::plan::workload_syscalls(plan.iterations);
+            let mut members = Vec::new();
+            for joiner in 0..plan.joiners {
+                // Stagger the attach points through the stream.  The wait
+                // is deadline-bounded (the scenario thread's own sleeps
+                // advance virtual time, so the bound expires even if every
+                // other thread is wedged): a leader that never reaches the
+                // trigger becomes a recorded failing seed, not a hung
+                // sweep.
+                let trigger = (joiner as u64 + 1) * total / (plan.joiners as u64 + 2);
+                let stall = clock.deadline(Duration::from_secs(120));
+                while fleet.journal().tail_sequence() < trigger && !stall.expired() {
+                    clock.sleep(Duration::from_micros(500));
+                }
+                if fleet.journal().tail_sequence() < trigger {
+                    checks.expect(false, || {
+                        format!(
+                            "leader stalled at sequence {} before joiner {joiner}'s \
+                             trigger {trigger}",
+                            fleet.journal().tail_sequence()
+                        )
+                    });
+                    break;
+                }
+                match fleet.attach(&format!("observer-{joiner}")) {
+                    Ok(member) => {
+                        checks.expect(
+                            member.wait_live(Duration::from_secs(240)),
+                            || {
+                                format!(
+                                    "observer {joiner} failed to go live: {:?}",
+                                    member.failure()
+                                )
+                            },
+                        );
+                        members.push(member);
+                    }
+                    Err(err) => {
+                        checks.expect(false, || format!("attach {joiner} failed: {err}"))
+                    }
+                }
+            }
+            let report = running.wait();
+            fold_version_observables(&mut trace, &mut checks, &report, &probes, &expected);
+
+            // Every observer saw exactly the journal from its checkpoint
+            // on: same digest, same count.  (This is the invariant PR 4's
+            // infinite-producer-gate bug violates when its fix is removed.)
+            for member in &members {
+                checks.expect(member.failure().is_none(), || {
+                    format!("observer {}: {:?}", member.index, member.failure())
+                });
+                let observed = member.events_observed();
+                let span = report.events_published - member.start_sequence;
+                checks.expect(observed == span, || {
+                    format!(
+                        "observer {} saw {observed} events, stream span was {span}",
+                        member.index
+                    )
+                });
+                let expected_digest =
+                    journal_digest(fleet.journal(), member.start_sequence);
+                checks.expect(member.digest() == expected_digest, || {
+                    format!(
+                        "observer {} digest {:#x} != journal digest {:#x} from seq {}",
+                        member.index,
+                        member.digest(),
+                        expected_digest,
+                        member.start_sequence
+                    )
+                });
+                trace.fold(u64::from(member.failure().is_none()));
+            }
+        }
+        Err(err) => checks.expect(false, || format!("launch failed: {err}")),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    finish(plan, trace, checks, Some(&driver))
+}
+
+/// Recomputes a member's expected observation digest from the journal
+/// (from `from` to the tail), through the very fold
+/// [`varan_core::fleet::fold_stream_digest`] the member itself uses.
+fn journal_digest(journal: &Arc<EventJournal>, from: u64) -> u64 {
+    let mut hash = 0u64;
+    let mut pos = from;
+    loop {
+        let Ok((start, records)) = journal.read_from(pos, 4096) else {
+            return 0;
+        };
+        if records.is_empty() {
+            return hash;
+        }
+        if start != pos {
+            return 0; // gap: digest cannot match anything
+        }
+        for record in &records {
+            let payload_len = record.payload.as_ref().map(|p| p.len() as u64).unwrap_or(0);
+            hash = varan_core::fleet::fold_stream_digest(
+                hash,
+                pos,
+                record.sysno,
+                record.result,
+                record.clock,
+                payload_len,
+            );
+            pos += 1;
+        }
+    }
+}
+
+/// Journal mode: a dying writer's final append is torn or corrupted; the
+/// reopen must recover every whole frame and never invent or crash.
+fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
+    let dir = scratch_dir(plan.seed);
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    /// Applies the plan's single write fault to the chosen sequence.
+    struct PlanFault {
+        fault: Fault,
+        seed: u64,
+    }
+    impl JournalFaults for PlanFault {
+        fn on_append(&mut self, seq: u64, frame: &mut Vec<u8>) {
+            match self.fault {
+                Fault::TornWrite { at_record, keep } if seq == at_record => {
+                    frame.truncate(keep.min(frame.len().saturating_sub(1)));
+                }
+                Fault::FlipBit { at_record } if seq == at_record => {
+                    let mut corruptor = Corruptor::new(self.seed);
+                    corruptor.flip_bit(frame);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let write_fault = plan.faults.first().copied();
+    let mut record_rng = SmallRng::seed_from_u64(plan.seed ^ 0x10C0_FFEE);
+    let mut appended = Vec::new();
+    {
+        let journal = match EventJournal::open(
+            JournalConfig::new(&dir).with_segment_records(plan.segment_records),
+        ) {
+            Ok(journal) => journal,
+            Err(err) => {
+                checks.expect(false, || format!("journal open failed: {err}"));
+                std::fs::remove_dir_all(&dir).ok();
+                return finish(plan, trace, checks, None);
+            }
+        };
+        if let Some(fault) = write_fault {
+            journal.install_faults(Box::new(PlanFault {
+                fault,
+                seed: plan.seed,
+            }));
+        }
+        for seq in 0..plan.journal_records {
+            let word = record_rng.next_u64();
+            let record = JournalRecord {
+                kind: EventKind::Syscall,
+                sysno: (word % 300) as u16,
+                tid: 0,
+                clock: seq,
+                result: (word >> 16) as i64 % 1_000,
+                args: [seq, word, 0, 0, 0, 0],
+                payload: if word.is_multiple_of(3) {
+                    Some(vec![(word % 251) as u8; (word % 60) as usize])
+                } else {
+                    None
+                },
+            };
+            appended.push(record.clone());
+            if journal.append(record).is_err() {
+                checks.expect(false, || format!("append {seq} failed"));
+            }
+        }
+        journal.flush().ok();
+    }
+
+    // The dying writer is gone; reopen and judge recovery.
+    let reopened = EventJournal::open(
+        JournalConfig::new(&dir).with_segment_records(plan.segment_records),
+    );
+    let torn = matches!(write_fault, Some(Fault::TornWrite { .. }));
+    match reopened {
+        Ok(journal) => {
+            let tail = journal.tail_sequence();
+            checks.expect(tail <= plan.journal_records, || {
+                format!("recovered tail {tail} past appended {}", plan.journal_records)
+            });
+            if torn {
+                // The torn record is the final one: recovery keeps every
+                // record before it.
+                checks.expect(tail == plan.journal_records - 1, || {
+                    format!(
+                        "torn final frame: expected tail {}, recovered {tail}",
+                        plan.journal_records - 1
+                    )
+                });
+            }
+            trace.fold(1); // open succeeded
+            trace.fold(tail);
+            match journal.read_from(0, usize::MAX) {
+                Ok((start, records)) => {
+                    checks.expect(start == 0, || format!("recovery lost the head: starts at {start}"));
+                    checks.expect(records.len() as u64 == tail, || {
+                        format!("read {} records, tail says {tail}", records.len())
+                    });
+                    if torn {
+                        // Torn writes must recover the exact prefix.
+                        checks.expect(
+                            records.as_slice() == &appended[..tail as usize],
+                            || "recovered records differ from the appended prefix".to_owned(),
+                        );
+                    }
+                    for record in &records {
+                        trace.fold(u64::from(record.sysno));
+                        trace.fold(record.clock);
+                        trace.fold(record.result as u64);
+                    }
+                }
+                Err(err) => checks.expect(false, || format!("recovered read failed: {err}")),
+            }
+        }
+        Err(err) => {
+            // A flipped bit may corrupt the frame beyond lossy recovery —
+            // a clean, offset-reporting error is acceptable.  A torn tail
+            // is not allowed to be fatal.
+            checks.expect(!torn, || format!("torn tail must recover, open failed: {err}"));
+            trace.fold(0);
+            trace.fold_bytes(err.to_string().as_bytes());
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    finish(plan, trace, checks, None)
+}
+
+/// The workload of the upgrade mode: warm up, then loop until the control
+/// file says "go" (the loop-exit decision rides on syscall *results*, so
+/// followers replay the identical iteration count), then a short tail.
+struct GatedWorkload {
+    name: String,
+    warmup: u32,
+    tail: u32,
+}
+
+impl VersionProgram for GatedWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/zero", 0) as i32;
+        for _ in 0..self.warmup {
+            sys.syscall(&SyscallRequest::new(varan_kernel::Sysno::Getegid, [0; 6]));
+            sys.read(fd, 64);
+        }
+        let ctl = sys.open("/ctl", 0) as i32;
+        loop {
+            let outcome = sys.syscall(&SyscallRequest::read(ctl, 4));
+            if outcome.data.as_deref() == Some(b"go") {
+                break;
+            }
+            sys.syscall(&SyscallRequest::new(varan_kernel::Sysno::Getegid, [0; 6]));
+        }
+        for _ in 0..self.tail {
+            sys.read(fd, 64);
+        }
+        sys.close(ctl);
+        sys.close(fd);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Stable tag for a stage outcome (folded into the trace).
+fn stage_tag(outcome: &StageOutcome) -> u64 {
+    match outcome {
+        StageOutcome::Promoted => 1,
+        StageOutcome::RolledBack(reason) => match reason {
+            RollbackReason::AttachFailed(_) => 10,
+            RollbackReason::CandidateFailed(_) => 11,
+            RollbackReason::CatchUpTimeout => 12,
+            RollbackReason::LagExceeded { .. } => 13,
+            RollbackReason::SoakTimeout => 14,
+            RollbackReason::NoSpareSlot(_) => 15,
+            RollbackReason::HandoverRefused => 16,
+            RollbackReason::HandoverTimeout => 17,
+            _ => 18, // non-exhaustive enum: future reasons
+        },
+    }
+}
+
+/// Upgrade mode: a chain of canary → soak → promote hops with candidates
+/// crashed in chosen pipeline windows.
+fn run_upgrade_mode(plan: &FaultPlan) -> SimOutcome {
+    let (kernel, driver) = sim_kernel(plan);
+    kernel.populate_file("/ctl", Vec::new()).expect("control file");
+    let dir = scratch_dir(plan.seed);
+
+    let mut config = NvxConfig::default();
+    config.ring_capacity = plan.ring_capacity;
+    config.pool.pool_size = 4 * 1024 * 1024;
+    config.fleet = Some(FleetConfig::for_upgrades(&dir, plan.hops + 1));
+
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    let leader: Vec<Box<dyn VersionProgram>> = vec![Box::new(GatedWorkload {
+        name: "r0".into(),
+        warmup: plan.iterations,
+        tail: 32,
+    })];
+
+    match NvxSystem::launch(&kernel, leader, config) {
+        Ok(running) => {
+            let fleet = running.fleet().expect("fleet configured");
+            // Let the leader's whole warmup reach the journal before the
+            // first hop: a canary-window crash point (always below the
+            // warmup length) then provably lands *during* the candidate's
+            // replay — never after a too-early promotion — which is what
+            // keeps the expected stage outcome schedule-independent.
+            let clock = kernel.wait_clock();
+            let warmup_events = 1 + 2 * u64::from(plan.iterations);
+            let stall = clock.deadline(Duration::from_secs(120));
+            while fleet.journal().tail_sequence() < warmup_events + 8 && !stall.expired() {
+                clock.sleep(Duration::from_micros(500));
+            }
+            checks.expect(
+                fleet.journal().tail_sequence() >= warmup_events + 8,
+                || {
+                    format!(
+                        "leader stalled at sequence {} before journaling its warmup",
+                        fleet.journal().tail_sequence()
+                    )
+                },
+            );
+            let orchestrator = UpgradeOrchestrator::new(
+                fleet.clone(),
+                UpgradeConfig {
+                    soak_events: 24,
+                    lag_ceiling: 1 << 20,
+                    ..UpgradeConfig::default()
+                },
+            );
+            for hop in 0..plan.hops {
+                let window = plan.faults.iter().find_map(|fault| match fault {
+                    Fault::CrashCandidate { hop: h, window } if *h == hop => Some(*window),
+                    _ => None,
+                });
+                let canary_faults = match window {
+                    Some(CandidateWindow::Canary { at_syscall }) => VersionFaults {
+                        crash_at: Some(at_syscall),
+                        ..VersionFaults::default()
+                    },
+                    _ => VersionFaults::default(),
+                };
+                driver.arm_candidate_crash(match window {
+                    Some(CandidateWindow::GateRegistered) => {
+                        Some(CandidateWindow::GateRegistered)
+                    }
+                    Some(CandidateWindow::LiveSwitch) => Some(CandidateWindow::LiveSwitch),
+                    _ => None,
+                });
+                let candidate = FaultedProgram::new(
+                    Box::new(GatedWorkload {
+                        name: format!("r{}", hop + 1),
+                        warmup: plan.iterations,
+                        tail: 32,
+                    }),
+                    canary_faults,
+                    kernel.clone(),
+                    Arc::new(VersionProbe::default()),
+                );
+                let stage = orchestrator.upgrade(UpgradeStep::new(Box::new(candidate)));
+                driver.arm_candidate_crash(None);
+                trace.fold(stage_tag(&stage.outcome));
+                let expect_promotion = window.is_none();
+                checks.expect(stage.promoted() == expect_promotion, || {
+                    format!(
+                        "hop {hop}: expected promoted={expect_promotion}, got {:?}",
+                        stage.outcome
+                    )
+                });
+            }
+            trace.fold(fleet.current_leader_index() as u64);
+            // Release the gated loop and let every revision run out.
+            kernel
+                .populate_file("/ctl", b"go".to_vec())
+                .expect("control file");
+            let report = running.wait();
+            checks.expect(report.exits[0].as_deref().map(|e| e.starts_with("exited")) == Some(true), || {
+                format!("launched leader did not exit cleanly: {:?}", report.exits)
+            });
+        }
+        Err(err) => checks.expect(false, || format!("launch failed: {err}")),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    finish(plan, trace, checks, Some(&driver))
+}
+
+/// The echo server of the clients mode: one connection, echo until EOF.
+struct EchoServer {
+    name: String,
+    port: u16,
+}
+
+impl VersionProgram for EchoServer {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.socket() as i32;
+        sys.bind(fd, self.port);
+        sys.listen(fd, 16);
+        let conn = sys.accept(fd) as i32;
+        loop {
+            let data = sys.read(conn, 256);
+            if data.is_empty() {
+                break;
+            }
+            sys.write(conn, &data);
+        }
+        sys.close(conn);
+        sys.close(fd);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Clients mode: a retrying client must get every request answered across
+/// a leader crash (§5.1's bar, expressed as an invariant).
+fn run_clients_mode(plan: &FaultPlan) -> SimOutcome {
+    const PORT: u16 = 9300;
+    let (kernel, driver) = sim_kernel(plan);
+    let clock = kernel.wait_clock();
+    let faults = version_faults(plan);
+    let expected = expected_outcomes(&faults);
+
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    let versions: Vec<Box<dyn VersionProgram>> = (0..plan.versions)
+        .map(|v| {
+            Box::new(FaultedProgram::new(
+                Box::new(EchoServer {
+                    name: format!("echo-{v}"),
+                    port: PORT,
+                }),
+                faults[v],
+                kernel.clone(),
+                Arc::new(VersionProbe::default()),
+            )) as Box<dyn VersionProgram>
+        })
+        .collect();
+
+    let mut config = NvxConfig::default();
+    config.ring_capacity = plan.ring_capacity;
+    config.pool.pool_size = 4 * 1024 * 1024;
+
+    match NvxSystem::launch(&kernel, versions, config) {
+        Ok(running) => {
+            // The client drives the fleet from outside, like the bench
+            // harness clients: straight against the loopback network.
+            let deadline = clock.deadline(Duration::from_secs(300));
+            let mut endpoint = None;
+            let mut answered = 0u32;
+            'requests: for i in 0..plan.requests {
+                let id = format!("REQ{i:05};");
+                let mut stale = Vec::new();
+                loop {
+                    if deadline.expired() {
+                        break 'requests;
+                    }
+                    let Some(conn) = endpoint.as_ref() else {
+                        match kernel.network().connect(PORT) {
+                            Ok(conn) => endpoint = Some(conn),
+                            Err(_) => clock.sleep(Duration::from_millis(2)),
+                        }
+                        continue;
+                    };
+                    if conn.write(id.as_bytes()).is_err() {
+                        endpoint = None;
+                        continue;
+                    }
+                    match conn.read_timeout(256, Duration::from_millis(500)) {
+                        Ok(data) if data.is_empty() => {
+                            // EOF: the serving version is gone for good.
+                            endpoint = None;
+                        }
+                        Ok(data) => {
+                            stale.extend_from_slice(&data);
+                            if stale
+                                .windows(id.len())
+                                .any(|window| window == id.as_bytes())
+                            {
+                                answered += 1;
+                                continue 'requests;
+                            }
+                        }
+                        Err(Errno::EAGAIN) => {} // resend and keep trying
+                        Err(_) => endpoint = None,
+                    }
+                }
+            }
+            if let Some(conn) = endpoint {
+                conn.close(); // EOF lets the surviving server exit
+            }
+            let report = running.wait();
+            let all_answered = answered == plan.requests;
+            trace.fold(u64::from(all_answered));
+            checks.expect(all_answered, || {
+                format!("client: {answered}/{} requests answered", plan.requests)
+            });
+            for (version, want) in expected.iter().enumerate() {
+                let class = VersionOutcome::classify(report.exits[version].as_deref());
+                trace.fold(class.tag());
+                checks.expect(class == *want, || {
+                    format!(
+                        "version {version}: expected {want:?}, exited as {class:?} ({:?})",
+                        report.exits[version]
+                    )
+                });
+            }
+        }
+        Err(err) => checks.expect(false, || format!("launch failed: {err}")),
+    }
+
+    finish(plan, trace, checks, Some(&driver))
+}
+
+fn finish(
+    plan: &FaultPlan,
+    mut trace: Fnv,
+    checks: Checks,
+    driver: Option<&Arc<SweepDriver>>,
+) -> SimOutcome {
+    trace.fold(u64::from(checks.failure.is_some()));
+    SimOutcome {
+        seed: plan.seed,
+        mode: plan.mode,
+        trace_hash: trace.value(),
+        schedule_hash: driver.map(|driver| driver.schedule_hash()).unwrap_or(0),
+        failure: checks.failure,
+    }
+}
+
+/// Runs one explicit plan (the entry point the shrinker re-enters with
+/// reduced plans; [`run_seed`] is `generate` + this).
+#[must_use]
+pub fn run_plan(plan: &FaultPlan) -> SimOutcome {
+    crate::quiet_panics();
+    match plan.mode {
+        Mode::Crash | Mode::Divergence | Mode::Lag => run_nvx_mode(plan),
+        Mode::Journal => run_journal_mode(plan),
+        Mode::Churn => run_churn_mode(plan),
+        Mode::Upgrade => run_upgrade_mode(plan),
+        Mode::Clients => run_clients_mode(plan),
+    }
+}

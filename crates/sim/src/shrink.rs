@@ -1,0 +1,87 @@
+//! Greedy fault-plan shrinking: reduce a failing seed to the smallest
+//! fault set that still fails, so the report reads as a short
+//! human-readable trace instead of a 40-line plan.
+
+use crate::plan::FaultPlan;
+use crate::scenario::{run_plan, SimOutcome};
+
+/// A minimized failure.
+#[derive(Debug, Clone)]
+pub struct ShrunkFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// The invariant violation of the *minimal* plan.
+    pub failure: String,
+    /// Whether the original failure reproduced on a straight re-run (a
+    /// schedule-dependent failure may not; the seed is still reported).
+    pub reproducible: bool,
+    /// Faults dropped by shrinking.
+    pub removed_faults: usize,
+    /// Human-readable description of the minimal plan.
+    pub trace: Vec<String>,
+}
+
+/// Shrinks the failure of `seed` (whose plan is regenerated from the
+/// seed); see [`shrink_plan`] for the mechanics.
+#[must_use]
+pub fn shrink(seed: u64, original: &SimOutcome) -> ShrunkFailure {
+    shrink_plan(&FaultPlan::generate(seed), original)
+}
+
+/// Greedily re-runs `plan` with one fault removed at a time (restarting
+/// after every successful removal) until no single removal still fails,
+/// and renders the minimal plan as the failure's trace.
+#[must_use]
+pub fn shrink_plan(full: &FaultPlan, original: &SimOutcome) -> ShrunkFailure {
+    let baseline = original
+        .failure
+        .clone()
+        .unwrap_or_else(|| "failure".to_owned());
+
+    // Confirm the failure reproduces at all before spending shrink runs.
+    let confirm = run_plan(full);
+    if confirm.failure.is_none() {
+        return ShrunkFailure {
+            seed: full.seed,
+            failure: baseline,
+            reproducible: false,
+            removed_faults: 0,
+            trace: {
+                let mut trace = full.describe();
+                trace.push(
+                    "  (failure did not reproduce on re-run: schedule-dependent; \
+                     re-run this seed under load or with a different host schedule)"
+                        .to_owned(),
+                );
+                trace
+            },
+        };
+    }
+
+    let mut plan = full.clone();
+    let mut failure = confirm.failure.unwrap_or(baseline);
+    let mut removed = 0usize;
+    'outer: loop {
+        for index in 0..plan.faults.len() {
+            let candidate = plan.without_fault(index);
+            let outcome = run_plan(&candidate);
+            if let Some(still) = outcome.failure {
+                plan = candidate;
+                failure = still;
+                removed += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    let mut trace = plan.describe();
+    trace.push(format!("  violation: {failure}"));
+    ShrunkFailure {
+        seed: full.seed,
+        failure,
+        reproducible: true,
+        removed_faults: removed,
+        trace,
+    }
+}

@@ -1,0 +1,150 @@
+//! The FNV-1a fold used for every digest in the harness, and the
+//! schedule-independent outcome classification.
+//!
+//! [`Fnv`] hashes *harness-side* observables (fault plans, attempt
+//! streams, trace hashes).  Member *stream* digests are deliberately not
+//! computed here: they go through
+//! [`varan_core::fleet::fold_stream_digest`], the very fold the members
+//! themselves use, so the churn-mode digest comparison can never drift
+//! from the production implementation (a unit test below pins the two
+//! folds to the same FNV-1a core).
+
+/// An incrementally-folded FNV-1a hash over little-endian `u64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// The standard FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word.
+    pub fn fold(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a byte slice.
+    pub fn fold_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The folded value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// How one version's execution ended, reduced to the classes that are
+/// independent of thread scheduling (see the crate docs: *which role* a
+/// version played when it died can vary between runs of the same seed, but
+/// *how* it died cannot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionOutcome {
+    /// Exited cleanly.
+    Clean,
+    /// Died from an injected [`crate::plan::Fault::CrashVersion`].
+    InjectedCrash,
+    /// Killed by a divergence verdict (its own injected divergence, or a
+    /// diverging leader's stream).
+    DivergenceKill,
+    /// Anything else — always an invariant violation in a simulated run.
+    Other,
+}
+
+impl VersionOutcome {
+    /// Classifies a coordinator exit description
+    /// (`exited(0)` / `crashed(..)` / `panicked(..)`).
+    #[must_use]
+    pub fn classify(exit: Option<&str>) -> VersionOutcome {
+        let Some(exit) = exit else {
+            return VersionOutcome::Other;
+        };
+        if exit.starts_with("exited") {
+            VersionOutcome::Clean
+        } else if exit.contains(varan_kernel::sim::SIM_CRASH_MESSAGE) {
+            VersionOutcome::InjectedCrash
+        } else if exit.contains("killed") {
+            VersionOutcome::DivergenceKill
+        } else {
+            VersionOutcome::Other
+        }
+    }
+
+    /// Stable numeric tag folded into trace hashes.
+    #[must_use]
+    pub fn tag(self) -> u64 {
+        match self {
+            VersionOutcome::Clean => 0,
+            VersionOutcome::InjectedCrash => 1,
+            VersionOutcome::DivergenceKill => 2,
+            VersionOutcome::Other => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive_and_stable() {
+        let mut a = Fnv::new();
+        a.fold(1);
+        a.fold(2);
+        let mut b = Fnv::new();
+        b.fold(2);
+        b.fold(1);
+        assert_ne!(a.value(), b.value());
+        let mut c = Fnv::new();
+        c.fold(1);
+        c.fold(2);
+        assert_eq!(a.value(), c.value());
+    }
+
+    #[test]
+    fn fnv_core_matches_the_member_stream_fold() {
+        // Both folds are FNV-1a over little-endian u64s; if either ever
+        // changes its constants or byte order, this pin fails instead of
+        // the drift staying silent.
+        let mut fnv = Fnv::new();
+        for word in [7u64, 42, u64::MAX, 0] {
+            fnv.fold(word);
+        }
+        let streamed = varan_core::fleet::fold_stream_digest(0, 7, 42, -1, u64::MAX, 0);
+        let mut manual = Fnv::new();
+        for word in [7u64, 42, (-1i64) as u64, u64::MAX, 0] {
+            manual.fold(word);
+        }
+        assert_eq!(streamed, manual.value());
+        assert_ne!(fnv.value(), 0);
+    }
+
+    #[test]
+    fn classification_covers_the_exit_shapes() {
+        assert_eq!(VersionOutcome::classify(Some("exited(0)")), VersionOutcome::Clean);
+        assert_eq!(
+            VersionOutcome::classify(Some("panicked(varan-sim: injected crash at syscall 7)")),
+            VersionOutcome::InjectedCrash
+        );
+        assert_eq!(
+            VersionOutcome::classify(Some("panicked(varan: follower 1 killed: ...)")),
+            VersionOutcome::DivergenceKill
+        );
+        assert_eq!(VersionOutcome::classify(None), VersionOutcome::Other);
+    }
+}

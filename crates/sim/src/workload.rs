@@ -1,0 +1,285 @@
+//! Deterministic workloads and the per-version fault wrapper.
+//!
+//! Every simulated version runs a [`SteadyWorkload`] (or the echo server of
+//! the clients mode) wrapped in a [`FaultedProgram`].  The wrapper counts
+//! the version's own system-call attempts and triggers its faults *in the
+//! version's own frame of reference* — "crash at your 57th call" fires at
+//! the 57th call whether the version is leading, following, or replaying a
+//! journal as an upgrade canary.  That frame-independence is what makes the
+//! injected fault schedule (and with it the per-version attempt digest)
+//! reproducible even though the host scheduler is not controlled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::sim::SIM_CRASH_MESSAGE;
+use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::{Kernel, Sysno};
+
+use crate::trace::Fnv;
+
+/// The steady syscall generator every non-client mode runs: per iteration
+/// one `getegid`, one 64-byte `read` of `/dev/zero` and one `write` to
+/// `/dev/null` — all streamed calls, so a version's attempt count tracks
+/// the event-stream position one-to-one.
+pub struct SteadyWorkload {
+    name: String,
+    iterations: u32,
+}
+
+impl std::fmt::Debug for SteadyWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SteadyWorkload")
+            .field("name", &self.name)
+            .field("iterations", &self.iterations)
+            .finish()
+    }
+}
+
+impl SteadyWorkload {
+    /// A workload named `name` running `iterations` iterations.
+    #[must_use]
+    pub fn new(name: impl Into<String>, iterations: u32) -> Self {
+        SteadyWorkload {
+            name: name.into(),
+            iterations,
+        }
+    }
+}
+
+impl VersionProgram for SteadyWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/zero", 0) as i32;
+        for i in 0..self.iterations {
+            sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+            sys.read(fd, 64);
+            sys.write(1, &[(i % 251) as u8; 48]);
+        }
+        sys.close(fd);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Per-version faults, in the version's own syscall frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VersionFaults {
+    /// Crash (panic with the sim marker) at this attempt.
+    pub crash_at: Option<u64>,
+    /// Issue one extra `getuid` immediately before this attempt.
+    pub diverge_at: Option<u64>,
+    /// Stall `micros` of virtual time every `every` attempts.
+    pub lag: Option<(u64, u64)>,
+}
+
+/// Observable per-version state shared with the scenario: the attempt
+/// count and the rolling digest of every attempted call.
+#[derive(Debug, Default)]
+pub struct VersionProbe {
+    attempts: AtomicU64,
+    digest: Mutex<Fnv>,
+}
+
+impl VersionProbe {
+    /// System calls attempted so far.
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Acquire)
+    }
+
+    /// Digest over `(sysno, args, payload)` of every attempt, in order.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.lock().value()
+    }
+}
+
+/// Wraps a version program, interposing the fault schedule on its syscall
+/// interface.
+pub struct FaultedProgram {
+    inner: Box<dyn VersionProgram>,
+    faults: VersionFaults,
+    kernel: Kernel,
+    probe: Arc<VersionProbe>,
+}
+
+impl std::fmt::Debug for FaultedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultedProgram")
+            .field("name", &self.inner.name())
+            .field("faults", &self.faults)
+            .finish()
+    }
+}
+
+impl FaultedProgram {
+    /// Wraps `inner` with `faults`; `probe` receives the attempt stream.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn VersionProgram>,
+        faults: VersionFaults,
+        kernel: Kernel,
+        probe: Arc<VersionProbe>,
+    ) -> Self {
+        FaultedProgram {
+            inner,
+            faults,
+            kernel,
+            probe,
+        }
+    }
+}
+
+impl VersionProgram for FaultedProgram {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let mut interface = FaultingInterface {
+            sys,
+            faults: self.faults,
+            kernel: self.kernel.clone(),
+            probe: Arc::clone(&self.probe),
+            diverged: false,
+        };
+        self.inner.run(&mut interface)
+    }
+}
+
+/// The interposed syscall interface (one per version thread entry).
+struct FaultingInterface<'a> {
+    sys: &'a mut dyn SyscallInterface,
+    faults: VersionFaults,
+    kernel: Kernel,
+    probe: Arc<VersionProbe>,
+    diverged: bool,
+}
+
+impl FaultingInterface<'_> {
+    /// Counts, digests and fault-checks one attempt, then forwards it.
+    fn issue(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        let attempt = self.probe.attempts.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.faults.crash_at == Some(attempt) {
+            // Undo the count: the attempt never happens.
+            self.probe.attempts.fetch_sub(1, Ordering::AcqRel);
+            panic!("{SIM_CRASH_MESSAGE} at version syscall #{attempt}");
+        }
+        {
+            let mut digest = self.probe.digest.lock();
+            digest.fold(u64::from(request.sysno.number()));
+            for arg in request.args {
+                digest.fold(arg);
+            }
+            if let Some(data) = &request.data {
+                digest.fold_bytes(data);
+            }
+        }
+        if let Some((every, micros)) = self.faults.lag {
+            if attempt % every == 0 {
+                self.kernel.clock().advance_micros(micros);
+                std::thread::yield_now();
+            }
+        }
+        self.sys.syscall(request)
+    }
+}
+
+impl SyscallInterface for FaultingInterface<'_> {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        if !self.diverged {
+            if let Some(at) = self.faults.diverge_at {
+                if self.probe.attempts() + 1 == at {
+                    self.diverged = true;
+                    // The extra call *is* an attempt: on a follower the
+                    // mismatch kills us inside this issue (unwinding out),
+                    // on a leader it is published and poisons the stream
+                    // for every follower instead.
+                    self.issue(&SyscallRequest::getuid());
+                }
+            }
+        }
+        self.issue(request)
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        // The simulated workloads are single-threaded (the upgrade pipeline
+        // requires it); faults on spawned threads are not modelled.
+        self.sys.spawn_thread()
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        self.sys.cpu_work(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varan_core::program::DirectExecutor;
+
+    fn run_with(faults: VersionFaults, iterations: u32) -> (std::thread::Result<ProgramExit>, Arc<VersionProbe>) {
+        let kernel = Kernel::new();
+        let probe = Arc::new(VersionProbe::default());
+        let mut program = FaultedProgram::new(
+            Box::new(SteadyWorkload::new("w", iterations)),
+            faults,
+            kernel.clone(),
+            Arc::clone(&probe),
+        );
+        let mut executor = DirectExecutor::new(&kernel, "w");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            program.run(&mut executor)
+        }));
+        (result, probe)
+    }
+
+    #[test]
+    fn unfaulted_run_attempts_the_full_workload() {
+        let (result, probe) = run_with(VersionFaults::default(), 10);
+        assert!(result.is_ok());
+        assert_eq!(probe.attempts(), crate::plan::workload_syscalls(10));
+    }
+
+    #[test]
+    fn crash_fires_at_exactly_the_chosen_attempt() {
+        let faults = VersionFaults {
+            crash_at: Some(7),
+            ..VersionFaults::default()
+        };
+        let (result, probe) = run_with(faults, 10);
+        let panic = result.unwrap_err();
+        let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains(SIM_CRASH_MESSAGE));
+        assert_eq!(probe.attempts(), 6, "six attempts completed before the crash");
+    }
+
+    #[test]
+    fn attempt_digest_is_reproducible_and_fault_sensitive() {
+        let (_, a) = run_with(VersionFaults::default(), 20);
+        let (_, b) = run_with(VersionFaults::default(), 20);
+        assert_eq!(a.digest(), b.digest());
+        // A lagging version attempts the identical stream.
+        let lagged = VersionFaults {
+            lag: Some((3, 500)),
+            ..VersionFaults::default()
+        };
+        let (_, c) = run_with(lagged, 20);
+        assert_eq!(a.digest(), c.digest());
+        // A diverging one does not.
+        let diverged = VersionFaults {
+            diverge_at: Some(5),
+            ..VersionFaults::default()
+        };
+        let (_, d) = run_with(diverged, 20);
+        assert_ne!(a.digest(), d.digest());
+        assert_eq!(d.attempts(), a.attempts() + 1, "one extra injected call");
+    }
+}

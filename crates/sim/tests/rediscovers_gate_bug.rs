@@ -1,0 +1,36 @@
+//! The harness's teeth: with PR 4's infinite-producer-gate fix resurrected
+//! (via the `VARAN_SIM_REVERT_GATE_FIX` fault-resurrection knob in
+//! `varan-ring`), a modest sweep window must rediscover the bug — a
+//! producer silently lapping a late-registering joiner — as invariant
+//! failures.  With the fix in place the same window runs clean, which is
+//! what CI's sim-sweep job enforces every run.
+//!
+//! This file holds exactly one test because the knob is a process-wide
+//! environment variable, read once per process — which is also why the
+//! "same window is clean with the fix" half lives in
+//! `sweep_determinism.rs` (its own process) instead of here.
+
+use varan_sim::{run_seed, Mode};
+
+#[test]
+fn resurrected_producer_gate_bug_is_rediscovered_by_the_sweep() {
+    // The knob is latched on first use, so set it before any ring exists.
+    std::env::set_var("VARAN_SIM_REVERT_GATE_FIX", "1");
+    let mut rediscoveries = 0u32;
+    for seed in 0..200u64 {
+        let outcome = run_seed(seed);
+        if outcome.failure.is_some() {
+            assert!(
+                matches!(outcome.mode, Mode::Churn | Mode::Upgrade),
+                "unexpected failing mode {:?}: {:?}",
+                outcome.mode,
+                outcome.failure
+            );
+            rediscoveries += 1;
+        }
+    }
+    assert!(
+        rediscoveries >= 3,
+        "the resurrected bug was rediscovered only {rediscoveries} times in 200 seeds"
+    );
+}

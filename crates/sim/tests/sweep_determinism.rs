@@ -1,0 +1,81 @@
+//! Sweep-level properties: a window of seeds runs clean, re-running any
+//! seed reproduces its trace hash, and the shrinker reduces a failing plan
+//! to its single causal fault.
+
+use varan_sim::{run_plan, run_seed, shrink_plan, Fault, FaultPlan, Mode};
+
+#[test]
+fn one_hundred_seeds_run_clean_and_reproduce() {
+    let mut hashes = Vec::new();
+    for seed in 0..100u64 {
+        let outcome = run_seed(seed);
+        assert_eq!(
+            outcome.failure, None,
+            "seed {seed} failed — replay with \
+             `cargo run --release -p varan-sim --example explore -- 1 {seed} -v`"
+        );
+        hashes.push(outcome.trace_hash);
+    }
+    for seed in (0..100u64).step_by(17) {
+        assert_eq!(
+            run_seed(seed).trace_hash,
+            hashes[seed as usize],
+            "seed {seed} trace hash not reproducible"
+        );
+    }
+}
+
+#[test]
+fn shrinker_isolates_the_causal_fault() {
+    // A crash-mode plan with two faults where only the harness-breaking
+    // one matters: an expectation that version 1 survives is violated by
+    // its crash fault, while the lag fault is noise the shrinker removes.
+    // Build the failing situation synthetically: a plan whose crash point
+    // exceeds the workload (never fires), so the expected-crash invariant
+    // trips deterministically.
+    let plan = FaultPlan {
+        seed: 77,
+        mode: Mode::Crash,
+        versions: 3,
+        iterations: 30,
+        ring_capacity: 64,
+        journal_records: 0,
+        segment_records: 16,
+        joiners: 0,
+        hops: 0,
+        requests: 0,
+        faults: vec![
+            Fault::Lag {
+                version: 2,
+                every: 4,
+                micros: 500,
+            },
+            // Beyond the workload's 93 calls: never fires, so the version
+            // exits cleanly while the harness expects an injected crash.
+            Fault::CrashVersion {
+                version: 1,
+                at_syscall: 10_000,
+            },
+        ],
+    };
+    let outcome = run_plan(&plan);
+    let failure = outcome.failure.clone().expect("the impossible crash point must trip");
+    assert!(failure.contains("version 1"), "got: {failure}");
+
+    let shrunk = shrink_plan(&plan, &outcome);
+    assert!(shrunk.reproducible);
+    assert_eq!(shrunk.removed_faults, 1, "the harmless lag fault was dropped");
+    assert!(
+        shrunk
+            .trace
+            .iter()
+            .any(|line| line.contains("crash version 1")),
+        "minimal trace names the causal fault: {:#?}",
+        shrunk.trace
+    );
+    assert!(
+        !shrunk.trace.iter().any(|line| line.contains("lag version")),
+        "noise fault survived shrinking: {:#?}",
+        shrunk.trace
+    );
+}

@@ -1,0 +1,64 @@
+//! The crash window PR 4 reasons about but never pinned: a live-upgrade
+//! candidate dying **exactly between ring-gate registration and the
+//! drain-switch** to live consumption.  Expressed as a fixed fault plan
+//! and asserted deterministic across 100 reruns of the same seed.
+
+use varan_sim::{run_plan, CandidateWindow, Fault, FaultPlan, Mode};
+
+fn window_plan(window: CandidateWindow) -> FaultPlan {
+    FaultPlan {
+        seed: 0xDECADE,
+        mode: Mode::Upgrade,
+        versions: 1,
+        iterations: 120,
+        ring_capacity: 32,
+        journal_records: 0,
+        segment_records: 16,
+        joiners: 0,
+        hops: 1,
+        requests: 0,
+        faults: vec![Fault::CrashCandidate { hop: 0, window }],
+    }
+}
+
+#[test]
+fn candidate_crash_between_gate_registration_and_drain_switch_rolls_back_deterministically() {
+    let plan = window_plan(CandidateWindow::GateRegistered);
+    let first = run_plan(&plan);
+    // The scenario's own invariant is that this exact window rolls the hop
+    // back (candidate failed) and leaves the fleet intact; any deviation
+    // surfaces as a failure.
+    assert_eq!(first.failure, None, "rollback expectation violated");
+
+    // 100 reruns of the same seed: bit-identical trace, same outcome.
+    for rerun in 0..100 {
+        let again = run_plan(&plan);
+        assert_eq!(
+            again.trace_hash, first.trace_hash,
+            "rerun {rerun} diverged from the first run"
+        );
+        assert_eq!(again.failure, None, "rerun {rerun} violated the rollback expectation");
+    }
+}
+
+#[test]
+fn live_switch_crash_window_is_deterministic_too() {
+    let plan = window_plan(CandidateWindow::LiveSwitch);
+    let first = run_plan(&plan);
+    assert_eq!(first.failure, None);
+    for _ in 0..25 {
+        assert_eq!(run_plan(&plan).trace_hash, first.trace_hash);
+    }
+}
+
+#[test]
+fn clean_hop_promotes_and_the_crashing_windows_change_the_trace() {
+    let mut clean = window_plan(CandidateWindow::GateRegistered);
+    clean.faults.clear();
+    let clean_outcome = run_plan(&clean);
+    assert_eq!(clean_outcome.failure, None);
+    let gate = run_plan(&window_plan(CandidateWindow::GateRegistered));
+    let live = run_plan(&window_plan(CandidateWindow::LiveSwitch));
+    assert_ne!(clean_outcome.trace_hash, gate.trace_hash);
+    assert_ne!(gate.trace_hash, live.trace_hash);
+}

@@ -21,6 +21,9 @@
 //!   SPEC-like CPU kernels.
 //! * [`baselines`] — prior-work lock-step and record-replay baselines used
 //!   by the comparison experiments.
+//! * [`sim`] — the deterministic simulation harness: seeded fault plans,
+//!   virtual-time scheduling and interleaving exploration over the fleet,
+//!   failover and live-upgrade machinery (see `docs/SIMULATION.md`).
 //!
 //! # Quick start
 //!
@@ -58,3 +61,4 @@ pub use varan_core as core;
 pub use varan_kernel as kernel;
 pub use varan_rewrite as rewrite;
 pub use varan_ring as ring;
+pub use varan_sim as sim;
