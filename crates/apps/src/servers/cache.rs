@@ -81,11 +81,15 @@ impl CacheServer {
                     let value = store.lock().expect("cache store").get(key).cloned();
                     match value {
                         Some(value) => {
-                            let mut reply =
+                            // Memcached sends the VALUE header, the datum and
+                            // the END marker as separate writes; batch them.
+                            let header =
                                 format!("VALUE {key} 0 {}\r\n", value.len()).into_bytes();
-                            reply.extend_from_slice(&value);
-                            reply.extend_from_slice(b"\r\nEND\r\n");
-                            sys.write(conn, &reply);
+                            super::send_response(
+                                sys,
+                                conn,
+                                &[&header, &value, b"\r\nEND\r\n"],
+                            );
                         }
                         None => {
                             sys.write(conn, b"END\r\n");

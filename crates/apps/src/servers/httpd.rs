@@ -218,7 +218,7 @@ impl HttpServer {
                 format!("{}{}", self.doc_root, path)
             };
             let fd = sys.open(&file_path, flags::O_RDONLY);
-            let response = if fd >= 0 {
+            if fd >= 0 {
                 let size = sys.syscall(&SyscallRequest::new(
                     Sysno::Fstat,
                     [fd as u64, 0, 0, 0, 0, 0],
@@ -229,23 +229,24 @@ impl HttpServer {
                     sys.close(fd as i32);
                     body
                 };
-                let mut response = format!(
+                let header = format!(
                     "HTTP/1.1 200 OK\r\nServer: {}/{}\r\nContent-Length: {}\r\n\r\n",
                     self.flavour,
                     self.revision,
                     body.len()
                 )
                 .into_bytes();
-                response.extend_from_slice(&body);
-                response
+                // Header and body go out as one batched write sequence, the
+                // miniature equivalent of the real servers' writev.
+                super::send_response(sys, conn, &[&header, &body]);
             } else {
-                format!(
+                let header = format!(
                     "HTTP/1.1 404 Not Found\r\nServer: {}/{}\r\nContent-Length: 0\r\n\r\n",
                     self.flavour, self.revision
                 )
-                .into_bytes()
-            };
-            sys.write(conn, &response);
+                .into_bytes();
+                super::send_response(sys, conn, &[&header]);
+            }
             served += 1;
         }
         Ok(served)

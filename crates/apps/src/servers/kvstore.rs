@@ -147,9 +147,8 @@ impl VersionProgram for KvServer {
                 sys.cpu_work(COMPUTE_PER_COMMAND);
                 match self.handle(&line) {
                     Ok(reply) => {
-                        let mut response = reply.into_bytes();
-                        response.push(b'\n');
-                        sys.write(conn as i32, &response);
+                        let response = reply.into_bytes();
+                        super::send_response(sys, conn as i32, &[&response, b"\n"]);
                     }
                     Err(signal) => return ProgramExit::Crashed(signal),
                 }

@@ -146,6 +146,35 @@ impl ConnReader {
     }
 }
 
+/// Largest single `write` a server issues when sending a response; larger
+/// parts are split, as the real servers' socket buffers force them to be.
+const WRITE_CHUNK: usize = 1024;
+
+/// Sends a response assembled from `parts` (header, body, trailer, ...) as
+/// one batch of `write` system calls via
+/// [`SyscallInterface::syscall_batch`], so under N-version execution the
+/// whole response enters the event ring through a single batched
+/// reservation (`publish_batch`).  Parts larger than `WRITE_CHUNK` are
+/// split.  Returns the total bytes written, or the first negative errno.
+pub fn send_response(sys: &mut dyn SyscallInterface, fd: i32, parts: &[&[u8]]) -> i64 {
+    let requests: Vec<varan_kernel::syscall::SyscallRequest> = parts
+        .iter()
+        .flat_map(|part| part.chunks(WRITE_CHUNK))
+        .map(|chunk| varan_kernel::syscall::SyscallRequest::write(fd, chunk.to_vec()))
+        .collect();
+    if requests.is_empty() {
+        return 0;
+    }
+    let mut total = 0i64;
+    for outcome in sys.syscall_batch(&requests) {
+        if outcome.result < 0 {
+            return outcome.result;
+        }
+        total += outcome.result;
+    }
+    total
+}
+
 /// Binds, listens and returns the listening descriptor, or a negative errno.
 pub fn open_listener(sys: &mut dyn SyscallInterface, config: &ServerConfig) -> i64 {
     let sock = sys.socket();
@@ -185,6 +214,31 @@ mod tests {
         assert!(open_listener(&mut sys, &config) >= 0);
         // A second bind to the same port fails.
         assert!(open_listener(&mut sys, &config) < 0);
+    }
+
+    #[test]
+    fn send_response_batches_and_chunks_writes() {
+        let kernel = Kernel::new();
+        let listener = kernel.network().listen(7400, 4).unwrap();
+        let mut sys = DirectExecutor::new(&kernel, "vectored");
+        let sock = sys.socket();
+        let client = {
+            let _ = sock;
+            let config = ServerConfig::on_port(7450);
+            let listen_fd = open_listener(&mut sys, &config);
+            let client = kernel.network().connect(7450).unwrap();
+            let conn = sys.accept(listen_fd as i32);
+            let header = b"HDR\r\n".to_vec();
+            let body = vec![b'b'; WRITE_CHUNK * 2 + 10];
+            let written = send_response(&mut sys, conn as i32, &[&header, &body]);
+            assert_eq!(written as usize, header.len() + body.len());
+            client
+        };
+        drop(listener);
+        let received = client.read(WRITE_CHUNK * 3, true).unwrap();
+        assert!(received.starts_with(b"HDR\r\n"));
+        assert_eq!(received.len(), 5 + WRITE_CHUNK * 2 + 10);
+        assert_eq!(send_response(&mut sys, 0, &[]), 0);
     }
 
     #[test]

@@ -157,7 +157,7 @@ impl VersionProgram for QueueServer {
                 }
                 match self.handle(sys, journal_fd, &mut reader, &line) {
                     Some(reply) => {
-                        sys.write(conn as i32, &reply);
+                        super::send_response(sys, conn as i32, &[&reply]);
                     }
                     None => break,
                 }

@@ -31,6 +31,7 @@ pub mod report;
 pub mod ringbench;
 pub mod scenarios;
 pub mod servers;
+pub mod shardbench;
 pub mod simbench;
 pub mod spec;
 pub mod upgradebench;

@@ -10,8 +10,8 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, simbench, spec,
-    upgradebench, Scale,
+    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, shardbench,
+    simbench, spec, upgradebench, Scale,
 };
 
 #[derive(Debug, Default)]
@@ -29,11 +29,13 @@ struct Options {
     recreplay: bool,
     fig_fleet: bool,
     fig_upgrade: bool,
+    fig_shard: bool,
     sim_sweep: bool,
     check_ring: bool,
     check_fleet: bool,
     check_upgrade: bool,
     check_sim: bool,
+    check_shard: bool,
     sim_seeds: u64,
     sim_base_seed: u64,
     full: bool,
@@ -78,6 +80,7 @@ impl Options {
                 "--recreplay" => options.recreplay = true,
                 "--fig-fleet" => options.fig_fleet = true,
                 "--fig-upgrade" => options.fig_upgrade = true,
+                "--fig-shard" => options.fig_shard = true,
                 "--sim-sweep" => options.sim_sweep = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
@@ -85,6 +88,7 @@ impl Options {
                 "--check-fleet" => options.check_fleet = true,
                 "--check-upgrade" => options.check_upgrade = true,
                 "--check-sim" => options.check_sim = true,
+                "--check-shard" => options.check_shard = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -103,13 +107,14 @@ impl Options {
                     options.recreplay = true;
                     options.fig_fleet = true;
                     options.fig_upgrade = true;
+                    options.fig_shard = true;
                 }
                 "--help" | "-h" => {
                     println!(
                         "usage: figures [--all] [--full] [--fig4 --fig5 --fig6 --fig7 --fig8]\n\
                          \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
-                         \x20              [--fig-fleet] [--fig-upgrade] [--check-ring] [--check-fleet]\n\
-                         \x20              [--check-upgrade]\n\
+                         \x20              [--fig-fleet] [--fig-upgrade] [--fig-shard] [--check-ring]\n\
+                         \x20              [--check-fleet] [--check-upgrade] [--check-shard]\n\
                          \x20              [--sim-sweep [--seeds N] [--sim-seed S]] [--check-sim]\n\
                          --sim-sweep runs the deterministic simulation sweep (N seeded fault\n\
                          scenarios, default 1000 starting at S, default 0) and writes {sim};\n\
@@ -124,7 +129,12 @@ impl Options {
                          --fig-upgrade drives the 8-revision Redis rolling upgrade under live\n\
                          traffic and writes {upgrade}; --check-upgrade validates {upgrade}\n\
                          (zero failed client requests, >= 6 promotions, the bad revision\n\
-                         rolled back).",
+                         rolled back).\n\
+                         --fig-shard measures the sharded data plane (4-shard vs 1-shard\n\
+                         aggregate throughput plus the 64-connection mixed-protocol spread)\n\
+                         and writes {shard}; --check-shard validates {shard} (>= 3x aggregate\n\
+                         speedup, per-shard event balance, convergence).",
+                        shard = varan_bench::shardbench::DEFAULT_PATH,
                         path = varan_bench::ringbench::DEFAULT_PATH,
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
                         upgrade = varan_bench::upgradebench::DEFAULT_PATH,
@@ -259,6 +269,17 @@ fn main() {
             ),
         }
     }
+    if options.fig_shard {
+        let shard_report = shardbench::run(scale);
+        println!("{}", shard_report.render());
+        match shard_report.write_to(shardbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", shardbench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                shardbench::DEFAULT_PATH
+            ),
+        }
+    }
     if options.sim_sweep {
         let sweep = simbench::run(options.sim_seeds, options.sim_base_seed);
         println!("{}", simbench::render(&sweep));
@@ -302,6 +323,15 @@ fn main() {
             Ok(()) => println!("{} OK", simbench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_sim check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_shard {
+        match shardbench::validate_file(shardbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", shardbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_shard check failed: {err}");
                 std::process::exit(1);
             }
         }

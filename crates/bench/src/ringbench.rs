@@ -324,6 +324,15 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
             path.display()
         ));
     }
+    let batched_1f = extract_number(&json, "disruptor_batch_1f").expect("validated above");
+    let pump_1f = extract_number(&json, "pump_1f").expect("validated above");
+    if batched_1f <= pump_1f {
+        return Err(format!(
+            "{}: batched disruptor ({batched_1f:.0} events/s) does not beat the event pump \
+             ({pump_1f:.0} events/s) at 1 follower",
+            path.display()
+        ));
+    }
     Ok(())
 }
 
@@ -365,6 +374,18 @@ mod tests {
         report.write_to(&path).unwrap();
         let err = validate_file(&path).unwrap_err();
         assert!(err.contains("does not beat"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_losing_batched_disruptor() {
+        let mut report = sample();
+        report.disruptor_batch_1f = report.pump_1f / 2.0;
+        let dir = std::env::temp_dir().join("varan-ringbench-test-losing-batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("1 follower"), "unexpected error: {err}");
     }
 
     #[test]

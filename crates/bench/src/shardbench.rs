@@ -1,0 +1,497 @@
+//! Machine-readable sharded-data-plane benchmark (`BENCH_shard.json`).
+//!
+//! Two measurements back the sharding tentpole:
+//!
+//! * **Aggregate leader throughput, 4 shards vs 1** — the acceptance bar is
+//!   a ≥ 3x aggregate speedup at 4 shards.  Shards share nothing (each has
+//!   its own ring, pool and journal), so on a multi-core machine per-core
+//!   leaders drive them concurrently and the speedup is wall-clock real.
+//!   On a single-core CI box a threaded measurement would time the
+//!   scheduler's yield quantum, not the data plane, so the bench falls back
+//!   to **interleaved single-thread variants**: each shard's
+//!   publish-and-drain hot path is timed *alone* on one thread and the
+//!   aggregate is the sum of the independent per-shard rates — valid
+//!   precisely because the shards share no state, which is the property the
+//!   refactor exists to establish.  The JSON records which mode produced
+//!   the numbers (`"mode": "parallel"` or `"interleaved-1core"`).
+//!
+//! * **Mixed-protocol connection spread** — a sharded N-version run (leader
+//!   plus follower) serving ≥ 64 concurrent connections with two protocol
+//!   mixes (an HTTP-like read/write footprint and a KV-like write/clock
+//!   footprint).  Descriptor keying must spread the connections across all
+//!   shards: the per-shard event counts are recorded and `min/max` balance
+//!   must stay above [`MIN_BALANCE`], with every shard busy.
+//!
+//! `figures --fig-shard` writes the JSON, `figures --check-shard` validates
+//! it, and the CI smoke step fails on violation.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_core::{ShardedConfig, ShardedNvx};
+use varan_kernel::fs::flags;
+use varan_kernel::Kernel;
+use varan_ring::{Event, ShardSet, ShardSpec, WaitStrategy};
+
+use crate::Scale;
+
+/// Schema identifier stamped into the JSON.
+pub const SCHEMA: &str = "varan-bench-shard/v1";
+
+/// Default output path, relative to the working directory.
+pub const DEFAULT_PATH: &str = "BENCH_shard.json";
+
+/// Required aggregate-throughput speedup at 4 shards over 1 shard.
+pub const MIN_SPEEDUP: f64 = 3.0;
+
+/// Concurrent connections the mixed-protocol scenario must spread.
+pub const MIN_CONNECTIONS: u64 = 64;
+
+/// Required `min/max` per-shard event-count balance in the mixed-protocol
+/// scenario.  Keying 64+ consecutive descriptors through the splitmix64
+/// spreader lands 14–18 connections per shard (of 4), so 0.5 leaves slack
+/// for the keyless control-shard traffic without passing a hot shard.
+pub const MIN_BALANCE: f64 = 0.5;
+
+/// Events streamed per shard-throughput measurement at quick scale.
+const QUICK_EVENTS: u64 = 262_144;
+/// Ring capacity used by the throughput lanes.
+const CAPACITY: usize = 1024;
+/// Events per published batch.
+const CHUNK: u64 = 256;
+
+/// Results of the sharded-plane measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBenchReport {
+    /// Events streamed per lane measurement.
+    pub events: u64,
+    /// How the multi-shard aggregate was obtained: `"parallel"` (one thread
+    /// per shard, wall-clock) or `"interleaved-1core"` (per-shard rates
+    /// timed alone on one thread and summed; see the module docs).
+    pub mode: String,
+    /// Aggregate leader events/second with a single shard.
+    pub aggregate_1shard: f64,
+    /// Aggregate leader events/second across 4 shards.
+    pub aggregate_4shard: f64,
+    /// Connections served by the mixed-protocol scenario.
+    pub connections: u64,
+    /// Per-shard event counts from the mixed-protocol scenario.
+    pub shard_counts: Vec<u64>,
+    /// Whether every member of the mixed-protocol run converged.
+    pub converged: bool,
+}
+
+impl ShardBenchReport {
+    /// `aggregate_4shard / aggregate_1shard`.
+    #[must_use]
+    pub fn speedup_4v1(&self) -> f64 {
+        self.aggregate_4shard / self.aggregate_1shard
+    }
+
+    /// `min/max` per-shard event-count balance (1.0 = perfectly even).
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        let min = self.shard_counts.iter().copied().min().unwrap_or(0);
+        let max = self.shard_counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        min as f64 / max as f64
+    }
+}
+
+/// Times one shard's publish-and-drain hot path alone: batched publishes
+/// through the shard's producer, batched drains through its consumer,
+/// interleaved on the calling thread (the same topology `ringbench` uses,
+/// for the same single-core reason).
+fn lane_events_per_sec(set: &ShardSet, shard: usize, events: u64) -> f64 {
+    let ring = set.shard(shard).ring();
+    let producer = ring.producer();
+    let mut consumer = ring.consumer(0).expect("bench lane consumer");
+    let chunk_events: Vec<Event> = (0..CHUNK).map(Event::checkpoint).collect();
+    let mut buffer: Vec<Event> = Vec::with_capacity(CAPACITY);
+    let start = Instant::now();
+    for _ in 0..(events / CHUNK) {
+        producer.publish_batch(&chunk_events);
+        buffer.clear();
+        assert_eq!(consumer.try_next_batch(&mut buffer, usize::MAX) as u64, CHUNK);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    consumer.unsubscribe();
+    events as f64 / elapsed
+}
+
+/// Measures the aggregate leader throughput over `shards` shards and
+/// reports `(events_per_sec, mode)`.
+fn aggregate_events_per_sec(shards: usize, events_per_shard: u64) -> (f64, String) {
+    let spec = ShardSpec::new(shards)
+        .with_ring_capacity(CAPACITY)
+        .with_consumers(1)
+        .with_wait(WaitStrategy::Spin);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if shards > 1 && cores >= shards {
+        // Real per-core leaders: one thread drives each shard's lane and
+        // the aggregate is total events over wall-clock time.
+        let set = std::sync::Arc::new(ShardSet::new(&spec).expect("bench shard set"));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let set = std::sync::Arc::clone(&set);
+                std::thread::spawn(move || lane_events_per_sec(&set, shard, events_per_shard))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("bench lane thread");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        (
+            (shards as u64 * events_per_shard) as f64 / elapsed,
+            "parallel".to_owned(),
+        )
+    } else {
+        // Single-core fallback: time each independent lane alone and sum
+        // the rates (see the module docs for why this is sound).
+        let set = ShardSet::new(&spec).expect("bench shard set");
+        let aggregate = (0..shards)
+            .map(|shard| lane_events_per_sec(&set, shard, events_per_shard))
+            .sum();
+        let mode = if shards > 1 { "interleaved-1core" } else { "parallel" };
+        (aggregate, mode.to_owned())
+    }
+}
+
+/// One mixed-protocol client-connection workload: every version opens
+/// [`MIN_CONNECTIONS`] descriptors up front (the concurrent-connection
+/// pool) and serves rounds over all of them, alternating an HTTP-like
+/// footprint (read + write) with a KV-like one (write + clock) per
+/// connection.
+struct MixedProtocolLoad {
+    name: String,
+    rounds: u32,
+}
+
+impl VersionProgram for MixedProtocolLoad {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fds: Vec<i32> = (0..MIN_CONNECTIONS)
+            .map(|i| {
+                let fd = sys.open(&format!("/tmp/conn-{i}"), flags::O_RDWR | flags::O_CREAT);
+                assert!(fd >= 0, "connection open failed: {fd}");
+                fd as i32
+            })
+            .collect();
+        for round in 0..self.rounds {
+            for (index, &fd) in fds.iter().enumerate() {
+                if index % 2 == 0 {
+                    // HTTP-like: request read, response write.
+                    let _ = sys.read(fd, 32);
+                    sys.write(fd, &[round as u8; 64]);
+                } else {
+                    // KV-like: command write, plus an occasional serverCron
+                    // clock tick (keyless, so it rides the control shard —
+                    // kept sparse or shard 0 runs hot by construction).
+                    sys.write(fd, &[round as u8; 16]);
+                    if index % 16 == 1 {
+                        sys.time();
+                    }
+                }
+            }
+        }
+        for fd in fds {
+            sys.close(fd);
+        }
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+/// Runs the mixed-protocol scenario over a 4-shard plane and returns
+/// `(connections, per-shard counts, converged)`.
+fn mixed_protocol_spread(rounds: u32) -> (u64, Vec<u64>, bool) {
+    let kernel = Kernel::new();
+    let programs: Vec<Box<dyn VersionProgram>> = (0..2)
+        .map(|i| {
+            Box::new(MixedProtocolLoad {
+                name: format!("mixed-{i}"),
+                rounds,
+            }) as Box<dyn VersionProgram>
+        })
+        .collect();
+    let config = ShardedConfig::new(4).with_ring_capacity(CAPACITY);
+    let running = ShardedNvx::launch(&kernel, programs, &config).expect("mixed launch");
+    let report = running.wait();
+    (MIN_CONNECTIONS, report.leader_counts.clone(), report.converged())
+}
+
+/// Runs both measurements and returns the report.
+#[must_use]
+pub fn run(scale: Scale) -> ShardBenchReport {
+    let events = match scale {
+        Scale::Quick => QUICK_EVENTS,
+        Scale::Full => QUICK_EVENTS * 8,
+    };
+    let rounds = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 200,
+    };
+    let (aggregate_1shard, _) = aggregate_events_per_sec(1, events);
+    let (aggregate_4shard, mode) = aggregate_events_per_sec(4, events);
+    let (connections, shard_counts, converged) = mixed_protocol_spread(rounds);
+    ShardBenchReport {
+        events,
+        mode,
+        aggregate_1shard,
+        aggregate_4shard,
+        connections,
+        shard_counts,
+        converged,
+    }
+}
+
+impl ShardBenchReport {
+    /// Serialises the report to the `varan-bench-shard/v1` JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(out, "  \"aggregate_events_per_sec\": {{");
+        let _ = writeln!(out, "    \"shards_1\": {:.1},", self.aggregate_1shard);
+        let _ = writeln!(out, "    \"shards_4\": {:.1},", self.aggregate_4shard);
+        let _ = writeln!(out, "    \"speedup_4v1\": {:.4}", self.speedup_4v1());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"mixed_protocol\": {{");
+        let _ = writeln!(out, "    \"connections\": {},", self.connections);
+        let counts: Vec<String> = self.shard_counts.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "    \"shard_counts\": [{}],", counts.join(", "));
+        let _ = writeln!(out, "    \"balance\": {:.4},", self.balance());
+        let _ = writeln!(out, "    \"converged\": {}", self.converged);
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Renders a short human-readable summary for the `figures` output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Sharded data plane ({} events per lane, mode {}):",
+            self.events, self.mode
+        );
+        let _ = writeln!(
+            out,
+            "  aggregate throughput, 1 shard    {:>12.0} events/s",
+            self.aggregate_1shard
+        );
+        let _ = writeln!(
+            out,
+            "  aggregate throughput, 4 shards   {:>12.0} events/s ({:.2}x)",
+            self.aggregate_4shard,
+            self.speedup_4v1()
+        );
+        let _ = writeln!(
+            out,
+            "  mixed protocols: {} connections over shards {:?} (balance {:.2}, converged: {})",
+            self.connections,
+            self.shard_counts,
+            self.balance(),
+            self.converged
+        );
+        out
+    }
+}
+
+/// Extracts the number following `"key":` inside `json` (same minimal
+/// parser shape as `ringbench`).
+fn extract_number(json: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed entry for {key:?} (no colon)"))?
+        .trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|err| format!("malformed number for {key:?}: {err}"))
+}
+
+/// Validates a `BENCH_shard.json` file: schema marker present, throughput
+/// metrics positive and finite, the 4-shard aggregate at least
+/// [`MIN_SPEEDUP`]x the single-shard one, the mixed-protocol scenario
+/// serving at least [`MIN_CONNECTIONS`] connections with per-shard balance
+/// at least [`MIN_BALANCE`], and every member converged.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    let json = fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("{}: missing schema marker {SCHEMA:?}", path.display()));
+    }
+    for key in ["shards_1", "shards_4", "speedup_4v1", "balance"] {
+        let value =
+            extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!(
+                "{}: metric {key:?} must be positive and finite, got {value}",
+                path.display()
+            ));
+        }
+    }
+    let speedup = extract_number(&json, "speedup_4v1").expect("validated above");
+    if speedup < MIN_SPEEDUP {
+        return Err(format!(
+            "{}: 4-shard aggregate is only {speedup:.2}x the single shard \
+             (floor is {MIN_SPEEDUP:.1}x) — the shards are contending on shared state",
+            path.display()
+        ));
+    }
+    let connections = extract_number(&json, "connections").expect("key checked below");
+    if connections < MIN_CONNECTIONS as f64 {
+        return Err(format!(
+            "{}: mixed-protocol scenario served {connections} connections \
+             (floor is {MIN_CONNECTIONS})",
+            path.display()
+        ));
+    }
+    let balance = extract_number(&json, "balance").expect("validated above");
+    if balance < MIN_BALANCE {
+        return Err(format!(
+            "{}: per-shard event balance {balance:.2} below the {MIN_BALANCE:.2} floor — \
+             connection keying is concentrating load on a hot shard",
+            path.display()
+        ));
+    }
+    if !json.contains("\"converged\": true") {
+        return Err(format!(
+            "{}: the mixed-protocol run did not converge across versions",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardBenchReport {
+        ShardBenchReport {
+            events: 1000,
+            mode: "interleaved-1core".to_owned(),
+            aggregate_1shard: 10e6,
+            aggregate_4shard: 38e6,
+            connections: 64,
+            shard_counts: vec![1500, 1800, 1600, 1700],
+            converged: true,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("varan-shardbench-test-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("BENCH_shard.json")
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        let path = temp_path("ok");
+        sample().write_to(&path).unwrap();
+        validate_file(&path).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_a_contended_plane() {
+        let mut report = sample();
+        report.aggregate_4shard = report.aggregate_1shard * 1.5;
+        let path = temp_path("contended");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("contending"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_hot_shard_and_too_few_connections() {
+        let mut report = sample();
+        report.shard_counts = vec![100, 4000, 3900, 3800];
+        let path = temp_path("hot");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("hot shard"), "unexpected: {err}");
+
+        let mut report = sample();
+        report.connections = 8;
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("connections"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_divergence_and_malformed_json() {
+        let path = temp_path("diverged");
+        let mut report = sample();
+        report.converged = false;
+        report.write_to(&path).unwrap();
+        assert!(validate_file(&path).unwrap_err().contains("converge"));
+        std::fs::write(&path, "{\"schema\": \"varan-bench-shard/v1\"}").unwrap();
+        assert!(validate_file(&path).is_err());
+    }
+
+    #[test]
+    fn interleaved_lanes_scale_additively() {
+        // A tiny inline measurement: 4 independent lanes must sum to more
+        // than 3x one lane even at miniature event counts.
+        let (one, _) = aggregate_events_per_sec(1, 8_192);
+        let (four, mode) = aggregate_events_per_sec(4, 8_192);
+        assert!(one > 0.0 && four > 0.0);
+        assert!(
+            four / one > 1.0,
+            "4 shards did not out-aggregate 1: {four:.0} vs {one:.0} ({mode})"
+        );
+    }
+
+    #[test]
+    fn mixed_protocol_spread_is_balanced() {
+        let (connections, counts, converged) = mixed_protocol_spread(8);
+        assert_eq!(connections, MIN_CONNECTIONS);
+        assert_eq!(counts.len(), 4);
+        assert!(converged);
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "an idle shard: {counts:?}");
+        assert!(
+            min as f64 / max as f64 >= MIN_BALANCE,
+            "unbalanced shards: {counts:?}"
+        );
+    }
+}

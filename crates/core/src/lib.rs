@@ -24,6 +24,10 @@
 //! * [`record_replay`] — the persistent-log record-replay clients (§5.4).
 //! * [`fleet`] — the elastic follower fleet: runtime join/leave via kernel
 //!   checkpoints and the spill-to-disk event journal.
+//! * [`shard`] — the sharded data plane: the coordinator, followers and
+//!   observers re-hosted on a multi-ring [`varan_ring::ShardSet`], with
+//!   per-shard replay, divergence detection, consistent-cut checkpoints
+//!   and failover.
 //! * [`upgrade`] — zero-downtime live upgrades over the elastic fleet:
 //!   canary → soak → promote → retire, with automatic rollback.
 //! * [`costs`], [`stats`] — the monitor cost model and execution reports.
@@ -74,6 +78,7 @@ pub mod program;
 pub mod record_replay;
 pub mod rules;
 pub mod sanitize;
+pub mod shard;
 pub mod stats;
 pub mod table;
 pub mod upgrade;
@@ -87,6 +92,9 @@ pub use fleet::{FleetConfig, FleetController, FleetMember, StreamRecord, Version
 pub use program::{DirectExecutor, ProgramExit, SyscallInterface, VersionProgram};
 pub use rules::{RuleAction, RuleEngine, ScopedRules};
 pub use sanitize::{SanitizedVersion, Sanitizer};
+pub use shard::{
+    shard_journal_digest, shard_of, ShardedConfig, ShardedNvx, ShardedReport,
+};
 pub use stats::{NvxReport, VersionStats};
 pub use table::{HandlerAction, Role, SyscallTable};
 pub use upgrade::{

@@ -134,6 +134,74 @@ impl LeaderCore {
         clock: &varan_ring::VariantClock,
         counters: &VersionCounters,
     ) -> SyscallOutcome {
+        let (outcome, event, shared, overhead) = self.capture(request, clock, counters);
+        let sequence = self.producer.publish(event);
+        if let Some(region) = shared {
+            self.payload_window.push_back((sequence, region));
+        }
+        self.retire_payloads(sequence);
+        self.sample_backlog();
+        SyscallOutcome {
+            cost: outcome.cost + overhead,
+            ..outcome
+        }
+    }
+
+    /// Executes `requests` back to back and streams them as **one** ring
+    /// claim ([`Producer::publish_batch`]): one gating check and one cursor
+    /// store amortised over the whole batch.  Everything else — descriptor
+    /// transfer, pool copies, the journal-append-before-publish ordering,
+    /// per-event cost accounting — is identical to the one-at-a-time path,
+    /// so followers and journal replayers cannot tell the difference.
+    ///
+    /// Batches larger than the ring are split into ring-sized claims (a
+    /// single claim beyond capacity could never fit in flight at once).
+    pub(crate) fn execute_and_record_batch(
+        &mut self,
+        requests: &[SyscallRequest],
+        clock: &varan_ring::VariantClock,
+        counters: &VersionCounters,
+    ) -> Vec<SyscallOutcome> {
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks((self.ring_capacity as usize).max(1)) {
+            let mut events = Vec::with_capacity(chunk.len());
+            let mut regions = Vec::with_capacity(chunk.len());
+            for request in chunk {
+                let (outcome, event, shared, overhead) =
+                    self.capture(request, clock, counters);
+                events.push(event);
+                regions.push(shared);
+                outcomes.push(SyscallOutcome {
+                    cost: outcome.cost + overhead,
+                    ..outcome
+                });
+            }
+            if let Some(first) = self.producer.publish_batch(&events) {
+                let last = first + events.len() as u64 - 1;
+                for (i, region) in regions.into_iter().enumerate() {
+                    if let Some(region) = region {
+                        self.payload_window.push_back((first + i as u64, region));
+                    }
+                }
+                self.retire_payloads(last);
+            }
+        }
+        self.sample_backlog();
+        outcomes
+    }
+
+    /// Executes `request` against the kernel and prepares (but does not
+    /// publish) its stream event: descriptor transfer, payload pool copy,
+    /// clock stamp and journal append all happen here, in that order.
+    /// Returns the raw outcome, the ready-to-publish event, the payload
+    /// region to retire once the event leaves the ring, and the accounted
+    /// monitor overhead.
+    fn capture(
+        &mut self,
+        request: &SyscallRequest,
+        clock: &varan_ring::VariantClock,
+        counters: &VersionCounters,
+    ) -> (SyscallOutcome, Event, Option<SharedRegion>, u64) {
         let outcome = self.kernel.syscall(self.pid, request);
         VersionCounters::add(&counters.cycles, outcome.cost);
 
@@ -201,21 +269,9 @@ impl LeaderCore {
             // down the leader's syscall path.
             let _ = journal.append(record);
         }
-        let sequence = self.producer.publish(event);
-        if let Some(region) = shared {
-            self.payload_window.push_back((sequence, region));
-        }
-        // Free payloads that every follower has necessarily consumed.
-        while let Some(&(seq, region)) = self.payload_window.front() {
-            if seq + self.ring_capacity <= sequence {
-                let _ = self.pool.free(region);
-                self.payload_window.pop_front();
-            } else {
-                break;
-            }
-        }
 
-        // 4. Account the monitor overhead and sample the log distance.
+        // 4. Account the monitor overhead (the publish itself is the
+        //    caller's job — single or batched).
         let overhead = self.costs.leader_overhead(
             request.sysno.is_virtual(),
             payload_len,
@@ -225,6 +281,26 @@ impl LeaderCore {
         VersionCounters::add(&counters.events, 1);
         VersionCounters::add(&counters.syscalls, 1);
         self.kernel.clock().advance(overhead);
+
+        (outcome, event, shared, overhead)
+    }
+
+    /// Frees payload regions whose events every follower has necessarily
+    /// consumed (publishing sequence `n` implies sequence `n - capacity`
+    /// has been consumed by all gating consumers).
+    fn retire_payloads(&mut self, published: u64) {
+        while let Some(&(seq, region)) = self.payload_window.front() {
+            if seq + self.ring_capacity <= published {
+                let _ = self.pool.free(region);
+                self.payload_window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Samples the maximum follower backlog for the log-distance figure.
+    fn sample_backlog(&self) {
         let max_backlog = {
             let followers = self.followers.read();
             followers
@@ -239,11 +315,6 @@ impl LeaderCore {
                 .unwrap_or(0)
         };
         self.sampler.observe(max_backlog);
-
-        SyscallOutcome {
-            cost: outcome.cost + overhead,
-            ..outcome
-        }
     }
 
     /// A fresh core for the same version on thread `tid`: shares every
@@ -437,6 +508,32 @@ impl SyscallInterface for LeaderMonitor {
             _ => self
                 .core
                 .execute_and_record(request, &self.context.clock, &self.context.counters),
+        }
+    }
+
+    fn syscall_batch(&mut self, requests: &[SyscallRequest]) -> Vec<SyscallOutcome> {
+        if self.demoted.is_none() && self.core.tid == 0 && self.context.handover.is_requested() {
+            if let Some(ticket) = self.context.handover.begin() {
+                self.execute_handover(ticket);
+            }
+        }
+        if let Some(follower) = self.demoted.as_mut() {
+            return follower.syscall_batch(requests);
+        }
+        // Only plain record-path calls batch into a single ring reservation;
+        // a local or denied call in the middle falls back to the sequential
+        // path to preserve program order.
+        let all_recorded = requests.iter().all(|request| {
+            !matches!(
+                self.table.action(request.sysno),
+                HandlerAction::ExecuteLocally | HandlerAction::Deny
+            )
+        });
+        if all_recorded {
+            self.core
+                .execute_and_record_batch(requests, &self.context.clock, &self.context.counters)
+        } else {
+            requests.iter().map(|request| self.syscall(request)).collect()
         }
     }
 

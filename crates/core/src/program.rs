@@ -51,6 +51,16 @@ pub trait SyscallInterface: Send {
     /// Issues a system call and returns its outcome.
     fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome;
 
+    /// Issues a batch of system calls, returning one outcome per request.
+    ///
+    /// The default implementation issues the calls sequentially; monitors
+    /// that stream events override this to publish the whole batch into the
+    /// ring in one reservation (`publish_batch`), amortising the
+    /// producer-side synchronisation across the batch (§3.3.1).
+    fn syscall_batch(&mut self, requests: &[SyscallRequest]) -> Vec<SyscallOutcome> {
+        requests.iter().map(|request| self.syscall(request)).collect()
+    }
+
     /// Creates an interface for a new application thread (a new thread tuple
     /// with its own ring buffer, §3.3.3).
     fn spawn_thread(&mut self) -> Box<dyn SyscallInterface>;

@@ -1,0 +1,1474 @@
+//! The sharded coordinator: leader, followers, observers, failover and
+//! planned handover over a **ring set** instead of a single ring.
+//!
+//! PR 1–5 built the full Varan stack — leader/follower streaming, elastic
+//! fleet, live upgrades — on one shared ring, which caps aggregate
+//! throughput at the contention of a single gating sequence.  This module
+//! re-hosts the orchestration layers on `varan_ring::ShardSet`: every event
+//! is keyed to a shard by its connection/descriptor at capture time
+//! (`varan_kernel::shard::connection_key`), and every control-plane
+//! operation — follower replay, divergence monitoring, checkpoint cuts,
+//! observer catch-up, failover promotion, leader handover, journal
+//! retention — iterates the shard set instead of assuming a singleton.
+//!
+//! # Per-shard streams, global order where it matters
+//!
+//! Each shard's stream is totally ordered by its ring; cross-shard order is
+//! carried by the leader's Lamport clock stamped on every event.  A
+//! follower replays in **program order** (its own program issues the same
+//! syscalls in the same order as the leader's), pulling each call's event
+//! from the shard that call keys to — so it observes every shard's stream
+//! in publication order and the clock only serves audits, never blocking.
+//!
+//! # Consistent cuts and per-shard retention
+//!
+//! An observer attaches at a *cut vector*: one journal-tail sequence per
+//! shard, registered in the restore registry **before** the kernel snapshot
+//! is taken (same order as the PR-3 single-journal protocol, per shard).
+//! Each shard's retention anchor is the minimum of the in-flight cuts'
+//! components for *that shard* — an idle shard is never pinned by a busy
+//! shard's oldest checkpoint, and vice versa.
+//!
+//! # Failure domains
+//!
+//! A fault in one shard stays in that shard: a consumer crash on shard `s`
+//! releases only shard `s`'s gate (the member unsubscribes everywhere and
+//! is discarded), a torn journal tail on shard `s` loses only shard `s`'s
+//! final record, and the per-shard digests let the harness say *which* lane
+//! diverged.  Leader crash is the one whole-plane event: the promotion
+//! protocol drains **every** shard before the successor executes natively
+//! (drain-before-promote, now a vector condition).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use varan_kernel::process::Pid;
+use varan_kernel::shard::connection_key;
+use varan_kernel::signal::Signal;
+use varan_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use varan_kernel::{Errno, Kernel};
+use varan_ring::shard::{shard_for_key, ShardSet, ShardSpec};
+use varan_ring::{
+    Consumer, Event, EventJournal, JournalError, JournalRecord, Producer, SharedRegion,
+    WaitStrategy, EVENT_INLINE_ARGS,
+};
+
+use crate::error::CoreError;
+use crate::fleet::fold_stream_digest;
+use crate::program::{ProgramExit, SyscallInterface, VersionProgram};
+
+/// Poll interval while a follower waits for events or a verdict.
+const FOLLOWER_POLL: Duration = Duration::from_micros(200);
+
+/// How long a follower waits for a missing event before declaring the
+/// stream dead (bounds every wait loop so harness bugs fail, not hang).
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Journal records replayed per batch during observer catch-up.
+const REPLAY_BATCH: usize = 512;
+
+/// Sentinel for "no member" in the promotion/handover mailboxes.
+const NO_MEMBER: usize = usize::MAX;
+
+/// Configuration of a sharded N-version execution.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of independent ring/journal shards.
+    pub shards: usize,
+    /// Ring capacity per shard (power of two).
+    pub ring_capacity: usize,
+    /// Consumer slots per shard: every member (including the leader, whose
+    /// slot idles until a handover demotes it) plus every observer needs
+    /// one.
+    pub max_members: usize,
+    /// Journal directory (`seg-<shard>-*.vrj` files); `None` disables
+    /// journaling, and with it observer attach.
+    pub journal_dir: Option<PathBuf>,
+    /// Records per journal segment.
+    pub segment_records: usize,
+    /// Wait strategy for every shard ring.
+    pub wait: WaitStrategy,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            ring_capacity: 256,
+            max_members: 4,
+            journal_dir: None,
+            segment_records: 4096,
+            wait: WaitStrategy::Yield,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with `shards` shards and defaults elsewhere.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        }
+    }
+
+    /// Enables the per-shard journals under `dir`.
+    #[must_use]
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the per-shard ring capacity.
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Overrides the consumer-slot budget.
+    #[must_use]
+    pub fn with_max_members(mut self, members: usize) -> Self {
+        self.max_members = members;
+        self
+    }
+
+    /// Overrides the journal segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_records(mut self, records: usize) -> Self {
+        self.segment_records = records.max(1);
+        self
+    }
+}
+
+/// The shard a request keys to: its connection key hashed over the set, or
+/// the control shard (0) for key-less calls.
+#[must_use]
+pub fn shard_of(request: &SyscallRequest, shards: usize) -> usize {
+    match connection_key(request) {
+        Some(key) => shard_for_key(key, shards),
+        None => 0,
+    }
+}
+
+/// Recomputes a shard's stream digest from its journal, using the same fold
+/// as the live members ([`fold_stream_digest`]).  Returns `(records, digest)`.
+///
+/// # Errors
+///
+/// Returns [`JournalError`] if the journal cannot be read back.
+pub fn shard_journal_digest(
+    journal: &EventJournal,
+    from: u64,
+) -> Result<(u64, u64), JournalError> {
+    let (start, records) = journal.read_from(from, usize::MAX)?;
+    let mut digest = 0u64;
+    let mut seq = start;
+    for record in &records {
+        let payload_len = record.payload.as_ref().map(Vec::len).unwrap_or(0) as u64;
+        digest = fold_stream_digest(
+            digest,
+            seq,
+            record.sysno,
+            record.result,
+            record.clock,
+            payload_len,
+        );
+        seq += 1;
+    }
+    Ok((records.len() as u64, digest))
+}
+
+/// Shared state of one sharded execution.
+struct PlaneState {
+    plane: Arc<ShardSet>,
+    kernel: Kernel,
+    leader_pid: Pid,
+    /// Global Lamport clock stamped on every published event.
+    clock: AtomicU64,
+    /// Per-shard stream digests as the (current) leader publishes.
+    leader_digests: Mutex<Vec<u64>>,
+    /// Per-shard events published (the shard sequence counters).
+    leader_counts: Vec<AtomicU64>,
+    /// False once the current leader's thread has stopped executing.
+    leader_alive: AtomicBool,
+    /// True only if the leader stopped by crashing (enables promotion).
+    leader_crashed: AtomicBool,
+    /// Member index told to take over leadership (failover or handover).
+    promoted: AtomicUsize,
+    /// Member index a planned handover wants as successor; the leader picks
+    /// this up at its next syscall boundary.
+    handover: AtomicUsize,
+    /// Promotions that actually happened.
+    promotions: AtomicU64,
+    /// In-flight observer cuts — the per-shard retention registry.
+    restoring: Mutex<Vec<Vec<u64>>>,
+    /// Unused consumer slots, claimed and deactivated at launch.  Every
+    /// ring slot starts *active* at sequence zero, so a slot left unclaimed
+    /// would gate the producer forever after one lap; claiming and
+    /// unsubscribing them up front is what makes `max_members` a budget
+    /// rather than a requirement.  Observers draw their consumer sets from
+    /// this pool.
+    spare: Mutex<Vec<(usize, Vec<Consumer<Event>>)>>,
+    /// Set once the member programs have all finished (observers drain and
+    /// exit when they reach the final cursor after this).
+    closed: AtomicBool,
+}
+
+impl PlaneState {
+    fn shards(&self) -> usize {
+        self.plane.len()
+    }
+
+    /// Re-anchors every shard's journal at the oldest in-flight cut for
+    /// *that shard* (or its own tail when nothing is restoring) — the
+    /// per-shard retention rule.
+    fn refresh_anchors(&self) {
+        let restoring = self.restoring.lock();
+        let cut: Vec<u64> = (0..self.shards())
+            .map(|s| {
+                restoring
+                    .iter()
+                    .filter_map(|c| c.get(s).copied())
+                    .min()
+                    .unwrap_or_else(|| match self.plane.shard(s).journal() {
+                        Some(journal) => journal.tail_sequence(),
+                        None => self.plane.shard(s).published(),
+                    })
+            })
+            .collect();
+        self.plane.set_anchors(&cut);
+    }
+}
+
+/// Per-member shared bookkeeping.
+struct MemberState {
+    name: String,
+    /// Per-shard digests of the stream this member observed.
+    digests: Mutex<Vec<u64>>,
+    /// Per-shard events observed.
+    counts: Vec<AtomicU64>,
+    /// Per-shard next ring sequence to consume (replaying members).
+    positions: Vec<AtomicU64>,
+    /// Divergences this member tolerated-then-died on.
+    failure: Mutex<Option<String>>,
+    alive: AtomicBool,
+}
+
+impl MemberState {
+    fn new(name: String, shards: usize) -> Self {
+        MemberState {
+            name,
+            digests: Mutex::new(vec![0; shards]),
+            counts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            positions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            failure: Mutex::new(None),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    fn fail(&self, reason: String) {
+        let mut failure = self.failure.lock();
+        if failure.is_none() {
+            *failure = Some(reason);
+        }
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// A member's role at a given moment.
+enum Role {
+    Leader {
+        producers: Vec<Producer<Event>>,
+        /// Per-shard windows of live pool regions; bounded by ring capacity
+        /// so a payload outlives its event's residency in the ring.
+        windows: Vec<VecDeque<SharedRegion>>,
+    },
+    Follower {
+        consumers: Vec<Consumer<Event>>,
+        staged: Vec<VecDeque<StagedEvent>>,
+    },
+}
+
+struct StagedEvent {
+    seq: u64,
+    event: Event,
+    payload: Option<Vec<u8>>,
+}
+
+struct MemberInner {
+    role: Role,
+    member: usize,
+    /// Consumer set claimed for this member at launch but currently idle
+    /// (the acting leader's own slot, waiting for a demotion).  Consumer
+    /// claims are permanent on a ring, so the slot is claimed once and
+    /// parked rather than re-claimed.
+    parked: Option<Vec<Consumer<Event>>>,
+}
+
+/// The [`SyscallInterface`] handed to a sharded member's program.  One
+/// struct serves both roles: followers become leaders (failover, handover
+/// succession) and leaders become followers (handover retirement) without
+/// the program noticing.
+pub struct ShardedMemberIf {
+    state: Arc<PlaneState>,
+    me: Arc<MemberState>,
+    inner: Arc<Mutex<MemberInner>>,
+}
+
+impl std::fmt::Debug for ShardedMemberIf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMemberIf")
+            .field("member", &self.me.name)
+            .finish()
+    }
+}
+
+impl ShardedMemberIf {
+    fn leader_execute(
+        &self,
+        inner: &mut MemberInner,
+        request: &SyscallRequest,
+    ) -> SyscallOutcome {
+        let state = &self.state;
+        // A planned handover retires this leader at the syscall boundary.
+        let successor = state.handover.swap(NO_MEMBER, Ordering::AcqRel);
+        if successor != NO_MEMBER && successor != inner.member {
+            self.demote(inner, successor);
+            return self.follower_replay(inner, request);
+        }
+
+        let (shard, event, outcome) = self.leader_capture(inner, request);
+        let Role::Leader { producers, .. } = &mut inner.role else {
+            unreachable!("leader_execute called on a follower");
+        };
+        producers[shard].publish(event);
+        outcome
+    }
+
+    /// Executes and records a whole batch on the leader, publishing each
+    /// shard's events through one `publish_batch` reservation.  Journal
+    /// appends for the entire batch land before any ring publish, which is
+    /// strictly stronger than the per-event journal-before-publish
+    /// invariant the catch-up protocol relies on.
+    fn leader_execute_batch(
+        &self,
+        inner: &mut MemberInner,
+        requests: &[SyscallRequest],
+    ) -> Vec<SyscallOutcome> {
+        let state = &self.state;
+        let successor = state.handover.swap(NO_MEMBER, Ordering::AcqRel);
+        if successor != NO_MEMBER && successor != inner.member {
+            self.demote(inner, successor);
+            return requests
+                .iter()
+                .map(|request| self.follower_replay(inner, request))
+                .collect();
+        }
+
+        let mut outcomes = Vec::with_capacity(requests.len());
+        let mut per_shard: Vec<Vec<Event>> = (0..state.shards()).map(|_| Vec::new()).collect();
+        for request in requests {
+            let (shard, event, outcome) = self.leader_capture(inner, request);
+            per_shard[shard].push(event);
+            outcomes.push(outcome);
+        }
+        let Role::Leader { producers, .. } = &mut inner.role else {
+            unreachable!("leader_execute_batch called on a follower");
+        };
+        for (shard, events) in per_shard.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            // A batch larger than the ring cannot be reserved at once.
+            let capacity = state.plane.shard(shard).ring().capacity().max(1);
+            for chunk in events.chunks(capacity) {
+                let _ = producers[shard].publish_batch(chunk);
+            }
+        }
+        outcomes
+    }
+
+    /// The record path shared by the single and batched leader calls:
+    /// executes on the kernel, copies the payload into the shard's pool,
+    /// appends to the shard journal and folds the stream digest — i.e.
+    /// everything *except* the ring publish, which the caller performs
+    /// (individually or via `publish_batch`).
+    fn leader_capture(
+        &self,
+        inner: &mut MemberInner,
+        request: &SyscallRequest,
+    ) -> (usize, Event, SyscallOutcome) {
+        let state = &self.state;
+        let shard = shard_of(request, state.shards());
+        let outcome = state.kernel.syscall(state.leader_pid, request);
+        let clock = state.clock.fetch_add(1, Ordering::AcqRel) + 1;
+
+        let Role::Leader { windows, .. } = &mut inner.role else {
+            unreachable!("leader_capture called on a follower");
+        };
+        let payload = outcome.data.clone();
+        let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0) as u64;
+        let mut event = Event::syscall(
+            request.sysno.number(),
+            &request.args[..EVENT_INLINE_ARGS],
+            outcome.result,
+        )
+        .with_clock(clock);
+        if let Some(bytes) = &payload {
+            if let Ok(region) = state.plane.shard(shard).pool().alloc_and_write(bytes) {
+                event = event.with_shared(region.ptr());
+                let window = &mut windows[shard];
+                window.push_back(region);
+                while window.len() > state.plane.shard(shard).ring().capacity() {
+                    if let Some(old) = window.pop_front() {
+                        let _ = state.plane.shard(shard).pool().free(old);
+                    }
+                }
+            }
+        }
+
+        // Journal-append BEFORE ring-publish: the per-shard replay/catch-up
+        // handover is race-free only while each shard's journal coverage is
+        // a superset of its ring stream.
+        let seq = match state.plane.shard(shard).journal() {
+            Some(journal) => {
+                let record = JournalRecord {
+                    kind: event.kind(),
+                    sysno: event.sysno(),
+                    tid: 0,
+                    clock,
+                    result: outcome.result,
+                    args: request.args,
+                    payload: payload.clone(),
+                };
+                journal.append(record).unwrap_or_else(|_| {
+                    state.leader_counts[shard].load(Ordering::Acquire)
+                })
+            }
+            None => state.leader_counts[shard].load(Ordering::Acquire),
+        };
+
+        {
+            let mut digests = state.leader_digests.lock();
+            digests[shard] = fold_stream_digest(
+                digests[shard],
+                seq,
+                event.sysno(),
+                outcome.result,
+                clock,
+                payload_len,
+            );
+            let mut mine = self.me.digests.lock();
+            mine[shard] = digests[shard];
+        }
+        state.leader_counts[shard].fetch_add(1, Ordering::AcqRel);
+        self.me.counts[shard].fetch_add(1, Ordering::AcqRel);
+        (shard, event, outcome)
+    }
+
+    /// Retires this (current) leader into a follower: gates re-register at
+    /// each shard's published cursor, digests carry over, and `successor`
+    /// is told to take the lead once it has drained every shard.
+    fn demote(&self, inner: &mut MemberInner, successor: usize) {
+        let state = &self.state;
+        let published = state.plane.published_vector();
+        let mut consumers = inner.parked.take().unwrap_or_default();
+        for (shard, consumer) in consumers.iter_mut().enumerate() {
+            consumer.resume_at(published[shard]);
+            self.me.positions[shard].store(published[shard], Ordering::Release);
+        }
+        {
+            // The retiring leader has observed the whole stream; its member
+            // digest continues from the global one.
+            let digests = state.leader_digests.lock();
+            *self.me.digests.lock() = digests.clone();
+        }
+        let staged = (0..state.shards()).map(|_| VecDeque::new()).collect();
+        inner.role = Role::Follower { consumers, staged };
+        state.promoted.store(successor, Ordering::Release);
+    }
+
+    /// Promotes this (drained) follower into the leader role.
+    fn promote(&self, inner: &mut MemberInner) {
+        let state = &self.state;
+        let previous = std::mem::replace(
+            &mut inner.role,
+            Role::Leader {
+                producers: state.plane.producers(),
+                windows: (0..state.shards()).map(|_| VecDeque::new()).collect(),
+            },
+        );
+        if let Role::Follower { mut consumers, .. } = previous {
+            for consumer in consumers.iter_mut() {
+                consumer.unsubscribe();
+            }
+            // Park the slot: a later demotion (handover rotation) re-arms it.
+            inner.parked = Some(consumers);
+        }
+        {
+            // Continuity: the successor observed the full stream, so the
+            // global digests continue from its member digests.
+            let mine = self.me.digests.lock();
+            *state.leader_digests.lock() = mine.clone();
+        }
+        state.promoted.store(NO_MEMBER, Ordering::Release);
+        state.promotions.fetch_add(1, Ordering::AcqRel);
+        state.leader_alive.store(true, Ordering::Release);
+        state.leader_crashed.store(false, Ordering::Release);
+    }
+
+    fn refill(&self, inner: &mut MemberInner, shard: usize) -> usize {
+        let state = &self.state;
+        let Role::Follower { consumers, staged } = &mut inner.role else {
+            return 0;
+        };
+        let mut events = Vec::new();
+        let consumer = &mut consumers[shard];
+        let base = consumer.next_sequence();
+        // Peek (copying payloads while the slots are still gated), then
+        // advance once for the whole batch.
+        let taken = consumer.peek_batch(&mut events, usize::MAX);
+        for (i, event) in events.iter().enumerate() {
+            let payload = if event.has_payload() {
+                Some(state.plane.shard(shard).pool().read(event.shared()))
+            } else {
+                None
+            };
+            staged[shard].push_back(StagedEvent {
+                seq: base + i as u64,
+                event: *event,
+                payload,
+            });
+        }
+        consumer.advance(taken);
+        self.me.positions[shard].store(consumer.next_sequence(), Ordering::Release);
+        taken
+    }
+
+    fn refill_all(&self, inner: &mut MemberInner) -> usize {
+        (0..self.state.shards())
+            .map(|shard| self.refill(inner, shard))
+            .sum()
+    }
+
+    /// True when this follower has consumed and replayed everything the
+    /// leader ever published — the vector drain-before-promote condition.
+    fn fully_drained(&self, inner: &MemberInner) -> bool {
+        let state = &self.state;
+        let Role::Follower { consumers, staged } = &inner.role else {
+            return false;
+        };
+        let published = state.plane.published_vector();
+        (0..state.shards()).all(|s| {
+            staged[s].is_empty() && consumers[s].next_sequence() >= published[s]
+        })
+    }
+
+    fn follower_replay(
+        &self,
+        inner: &mut MemberInner,
+        request: &SyscallRequest,
+    ) -> SyscallOutcome {
+        let state = &self.state;
+        let shard = shard_of(request, state.shards());
+        let clock_source = state.kernel.wait_clock();
+        let deadline = clock_source.deadline(STREAM_TIMEOUT);
+        loop {
+            if self.me.failure.lock().is_some() {
+                return SyscallOutcome::err(request.sysno, Errno::EPIPE, 1);
+            }
+            let staged_event = {
+                let Role::Follower { staged, .. } = &mut inner.role else {
+                    unreachable!("follower_replay called on a leader");
+                };
+                staged[shard].pop_front()
+            };
+            if let Some(staged_event) = staged_event {
+                return self.consume(inner, request, staged_event, shard);
+            }
+            if self.refill(inner, shard) > 0 {
+                continue;
+            }
+            // Nothing on this shard: check for a takeover verdict.
+            if state.promoted.load(Ordering::Acquire) == inner.member {
+                self.refill_all(inner);
+                if self.fully_drained(inner) {
+                    self.promote(inner);
+                    return self.leader_execute(inner, request);
+                }
+                // Events remain on other shards: the program will replay
+                // through them before it can take over, but the event for
+                // *this* request may itself still be in flight — fall
+                // through and keep waiting on this shard.
+            }
+            if deadline.expired() {
+                self.me.fail(format!(
+                    "follower {}: timed out waiting for {} on shard {shard}",
+                    self.me.name,
+                    request.sysno.name(),
+                ));
+                return SyscallOutcome::err(request.sysno, Errno::EPIPE, 1);
+            }
+            clock_source.sleep(FOLLOWER_POLL);
+        }
+    }
+
+    fn consume(
+        &self,
+        inner: &mut MemberInner,
+        request: &SyscallRequest,
+        staged: StagedEvent,
+        shard: usize,
+    ) -> SyscallOutcome {
+        let StagedEvent {
+            seq,
+            event,
+            payload,
+        } = staged;
+        if event.sysno() != request.sysno.number() {
+            // Per-shard divergence: the member leaves the plane, releasing
+            // its gates everywhere — the blast radius is this member, not
+            // the shard and not the plane.
+            if let Role::Follower { consumers, .. } = &mut inner.role {
+                for consumer in consumers.iter_mut() {
+                    consumer.unsubscribe();
+                }
+            }
+            self.me.fail(format!(
+                "follower {}: divergence on shard {shard}: attempted {} while leader published {}",
+                self.me.name,
+                request.sysno.name(),
+                event.sysno(),
+            ));
+            return SyscallOutcome::err(request.sysno, Errno::EPIPE, 1);
+        }
+        let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0) as u64;
+        {
+            let mut digests = self.me.digests.lock();
+            digests[shard] = fold_stream_digest(
+                digests[shard],
+                seq,
+                event.sysno(),
+                event.result(),
+                event.clock(),
+                payload_len,
+            );
+        }
+        self.me.counts[shard].fetch_add(1, Ordering::AcqRel);
+        let mut outcome = SyscallOutcome::ok(request.sysno, event.result(), 1);
+        if let Some(data) = payload {
+            outcome = outcome.with_data(data);
+        }
+        if request.sysno.creates_fd() && event.result() >= 0 {
+            outcome = outcome.with_fd(event.result() as i32);
+        }
+        outcome
+    }
+}
+
+impl SyscallInterface for ShardedMemberIf {
+    fn syscall(&mut self, request: &SyscallRequest) -> SyscallOutcome {
+        let inner = Arc::clone(&self.inner);
+        let mut inner = inner.lock();
+        match inner.role {
+            Role::Leader { .. } => self.leader_execute(&mut inner, request),
+            Role::Follower { .. } => self.follower_replay(&mut inner, request),
+        }
+    }
+
+    fn syscall_batch(&mut self, requests: &[SyscallRequest]) -> Vec<SyscallOutcome> {
+        let inner = Arc::clone(&self.inner);
+        let mut inner = inner.lock();
+        match inner.role {
+            Role::Leader { .. } => self.leader_execute_batch(&mut inner, requests),
+            Role::Follower { .. } => requests
+                .iter()
+                .map(|request| self.follower_replay(&mut inner, request))
+                .collect(),
+        }
+    }
+
+    fn spawn_thread(&mut self) -> Box<dyn SyscallInterface> {
+        // Threads of one member share its role and bookkeeping; calls are
+        // serialised on the member lock (the sharded plane parallelises
+        // across members and shards, not within one member).
+        Box::new(ShardedMemberIf {
+            state: Arc::clone(&self.state),
+            me: Arc::clone(&self.me),
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    fn cpu_work(&mut self, cycles: u64) {
+        self.state.kernel.charge_compute(cycles);
+    }
+}
+
+/// Report of one member's run.
+#[derive(Debug, Clone)]
+pub struct ShardedMemberReport {
+    /// The member's program name.
+    pub name: String,
+    /// How the program ended.
+    pub exit: ProgramExit,
+    /// Per-shard stream digests this member observed.
+    pub digests: Vec<u64>,
+    /// Per-shard events this member observed.
+    pub counts: Vec<u64>,
+    /// Why the member died, if it did.
+    pub failure: Option<String>,
+}
+
+/// Report of one observer's catch-up.
+#[derive(Debug, Clone)]
+pub struct ShardedObserverReport {
+    /// The cut vector the observer attached at.
+    pub cut: Vec<u64>,
+    /// Per-shard digests folded from the cut to the final cursor.
+    pub digests: Vec<u64>,
+    /// Per-shard events observed (journal replay + live).
+    pub counts: Vec<u64>,
+    /// Per-shard sequences at which the observer went live on the ring.
+    pub live_at: Vec<u64>,
+    /// Why the observer failed, if it did.
+    pub failure: Option<String>,
+}
+
+/// Report of a whole sharded execution.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Shard count of the plane.
+    pub shards: usize,
+    /// Per-shard events the leader(s) published.
+    pub leader_counts: Vec<u64>,
+    /// Per-shard stream digests as published.
+    pub leader_digests: Vec<u64>,
+    /// Per-member outcomes (member 0 is the initial leader).
+    pub members: Vec<ShardedMemberReport>,
+    /// Observer outcomes, in attach order.
+    pub observers: Vec<ShardedObserverReport>,
+    /// Leadership changes (failover promotions and planned handovers).
+    pub promotions: u64,
+}
+
+impl ShardedReport {
+    /// Total events published across shards.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.leader_counts.iter().sum()
+    }
+
+    /// True if every surviving member's per-shard digests match the
+    /// published stream's (crashed members stopped mid-stream and are
+    /// excluded, as are members that recorded an explicit failure).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.members
+            .iter()
+            .filter(|m| m.failure.is_none() && !matches!(m.exit, ProgramExit::Crashed(_)))
+            .all(|m| m.digests == self.leader_digests)
+    }
+
+    /// `(min, max)` events over the shards — the balance witness used by
+    /// the bench's ≥64-connection scenario.
+    #[must_use]
+    pub fn balance(&self) -> (u64, u64) {
+        let min = self.leader_counts.iter().copied().min().unwrap_or(0);
+        let max = self.leader_counts.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+}
+
+/// Handle on one attached observer.
+#[derive(Debug)]
+pub struct ShardedObserverHandle {
+    handle: JoinHandle<ShardedObserverReport>,
+}
+
+/// A running sharded N-version execution.
+pub struct ShardedNvx {
+    state: Arc<PlaneState>,
+    members: Vec<Arc<MemberState>>,
+    handles: Vec<JoinHandle<ProgramExit>>,
+    observers: Vec<ShardedObserverHandle>,
+}
+
+impl std::fmt::Debug for ShardedNvx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNvx")
+            .field("shards", &self.state.shards())
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl ShardedNvx {
+    /// Launches `programs` (first = leader, rest = followers) over a fresh
+    /// shard set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the shard set cannot be built or the member
+    /// count exceeds the slot budget.
+    pub fn launch(
+        kernel: &Kernel,
+        programs: Vec<Box<dyn VersionProgram>>,
+        config: &ShardedConfig,
+    ) -> Result<ShardedNvx, CoreError> {
+        if programs.is_empty() {
+            return Err(CoreError::NoVersions);
+        }
+        if programs.len() > config.max_members {
+            return Err(CoreError::Fleet(format!(
+                "{} members exceed the {}-slot budget",
+                programs.len(),
+                config.max_members
+            )));
+        }
+        let mut spec = ShardSpec::new(config.shards)
+            .with_ring_capacity(config.ring_capacity)
+            .with_consumers(config.max_members)
+            .with_wait(config.wait)
+            .with_segment_records(config.segment_records);
+        if let Some(dir) = &config.journal_dir {
+            spec = spec.with_journal_dir(dir);
+        }
+        let plane = Arc::new(ShardSet::new(&spec).map_err(|e| CoreError::Fleet(e.to_string()))?);
+        // Claim every slot the members won't use and deactivate it NOW: an
+        // unclaimed slot is born active at sequence zero and would wedge
+        // every producer at its first lap.  The deactivated sets go into
+        // the spare pool for observers.
+        let mut spare = Vec::new();
+        for slot in (programs.len()..config.max_members).rev() {
+            let mut consumers = plane
+                .claim_slot(slot)
+                .map_err(|e| CoreError::Fleet(e.to_string()))?;
+            for consumer in consumers.iter_mut() {
+                consumer.unsubscribe();
+            }
+            spare.push((slot, consumers));
+        }
+        let leader_pid = kernel.spawn_process(&programs[0].name());
+        let shards = plane.len();
+        let state = Arc::new(PlaneState {
+            plane,
+            kernel: kernel.clone(),
+            leader_pid,
+            clock: AtomicU64::new(0),
+            leader_digests: Mutex::new(vec![0; shards]),
+            leader_counts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            leader_alive: AtomicBool::new(true),
+            leader_crashed: AtomicBool::new(false),
+            promoted: AtomicUsize::new(NO_MEMBER),
+            handover: AtomicUsize::new(NO_MEMBER),
+            promotions: AtomicU64::new(0),
+            restoring: Mutex::new(Vec::new()),
+            spare: Mutex::new(spare),
+            closed: AtomicBool::new(false),
+        });
+
+        let mut members = Vec::new();
+        let mut handles = Vec::new();
+        for (index, mut program) in programs.into_iter().enumerate() {
+            let me = Arc::new(MemberState::new(program.name(), shards));
+            members.push(Arc::clone(&me));
+            // Every member claims its consumer slot up front (claims are
+            // permanent); the initial leader parks its set for a later
+            // demotion.
+            let mut consumers = state
+                .plane
+                .claim_slot(index)
+                .map_err(|e| CoreError::Fleet(e.to_string()))?;
+            let (role, parked) = if index == 0 {
+                for consumer in consumers.iter_mut() {
+                    consumer.unsubscribe();
+                }
+                (
+                    Role::Leader {
+                        producers: state.plane.producers(),
+                        windows: (0..shards).map(|_| VecDeque::new()).collect(),
+                    },
+                    Some(consumers),
+                )
+            } else {
+                (
+                    Role::Follower {
+                        consumers,
+                        staged: (0..shards).map(|_| VecDeque::new()).collect(),
+                    },
+                    None,
+                )
+            };
+            let state_for_thread = Arc::clone(&state);
+            let me_for_thread = Arc::clone(&me);
+            let handle = std::thread::Builder::new()
+                .name(format!("varan-shard-member-{index}"))
+                .spawn(move || {
+                    let mut interface = ShardedMemberIf {
+                        state: Arc::clone(&state_for_thread),
+                        me: Arc::clone(&me_for_thread),
+                        inner: Arc::new(Mutex::new(MemberInner {
+                            role,
+                            member: index,
+                            parked,
+                        })),
+                    };
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| program.run(&mut interface)));
+                    let leading = {
+                        let mut inner = interface.inner.lock();
+                        // Release the member's gates so a dead program never
+                        // stalls the plane.
+                        if let Role::Follower { consumers, .. } = &mut inner.role {
+                            for consumer in consumers.iter_mut() {
+                                consumer.unsubscribe();
+                            }
+                        }
+                        matches!(inner.role, Role::Leader { .. })
+                    };
+                    let exit = match result {
+                        Ok(exit) => exit,
+                        Err(_) => {
+                            me_for_thread.fail("program panicked".to_owned());
+                            ProgramExit::Crashed(Signal::Sigsegv)
+                        }
+                    };
+                    if leading {
+                        if matches!(exit, ProgramExit::Crashed(_)) {
+                            state_for_thread
+                                .leader_crashed
+                                .store(true, Ordering::Release);
+                        }
+                        state_for_thread.leader_alive.store(false, Ordering::Release);
+                    }
+                    me_for_thread.alive.store(false, Ordering::Release);
+                    exit
+                })
+                .expect("spawn member thread");
+            handles.push(handle);
+        }
+
+        Ok(ShardedNvx {
+            state,
+            members,
+            handles,
+            observers: Vec::new(),
+        })
+    }
+
+    /// The underlying shard set (benchmarks and tests inspect it).
+    #[must_use]
+    pub fn plane(&self) -> Arc<ShardSet> {
+        Arc::clone(&self.state.plane)
+    }
+
+    /// Requests a planned leadership handover to `member` (picked up by the
+    /// current leader at its next syscall boundary).
+    pub fn request_handover(&self, member: usize) {
+        self.state.handover.store(member, Ordering::Release);
+    }
+
+    /// Attaches an observer at a consistent cut: registers the cut in the
+    /// per-shard retention registry, snapshots the kernel at it, then
+    /// replays every shard's journal from its component and goes live
+    /// shard-by-shard.  Requires a journaled plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the plane is unjournaled, the slot budget is
+    /// exhausted, or the checkpoint fails.
+    pub fn attach_observer(&mut self) -> Result<(), CoreError> {
+        let state = Arc::clone(&self.state);
+        if state.plane.shard(0).journal().is_none() {
+            return Err(CoreError::Fleet(
+                "observer attach requires a journaled plane".into(),
+            ));
+        }
+        let (slot, consumers) = state
+            .spare
+            .lock()
+            .pop()
+            .ok_or_else(|| CoreError::Fleet("no observer slots left".into()))?;
+        // Register the cut BEFORE snapshotting: from this instant no shard
+        // may retire a segment at or above any component of it.
+        let cut = {
+            let mut restoring = state.restoring.lock();
+            let cut = state.plane.consistent_cut();
+            restoring.push(cut.clone());
+            cut
+        };
+        let checkpoint = state
+            .kernel
+            .checkpoint_at_cut(state.leader_pid, &cut, &std::collections::HashMap::new())
+            .map_err(|e| CoreError::Fleet(format!("checkpoint failed: {e:?}")))?;
+        let observer_pid = state.kernel.spawn_process("shard-observer");
+        state
+            .kernel
+            .restore_process(&checkpoint, observer_pid)
+            .map_err(|e| CoreError::Fleet(format!("restore failed: {e:?}")))?;
+
+        let handle = std::thread::Builder::new()
+            .name(format!("varan-shard-observer-{slot}"))
+            .spawn(move || run_observer(&state, cut, consumers))
+            .expect("spawn observer thread");
+        self.observers.push(ShardedObserverHandle { handle });
+        Ok(())
+    }
+
+    /// Waits for every member (monitoring for leader crashes and promoting
+    /// the best-placed follower), then for every observer, and assembles
+    /// the report.
+    #[must_use]
+    pub fn wait(self) -> ShardedReport {
+        let ShardedNvx {
+            state,
+            members,
+            handles,
+            observers,
+        } = self;
+        let clock = state.kernel.wait_clock();
+
+        // Failover watch: while the member programs run, a crashed leader
+        // triggers promotion of the live follower with the smallest total
+        // backlog across the shard set.
+        let mut handles: Vec<Option<JoinHandle<ProgramExit>>> =
+            handles.into_iter().map(Some).collect();
+        let mut exits: Vec<Option<ProgramExit>> = vec![None; handles.len()];
+        loop {
+            for (index, slot) in handles.iter_mut().enumerate() {
+                let finished = slot.as_ref().map(|h| h.is_finished()).unwrap_or(false);
+                if finished {
+                    if let Some(handle) = slot.take() {
+                        exits[index] = Some(handle.join().unwrap_or_else(|_| {
+                            ProgramExit::Crashed(Signal::Sigsegv)
+                        }));
+                    }
+                }
+            }
+            if state.leader_crashed.swap(false, Ordering::AcqRel) {
+                let published = state.plane.published_vector();
+                let candidate = members
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, m)| {
+                        exits[*i].is_none()
+                            && m.alive.load(Ordering::Acquire)
+                            && m.failure.lock().is_none()
+                    })
+                    .min_by_key(|(_, m)| {
+                        (0..state.shards())
+                            .map(|s| {
+                                published[s]
+                                    .saturating_sub(m.positions[s].load(Ordering::Acquire))
+                            })
+                            .sum::<u64>()
+                    })
+                    .map(|(i, _)| i);
+                if let Some(successor) = candidate {
+                    state.promoted.store(successor, Ordering::Release);
+                }
+            }
+            if handles.iter().all(Option::is_none) {
+                break;
+            }
+            clock.sleep(FOLLOWER_POLL);
+        }
+
+        // Member programs are done; observers drain to the final cursor.
+        state.closed.store(true, Ordering::Release);
+        let observer_reports: Vec<ShardedObserverReport> = observers
+            .into_iter()
+            .map(|observer| {
+                observer.handle.join().unwrap_or_else(|_| ShardedObserverReport {
+                    cut: Vec::new(),
+                    digests: Vec::new(),
+                    counts: Vec::new(),
+                    live_at: Vec::new(),
+                    failure: Some("observer thread panicked".to_owned()),
+                })
+            })
+            .collect();
+
+        let member_reports = members
+            .iter()
+            .zip(exits)
+            .map(|(member, exit)| ShardedMemberReport {
+                name: member.name.clone(),
+                exit: exit.unwrap_or(ProgramExit::Crashed(Signal::Sigsegv)),
+                digests: member.digests.lock().clone(),
+                counts: member
+                    .counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .collect(),
+                failure: member.failure.lock().clone(),
+            })
+            .collect();
+
+        let leader_digests = state.leader_digests.lock().clone();
+        ShardedReport {
+            shards: state.shards(),
+            leader_counts: state
+                .leader_counts
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect(),
+            leader_digests,
+            members: member_reports,
+            observers: observer_reports,
+            promotions: state.promotions.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The observer loop: per-shard journal replay from the cut, gate
+/// registration within half a lap, live consumption to the final cursor.
+fn run_observer(
+    state: &Arc<PlaneState>,
+    cut: Vec<u64>,
+    mut consumers: Vec<Consumer<Event>>,
+) -> ShardedObserverReport {
+    let shards = state.shards();
+    let mut positions = cut.clone();
+    let mut digests = vec![0u64; shards];
+    let mut counts = vec![0u64; shards];
+    let mut live = vec![false; shards];
+    let mut live_at = vec![0u64; shards];
+    let mut failure: Option<String> = None;
+    let clock = state.kernel.wait_clock();
+    let mut finished_restore = false;
+
+    'outer: loop {
+        let mut progressed = false;
+        for shard in 0..shards {
+            let ring = state.plane.shard(shard).ring();
+            if !live[shard] {
+                let journal = state.plane.shard(shard).journal().expect("journaled plane");
+                match journal.read_from(positions[shard], REPLAY_BATCH) {
+                    Ok((start, records)) => {
+                        if !records.is_empty() {
+                            if start != positions[shard] {
+                                failure = Some(format!(
+                                    "observer: shard {shard} journal gap: wanted {} got {start}",
+                                    positions[shard]
+                                ));
+                                break 'outer;
+                            }
+                            for record in &records {
+                                let payload_len =
+                                    record.payload.as_ref().map(Vec::len).unwrap_or(0) as u64;
+                                digests[shard] = fold_stream_digest(
+                                    digests[shard],
+                                    positions[shard],
+                                    record.sysno,
+                                    record.result,
+                                    record.clock,
+                                    payload_len,
+                                );
+                                positions[shard] += 1;
+                                counts[shard] += 1;
+                            }
+                            progressed = true;
+                        }
+                    }
+                    Err(err) => {
+                        failure = Some(format!("observer: shard {shard} journal: {err}"));
+                        break 'outer;
+                    }
+                }
+                // Register the gate once within half a lap of this shard's
+                // cursor (per-shard registration: a laggard lane keeps
+                // replaying its journal while a quiet lane goes live
+                // immediately).
+                let published = ring.published();
+                if published.saturating_sub(positions[shard])
+                    < (ring.capacity() / 2) as u64
+                {
+                    let tail = state
+                        .plane
+                        .shard(shard)
+                        .journal()
+                        .map(|journal| journal.tail_sequence())
+                        .unwrap_or(published);
+                    if tail <= positions[shard] {
+                        consumers[shard].resume_at(positions[shard]);
+                        live[shard] = true;
+                        live_at[shard] = positions[shard];
+                        progressed = true;
+                    }
+                }
+            } else {
+                let mut events = Vec::new();
+                let base = consumers[shard].next_sequence();
+                let taken = consumers[shard].peek_batch(&mut events, REPLAY_BATCH);
+                for (i, event) in events.iter().enumerate() {
+                    let payload_len = u64::from(event.shared().len());
+                    digests[shard] = fold_stream_digest(
+                        digests[shard],
+                        base + i as u64,
+                        event.sysno(),
+                        event.result(),
+                        event.clock(),
+                        payload_len,
+                    );
+                    counts[shard] += 1;
+                }
+                consumers[shard].advance(taken);
+                positions[shard] = consumers[shard].next_sequence();
+                if taken > 0 {
+                    progressed = true;
+                }
+            }
+        }
+
+        if !finished_restore && live.iter().all(|&l| l) {
+            // Restore complete: withdraw this observer's cut from the
+            // registry and let every shard's anchor advance independently.
+            finished_restore = true;
+            let mut restoring = state.restoring.lock();
+            if let Some(at) = restoring.iter().position(|c| *c == cut) {
+                restoring.remove(at);
+            }
+            drop(restoring);
+            state.refresh_anchors();
+        }
+
+        if state.closed.load(Ordering::Acquire) {
+            let published = state.plane.published_vector();
+            let done = (0..shards).all(|s| positions[s] >= published[s]);
+            if done && live.iter().all(|&l| l) {
+                break;
+            }
+            if done {
+                // The stream ended before some lane came within half a lap
+                // (tiny runs): finish its replay from the journal.
+                let all_tail = (0..shards).all(|s| {
+                    state
+                        .plane
+                        .shard(s)
+                        .journal()
+                        .map(|j| j.tail_sequence() <= positions[s])
+                        .unwrap_or(true)
+                });
+                if all_tail {
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            clock.sleep(FOLLOWER_POLL);
+        }
+    }
+
+    if !finished_restore {
+        let mut restoring = state.restoring.lock();
+        if let Some(at) = restoring.iter().position(|c| *c == cut) {
+            restoring.remove(at);
+        }
+        drop(restoring);
+        state.refresh_anchors();
+    }
+    for consumer in consumers.iter_mut() {
+        consumer.unsubscribe();
+    }
+    ShardedObserverReport {
+        cut,
+        digests,
+        counts,
+        live_at,
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A deterministic workload that spreads its traffic over several
+    /// descriptors (and therefore several shards): open `files` sinks, then
+    /// write to them round-robin with a key-less `time` call interleaved.
+    struct ShardWorkload {
+        label: String,
+        files: usize,
+        iterations: u32,
+        crash_at: Option<u32>,
+    }
+
+    impl ShardWorkload {
+        fn new(label: &str, files: usize, iterations: u32) -> Self {
+            ShardWorkload {
+                label: label.to_owned(),
+                files,
+                iterations,
+                crash_at: None,
+            }
+        }
+
+        fn crashing_at(mut self, at: u32) -> Self {
+            self.crash_at = Some(at);
+            self
+        }
+    }
+
+    impl VersionProgram for ShardWorkload {
+        fn name(&self) -> String {
+            self.label.clone()
+        }
+
+        fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+            let mut fds = Vec::new();
+            for _ in 0..self.files {
+                let fd = sys.open("/dev/null", varan_kernel::fs::flags::O_WRONLY);
+                assert!(fd >= 0, "open failed: {fd}");
+                fds.push(fd as i32);
+            }
+            for i in 0..self.iterations {
+                if Some(i) == self.crash_at {
+                    return ProgramExit::Crashed(Signal::Sigsegv);
+                }
+                let fd = fds[i as usize % fds.len()];
+                sys.write(fd, &[i as u8; 48]);
+                if i % 3 == 0 {
+                    sys.time();
+                }
+            }
+            for fd in &fds {
+                sys.close(*fd);
+            }
+            sys.exit(0);
+            ProgramExit::Exited(0)
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "varan-core-shard-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn workloads(n: usize, files: usize, iterations: u32) -> Vec<Box<dyn VersionProgram>> {
+        (0..n)
+            .map(|i| {
+                Box::new(ShardWorkload::new(&format!("v{i}"), files, iterations))
+                    as Box<dyn VersionProgram>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn followers_converge_per_shard_over_four_lanes() {
+        let kernel = Kernel::new();
+        let config = ShardedConfig::new(4).with_ring_capacity(64);
+        let nvx = ShardedNvx::launch(&kernel, workloads(3, 8, 60), &config).unwrap();
+        let report = nvx.wait();
+        for member in &report.members {
+            assert!(member.failure.is_none(), "{:?}", member.failure);
+            assert!(member.exit.is_clean(), "{:?}", member.exit);
+        }
+        assert!(report.converged(), "per-shard digests diverged: {report:?}");
+        assert_eq!(report.promotions, 0);
+        // The descriptor spread actually uses more than the control shard.
+        let busy = report.leader_counts.iter().filter(|&&c| c > 0).count();
+        assert!(busy >= 2, "traffic collapsed onto {busy} shard(s)");
+        for member in &report.members[1..] {
+            assert_eq!(member.counts, report.leader_counts);
+        }
+    }
+
+    #[test]
+    fn observer_catches_up_per_shard_from_a_consistent_cut() {
+        let kernel = Kernel::new();
+        let dir = temp_dir("observer");
+        let config = ShardedConfig::new(4)
+            .with_ring_capacity(64)
+            .with_journal_dir(&dir);
+        let mut nvx = ShardedNvx::launch(&kernel, workloads(2, 8, 80), &config).unwrap();
+        nvx.attach_observer().unwrap();
+        let plane = nvx.plane();
+        let report = nvx.wait();
+        assert!(report.converged());
+        let observer = &report.observers[0];
+        assert!(observer.failure.is_none(), "{:?}", observer.failure);
+        assert_eq!(observer.cut.len(), 4);
+        for shard in 0..4 {
+            let journal = plane.shard(shard).journal().expect("journaled plane");
+            let (records, digest) =
+                shard_journal_digest(journal, observer.cut[shard]).unwrap();
+            assert_eq!(
+                observer.counts[shard], records,
+                "shard {shard}: observer saw a different event count"
+            );
+            assert_eq!(
+                observer.digests[shard], digest,
+                "shard {shard}: observer digest diverged from the journal"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn planned_handover_rotates_leadership_without_divergence() {
+        let kernel = Kernel::new();
+        let config = ShardedConfig::new(4).with_ring_capacity(64);
+        let nvx = ShardedNvx::launch(&kernel, workloads(3, 6, 120), &config).unwrap();
+        nvx.request_handover(1);
+        let report = nvx.wait();
+        for member in &report.members {
+            assert!(member.failure.is_none(), "{:?}", member.failure);
+            assert!(member.exit.is_clean(), "{:?}", member.exit);
+        }
+        assert_eq!(report.promotions, 1, "handover did not happen");
+        assert!(report.converged(), "digest continuity broke across handover");
+        assert!(report.total_events() > 0);
+    }
+
+    #[test]
+    fn leader_crash_promotes_the_most_caught_up_follower() {
+        let kernel = Kernel::new();
+        let config = ShardedConfig::new(4).with_ring_capacity(64);
+        let programs: Vec<Box<dyn VersionProgram>> = vec![
+            Box::new(ShardWorkload::new("leader", 6, 90).crashing_at(40)),
+            Box::new(ShardWorkload::new("f1", 6, 90)),
+            Box::new(ShardWorkload::new("f2", 6, 90)),
+        ];
+        let nvx = ShardedNvx::launch(&kernel, programs, &config).unwrap();
+        let report = nvx.wait();
+        assert!(matches!(
+            report.members[0].exit,
+            ProgramExit::Crashed(_)
+        ));
+        assert_eq!(report.promotions, 1, "no follower took over");
+        for member in &report.members[1..] {
+            assert!(member.failure.is_none(), "{:?}", member.failure);
+            assert!(member.exit.is_clean(), "{:?}", member.exit);
+        }
+        assert!(report.converged(), "survivors diverged after failover");
+        // The plane kept running past the crash point.
+        assert!(
+            report.members[1].counts.iter().sum::<u64>()
+                > report.members[0].counts.iter().sum::<u64>(),
+            "no post-crash progress"
+        );
+    }
+
+    #[test]
+    fn keyless_calls_stay_on_the_control_shard() {
+        let request = varan_kernel::syscall::SyscallRequest::time();
+        assert_eq!(shard_of(&request, 8), 0);
+        let read = varan_kernel::syscall::SyscallRequest::read(9, 16);
+        assert_eq!(shard_of(&read, 8), shard_for_key(9, 8));
+    }
+}

@@ -161,6 +161,27 @@ pub struct KernelCheckpoint {
     /// The checkpointed version's descriptor-translation map
     /// (leader descriptor number → descriptor number in that version).
     pub fd_translation: Vec<(i64, i32)>,
+    /// Per-shard sequence anchors taken at a consistent cut of a sharded
+    /// data plane: component `s` is the first event of shard `s` the
+    /// snapshot has not observed, so per-shard journal replay after restore
+    /// starts at `shard_cut[s]`.  For an unsharded plane this is the
+    /// one-element vector `[sequence]` (and [`KernelCheckpoint::cut_vector`]
+    /// normalises a default-constructed empty vector to that).
+    pub shard_cut: Vec<u64>,
+}
+
+impl KernelCheckpoint {
+    /// The consistent-cut vector this checkpoint was taken at, normalising
+    /// checkpoints from an unsharded plane (or legacy encodings with no cut)
+    /// to the one-element vector `[sequence]`.
+    #[must_use]
+    pub fn cut_vector(&self) -> Vec<u64> {
+        if self.shard_cut.is_empty() {
+            vec![self.sequence]
+        } else {
+            self.shard_cut.clone()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -381,6 +402,12 @@ impl KernelCheckpoint {
             out.extend_from_slice(&leader_fd.to_le_bytes());
             out.extend_from_slice(&local_fd.to_le_bytes());
         }
+
+        // Per-shard consistent-cut vector.
+        out.extend_from_slice(&(self.shard_cut.len() as u64).to_le_bytes());
+        for component in &self.shard_cut {
+            out.extend_from_slice(&component.to_le_bytes());
+        }
         out
     }
 
@@ -442,6 +469,13 @@ impl KernelCheckpoint {
             let local_fd = reader.u32()? as i32;
             fd_translation.push((leader_fd, local_fd));
         }
+
+        // Per-shard consistent-cut vector.
+        let cut_len = reader.len()?;
+        let mut shard_cut = Vec::with_capacity(cut_len.min(1 << 10));
+        for _ in 0..cut_len {
+            shard_cut.push(reader.u64()?);
+        }
         if reader.at != bytes.len() {
             return reader.fail("trailing bytes after checkpoint");
         }
@@ -459,6 +493,7 @@ impl KernelCheckpoint {
             files,
             listeners,
             fd_translation,
+            shard_cut,
         })
     }
 }
@@ -531,7 +566,29 @@ impl Kernel {
             files,
             listeners,
             fd_translation,
+            shard_cut: vec![sequence],
         })
+    }
+
+    /// Takes a checkpoint at a **consistent cut** of a sharded data plane:
+    /// `cut[s]` is the first event of shard `s` the snapshot has not
+    /// observed (each shard's journal tail, read before the snapshot).  The
+    /// scalar `sequence` is set to the control shard's component, keeping
+    /// unsharded consumers of the checkpoint meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::ENOENT`] if `pid` is unknown.
+    pub fn checkpoint_at_cut(
+        &self,
+        pid: Pid,
+        cut: &[u64],
+        fd_translation: &HashMap<i64, i32>,
+    ) -> Result<KernelCheckpoint, Errno> {
+        let sequence = cut.first().copied().unwrap_or(0);
+        let mut checkpoint = self.checkpoint(pid, sequence, fd_translation)?;
+        checkpoint.shard_cut = cut.to_vec();
+        Ok(checkpoint)
     }
 
     /// Restores a checkpointed process image into the (already spawned)

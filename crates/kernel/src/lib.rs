@@ -59,6 +59,7 @@ pub mod fs;
 pub mod kernel;
 pub mod net;
 pub mod process;
+pub mod shard;
 pub mod signal;
 pub mod sim;
 pub mod syscall;
@@ -70,6 +71,7 @@ mod errno;
 pub use checkpoint::{CheckpointError, KernelCheckpoint};
 pub use errno::Errno;
 pub use kernel::Kernel;
+pub use shard::{connection_key, names_descriptor};
 pub use sim::{Corruptor, SimAction, SimDriver, SimPoint};
 pub use syscall::{FdInfo, SyscallOutcome, SyscallRequest};
 pub use sysno::Sysno;

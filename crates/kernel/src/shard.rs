@@ -1,0 +1,96 @@
+//! Connection/descriptor keying for the sharded data plane.
+//!
+//! The sharded ring set (`varan_ring::shard`) partitions the leader's event
+//! stream into independent lanes; this module decides, **at syscall-capture
+//! time**, which key a system call carries.  The rule is deliberately the
+//! simplest one that both the leader and every follower can evaluate from
+//! the *request alone*, before the call's result exists:
+//!
+//! * a syscall whose first argument register names a descriptor (read,
+//!   write, close, accept, …) keys by that descriptor — so all traffic of
+//!   one connection stays on one shard, in order;
+//! * everything else (time, getpid, exit, open-by-path, socket, …) carries
+//!   no key and lands on shard 0, the control shard.
+//!
+//! Keying off the request is what makes the connection→shard map identical
+//! across versions: followers allocate descriptors deterministically
+//! (lowest-free, like the leader), so the same program point names the same
+//! descriptor number in every version and therefore maps to the same shard
+//! — the property `tests/properties.rs` pins down.  Note that descriptor-
+//! *creating* calls (open, socket, accept) key by their *input* (accept by
+//! the listening socket), not by the created descriptor: the result is
+//! unknowable before execution on the leader and before replay on a
+//! follower.  The first call *on* the new descriptor is what moves the
+//! connection onto its own shard.
+
+use crate::syscall::SyscallRequest;
+use crate::sysno::Sysno;
+
+/// The shard key carried by `request`, if it names a descriptor.
+///
+/// Returns `Some(fd)` for calls whose first argument register is a
+/// descriptor and `None` for key-less calls (which belong on the control
+/// shard).  Pure and total: no kernel state is consulted, so the leader at
+/// capture time and a follower at replay time always agree.
+#[must_use]
+pub fn connection_key(request: &SyscallRequest) -> Option<u64> {
+    if names_descriptor(request.sysno) {
+        Some(request.args[0])
+    } else {
+        None
+    }
+}
+
+/// True if `sysno`'s first argument register is a file descriptor.
+#[must_use]
+pub fn names_descriptor(sysno: Sysno) -> bool {
+    matches!(
+        sysno,
+        Sysno::Read
+            | Sysno::Write
+            | Sysno::Close
+            | Sysno::Fstat
+            | Sysno::Lseek
+            | Sysno::Ioctl
+            | Sysno::Sendto
+            | Sysno::Recvfrom
+            | Sysno::Shutdown
+            | Sysno::Bind
+            | Sysno::Listen
+            | Sysno::Connect
+            | Sysno::Accept
+            | Sysno::Accept4
+            | Sysno::Fcntl
+            | Sysno::Fsync
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_calls_key_by_their_first_argument() {
+        assert_eq!(connection_key(&SyscallRequest::read(7, 64)), Some(7));
+        assert_eq!(
+            connection_key(&SyscallRequest::write(9, b"x".to_vec())),
+            Some(9)
+        );
+        assert_eq!(connection_key(&SyscallRequest::close(3)), Some(3));
+        assert_eq!(connection_key(&SyscallRequest::accept(4)), Some(4));
+    }
+
+    #[test]
+    fn keyless_calls_land_on_the_control_shard() {
+        assert_eq!(connection_key(&SyscallRequest::time()), None);
+        assert_eq!(connection_key(&SyscallRequest::socket()), None);
+        assert_eq!(connection_key(&SyscallRequest::open("/tmp/x", 0)), None);
+        assert_eq!(connection_key(&SyscallRequest::exit(0)), None);
+    }
+
+    #[test]
+    fn keying_is_a_pure_function_of_the_request() {
+        let request = SyscallRequest::read(42, 128);
+        assert_eq!(connection_key(&request), connection_key(&request.clone()));
+    }
+}

@@ -339,6 +339,12 @@ pub struct JournalConfig {
     pub dir: PathBuf,
     /// Records per segment before rotating to a new file.
     pub segment_records: usize,
+    /// Shard index owning this journal, if it belongs to a sharded data
+    /// plane.  A sharded journal names its segments `seg-<shard>-<seq>.vrj`
+    /// instead of `seg-<seq>.vrj`, so any number of shard journals can share
+    /// one directory while each scans, rotates and retires only its own
+    /// files.
+    pub shard: Option<u32>,
 }
 
 impl JournalConfig {
@@ -348,6 +354,7 @@ impl JournalConfig {
         JournalConfig {
             dir: dir.into(),
             segment_records: 4096,
+            shard: None,
         }
     }
 
@@ -356,6 +363,23 @@ impl JournalConfig {
     pub fn with_segment_records(mut self, records: usize) -> Self {
         self.segment_records = records.max(1);
         self
+    }
+
+    /// Marks this journal as shard `shard` of a sharded data plane (see
+    /// [`JournalConfig::shard`]).
+    #[must_use]
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The filename prefix of this journal's segments.
+    #[must_use]
+    pub fn segment_prefix(&self) -> String {
+        match self.shard {
+            Some(shard) => format!("seg-{shard}-"),
+            None => "seg-".to_owned(),
+        }
     }
 }
 
@@ -419,8 +443,21 @@ impl fmt::Debug for EventJournal {
     }
 }
 
-fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
-    dir.join(format!("seg-{first_seq:020}.vrj"))
+fn segment_path(dir: &Path, prefix: &str, first_seq: u64) -> PathBuf {
+    dir.join(format!("{prefix}{first_seq:020}.vrj"))
+}
+
+/// True if `name` is one of this journal's segment files: the prefix, then
+/// exactly 20 ASCII digits, then `.vrj`.  The digit check keeps sharded and
+/// unsharded journals sharing a directory out of each other's scans (an
+/// unsharded scan must not swallow `seg-3-…`, whose remainder carries a
+/// dash; a shard-0 scan must not swallow `seg-0000….vrj`, whose remainder
+/// is 19 digits).
+fn is_segment_name(name: &str, prefix: &str) -> bool {
+    name.strip_prefix(prefix)
+        .and_then(|rest| rest.strip_suffix(".vrj"))
+        .map(|digits| digits.len() == 20 && digits.bytes().all(|b| b.is_ascii_digit()))
+        .unwrap_or(false)
 }
 
 fn open_segment_file(path: &Path, first_seq: u64) -> Result<BufWriter<File>, JournalError> {
@@ -448,11 +485,15 @@ impl EventJournal {
     /// *non-tail* contents are corrupt.
     pub fn open(config: JournalConfig) -> Result<Self, JournalError> {
         std::fs::create_dir_all(&config.dir)?;
+        let prefix = config.segment_prefix();
         let mut paths: Vec<PathBuf> = std::fs::read_dir(&config.dir)?
             .filter_map(Result::ok)
             .map(|entry| entry.path())
             .filter(|path| {
-                path.extension().map(|ext| ext == "vrj").unwrap_or(false)
+                path.file_name()
+                    .and_then(|name| name.to_str())
+                    .map(|name| is_segment_name(name, &prefix))
+                    .unwrap_or(false)
             })
             .collect();
         paths.sort();
@@ -485,7 +526,7 @@ impl EventJournal {
 
         let (active_first, active) = recovered_tail.unwrap_or((next_seq, Vec::new()));
         let active: Vec<Arc<JournalRecord>> = active.into_iter().map(Arc::new).collect();
-        let path = segment_path(&config.dir, active_first);
+        let path = segment_path(&config.dir, &prefix, active_first);
         let active_file = if active.is_empty() {
             open_segment_file(&path, active_first)?
         } else {
@@ -550,9 +591,10 @@ impl EventJournal {
     /// Seals the active segment and starts a new one.
     fn rotate_locked(&self, inner: &mut JournalInner) -> Result<(), JournalError> {
         inner.active_file.flush()?;
+        let prefix = self.config.segment_prefix();
         let first_seq = inner.active_first;
         let len = inner.active.len() as u64;
-        let path = segment_path(&self.config.dir, first_seq);
+        let path = segment_path(&self.config.dir, &prefix, first_seq);
         inner.sealed.push_back(SealedSegment {
             first_seq,
             len,
@@ -560,7 +602,7 @@ impl EventJournal {
         });
         inner.active.clear();
         inner.active_first = inner.next_seq;
-        let path = segment_path(&self.config.dir, inner.active_first);
+        let path = segment_path(&self.config.dir, &prefix, inner.active_first);
         inner.active_file = open_segment_file(&path, inner.active_first)?;
         Ok(())
     }
@@ -827,7 +869,7 @@ mod tests {
             journal.flush().unwrap();
         }
         // Tear the final frame of the active segment.
-        let seg = segment_path(&dir, 0);
+        let seg = segment_path(&dir, "seg-", 0);
         let mut bytes = std::fs::read(&seg).unwrap();
         bytes.truncate(bytes.len() - 5);
         std::fs::write(&seg, &bytes).unwrap();
@@ -905,6 +947,50 @@ mod tests {
         // The anchor never moves backwards.
         journal.set_anchor(3);
         assert_eq!(journal.anchor(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_name_filter_keeps_shards_apart() {
+        assert!(is_segment_name("seg-00000000000000000000.vrj", "seg-"));
+        assert!(is_segment_name("seg-3-00000000000000000042.vrj", "seg-3-"));
+        // An unsharded scan must not swallow shard segments…
+        assert!(!is_segment_name("seg-3-00000000000000000042.vrj", "seg-"));
+        // …and a shard-0 scan must not swallow unsharded ones.
+        assert!(!is_segment_name("seg-00000000000000000000.vrj", "seg-0-"));
+        assert!(!is_segment_name("seg-0000000000000000000.vrj", "seg-"));
+        assert!(!is_segment_name("seg-00000000000000000000.tmp", "seg-"));
+    }
+
+    #[test]
+    fn sharded_journals_rotate_and_reopen_independently() {
+        let dir = temp_dir("sharded");
+        let mk = |shard: u32| {
+            JournalConfig::new(&dir)
+                .with_segment_records(4)
+                .with_shard(shard)
+        };
+        {
+            let a = EventJournal::open(mk(0)).unwrap();
+            let b = EventJournal::open(mk(1)).unwrap();
+            for seed in 0..10u64 {
+                a.append(record(seed)).unwrap();
+            }
+            b.append(record(99)).unwrap();
+            a.flush().unwrap();
+            b.flush().unwrap();
+        }
+        let a = EventJournal::open(mk(0)).unwrap();
+        let b = EventJournal::open(mk(1)).unwrap();
+        assert_eq!(a.tail_sequence(), 10);
+        assert_eq!(b.tail_sequence(), 1);
+        let (_, records) = a.read_from(0, usize::MAX).unwrap();
+        assert_eq!(records, (0..10).map(record).collect::<Vec<_>>());
+        // Retention on shard 0 never deletes shard 1's files.
+        a.set_anchor(10);
+        assert_eq!(b.tail_sequence(), 1);
+        let (_, survivor) = b.read_from(0, usize::MAX).unwrap();
+        assert_eq!(survivor, vec![record(99)]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -64,6 +64,7 @@ pub mod journal;
 mod pump;
 mod ring;
 mod sequence;
+pub mod shard;
 mod shmem;
 mod waitlock;
 
@@ -74,5 +75,6 @@ pub use journal::{EventJournal, JournalConfig, JournalError, JournalFaults, Jour
 pub use pump::{EventPump, PumpQueue};
 pub use ring::{Consumer, Producer, RingBuffer, WaitStrategy};
 pub use sequence::Sequence;
+pub use shard::{shard_for_key, Shard, ShardError, ShardSet, ShardSpec};
 pub use shmem::{AllocStats, PoolAllocator, PoolConfig, SharedRegion};
 pub use waitlock::WaitLock;

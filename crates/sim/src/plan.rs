@@ -41,6 +41,11 @@ pub enum Mode {
     /// every request must eventually be answered (§5.1's zero-downtime
     /// bar under retries).
     Clients,
+    /// A multi-descriptor workload fans keyed traffic over a sharded
+    /// plane while shard-targeted lag (and sometimes a crash) probes one
+    /// lane's lap edges; survivors must converge on every shard and the
+    /// plane must publish the full workload whoever ends up leading it.
+    Shard,
 }
 
 impl Mode {
@@ -55,6 +60,7 @@ impl Mode {
             Mode::Churn => 5,
             Mode::Upgrade => 6,
             Mode::Clients => 7,
+            Mode::Shard => 8,
         }
     }
 
@@ -69,6 +75,7 @@ impl Mode {
             Mode::Churn => "churn",
             Mode::Upgrade => "upgrade",
             Mode::Clients => "clients",
+            Mode::Shard => "shard",
         }
     }
 }
@@ -138,6 +145,19 @@ pub enum Fault {
         /// Sequence of the (final) corrupted record.
         at_record: u64,
     },
+    /// Version `version` stalls only on calls that key to `shard` — a
+    /// laggard confined to one lane of the sharded plane, probing that
+    /// shard's lap edge while its sibling shards run free.
+    ShardLag {
+        /// Version index.
+        version: usize,
+        /// Shard whose keyed calls are stalled.
+        shard: usize,
+        /// Stall every this many of the version's matching calls.
+        every: u64,
+        /// Virtual microseconds per stall.
+        micros: u64,
+    },
     /// Upgrade hop `hop`'s candidate crashes in the given window.
     CrashCandidate {
         /// 0-based hop index within the chain.
@@ -158,6 +178,12 @@ impl std::fmt::Display for Fault {
             }
             Fault::Lag { version, every, micros } => {
                 write!(f, "lag version {version}: {micros}us stall every {every} calls")
+            }
+            Fault::ShardLag { version, shard, every, micros } => {
+                write!(
+                    f,
+                    "shard-lag version {version}: {micros}us stall every {every} calls keyed to shard {shard}"
+                )
             }
             Fault::FailFdTransfer { nth } => {
                 write!(f, "fail descriptor transfer #{nth}")
@@ -217,6 +243,13 @@ impl Fault {
                 fnv.fold(6);
                 fnv.fold(at_record);
             }
+            Fault::ShardLag { version, shard, every, micros } => {
+                fnv.fold(8);
+                fnv.fold(version as u64);
+                fnv.fold(shard as u64);
+                fnv.fold(every);
+                fnv.fold(micros);
+            }
             Fault::CrashCandidate { hop, window } => {
                 fnv.fold(7);
                 fnv.fold(hop as u64);
@@ -259,6 +292,8 @@ pub struct FaultPlan {
     pub hops: usize,
     /// Clients mode: echo requests the client must complete.
     pub requests: u32,
+    /// Shard mode: shards in the sharded plane (0 everywhere else).
+    pub shards: usize,
     /// The injected faults.
     pub faults: Vec<Fault>,
 }
@@ -268,6 +303,19 @@ pub struct FaultPlan {
 #[must_use]
 pub fn workload_syscalls(iterations: u32) -> u64 {
     3 * u64::from(iterations) + 3
+}
+
+/// Descriptors the shard-mode workload fans its keyed writes over.
+pub const SHARD_FANOUT: u32 = 6;
+
+/// Total system calls the shard-mode workload issues per version
+/// ([`SHARD_FANOUT`] opens + one write per descriptor per iteration +
+/// every-4th-iteration `getegid` + closes + exit).
+#[must_use]
+pub fn shard_workload_syscalls(iterations: u32) -> u64 {
+    let fanout = u64::from(SHARD_FANOUT);
+    let iters = u64::from(iterations);
+    fanout + iters * fanout + iters.div_ceil(4) + fanout + 1
 }
 
 impl FaultPlan {
@@ -289,7 +337,8 @@ impl FaultPlan {
             4..=6 => Mode::Divergence,
             7..=8 => Mode::Lag,
             9..=10 => Mode::Journal,
-            11..=13 => Mode::Churn,
+            11..=12 => Mode::Churn,
+            13 => Mode::Shard,
             14 => Mode::Upgrade,
             _ => Mode::Clients,
         };
@@ -305,6 +354,7 @@ impl FaultPlan {
             joiners: 0,
             hops: 0,
             requests: 0,
+            shards: 0,
             faults: Vec::new(),
         };
 
@@ -451,6 +501,29 @@ impl FaultPlan {
                     });
                 }
             }
+            Mode::Shard => {
+                plan.versions = 2 + pick(2) as usize; // 2..=3
+                plan.iterations = 40 + pick(80) as u32;
+                plan.shards = 2 + 2 * pick(2) as usize; // 2 or 4
+                let total = shard_workload_syscalls(plan.iterations);
+                // Every shard plan carries at least one shard-targeted
+                // fault: a laggard confined to one lane of the plane.
+                plan.faults.push(Fault::ShardLag {
+                    version: pick(plan.versions as u64) as usize,
+                    shard: pick(plan.shards as u64) as usize,
+                    every: 1 + pick(6),
+                    micros: 100 + pick(3_000),
+                });
+                if pick(3) == 0 {
+                    // Additionally crash one version (any, including the
+                    // leader: a promotion must splice every shard's stream
+                    // seamlessly).  A single crash always leaves a survivor.
+                    plan.faults.push(Fault::CrashVersion {
+                        version: pick(plan.versions as u64) as usize,
+                        at_syscall: 2 + pick(total - 8),
+                    });
+                }
+            }
         }
         plan
     }
@@ -469,6 +542,7 @@ impl FaultPlan {
         fnv.fold(self.joiners as u64);
         fnv.fold(self.hops as u64);
         fnv.fold(u64::from(self.requests));
+        fnv.fold(self.shards as u64);
         for fault in &self.faults {
             fault.fold_into(&mut fnv);
         }
@@ -494,6 +568,7 @@ impl FaultPlan {
             Mode::Churn => lines.push(format!("  churn: {} joiner(s)", self.joiners)),
             Mode::Upgrade => lines.push(format!("  upgrade: {} hop(s)", self.hops)),
             Mode::Clients => lines.push(format!("  clients: {} requests", self.requests)),
+            Mode::Shard => lines.push(format!("  shard: {}-shard plane", self.shards)),
             _ => {}
         }
         for fault in &self.faults {
@@ -531,7 +606,40 @@ mod tests {
         let modes: HashSet<Mode> = (0..400u64)
             .map(|seed| FaultPlan::generate(seed).mode)
             .collect();
-        assert_eq!(modes.len(), 7, "got {modes:?}");
+        assert_eq!(modes.len(), 8, "got {modes:?}");
+    }
+
+    #[test]
+    fn shard_plans_always_carry_a_shard_targeted_fault() {
+        let mut seen = 0u32;
+        for seed in 0..2_000u64 {
+            let plan = FaultPlan::generate(seed);
+            if plan.mode != Mode::Shard {
+                continue;
+            }
+            seen += 1;
+            assert!(plan.shards >= 2, "seed {seed}: unsharded shard plan");
+            let targeted = plan.faults.iter().any(|fault| {
+                matches!(fault, Fault::ShardLag { shard, .. } if *shard < plan.shards)
+            });
+            assert!(targeted, "seed {seed}: no shard-targeted fault");
+            let crashes = plan
+                .faults
+                .iter()
+                .filter(|fault| matches!(fault, Fault::CrashVersion { .. }))
+                .count();
+            assert!(crashes < plan.versions, "seed {seed}: no survivor");
+            let total = shard_workload_syscalls(plan.iterations);
+            for fault in &plan.faults {
+                if let Fault::CrashVersion { at_syscall, .. } = fault {
+                    assert!(
+                        (2..total).contains(at_syscall),
+                        "seed {seed}: crash point {at_syscall} outside the workload"
+                    );
+                }
+            }
+        }
+        assert!(seen > 0, "no shard plans in 2000 seeds");
     }
 
     #[test]

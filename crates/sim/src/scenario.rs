@@ -13,6 +13,7 @@ use varan_core::coordinator::{NvxConfig, NvxSystem};
 use varan_core::fleet::FleetConfig;
 use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
 use varan_core::stats::NvxReport;
+use varan_core::{ShardedConfig, ShardedNvx};
 use varan_core::upgrade::{
     RollbackReason, StageOutcome, UpgradeConfig, UpgradeOrchestrator, UpgradeStep,
 };
@@ -25,7 +26,9 @@ use varan_ring::EventKind;
 use crate::driver::SweepDriver;
 use crate::plan::{CandidateWindow, Fault, FaultPlan, Mode};
 use crate::trace::{Fnv, VersionOutcome};
-use crate::workload::{FaultedProgram, SteadyWorkload, VersionFaults, VersionProbe};
+use crate::workload::{
+    FaultedProgram, ShardLagSpec, ShardedWorkload, SteadyWorkload, VersionFaults, VersionProbe,
+};
 
 /// What one seeded run produced.
 #[derive(Debug, Clone)]
@@ -93,6 +96,16 @@ fn version_faults(plan: &FaultPlan) -> Vec<VersionFaults> {
             Fault::Lag { version, every, micros } => {
                 if let Some(slot) = faults.get_mut(version) {
                     slot.lag = Some((every, micros));
+                }
+            }
+            Fault::ShardLag { version, shard, every, micros } => {
+                if let Some(slot) = faults.get_mut(version) {
+                    slot.shard_lag = Some(ShardLagSpec {
+                        shard,
+                        shards: plan.shards,
+                        every,
+                        micros,
+                    });
                 }
             }
             _ => {}
@@ -784,6 +797,102 @@ fn run_clients_mode(plan: &FaultPlan) -> SimOutcome {
     finish(plan, trace, checks, Some(&driver))
 }
 
+/// Shard mode: a multi-descriptor workload fans keyed traffic over a
+/// sharded plane while a shard-confined laggard (and sometimes a crashed
+/// version) probes one lane's lap edges.  Survivors must converge on every
+/// shard, the plane must publish the complete workload whoever ends up
+/// leading it, and a leader crash must cost exactly one promotion.
+fn run_shard_mode(plan: &FaultPlan) -> SimOutcome {
+    let (kernel, driver) = sim_kernel(plan);
+    let faults = version_faults(plan);
+    let expected = expected_outcomes(&faults);
+
+    let probes: Vec<Arc<VersionProbe>> = (0..plan.versions)
+        .map(|_| Arc::new(VersionProbe::default()))
+        .collect();
+    let programs: Vec<Box<dyn VersionProgram>> = (0..plan.versions)
+        .map(|v| {
+            Box::new(FaultedProgram::new(
+                Box::new(ShardedWorkload::new(format!("v{v}"), plan.iterations)),
+                faults[v],
+                kernel.clone(),
+                Arc::clone(&probes[v]),
+            )) as Box<dyn VersionProgram>
+        })
+        .collect();
+
+    let config = ShardedConfig::new(plan.shards)
+        .with_ring_capacity(plan.ring_capacity)
+        .with_max_members(plan.versions);
+
+    let mut checks = Checks::default();
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+
+    match ShardedNvx::launch(&kernel, programs, &config) {
+        Ok(running) => {
+            let report = running.wait();
+            // The plane publishes the whole workload no matter which
+            // member ends up leading: a crashed leader's published prefix
+            // plus its successor's continuation add up to exactly the
+            // program (the crashed attempt itself never happens).
+            let total = crate::plan::shard_workload_syscalls(plan.iterations);
+            checks.expect(report.total_events() == total, || {
+                format!(
+                    "plane published {} events, workload is {total}",
+                    report.total_events()
+                )
+            });
+            checks.expect(report.converged(), || {
+                "survivors' per-shard digests diverged from the published stream".to_owned()
+            });
+            let crashed_version = faults.iter().position(|fault| fault.crash_at.is_some());
+            let expected_promotions = u64::from(crashed_version == Some(0));
+            checks.expect(report.promotions == expected_promotions, || {
+                format!(
+                    "expected {expected_promotions} promotion(s), saw {}",
+                    report.promotions
+                )
+            });
+            for (version, member) in report.members.iter().enumerate() {
+                let crashed = matches!(member.exit, ProgramExit::Crashed(_));
+                let want_crash = expected[version] == VersionOutcome::InjectedCrash;
+                checks.expect(crashed == want_crash, || {
+                    format!(
+                        "version {version}: expected crash={want_crash}, exit {:?} ({:?})",
+                        member.exit, member.failure
+                    )
+                });
+                if !want_crash {
+                    checks.expect(member.failure.is_none(), || {
+                        format!("version {version} failed: {:?}", member.failure)
+                    });
+                }
+                trace.fold(u64::from(crashed));
+                trace.fold(probes[version].digest());
+                if !crashed && member.failure.is_none() {
+                    for digest in &member.digests {
+                        trace.fold(*digest);
+                    }
+                    for count in &member.counts {
+                        trace.fold(*count);
+                    }
+                }
+            }
+            for digest in &report.leader_digests {
+                trace.fold(*digest);
+            }
+            for count in &report.leader_counts {
+                trace.fold(*count);
+            }
+            trace.fold(report.promotions);
+        }
+        Err(err) => checks.expect(false, || format!("launch failed: {err}")),
+    }
+
+    finish(plan, trace, checks, Some(&driver))
+}
+
 fn finish(
     plan: &FaultPlan,
     mut trace: Fnv,
@@ -811,5 +920,6 @@ pub fn run_plan(plan: &FaultPlan) -> SimOutcome {
         Mode::Churn => run_churn_mode(plan),
         Mode::Upgrade => run_upgrade_mode(plan),
         Mode::Clients => run_clients_mode(plan),
+        Mode::Shard => run_shard_mode(plan),
     }
 }

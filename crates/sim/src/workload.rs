@@ -68,6 +68,62 @@ impl VersionProgram for SteadyWorkload {
     }
 }
 
+/// The shard-mode workload: open [`crate::plan::SHARD_FANOUT`] descriptors
+/// and write to every one each iteration, so the descriptor keying spreads
+/// the stream across a sharded plane's lanes; a sparse keyless `getegid`
+/// (every 4th iteration) keeps the control shard warm without making it
+/// hot.  Total calls: [`crate::plan::shard_workload_syscalls`].
+pub struct ShardedWorkload {
+    name: String,
+    iterations: u32,
+}
+
+impl std::fmt::Debug for ShardedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWorkload")
+            .field("name", &self.name)
+            .field("iterations", &self.iterations)
+            .finish()
+    }
+}
+
+impl ShardedWorkload {
+    /// A workload named `name` running `iterations` iterations.
+    #[must_use]
+    pub fn new(name: impl Into<String>, iterations: u32) -> Self {
+        ShardedWorkload {
+            name: name.into(),
+            iterations,
+        }
+    }
+}
+
+impl VersionProgram for ShardedWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let mut fds = Vec::new();
+        for _ in 0..crate::plan::SHARD_FANOUT {
+            fds.push(sys.open("/dev/null", varan_kernel::fs::flags::O_WRONLY) as i32);
+        }
+        for i in 0..self.iterations {
+            for fd in &fds {
+                sys.write(*fd, &[(i % 251) as u8; 32]);
+            }
+            if i % 4 == 0 {
+                sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+            }
+        }
+        for fd in &fds {
+            sys.close(*fd);
+        }
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
 /// Per-version faults, in the version's own syscall frame.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VersionFaults {
@@ -77,6 +133,23 @@ pub struct VersionFaults {
     pub diverge_at: Option<u64>,
     /// Stall `micros` of virtual time every `every` attempts.
     pub lag: Option<(u64, u64)>,
+    /// Stall only on attempts keyed to one shard of a sharded plane.
+    pub shard_lag: Option<ShardLagSpec>,
+}
+
+/// A shard-confined stall: every `every`-th of the version's own attempts
+/// that [`varan_core::shard_of`] keys to `shard` (of a `shards`-wide
+/// plane) is delayed by `micros` of virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLagSpec {
+    /// Shard whose keyed calls are stalled.
+    pub shard: usize,
+    /// Width of the plane the keying is computed against.
+    pub shards: usize,
+    /// Stall every this many matching attempts.
+    pub every: u64,
+    /// Virtual microseconds per stall.
+    pub micros: u64,
 }
 
 /// Observable per-version state shared with the scenario: the attempt
@@ -149,6 +222,7 @@ impl VersionProgram for FaultedProgram {
             kernel: self.kernel.clone(),
             probe: Arc::clone(&self.probe),
             diverged: false,
+            shard_hits: 0,
         };
         self.inner.run(&mut interface)
     }
@@ -161,6 +235,7 @@ struct FaultingInterface<'a> {
     kernel: Kernel,
     probe: Arc<VersionProbe>,
     diverged: bool,
+    shard_hits: u64,
 }
 
 impl FaultingInterface<'_> {
@@ -186,6 +261,15 @@ impl FaultingInterface<'_> {
             if attempt % every == 0 {
                 self.kernel.clock().advance_micros(micros);
                 std::thread::yield_now();
+            }
+        }
+        if let Some(spec) = self.faults.shard_lag {
+            if varan_core::shard_of(request, spec.shards) == spec.shard {
+                self.shard_hits += 1;
+                if self.shard_hits.is_multiple_of(spec.every) {
+                    self.kernel.clock().advance_micros(spec.micros);
+                    std::thread::yield_now();
+                }
             }
         }
         self.sys.syscall(request)
@@ -281,5 +365,49 @@ mod tests {
         let (_, d) = run_with(diverged, 20);
         assert_ne!(a.digest(), d.digest());
         assert_eq!(d.attempts(), a.attempts() + 1, "one extra injected call");
+    }
+
+    fn run_sharded_with(faults: VersionFaults, iterations: u32) -> Arc<VersionProbe> {
+        let kernel = Kernel::new();
+        let probe = Arc::new(VersionProbe::default());
+        let mut program = FaultedProgram::new(
+            Box::new(ShardedWorkload::new("s", iterations)),
+            faults,
+            kernel.clone(),
+            Arc::clone(&probe),
+        );
+        let mut executor = DirectExecutor::new(&kernel, "s");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            program.run(&mut executor)
+        }));
+        probe
+    }
+
+    #[test]
+    fn sharded_workload_matches_its_syscall_budget() {
+        let probe = run_sharded_with(VersionFaults::default(), 11);
+        assert_eq!(
+            probe.attempts(),
+            crate::plan::shard_workload_syscalls(11)
+        );
+    }
+
+    #[test]
+    fn shard_lag_leaves_the_attempt_stream_untouched() {
+        let clean = run_sharded_with(VersionFaults::default(), 13);
+        let lagged = run_sharded_with(
+            VersionFaults {
+                shard_lag: Some(ShardLagSpec {
+                    shard: 1,
+                    shards: 4,
+                    every: 2,
+                    micros: 250,
+                }),
+                ..VersionFaults::default()
+            },
+            13,
+        );
+        assert_eq!(clean.attempts(), lagged.attempts());
+        assert_eq!(clean.digest(), lagged.digest());
     }
 }

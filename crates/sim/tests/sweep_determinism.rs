@@ -44,6 +44,7 @@ fn shrinker_isolates_the_causal_fault() {
         joiners: 0,
         hops: 0,
         requests: 0,
+        shards: 0,
         faults: vec![
             Fault::Lag {
                 version: 2,

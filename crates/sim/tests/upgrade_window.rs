@@ -17,6 +17,7 @@ fn window_plan(window: CandidateWindow) -> FaultPlan {
         joiners: 0,
         hops: 1,
         requests: 0,
+        shards: 0,
         faults: vec![Fault::CrashCandidate { hop: 0, window }],
     }
 }

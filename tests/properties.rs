@@ -125,6 +125,104 @@ proptest! {
         }
     }
 
+    /// The connection→shard map is a pure function of `(sysno, args[0])`:
+    /// payload bytes, the remaining argument registers and the (not yet
+    /// known) result never move a call to a different shard, so the leader
+    /// at capture time and every follower at replay time always agree.
+    #[test]
+    fn shard_assignment_agrees_across_leader_and_followers(
+        fd in 0u64..4096,
+        shards in 1usize..16,
+        noise in proptest::collection::vec(any::<u64>(), 5),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use varan::core::shard_of;
+        use varan::kernel::shard::{connection_key, names_descriptor};
+        use varan::ring::shard::shard_for_key;
+
+        let keyed = [
+            Sysno::Read, Sysno::Write, Sysno::Close, Sysno::Fstat, Sysno::Lseek,
+            Sysno::Ioctl, Sysno::Sendto, Sysno::Recvfrom, Sysno::Shutdown,
+            Sysno::Bind, Sysno::Listen, Sysno::Connect, Sysno::Accept,
+            Sysno::Accept4, Sysno::Fcntl, Sysno::Fsync,
+        ];
+        for sysno in keyed {
+            prop_assert!(names_descriptor(sysno));
+            let mut args = [0u64; 6];
+            args[0] = fd;
+            args[1..6].copy_from_slice(&noise);
+            let leader_view = SyscallRequest::new(sysno, args);
+            // The follower replays the same registers but may see different
+            // payload bytes attached (e.g. a write's data region).
+            let mut follower_view = SyscallRequest::new(sysno, args);
+            follower_view.data = Some(payload.clone());
+            prop_assert_eq!(connection_key(&leader_view), Some(fd));
+            let shard = shard_of(&leader_view, shards);
+            prop_assert!(shard < shards.max(1));
+            prop_assert_eq!(shard, shard_of(&follower_view, shards));
+            prop_assert_eq!(shard, shard_for_key(fd, shards));
+        }
+        // Key-less calls always land on the control shard, whatever their
+        // argument registers claim.
+        for sysno in [Sysno::Time, Sysno::Getegid, Sysno::Open, Sysno::Socket, Sysno::Exit] {
+            prop_assert!(!names_descriptor(sysno));
+            let mut args = [0u64; 6];
+            args[0] = fd;
+            let request = SyscallRequest::new(sysno, args);
+            prop_assert_eq!(connection_key(&request), None);
+            prop_assert_eq!(shard_of(&request, shards), 0);
+        }
+    }
+
+    /// A kernel checkpoint taken at a consistent cut survives the
+    /// encode/decode/restore round-trip with the connection→shard
+    /// assignment intact: every descriptor is reinstalled at its original
+    /// number, so each connection keys to exactly the shard it occupied
+    /// before the checkpoint, and the cut vector itself is preserved.
+    #[test]
+    fn checkpoint_restore_preserves_the_shard_assignment(
+        opens in 1usize..12,
+        shards in 2usize..8,
+        cut in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        use std::collections::HashMap;
+        use varan::core::shard_of;
+        use varan::kernel::checkpoint::KernelCheckpoint;
+
+        let kernel = Kernel::new();
+        let leader = kernel.spawn_process("leader");
+        let mut fds = Vec::new();
+        for _ in 0..opens {
+            let outcome = kernel.syscall(leader, &SyscallRequest::open_read("/dev/null"));
+            prop_assert!(outcome.result >= 0);
+            fds.push(outcome.result);
+        }
+        let before: Vec<usize> = fds
+            .iter()
+            .map(|&fd| shard_of(&SyscallRequest::read(fd as i32, 16), shards))
+            .collect();
+
+        let checkpoint = kernel
+            .checkpoint_at_cut(leader, &cut, &HashMap::new())
+            .unwrap();
+        let decoded = KernelCheckpoint::decode(&checkpoint.encode()).unwrap();
+        prop_assert_eq!(&decoded.shard_cut, &cut);
+        prop_assert_eq!(decoded.cut_vector(), cut.clone());
+
+        let joiner = kernel.spawn_process("joiner");
+        let translation = kernel.restore_process(&decoded, joiner).unwrap();
+        for (&fd, &shard) in fds.iter().zip(before.iter()) {
+            let installed = *translation
+                .get(&fd)
+                .unwrap_or_else(|| panic!("descriptor {fd} lost in restore"));
+            prop_assert_eq!(
+                shard_of(&SyscallRequest::read(installed, 16), shards),
+                shard,
+                "descriptor {} moved shards across checkpoint/restore", fd
+            );
+        }
+    }
+
     /// The virtual kernel's file descriptors are process-isolated: a
     /// descriptor opened in one process is never valid in another.
     #[test]
