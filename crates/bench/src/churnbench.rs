@@ -1,0 +1,451 @@
+//! Machine-readable churn-vs-compaction benchmark (`BENCH_churn.json`).
+//!
+//! The durability work's headline promise is that a joiner's catch-up cost
+//! is bounded by the distance from the latest checkpoint to the live tail —
+//! *not* by how much history the journal has accumulated — because
+//! incremental checkpoints keep the restore cheap and background compaction
+//! rides every anchor advance (docs/DURABILITY.md).  This scenario measures
+//! that directly: the same sustained workload runs twice, once short and
+//! once with ~10x the journal length, joiners churn through both runs, and
+//! the report records catch-up latency against journal growth.
+//!
+//! `figures --fig-churn-compact` writes the JSON; `figures
+//! --check-churn-compact` validates it: the long run's journal must really
+//! be several times the short run's, and the long run's median catch-up must
+//! stay within a fixed absolute bound *and* a small multiple of the short
+//! run's — if catch-up scaled with journal length, a 10x journal would blow
+//! both out.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::fleet::FleetConfig;
+use varan_core::program::{ProgramExit, SyscallInterface, VersionProgram};
+use varan_kernel::syscall::SyscallRequest;
+use varan_kernel::{Kernel, Sysno};
+
+use crate::Scale;
+
+/// Schema identifier stamped into the JSON.
+pub const SCHEMA: &str = "varan-bench-churn/v1";
+
+/// Default output path, relative to the working directory.
+pub const DEFAULT_PATH: &str = "BENCH_churn.json";
+
+/// The long run must accumulate at least this multiple of the short run's
+/// journal records for the comparison to mean anything.
+pub const MIN_GROWTH: f64 = 5.0;
+
+/// Catch-up latency ratio (long-run median / short-run median) above which
+/// the long run's latency must at least be absolutely small — catch-up that
+/// scales with journal length fails both bars.
+pub const MAX_LATENCY_RATIO: f64 = 3.0;
+
+/// Absolute median catch-up bound, milliseconds: generous enough for a
+/// loaded CI box, far below anything proportional to a 10x journal replay.
+pub const MAX_CATCH_UP_MS: f64 = 1_000.0;
+
+/// Short-run workload iterations at quick scale (3 streamed events per
+/// iteration); the long run is 10x this.
+const QUICK_ITERATIONS: u32 = 3_000;
+
+/// The sustained syscall load (same shape as `fleetbench`).
+struct SustainedLoad {
+    name: String,
+    iterations: u32,
+}
+
+impl VersionProgram for SustainedLoad {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&mut self, sys: &mut dyn SyscallInterface) -> ProgramExit {
+        let fd = sys.open("/dev/zero", 0);
+        for _ in 0..self.iterations {
+            sys.syscall(&SyscallRequest::new(Sysno::Getegid, [0; 6]));
+            sys.read(fd as i32, 64);
+            sys.time();
+        }
+        sys.close(fd as i32);
+        sys.exit(0);
+        ProgramExit::Exited(0)
+    }
+}
+
+fn versions(iterations: u32) -> Vec<Box<dyn VersionProgram>> {
+    (0..3)
+        .map(|i| {
+            Box::new(SustainedLoad {
+                name: format!("v{i}"),
+                iterations,
+            }) as Box<dyn VersionProgram>
+        })
+        .collect()
+}
+
+/// One measured run: churn joiners through a workload of `iterations`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRun {
+    /// Workload iterations.
+    pub iterations: u32,
+    /// Records the journal accumulated over the run (its tail sequence).
+    pub journal_records: u64,
+    /// Segment files left on disk after the run — compaction and anchor
+    /// retirement keep this from tracking `journal_records`.
+    pub segments: u64,
+    /// Records dropped by the final explicit compaction pass.
+    pub compacted_records: u64,
+    /// Base-plus-delta links in the incremental checkpoint chain at the end
+    /// of the run.
+    pub checkpoint_chain: u64,
+    /// Catch-up latencies (attach → live), milliseconds.
+    pub catch_up_ms: Vec<f64>,
+}
+
+impl ChurnRun {
+    /// Median catch-up latency in milliseconds (0 when no joiner went live).
+    #[must_use]
+    pub fn median_catch_up_ms(&self) -> f64 {
+        if self.catch_up_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.catch_up_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// The short-vs-long comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnBenchReport {
+    /// The short run.
+    pub short: ChurnRun,
+    /// The ~10x run.
+    pub long: ChurnRun,
+}
+
+impl ChurnBenchReport {
+    /// Journal growth factor between the runs.
+    #[must_use]
+    pub fn growth(&self) -> f64 {
+        self.long.journal_records as f64 / self.short.journal_records.max(1) as f64
+    }
+
+    /// Catch-up latency ratio (long median / short median).
+    #[must_use]
+    pub fn latency_ratio(&self) -> f64 {
+        let short = self.short.median_catch_up_ms();
+        if short <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.long.median_catch_up_ms() / short
+    }
+}
+
+fn run_once(iterations: u32, journal_dir: &Path) -> ChurnRun {
+    let _ = fs::remove_dir_all(journal_dir);
+    let kernel = Kernel::new();
+    let config = NvxConfig::default().with_fleet(
+        FleetConfig::new(journal_dir)
+            .with_spares(2)
+            .with_auto_rearm(false),
+    );
+    let running =
+        NvxSystem::launch(&kernel, versions(iterations), config).expect("churn launch");
+    let fleet = running.fleet().expect("fleet enabled");
+
+    // Churn driver: one joiner at a time through the whole run, so catch-up
+    // is sampled across the journal's entire growth curve.
+    let stop_churn = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn_fleet = fleet.clone();
+    let churn_stop = std::sync::Arc::clone(&stop_churn);
+    let driver = std::thread::spawn(move || {
+        let mut attaches = 0u64;
+        let mut catch_up_ms = Vec::new();
+        while !churn_stop.load(std::sync::atomic::Ordering::Acquire) {
+            let Ok(member) = churn_fleet.attach(&format!("churn-{attaches}")) else {
+                break;
+            };
+            attaches += 1;
+            if !member.wait_live(Duration::from_secs(30)) {
+                break;
+            }
+            if let Some(latency) = member.catch_up_latency() {
+                catch_up_ms.push(latency.as_secs_f64() * 1000.0);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            churn_fleet.detach(member.index);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while churn_fleet.available_spares() == 0 && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+        }
+        catch_up_ms
+    });
+
+    let report = running.wait();
+    assert!(report.all_clean(), "churn exits: {:?}", report.exits);
+    stop_churn.store(true, std::sync::atomic::Ordering::Release);
+    let catch_up_ms = driver.join().expect("churn driver");
+    let compacted_records = fleet.compact_journal().unwrap_or(0);
+    let journal_records = fleet.journal().tail_sequence();
+    let segments = fleet.journal().segment_count() as u64;
+    let checkpoint_chain = fleet.checkpoint_chain_len() as u64;
+    fleet.shutdown();
+    let _ = fs::remove_dir_all(journal_dir);
+    ChurnRun {
+        iterations,
+        journal_records,
+        segments,
+        compacted_records,
+        checkpoint_chain,
+        catch_up_ms,
+    }
+}
+
+/// Runs the short and the 10x scenario and returns the report.
+#[must_use]
+pub fn run(scale: Scale) -> ChurnBenchReport {
+    let iterations = match scale {
+        Scale::Quick => QUICK_ITERATIONS,
+        Scale::Full => QUICK_ITERATIONS * 4,
+    };
+    let journal_dir = std::env::temp_dir().join(format!(
+        "varan-churnbench-{}",
+        std::process::id()
+    ));
+    let short = run_once(iterations, &journal_dir);
+    let long = run_once(iterations * 10, &journal_dir);
+    ChurnBenchReport { short, long }
+}
+
+fn run_json(out: &mut String, label: &str, run: &ChurnRun, last: bool) {
+    let _ = writeln!(out, "  \"{label}\": {{");
+    let _ = writeln!(out, "    \"iterations\": {},", run.iterations);
+    let _ = writeln!(out, "    \"journal_records\": {},", run.journal_records);
+    let _ = writeln!(out, "    \"segments\": {},", run.segments);
+    let _ = writeln!(out, "    \"compacted_records\": {},", run.compacted_records);
+    let _ = writeln!(out, "    \"checkpoint_chain\": {},", run.checkpoint_chain);
+    let _ = writeln!(out, "    \"catch_up_samples\": {},", run.catch_up_ms.len());
+    let _ = writeln!(
+        out,
+        "    \"median_catch_up_ms\": {:.3}",
+        run.median_catch_up_ms()
+    );
+    let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+}
+
+impl ChurnBenchReport {
+    /// Serialises the report to the `varan-bench-churn/v1` JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"journal_growth\": {:.3},", self.growth());
+        let _ = writeln!(out, "  \"latency_ratio\": {:.4},", self.latency_ratio());
+        run_json(&mut out, "short", &self.short, false);
+        run_json(&mut out, "long", &self.long, true);
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Renders a short human-readable summary for the `figures` output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Joiner catch-up vs journal growth (compaction + incremental checkpoints):"
+        );
+        for (label, run) in [("short", &self.short), ("long ", &self.long)] {
+            let _ = writeln!(
+                out,
+                "  {label} run: {:>9} journal records in {:>3} segments, \
+                 median catch-up {:.2} ms ({} joiners, chain {}, compacted {})",
+                run.journal_records,
+                run.segments,
+                run.median_catch_up_ms(),
+                run.catch_up_ms.len(),
+                run.checkpoint_chain,
+                run.compacted_records,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  journal grew {:.1}x, median catch-up changed {:.2}x",
+            self.growth(),
+            self.latency_ratio()
+        );
+        out
+    }
+}
+
+/// Extracts the number following `"key":` inside `json` (same minimal
+/// parser shape as `ringbench`).
+fn extract_number(json: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed entry for {key:?} (no colon)"))?
+        .trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|err| format!("malformed number for {key:?}: {err}"))
+}
+
+/// Validates a `BENCH_churn.json` file: schema marker present, joiners went
+/// live in both runs, the long run's journal at least [`MIN_GROWTH`] times
+/// the short run's, and the long run's median catch-up bounded — under
+/// [`MAX_CATCH_UP_MS`] absolutely, or within [`MAX_LATENCY_RATIO`] of the
+/// short run (catch-up proportional to journal length fails both).
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    let json = fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("{}: missing schema marker {SCHEMA:?}", path.display()));
+    }
+    let long_at = json
+        .find("\"long\"")
+        .ok_or_else(|| format!("{}: missing \"long\" section", path.display()))?;
+    let (short_json, long_json) = json.split_at(long_at);
+    for (label, section) in [("short", short_json), ("long", long_json)] {
+        let samples = extract_number(section, "catch_up_samples")
+            .map_err(|err| format!("{}: {label}: {err}", path.display()))?;
+        if samples < 1.0 {
+            return Err(format!(
+                "{}: no joiner went live in the {label} run",
+                path.display()
+            ));
+        }
+    }
+    let growth =
+        extract_number(&json, "journal_growth").map_err(|err| format!("{}: {err}", path.display()))?;
+    if growth < MIN_GROWTH {
+        return Err(format!(
+            "{}: journal only grew {growth:.1}x between the runs (need >= {MIN_GROWTH}x \
+             for the bounded-catch-up claim to be tested)",
+            path.display()
+        ));
+    }
+    let long_median = extract_number(long_json, "median_catch_up_ms")
+        .map_err(|err| format!("{}: long: {err}", path.display()))?;
+    let ratio = extract_number(&json, "latency_ratio")
+        .map_err(|err| format!("{}: {err}", path.display()))?;
+    if long_median > MAX_CATCH_UP_MS && ratio > MAX_LATENCY_RATIO {
+        return Err(format!(
+            "{}: with a {growth:.1}x journal the median catch-up reached {long_median:.1} ms \
+             ({ratio:.1}x the short run) — joiner catch-up is scaling with journal length \
+             instead of staying checkpoint-bounded",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChurnBenchReport {
+        ChurnBenchReport {
+            short: ChurnRun {
+                iterations: 3_000,
+                journal_records: 9_000,
+                segments: 3,
+                compacted_records: 500,
+                checkpoint_chain: 2,
+                catch_up_ms: vec![2.0, 1.0, 3.0],
+            },
+            long: ChurnRun {
+                iterations: 30_000,
+                journal_records: 90_000,
+                segments: 4,
+                compacted_records: 4_000,
+                checkpoint_chain: 3,
+                catch_up_ms: vec![2.5, 1.5, 3.5],
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("varan-churnbench-test-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("BENCH_churn.json")
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        let path = temp_path("ok");
+        sample().write_to(&path).unwrap();
+        validate_file(&path).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_scaling_catch_up() {
+        let mut report = sample();
+        report.long.catch_up_ms = vec![25_000.0, 26_000.0, 24_000.0];
+        let path = temp_path("scaling");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("scaling with journal length"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_an_ungrown_journal() {
+        let mut report = sample();
+        report.long.journal_records = report.short.journal_records * 2;
+        let path = temp_path("ungrown");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("only grew"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_run_without_joiners() {
+        let mut report = sample();
+        report.long.catch_up_ms.clear();
+        let path = temp_path("nojoiner");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("no joiner went live"), "got: {err}");
+    }
+
+    #[test]
+    fn tiny_run_completes_end_to_end() {
+        let journal_dir = std::env::temp_dir().join(format!(
+            "varan-churnbench-inline-{}",
+            std::process::id()
+        ));
+        let run = run_once(2_000, &journal_dir);
+        assert!(run.journal_records > 0);
+        assert!(!run.catch_up_ms.is_empty(), "no joiner went live");
+    }
+}

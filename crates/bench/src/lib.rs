@@ -17,6 +17,7 @@
 //! | [`scenarios`] | §5.1–§5.4 — failover, multi-revision execution, live sanitization, record-replay |
 //! | [`ringbench`] | machine-readable ring/pool throughput (`BENCH_ring.json`) |
 //! | [`fleetbench`] | machine-readable elastic-fleet churn scenario (`BENCH_fleet.json`) |
+//! | [`churnbench`] | machine-readable catch-up-vs-journal-growth scenario (`BENCH_churn.json`) |
 //! | [`upgradebench`] | machine-readable zero-downtime rolling upgrade (`BENCH_upgrade.json`) |
 //! | [`simbench`] | machine-readable deterministic-simulation sweep (`BENCH_sim.json`) |
 //! | [`report`] | plain-text rendering of the results |
@@ -24,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod churnbench;
 pub mod comparison;
 pub mod fleetbench;
 pub mod microbench;

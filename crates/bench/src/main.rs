@@ -10,8 +10,8 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    comparison, fleetbench, microbench, report, ringbench, scenarios, servers, shardbench,
-    simbench, spec, upgradebench, Scale,
+    churnbench, comparison, fleetbench, microbench, report, ringbench, scenarios, servers,
+    shardbench, simbench, spec, upgradebench, Scale,
 };
 
 #[derive(Debug, Default)]
@@ -30,12 +30,14 @@ struct Options {
     fig_fleet: bool,
     fig_upgrade: bool,
     fig_shard: bool,
+    fig_churn_compact: bool,
     sim_sweep: bool,
     check_ring: bool,
     check_fleet: bool,
     check_upgrade: bool,
     check_sim: bool,
     check_shard: bool,
+    check_churn_compact: bool,
     sim_seeds: u64,
     sim_base_seed: u64,
     full: bool,
@@ -81,6 +83,7 @@ impl Options {
                 "--fig-fleet" => options.fig_fleet = true,
                 "--fig-upgrade" => options.fig_upgrade = true,
                 "--fig-shard" => options.fig_shard = true,
+                "--fig-churn-compact" => options.fig_churn_compact = true,
                 "--sim-sweep" => options.sim_sweep = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
@@ -89,6 +92,7 @@ impl Options {
                 "--check-upgrade" => options.check_upgrade = true,
                 "--check-sim" => options.check_sim = true,
                 "--check-shard" => options.check_shard = true,
+                "--check-churn-compact" => options.check_churn_compact = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -108,12 +112,14 @@ impl Options {
                     options.fig_fleet = true;
                     options.fig_upgrade = true;
                     options.fig_shard = true;
+                    options.fig_churn_compact = true;
                 }
                 "--help" | "-h" => {
                     println!(
                         "usage: figures [--all] [--full] [--fig4 --fig5 --fig6 --fig7 --fig8]\n\
                          \x20              [--table1 --table2] [--failover --multirev --sanitize --recreplay]\n\
                          \x20              [--fig-fleet] [--fig-upgrade] [--fig-shard] [--check-ring]\n\
+                         \x20              [--fig-churn-compact] [--check-churn-compact]\n\
                          \x20              [--check-fleet] [--check-upgrade] [--check-shard]\n\
                          \x20              [--sim-sweep [--seeds N] [--sim-seed S]] [--check-sim]\n\
                          --sim-sweep runs the deterministic simulation sweep (N seeded fault\n\
@@ -133,7 +139,11 @@ impl Options {
                          --fig-shard measures the sharded data plane (4-shard vs 1-shard\n\
                          aggregate throughput plus the 64-connection mixed-protocol spread)\n\
                          and writes {shard}; --check-shard validates {shard} (>= 3x aggregate\n\
-                         speedup, per-shard event balance, convergence).",
+                         speedup, per-shard event balance, convergence).\n\
+                         --fig-churn-compact runs joiner churn against a short and a 10x\n\
+                         journal and writes {churn}; --check-churn-compact validates {churn}\n\
+                         (catch-up stays checkpoint-bounded while the journal grows).",
+                        churn = varan_bench::churnbench::DEFAULT_PATH,
                         shard = varan_bench::shardbench::DEFAULT_PATH,
                         path = varan_bench::ringbench::DEFAULT_PATH,
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
@@ -280,6 +290,17 @@ fn main() {
             ),
         }
     }
+    if options.fig_churn_compact {
+        let churn_report = churnbench::run(scale);
+        println!("{}", churn_report.render());
+        match churn_report.write_to(churnbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", churnbench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                churnbench::DEFAULT_PATH
+            ),
+        }
+    }
     if options.sim_sweep {
         let sweep = simbench::run(options.sim_seeds, options.sim_base_seed);
         println!("{}", simbench::render(&sweep));
@@ -332,6 +353,15 @@ fn main() {
             Ok(()) => println!("{} OK", shardbench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_shard check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_churn_compact {
+        match churnbench::validate_file(churnbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", churnbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_churn check failed: {err}");
                 std::process::exit(1);
             }
         }

@@ -21,7 +21,10 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use varan_ring::{Event, EventPump, PoolAllocator, PumpQueue, RingBuffer, WaitStrategy};
+use varan_ring::{
+    Event, EventKind, EventPump, JournalRecord, PoolAllocator, PumpQueue, RingBuffer,
+    WaitStrategy,
+};
 
 use crate::Scale;
 
@@ -40,6 +43,9 @@ const CAPACITY: usize = 1024;
 const CHUNK: u64 = 256;
 /// Payload size for the pool measurements.
 const PAYLOAD: usize = 4096;
+/// Payload size of the journal frames in the spill measurement (a typical
+/// syscall data payload: one read burst).
+const SPILL_PAYLOAD: usize = 256;
 
 /// Events-per-second results for the event-streaming data plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +70,13 @@ pub struct RingBenchReport {
     pub pool_read_per_sec: f64,
     /// `PoolAllocator::read_into` (reused buffer) reads per second.
     pub pool_read_into_per_sec: f64,
+    /// Journal frames encoded per second on the leader's spill path with
+    /// the end-to-end CRC32C computed per frame (the production encoder).
+    pub spill_crc_append_per_sec: f64,
+    /// Journal frames encoded per second with checksumming skipped — the
+    /// delta against `spill_crc_append_per_sec` is what durability costs
+    /// the spill path (docs/DURABILITY.md).
+    pub spill_nocrc_append_per_sec: f64,
 }
 
 fn disruptor_events_per_sec(followers: usize, events: u64, batched: bool) -> f64 {
@@ -146,6 +159,37 @@ fn pool_throughputs(cycles: u64) -> (f64, f64, f64) {
     (alloc_free, read, read_into)
 }
 
+fn spill_record() -> JournalRecord {
+    JournalRecord {
+        kind: EventKind::Syscall,
+        sysno: 0,
+        tid: 1,
+        clock: 42,
+        result: SPILL_PAYLOAD as i64,
+        args: [3, 0, SPILL_PAYLOAD as u64, 0, 0, 0],
+        payload: Some(vec![0x5au8; SPILL_PAYLOAD]),
+    }
+}
+
+/// Frames encoded per second into a reused buffer, with (`checked`) or
+/// without the per-frame CRC32C — the same encoder the leader's spill path
+/// runs per published event, minus the file I/O both variants share.
+fn spill_encodes_per_sec(frames: u64, checked: bool) -> f64 {
+    let record = spill_record();
+    let mut sink: Vec<u8> = Vec::with_capacity(4096);
+    let start = Instant::now();
+    for _ in 0..frames {
+        sink.clear();
+        if checked {
+            std::hint::black_box(record.encode_into(&mut sink));
+        } else {
+            record.encode_into_unchecked(&mut sink);
+        }
+        std::hint::black_box(sink.as_slice());
+    }
+    frames as f64 / start.elapsed().as_secs_f64()
+}
+
 /// Runs every measurement and returns the report.
 #[must_use]
 pub fn run(scale: Scale) -> RingBenchReport {
@@ -167,6 +211,8 @@ pub fn run(scale: Scale) -> RingBenchReport {
         pool_alloc_free_per_sec,
         pool_read_per_sec,
         pool_read_into_per_sec,
+        spill_crc_append_per_sec: spill_encodes_per_sec(pool_cycles, true),
+        spill_nocrc_append_per_sec: spill_encodes_per_sec(pool_cycles, false),
     }
 }
 
@@ -205,6 +251,18 @@ impl RingBenchReport {
             out,
             "    \"read_into_per_sec\": {:.1}",
             self.pool_read_into_per_sec
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"spill\": {{");
+        let _ = writeln!(
+            out,
+            "    \"spill_crc_append_per_sec\": {:.1},",
+            self.spill_crc_append_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "    \"spill_nocrc_append_per_sec\": {:.1}",
+            self.spill_nocrc_append_per_sec
         );
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
@@ -246,6 +304,13 @@ impl RingBenchReport {
             out,
             "  pool: alloc+free {:.0}/s, read {:.0}/s, read_into {:.0}/s",
             self.pool_alloc_free_per_sec, self.pool_read_per_sec, self.pool_read_into_per_sec,
+        );
+        let _ = writeln!(
+            out,
+            "  spill encode: {:.0} frames/s with CRC32C, {:.0} without ({:.1}% checksum cost)",
+            self.spill_crc_append_per_sec,
+            self.spill_nocrc_append_per_sec,
+            (1.0 - self.spill_crc_append_per_sec / self.spill_nocrc_append_per_sec) * 100.0,
         );
         out
     }
@@ -297,6 +362,8 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
         "alloc_free_per_sec",
         "read_per_sec",
         "read_into_per_sec",
+        "spill_crc_append_per_sec",
+        "spill_nocrc_append_per_sec",
     ];
     for key in keys {
         let value = extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
@@ -352,6 +419,8 @@ mod tests {
             pool_alloc_free_per_sec: 8e6,
             pool_read_per_sec: 9e6,
             pool_read_into_per_sec: 12e6,
+            spill_crc_append_per_sec: 5e6,
+            spill_nocrc_append_per_sec: 6e6,
         }
     }
 
@@ -407,5 +476,7 @@ mod tests {
         assert!(throughput > 0.0);
         let pump = pump_events_per_sec(1, 4096);
         assert!(pump > 0.0);
+        assert!(spill_encodes_per_sec(4096, true) > 0.0);
+        assert!(spill_encodes_per_sec(4096, false) > 0.0);
     }
 }

@@ -61,6 +61,11 @@ pub fn to_json(report: &SweepReport) -> String {
         "  \"determinism_mismatches\": {},",
         report.determinism_mismatches
     );
+    let _ = writeln!(
+        out,
+        "  \"journal_corruptions_detected\": {},",
+        report.journal_corruptions_detected
+    );
     let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
     let _ = writeln!(out, "  \"modes\": {{");
     for (i, (mode, count)) in report.mode_counts.iter().enumerate() {
@@ -123,6 +128,11 @@ pub fn render(report: &SweepReport) -> String {
         out,
         "  reproducibility: {} same-seed double-runs, {} mismatches",
         report.determinism_checked, report.determinism_mismatches
+    );
+    let _ = writeln!(
+        out,
+        "  durability: {} interior journal corruptions injected and detected",
+        report.journal_corruptions_detected
     );
     if report.failures.is_empty() {
         let _ = writeln!(out, "  failures: none");
@@ -202,6 +212,16 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
             path.display()
         ));
     }
+    let corruptions = extract_number(&json, "journal_corruptions_detected")
+        .map_err(|err| format!("{}: {err}", path.display()))?;
+    if seeds >= 400.0 && corruptions < seeds / 200.0 {
+        return Err(format!(
+            "{}: only {corruptions} detected journal corruptions over {seeds} seeds — the \
+             sweep is not exercising interior media-corruption recovery \
+             (docs/DURABILITY.md)",
+            path.display()
+        ));
+    }
     let failures = extract_number(&json, "failure_count")
         .map_err(|err| format!("{}: {err}", path.display()))?;
     if failures > 0.0 {
@@ -239,6 +259,7 @@ mod tests {
             combined_trace_hash: 0xdead_beef,
             determinism_checked: 3,
             determinism_mismatches: mismatches,
+            journal_corruptions_detected: 6,
             failures,
             wall_ms: 123,
         }
@@ -281,6 +302,18 @@ mod tests {
         assert_eq!(report.seeds, 8);
         write_to(&report, &path).unwrap();
         validate_file(&path).unwrap();
+    }
+
+    #[test]
+    fn absent_corruption_coverage_fails_a_big_sweep() {
+        let path = temp_path("coverage");
+        let mut report = sample(Vec::new());
+        report.seeds = 1_000;
+        report.distinct_schedules = 990;
+        report.journal_corruptions_detected = 0;
+        write_to(&report, &path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("interior media-corruption"), "got: {err}");
     }
 
     #[test]

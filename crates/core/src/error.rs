@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use varan_ring::RingError;
+use varan_ring::{JournalError, RingError};
 
 /// Errors produced while setting up or running an N-version execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,8 @@ pub enum CoreError {
     CorruptLog(String),
     /// An elastic-fleet operation (attach, checkpoint, journal) failed.
     Fleet(String),
+    /// The spill journal reported damage or an I/O failure.
+    Journal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +63,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::CorruptLog(reason) => write!(f, "corrupt record-replay log: {reason}"),
             CoreError::Fleet(reason) => write!(f, "fleet operation failed: {reason}"),
+            CoreError::Journal(reason) => write!(f, "journal error: {reason}"),
         }
     }
 }
@@ -70,6 +73,12 @@ impl Error for CoreError {}
 impl From<RingError> for CoreError {
     fn from(err: RingError) -> Self {
         CoreError::Ring(err)
+    }
+}
+
+impl From<JournalError> for CoreError {
+    fn from(err: JournalError) -> Self {
+        CoreError::Journal(err.to_string())
     }
 }
 
@@ -95,6 +104,7 @@ mod tests {
             CoreError::NoFollowerToPromote,
             CoreError::CorruptLog("truncated".into()),
             CoreError::Fleet("no spare ring slot available".into()),
+            CoreError::Journal("frame checksum mismatch".into()),
         ];
         for case in cases {
             assert!(!case.to_string().is_empty());

@@ -67,7 +67,7 @@ use parking_lot::Mutex;
 
 use varan_kernel::process::Pid;
 use varan_kernel::time::{ClockSource, SimInstant};
-use varan_kernel::{Kernel, Sysno};
+use varan_kernel::{CheckpointDelta, Kernel, KernelCheckpoint, Sysno};
 use varan_ring::{Consumer, Event, EventJournal, JournalConfig, JournalRecord, PoolAllocator};
 
 use crate::channel::DataChannel;
@@ -84,6 +84,27 @@ const JOINER_POLL: Duration = Duration::from_millis(2);
 
 /// Journal records replayed per batch during catch-up.
 const REPLAY_BATCH: usize = 1024;
+
+/// Delta-chain length at which the checkpoint store rebases onto a fresh
+/// full checkpoint: bounds both the fold work a joiner performs and the
+/// blast radius of a refused (corrupt) link.
+const DELTA_CHAIN_CAP: usize = 32;
+
+/// How many times a joiner that hits a corrupt journal frame mid-catch-up
+/// re-checkpoints at the current tail before giving up.
+const CORRUPT_REFETCH_LIMIT: u32 = 3;
+
+/// Incremental checkpoint store: the first attach's full checkpoint plus
+/// the checksum-chained deltas taken since (docs/DURABILITY.md).  Every
+/// attach folds `base + deltas` back into the full snapshot and verifies
+/// the fold against the freshly taken checkpoint before restoring from it,
+/// so the incremental path can never drift from the direct one.
+struct CheckpointStore {
+    base: KernelCheckpoint,
+    deltas: Vec<CheckpointDelta>,
+    /// The most recent full checkpoint (what the next delta diffs against).
+    last: KernelCheckpoint,
+}
 
 /// Configuration of the elastic fleet, enabling runtime join/leave when set
 /// on [`crate::coordinator::NvxConfig::fleet`].
@@ -231,6 +252,10 @@ pub struct FleetMember {
     /// Event sequence of the checkpoint this member restored — the first
     /// event it observed.
     pub start_sequence: u64,
+    /// The restore anchor this member currently holds in the fleet's
+    /// `restoring` set.  Equals `start_sequence` unless a corrupt journal
+    /// frame forced a checkpoint re-fetch at a later tail.
+    restore_sequence: AtomicU64,
     catching_up: Arc<AtomicBool>,
     alive: Arc<AtomicBool>,
     stop: AtomicBool,
@@ -507,6 +532,8 @@ struct FleetInner {
     /// Checkpoint sequences with a restore in flight; the journal anchor is
     /// their minimum (or the tail when none).
     restoring: Mutex<Vec<u64>>,
+    /// Incremental checkpoint chain (`None` until the first attach).
+    checkpoints: Mutex<Option<CheckpointStore>>,
     preferred_successor: Arc<Mutex<Option<usize>>>,
     rearms: AtomicU64,
 }
@@ -582,6 +609,7 @@ impl FleetController {
                 joiners: Mutex::new(Vec::new()),
                 next_index: AtomicUsize::new(version_count),
                 restoring: Mutex::new(restoring),
+                checkpoints: Mutex::new(None),
                 preferred_successor,
                 rearms: AtomicU64::new(0),
             }),
@@ -592,6 +620,37 @@ impl FleetController {
     #[must_use]
     pub fn journal(&self) -> &Arc<EventJournal> {
         &self.inner.journal
+    }
+
+    /// Compacts the journal up to its retention anchor (rewriting the
+    /// straddling segment so no record below the oldest restorable
+    /// checkpoint survives on disk) and returns the number of dead records
+    /// dropped.  The fleet also runs this automatically whenever the anchor
+    /// advances; the explicit entry point exists for operational use
+    /// (bounding disk before a maintenance window) and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] if the straddling segment cannot be
+    /// read back intact or its replacement cannot be written.
+    pub fn compact_journal(&self) -> Result<u64, CoreError> {
+        self.inner
+            .journal
+            .compact_to_anchor()
+            .map_err(CoreError::from)
+    }
+
+    /// Length of the incremental checkpoint chain: 0 before the first
+    /// attach, otherwise 1 (the base) plus the deltas accumulated since the
+    /// last rebase.
+    #[must_use]
+    pub fn checkpoint_chain_len(&self) -> usize {
+        self.inner
+            .checkpoints
+            .lock()
+            .as_ref()
+            .map(|store| 1 + store.deltas.len())
+            .unwrap_or(0)
     }
 
     /// Every member ever attached (including detached ones).
@@ -734,6 +793,19 @@ impl FleetController {
             .map(|fd| (i64::from(fd.fd), fd.fd))
             .collect();
 
+        // 1b. Store the checkpoint incrementally and restore from the
+        //     *folded* chain: the joiner exercises the exact base + delta
+        //     path a durable restore would take, and the fold is verified
+        //     against the directly taken snapshot before anything is
+        //     restored from it.
+        let checkpoint = match self.chain_checkpoint(checkpoint) {
+            Ok(folded) => folded,
+            Err(err) => {
+                inner.spares.lock().push(consumer);
+                return Err(err);
+            }
+        };
+
         // 2. Restore into a fresh process, then link it into the follower
         //    set (restore-before-link: a descriptor transferred while the
         //    link exists can never be clobbered by the restore).
@@ -796,6 +868,7 @@ impl FleetController {
             name: name.to_owned(),
             pid,
             start_sequence: sequence,
+            restore_sequence: AtomicU64::new(sequence),
             catching_up,
             alive,
             stop: AtomicBool::new(false),
@@ -1156,7 +1229,105 @@ impl FleetController {
             .copied()
             .min()
             .unwrap_or_else(|| inner.journal.tail_sequence());
+        drop(restoring);
         inner.journal.set_anchor(anchor);
+        // Background compaction rides the anchor: whenever retention
+        // advances, the segment straddling the new anchor is rewritten so
+        // no dead record survives on disk.  Best-effort — a compaction
+        // failure only delays space reclamation, never correctness.
+        let _ = inner.journal.compact_to_anchor();
+    }
+
+    /// Folds `checkpoint` into the incremental store and returns the
+    /// checkpoint reconstructed from `base + deltas`, verified (by CRC32C
+    /// of the canonical encoding) to equal the directly taken snapshot.
+    fn chain_checkpoint(
+        &self,
+        checkpoint: KernelCheckpoint,
+    ) -> Result<KernelCheckpoint, CoreError> {
+        let mut store = self.inner.checkpoints.lock();
+        let Some(existing) = store.as_mut() else {
+            *store = Some(CheckpointStore {
+                base: checkpoint.clone(),
+                deltas: Vec::new(),
+                last: checkpoint.clone(),
+            });
+            return Ok(checkpoint);
+        };
+        if existing.deltas.len() >= DELTA_CHAIN_CAP {
+            existing.base = checkpoint.clone();
+            existing.deltas.clear();
+            existing.last = checkpoint.clone();
+            return Ok(checkpoint);
+        }
+        // Round-trip the delta through its durable codec so the production
+        // attach path exercises exactly what a disk- or wire-borne chain
+        // would carry (including the trailing CRC).
+        let delta = checkpoint.delta_against(&existing.last);
+        let delta = CheckpointDelta::decode(&delta.encode()).map_err(|err| {
+            CoreError::Fleet(format!("checkpoint delta codec round-trip failed: {err}"))
+        })?;
+        existing.deltas.push(delta);
+        existing.last = checkpoint.clone();
+        let folded = KernelCheckpoint::fold_chain(&existing.base, &existing.deltas)
+            .map_err(|err| CoreError::Fleet(format!("checkpoint delta chain broken: {err}")))?;
+        if folded.checksum() != checkpoint.checksum() {
+            // A fold that verifies link-by-link but disagrees with the
+            // direct snapshot means the store itself is damaged; refuse it
+            // and rebase so the next attach starts a fresh chain.
+            existing.base = checkpoint.clone();
+            existing.deltas.clear();
+            existing.last = checkpoint;
+            return Err(CoreError::Fleet(
+                "incremental checkpoint fold diverged from the direct snapshot; \
+                 chain rebased"
+                    .into(),
+            ));
+        }
+        Ok(folded)
+    }
+
+    /// Takes a fresh checkpoint of the current leader at the journal tail
+    /// and restores it into the (already attached) joiner process `pid` —
+    /// the recovery path for a joiner whose catch-up replay hit a corrupt
+    /// frame.  Registers the new sequence as a restore anchor before
+    /// snapshotting; on error the anchor is released before returning.
+    fn refetch_checkpoint(&self, pid: Pid) -> Result<(u64, HashMap<i64, i32>), CoreError> {
+        let inner = &self.inner;
+        let sequence = {
+            let mut restoring = inner.restoring.lock();
+            let sequence = inner.journal.tail_sequence();
+            restoring.push(sequence);
+            sequence
+        };
+        let result = (|| {
+            let leader_index = inner.current_leader.load(Ordering::Acquire);
+            let leader_pid = self.pid_of(leader_index).ok_or_else(|| {
+                CoreError::Fleet(format!(
+                    "current leader index {leader_index} has no registered process"
+                ))
+            })?;
+            let mut checkpoint = inner
+                .kernel
+                .checkpoint(leader_pid, sequence, &HashMap::new())
+                .map_err(|errno| CoreError::Fleet(format!("checkpoint failed: {errno:?}")))?;
+            checkpoint.fd_translation = checkpoint
+                .process
+                .fds
+                .iter()
+                .map(|fd| (i64::from(fd.fd), fd.fd))
+                .collect();
+            let checkpoint = self.chain_checkpoint(checkpoint)?;
+            let fd_map = inner
+                .kernel
+                .restore_process(&checkpoint, pid)
+                .map_err(|errno| CoreError::Fleet(format!("restore failed: {errno:?}")))?;
+            Ok((sequence, fd_map))
+        })();
+        if result.is_err() {
+            self.finish_restore(sequence);
+        }
+        result
     }
 
     /// The member's thread: journal replay, registration, live consumption.
@@ -1175,6 +1346,7 @@ impl FleetController {
         let mut pos = member.start_sequence;
         let mut registered = false;
         let record_stream = inner.record_stream;
+        let mut corrupt_refetches = 0u32;
 
         // Phases 3 and 4: replay the journal, register within half a lap.
         loop {
@@ -1185,9 +1357,45 @@ impl FleetController {
             let (start, records) = match inner.journal.read_from(pos, REPLAY_BATCH) {
                 Ok(read) => read,
                 Err(err) => {
-                    member.fail(format!("journal read at {pos}: {err}"));
-                    self.retire(member, consumer);
-                    return;
+                    // A corrupt frame mid-catch-up (detected by the frame
+                    // CRCs or a segment trailer) does not kill the joiner:
+                    // the damaged range is abandoned and a fresh checkpoint
+                    // is taken at the current tail, resuming replay past the
+                    // damage — detected and recovered, never silently
+                    // absorbed (docs/DURABILITY.md).
+                    corrupt_refetches += 1;
+                    if corrupt_refetches > CORRUPT_REFETCH_LIMIT {
+                        member.fail(format!(
+                            "journal read at {pos}: {err} \
+                             ({CORRUPT_REFETCH_LIMIT} checkpoint re-fetches exhausted)"
+                        ));
+                        self.retire(member, consumer);
+                        return;
+                    }
+                    match self.refetch_checkpoint(member.pid) {
+                        Ok((sequence, fresh_map)) => {
+                            // Swap the held restore anchor to the fresh
+                            // checkpoint's sequence, then release the old one.
+                            let old = member
+                                .restore_sequence
+                                .swap(sequence, Ordering::AcqRel);
+                            self.finish_restore(old);
+                            fd_map = fresh_map;
+                            pos = sequence;
+                            if registered {
+                                consumer.resume_at(pos);
+                            }
+                            continue;
+                        }
+                        Err(refetch_err) => {
+                            member.fail(format!(
+                                "journal read at {pos}: {err}; \
+                                 checkpoint re-fetch failed: {refetch_err}"
+                            ));
+                            self.retire(member, consumer);
+                            return;
+                        }
+                    }
                 }
             };
             if !records.is_empty() && start != pos {
@@ -1226,7 +1434,7 @@ impl FleetController {
             .catch_up_nanos
             .store(attach_started.elapsed().as_nanos() as u64, Ordering::Release);
         member.live.store(true, Ordering::Release);
-        self.finish_restore(member.start_sequence);
+        self.finish_restore(member.restore_sequence.load(Ordering::Acquire));
 
         let mut batch: Vec<Event> = Vec::new();
         loop {
@@ -1340,7 +1548,7 @@ impl FleetController {
         member.alive.store(false, Ordering::Release);
         if !member.is_live() {
             // Never went live: the restore anchor is still held.
-            self.finish_restore(member.start_sequence);
+            self.finish_restore(member.restore_sequence.load(Ordering::Acquire));
         }
         self.inner.spares.lock().push(consumer);
     }

@@ -29,6 +29,13 @@
 //! reads see EOF, writes see `EPIPE` — which mirrors what a real process
 //! would observe after its peer vanished.  Pipe contents are likewise not
 //! persisted: a restored pipe is empty.
+//!
+//! Checkpoints taken in a sequence can be stored incrementally: a
+//! [`CheckpointDelta`] carries only the tables that changed since the
+//! previous checkpoint, chained by the base checkpoint's CRC32C so a
+//! corrupted or misordered link is refused rather than folded into a wrong
+//! snapshot ([`KernelCheckpoint::delta_against`],
+//! [`KernelCheckpoint::fold_chain`]; docs/DURABILITY.md).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -43,8 +50,54 @@ use crate::signal::Signal;
 /// Magic bytes opening every encoded checkpoint.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"VRNCKPT1";
 
+/// Magic bytes opening every encoded incremental checkpoint delta.
+pub const DELTA_MAGIC: &[u8; 8] = b"VRNCKDL1";
+
 /// Upper bound accepted for any single length field while decoding.
 const MAX_FIELD: u64 = 1 << 30;
+
+// ---------------------------------------------------------------------
+// CRC32C (Castagnoli), byte-at-a-time.
+//
+// Deliberately a small private copy of `varan_ring::crc32c`: the delta
+// chain's link checksums must not pull a data-plane dependency into the
+// kernel crate (varan-ring depends on nothing of the kernel, and the
+// kernel stays restorable without a ring).  The algorithm is pinned by
+// its standard check value in the tests below, so the two copies cannot
+// drift apart silently.
+// ---------------------------------------------------------------------
+
+const CRC_POLY: u32 = 0x82F6_3B78;
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 /// Error produced when an encoded checkpoint cannot be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -359,6 +412,125 @@ fn decode_node(reader: &mut Reader<'_>) -> Result<Node, CheckpointError> {
     })
 }
 
+fn encode_process(out: &mut Vec<u8>, process: &ProcessSnapshot) {
+    put_bytes(out, process.name.as_bytes());
+    out.extend_from_slice(&process.next_fd.to_le_bytes());
+    out.extend_from_slice(&process.brk.to_le_bytes());
+    out.extend_from_slice(&process.next_mmap.to_le_bytes());
+    out.extend_from_slice(&process.threads.to_le_bytes());
+    put_bytes(out, &process.pending_signals);
+    out.extend_from_slice(&(process.fds.len() as u64).to_le_bytes());
+    for fd in &process.fds {
+        out.extend_from_slice(&fd.fd.to_le_bytes());
+        out.push(u8::from(fd.cloexec));
+        out.push(u8::from(fd.nonblocking));
+        encode_fd_object(out, &fd.object);
+    }
+}
+
+fn decode_process(reader: &mut Reader<'_>) -> Result<ProcessSnapshot, CheckpointError> {
+    let name = reader.string()?;
+    let next_fd = reader.u32()? as i32;
+    let brk = reader.u64()?;
+    let next_mmap = reader.u64()?;
+    let threads = reader.u32()?;
+    let pending_signals = reader.bytes_field()?;
+    let fd_count = reader.len()?;
+    let mut fds = Vec::with_capacity(fd_count.min(1 << 16));
+    for _ in 0..fd_count {
+        let fd = reader.u32()? as i32;
+        let cloexec = reader.u8()? != 0;
+        let nonblocking = reader.u8()? != 0;
+        let object = decode_fd_object(reader)?;
+        fds.push(FdSnapshot {
+            fd,
+            cloexec,
+            nonblocking,
+            object,
+        });
+    }
+    Ok(ProcessSnapshot {
+        name,
+        next_fd,
+        brk,
+        next_mmap,
+        threads,
+        pending_signals,
+        fds,
+    })
+}
+
+fn encode_files(out: &mut Vec<u8>, files: &[FileSnapshot]) {
+    out.extend_from_slice(&(files.len() as u64).to_le_bytes());
+    for file in files {
+        put_bytes(out, file.path.as_bytes());
+        encode_node(out, &file.node);
+    }
+}
+
+fn decode_files(reader: &mut Reader<'_>) -> Result<Vec<FileSnapshot>, CheckpointError> {
+    let file_count = reader.len()?;
+    let mut files = Vec::with_capacity(file_count.min(1 << 16));
+    for _ in 0..file_count {
+        let path = reader.string()?;
+        let node = decode_node(reader)?;
+        files.push(FileSnapshot { path, node });
+    }
+    Ok(files)
+}
+
+fn encode_listeners(out: &mut Vec<u8>, listeners: &[(u16, u32)]) {
+    out.extend_from_slice(&(listeners.len() as u64).to_le_bytes());
+    for (port, backlog) in listeners {
+        out.extend_from_slice(&port.to_le_bytes());
+        out.extend_from_slice(&backlog.to_le_bytes());
+    }
+}
+
+fn decode_listeners(reader: &mut Reader<'_>) -> Result<Vec<(u16, u32)>, CheckpointError> {
+    let listener_count = reader.len()?;
+    let mut listeners = Vec::with_capacity(listener_count.min(1 << 16));
+    for _ in 0..listener_count {
+        listeners.push((reader.u16()?, reader.u32()?));
+    }
+    Ok(listeners)
+}
+
+fn encode_translation(out: &mut Vec<u8>, translation: &[(i64, i32)]) {
+    out.extend_from_slice(&(translation.len() as u64).to_le_bytes());
+    for (leader_fd, local_fd) in translation {
+        out.extend_from_slice(&leader_fd.to_le_bytes());
+        out.extend_from_slice(&local_fd.to_le_bytes());
+    }
+}
+
+fn decode_translation(reader: &mut Reader<'_>) -> Result<Vec<(i64, i32)>, CheckpointError> {
+    let translation_count = reader.len()?;
+    let mut fd_translation = Vec::with_capacity(translation_count.min(1 << 16));
+    for _ in 0..translation_count {
+        let leader_fd = reader.u64()? as i64;
+        let local_fd = reader.u32()? as i32;
+        fd_translation.push((leader_fd, local_fd));
+    }
+    Ok(fd_translation)
+}
+
+fn encode_cut(out: &mut Vec<u8>, cut: &[u64]) {
+    out.extend_from_slice(&(cut.len() as u64).to_le_bytes());
+    for component in cut {
+        out.extend_from_slice(&component.to_le_bytes());
+    }
+}
+
+fn decode_cut(reader: &mut Reader<'_>) -> Result<Vec<u64>, CheckpointError> {
+    let cut_len = reader.len()?;
+    let mut shard_cut = Vec::with_capacity(cut_len.min(1 << 10));
+    for _ in 0..cut_len {
+        shard_cut.push(reader.u64()?);
+    }
+    Ok(shard_cut)
+}
+
 impl KernelCheckpoint {
     /// Serialises the checkpoint into its binary form.
     #[must_use]
@@ -366,49 +538,21 @@ impl KernelCheckpoint {
         let mut out = Vec::with_capacity(256);
         out.extend_from_slice(CHECKPOINT_MAGIC);
         out.extend_from_slice(&self.sequence.to_le_bytes());
-
-        // Process table entry.
-        put_bytes(&mut out, self.process.name.as_bytes());
-        out.extend_from_slice(&self.process.next_fd.to_le_bytes());
-        out.extend_from_slice(&self.process.brk.to_le_bytes());
-        out.extend_from_slice(&self.process.next_mmap.to_le_bytes());
-        out.extend_from_slice(&self.process.threads.to_le_bytes());
-        put_bytes(&mut out, &self.process.pending_signals);
-        out.extend_from_slice(&(self.process.fds.len() as u64).to_le_bytes());
-        for fd in &self.process.fds {
-            out.extend_from_slice(&fd.fd.to_le_bytes());
-            out.push(u8::from(fd.cloexec));
-            out.push(u8::from(fd.nonblocking));
-            encode_fd_object(&mut out, &fd.object);
-        }
-
-        // Fs table.
-        out.extend_from_slice(&(self.files.len() as u64).to_le_bytes());
-        for file in &self.files {
-            put_bytes(&mut out, file.path.as_bytes());
-            encode_node(&mut out, &file.node);
-        }
-
-        // Net table.
-        out.extend_from_slice(&(self.listeners.len() as u64).to_le_bytes());
-        for (port, backlog) in &self.listeners {
-            out.extend_from_slice(&port.to_le_bytes());
-            out.extend_from_slice(&backlog.to_le_bytes());
-        }
-
-        // Descriptor-translation map.
-        out.extend_from_slice(&(self.fd_translation.len() as u64).to_le_bytes());
-        for (leader_fd, local_fd) in &self.fd_translation {
-            out.extend_from_slice(&leader_fd.to_le_bytes());
-            out.extend_from_slice(&local_fd.to_le_bytes());
-        }
-
-        // Per-shard consistent-cut vector.
-        out.extend_from_slice(&(self.shard_cut.len() as u64).to_le_bytes());
-        for component in &self.shard_cut {
-            out.extend_from_slice(&component.to_le_bytes());
-        }
+        encode_process(&mut out, &self.process);
+        encode_files(&mut out, &self.files);
+        encode_listeners(&mut out, &self.listeners);
+        encode_translation(&mut out, &self.fd_translation);
+        encode_cut(&mut out, &self.shard_cut);
         out
+    }
+
+    /// The checkpoint's CRC32C over its canonical encoding — the identity a
+    /// [`CheckpointDelta`] chains against, so a delta can never be applied
+    /// to a base that differs (even by one bit) from the snapshot it was
+    /// computed from.
+    #[must_use]
+    pub fn checksum(&self) -> u32 {
+        crc32c(&self.encode())
     }
 
     /// Decodes a checkpoint previously produced by [`KernelCheckpoint::encode`].
@@ -426,75 +570,244 @@ impl KernelCheckpoint {
             });
         }
         let sequence = reader.u64()?;
-
-        let name = reader.string()?;
-        let next_fd = reader.u32()? as i32;
-        let brk = reader.u64()?;
-        let next_mmap = reader.u64()?;
-        let threads = reader.u32()?;
-        let pending_signals = reader.bytes_field()?;
-        let fd_count = reader.len()?;
-        let mut fds = Vec::with_capacity(fd_count.min(1 << 16));
-        for _ in 0..fd_count {
-            let fd = reader.u32()? as i32;
-            let cloexec = reader.u8()? != 0;
-            let nonblocking = reader.u8()? != 0;
-            let object = decode_fd_object(&mut reader)?;
-            fds.push(FdSnapshot {
-                fd,
-                cloexec,
-                nonblocking,
-                object,
-            });
-        }
-
-        let file_count = reader.len()?;
-        let mut files = Vec::with_capacity(file_count.min(1 << 16));
-        for _ in 0..file_count {
-            let path = reader.string()?;
-            let node = decode_node(&mut reader)?;
-            files.push(FileSnapshot { path, node });
-        }
-
-        let listener_count = reader.len()?;
-        let mut listeners = Vec::with_capacity(listener_count.min(1 << 16));
-        for _ in 0..listener_count {
-            listeners.push((reader.u16()?, reader.u32()?));
-        }
-
-        let translation_count = reader.len()?;
-        let mut fd_translation = Vec::with_capacity(translation_count.min(1 << 16));
-        for _ in 0..translation_count {
-            let leader_fd = reader.u64()? as i64;
-            let local_fd = reader.u32()? as i32;
-            fd_translation.push((leader_fd, local_fd));
-        }
-
-        // Per-shard consistent-cut vector.
-        let cut_len = reader.len()?;
-        let mut shard_cut = Vec::with_capacity(cut_len.min(1 << 10));
-        for _ in 0..cut_len {
-            shard_cut.push(reader.u64()?);
-        }
+        let process = decode_process(&mut reader)?;
+        let files = decode_files(&mut reader)?;
+        let listeners = decode_listeners(&mut reader)?;
+        let fd_translation = decode_translation(&mut reader)?;
+        let shard_cut = decode_cut(&mut reader)?;
         if reader.at != bytes.len() {
             return reader.fail("trailing bytes after checkpoint");
         }
         Ok(KernelCheckpoint {
             sequence,
-            process: ProcessSnapshot {
-                name,
-                next_fd,
-                brk,
-                next_mmap,
-                threads,
-                pending_signals,
-                fds,
-            },
+            process,
             files,
             listeners,
             fd_translation,
             shard_cut,
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental checkpoints
+// ---------------------------------------------------------------------
+
+/// An incremental checkpoint: the tables that changed between a base
+/// [`KernelCheckpoint`] and a later one, at table granularity.
+///
+/// Restore folds a base checkpoint plus a chain of deltas back into the
+/// full snapshot ([`KernelCheckpoint::fold_chain`]).  Every link carries
+/// the CRC32C of the exact base it was computed from, so a delta can never
+/// be applied to a checkpoint that differs — even by one bit — from the
+/// one it extends; corruption anywhere in the chain is detected instead of
+/// silently producing a wrong snapshot (docs/DURABILITY.md).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointDelta {
+    /// Event sequence of the checkpoint this delta produces when applied.
+    pub sequence: u64,
+    /// Event sequence of the base checkpoint the delta was computed from.
+    pub base_sequence: u64,
+    /// CRC32C of the base checkpoint's canonical encoding
+    /// ([`KernelCheckpoint::checksum`]); [`KernelCheckpoint::apply_delta`]
+    /// refuses the link if its actual base disagrees.
+    pub base_checksum: u32,
+    /// Replacement process table, or `None` if unchanged since the base.
+    pub process: Option<ProcessSnapshot>,
+    /// Replacement filesystem table, or `None` if unchanged.
+    pub files: Option<Vec<FileSnapshot>>,
+    /// Replacement listener table, or `None` if unchanged.
+    pub listeners: Option<Vec<(u16, u32)>>,
+    /// Replacement descriptor-translation map, or `None` if unchanged.
+    pub fd_translation: Option<Vec<(i64, i32)>>,
+    /// Replacement per-shard cut vector, or `None` if unchanged.
+    pub shard_cut: Option<Vec<u64>>,
+}
+
+impl CheckpointDelta {
+    /// True if the delta changes nothing except the sequence stamp.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.process.is_none()
+            && self.files.is_none()
+            && self.listeners.is_none()
+            && self.fd_translation.is_none()
+            && self.shard_cut.is_none()
+    }
+
+    /// Serialises the delta into its binary form: magic, sequence pair,
+    /// base checksum, five tagged optional table sections, and a trailing
+    /// CRC32C over everything before it.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        fn section<T>(out: &mut Vec<u8>, table: &Option<T>, encode: impl FnOnce(&mut Vec<u8>, &T)) {
+            match table {
+                None => out.push(0),
+                Some(value) => {
+                    out.push(1);
+                    encode(out, value);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(DELTA_MAGIC);
+        out.extend_from_slice(&self.sequence.to_le_bytes());
+        out.extend_from_slice(&self.base_sequence.to_le_bytes());
+        out.extend_from_slice(&self.base_checksum.to_le_bytes());
+        section(&mut out, &self.process, encode_process);
+        section(&mut out, &self.files, |out, files| encode_files(out, files));
+        section(&mut out, &self.listeners, |out, listeners| {
+            encode_listeners(out, listeners);
+        });
+        section(&mut out, &self.fd_translation, |out, translation| {
+            encode_translation(out, translation);
+        });
+        section(&mut out, &self.shard_cut, |out, cut| encode_cut(out, cut));
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a delta previously produced by [`CheckpointDelta::encode`],
+    /// verifying the trailing CRC before trusting any field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] with the failing offset if the bytes are
+    /// truncated, fail the integrity check, carry invalid tags or lie about
+    /// any length.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        const CRC_LEN: usize = 4;
+        if bytes.len() < DELTA_MAGIC.len() + CRC_LEN {
+            return Err(CheckpointError {
+                offset: bytes.len(),
+                reason: "truncated checkpoint delta",
+            });
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - CRC_LEN);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if crc32c(body) != stored {
+            return Err(CheckpointError {
+                offset: body.len(),
+                reason: "checkpoint delta checksum mismatch",
+            });
+        }
+        let mut reader = Reader { bytes: body, at: 0 };
+        if reader.take(DELTA_MAGIC.len())? != DELTA_MAGIC {
+            return Err(CheckpointError {
+                offset: 0,
+                reason: "missing checkpoint delta magic",
+            });
+        }
+        let sequence = reader.u64()?;
+        let base_sequence = reader.u64()?;
+        let base_checksum = reader.u32()?;
+        fn section<T>(
+            reader: &mut Reader<'_>,
+            decode: impl FnOnce(&mut Reader<'_>) -> Result<T, CheckpointError>,
+        ) -> Result<Option<T>, CheckpointError> {
+            match reader.u8()? {
+                0 => Ok(None),
+                1 => Ok(Some(decode(reader)?)),
+                _ => reader.fail("invalid delta section tag"),
+            }
+        }
+        let process = section(&mut reader, decode_process)?;
+        let files = section(&mut reader, decode_files)?;
+        let listeners = section(&mut reader, decode_listeners)?;
+        let fd_translation = section(&mut reader, decode_translation)?;
+        let shard_cut = section(&mut reader, decode_cut)?;
+        if reader.at != body.len() {
+            return reader.fail("trailing bytes after checkpoint delta");
+        }
+        Ok(CheckpointDelta {
+            sequence,
+            base_sequence,
+            base_checksum,
+            process,
+            files,
+            listeners,
+            fd_translation,
+            shard_cut,
+        })
+    }
+}
+
+impl KernelCheckpoint {
+    /// Computes the incremental checkpoint that turns `prev` into `self`:
+    /// only tables that actually differ are carried, each as a whole
+    /// (table-granularity diffing keeps the codec bounds-checkable and the
+    /// restore fold trivially associative).
+    #[must_use]
+    pub fn delta_against(&self, prev: &KernelCheckpoint) -> CheckpointDelta {
+        CheckpointDelta {
+            sequence: self.sequence,
+            base_sequence: prev.sequence,
+            base_checksum: prev.checksum(),
+            process: (self.process != prev.process).then(|| self.process.clone()),
+            files: (self.files != prev.files).then(|| self.files.clone()),
+            listeners: (self.listeners != prev.listeners).then(|| self.listeners.clone()),
+            fd_translation: (self.fd_translation != prev.fd_translation)
+                .then(|| self.fd_translation.clone()),
+            shard_cut: (self.shard_cut != prev.shard_cut).then(|| self.shard_cut.clone()),
+        }
+    }
+
+    /// Applies one delta link, producing the next checkpoint in the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the delta was not computed against
+    /// exactly this checkpoint: a sequence mismatch, or a base-checksum
+    /// mismatch (the base was corrupted, or the chain links were reordered).
+    pub fn apply_delta(&self, delta: &CheckpointDelta) -> Result<KernelCheckpoint, CheckpointError> {
+        if delta.base_sequence != self.sequence {
+            return Err(CheckpointError {
+                offset: 0,
+                reason: "delta base sequence does not match the checkpoint it is applied to",
+            });
+        }
+        if delta.base_checksum != self.checksum() {
+            return Err(CheckpointError {
+                offset: 0,
+                reason: "checksum-mismatched delta link",
+            });
+        }
+        Ok(KernelCheckpoint {
+            sequence: delta.sequence,
+            process: delta.process.clone().unwrap_or_else(|| self.process.clone()),
+            files: delta.files.clone().unwrap_or_else(|| self.files.clone()),
+            listeners: delta
+                .listeners
+                .clone()
+                .unwrap_or_else(|| self.listeners.clone()),
+            fd_translation: delta
+                .fd_translation
+                .clone()
+                .unwrap_or_else(|| self.fd_translation.clone()),
+            shard_cut: delta
+                .shard_cut
+                .clone()
+                .unwrap_or_else(|| self.shard_cut.clone()),
+        })
+    }
+
+    /// Folds a base checkpoint and an ordered delta chain into the final
+    /// checkpoint, verifying every link's base checksum along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first link's [`CheckpointError`] if any delta in the
+    /// chain fails [`KernelCheckpoint::apply_delta`]'s identity checks.
+    pub fn fold_chain(
+        base: &KernelCheckpoint,
+        deltas: &[CheckpointDelta],
+    ) -> Result<KernelCheckpoint, CheckpointError> {
+        let mut current = base.clone();
+        for delta in deltas {
+            current = current.apply_delta(delta)?;
+        }
+        Ok(current)
     }
 }
 
@@ -845,5 +1158,119 @@ mod tests {
         let read = kernel.syscall(joiner, &SyscallRequest::read(stream_fd, 8));
         // EOF (0), not a hang and not EBADF.
         assert_eq!(read.result, 0);
+    }
+
+    #[test]
+    fn private_crc_copy_matches_the_published_check_value() {
+        // Pins this module's private CRC32C to the standard catalogue check
+        // value, so it can never silently diverge from varan_ring::crc32c.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn delta_carries_only_changed_tables() {
+        let (kernel, pid) = populated_kernel();
+        let base = kernel.checkpoint(pid, 10, &HashMap::new()).unwrap();
+        // Mutate only the fs table between checkpoints.
+        kernel.populate_file("/tmp/app.log", b"line".to_vec()).unwrap();
+        let next = kernel.checkpoint(pid, 20, &HashMap::new()).unwrap();
+        let delta = next.delta_against(&base);
+        assert_eq!(delta.sequence, 20);
+        assert_eq!(delta.base_sequence, 10);
+        assert_eq!(delta.base_checksum, base.checksum());
+        assert!(delta.files.is_some(), "fs table changed");
+        assert!(delta.process.is_none(), "process table unchanged");
+        assert!(delta.listeners.is_none());
+        assert!(delta.fd_translation.is_none());
+        // The cut vector is stamped with the sequence, so it always changes
+        // between checkpoints at different sequences.
+        assert!(delta.shard_cut.is_some());
+        assert!(!delta.is_empty());
+        assert_eq!(base.apply_delta(&delta).unwrap(), next);
+    }
+
+    #[test]
+    fn delta_encode_decode_round_trips_and_rejects_damage() {
+        let (kernel, pid) = populated_kernel();
+        let base = kernel.checkpoint(pid, 1, &HashMap::new()).unwrap();
+        kernel.populate_file("/etc/config", b"v2".to_vec()).unwrap();
+        let next = kernel.checkpoint(pid, 2, &HashMap::new()).unwrap();
+        let delta = next.delta_against(&base);
+        let bytes = delta.encode();
+        assert_eq!(CheckpointDelta::decode(&bytes).unwrap(), delta);
+
+        // Every truncation fails cleanly.
+        for cut in [0, 1, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(CheckpointDelta::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Any single corrupted byte is caught by the trailing CRC.
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(CheckpointDelta::decode(&bad).is_err(), "flip at {at} undetected");
+        }
+        // Trailing garbage moves the CRC out of place.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CheckpointDelta::decode(&long).is_err());
+    }
+
+    #[test]
+    fn apply_delta_refuses_mismatched_links() {
+        let (kernel, pid) = populated_kernel();
+        let base = kernel.checkpoint(pid, 1, &HashMap::new()).unwrap();
+        kernel.populate_file("/a", b"x".to_vec()).unwrap();
+        let next = kernel.checkpoint(pid, 2, &HashMap::new()).unwrap();
+        let delta = next.delta_against(&base);
+
+        // Wrong base sequence: the link is not for this checkpoint.
+        let mut wrong_seq = delta.clone();
+        wrong_seq.base_sequence = 999;
+        let err = base.apply_delta(&wrong_seq).unwrap_err();
+        assert!(err.reason.contains("base sequence"), "{}", err.reason);
+
+        // A base that differs by one bit from the recorded checksum.
+        let mut tampered_base = base.clone();
+        tampered_base.process.brk ^= 1;
+        let err = tampered_base.apply_delta(&delta).unwrap_err();
+        assert_eq!(err.reason, "checksum-mismatched delta link");
+
+        // The honest base still applies.
+        assert_eq!(base.apply_delta(&delta).unwrap(), next);
+    }
+
+    #[test]
+    fn folding_a_chain_reproduces_the_full_checkpoint() {
+        let (kernel, pid) = populated_kernel();
+        let translation: HashMap<i64, i32> = [(3i64, 3i32)].into_iter().collect();
+        let c1 = kernel.checkpoint(pid, 100, &HashMap::new()).unwrap();
+        kernel.populate_file("/data/1", b"one".to_vec()).unwrap();
+        let c2 = kernel.checkpoint(pid, 200, &HashMap::new()).unwrap();
+        kernel.populate_file("/data/2", b"two".to_vec()).unwrap();
+        kernel.deliver_signal(pid, Signal::Sigusr1).unwrap();
+        let c3 = kernel.checkpoint(pid, 300, &translation).unwrap();
+
+        let d2 = c2.delta_against(&c1);
+        let d3 = c3.delta_against(&c2);
+        let folded = KernelCheckpoint::fold_chain(&c1, &[d2.clone(), d3.clone()]).unwrap();
+        assert_eq!(folded, c3);
+        assert_eq!(folded.checksum(), c3.checksum());
+        assert_eq!(folded.encode(), c3.encode());
+
+        // Reordering the chain breaks the checksum links.
+        assert!(KernelCheckpoint::fold_chain(&c1, &[d3, d2]).is_err());
+    }
+
+    #[test]
+    fn empty_delta_round_trips_and_applies() {
+        let (kernel, pid) = populated_kernel();
+        let base = kernel.checkpoint(pid, 5, &HashMap::new()).unwrap();
+        // Same sequence, nothing mutated: every table section is omitted.
+        let same = kernel.checkpoint(pid, 5, &HashMap::new()).unwrap();
+        let delta = same.delta_against(&base);
+        assert!(delta.is_empty());
+        let bytes = delta.encode();
+        assert_eq!(CheckpointDelta::decode(&bytes).unwrap(), delta);
+        assert_eq!(base.apply_delta(&delta).unwrap(), base);
     }
 }

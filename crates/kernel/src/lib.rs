@@ -27,7 +27,9 @@
 //!   syscall dispatcher.
 //! * [`checkpoint`] — serializable snapshots of the fs/net/process/signal
 //!   tables (plus the per-version descriptor-translation map), the substrate
-//!   for followers joining a running execution at an event boundary.
+//!   for followers joining a running execution at an event boundary, and
+//!   checksum-chained incremental deltas between successive snapshots
+//!   (docs/DURABILITY.md).
 //! * [`sim`] — the deterministic-simulation interposition point: a
 //!   [`sim::SimDriver`] installed on the kernel is consulted at every
 //!   system-call dispatch and descriptor transfer, letting a seeded harness
@@ -68,7 +70,7 @@ pub mod time;
 
 mod errno;
 
-pub use checkpoint::{CheckpointError, KernelCheckpoint};
+pub use checkpoint::{CheckpointDelta, CheckpointError, KernelCheckpoint};
 pub use errno::Errno;
 pub use kernel::Kernel;
 pub use shard::{connection_key, names_descriptor};

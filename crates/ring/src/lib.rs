@@ -25,7 +25,9 @@
 //! * [`journal`] — the segmented, disk-backed spill journal that extends the
 //!   bounded in-memory ring into an unbounded catch-up log for followers
 //!   that join (or lag) at runtime, with retention anchored at the oldest
-//!   live kernel checkpoint.
+//!   live kernel checkpoint, per-frame CRC32C checksums ([`crc32c`]),
+//!   sealed-segment trailer hashes, a verify-on-reopen scrub and
+//!   anchor-aligned compaction (docs/DURABILITY.md).
 //!
 //! In the original system these structures live in a POSIX shared-memory
 //! segment mapped into every version's address space; in this reproduction the
@@ -58,6 +60,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod clock;
+pub mod crc32c;
 mod error;
 mod event;
 pub mod journal;
@@ -71,7 +74,10 @@ mod waitlock;
 pub use clock::{ClockOrdering, LamportClock, VariantClock};
 pub use error::RingError;
 pub use event::{Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE};
-pub use journal::{EventJournal, JournalConfig, JournalError, JournalFaults, JournalRecord};
+pub use journal::{
+    EventJournal, JournalConfig, JournalError, JournalFaults, JournalRecord, ScrubKind,
+    ScrubReport,
+};
 pub use pump::{EventPump, PumpQueue};
 pub use ring::{Consumer, Producer, RingBuffer, WaitStrategy};
 pub use sequence::Sequence;

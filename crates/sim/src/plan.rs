@@ -145,6 +145,15 @@ pub enum Fault {
         /// Sequence of the (final) corrupted record.
         at_record: u64,
     },
+    /// One byte of a *mid-journal* record's payload is flipped on its way
+    /// to disk.  Unlike [`Fault::FlipBit`] this damages the interior of the
+    /// journal, not its dying tail: recovery must surface a scrub report,
+    /// keep the intact prefix byte-identical, and never silently absorb the
+    /// corrupt frame (docs/DURABILITY.md).
+    FlipPayloadByte {
+        /// Sequence of the corrupted record (never the final one).
+        at_record: u64,
+    },
     /// Version `version` stalls only on calls that key to `shard` — a
     /// laggard confined to one lane of the sharded plane, probing that
     /// shard's lap edge while its sibling shards run free.
@@ -194,6 +203,12 @@ impl std::fmt::Display for Fault {
             Fault::FlipBit { at_record } => {
                 write!(f, "flip one bit in the write of journal record {at_record}")
             }
+            Fault::FlipPayloadByte { at_record } => {
+                write!(
+                    f,
+                    "flip one payload byte in the write of mid-journal record {at_record}"
+                )
+            }
             Fault::CrashCandidate { hop, window } => match window {
                 CandidateWindow::Canary { at_syscall } => write!(
                     f,
@@ -241,6 +256,10 @@ impl Fault {
             }
             Fault::FlipBit { at_record } => {
                 fnv.fold(6);
+                fnv.fold(at_record);
+            }
+            Fault::FlipPayloadByte { at_record } => {
+                fnv.fold(9);
                 fnv.fold(at_record);
             }
             Fault::ShardLag { version, shard, every, micros } => {
@@ -435,15 +454,24 @@ impl FaultPlan {
                 // Records are numbered 0..journal_records; the dying write
                 // is the last one.
                 let at_record = plan.journal_records - 1;
-                if pick(3) == 0 {
-                    plan.faults.push(Fault::FlipBit { at_record });
-                } else {
-                    // `keep` is clamped against the actual frame length at
-                    // injection time; pick generously.
-                    plan.faults.push(Fault::TornWrite {
-                        at_record,
-                        keep: pick(96) as usize,
-                    });
+                match pick(4) {
+                    0 => plan.faults.push(Fault::FlipBit { at_record }),
+                    1 => {
+                        // Interior media corruption: damage a record the
+                        // writer went on to durably follow (journal_records
+                        // is >= 5, so a non-final target always exists).
+                        plan.faults.push(Fault::FlipPayloadByte {
+                            at_record: pick(at_record),
+                        });
+                    }
+                    _ => {
+                        // `keep` is clamped against the actual frame length
+                        // at injection time; pick generously.
+                        plan.faults.push(Fault::TornWrite {
+                            at_record,
+                            keep: pick(96) as usize,
+                        });
+                    }
                 }
             }
             Mode::Churn => {

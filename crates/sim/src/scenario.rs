@@ -20,7 +20,7 @@ use varan_core::upgrade::{
 use varan_kernel::cost::CostModel;
 use varan_kernel::syscall::SyscallRequest;
 use varan_kernel::{Corruptor, Errno, Kernel};
-use varan_ring::journal::{EventJournal, JournalConfig, JournalFaults, JournalRecord};
+use varan_ring::journal::{EventJournal, JournalConfig, JournalFaults, JournalRecord, ScrubKind};
 use varan_ring::EventKind;
 
 use crate::driver::SweepDriver;
@@ -45,6 +45,9 @@ pub struct SimOutcome {
     pub schedule_hash: u64,
     /// First invariant violation, if any.
     pub failure: Option<String>,
+    /// The run injected interior journal corruption and the scrub detected
+    /// it (a `Corrupt` report with an offset, never a silent absorption).
+    pub journal_corruption_detected: bool,
 }
 
 /// Generates the plan for `seed` and runs it.
@@ -57,6 +60,7 @@ pub fn run_seed(seed: u64) -> SimOutcome {
 #[derive(Debug, Default)]
 struct Checks {
     failure: Option<String>,
+    corruption_detected: bool,
 }
 
 impl Checks {
@@ -392,6 +396,19 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
                     let mut corruptor = Corruptor::new(self.seed);
                     corruptor.flip_bit(frame);
                 }
+                Fault::FlipPayloadByte { at_record } if seq == at_record => {
+                    // Frame layout: 79-byte header whose final eight bytes
+                    // are the payload length, then the payload, then the
+                    // frame CRC.  Flip one bit inside the payload region —
+                    // the plan guarantees this record carries a payload.
+                    let len = u64::from_le_bytes(
+                        frame[71..79].try_into().expect("frame header is 79 bytes"),
+                    );
+                    if len != u64::MAX && len > 0 {
+                        let at = 79 + (self.seed % len) as usize;
+                        frame[at] ^= 1 << ((self.seed >> 8) & 7);
+                    }
+                }
                 _ => {}
             }
         }
@@ -419,6 +436,12 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
         }
         for seq in 0..plan.journal_records {
             let word = record_rng.next_u64();
+            // The payload-flip target must carry a non-empty payload, or
+            // there would be nothing for the fault to damage.
+            let force_payload = matches!(
+                write_fault,
+                Some(Fault::FlipPayloadByte { at_record }) if at_record == seq
+            );
             let record = JournalRecord {
                 kind: EventKind::Syscall,
                 sysno: (word % 300) as u16,
@@ -426,7 +449,9 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
                 clock: seq,
                 result: (word >> 16) as i64 % 1_000,
                 args: [seq, word, 0, 0, 0, 0],
-                payload: if word.is_multiple_of(3) {
+                payload: if force_payload {
+                    Some(vec![(word % 251) as u8; 1 + (word % 59) as usize])
+                } else if word.is_multiple_of(3) {
                     Some(vec![(word % 251) as u8; (word % 60) as usize])
                 } else {
                     None
@@ -445,6 +470,10 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
         JournalConfig::new(&dir).with_segment_records(plan.segment_records),
     );
     let torn = matches!(write_fault, Some(Fault::TornWrite { .. }));
+    let mid_flip = match write_fault {
+        Some(Fault::FlipPayloadByte { at_record }) => Some(at_record),
+        _ => None,
+    };
     match reopened {
         Ok(journal) => {
             let tail = journal.tail_sequence();
@@ -461,6 +490,13 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
                     )
                 });
             }
+            if let Some(at) = mid_flip {
+                // Interior corruption loses the damaged record and every
+                // record behind it, nothing more and nothing less.
+                checks.expect(tail == at, || {
+                    format!("payload flip at record {at}: expected tail {at}, recovered {tail}")
+                });
+            }
             trace.fold(1); // open succeeded
             trace.fold(tail);
             match journal.read_from(0, usize::MAX) {
@@ -469,8 +505,10 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
                     checks.expect(records.len() as u64 == tail, || {
                         format!("read {} records, tail says {tail}", records.len())
                     });
-                    if torn {
-                        // Torn writes must recover the exact prefix.
+                    if torn || mid_flip.is_some() {
+                        // Damage behind the tail must never leak forward:
+                        // the surviving records are byte-for-byte the
+                        // appended prefix.
                         checks.expect(
                             records.as_slice() == &appended[..tail as usize],
                             || "recovered records differ from the appended prefix".to_owned(),
@@ -484,12 +522,48 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
                 }
                 Err(err) => checks.expect(false, || format!("recovered read failed: {err}")),
             }
+            if let Some(at) = mid_flip {
+                // The corruption must be *detected* — a `Corrupt` scrub
+                // report naming the damage — never silently absorbed.
+                let reports = journal.scrub_reports();
+                let detected = reports
+                    .iter()
+                    .any(|report| report.kind == ScrubKind::Corrupt && report.new_tail == at);
+                checks.expect(detected, || {
+                    format!(
+                        "payload flip at record {at} was silently absorbed: \
+                         no Corrupt scrub report ({} reports)",
+                        reports.len()
+                    )
+                });
+                checks.corruption_detected = detected;
+                for report in &reports {
+                    trace.fold(report.segment_first_seq);
+                    trace.fold(report.offset as u64);
+                    trace.fold(report.new_tail);
+                }
+                // ...and *recovered*: the scrubbed journal accepts new
+                // appends exactly where the damage cut it.
+                match journal.append(appended[at as usize].clone()) {
+                    Ok(seq) => checks.expect(seq == at, || {
+                        format!("post-scrub append landed at {seq}, expected {at}")
+                    }),
+                    Err(err) => {
+                        checks.expect(false, || format!("post-scrub append failed: {err}"));
+                    }
+                }
+            }
         }
         Err(err) => {
             // A flipped bit may corrupt the frame beyond lossy recovery —
             // a clean, offset-reporting error is acceptable.  A torn tail
-            // is not allowed to be fatal.
+            // is not allowed to be fatal, and neither is a payload flip:
+            // the damage never touches segment framing, so the scrub must
+            // always recover the intact prefix.
             checks.expect(!torn, || format!("torn tail must recover, open failed: {err}"));
+            checks.expect(mid_flip.is_none(), || {
+                format!("payload flip must be survivable, open failed: {err}")
+            });
             trace.fold(0);
             trace.fold_bytes(err.to_string().as_bytes());
         }
@@ -905,6 +979,7 @@ fn finish(
         mode: plan.mode,
         trace_hash: trace.value(),
         schedule_hash: driver.map(|driver| driver.schedule_hash()).unwrap_or(0),
+        journal_corruption_detected: checks.corruption_detected,
         failure: checks.failure,
     }
 }

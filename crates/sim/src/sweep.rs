@@ -54,6 +54,10 @@ pub struct SweepReport {
     pub determinism_checked: u64,
     /// Same-seed double-runs whose trace hashes differed (must be 0).
     pub determinism_mismatches: u64,
+    /// Seeds that injected interior journal corruption and saw the scrub
+    /// detect it (a `Corrupt` report, never a silent absorption).  The CI
+    /// gate requires this coverage to stay non-trivial.
+    pub journal_corruptions_detected: u64,
     /// Failing seeds, shrunk where possible.
     pub failures: Vec<ShrunkFailure>,
     /// Wall time of the whole sweep, milliseconds.
@@ -72,6 +76,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
     let mut failures = Vec::new();
     let mut determinism_checked = 0u64;
     let mut determinism_mismatches = 0u64;
+    let mut journal_corruptions_detected = 0u64;
 
     for offset in 0..config.seeds {
         let seed = config.base_seed.wrapping_add(offset);
@@ -80,6 +85,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         traces.insert(outcome.trace_hash);
         combined.fold(outcome.trace_hash);
         *mode_counts.entry(outcome.mode.name()).or_insert(0) += 1;
+        journal_corruptions_detected += u64::from(outcome.journal_corruption_detected);
 
         if config.determinism_every != 0 && offset % config.determinism_every == 0 {
             determinism_checked += 1;
@@ -131,6 +137,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         combined_trace_hash: combined.value(),
         determinism_checked,
         determinism_mismatches,
+        journal_corruptions_detected,
         failures,
         wall_ms: started.elapsed().as_millis() as u64,
         config,

@@ -1,0 +1,75 @@
+//! Regression pin for interior journal corruption (docs/DURABILITY.md):
+//! seeds whose plan flips a payload byte of a mid-journal record must see
+//! the damage *detected* (a `Corrupt` scrub report) and *recovered* (the
+//! intact prefix survives byte-identically and the journal accepts new
+//! appends at the cut) — never silently absorbed, never fatal.  The pinned
+//! seeds cover the interesting placements: the very first record, a record
+//! inside a sealed rotated segment, and a record in the active segment.
+
+use varan_sim::{run_seed, run_sweep, Fault, FaultPlan, Mode, SweepConfig};
+
+/// Seeds pinned to `Mode::Journal` plans carrying a `FlipPayloadByte`
+/// fault (verified against the generator below, so plan-generation drift
+/// fails loudly instead of silently testing nothing).
+const FLIP_PAYLOAD_SEEDS: [u64; 5] = [55, 194, 324, 404, 470];
+
+#[test]
+fn corrupt_payload_is_detected_and_recovered_never_absorbed() {
+    for seed in FLIP_PAYLOAD_SEEDS {
+        let plan = FaultPlan::generate(seed);
+        assert_eq!(plan.mode, Mode::Journal, "seed {seed} drifted out of journal mode");
+        assert!(
+            plan.faults
+                .iter()
+                .any(|fault| matches!(fault, Fault::FlipPayloadByte { .. })),
+            "seed {seed} no longer plans a payload flip: {:?}",
+            plan.faults
+        );
+        let outcome = run_seed(seed);
+        assert!(
+            outcome.failure.is_none(),
+            "seed {seed} violated a recovery invariant: {:?}",
+            outcome.failure
+        );
+        assert!(
+            outcome.journal_corruption_detected,
+            "seed {seed} absorbed the payload flip without a Corrupt scrub report"
+        );
+    }
+}
+
+#[test]
+fn torn_tails_do_not_count_as_detected_corruption() {
+    // A routine torn final frame is crash recovery, not media corruption:
+    // the counter must stay specific to interior damage.
+    let seed = (0..500)
+        .find(|&seed| {
+            let plan = FaultPlan::generate(seed);
+            plan.mode == Mode::Journal
+                && plan
+                    .faults
+                    .iter()
+                    .all(|fault| matches!(fault, Fault::TornWrite { .. }))
+        })
+        .expect("some seed under 500 plans a torn final write");
+    let outcome = run_seed(seed);
+    assert!(outcome.failure.is_none(), "torn tail failed: {:?}", outcome.failure);
+    assert!(!outcome.journal_corruption_detected);
+}
+
+#[test]
+fn sweeps_report_corruption_coverage() {
+    // The sweep aggregates the per-seed flag into the count CI gates on.
+    let report = run_sweep(SweepConfig {
+        base_seed: 0,
+        seeds: 100,
+        determinism_every: 0,
+        shrink_failures: false,
+    });
+    assert!(
+        report.journal_corruptions_detected >= 1,
+        "no corruption coverage in 100 seeds (got {})",
+        report.journal_corruptions_detected
+    );
+    assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+}
