@@ -27,6 +27,36 @@ use varan_kernel::Sysno;
 
 use super::{open_listener, ConnReader, ServerConfig};
 
+/// Padding quantum for introspection responses: bodies are padded with
+/// trailing newlines (whitespace, legal in both JSON and Prometheus text) to
+/// a multiple of this, so the number of `write` system calls a response
+/// takes is independent of the counter *values* being rendered.  Under
+/// N-version execution every version renders its own snapshot — the values
+/// differ by harmless timing skew — and divergence checking compares
+/// syscall numbers per event, so the write count must not vary with digits.
+const METRICS_PAD: usize = 16 * 1024;
+
+/// Renders the live introspection body for `/varan/metrics` (JSON) or
+/// `/varan/metrics.prom` (Prometheus text) from the process-wide telemetry
+/// registry; `None` for every other path.
+fn metrics_body(path: &str) -> Option<(&'static str, Vec<u8>)> {
+    let registry = varan_obs::global();
+    let (content_type, mut body) = match path {
+        "/varan/metrics" => (
+            "application/json",
+            registry.snapshot().to_json().into_bytes(),
+        ),
+        "/varan/metrics.prom" => (
+            "text/plain; version=0.0.4",
+            registry.snapshot().to_prometheus().into_bytes(),
+        ),
+        _ => return None,
+    };
+    let padded = body.len().div_ceil(METRICS_PAD) * METRICS_PAD;
+    body.resize(padded, b'\n');
+    Some((content_type, body))
+}
+
 /// Well-known revision numbers from the paper's §5.2 feasibility study.
 pub mod revs {
     /// Baseline revision using `geteuid()`/`getegid()`.
@@ -209,6 +239,23 @@ impl HttpServer {
             // Request parsing, URI normalisation, response-header generation
             // and access logging all happen in user space.
             sys.cpu_work(self.compute_per_request);
+            // Live introspection endpoint: served from the in-process
+            // telemetry registry, no filesystem access.  The padded body
+            // keeps the write count value-independent (see `METRICS_PAD`).
+            if let Some((content_type, body)) = metrics_body(&path) {
+                let header = format!(
+                    "HTTP/1.1 200 OK\r\nServer: {}/{}\r\nContent-Type: {}\r\n\
+                     Content-Length: {}\r\n\r\n",
+                    self.flavour,
+                    self.revision,
+                    content_type,
+                    body.len()
+                )
+                .into_bytes();
+                super::send_response(sys, conn, &[&header, &body]);
+                served += 1;
+                continue;
+            }
             // The privilege check is issued immediately before the open, as
             // in the Lighttpd revisions Listing 1 was written against.
             self.check_user(sys);
@@ -470,6 +517,36 @@ mod tests {
         let exit = server.run(&mut sys);
         driver.join().unwrap();
         assert_eq!(exit, ProgramExit::Crashed(Signal::Sigsegv));
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_padded_json_and_prometheus() {
+        let kernel = kernel_with_page();
+        let mut server =
+            HttpServer::lighttpd(ServerConfig::on_port(7950).with_connections(2));
+        let client_kernel = kernel.clone();
+        let driver = std::thread::spawn(move || {
+            let response = get(&client_kernel, 7950, "/varan/metrics");
+            let text = String::from_utf8_lossy(&response).into_owned();
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+            assert!(text.contains("application/json"));
+            assert!(text.contains(varan_obs::SNAPSHOT_SCHEMA));
+            // The padded body is a fixed multiple of the quantum, so the
+            // response's write count cannot depend on counter digits.
+            let content_length = text
+                .lines()
+                .find_map(|line| line.strip_prefix("Content-Length: "))
+                .and_then(|value| value.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            assert_eq!(content_length % super::METRICS_PAD, 0);
+            let response = get(&client_kernel, 7950, "/varan/metrics.prom");
+            let text = String::from_utf8_lossy(&response).into_owned();
+            assert!(text.contains("# TYPE varan_"), "got: {text}");
+        });
+        let mut sys = DirectExecutor::new(&kernel, "metrics-test");
+        let exit = server.run(&mut sys);
+        driver.join().unwrap();
+        assert_eq!(exit, ProgramExit::Exited(0));
     }
 
     #[test]

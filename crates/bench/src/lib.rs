@@ -20,6 +20,7 @@
 //! | [`churnbench`] | machine-readable catch-up-vs-journal-growth scenario (`BENCH_churn.json`) |
 //! | [`upgradebench`] | machine-readable zero-downtime rolling upgrade (`BENCH_upgrade.json`) |
 //! | [`simbench`] | machine-readable deterministic-simulation sweep (`BENCH_sim.json`) |
+//! | [`obsbench`] | machine-readable telemetry-plane overhead/endpoint/determinism check (`BENCH_obs.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod churnbench;
 pub mod comparison;
 pub mod fleetbench;
 pub mod microbench;
+pub mod obsbench;
 pub mod report;
 pub mod ringbench;
 pub mod scenarios;

@@ -10,8 +10,8 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    churnbench, comparison, fleetbench, microbench, report, ringbench, scenarios, servers,
-    shardbench, simbench, spec, upgradebench, Scale,
+    churnbench, comparison, fleetbench, microbench, obsbench, report, ringbench, scenarios,
+    servers, shardbench, simbench, spec, upgradebench, Scale,
 };
 
 #[derive(Debug, Default)]
@@ -31,6 +31,8 @@ struct Options {
     fig_upgrade: bool,
     fig_shard: bool,
     fig_churn_compact: bool,
+    fig_obs: bool,
+    obs_dump: bool,
     sim_sweep: bool,
     check_ring: bool,
     check_fleet: bool,
@@ -38,6 +40,7 @@ struct Options {
     check_sim: bool,
     check_shard: bool,
     check_churn_compact: bool,
+    check_obs: bool,
     sim_seeds: u64,
     sim_base_seed: u64,
     full: bool,
@@ -84,6 +87,8 @@ impl Options {
                 "--fig-upgrade" => options.fig_upgrade = true,
                 "--fig-shard" => options.fig_shard = true,
                 "--fig-churn-compact" => options.fig_churn_compact = true,
+                "--fig-obs" => options.fig_obs = true,
+                "--obs-dump" => options.obs_dump = true,
                 "--sim-sweep" => options.sim_sweep = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
@@ -93,6 +98,7 @@ impl Options {
                 "--check-sim" => options.check_sim = true,
                 "--check-shard" => options.check_shard = true,
                 "--check-churn-compact" => options.check_churn_compact = true,
+                "--check-obs" => options.check_obs = true,
                 "--full" => {
                     options.full = true;
                     continue;
@@ -113,6 +119,7 @@ impl Options {
                     options.fig_upgrade = true;
                     options.fig_shard = true;
                     options.fig_churn_compact = true;
+                    options.fig_obs = true;
                 }
                 "--help" | "-h" => {
                     println!(
@@ -142,13 +149,22 @@ impl Options {
                          speedup, per-shard event balance, convergence).\n\
                          --fig-churn-compact runs joiner churn against a short and a 10x\n\
                          journal and writes {churn}; --check-churn-compact validates {churn}\n\
-                         (catch-up stays checkpoint-bounded while the journal grows).",
+                         (catch-up stays checkpoint-bounded while the journal grows).\n\
+                         --fig-obs measures the telemetry plane (instrumented-vs-off hot-path\n\
+                         overhead, a mid-run /varan/metrics scrape under N-version execution,\n\
+                         a same-seed trace-ring determinism pair) and writes {obs};\n\
+                         --check-obs validates {obs} (overhead <= 3%, live schema-stamped\n\
+                         scrape with nonzero counters and a promote-latency sample,\n\
+                         bit-identical trace rings).  --obs-dump prints the process-global\n\
+                         registry snapshot (JSON then prometheus text) after the requested\n\
+                         figures have run.",
                         churn = varan_bench::churnbench::DEFAULT_PATH,
                         shard = varan_bench::shardbench::DEFAULT_PATH,
                         path = varan_bench::ringbench::DEFAULT_PATH,
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
                         upgrade = varan_bench::upgradebench::DEFAULT_PATH,
                         sim = varan_bench::simbench::DEFAULT_PATH,
+                        obs = varan_bench::obsbench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
                 }
@@ -301,6 +317,22 @@ fn main() {
             ),
         }
     }
+    if options.fig_obs {
+        let obs_report = obsbench::run(scale);
+        println!("{}", obs_report.render());
+        match obs_report.write_to(obsbench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", obsbench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                obsbench::DEFAULT_PATH
+            ),
+        }
+    }
+    if options.obs_dump {
+        let snapshot = varan_obs::global().snapshot();
+        println!("{}", snapshot.to_json());
+        println!("{}", snapshot.to_prometheus());
+    }
     if options.sim_sweep {
         let sweep = simbench::run(options.sim_seeds, options.sim_base_seed);
         println!("{}", simbench::render(&sweep));
@@ -362,6 +394,15 @@ fn main() {
             Ok(()) => println!("{} OK", churnbench::DEFAULT_PATH),
             Err(err) => {
                 eprintln!("BENCH_churn check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if options.check_obs {
+        match obsbench::validate_file(obsbench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", obsbench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_obs check failed: {err}");
                 std::process::exit(1);
             }
         }

@@ -66,6 +66,7 @@ pub fn to_json(report: &SweepReport) -> String {
         "  \"journal_corruptions_detected\": {},",
         report.journal_corruptions_detected
     );
+    let _ = writeln!(out, "  \"trace_ring_seeds\": {},", report.trace_ring_seeds);
     let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
     let _ = writeln!(out, "  \"modes\": {{");
     for (i, (mode, count)) in report.mode_counts.iter().enumerate() {
@@ -133,6 +134,11 @@ pub fn render(report: &SweepReport) -> String {
         out,
         "  durability: {} interior journal corruptions injected and detected",
         report.journal_corruptions_detected
+    );
+    let _ = writeln!(
+        out,
+        "  telemetry: {} seeds folded their trace-ring contents into the trace hash",
+        report.trace_ring_seeds
     );
     if report.failures.is_empty() {
         let _ = writeln!(out, "  failures: none");
@@ -222,6 +228,16 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
             path.display()
         ));
     }
+    let trace_ring_seeds = extract_number(&json, "trace_ring_seeds")
+        .map_err(|err| format!("{}: {err}", path.display()))?;
+    if seeds >= 400.0 && trace_ring_seeds < seeds / 200.0 {
+        return Err(format!(
+            "{}: only {trace_ring_seeds} seeds recorded telemetry tracepoints over \
+             {seeds} seeds — the sweep is not exercising trace-ring determinism \
+             (docs/OBSERVABILITY.md)",
+            path.display()
+        ));
+    }
     let failures = extract_number(&json, "failure_count")
         .map_err(|err| format!("{}: {err}", path.display()))?;
     if failures > 0.0 {
@@ -260,6 +276,7 @@ mod tests {
             determinism_checked: 3,
             determinism_mismatches: mismatches,
             journal_corruptions_detected: 6,
+            trace_ring_seeds: 12,
             failures,
             wall_ms: 123,
         }

@@ -65,8 +65,17 @@ pub struct UpgradeBenchReport {
     /// Canary cost per promoted hop: attach → live, milliseconds.
     pub catch_up_ms: Vec<f64>,
     /// Handover request → new leader publishing, milliseconds, per promoted
-    /// hop.
+    /// hop.  Each value is read back from the run's `promote_latency_nanos`
+    /// telemetry histogram, not a bench-local stopwatch.
     pub promote_latency_ms: Vec<f64>,
+    /// Promote-latency samples in the run's telemetry registry — exactly one
+    /// per promoted hop.
+    pub promote_hist_samples: u64,
+    /// Exact mean of the `promote_latency_nanos` histogram, milliseconds.
+    pub promote_hist_mean_ms: f64,
+    /// Exact maximum of the histogram, milliseconds.  Equals the per-stage
+    /// `promote_latency_ms` max: both read the same samples.
+    pub promote_hist_max_ms: f64,
     /// Events replayed during the soak stages, summed over promoted hops.
     pub soak_events_total: u64,
     /// Divergences allowed by scoped rules across all candidates.
@@ -117,8 +126,14 @@ pub fn run(scale: Scale) -> UpgradeBenchReport {
     // at runtime.  Ten spare slots: each retired ex-leader keeps one for the
     // rest of the run (it stays attached as a warm rollback target) plus one
     // in-flight canary.
+    // The whole run reports into a private telemetry registry, so the
+    // promote-latency figures below are read from the same histogram the
+    // `/varan/metrics` endpoint serves — not from a bench-local stopwatch —
+    // and concurrent benchmarks cannot bleed samples into each other.
+    let obs = Arc::new(varan_obs::Registry::new());
     let config = NvxConfig::default()
-        .with_fleet(FleetConfig::for_upgrades(&journal_dir, 10));
+        .with_fleet(FleetConfig::for_upgrades(&journal_dir, 10))
+        .with_obs(Arc::clone(&obs));
     let running = NvxSystem::launch(&kernel, vec![initial], config).expect("launch");
     let fleet = running.fleet().expect("fleet enabled");
     let orchestrator = UpgradeOrchestrator::new(
@@ -178,6 +193,13 @@ pub fn run(scale: Scale) -> UpgradeBenchReport {
     assert!(nvx.all_clean(), "unclean exits: {:?}", nvx.exits);
     let _ = fs::remove_dir_all(&journal_dir);
 
+    let promote_hist = obs.metrics.promote_latency_nanos.snapshot();
+    assert_eq!(
+        promote_hist.count,
+        upgrade_report.promoted(),
+        "one promote-latency sample per promoted hop"
+    );
+
     let promoted_stages: Vec<_> = upgrade_report
         .stages
         .iter()
@@ -196,6 +218,9 @@ pub fn run(scale: Scale) -> UpgradeBenchReport {
             .iter()
             .map(|stage| stage.promote_latency_ms)
             .collect(),
+        promote_hist_samples: promote_hist.count,
+        promote_hist_mean_ms: promote_hist.mean() / 1_000_000.0,
+        promote_hist_max_ms: promote_hist.max as f64 / 1_000_000.0,
         soak_events_total: promoted_stages.iter().map(|stage| stage.soak_events).sum(),
         divergences_allowed: upgrade_report
             .stages
@@ -238,7 +263,10 @@ impl UpgradeBenchReport {
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"promote_latency_ms\": {{");
         let _ = writeln!(out, "    \"median\": {:.3},", median(&self.promote_latency_ms));
-        let _ = writeln!(out, "    \"max\": {:.3}", maximum(&self.promote_latency_ms));
+        let _ = writeln!(out, "    \"max\": {:.3},", maximum(&self.promote_latency_ms));
+        let _ = writeln!(out, "    \"hist_samples\": {},", self.promote_hist_samples);
+        let _ = writeln!(out, "    \"hist_mean\": {:.3},", self.promote_hist_mean_ms);
+        let _ = writeln!(out, "    \"hist_max\": {:.3}", self.promote_hist_max_ms);
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
         out
@@ -280,9 +308,12 @@ impl UpgradeBenchReport {
         );
         let _ = writeln!(
             out,
-            "  promote latency: median {:.2} ms, max {:.2} ms",
+            "  promote latency: median {:.2} ms, max {:.2} ms \
+             ({} telemetry samples, hist mean {:.2} ms)",
             median(&self.promote_latency_ms),
-            maximum(&self.promote_latency_ms)
+            maximum(&self.promote_latency_ms),
+            self.promote_hist_samples,
+            self.promote_hist_mean_ms
         );
         let _ = writeln!(
             out,
@@ -358,7 +389,7 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
             path.display()
         ));
     }
-    for key in ["median", "max"] {
+    for key in ["median", "max", "hist_mean", "hist_max"] {
         let value =
             extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
         if !value.is_finite() || value < 0.0 {
@@ -367,6 +398,15 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
                 path.display()
             ));
         }
+    }
+    let hist_samples = extract_number(&json, "hist_samples")
+        .map_err(|err| format!("{}: {err}", path.display()))?;
+    if hist_samples < promoted {
+        return Err(format!(
+            "{}: the telemetry histogram holds {hist_samples} promote samples \
+             but {promoted} hops promoted — the plane missed a handover",
+            path.display()
+        ));
     }
     Ok(())
 }
@@ -386,6 +426,9 @@ mod tests {
             client_failed: 0,
             catch_up_ms: vec![3.0, 1.0, 2.0],
             promote_latency_ms: vec![0.5, 0.7],
+            promote_hist_samples: 6,
+            promote_hist_mean_ms: 0.6,
+            promote_hist_max_ms: 0.7,
             soak_events_total: 720,
             divergences_allowed: 0,
             max_lag: 40,
@@ -439,5 +482,14 @@ mod tests {
         assert_eq!(report.client_failed, 0, "zero-downtime bar");
         assert!(report.promoted >= 6, "report: {report:?}");
         assert_eq!(report.rolled_back, 1);
+        // The per-stage figures and the telemetry histogram saw the same
+        // samples, so their maxima agree exactly.
+        assert_eq!(report.promote_hist_samples, report.promoted);
+        let stage_max = report.promote_latency_ms.iter().copied().fold(0.0, f64::max);
+        assert!(
+            (stage_max - report.promote_hist_max_ms).abs() < 1e-9,
+            "stage max {stage_max} vs histogram max {}",
+            report.promote_hist_max_ms
+        );
     }
 }

@@ -388,6 +388,11 @@ pub struct VersionContext {
     /// Planned-handover mailbox (set by the upgrade orchestrator when this
     /// version, as leader, must yield to a soaked candidate).
     pub handover: Arc<HandoverCell>,
+    /// Telemetry registry this version's monitor reports into.  Defaults to
+    /// the process-wide registry; launches that need isolated counters (the
+    /// benches, exact-count tests) install their own via
+    /// [`crate::coordinator::NvxConfig::with_obs`].
+    pub obs: Arc<varan_obs::Registry>,
 }
 
 impl VersionContext {
@@ -404,7 +409,16 @@ impl VersionContext {
             killed: Arc::new(AtomicBool::new(false)),
             promoted: Arc::new(AtomicBool::new(false)),
             handover: Arc::new(HandoverCell::new()),
+            obs: varan_obs::global_arc(),
         }
+    }
+
+    /// Redirects this context's telemetry into `obs`, consuming and
+    /// returning the context.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<varan_obs::Registry>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Returns `true` once this version has been promoted to leader.

@@ -60,6 +60,11 @@ pub struct NvxConfig {
     /// Elastic-fleet configuration; `None` (the default) fixes the version
     /// set at launch exactly as before.
     pub fleet: Option<FleetConfig>,
+    /// Telemetry registry the execution reports into; `None` (the default)
+    /// uses the process-wide registry served by the introspection endpoint.
+    /// Benches and exact-count tests pass their own registry so concurrent
+    /// executions cannot pollute each other's counters.
+    pub obs: Option<Arc<varan_obs::Registry>>,
 }
 
 impl Default for NvxConfig {
@@ -77,6 +82,7 @@ impl Default for NvxConfig {
             monitor_costs: MonitorCosts::default(),
             log_distance_sample_every: 16,
             fleet: None,
+            obs: None,
         }
     }
 }
@@ -123,6 +129,14 @@ impl NvxConfig {
     #[must_use]
     pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
         self.fleet = Some(fleet);
+        self
+    }
+
+    /// Routes the execution's telemetry into `obs` instead of the
+    /// process-wide registry, consuming and returning the configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<varan_obs::Registry>) -> Self {
+        self.obs = Some(obs);
         self
     }
 }
@@ -247,6 +261,12 @@ impl NvxSystem {
         if versions.is_empty() {
             return Err(CoreError::NoVersions);
         }
+        // Resolve the telemetry registry first: everything below (journal
+        // scrub accounting, monitor counters, fleet tracepoints) reports
+        // into it.  Trace timestamps run on the kernel's clock source, so a
+        // simulated execution gets virtual-time traces.
+        let obs = config.obs.clone().unwrap_or_else(varan_obs::global_arc);
+        kernel.wait_clock().install_obs_clock(&obs);
         // Zero followers means zero consumer slots: the leader streams into
         // the ring unhindered (this is the "0 followers" interception-only
         // configuration measured in Figures 5 and 6).
@@ -265,7 +285,8 @@ impl NvxSystem {
         let spare_pool = rings.claim_spares(follower_count, spare_slots)?;
         let journal: Option<Arc<EventJournal>> = match &config.fleet {
             Some(fleet) => {
-                let journal = EventJournal::open(fleet.journal.clone())
+                let journal =
+                    EventJournal::open(fleet.journal.clone().with_obs(Arc::clone(&obs)))
                     .map_err(|err| CoreError::Fleet(format!("journal open: {err}")))?;
                 // The ring's sequence numbering starts at 0 for every
                 // launch; a journal carried over from a previous run would
@@ -298,8 +319,9 @@ impl NvxSystem {
         let mut contexts = Vec::with_capacity(versions.len());
         for (index, version) in versions.iter().enumerate() {
             let pid = zygote.spawn(&version.name());
-            contexts.push(VersionContext::new(index, pid));
+            contexts.push(VersionContext::new(index, pid).with_obs(Arc::clone(&obs)));
         }
+        obs.trace("nvx.launch", contexts.len() as u64, config.ring_capacity as u64);
         {
             let mut links = followers.write();
             for context in contexts.iter().skip(1) {
@@ -333,6 +355,7 @@ impl NvxSystem {
                     config.monitor_costs.clone(),
                     Arc::clone(&sampler),
                     journal.clone(),
+                    Arc::clone(&obs),
                 );
                 Box::new(LeaderMonitor::new(core, context.clone()))
             } else {
@@ -346,6 +369,7 @@ impl NvxSystem {
                     config.monitor_costs.clone(),
                     Arc::clone(&sampler),
                     journal.clone(),
+                    Arc::clone(&obs),
                 );
                 Box::new(FollowerMonitor::new(
                     kernel.clone(),
@@ -422,6 +446,7 @@ impl NvxSystem {
         let control_leader = Arc::clone(&current_leader);
         let control_preferred = Arc::clone(&preferred_successor);
         let control_fleet = fleet.clone();
+        let control_obs = Arc::clone(&obs);
         let version_count = version_threads.len();
         let control_thread = std::thread::Builder::new()
             .name("varan-coordinator".into())
@@ -496,6 +521,13 @@ impl NvxSystem {
                                 .store(true, std::sync::atomic::Ordering::Release);
                             control_leader.store(next_leader, Ordering::Release);
                             summary.promotions += 1;
+                            control_obs.metrics.failovers.add(1);
+                            control_obs.metrics.promotions.add(1);
+                            control_obs.trace(
+                                "fleet.failover",
+                                index as u64,
+                                next_leader as u64,
+                            );
                         }
                     } else {
                         // Follower crash or kill: unsubscribe and discard it.

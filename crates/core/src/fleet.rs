@@ -516,6 +516,8 @@ struct FleetInner {
     sampler: Arc<LogDistanceSampler>,
     /// The scoped rewrite-rule registry of the execution.
     rules: Arc<ScopedRules>,
+    /// Telemetry registry (inherited from the launch contexts).
+    obs: Arc<varan_obs::Registry>,
     /// Version index → pid for every launched version and fleet member;
     /// leadership can move to a member, so leader-pid lookups go through
     /// this rather than the launched context list.
@@ -574,6 +576,10 @@ impl FleetController {
     ) -> Self {
         let version_count = contexts.len();
         let max_members = spares.len();
+        let obs = contexts
+            .first()
+            .map(|context| Arc::clone(&context.obs))
+            .unwrap_or_else(varan_obs::global_arc);
         let pids: HashMap<usize, Pid> = contexts
             .iter()
             .map(|context| (context.index, context.pid))
@@ -601,6 +607,7 @@ impl FleetController {
                 costs,
                 sampler,
                 rules,
+                obs,
                 pids: Arc::new(Mutex::new(pids)),
                 spares: Arc::new(Mutex::new(spares)),
                 max_members: AtomicUsize::new(max_members),
@@ -620,6 +627,12 @@ impl FleetController {
     #[must_use]
     pub fn journal(&self) -> &Arc<EventJournal> {
         &self.inner.journal
+    }
+
+    /// The telemetry registry this fleet reports into.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<varan_obs::Registry> {
+        &self.inner.obs
     }
 
     /// Compacts the journal up to its retention anchor (rewriting the
@@ -893,6 +906,8 @@ impl FleetController {
                 attach_started,
             })
             .expect("joiner thread is parked on the bootstrap channel");
+        inner.obs.metrics.fleet_attaches.add(1);
+        inner.obs.trace("fleet.attach", index as u64, sequence);
         Ok(member)
     }
 
@@ -909,6 +924,8 @@ impl FleetController {
         }
         member.stop.store(true, Ordering::Release);
         self.discard_link(index);
+        self.inner.obs.metrics.fleet_detaches.add(1);
+        self.inner.obs.trace("fleet.detach", index as u64, 0);
         true
     }
 
@@ -960,7 +977,8 @@ impl FleetController {
         let index = inner.next_index.fetch_add(1, Ordering::Relaxed);
         inner.pids.lock().insert(index, pid);
         inner.rules.install(index, rules);
-        let context = VersionContext::new(index, pid);
+        let context =
+            VersionContext::new(index, pid).with_obs(Arc::clone(&inner.obs));
 
         let catching_up = Arc::new(AtomicBool::new(true));
         let live = Arc::new(AtomicBool::new(false));
@@ -994,6 +1012,7 @@ impl FleetController {
             inner.costs.clone(),
             Arc::clone(&inner.sampler),
             Some(Arc::clone(&inner.journal)),
+            Arc::clone(&inner.obs),
         );
         let catch_up = CatchUp::new(
             &inner.kernel.wait_clock(),
@@ -1059,6 +1078,10 @@ impl FleetController {
         };
         inner.version_members.lock().push(Arc::clone(&member));
         inner.joiners.lock().push(handle);
+        inner.obs.metrics.fleet_attaches.add(1);
+        inner
+            .obs
+            .trace("fleet.attach_version", index as u64, slot as u64);
         Ok(member)
     }
 
@@ -1080,6 +1103,10 @@ impl FleetController {
         member.detached.store(true, Ordering::Release);
         member.context.killed.store(true, Ordering::Release);
         self.discard_link(index);
+        self.inner.obs.metrics.fleet_detaches.add(1);
+        self.inner
+            .obs
+            .trace("fleet.detach_version", index as u64, 0);
         true
     }
 
@@ -1158,6 +1185,11 @@ impl FleetController {
         self.inner.current_leader.store(next_leader, Ordering::Release);
         self.discard_link(next_leader);
         context.promoted.store(true, Ordering::Release);
+        self.inner.obs.metrics.failovers.add(1);
+        self.inner.obs.metrics.promotions.add(1);
+        self.inner
+            .obs
+            .trace("fleet.failover", next_leader as u64, 0);
     }
 
     /// Re-arms a crashed launched follower by attaching a spare observer in
@@ -1166,6 +1198,11 @@ impl FleetController {
         match self.attach(&format!("spare-for-{crashed_index}")) {
             Ok(member) => {
                 self.inner.rearms.fetch_add(1, Ordering::Relaxed);
+                self.inner.obs.trace(
+                    "fleet.rearm",
+                    crashed_index as u64,
+                    member.index as u64,
+                );
                 Some(member)
             }
             Err(_) => None,
@@ -1245,6 +1282,7 @@ impl FleetController {
         &self,
         checkpoint: KernelCheckpoint,
     ) -> Result<KernelCheckpoint, CoreError> {
+        let obs = &self.inner.obs;
         let mut store = self.inner.checkpoints.lock();
         let Some(existing) = store.as_mut() else {
             *store = Some(CheckpointStore {
@@ -1252,12 +1290,16 @@ impl FleetController {
                 deltas: Vec::new(),
                 last: checkpoint.clone(),
             });
+            obs.metrics.checkpoint_chain_len.set(1);
+            obs.trace("fleet.checkpoint", 1, checkpoint.sequence);
             return Ok(checkpoint);
         };
         if existing.deltas.len() >= DELTA_CHAIN_CAP {
             existing.base = checkpoint.clone();
             existing.deltas.clear();
             existing.last = checkpoint.clone();
+            obs.metrics.checkpoint_chain_len.set(1);
+            obs.trace("fleet.checkpoint", 1, checkpoint.sequence);
             return Ok(checkpoint);
         }
         // Round-trip the delta through its durable codec so the production
@@ -1269,6 +1311,9 @@ impl FleetController {
         })?;
         existing.deltas.push(delta);
         existing.last = checkpoint.clone();
+        let chain_len = (1 + existing.deltas.len()) as u64;
+        obs.metrics.checkpoint_chain_len.set(chain_len);
+        obs.trace("fleet.checkpoint", chain_len, checkpoint.sequence);
         let folded = KernelCheckpoint::fold_chain(&existing.base, &existing.deltas)
             .map_err(|err| CoreError::Fleet(format!("checkpoint delta chain broken: {err}")))?;
         if folded.checksum() != checkpoint.checksum() {
@@ -1278,6 +1323,7 @@ impl FleetController {
             existing.base = checkpoint.clone();
             existing.deltas.clear();
             existing.last = checkpoint;
+            obs.metrics.checkpoint_chain_len.set(1);
             return Err(CoreError::Fleet(
                 "incremental checkpoint fold diverged from the direct snapshot; \
                  chain rebased"
@@ -1430,10 +1476,11 @@ impl FleetController {
 
         // Phase 5: live ring consumption.
         member.catching_up.store(false, Ordering::Release);
-        member
-            .catch_up_nanos
-            .store(attach_started.elapsed().as_nanos() as u64, Ordering::Release);
+        let catch_up = attach_started.elapsed().as_nanos() as u64;
+        member.catch_up_nanos.store(catch_up, Ordering::Release);
         member.live.store(true, Ordering::Release);
+        inner.obs.metrics.joiner_catch_up_nanos.record(catch_up);
+        inner.obs.trace("fleet.live", member.index as u64, pos);
         self.finish_restore(member.restore_sequence.load(Ordering::Acquire));
 
         let mut batch: Vec<Event> = Vec::new();

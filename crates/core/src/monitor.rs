@@ -88,6 +88,12 @@ pub(crate) struct LeaderCore {
     /// journal-replay→ring handover race-free (see `varan_ring::journal`
     /// and `Consumer::resume_at`).
     journal: Option<Arc<EventJournal>>,
+    /// Telemetry registry (shard lane = the ring this core publishes to).
+    obs: Arc<varan_obs::Registry>,
+    /// The telemetry shard lane: the clamped ring index.
+    shard: usize,
+    /// Captures since the last sampled latency measurement.
+    capture_ticks: u64,
 }
 
 impl LeaderCore {
@@ -102,13 +108,15 @@ impl LeaderCore {
         costs: MonitorCosts,
         sampler: Arc<LogDistanceSampler>,
         journal: Option<Arc<EventJournal>>,
+        obs: Arc<varan_obs::Registry>,
     ) -> Self {
         let ring = rings.ring(tid as usize);
         // Journal coverage must be a superset of ring 0's stream (the
         // joiner handover depends on it), so the gate is ring *identity*,
         // not the raw tid: with a single provisioned tuple every thread's
         // publishes clamp to ring 0 and must all be spilled.
-        let feeds_main_ring = (tid as usize).min(rings.tuples().saturating_sub(1)) == 0;
+        let shard = (tid as usize).min(rings.tuples().saturating_sub(1));
+        let feeds_main_ring = shard == 0;
         let journal = if feeds_main_ring { journal } else { None };
         LeaderCore {
             kernel,
@@ -123,6 +131,9 @@ impl LeaderCore {
             sampler,
             payload_window: VecDeque::new(),
             journal,
+            obs,
+            shard,
+            capture_ticks: 0,
         }
     }
 
@@ -202,6 +213,17 @@ impl LeaderCore {
         clock: &varan_ring::VariantClock,
         counters: &VersionCounters,
     ) -> (SyscallOutcome, Event, Option<SharedRegion>, u64) {
+        // Telemetry: one relaxed add per capture; the latency stopwatch is
+        // sampled (1 in CAPTURE_SAMPLE_EVERY) so its own cost stays out of
+        // the hot path it measures.
+        let capture_started = if varan_obs::enabled() {
+            self.obs.metrics.events_published.add(self.shard, 1);
+            self.capture_ticks = self.capture_ticks.wrapping_add(1);
+            (self.capture_ticks % varan_obs::CAPTURE_SAMPLE_EVERY == 0)
+                .then(std::time::Instant::now)
+        } else {
+            None
+        };
         let outcome = self.kernel.syscall(self.pid, request);
         VersionCounters::add(&counters.cycles, outcome.cost);
 
@@ -281,6 +303,12 @@ impl LeaderCore {
         VersionCounters::add(&counters.events, 1);
         VersionCounters::add(&counters.syscalls, 1);
         self.kernel.clock().advance(overhead);
+        if let Some(started) = capture_started {
+            self.obs
+                .metrics
+                .syscall_capture_nanos
+                .record(started.elapsed().as_nanos() as u64);
+        }
 
         (outcome, event, shared, overhead)
     }
@@ -300,21 +328,20 @@ impl LeaderCore {
     }
 
     /// Samples the maximum follower backlog for the log-distance figure.
+    ///
+    /// The sample is the producer's own lag estimate — `published` minus its
+    /// cached gating sequence, two relaxed loads — instead of a scan of
+    /// every consumer cursor under the follower lock on each publish.  The
+    /// cached gate refreshes lazily (on the publish slow path), so the
+    /// estimate is an upper bound on the true maximum backlog; the exact
+    /// per-slot scan (`RingSet::max_backlog`) remains in use off the hot
+    /// path, where failover ranks promotion candidates.
     fn sample_backlog(&self) {
-        let max_backlog = {
-            let followers = self.followers.read();
-            followers
-                .iter()
-                .filter(|link| link.is_alive())
-                // The link records its consumer slot directly: for launched
-                // followers that is `index - 1`, but fleet joiners and
-                // demoted ex-leaders sit on spare slots with no relation to
-                // their version index.
-                .map(|link| self.rings.max_backlog(link.slot))
-                .max()
-                .unwrap_or(0)
-        };
-        self.sampler.observe(max_backlog);
+        let lag = self.producer.lag_estimate();
+        self.sampler.observe(lag);
+        if varan_obs::enabled() {
+            self.obs.metrics.follower_lag.set(self.shard, lag);
+        }
     }
 
     /// A fresh core for the same version on thread `tid`: shares every
@@ -331,6 +358,7 @@ impl LeaderCore {
             self.costs.clone(),
             Arc::clone(&self.sampler),
             self.journal.clone(),
+            Arc::clone(&self.obs),
         )
     }
 
@@ -417,6 +445,11 @@ fn demote_to_follower(
     }
     current_leader.store(successor_index, Ordering::Release);
     successor_promoted.store(true, Ordering::Release);
+    context.obs.trace(
+        "upgrade.demote",
+        context.index as u64,
+        successor_index as u64,
+    );
     Some((consumer, rules, slot_pool))
 }
 
@@ -967,9 +1000,13 @@ impl FollowerMonitor {
             // will be) published at or above the gate — go live.
             let _ = self.kernel.sim_probe(self.context.pid, SimPoint::LiveSwitch);
             cu.link_catching_up.store(false, Ordering::Release);
-            cu.catch_up_nanos
-                .store(cu.started.elapsed().as_nanos() as u64, Ordering::Release);
+            let catch_up = cu.started.elapsed().as_nanos() as u64;
+            cu.catch_up_nanos.store(catch_up, Ordering::Release);
             cu.live.store(true, Ordering::Release);
+            self.context.obs.metrics.joiner_catch_up_nanos.record(catch_up);
+            self.context
+                .obs
+                .trace("fleet.live", self.context.index as u64, cu.pos);
             return self.refill_from_ring();
         }
         let newly_registered = {
@@ -1111,6 +1148,12 @@ impl FollowerMonitor {
             match action {
                 RuleAction::ExecuteExtra => {
                     VersionCounters::add(&self.context.counters.divergences_allowed, 1);
+                    self.context.obs.metrics.divergences_allowed.add(1);
+                    self.context.obs.trace(
+                        "monitor.divergence_allowed",
+                        self.context.index as u64,
+                        u64::from(request.sysno.number()),
+                    );
                     self.pending = Some(staged);
                     let translated = self.translate_fd_args(request);
                     let outcome = self.kernel.syscall(self.context.pid, &translated);
@@ -1126,6 +1169,12 @@ impl FollowerMonitor {
                 }
                 RuleAction::SkipLeaderEvent => {
                     VersionCounters::add(&self.context.counters.divergences_allowed, 1);
+                    self.context.obs.metrics.divergences_allowed.add(1);
+                    self.context.obs.trace(
+                        "monitor.divergence_allowed",
+                        self.context.index as u64,
+                        u64::from(event.sysno()),
+                    );
                     self.context.clock.observe(event.clock());
                     continue;
                 }
@@ -1150,6 +1199,12 @@ impl FollowerMonitor {
                         continue;
                     }
                     VersionCounters::add(&self.context.counters.divergences_killed, 1);
+                    self.context.obs.metrics.divergences_killed.add(1);
+                    self.context.obs.trace(
+                        "monitor.divergence_killed",
+                        self.context.index as u64,
+                        u64::from(event.sysno()),
+                    );
                     self.context.killed.store(true, Ordering::Release);
                     panic!(
                         "varan: follower {} killed: attempted {} while leader executed {}",
@@ -1184,6 +1239,14 @@ impl FollowerMonitor {
         let overhead =
             self.costs
                 .follower_overhead(request.sysno.is_virtual(), payload_len, fds);
+        if varan_obs::enabled() {
+            // Lane = version index: replays are per-follower, not per-ring.
+            self.context
+                .obs
+                .metrics
+                .events_replayed
+                .add(self.context.index, 1);
+        }
         VersionCounters::add(&self.context.counters.monitor_cycles, overhead);
         VersionCounters::add(&self.context.counters.events, 1);
         VersionCounters::add(&self.context.counters.syscalls, 1);

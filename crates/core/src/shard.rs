@@ -245,8 +245,21 @@ impl PlaneState {
                     })
             })
             .collect();
+        varan_obs::global().trace("shard.anchor", cut.len() as u64, fold_cut(&cut));
         self.plane.set_anchors(&cut);
     }
+}
+
+/// Folds a cut vector into one trace operand (FNV-1a over the components).
+fn fold_cut(cut: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &seq in cut {
+        for byte in seq.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// Per-member shared bookkeeping.
@@ -472,6 +485,9 @@ impl ShardedMemberIf {
         }
         state.leader_counts[shard].fetch_add(1, Ordering::AcqRel);
         self.me.counts[shard].fetch_add(1, Ordering::AcqRel);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.events_published.add(shard, 1);
+        }
         (shard, event, outcome)
     }
 
@@ -495,6 +511,7 @@ impl ShardedMemberIf {
         let staged = (0..state.shards()).map(|_| VecDeque::new()).collect();
         inner.role = Role::Follower { consumers, staged };
         state.promoted.store(successor, Ordering::Release);
+        varan_obs::global().trace("shard.demote", inner.member as u64, successor as u64);
     }
 
     /// Promotes this (drained) follower into the leader role.
@@ -524,6 +541,9 @@ impl ShardedMemberIf {
         state.promotions.fetch_add(1, Ordering::AcqRel);
         state.leader_alive.store(true, Ordering::Release);
         state.leader_crashed.store(false, Ordering::Release);
+        let obs = varan_obs::global();
+        obs.metrics.promotions.add(1);
+        obs.trace("shard.promote", inner.member as u64, 0);
     }
 
     fn refill(&self, inner: &mut MemberInner, shard: usize) -> usize {
@@ -1006,6 +1026,7 @@ impl ShardedNvx {
             restoring.push(cut.clone());
             cut
         };
+        varan_obs::global().trace("shard.cut", cut.len() as u64, fold_cut(&cut));
         let checkpoint = state
             .kernel
             .checkpoint_at_cut(state.leader_pid, &cut, &std::collections::HashMap::new())

@@ -305,6 +305,21 @@ impl UpgradeOrchestrator {
     /// Drives one complete upgrade hop: canary → soak → promote → retire,
     /// rolling back automatically on any failure before the handover.
     pub fn upgrade(&self, step: UpgradeStep) -> StageReport {
+        let report = self.upgrade_inner(step);
+        // Stage accounting covers every exit path of the hop at once.
+        let obs = self.fleet.obs();
+        let candidate = report.candidate_index.unwrap_or(usize::MAX) as u64;
+        if report.promoted() {
+            obs.metrics.promotions.add(1);
+            obs.trace("upgrade.promoted", candidate, 0);
+        } else {
+            obs.metrics.rollbacks.add(1);
+            obs.trace("upgrade.rollback", candidate, 0);
+        }
+        report
+    }
+
+    fn upgrade_inner(&self, step: UpgradeStep) -> StageReport {
         let _serial = self.in_flight.lock();
         let clock = self.fleet.wait_clock();
         let revision = step.program.name();
@@ -329,6 +344,9 @@ impl UpgradeOrchestrator {
             }
         };
         report.candidate_index = Some(member.index);
+        self.fleet
+            .obs()
+            .trace("upgrade.canary", member.index as u64, 0);
         let catch_up_deadline = clock.deadline(self.config.catch_up_timeout);
         loop {
             if member.is_live() {
@@ -353,6 +371,9 @@ impl UpgradeOrchestrator {
 
         // 2. Soak: watch divergence, lag and liveness over live replay.
         let soak_started_events = member.events_replayed();
+        self.fleet
+            .obs()
+            .trace("upgrade.soak", member.index as u64, soak_started_events);
         let soak_deadline = clock.deadline(self.config.soak_timeout);
         loop {
             if let Some(reason) = self.candidate_failure(&member) {
@@ -417,6 +438,9 @@ impl UpgradeOrchestrator {
             }
         };
         let promote_started = clock.start();
+        self.fleet
+            .obs()
+            .trace("upgrade.promote", member.index as u64, old_leader as u64);
         if let Err(ticket) = old_context.handover.request(ticket) {
             self.fleet.return_ticket(ticket);
             rollback_rules(self);
@@ -475,7 +499,17 @@ impl UpgradeOrchestrator {
         while self.fleet.published() <= published_at_switch && !publish_deadline.expired() {
             clock.sleep(ORCHESTRATOR_POLL);
         }
-        report.promote_latency_ms = promote_started.elapsed().as_secs_f64() * 1000.0;
+        // The stopwatch result goes into the telemetry histogram and the
+        // report reads it *back* from there (`Histogram::last`): the figure
+        // the bench publishes is provably the same number the live
+        // introspection endpoint serves.  Hops are serialised by
+        // `in_flight`, so the last recorded sample is this hop's.
+        let metrics = &self.fleet.obs().metrics;
+        metrics
+            .promote_latency_nanos
+            .record(promote_started.elapsed().as_nanos() as u64);
+        report.promote_latency_ms =
+            metrics.promote_latency_nanos.last() as f64 / 1_000_000.0;
         report.outcome = StageOutcome::Promoted;
         report
     }

@@ -448,6 +448,9 @@ impl Kernel {
             None => self.dispatch(pid, request, cost),
         };
         self.inner.clock.advance(outcome.cost);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.syscalls_executed.add(1);
+        }
         let mut stats = self.inner.stats.lock();
         *stats.syscalls.entry(request.sysno).or_insert(0) += 1;
         stats.total_cycles += outcome.cost;

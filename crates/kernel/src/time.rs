@@ -155,6 +155,23 @@ impl ClockSource {
             at: self.now().saturating_add(timeout),
         }
     }
+
+    /// This clock as a telemetry timestamp source: [`ClockSource::now`] in
+    /// nanoseconds.  Installed into a [`varan_obs::Registry`] it stamps
+    /// trace events with virtual nanoseconds under simulation and wall
+    /// nanoseconds in production — the same timeline every other wait in
+    /// the system runs on.
+    #[must_use]
+    pub fn obs_clock(&self) -> varan_obs::ClockFn {
+        let clock = self.clone();
+        Arc::new(move || clock.now().as_nanos() as u64)
+    }
+
+    /// Installs this clock as `registry`'s trace timestamp source
+    /// (convenience for [`ClockSource::obs_clock`]).
+    pub fn install_obs_clock(&self, registry: &varan_obs::Registry) {
+        registry.install_clock(self.obs_clock());
+    }
 }
 
 /// A point in [`ClockSource`] time, for elapsed-time measurements that must

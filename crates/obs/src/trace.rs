@@ -1,0 +1,185 @@
+//! The bounded in-memory trace ring for control-plane tracepoints.
+//!
+//! Tracepoints fire at state-machine edges only — fleet attach/detach/
+//! promote, upgrade stage transitions, scrub verdicts, shard cuts — never
+//! on the per-event hot path, so a mutex-guarded ring is the right
+//! structure: simple, bounded, and (because the deterministic simulation
+//! serializes those edges) bit-identically reproducible across same-seed
+//! runs.
+
+use std::sync::Mutex;
+
+/// Default capacity of a registry's trace ring.
+pub const TRACE_RING_CAPACITY: usize = 1024;
+
+/// One structured control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in this ring's history (monotone, never reused).
+    pub seq: u64,
+    /// Nanoseconds on the installed clock (virtual under simulation, wall
+    /// in production, 0 before a clock is installed).
+    pub timestamp_nanos: u64,
+    /// Static label from the tracepoint catalog (docs/OBSERVABILITY.md),
+    /// e.g. `"fleet.promote"`.
+    pub kind: &'static str,
+    /// First operand (usually a version index or shard).
+    pub a: u64,
+    /// Second operand (usually a sequence number or tag).
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Folds this event into an FNV-1a accumulator (the determinism gate's
+    /// hash function), covering every field including the timestamp.
+    #[must_use]
+    pub fn fold(&self, mut hash: u64) -> u64 {
+        for word in [self.seq, self.timestamp_nanos, self.a, self.b] {
+            hash = fnv_fold(hash, word);
+        }
+        for byte in self.kind.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    head: usize,
+    seq: u64,
+}
+
+/// A bounded ring of [`TraceEvent`]s; once full, the oldest event is
+/// overwritten (`seq` keeps counting, so a snapshot shows how much history
+/// scrolled away).
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Appends one event (called through
+    /// [`Registry::trace`](crate::Registry::trace), which stamps the
+    /// timestamp).
+    pub fn record(&self, kind: &'static str, a: u64, b: u64, timestamp_nanos: u64) {
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        let event = TraceEvent {
+            seq: inner.seq,
+            timestamp_nanos,
+            kind,
+            a,
+            b,
+        };
+        inner.seq += 1;
+        if inner.events.len() < self.capacity {
+            inner.events.push(event);
+        } else {
+            let head = inner.head;
+            inner.events[head] = event;
+            inner.head = (head + 1) % self.capacity;
+        }
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring lock").events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything scrolled away —
+    /// impossible, the ring keeps the newest events).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained events oldest-first, plus how many ever fired.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.inner.lock().expect("trace ring lock");
+        let mut events = Vec::with_capacity(inner.events.len());
+        events.extend_from_slice(&inner.events[inner.head..]);
+        events.extend_from_slice(&inner.events[..inner.head]);
+        TraceSnapshot {
+            events,
+            total_recorded: inner.seq,
+        }
+    }
+
+    /// FNV-1a over the retained events in ring order, every field included.
+    /// Two same-seed simulation runs must produce equal values — the
+    /// trace-ring determinism contract.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        self.snapshot()
+            .events
+            .iter()
+            .fold(FNV_OFFSET, |hash, event| event.fold(hash))
+    }
+}
+
+/// The readable form of a [`TraceRing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events ever recorded (`total_recorded - events.len()` scrolled away).
+    pub total_recorded: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_the_newest() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record("test.edge", i, 0, 0);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.total_recorded, 5);
+        let kept: Vec<u64> = snap.events.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_sensitive() {
+        let build = |values: &[u64]| {
+            let ring = TraceRing::new(16);
+            for &v in values {
+                ring.record("edge", v, v * 2, 100 + v);
+            }
+            ring.content_hash()
+        };
+        assert_eq!(build(&[1, 2, 3]), build(&[1, 2, 3]));
+        assert_ne!(build(&[1, 2, 3]), build(&[1, 2, 4]));
+        assert_ne!(build(&[1, 2, 3]), build(&[1, 2]));
+    }
+}

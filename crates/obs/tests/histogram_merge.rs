@@ -1,0 +1,69 @@
+//! Property-based test of the telemetry plane's aggregation contract
+//! (docs/OBSERVABILITY.md): per-shard histograms merged shard by shard
+//! report *exactly* the distribution a single global histogram over the
+//! same samples would — same buckets, same count, same exact sum, same
+//! exact max, and therefore the same mean and quantile read-outs.  This is
+//! what lets every shard record into its own cache line and the scrape
+//! path fold lanes together without a second source of truth.
+
+use proptest::prelude::*;
+
+use varan_obs::{Histogram, HistogramSnapshot};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Samples scattered across up to 8 per-shard histograms, merged in
+    /// shard order, equal one global histogram fed the same samples.
+    #[test]
+    fn merged_shard_snapshots_equal_one_global_histogram(
+        // Bounded so 400 samples cannot overflow the exact `sum` field.
+        samples in proptest::collection::vec((0usize..8, 0u64..1 << 54), 0..400),
+        shards in 1usize..9,
+    ) {
+        let global = Histogram::new();
+        let lanes: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for &(shard, value) in &samples {
+            lanes[shard % shards].record(value);
+            global.record(value);
+        }
+
+        let mut merged = HistogramSnapshot::default();
+        for lane in &lanes {
+            merged.merge(&lane.snapshot());
+        }
+
+        let expected = global.snapshot();
+        prop_assert_eq!(&merged, &expected);
+        prop_assert_eq!(merged.count, samples.len() as u64);
+        // Derived read-outs agree bit-for-bit, not just approximately.
+        prop_assert_eq!(merged.mean().to_bits(), expected.mean().to_bits());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), expected.quantile(q));
+        }
+    }
+
+    /// Merging is order-independent: folding the lanes in reverse gives
+    /// the same snapshot, so scrape-time lane iteration order is free.
+    #[test]
+    fn merge_is_commutative_across_lane_order(
+        samples in proptest::collection::vec((0usize..4, 0u64..1 << 48), 0..200),
+    ) {
+        let lanes: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for &(shard, value) in &samples {
+            lanes[shard].record(value);
+        }
+        let snapshots: Vec<HistogramSnapshot> =
+            lanes.iter().map(Histogram::snapshot).collect();
+
+        let mut forward = HistogramSnapshot::default();
+        for snap in &snapshots {
+            forward.merge(snap);
+        }
+        let mut reverse = HistogramSnapshot::default();
+        for snap in snapshots.iter().rev() {
+            reverse.merge(snap);
+        }
+        prop_assert_eq!(forward, reverse);
+    }
+}

@@ -629,6 +629,11 @@ pub struct JournalConfig {
     /// one directory while each scans, rotates and retires only its own
     /// files.
     pub shard: Option<u32>,
+    /// The telemetry registry scrub verdicts, quarantines and compactions
+    /// report into.  `None` (the default) uses the process-wide
+    /// [`varan_obs::global`] registry; the deterministic simulation installs
+    /// an isolated registry per seeded run.
+    pub obs: Option<Arc<varan_obs::Registry>>,
 }
 
 impl JournalConfig {
@@ -639,6 +644,7 @@ impl JournalConfig {
             dir: dir.into(),
             segment_records: 4096,
             shard: None,
+            obs: None,
         }
     }
 
@@ -654,6 +660,14 @@ impl JournalConfig {
     #[must_use]
     pub fn with_shard(mut self, shard: u32) -> Self {
         self.shard = Some(shard);
+        self
+    }
+
+    /// Reports this journal's durability telemetry into `obs` instead of
+    /// the process-wide default registry.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<varan_obs::Registry>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -741,6 +755,9 @@ pub struct EventJournal {
     /// LRU of decoded sealed segments, under its own lock so a reader's
     /// file I/O and CRC verification never block the appender.
     read_cache: Mutex<Vec<DecodedSegment>>,
+    /// Where scrub/quarantine/compaction telemetry goes (the configured
+    /// registry, or the process-wide default).
+    obs: Arc<varan_obs::Registry>,
 }
 
 impl fmt::Debug for EventJournal {
@@ -952,6 +969,32 @@ impl EventJournal {
             .front()
             .map(|segment| segment.first_seq)
             .unwrap_or(active_first);
+        let obs = config.obs.clone().unwrap_or_else(varan_obs::global_arc);
+        // Surface the scrub verdicts while they are fresh: one scrub count
+        // per report, one corruption count per `Corrupt` verdict, one
+        // quarantine count per preserved file — so "did we ever lose data"
+        // is a counter read, not a sim-output archaeology session.
+        for report in &scrub {
+            obs.metrics.journal_scrubs.add(1);
+            let kind_tag = match report.kind {
+                ScrubKind::TornTail => 1,
+                ScrubKind::Corrupt => 2,
+            };
+            obs.trace("journal.scrub", kind_tag, report.new_tail);
+            if report.kind == ScrubKind::Corrupt {
+                obs.metrics.journal_corruptions_detected.add(1);
+            }
+            if !report.quarantined.is_empty() {
+                obs.metrics
+                    .journal_quarantines
+                    .add(report.quarantined.len() as u64);
+                obs.trace(
+                    "journal.quarantine",
+                    report.segment_first_seq,
+                    report.quarantined.len() as u64,
+                );
+            }
+        }
         Ok(EventJournal {
             config,
             inner: Mutex::new(JournalInner {
@@ -966,6 +1009,7 @@ impl EventJournal {
                 faults: None,
             }),
             read_cache: Mutex::new(Vec::new()),
+            obs,
         })
     }
 
@@ -1085,13 +1129,22 @@ impl EventJournal {
             return;
         }
         inner.anchor = seq;
+        let mut retired = 0u64;
         while let Some(front) = inner.sealed.front() {
             if front.first_seq + front.len <= seq {
                 let dead = inner.sealed.pop_front().expect("front exists");
                 let _ = std::fs::remove_file(&dead.path);
+                retired += 1;
             } else {
                 break;
             }
+        }
+        drop(inner);
+        let shard = u64::from(self.config.shard.unwrap_or(0));
+        self.obs.trace("journal.anchor", shard, seq);
+        if retired > 0 {
+            self.obs.metrics.journal_compactions.add(1);
+            self.obs.trace("journal.retire_segments", shard, retired);
         }
     }
 
@@ -1144,7 +1197,11 @@ impl EventJournal {
         front.path = new_path;
         drop(inner);
         let _ = std::fs::remove_file(&old_path);
-        Ok(anchor - old_first)
+        let removed = anchor - old_first;
+        self.obs.metrics.journal_compactions.add(1);
+        self.obs
+            .trace("journal.compact", u64::from(self.config.shard.unwrap_or(0)), removed);
+        Ok(removed)
     }
 
     /// Reads up to `max` records starting at sequence `from`.
@@ -1628,6 +1685,68 @@ mod tests {
         }
         // Appends continue from the scrubbed tail.
         assert_eq!(journal.append(record(50)).unwrap(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_quarantine_increments_the_telemetry_counter_exactly_once() {
+        let dir = temp_dir("quarantine-obs");
+        {
+            let journal =
+                EventJournal::open(JournalConfig::new(&dir).with_segment_records(100)).unwrap();
+            for seed in 0..10u64 {
+                journal.append(record(seed)).unwrap();
+            }
+            journal.flush().unwrap();
+        }
+        // Flip a payload byte mid-file: one damaged frame, one preserved
+        // `.quarantine` file.
+        let seg = segment_path(&dir, "seg-", 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mut cursor = 16;
+        for _ in 0..6 {
+            JournalRecord::decode_from(&bytes, &mut cursor).unwrap();
+        }
+        bytes[cursor + FRAME_HEADER] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let obs = Arc::new(varan_obs::Registry::new());
+        let journal = EventJournal::open(
+            JournalConfig::new(&dir)
+                .with_segment_records(100)
+                .with_obs(Arc::clone(&obs)),
+        )
+        .unwrap();
+        assert_eq!(journal.scrub_reports().len(), 1);
+
+        // One damaged file, one counter increment — and every scrub-side
+        // verdict is surfaced through the snapshot, not only the reports.
+        let snap = obs.snapshot();
+        assert_eq!(snap.journal_quarantines, 1);
+        assert_eq!(snap.journal_scrubs, 1);
+        assert_eq!(snap.journal_corruptions_detected, 1);
+        let traces = obs.trace_ring().snapshot();
+        assert_eq!(
+            traces
+                .events
+                .iter()
+                .filter(|event| event.kind == "journal.quarantine")
+                .count(),
+            1
+        );
+
+        // A second open of the already-scrubbed directory finds a clean
+        // journal: no new scrub, no double-counted quarantine.
+        drop(journal);
+        let reopened_obs = Arc::new(varan_obs::Registry::new());
+        let reopened = EventJournal::open(
+            JournalConfig::new(&dir)
+                .with_segment_records(100)
+                .with_obs(Arc::clone(&reopened_obs)),
+        )
+        .unwrap();
+        assert!(reopened.scrub_reports().is_empty());
+        assert_eq!(reopened_obs.snapshot().journal_quarantines, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

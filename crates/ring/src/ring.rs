@@ -406,6 +406,11 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
             // relaxed load, no follower rescan.
             return;
         }
+        let slow_path_entered = if varan_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut spins = 0u32;
         let mut waited = false;
         loop {
@@ -419,6 +424,14 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
         }
         if waited {
             shared.producer_waits.fetch_add(1, Ordering::Relaxed);
+            // Publish→gate-advance latency: how long this publish stalled
+            // behind the slowest follower.  Recorded only when an actual
+            // wait happened, so the fast path stays a single relaxed load.
+            if let (Some(started), Some(metrics)) = (slow_path_entered, varan_obs::hot()) {
+                metrics
+                    .publish_gate_wait_nanos
+                    .record(started.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -445,6 +458,9 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
         let idx = (seq & shared.mask) as usize;
         shared.slots[idx].store(value);
         self.commit(seq, seq);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.ring_publishes.add(1);
+        }
         seq
     }
 
@@ -477,6 +493,9 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
             shared.slots[idx].store(*value);
         }
         self.commit(first, last);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.ring_publishes.add(1);
+        }
         Some(first)
     }
 
@@ -511,6 +530,9 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
             let idx = (seq & shared.mask) as usize;
             shared.slots[idx].store(value);
             self.commit(seq, seq);
+            if let Some(metrics) = varan_obs::hot() {
+                metrics.ring_publishes.add(1);
+            }
             return Ok(seq);
         }
     }
@@ -519,6 +541,25 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
     #[must_use]
     pub fn published(&self) -> u64 {
         self.shared.cursor.count()
+    }
+
+    /// The gating sequence this handle last cached — the producer's own
+    /// lower bound on its slowest live follower, refreshed only when the
+    /// publish path runs out of cached headroom.  One relaxed load.
+    #[must_use]
+    pub fn cached_gate(&self) -> u64 {
+        self.cached_gate.load(Ordering::Relaxed)
+    }
+
+    /// Follower lag estimate in sequences, computed entirely from state the
+    /// producer already maintains: `published - cached_gate`.  Two relaxed
+    /// loads and a subtraction — reading lag never rescans the follower
+    /// sequences, so it cannot perturb the hot path.  The estimate is an
+    /// upper bound: the cached gate is refreshed lazily, so a quiet ring may
+    /// report stale (too-large) lag until the next publish slow path.
+    #[must_use]
+    pub fn lag_estimate(&self) -> u64 {
+        self.published().saturating_sub(self.cached_gate())
     }
 }
 
@@ -622,6 +663,11 @@ impl<T: Copy + Default + Send + 'static> Consumer<T> {
     pub fn try_next_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let taken = self.peek_batch(out, max);
         self.advance(taken);
+        if taken > 0 {
+            if let Some(metrics) = varan_obs::hot() {
+                metrics.ring_consumes.add(1);
+            }
+        }
         taken
     }
 

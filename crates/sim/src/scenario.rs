@@ -48,6 +48,10 @@ pub struct SimOutcome {
     /// The run injected interior journal corruption and the scrub detected
     /// it (a `Corrupt` report with an offset, never a silent absorption).
     pub journal_corruption_detected: bool,
+    /// Tracepoints the run recorded into its isolated telemetry registry
+    /// and folded into `trace_hash` (journal mode; 0 in the modes that
+    /// report to the process-global registry).
+    pub trace_events: u64,
 }
 
 /// Generates the plan for `seed` and runs it.
@@ -381,6 +385,13 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
     let mut trace = Fnv::new();
     trace.fold(plan.digest());
 
+    // One isolated telemetry registry per run: the journal's tracepoints
+    // (scrub verdicts, quarantines, anchor movement) are folded into the
+    // trace hash below, so they are part of the reproducibility contract —
+    // a fresh registry keeps concurrent seeds from bleeding into each other
+    // and its clock-free timestamps are deterministically zero.
+    let obs = Arc::new(varan_obs::Registry::new());
+
     /// Applies the plan's single write fault to the chosen sequence.
     struct PlanFault {
         fault: Fault,
@@ -419,13 +430,18 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
     let mut appended = Vec::new();
     {
         let journal = match EventJournal::open(
-            JournalConfig::new(&dir).with_segment_records(plan.segment_records),
+            JournalConfig::new(&dir)
+                .with_segment_records(plan.segment_records)
+                .with_obs(Arc::clone(&obs)),
         ) {
             Ok(journal) => journal,
             Err(err) => {
                 checks.expect(false, || format!("journal open failed: {err}"));
                 std::fs::remove_dir_all(&dir).ok();
-                return finish(plan, trace, checks, None);
+                trace.fold(obs.trace_ring().content_hash());
+                let mut outcome = finish(plan, trace, checks, None);
+                outcome.trace_events = obs.trace_ring().snapshot().total_recorded;
+                return outcome;
             }
         };
         if let Some(fault) = write_fault {
@@ -467,7 +483,9 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
 
     // The dying writer is gone; reopen and judge recovery.
     let reopened = EventJournal::open(
-        JournalConfig::new(&dir).with_segment_records(plan.segment_records),
+        JournalConfig::new(&dir)
+            .with_segment_records(plan.segment_records)
+            .with_obs(Arc::clone(&obs)),
     );
     let torn = matches!(write_fault, Some(Fault::TornWrite { .. }));
     let mid_flip = match write_fault {
@@ -570,7 +588,12 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
     }
 
     std::fs::remove_dir_all(&dir).ok();
-    finish(plan, trace, checks, None)
+    // Every control-plane tracepoint the run emitted, in order, with its
+    // operands: same seed, same ring, bit for bit.
+    trace.fold(obs.trace_ring().content_hash());
+    let mut outcome = finish(plan, trace, checks, None);
+    outcome.trace_events = obs.trace_ring().snapshot().total_recorded;
+    outcome
 }
 
 /// The workload of the upgrade mode: warm up, then loop until the control
@@ -980,6 +1003,7 @@ fn finish(
         trace_hash: trace.value(),
         schedule_hash: driver.map(|driver| driver.schedule_hash()).unwrap_or(0),
         journal_corruption_detected: checks.corruption_detected,
+        trace_events: 0,
         failure: checks.failure,
     }
 }

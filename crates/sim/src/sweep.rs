@@ -58,6 +58,10 @@ pub struct SweepReport {
     /// detect it (a `Corrupt` report, never a silent absorption).  The CI
     /// gate requires this coverage to stay non-trivial.
     pub journal_corruptions_detected: u64,
+    /// Seeds whose isolated telemetry registry recorded at least one
+    /// tracepoint — those seeds' trace rings are folded into `trace_hash`,
+    /// so the determinism double-runs cover trace-ring contents too.
+    pub trace_ring_seeds: u64,
     /// Failing seeds, shrunk where possible.
     pub failures: Vec<ShrunkFailure>,
     /// Wall time of the whole sweep, milliseconds.
@@ -77,6 +81,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
     let mut determinism_checked = 0u64;
     let mut determinism_mismatches = 0u64;
     let mut journal_corruptions_detected = 0u64;
+    let mut trace_ring_seeds = 0u64;
 
     for offset in 0..config.seeds {
         let seed = config.base_seed.wrapping_add(offset);
@@ -86,6 +91,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         combined.fold(outcome.trace_hash);
         *mode_counts.entry(outcome.mode.name()).or_insert(0) += 1;
         journal_corruptions_detected += u64::from(outcome.journal_corruption_detected);
+        trace_ring_seeds += u64::from(outcome.trace_events > 0);
 
         if config.determinism_every != 0 && offset % config.determinism_every == 0 {
             determinism_checked += 1;
@@ -138,6 +144,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         determinism_checked,
         determinism_mismatches,
         journal_corruptions_detected,
+        trace_ring_seeds,
         failures,
         wall_ms: started.elapsed().as_millis() as u64,
         config,

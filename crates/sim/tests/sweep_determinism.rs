@@ -26,6 +26,39 @@ fn one_hundred_seeds_run_clean_and_reproduce() {
 }
 
 #[test]
+fn same_seed_journal_runs_record_bit_identical_trace_rings() {
+    // Journal-mode seeds run against an isolated telemetry registry whose
+    // trace-ring content hash is folded into `trace_hash`.  Find a few
+    // seeds that actually record tracepoints (a fault that corrupts the
+    // framing can make the open fail before any scrub report exists) and
+    // check both the hash and the recorded-event count reproduce exactly.
+    let mut checked = 0u32;
+    for seed in 0..2_000u64 {
+        if varan_sim::FaultPlan::generate(seed).mode != varan_sim::Mode::Journal {
+            continue;
+        }
+        let first = run_seed(seed);
+        if first.trace_events == 0 {
+            continue;
+        }
+        let second = run_seed(seed);
+        assert_eq!(
+            first.trace_hash, second.trace_hash,
+            "seed {seed}: trace-ring contents differed across same-seed runs"
+        );
+        assert_eq!(
+            first.trace_events, second.trace_events,
+            "seed {seed}: tracepoint counts differed across same-seed runs"
+        );
+        checked += 1;
+        if checked >= 3 {
+            return;
+        }
+    }
+    panic!("no journal-mode seed in 0..2000 recorded a tracepoint");
+}
+
+#[test]
 fn shrinker_isolates_the_causal_fault() {
     // A crash-mode plan with two faults where only the harness-breaking
     // one matters: an expectation that version 1 survives is violated by
