@@ -1,0 +1,231 @@
+//! Adversarial (misbehaving) client scripts.
+//!
+//! The load generators in [`clients`](crate::clients) model *well-behaved*
+//! benchmark tools; real servers also face clients that stall, truncate,
+//! vanish and lie about payload sizes.  Each script here inflicts one such
+//! misbehaviour on a server over the virtual loopback network and reports
+//! whether the server disposed of the connection in bounded time.  The
+//! guided-exploration acceptance suite runs every script against all four
+//! miniature servers under N-version execution: the servers must keep
+//! serving well-behaved clients afterwards, the leader and its follower
+//! must not diverge, and the poisoned connection must be reaped within the
+//! configured read deadline.
+
+use std::time::{Duration, Instant};
+
+use varan_kernel::net::Endpoint;
+use varan_kernel::Kernel;
+
+use crate::clients::connect_retry;
+
+/// The wire protocol an adversarial script speaks (which server it targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The HTTP servers ([`crate::servers::httpd`]).
+    Http,
+    /// The Redis-like store ([`crate::servers::kvstore`]).
+    Kv,
+    /// The Beanstalkd-like queue ([`crate::servers::queue`]).
+    Queue,
+    /// The Memcached-like cache ([`crate::servers::cache`]).
+    Cache,
+}
+
+/// One kind of client misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Drip-feeds a request one byte at a time and then stops mid-request,
+    /// holding the connection open (the classic slowloris).
+    Slowloris,
+    /// Declares a payload length and sends fewer bytes, then goes quiet.
+    PartialFrame,
+    /// Sends half a request and disconnects immediately.
+    MidRequestDisconnect,
+    /// Declares a payload far beyond the server's acceptance limit.
+    OversizedPayload,
+}
+
+/// All attacks, in a stable order (the acceptance suite iterates this).
+pub const ALL_ATTACKS: [Attack; 4] = [
+    Attack::Slowloris,
+    Attack::PartialFrame,
+    Attack::MidRequestDisconnect,
+    Attack::OversizedPayload,
+];
+
+/// What an adversarial script observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// The misbehaviour inflicted.
+    pub attack: Attack,
+    /// The protocol spoken.
+    pub protocol: Protocol,
+    /// Whether the connection was established at all.
+    pub connected: bool,
+    /// Whether the server disposed of the connection (the client observed
+    /// EOF or a write failure) before the reap deadline — trivially `true`
+    /// for [`Attack::MidRequestDisconnect`], where the client closes first.
+    pub reaped: bool,
+    /// Bytes the script managed to send.
+    pub bytes_sent: u64,
+    /// Wall-clock time from connect to verdict, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// An incomplete request prefix for `protocol` — syntactically valid so far,
+/// but missing its terminator, so a server must either wait or time out.
+fn partial_request(protocol: Protocol) -> Vec<u8> {
+    match protocol {
+        Protocol::Http => b"GET /index.html HTTP/1.1\r\nHost: adversary\r\nX-Drip: ".to_vec(),
+        Protocol::Kv => b"SET victim_key some_value_that_never_end".to_vec(),
+        // Declares 64 payload bytes, delivers 3.
+        Protocol::Queue => b"put 64\nabc".to_vec(),
+        Protocol::Cache => b"set victim 64\r\nabc".to_vec(),
+    }
+}
+
+/// A request declaring a payload far beyond any server's acceptance limit.
+fn oversized_request(protocol: Protocol) -> Vec<u8> {
+    const HUGE: usize = 8 * 1024 * 1024;
+    match protocol {
+        // No length framing in these protocols: an endless unterminated
+        // line plays the same role (the reader's line cap must trip).
+        Protocol::Http | Protocol::Kv => vec![b'A'; 16 * 1024],
+        Protocol::Queue => format!("put {HUGE}\n").into_bytes(),
+        Protocol::Cache => format!("set victim {HUGE}\r\n").into_bytes(),
+    }
+}
+
+/// Waits until the server closes the connection (EOF) or `deadline`
+/// elapses.  Returns `true` if the connection was reaped in time.
+fn await_reap(endpoint: &Endpoint, deadline: Duration) -> bool {
+    let end = Instant::now() + deadline;
+    loop {
+        let now = Instant::now();
+        if now >= end {
+            return false;
+        }
+        match endpoint.read_timeout(1024, end - now) {
+            Ok(chunk) if chunk.is_empty() => return true, // EOF: reaped
+            Ok(_) => {}                                   // a reply; keep draining
+            Err(_) => return false,                       // timed out still open
+        }
+    }
+}
+
+/// Runs one adversarial script against the server listening on `port`.
+///
+/// `reap_deadline` is how long the script waits for the server to dispose
+/// of the poisoned connection; it must comfortably exceed the server's
+/// configured read deadline.
+#[must_use]
+pub fn run_attack(
+    kernel: &Kernel,
+    port: u16,
+    protocol: Protocol,
+    attack: Attack,
+    reap_deadline: Duration,
+) -> AttackOutcome {
+    let started = Instant::now();
+    let mut outcome = AttackOutcome {
+        attack,
+        protocol,
+        connected: false,
+        reaped: false,
+        bytes_sent: 0,
+        wall_micros: 0,
+    };
+    // The reap deadline doubles as the connect-retry budget: callers size
+    // it to comfortably cover both the server's bind and its read deadline.
+    let Some(endpoint) = connect_retry(kernel, port, reap_deadline) else {
+        outcome.wall_micros = started.elapsed().as_micros() as u64;
+        return outcome;
+    };
+    outcome.connected = true;
+    match attack {
+        Attack::Slowloris => {
+            // One byte at a time with think-time between bytes, then
+            // silence with the connection held open.
+            for byte in partial_request(protocol) {
+                if endpoint.write(&[byte]).is_err() {
+                    break;
+                }
+                outcome.bytes_sent += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            outcome.reaped = await_reap(&endpoint, reap_deadline);
+        }
+        Attack::PartialFrame => {
+            let prefix = partial_request(protocol);
+            if endpoint.write(&prefix).is_ok() {
+                outcome.bytes_sent = prefix.len() as u64;
+            }
+            outcome.reaped = await_reap(&endpoint, reap_deadline);
+        }
+        Attack::MidRequestDisconnect => {
+            let prefix = partial_request(protocol);
+            if endpoint.write(&prefix).is_ok() {
+                outcome.bytes_sent = prefix.len() as u64;
+            }
+            endpoint.close();
+            // The client closed first; the server merely has to notice.
+            outcome.reaped = true;
+        }
+        Attack::OversizedPayload => {
+            let request = oversized_request(protocol);
+            if endpoint.write(&request).is_ok() {
+                outcome.bytes_sent = request.len() as u64;
+            }
+            outcome.reaped = await_reap(&endpoint, reap_deadline);
+        }
+    }
+    endpoint.close();
+    outcome.wall_micros = started.elapsed().as_micros() as u64;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_requests_lack_their_terminators() {
+        for protocol in [Protocol::Http, Protocol::Kv, Protocol::Queue, Protocol::Cache] {
+            let prefix = partial_request(protocol);
+            assert!(!prefix.is_empty());
+            assert_ne!(prefix.last(), Some(&b'\n'), "{protocol:?} must stay incomplete");
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_exceed_default_limits() {
+        let queue = String::from_utf8(oversized_request(Protocol::Queue)).unwrap();
+        let declared: usize = queue
+            .split_whitespace()
+            .nth(1)
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(declared > crate::servers::ServerConfig::default().max_request_bytes);
+        let line = oversized_request(Protocol::Kv);
+        assert!(line.len() > crate::servers::MAX_LINE_BYTES);
+    }
+
+    #[test]
+    fn unconnected_attack_reports_failure() {
+        let kernel = Kernel::new();
+        let outcome = run_attack(
+            &kernel,
+            1, // nothing listens here
+            Protocol::Kv,
+            Attack::PartialFrame,
+            Duration::from_millis(10),
+        );
+        assert!(!outcome.connected);
+        assert!(!outcome.reaped);
+    }
+
+    #[test]
+    fn attack_catalog_is_complete() {
+        assert_eq!(ALL_ATTACKS.len(), 4);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`clients`] — the load generators the paper drives them with
 //!   (redis-benchmark, wrk/ApacheBench/http_load, memslap,
 //!   beanstalkd-benchmark).
+//! * [`adversarial`] — misbehaving clients (slowloris, partial frames,
+//!   mid-request disconnects, oversized payloads) used to prove the
+//!   servers reap bad connections in bounded time under NVX.
 //! * [`spec`] — CPU-bound kernels standing in for SPEC CPU2000/2006.
 //! * [`revisions`] — multi-revision variants used by the transparent
 //!   failover (§5.1) and multi-revision execution (§5.2) experiments,
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod adversarial;
 pub mod clients;
 pub mod inventory;
 pub mod revisions;

@@ -52,10 +52,15 @@ impl CacheServer {
         self.config.worker_threads
     }
 
-    fn serve_connection(store: &Store, sys: &mut dyn SyscallInterface, conn: i32) -> u64 {
+    fn serve_connection(
+        store: &Store,
+        config: &ServerConfig,
+        sys: &mut dyn SyscallInterface,
+        conn: i32,
+    ) -> u64 {
         /// User-space cycles per operation (hashing the key, slab lookup).
         const COMPUTE_PER_OP: u64 = 4_000;
-        let mut reader = ConnReader::new(conn);
+        let mut reader = ConnReader::new(conn).with_deadline(config.read_timeout_micros);
         let mut served = 0u64;
         while let Some(line) = reader.read_line(sys) {
             if line.is_empty() {
@@ -68,6 +73,13 @@ impl CacheServer {
                 "set" => {
                     let key = parts.next().unwrap_or("").to_owned();
                     let bytes: usize = parts.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                    if bytes > config.max_request_bytes {
+                        // Memcached's answer to an over-limit item; the
+                        // unread payload makes the stream undecodable, so
+                        // drop the connection after replying.
+                        sys.write(conn, b"SERVER_ERROR object too large for cache\r\n");
+                        break;
+                    }
                     let Some(payload) = reader.read_exact(sys, bytes) else {
                         break;
                     };
@@ -138,10 +150,12 @@ impl VersionProgram for CacheServer {
             senders.push(sender);
             let mut worker_sys = sys.spawn_thread();
             let store = Arc::clone(&store);
+            let config = self.config.clone();
             handles.push(std::thread::spawn(move || {
                 let mut served = 0u64;
                 while let Ok(conn) = receiver.recv() {
-                    served += CacheServer::serve_connection(&store, worker_sys.as_mut(), conn);
+                    served +=
+                        CacheServer::serve_connection(&store, &config, worker_sys.as_mut(), conn);
                     worker_sys.close(conn);
                 }
                 served

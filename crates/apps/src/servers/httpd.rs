@@ -217,18 +217,33 @@ impl HttpServer {
                 fcntl::FD_CLOEXEC,
             ));
         }
-        let mut reader = ConnReader::new(conn);
+        // Most header lines tolerated per request: a client streaming
+        // headers forever must not pin the worker.
+        const MAX_HEADER_LINES: usize = 64;
+        let mut reader = ConnReader::new(conn).with_deadline(self.config.read_timeout_micros);
         let mut served = 0u64;
         loop {
             let request_line = match reader.read_line(sys) {
                 Some(line) if !line.is_empty() => line,
                 _ => break,
             };
-            // Drain the header block.
+            // Drain the header block (bounded).
+            let mut header_lines = 0usize;
+            let mut headers_complete = false;
             while let Some(header) = reader.read_line(sys) {
                 if header.is_empty() {
+                    headers_complete = true;
                     break;
                 }
+                header_lines += 1;
+                if header_lines > MAX_HEADER_LINES {
+                    break;
+                }
+            }
+            if !headers_complete {
+                // Truncated, timed-out or abusive header block: drop the
+                // connection rather than guess at the request.
+                break;
             }
             let path = request_line.split_whitespace().nth(1).unwrap_or("/").to_owned();
             if let Some(crash) = &self.crash_path {

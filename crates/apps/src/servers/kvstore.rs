@@ -135,7 +135,8 @@ impl VersionProgram for KvServer {
             if conn < 0 {
                 break;
             }
-            let mut reader = ConnReader::new(conn as i32);
+            let mut reader =
+                ConnReader::new(conn as i32).with_deadline(self.config.read_timeout_micros);
             while let Some(line) = reader.read_line(sys) {
                 if line.is_empty() {
                     continue;

@@ -22,7 +22,7 @@ pub mod httpd;
 pub mod kvstore;
 pub mod queue;
 
-use varan_core::SyscallInterface;
+use varan_core::{SyscallInterface, TimedRead};
 
 /// Configuration shared by every miniature server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +35,16 @@ pub struct ServerConfig {
     pub worker_threads: usize,
     /// Listen backlog.
     pub backlog: u32,
+    /// Per-read deadline on connection reads, in microseconds (0 = wait
+    /// forever, the historical behaviour).  With a deadline set, a client
+    /// that stops sending mid-request — a slowloris drip or a truncated
+    /// frame — has its connection reaped after this much quiet instead of
+    /// pinning the worker forever.
+    pub read_timeout_micros: u64,
+    /// Largest declared request payload a server accepts.  A `put`/`set`
+    /// announcing more than this is rejected *before* the payload is read,
+    /// so an adversarial client cannot make the server buffer it.
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +54,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             worker_threads: 1,
             backlog: 128,
+            read_timeout_micros: 0,
+            max_request_bytes: 64 * 1024,
         }
     }
 }
@@ -71,7 +83,27 @@ impl ServerConfig {
         self.worker_threads = workers.max(1);
         self
     }
+
+    /// Sets the per-read deadline for connection reads (0 = wait forever).
+    #[must_use]
+    pub fn with_read_timeout_micros(mut self, micros: u64) -> Self {
+        self.read_timeout_micros = micros;
+        self
+    }
+
+    /// Sets the largest declared request payload accepted.
+    #[must_use]
+    pub fn with_max_request_bytes(mut self, bytes: usize) -> Self {
+        self.max_request_bytes = bytes.max(1);
+        self
+    }
 }
+
+/// Longest request line a [`ConnReader`] buffers while looking for the
+/// terminator.  A client pumping bytes without ever sending `\n` would
+/// otherwise grow the buffer (and the server's memory) without bound; at
+/// this cap the connection is dropped instead.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
 
 /// A buffered reader over one connection descriptor, built on the raw `read`
 /// system call (the servers' equivalent of their internal request buffers).
@@ -80,17 +112,30 @@ pub struct ConnReader {
     fd: i32,
     buffer: Vec<u8>,
     eof: bool,
+    timeout_micros: u64,
+    timed_out: bool,
 }
 
 impl ConnReader {
-    /// Creates a reader for descriptor `fd`.
+    /// Creates a reader for descriptor `fd` with no read deadline.
     #[must_use]
     pub fn new(fd: i32) -> Self {
         ConnReader {
             fd,
             buffer: Vec::new(),
             eof: false,
+            timeout_micros: 0,
+            timed_out: false,
         }
+    }
+
+    /// Sets a per-read deadline in microseconds (0 = wait forever).  When a
+    /// read times out the reader reports end-of-stream, so the serving loop
+    /// falls through to its close path and the connection is reaped.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout_micros: u64) -> Self {
+        self.timeout_micros = timeout_micros;
+        self
     }
 
     /// The underlying descriptor.
@@ -99,21 +144,48 @@ impl ConnReader {
         self.fd
     }
 
+    /// Whether the stream ended because a read deadline elapsed rather than
+    /// a clean peer close.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
     fn fill(&mut self, sys: &mut dyn SyscallInterface) -> bool {
         if self.eof {
             return false;
         }
-        let chunk = sys.read(self.fd, 512);
-        if chunk.is_empty() {
-            self.eof = true;
-            return false;
+        if self.timeout_micros == 0 {
+            let chunk = sys.read(self.fd, 512);
+            if chunk.is_empty() {
+                self.eof = true;
+                return false;
+            }
+            self.buffer.extend_from_slice(&chunk);
+            return true;
         }
-        self.buffer.extend_from_slice(&chunk);
-        true
+        match sys.read_deadline(self.fd, 512, self.timeout_micros) {
+            TimedRead::Data(chunk) => {
+                self.buffer.extend_from_slice(&chunk);
+                true
+            }
+            TimedRead::Eof => {
+                self.eof = true;
+                false
+            }
+            TimedRead::TimedOut => {
+                self.eof = true;
+                self.timed_out = true;
+                false
+            }
+        }
     }
 
     /// Reads one `\n`-terminated line (the terminator and any preceding `\r`
-    /// are stripped).  Returns `None` at end-of-stream.
+    /// are stripped).  Returns `None` at end-of-stream, after a read
+    /// deadline, or once an unterminated line exceeds [`MAX_LINE_BYTES`]
+    /// (the connection is then treated as dead — a line that long is not a
+    /// protocol any of these servers speak).
     pub fn read_line(&mut self, sys: &mut dyn SyscallInterface) -> Option<String> {
         loop {
             if let Some(position) = self.buffer.iter().position(|&byte| byte == b'\n') {
@@ -124,8 +196,13 @@ impl ConnReader {
                 }
                 return Some(String::from_utf8_lossy(&line).into_owned());
             }
+            if self.buffer.len() > MAX_LINE_BYTES {
+                self.eof = true;
+                self.buffer.clear();
+                return None;
+            }
             if !self.fill(sys) {
-                if self.buffer.is_empty() {
+                if self.buffer.is_empty() || self.timed_out {
                     return None;
                 }
                 let line = std::mem::take(&mut self.buffer);

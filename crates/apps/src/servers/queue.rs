@@ -79,6 +79,13 @@ impl QueueServer {
         match command {
             "put" => {
                 let bytes: usize = parts.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                if bytes > self.config.max_request_bytes {
+                    // Reject before reading a single payload byte, then drop
+                    // the connection: the client's framing is now undecodable
+                    // (we never consumed the oversized body).
+                    super::send_response(sys, reader.fd(), &[b"JOB_TOO_BIG\r\n"]);
+                    return None;
+                }
                 let mut payload = reader.read_exact(sys, bytes)?;
                 // Consume the trailing newline after the payload, if present.
                 if reader.read_exact(sys, 1).as_deref() != Some(b"\n") {
@@ -150,7 +157,8 @@ impl VersionProgram for QueueServer {
             if conn < 0 {
                 break;
             }
-            let mut reader = ConnReader::new(conn as i32);
+            let mut reader =
+                ConnReader::new(conn as i32).with_deadline(self.config.read_timeout_micros);
             while let Some(line) = reader.read_line(sys) {
                 if line.is_empty() {
                     continue;

@@ -1,0 +1,162 @@
+//! Adversarial-client acceptance suite: every misbehaving client script
+//! against all four miniature servers, each running as a leader/follower
+//! pair under N-version execution.
+//!
+//! The properties under test, per (server × attack) cell:
+//!
+//! 1. **No hang** — the NVX run finishes and every version exits cleanly;
+//!    the poisoned connection cannot pin a worker forever.
+//! 2. **No divergence** — the follower replays the leader's handling of
+//!    the attack without a single killed divergence.
+//! 3. **Reaped within deadline** — the adversarial client observes its
+//!    connection being disposed of within the reap deadline (or closed it
+//!    itself, for the mid-request disconnect).
+//! 4. **Still serving** — a well-behaved client issued after the attack
+//!    gets a correct reply.
+
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::time::Duration;
+
+use varan_apps::adversarial::{run_attack, Attack, Protocol, ALL_ATTACKS};
+use varan_apps::clients::{connect_retry, read_until_satisfied, CLIENT_READ_TIMEOUT};
+use varan_apps::servers::cache::CacheServer;
+use varan_apps::servers::httpd::HttpServer;
+use varan_apps::servers::kvstore::KvServer;
+use varan_apps::servers::queue::QueueServer;
+use varan_apps::servers::ServerConfig;
+use varan_core::coordinator::{NvxConfig, NvxSystem};
+use varan_core::VersionProgram;
+use varan_kernel::Kernel;
+
+static PORT: AtomicU16 = AtomicU16::new(27_000);
+
+/// The server's per-read deadline: quiet connections are reaped after this.
+const SERVER_READ_TIMEOUT_MICROS: u64 = 50_000;
+
+/// How long the adversarial client waits for the reap — generous, because
+/// it also covers server start-up.
+const REAP_DEADLINE: Duration = Duration::from_secs(10);
+
+#[derive(Debug, Clone, Copy)]
+enum ServerKind {
+    Kv,
+    Httpd,
+    Queue,
+    Cache,
+}
+
+impl ServerKind {
+    fn protocol(self) -> Protocol {
+        match self {
+            ServerKind::Kv => Protocol::Kv,
+            ServerKind::Httpd => Protocol::Http,
+            ServerKind::Queue => Protocol::Queue,
+            ServerKind::Cache => Protocol::Cache,
+        }
+    }
+
+    fn build(self, config: ServerConfig) -> Box<dyn VersionProgram> {
+        match self {
+            ServerKind::Kv => Box::new(KvServer::new(config)),
+            ServerKind::Httpd => Box::new(HttpServer::lighttpd(config)),
+            ServerKind::Queue => Box::new(QueueServer::new(config)),
+            ServerKind::Cache => Box::new(CacheServer::new(config)),
+        }
+    }
+}
+
+/// Issues one well-behaved request and checks the reply, returning a
+/// description of what went wrong (None = success).
+fn legit_probe(kernel: &Kernel, port: u16, kind: ServerKind) -> Option<String> {
+    let endpoint = connect_retry(kernel, port, CLIENT_READ_TIMEOUT)?;
+    let (request, needle): (&[u8], &[u8]) = match kind {
+        ServerKind::Kv => (b"PING\n", b"+PONG"),
+        ServerKind::Httpd => (b"GET /index.html HTTP/1.1\r\nHost: probe\r\n\r\n", b"200 OK"),
+        ServerKind::Queue => (b"stats\n", b"OK ready="),
+        ServerKind::Cache => (b"get nothing\r\n", b"END\r\n"),
+    };
+    if endpoint.write(request).is_err() {
+        return Some("write failed".to_owned());
+    }
+    let reply = read_until_satisfied(&endpoint, CLIENT_READ_TIMEOUT, |buffer| {
+        buffer
+            .windows(needle.len())
+            .any(|window| window == needle)
+    });
+    // Let the line-oriented servers see EOF and move on.
+    endpoint.close();
+    match reply {
+        Some(_) => None,
+        None => Some(format!("no {:?} reply", String::from_utf8_lossy(needle))),
+    }
+}
+
+fn run_case(kind: ServerKind, attack: Attack) {
+    let kernel = Kernel::new();
+    kernel
+        .populate_file("/var/www/index.html", b"<html>up</html>".to_vec())
+        .unwrap();
+    let port = PORT.fetch_add(1, Ordering::Relaxed);
+    // Two connections: the adversarial one, then the well-behaved probe.
+    let config = ServerConfig::on_port(port)
+        .with_connections(2)
+        .with_read_timeout_micros(SERVER_READ_TIMEOUT_MICROS);
+    let versions: Vec<Box<dyn VersionProgram>> =
+        vec![kind.build(config.clone()), kind.build(config)];
+    let running = NvxSystem::launch(&kernel, versions, NvxConfig::default())
+        .unwrap_or_else(|error| panic!("{kind:?}/{attack:?}: launch failed: {error:?}"));
+
+    let outcome = run_attack(&kernel, port, kind.protocol(), attack, REAP_DEADLINE);
+    assert!(outcome.connected, "{kind:?}/{attack:?}: never connected");
+    assert!(
+        outcome.reaped,
+        "{kind:?}/{attack:?}: connection not reaped within {REAP_DEADLINE:?} \
+         (sent {} bytes)",
+        outcome.bytes_sent
+    );
+
+    let probe_failure = legit_probe(&kernel, port, kind);
+    assert!(
+        probe_failure.is_none(),
+        "{kind:?}/{attack:?}: server unusable after attack: {probe_failure:?}"
+    );
+
+    let report = running.wait();
+    assert!(
+        report.all_clean(),
+        "{kind:?}/{attack:?}: dirty exits: {:?}",
+        report.exits
+    );
+    for (index, version) in report.versions.iter().enumerate() {
+        assert_eq!(
+            version.divergences_killed, 0,
+            "{kind:?}/{attack:?}: version {index} diverged"
+        );
+    }
+}
+
+fn run_all_attacks(kind: ServerKind) {
+    for attack in ALL_ATTACKS {
+        run_case(kind, attack);
+    }
+}
+
+#[test]
+fn kvstore_survives_every_adversarial_client() {
+    run_all_attacks(ServerKind::Kv);
+}
+
+#[test]
+fn httpd_survives_every_adversarial_client() {
+    run_all_attacks(ServerKind::Httpd);
+}
+
+#[test]
+fn queue_survives_every_adversarial_client() {
+    run_all_attacks(ServerKind::Queue);
+}
+
+#[test]
+fn cache_survives_every_adversarial_client() {
+    run_all_attacks(ServerKind::Cache);
+}

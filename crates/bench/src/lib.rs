@@ -20,6 +20,8 @@
 //! | [`churnbench`] | machine-readable catch-up-vs-journal-growth scenario (`BENCH_churn.json`) |
 //! | [`upgradebench`] | machine-readable zero-downtime rolling upgrade (`BENCH_upgrade.json`) |
 //! | [`simbench`] | machine-readable deterministic-simulation sweep (`BENCH_sim.json`) |
+//! | [`explorebench`] | machine-readable coverage-guided exploration + adversarial/open-loop acceptance (`BENCH_explore.json`) |
+//! | [`openloop`] | open-loop workload model and CO-free live latency runner |
 //! | [`obsbench`] | machine-readable telemetry-plane overhead/endpoint/determinism check (`BENCH_obs.json`) |
 //! | [`report`] | plain-text rendering of the results |
 
@@ -28,9 +30,11 @@
 
 pub mod churnbench;
 pub mod comparison;
+pub mod explorebench;
 pub mod fleetbench;
 pub mod microbench;
 pub mod obsbench;
+pub mod openloop;
 pub mod report;
 pub mod ringbench;
 pub mod scenarios;

@@ -10,8 +10,8 @@
 //! a few minutes on a laptop; `--full` uses larger workloads.
 
 use varan_bench::{
-    churnbench, comparison, fleetbench, microbench, obsbench, report, ringbench, scenarios,
-    servers, shardbench, simbench, spec, upgradebench, Scale,
+    churnbench, comparison, explorebench, fleetbench, microbench, obsbench, report, ringbench,
+    scenarios, servers, shardbench, simbench, spec, upgradebench, Scale,
 };
 
 #[derive(Debug, Default)]
@@ -34,6 +34,10 @@ struct Options {
     fig_obs: bool,
     obs_dump: bool,
     sim_sweep: bool,
+    fig_explore: bool,
+    check_explore: bool,
+    replay_plan: Option<String>,
+    explore_plans: u64,
     check_ring: bool,
     check_fleet: bool,
     check_upgrade: bool,
@@ -50,12 +54,32 @@ impl Options {
     fn parse(args: &[String]) -> Options {
         let mut options = Options::default();
         options.sim_seeds = 1_000;
+        options.explore_plans = 48;
         let mut any = false;
         let mut sim_values_given = false;
+        let mut plans_given = false;
         let mut args = args.iter();
         while let Some(arg) = args.next() {
             // Value-taking flags first.
             match arg.as_str() {
+                "--plans" => {
+                    let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                        eprintln!("{arg} requires a numeric value");
+                        std::process::exit(2);
+                    };
+                    options.explore_plans = value.max(1);
+                    plans_given = true;
+                    continue;
+                }
+                "--replay-plan" => {
+                    let Some(value) = args.next() else {
+                        eprintln!("{arg} requires a plan file path");
+                        std::process::exit(2);
+                    };
+                    options.replay_plan = Some(value.clone());
+                    any = true;
+                    continue;
+                }
                 "--seeds" | "--sim-seed" => {
                     let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
                         eprintln!("{arg} requires a numeric value");
@@ -90,6 +114,8 @@ impl Options {
                 "--fig-obs" => options.fig_obs = true,
                 "--obs-dump" => options.obs_dump = true,
                 "--sim-sweep" => options.sim_sweep = true,
+                "--fig-explore" => options.fig_explore = true,
+                "--check-explore" => options.check_explore = true,
                 // Action flags: a standalone `--check-*` must validate the
                 // existing file, not regenerate it via the default subset.
                 "--check-ring" => options.check_ring = true,
@@ -129,10 +155,21 @@ impl Options {
                          \x20              [--fig-churn-compact] [--check-churn-compact]\n\
                          \x20              [--check-fleet] [--check-upgrade] [--check-shard]\n\
                          \x20              [--sim-sweep [--seeds N] [--sim-seed S]] [--check-sim]\n\
+                         \x20              [--fig-explore [--plans N]] [--check-explore]\n\
+                         \x20              [--replay-plan FILE]\n\
                          --sim-sweep runs the deterministic simulation sweep (N seeded fault\n\
                          scenarios, default 1000 starting at S, default 0) and writes {sim};\n\
                          --check-sim validates {sim} and exits non-zero on any failing seed or\n\
                          any same-seed reproducibility mismatch (see docs/SIMULATION.md).\n\
+                         --fig-explore runs the coverage-guided fault explorer against an\n\
+                         equal-plan-count random baseline (N plans, default 48), the\n\
+                         adversarial-client catalog and a CO-free open-loop latency run on\n\
+                         all four servers, and writes {explore}; --check-explore validates\n\
+                         {explore} (guided >= 3x the baseline's distinct schedules, composed\n\
+                         plans >= 1%, zero mismatches/failures, all 16 adversarial cells).\n\
+                         --replay-plan FILE replays a varan-plan/v1 file (as emitted in\n\
+                         \"failure_plans\") twice and exits non-zero on any invariant\n\
+                         failure or reproducibility mismatch.\n\
                          --fig5 also writes {path} (ring/pool throughput);\n\
                          --check-ring validates {path} and exits non-zero if it is malformed\n\
                          or the disruptor does not beat the event-pump baseline at 3 followers.\n\
@@ -164,6 +201,7 @@ impl Options {
                         fleet = varan_bench::fleetbench::DEFAULT_PATH,
                         upgrade = varan_bench::upgradebench::DEFAULT_PATH,
                         sim = varan_bench::simbench::DEFAULT_PATH,
+                        explore = varan_bench::explorebench::DEFAULT_PATH,
                         obs = varan_bench::obsbench::DEFAULT_PATH,
                     );
                     std::process::exit(0);
@@ -180,6 +218,10 @@ impl Options {
             // run the default figure subset and leave a stale
             // BENCH_sim.json for a later --check-sim to bless.
             eprintln!("--seeds/--sim-seed only apply to --sim-sweep (try --help)");
+            std::process::exit(2);
+        }
+        if plans_given && !options.fig_explore {
+            eprintln!("--plans only applies to --fig-explore (try --help)");
             std::process::exit(2);
         }
         if !any {
@@ -342,6 +384,60 @@ fn main() {
                 "warning: could not write {}: {err}",
                 simbench::DEFAULT_PATH
             ),
+        }
+    }
+    if options.fig_explore {
+        let explore_report = explorebench::run(options.explore_plans, options.sim_base_seed);
+        println!("{}", explorebench::render(&explore_report));
+        match explorebench::write_to(&explore_report, explorebench::DEFAULT_PATH) {
+            Ok(()) => println!("wrote {}", explorebench::DEFAULT_PATH),
+            Err(err) => eprintln!(
+                "warning: could not write {}: {err}",
+                explorebench::DEFAULT_PATH
+            ),
+        }
+    }
+    if let Some(path) = &options.replay_plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                std::process::exit(1);
+            }
+        };
+        let plan = match varan_sim::FaultPlan::decode(&text) {
+            Ok(plan) => plan,
+            Err(err) => {
+                eprintln!("{path}: not a valid plan file: {err}");
+                std::process::exit(1);
+            }
+        };
+        for line in plan.describe() {
+            println!("{line}");
+        }
+        let first = varan_sim::run_plan(&plan);
+        let second = varan_sim::run_plan(&plan);
+        println!(
+            "trace hash {:#018x} (replay {:#018x}), schedule hash {:#018x}",
+            first.trace_hash, second.trace_hash, first.schedule_hash
+        );
+        if let Some(failure) = &first.failure {
+            eprintln!("invariant failure: {failure}");
+            std::process::exit(1);
+        }
+        if second.trace_hash != first.trace_hash {
+            eprintln!("reproducibility mismatch: the two replays disagree");
+            std::process::exit(1);
+        }
+        println!("replay OK: deterministic, no invariant failures");
+    }
+    if options.check_explore {
+        match explorebench::validate_file(explorebench::DEFAULT_PATH) {
+            Ok(()) => println!("{} OK", explorebench::DEFAULT_PATH),
+            Err(err) => {
+                eprintln!("BENCH_explore check failed: {err}");
+                std::process::exit(1);
+            }
         }
     }
     if options.check_ring {

@@ -1,0 +1,345 @@
+//! Open-loop workload generation and coordinated-omission-free latency.
+//!
+//! The closed-loop generators in [`clients`](varan_apps::clients) send a
+//! request, wait for the reply, then send the next — so when the server
+//! stalls, the generator politely stops generating, and the stall shows up
+//! as *one* slow sample instead of the pile-up a real arrival process
+//! would have observed.  That is coordinated omission: the percentiles of
+//! a closed-loop run measure the server's happy path, not its behaviour
+//! under the offered load.
+//!
+//! The open-loop model here fires requests on a fixed arrival schedule
+//! *regardless of completions* and measures every latency from the
+//! request's **intended** send time.  A stall then delays every request
+//! scheduled behind it, and the tail percentiles grow by the whole queue's
+//! wait — the `co_gap` unit tests pin this down as an asserted
+//! inequality (closed p99 ≪ open p99 around a stall).
+//!
+//! Two layers:
+//!
+//! * a **pure queue model** ([`closed_loop_latencies`] /
+//!   [`open_loop_latencies`]) used by the unit tests and by
+//!   `BENCH_explore.json` to report the gap deterministically, and
+//! * a **live runner** ([`run_open_loop`]) that drives a miniature server
+//!   under N-version execution with a strided arrival schedule, recording
+//!   each CO-free latency into the
+//!   [`request_latency_nanos`](varan_obs::Metrics) histogram.
+
+use std::time::{Duration, Instant};
+
+use varan_apps::clients::{connect_retry, read_until_satisfied, CLIENT_READ_TIMEOUT};
+use varan_apps::servers::cache::CacheServer;
+use varan_apps::servers::httpd::HttpServer;
+use varan_apps::servers::kvstore::KvServer;
+use varan_apps::servers::queue::QueueServer;
+use varan_apps::servers::ServerConfig;
+use varan_core::VersionProgram;
+use varan_kernel::Kernel;
+
+/// The four in-tree miniature servers, as targets for the open-loop and
+/// adversarial suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// The Redis-like store.
+    Kv,
+    /// The lighttpd-flavoured HTTP server.
+    Httpd,
+    /// The Beanstalkd-like queue.
+    Queue,
+    /// The Memcached-like cache.
+    Cache,
+}
+
+/// All four servers, in a stable order.
+pub const ALL_SERVERS: [ServerKind; 4] = [
+    ServerKind::Kv,
+    ServerKind::Httpd,
+    ServerKind::Queue,
+    ServerKind::Cache,
+];
+
+impl ServerKind {
+    /// Display name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Kv => "kvstore",
+            ServerKind::Httpd => "httpd",
+            ServerKind::Queue => "queue",
+            ServerKind::Cache => "cache",
+        }
+    }
+
+    /// The adversarial protocol this server speaks.
+    #[must_use]
+    pub fn protocol(self) -> varan_apps::adversarial::Protocol {
+        match self {
+            ServerKind::Kv => varan_apps::adversarial::Protocol::Kv,
+            ServerKind::Httpd => varan_apps::adversarial::Protocol::Http,
+            ServerKind::Queue => varan_apps::adversarial::Protocol::Queue,
+            ServerKind::Cache => varan_apps::adversarial::Protocol::Cache,
+        }
+    }
+
+    /// Builds one server version from `config`.
+    #[must_use]
+    pub fn build(self, config: ServerConfig) -> Box<dyn VersionProgram> {
+        match self {
+            ServerKind::Kv => Box::new(KvServer::new(config)),
+            ServerKind::Httpd => Box::new(HttpServer::lighttpd(config)),
+            ServerKind::Queue => Box::new(QueueServer::new(config)),
+            ServerKind::Cache => Box::new(CacheServer::new(config)),
+        }
+    }
+
+    /// One well-formed request and the reply fragment that certifies it.
+    #[must_use]
+    pub fn probe(self) -> (&'static [u8], &'static [u8]) {
+        match self {
+            ServerKind::Kv => (b"PING\n", b"+PONG"),
+            ServerKind::Httpd => (
+                b"GET /index.html HTTP/1.1\r\nHost: openloop\r\n\r\n",
+                b"200 OK",
+            ),
+            ServerKind::Queue => (b"stats\n", b"OK ready="),
+            ServerKind::Cache => (b"get nothing\r\n", b"END\r\n"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pure queue model.
+// ---------------------------------------------------------------------------
+
+/// Exact `q`-th percentile of `samples` (any order); 0 when empty.
+#[must_use]
+pub fn percentile(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// What a closed-loop generator *measures* over `service_nanos`: request
+/// `i` is sent only when `i-1` completes, so the observed latency is the
+/// bare service time — the queue the arrival process would have built is
+/// never visible.
+#[must_use]
+pub fn closed_loop_latencies(service_nanos: &[u64]) -> Vec<u64> {
+    service_nanos.to_vec()
+}
+
+/// What an open-loop generator measures: request `i` is *intended* at
+/// `i * interval_nanos`, completions form a single-server queue
+/// (`complete_i = max(complete_{i-1}, intended_i) + service_i`), and the
+/// latency is `complete_i - intended_i` — the wait behind a stalled queue
+/// counts against every request scheduled into it.
+#[must_use]
+pub fn open_loop_latencies(service_nanos: &[u64], interval_nanos: u64) -> Vec<u64> {
+    let mut latencies = Vec::with_capacity(service_nanos.len());
+    let mut previous_complete = 0u64;
+    for (index, service) in service_nanos.iter().enumerate() {
+        let intended = index as u64 * interval_nanos;
+        let complete = previous_complete.max(intended) + service;
+        latencies.push(complete - intended);
+        previous_complete = complete;
+    }
+    latencies
+}
+
+// ---------------------------------------------------------------------------
+// The live runner.
+// ---------------------------------------------------------------------------
+
+/// Parameters of a live open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Requests to fire.
+    pub requests: u64,
+    /// Intended inter-arrival gap, nanoseconds.
+    pub interval_nanos: u64,
+}
+
+/// CO-free percentiles of a live run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests answered correctly.
+    pub completed: u64,
+    /// Requests that failed (bad or missing reply).
+    pub errors: u64,
+    /// Requests whose intended send time had already passed when their
+    /// turn came — the size of the backlog the schedule exposed.
+    pub behind_schedule: u64,
+    /// p50 of latency-from-intended-send, nanoseconds.
+    pub p50_nanos: u64,
+    /// p99 of latency-from-intended-send, nanoseconds.
+    pub p99_nanos: u64,
+    /// p99.9 of latency-from-intended-send, nanoseconds.
+    pub p999_nanos: u64,
+    /// Largest latency-from-intended-send, nanoseconds.
+    pub max_nanos: u64,
+    /// Offered arrival rate, requests per second.
+    pub offered_rate_hz: f64,
+}
+
+/// Drives `kind`'s server on `port` with an open-loop arrival schedule:
+/// request `i` is intended at `start + i × interval`; the runner sleeps
+/// when ahead of schedule, fires immediately (without re-anchoring) when
+/// behind, and measures every latency from the *intended* instant.  Each
+/// sample is also recorded into `obs`'s `request_latency_nanos` histogram
+/// so the telemetry plane exports the same CO-free distribution.
+#[must_use]
+pub fn run_open_loop(
+    kernel: &Kernel,
+    port: u16,
+    kind: ServerKind,
+    config: OpenLoopConfig,
+    obs: &varan_obs::Registry,
+) -> OpenLoopReport {
+    let (request, needle) = kind.probe();
+    let mut latencies = Vec::with_capacity(config.requests as usize);
+    let mut errors = 0u64;
+    let mut behind_schedule = 0u64;
+
+    let endpoint = connect_retry(kernel, port, CLIENT_READ_TIMEOUT);
+    let Some(endpoint) = endpoint else {
+        return OpenLoopReport {
+            completed: 0,
+            errors: config.requests,
+            behind_schedule: 0,
+            p50_nanos: 0,
+            p99_nanos: 0,
+            p999_nanos: 0,
+            max_nanos: 0,
+            offered_rate_hz: rate_hz(config.interval_nanos),
+        };
+    };
+
+    let start = Instant::now();
+    for index in 0..config.requests {
+        let intended = Duration::from_nanos(index * config.interval_nanos);
+        let elapsed = start.elapsed();
+        if elapsed < intended {
+            std::thread::sleep(intended - elapsed);
+        } else if index > 0 {
+            behind_schedule += 1;
+        }
+        let ok = endpoint.write(request).is_ok()
+            && read_until_satisfied(&endpoint, CLIENT_READ_TIMEOUT, |buffer| {
+                buffer.windows(needle.len()).any(|window| window == needle)
+            })
+            .is_some();
+        if ok {
+            // CO-free: from the intended send instant, not from the (possibly
+            // late) actual one.
+            let latency = start
+                .elapsed()
+                .saturating_sub(intended)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            obs.metrics.request_latency_nanos.record(latency);
+            latencies.push(latency);
+        } else {
+            errors += 1;
+        }
+    }
+    endpoint.close();
+
+    OpenLoopReport {
+        completed: latencies.len() as u64,
+        errors,
+        behind_schedule,
+        p50_nanos: percentile(&latencies, 0.50),
+        p99_nanos: percentile(&latencies, 0.99),
+        p999_nanos: percentile(&latencies, 0.999),
+        max_nanos: latencies.iter().copied().max().unwrap_or(0),
+        offered_rate_hz: rate_hz(config.interval_nanos),
+    }
+}
+
+fn rate_hz(interval_nanos: u64) -> f64 {
+    if interval_nanos == 0 {
+        0.0
+    } else {
+        1e9 / interval_nanos as f64
+    }
+}
+
+#[cfg(test)]
+mod co_gap {
+    use super::*;
+
+    /// A mostly-fast service trace with one long stall in the middle —
+    /// the canonical coordinated-omission scenario.
+    fn stalled_service(requests: usize, service: u64, stall: u64) -> Vec<u64> {
+        let mut trace = vec![service; requests];
+        trace[requests / 2] = stall;
+        trace
+    }
+
+    #[test]
+    fn closed_loop_hides_the_stall_from_the_p99() {
+        let service = stalled_service(1_000, 1_000, 50_000_000);
+        let closed = closed_loop_latencies(&service);
+        // One slow sample in a thousand: the closed-loop p99 is still the
+        // fast-path service time.
+        assert_eq!(percentile(&closed, 0.99), 1_000);
+        assert_eq!(percentile(&closed, 1.0), 50_000_000);
+    }
+
+    #[test]
+    fn open_loop_charges_the_stall_to_every_request_behind_it() {
+        let service = stalled_service(1_000, 1_000, 50_000_000);
+        let closed = closed_loop_latencies(&service);
+        let open = open_loop_latencies(&service, 2_000);
+        let closed_p99 = percentile(&closed, 0.99);
+        let open_p99 = percentile(&open, 0.99);
+        // The coordinated-omission gap as an inequality: the 50ms stall
+        // queues ~half the schedule behind it, so the open-loop p99 sees
+        // (a large fraction of) the stall while the closed-loop p99 still
+        // reports the 1µs fast path.
+        assert!(
+            open_p99 > closed_p99 * 1_000,
+            "no CO gap: closed p99 {closed_p99}ns, open p99 {open_p99}ns"
+        );
+        // Every request scheduled during the stall waited for it.
+        let delayed = open.iter().filter(|&&l| l > 1_000_000).count();
+        assert!(delayed > 400, "only {delayed} requests saw the backlog");
+    }
+
+    #[test]
+    fn an_uncontended_schedule_shows_no_gap() {
+        // Service far below the arrival interval: the queue never forms
+        // and open-loop equals closed-loop exactly.
+        let service = vec![500u64; 512];
+        let open = open_loop_latencies(&service, 10_000);
+        assert_eq!(open, closed_loop_latencies(&service));
+    }
+
+    #[test]
+    fn the_queue_model_is_work_conserving() {
+        // Completions are monotone and never before the work arrives:
+        // total time is at least sum(service) once the queue saturates.
+        let service = vec![3_000u64; 100];
+        let open = open_loop_latencies(&service, 1_000);
+        // Arrivals outpace service by 2µs per request, so request i waits
+        // about i * 2µs: latency grows linearly.
+        let last = *open.last().unwrap();
+        assert!(last >= 99 * 2_000, "queue drained impossibly fast: {last}");
+        assert!(open.windows(2).all(|w| w[1] >= w[0]), "latency not monotone under saturation");
+    }
+
+    #[test]
+    fn percentile_ranks_are_exact() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 0.50), 50);
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&samples, 0.999), 100);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+}

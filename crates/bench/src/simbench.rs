@@ -67,6 +67,12 @@ pub fn to_json(report: &SweepReport) -> String {
         report.journal_corruptions_detected
     );
     let _ = writeln!(out, "  \"trace_ring_seeds\": {},", report.trace_ring_seeds);
+    let _ = writeln!(out, "  \"uncovered_edges\": [");
+    for (i, edge) in report.uncovered_edges.iter().enumerate() {
+        let comma = if i + 1 < report.uncovered_edges.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\"{comma}", escape(edge));
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
     let _ = writeln!(out, "  \"modes\": {{");
     for (i, (mode, count)) in report.mode_counts.iter().enumerate() {
@@ -140,6 +146,16 @@ pub fn render(report: &SweepReport) -> String {
         "  telemetry: {} seeds folded their trace-ring contents into the trace hash",
         report.trace_ring_seeds
     );
+    if report.uncovered_edges.is_empty() {
+        let _ = writeln!(out, "  coverage blind spot: none (every catalog tracepoint hit)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  coverage blind spot: {} tracepoints never hit ({})",
+            report.uncovered_edges.len(),
+            report.uncovered_edges.join(", ")
+        );
+    }
     if report.failures.is_empty() {
         let _ = writeln!(out, "  failures: none");
     } else {
@@ -277,6 +293,7 @@ mod tests {
             determinism_mismatches: mismatches,
             journal_corruptions_detected: 6,
             trace_ring_seeds: 12,
+            uncovered_edges: vec!["shard_lag_wait".to_owned()],
             failures,
             wall_ms: 123,
         }

@@ -89,7 +89,7 @@ pub use coordinator::{run_nvx, NvxConfig, NvxSystem, RunningNvx, Zygote};
 pub use costs::MonitorCosts;
 pub use error::CoreError;
 pub use fleet::{FleetConfig, FleetController, FleetMember, StreamRecord, VersionMember};
-pub use program::{DirectExecutor, ProgramExit, SyscallInterface, VersionProgram};
+pub use program::{DirectExecutor, ProgramExit, SyscallInterface, TimedRead, VersionProgram};
 pub use rules::{RuleAction, RuleEngine, ScopedRules};
 pub use sanitize::{SanitizedVersion, Sanitizer};
 pub use shard::{

@@ -40,6 +40,20 @@ impl ProgramExit {
     }
 }
 
+/// Outcome of a deadline-bounded stream read
+/// ([`SyscallInterface::read_deadline`]): the three cases a server's
+/// connection loop must tell apart, because "no bytes" can mean either a
+/// closed peer (reap the connection) or a stalled one (enforce a deadline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedRead {
+    /// Bytes arrived before the deadline.
+    Data(Vec<u8>),
+    /// The peer closed the stream (`read` returned 0).
+    Eof,
+    /// The deadline elapsed with no bytes and no close (`EAGAIN`).
+    TimedOut,
+}
+
 /// The system-call interface handed to a running version.
 ///
 /// All interaction with the outside world goes through [`syscall`]; the
@@ -91,6 +105,25 @@ pub trait SyscallInterface: Send {
         self.syscall(&SyscallRequest::read(fd, len))
             .data
             .unwrap_or_default()
+    }
+
+    /// `read(fd, len)` with a deadline: blocks until data, EOF or
+    /// `timeout_micros` of virtual-or-wall time.  Unlike
+    /// [`read`](SyscallInterface::read), the three outcomes are kept
+    /// distinct — servers reap on [`TimedRead::Eof`] but enforce a slow-
+    /// client policy on [`TimedRead::TimedOut`].  One syscall either way,
+    /// so leader and follower footprints stay aligned.
+    fn read_deadline(&mut self, fd: i32, len: usize, timeout_micros: u64) -> TimedRead {
+        let outcome = self.syscall(&SyscallRequest::read_timeout(fd, len, timeout_micros));
+        if outcome.result < 0 {
+            return TimedRead::TimedOut;
+        }
+        let data = outcome.data.unwrap_or_default();
+        if data.is_empty() {
+            TimedRead::Eof
+        } else {
+            TimedRead::Data(data)
+        }
     }
 
     /// `write(fd, data)`, returning the number of bytes written or an errno.

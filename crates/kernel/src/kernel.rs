@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
@@ -1015,13 +1016,27 @@ impl Kernel {
                     Err(errno) => SyscallOutcome::err(sysno, errno, cost),
                 }
             }
-            FdObject::Stream(endpoint) => match endpoint.read(len, !nonblocking) {
-                Ok(data) => {
-                    let cost = self.inner.cost.native_cost(sysno, data.len());
-                    SyscallOutcome::ok(sysno, data.len() as i64, cost).with_data(data)
+            FdObject::Stream(endpoint) => {
+                // args[1] carries an optional deadline in microseconds
+                // (SyscallRequest::read_timeout); 0 keeps the historical
+                // block-forever semantics.  Timed reads let servers bound
+                // how long a slow client can pin a worker without switching
+                // the fd to nonblocking polling, which would distort the
+                // syscall footprint that followers replay.
+                let timeout_micros = request.args[1];
+                let result = if nonblocking || timeout_micros == 0 {
+                    endpoint.read(len, !nonblocking)
+                } else {
+                    endpoint.read_timeout(len, Duration::from_micros(timeout_micros))
+                };
+                match result {
+                    Ok(data) => {
+                        let cost = self.inner.cost.native_cost(sysno, data.len());
+                        SyscallOutcome::ok(sysno, data.len() as i64, cost).with_data(data)
+                    }
+                    Err(errno) => SyscallOutcome::err(sysno, errno, cost),
                 }
-                Err(errno) => SyscallOutcome::err(sysno, errno, cost),
-            },
+            }
             FdObject::PipeRead(pipe) => {
                 let data = pipe.drain(len);
                 SyscallOutcome::ok(sysno, data.len() as i64, cost).with_data(data)

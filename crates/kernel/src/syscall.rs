@@ -81,6 +81,15 @@ impl SyscallRequest {
         SyscallRequest::new(Sysno::Read, [fd as u64, 0, len as u64, 0, 0, 0])
     }
 
+    /// `read(fd, len)` on a stream with a deadline: blocks until data, EOF
+    /// or `timeout_micros` of virtual-or-wall time, whichever comes first
+    /// (`EAGAIN` on timeout).  `timeout_micros == 0` blocks forever, same as
+    /// [`read`](Self::read).  Non-stream fds ignore the deadline.
+    #[must_use]
+    pub fn read_timeout(fd: i32, len: usize, timeout_micros: u64) -> Self {
+        SyscallRequest::new(Sysno::Read, [fd as u64, timeout_micros, len as u64, 0, 0, 0])
+    }
+
     /// `write(fd, data)`.
     #[must_use]
     pub fn write(fd: i32, data: Vec<u8>) -> Self {

@@ -44,7 +44,9 @@ pub use metrics::{
     ShardedGauge, CAPTURE_SAMPLE_EVERY, HISTOGRAM_BUCKETS, MAX_SHARDS,
 };
 pub use render::SNAPSHOT_SCHEMA;
-pub use trace::{TraceEvent, TraceRing, TraceSnapshot, TRACE_RING_CAPACITY};
+pub use trace::{
+    tracepoint_index, TraceEvent, TraceRing, TraceSnapshot, TRACEPOINT_KINDS, TRACE_RING_CAPACITY,
+};
 
 /// The clock a registry stamps trace events with: nanoseconds on whatever
 /// timeline the host runs (wall in production, virtual under simulation).

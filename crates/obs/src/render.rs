@@ -30,6 +30,7 @@ fn histogram_json(out: &mut String, name: &str, hist: &HistogramSnapshot, traili
     let _ = writeln!(out, "  \"{name}_max\": {},", hist.max);
     let _ = writeln!(out, "  \"{name}_p50\": {},", hist.quantile(0.5));
     let _ = writeln!(out, "  \"{name}_p99\": {},", hist.quantile(0.99));
+    let _ = writeln!(out, "  \"{name}_p999\": {},", hist.quantile(0.999));
     let buckets: Vec<String> = hist
         .buckets
         .iter()
@@ -85,7 +86,8 @@ impl MetricsSnapshot {
         histogram_json(&mut out, "publish_gate_wait_nanos", &self.publish_gate_wait_nanos, true);
         histogram_json(&mut out, "syscall_capture_nanos", &self.syscall_capture_nanos, true);
         histogram_json(&mut out, "joiner_catch_up_nanos", &self.joiner_catch_up_nanos, true);
-        histogram_json(&mut out, "promote_latency_nanos", &self.promote_latency_nanos, false);
+        histogram_json(&mut out, "promote_latency_nanos", &self.promote_latency_nanos, true);
+        histogram_json(&mut out, "request_latency_nanos", &self.request_latency_nanos, false);
         let _ = writeln!(out, "}}");
         out
     }
@@ -140,6 +142,7 @@ impl MetricsSnapshot {
             ("varan_syscall_capture_nanos", &self.syscall_capture_nanos),
             ("varan_joiner_catch_up_nanos", &self.joiner_catch_up_nanos),
             ("varan_promote_latency_nanos", &self.promote_latency_nanos),
+            ("varan_request_latency_nanos", &self.request_latency_nanos),
         ] {
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
@@ -188,6 +191,8 @@ mod tests {
         assert!(json.contains("\"events_replayed_total\": 300"), "{json}");
         assert!(json.contains("\"promotions\": 2"), "{json}");
         assert!(json.contains("\"promote_latency_nanos_count\": 2"), "{json}");
+        assert!(json.contains("\"promote_latency_nanos_p999\": "), "{json}");
+        assert!(json.contains("\"request_latency_nanos_count\": 0"), "{json}");
         assert!(json.contains("\"follower_lag_max\": 17"), "{json}");
         // Empty histograms render empty bucket lists, not 65 zeros.
         assert!(json.contains("\"joiner_catch_up_nanos_buckets\": []"), "{json}");

@@ -12,6 +12,52 @@ use std::sync::Mutex;
 /// Default capacity of a registry's trace ring.
 pub const TRACE_RING_CAPACITY: usize = 1024;
 
+/// The complete tracepoint catalog (docs/OBSERVABILITY.md): every `kind`
+/// label an instrumentation site may record, in a stable order.
+///
+/// The coverage-guided simulation sweep treats each entry as one edge of
+/// the control-plane state machine: a seeded run "covers" an edge when its
+/// isolated registry records at least one event with that kind, and the
+/// sweep report lists the edges *no* run hit (`uncovered_edges`) so the
+/// explorer can steer new plans toward the frontier.
+pub const TRACEPOINT_KINDS: &[&str] = &[
+    "nvx.launch",
+    "fleet.attach",
+    "fleet.attach_version",
+    "fleet.detach",
+    "fleet.detach_version",
+    "fleet.failover",
+    "fleet.rearm",
+    "fleet.checkpoint",
+    "fleet.live",
+    "upgrade.canary",
+    "upgrade.soak",
+    "upgrade.promote",
+    "upgrade.demote",
+    "upgrade.promoted",
+    "upgrade.rollback",
+    "monitor.divergence_allowed",
+    "monitor.divergence_killed",
+    "shard.cut",
+    "shard.anchor",
+    "shard.promote",
+    "shard.demote",
+    "journal.scrub",
+    "journal.quarantine",
+    "journal.anchor",
+    "journal.retire_segments",
+    "journal.compact",
+];
+
+/// Index of `kind` in [`TRACEPOINT_KINDS`], or `None` for labels outside
+/// the catalog (tests use ad-hoc kinds).  With 26 catalog entries every
+/// index fits a `u64` bitmask, which is how the sweep stores per-seed
+/// coverage.
+#[must_use]
+pub fn tracepoint_index(kind: &str) -> Option<usize> {
+    TRACEPOINT_KINDS.iter().position(|&entry| entry == kind)
+}
+
 /// One structured control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -151,6 +197,37 @@ pub struct TraceSnapshot {
     pub total_recorded: u64,
 }
 
+impl TraceSnapshot {
+    /// Bitmask of [`TRACEPOINT_KINDS`] indices this snapshot recorded at
+    /// least once — the per-seed edge-coverage signal the guided sweep
+    /// ranks plans by.  Kinds outside the catalog contribute nothing.
+    #[must_use]
+    pub fn kind_mask(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|event| tracepoint_index(event.kind))
+            .fold(0u64, |mask, index| mask | (1u64 << index))
+    }
+
+    /// Ordered pairs of catalog kinds recorded back to back (deduplicated,
+    /// sorted): the tracepoint *edges* of the run, a finer coverage signal
+    /// than [`kind_mask`](Self::kind_mask) — hitting `journal.scrub`
+    /// after `fleet.failover` is a different behaviour than hitting it
+    /// after a clean attach.
+    #[must_use]
+    pub fn kind_edges(&self) -> Vec<(usize, usize)> {
+        let indices: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|event| tracepoint_index(event.kind))
+            .collect();
+        let mut edges: Vec<(usize, usize)> = indices.windows(2).map(|w| (w[0], w[1])).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +244,29 @@ mod tests {
         assert_eq!(kept, vec![2, 3, 4]);
         let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn catalog_indices_are_stable_and_fit_a_bitmask() {
+        assert!(TRACEPOINT_KINDS.len() <= 64, "coverage masks are u64s");
+        for (index, kind) in TRACEPOINT_KINDS.iter().enumerate() {
+            assert_eq!(tracepoint_index(kind), Some(index));
+        }
+        assert_eq!(tracepoint_index("not.a.kind"), None);
+    }
+
+    #[test]
+    fn snapshots_expose_kind_coverage_and_edges() {
+        let ring = TraceRing::new(16);
+        ring.record("fleet.attach", 1, 0, 0);
+        ring.record("fleet.live", 1, 0, 0);
+        ring.record("fleet.attach", 2, 0, 0);
+        ring.record("made.up", 0, 0, 0);
+        let snap = ring.snapshot();
+        let attach = tracepoint_index("fleet.attach").unwrap();
+        let live = tracepoint_index("fleet.live").unwrap();
+        assert_eq!(snap.kind_mask(), (1 << attach) | (1 << live));
+        assert_eq!(snap.kind_edges(), vec![(attach, live), (live, attach)]);
     }
 
     #[test]

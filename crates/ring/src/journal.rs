@@ -616,8 +616,12 @@ pub struct ScrubReport {
     pub quarantined: Vec<PathBuf>,
 }
 
+/// Factory producing an append-time fault injector for a freshly opened
+/// journal (see [`JournalConfig::fault_factory`]).
+pub type JournalFaultFactory = Arc<dyn Fn() -> Box<dyn JournalFaults> + Send + Sync>;
+
 /// Configuration of an [`EventJournal`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct JournalConfig {
     /// Directory holding the segment files (created if missing).
     pub dir: PathBuf,
@@ -634,6 +638,25 @@ pub struct JournalConfig {
     /// [`varan_obs::global`] registry; the deterministic simulation installs
     /// an isolated registry per seeded run.
     pub obs: Option<Arc<varan_obs::Registry>>,
+    /// Test-only: a [`JournalFaults`] injector installed the moment the
+    /// journal opens, *before* the first append can reach the disk.  The
+    /// simulator's composed mode needs this because it damages a specific
+    /// early sequence of a journal the fleet opens internally — installing
+    /// the injector after launch would race the leader's first appends.
+    /// `None` (production) costs nothing.
+    pub fault_factory: Option<JournalFaultFactory>,
+}
+
+impl fmt::Debug for JournalConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalConfig")
+            .field("dir", &self.dir)
+            .field("segment_records", &self.segment_records)
+            .field("shard", &self.shard)
+            .field("obs", &self.obs.is_some())
+            .field("fault_factory", &self.fault_factory.is_some())
+            .finish()
+    }
 }
 
 impl JournalConfig {
@@ -645,6 +668,7 @@ impl JournalConfig {
             segment_records: 4096,
             shard: None,
             obs: None,
+            fault_factory: None,
         }
     }
 
@@ -668,6 +692,14 @@ impl JournalConfig {
     #[must_use]
     pub fn with_obs(mut self, obs: Arc<varan_obs::Registry>) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Installs `factory` as the journal's append-time fault injector (see
+    /// [`JournalConfig::fault_factory`]); test-only.
+    #[must_use]
+    pub fn with_fault_factory(mut self, factory: JournalFaultFactory) -> Self {
+        self.fault_factory = Some(factory);
         self
     }
 
@@ -995,6 +1027,9 @@ impl EventJournal {
                 );
             }
         }
+        // Armed before the journal is handed to anyone, so even sequence 0
+        // can be damaged deterministically.
+        let faults = config.fault_factory.as_ref().map(|factory| factory());
         Ok(EventJournal {
             config,
             inner: Mutex::new(JournalInner {
@@ -1006,7 +1041,7 @@ impl EventJournal {
                 next_seq,
                 anchor,
                 scrub,
-                faults: None,
+                faults,
             }),
             read_cache: Mutex::new(Vec::new()),
             obs,

@@ -89,11 +89,20 @@ impl SimDriver for SweepDriver {
                 // Three calls in thirty-two get a small virtual-time stall
                 // (which also yields); one in thirty-two a bigger one that
                 // lets a whole ring lap pass elsewhere.
-                match draw % 32 {
+                let action = match draw % 32 {
                     0 => SimAction::Delay(200 + draw % 2_000),
                     1..=3 => SimAction::Delay(draw % 150),
                     _ => SimAction::Continue,
+                };
+                // The stall decision is part of the schedule being driven,
+                // so it belongs in the fingerprint: a re-salted run of the
+                // same plan drives a different stall stream and counts as a
+                // distinct schedule even when the arrival order happens to
+                // match.
+                if let SimAction::Delay(micros) = action {
+                    self.schedule.lock().fold(micros);
                 }
+                action
             }
             SimPoint::FdTransfer { .. } => {
                 let nth = self.fd_transfers.fetch_add(1, Ordering::AcqRel) + 1;

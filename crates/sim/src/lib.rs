@@ -60,6 +60,8 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod driver;
+pub mod explore;
+pub mod mutate;
 pub mod plan;
 pub mod scenario;
 pub mod shrink;
@@ -68,8 +70,10 @@ pub mod trace;
 pub mod workload;
 
 pub use driver::SweepDriver;
-pub use plan::{CandidateWindow, Fault, FaultPlan, Mode};
-pub use scenario::{run_plan, run_seed, SimOutcome};
+pub use explore::{run_explore, ExploreConfig, ExploreReport};
+pub use mutate::{mutate, MutationOp};
+pub use plan::{CandidateWindow, Fault, FaultPlan, Mode, PLAN_FILE_HEADER};
+pub use scenario::{run_plan, run_seed, Coverage, SimOutcome};
 pub use shrink::{shrink, shrink_plan, ShrunkFailure};
 pub use sweep::{run_sweep, SweepConfig, SweepReport};
 pub use trace::{Fnv, VersionOutcome};

@@ -1,0 +1,462 @@
+//! Seeded, validity-preserving mutation of fault plans.
+//!
+//! The coverage-guided explorer evolves a corpus by mutating interesting
+//! plans instead of only drawing fresh seeds.  Every operator here is a
+//! **pure function of (plan, partner, generation)** — the RNG is seeded
+//! from the parent's digest and the generation counter, never from wall
+//! clock — so a corpus evolution replays identically, which is what keeps
+//! the explorer inside the sweep's same-seed determinism gate.
+//!
+//! Mutated plans must stay inside the space where run outcomes are
+//! schedule-independent (the [`FaultPlan::generate`] invariants: pairwise
+//! distinct congruent crash points, at least one survivor, journal faults
+//! on legal records, ...).  Rather than checking those constraints after
+//! the fact, the operators re-derive every fault trigger through the
+//! generator's own formulas (`retarget_faults`), so validity holds by
+//! construction.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::plan::{
+    shard_workload_syscalls, workload_syscalls, CandidateWindow, Fault, FaultPlan, Mode,
+};
+
+/// Which operator [`mutate`] applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Re-derived every fault trigger (crash points, lag cadence, journal
+    /// record, candidate window) under the same scenario shape.
+    PerturbTriggers,
+    /// Crossed the fault lists of two same-mode parents, then re-derived
+    /// the triggers for the child's shape.
+    SpliceFaults,
+    /// Escalated into a [`Mode::Composed`] plan layering churn, an upgrade
+    /// hop and journal damage in one scenario.
+    Escalate,
+    /// Re-drew the salt: same scenario, different schedule exploration.
+    ReseedSalt,
+    /// Re-drew the workload dimensions (iterations, ring capacity, journal
+    /// geometry), then re-derived the triggers to fit.
+    Resize,
+}
+
+fn pick(rng: &mut SmallRng, bound: u64) -> u64 {
+    rng.next_u64() % bound.max(1)
+}
+
+/// The RNG seed for mutating `plan` at `generation` — digest-keyed, so a
+/// corpus evolution is reproducible and two identical parents in different
+/// generations mutate differently.
+#[must_use]
+pub fn mutation_seed(plan: &FaultPlan, generation: u64) -> u64 {
+    plan.digest() ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Mutates `plan` deterministically.  `partner` (another corpus member of
+/// the same mode, if the caller has one) enables the splice operator;
+/// `generation` varies the draw so the same parent yields different
+/// children across corpus generations.  Returns the operator applied and
+/// the child plan.
+#[must_use]
+pub fn mutate(
+    plan: &FaultPlan,
+    partner: Option<&FaultPlan>,
+    generation: u64,
+) -> (MutationOp, FaultPlan) {
+    let mut rng = SmallRng::seed_from_u64(mutation_seed(plan, generation));
+    let op = match pick(&mut rng, 8) {
+        0..=2 => MutationOp::PerturbTriggers,
+        3..=4 => MutationOp::SpliceFaults,
+        5 => MutationOp::Escalate,
+        6 => MutationOp::ReseedSalt,
+        _ => MutationOp::Resize,
+    };
+    // Fall back gracefully: splice needs a same-mode partner; perturbing a
+    // fault-free plan would be the identity, so re-salt instead.
+    let op = match op {
+        MutationOp::SpliceFaults
+            if partner.map(|other| other.mode) != Some(plan.mode) =>
+        {
+            MutationOp::PerturbTriggers
+        }
+        MutationOp::PerturbTriggers if plan.faults.is_empty() => MutationOp::ReseedSalt,
+        other => other,
+    };
+    let child = match op {
+        MutationOp::PerturbTriggers => {
+            let mut child = plan.clone();
+            retarget_faults(&mut child, &mut rng);
+            child
+        }
+        MutationOp::SpliceFaults => {
+            let partner = partner.expect("splice requires a partner");
+            let mut child = plan.clone();
+            child.faults = plan
+                .faults
+                .iter()
+                .chain(partner.faults.iter())
+                .copied()
+                .filter(|_| pick(&mut rng, 2) == 0)
+                .collect();
+            if child.faults.is_empty() {
+                child.faults = plan.faults.clone();
+            }
+            sanitize_fault_set(&mut child);
+            retarget_faults(&mut child, &mut rng);
+            child
+        }
+        MutationOp::Escalate => {
+            let mut child = FaultPlan::compose(rng.next_u64());
+            child.salt = plan.salt;
+            child
+        }
+        MutationOp::ReseedSalt => {
+            let mut child = plan.clone();
+            child.salt = rng.next_u64();
+            child
+        }
+        MutationOp::Resize => {
+            let mut child = plan.clone();
+            resize(&mut child, &mut rng);
+            retarget_faults(&mut child, &mut rng);
+            child
+        }
+    };
+    (op, child)
+}
+
+/// Re-draws the workload dimensions with the generator's own per-mode
+/// ranges; fault triggers must be retargeted afterwards.
+fn resize(plan: &mut FaultPlan, rng: &mut SmallRng) {
+    plan.ring_capacity = [16, 32, 64, 128, 256][pick(rng, 5) as usize];
+    match plan.mode {
+        Mode::Crash => plan.iterations = 40 + pick(rng, 100) as u32,
+        Mode::Divergence => plan.iterations = 40 + pick(rng, 80) as u32,
+        Mode::Lag => plan.iterations = 80 + pick(rng, 200) as u32,
+        Mode::Churn => plan.iterations = 150 + pick(rng, 250) as u32,
+        Mode::Upgrade | Mode::Composed => plan.iterations = 300 + pick(rng, 300) as u32,
+        Mode::Clients => plan.requests = 16 + pick(rng, 32) as u32,
+        Mode::Shard => plan.iterations = 40 + pick(rng, 80) as u32,
+        Mode::Journal => {}
+    }
+    if plan.mode == Mode::Journal || plan.mode == Mode::Composed {
+        plan.segment_records = 4 + pick(rng, 28) as usize;
+        plan.journal_records = 5 + pick(rng, 60);
+        // Same boundary nudge as the generator: the faulty final append
+        // must not land exactly on a rotation boundary.
+        if plan.journal_records.is_multiple_of(plan.segment_records as u64) {
+            plan.journal_records += 1;
+        }
+    }
+}
+
+/// Drops faults a plan of this mode could never have generated: targets
+/// outside the version/shard/hop range, duplicate targets, a missing
+/// survivor, more than one journal fault.  Used after splicing; the
+/// triggers themselves are fixed by [`retarget_faults`].
+fn sanitize_fault_set(plan: &mut FaultPlan) {
+    let mode = plan.mode;
+    let versions = plan.versions;
+    let mut crash_versions: Vec<usize> = Vec::new();
+    let mut diverge_versions: Vec<usize> = Vec::new();
+    let mut lag_versions: Vec<usize> = Vec::new();
+    let mut shard_lag_versions: Vec<usize> = Vec::new();
+    let mut candidate_hops: Vec<usize> = Vec::new();
+    let mut journal_faults = 0usize;
+    let mut fd_faults = 0usize;
+    // The survivor cap: crash-mode lineages must end with a clean version,
+    // and every fleet mode tolerates at most one crash by construction.
+    let crash_cap = match mode {
+        Mode::Crash => versions.saturating_sub(1),
+        Mode::Churn | Mode::Clients | Mode::Shard | Mode::Composed => 1,
+        _ => 0,
+    };
+    plan.faults.retain(|fault| match *fault {
+        Fault::CrashVersion { version, .. } => {
+            let keep = crash_versions.len() < crash_cap
+                && version < versions
+                && !crash_versions.contains(&version)
+                && (mode != Mode::Clients || version == 0);
+            if keep {
+                crash_versions.push(version);
+            }
+            keep
+        }
+        Fault::Diverge { version, .. } => {
+            let keep = mode == Mode::Divergence
+                && version < versions
+                && !diverge_versions.contains(&version);
+            if keep {
+                diverge_versions.push(version);
+            }
+            keep
+        }
+        Fault::Lag { version, .. } => {
+            let keep =
+                mode == Mode::Lag && version < versions && !lag_versions.contains(&version);
+            if keep {
+                lag_versions.push(version);
+            }
+            keep
+        }
+        Fault::ShardLag { version, .. } => {
+            let keep = mode == Mode::Shard
+                && version < versions
+                && !shard_lag_versions.contains(&version);
+            if keep {
+                shard_lag_versions.push(version);
+            }
+            keep
+        }
+        Fault::FailFdTransfer { .. } => {
+            let keep = mode == Mode::Crash && fd_faults == 0;
+            fd_faults += 1;
+            keep
+        }
+        Fault::TornWrite { .. } | Fault::FlipBit { .. } | Fault::FlipPayloadByte { .. } => {
+            let keep = (mode == Mode::Journal || mode == Mode::Composed) && journal_faults == 0;
+            journal_faults += keep as usize;
+            keep
+        }
+        Fault::CrashCandidate { hop, .. } => {
+            let keep = (mode == Mode::Upgrade || mode == Mode::Composed)
+                && hop < plan.hops
+                && !candidate_hops.contains(&hop);
+            if keep {
+                candidate_hops.push(hop);
+            }
+            keep
+        }
+    });
+    // Mode-mandatory faults the selection may have dropped: a shard plan
+    // always carries a shard-targeted laggard, a journal or composed plan
+    // always damages the journal.  Triggers are placeholders here;
+    // `retarget_faults` re-derives them.
+    if mode == Mode::Shard && shard_lag_versions.is_empty() {
+        plan.faults.push(Fault::ShardLag {
+            version: 0,
+            shard: 0,
+            every: 1,
+            micros: 100,
+        });
+    }
+    if (mode == Mode::Journal || mode == Mode::Composed) && journal_faults == 0 {
+        plan.faults.push(Fault::FlipBit {
+            at_record: plan.journal_records.saturating_sub(1),
+        });
+    }
+}
+
+/// Re-derives every fault's trigger through the generator's own per-mode
+/// formulas, keeping the fault's *target* (version, shard, hop) — so the
+/// child is valid by construction: crash points stay congruent to their
+/// version index (pairwise distinct), journal faults stay on legal
+/// records, canary crashes stay inside the replayed warmup.
+fn retarget_faults(plan: &mut FaultPlan, rng: &mut SmallRng) {
+    let mode = plan.mode;
+    let versions = plan.versions.max(1) as u64;
+    let iterations = plan.iterations;
+    let requests = plan.requests;
+    let journal_records = plan.journal_records;
+    let shards = plan.shards;
+    for fault in &mut plan.faults {
+        match fault {
+            Fault::CrashVersion { version, at_syscall } => {
+                let total = workload_syscalls(iterations);
+                *at_syscall = match mode {
+                    // The congruence trick from the generator: points
+                    // congruent to the version index modulo the version
+                    // count are pairwise distinct across versions.
+                    Mode::Crash => {
+                        2 + pick(rng, (total - 8) / versions) * versions + *version as u64
+                    }
+                    Mode::Churn | Mode::Composed => total / 4 + pick(rng, total / 2),
+                    Mode::Clients => 4 + pick(rng, u64::from(requests)),
+                    Mode::Shard => {
+                        let total = shard_workload_syscalls(iterations);
+                        2 + pick(rng, total - 8)
+                    }
+                    _ => *at_syscall,
+                };
+            }
+            Fault::Diverge { version, at_syscall } => {
+                let total = workload_syscalls(iterations);
+                *at_syscall =
+                    3 + pick(rng, (total - 8) / versions) * versions + *version as u64;
+            }
+            Fault::Lag { every, micros, .. } => {
+                *every = 1 + pick(rng, 8);
+                *micros = 100 + pick(rng, 5_000);
+            }
+            Fault::ShardLag { shard, every, micros, .. } => {
+                *shard = pick(rng, shards as u64) as usize;
+                *every = 1 + pick(rng, 6);
+                *micros = 100 + pick(rng, 3_000);
+            }
+            Fault::FailFdTransfer { nth } => *nth = 1 + pick(rng, 8),
+            Fault::TornWrite { at_record, keep } => {
+                *at_record = journal_records - 1;
+                *keep = pick(rng, 96) as usize;
+            }
+            Fault::FlipBit { at_record } => *at_record = journal_records - 1,
+            Fault::FlipPayloadByte { at_record } => {
+                *at_record = pick(rng, journal_records - 1);
+            }
+            Fault::CrashCandidate { window, .. } => {
+                *window = match pick(rng, 3) {
+                    0 => CandidateWindow::GateRegistered,
+                    1 => CandidateWindow::LiveSwitch,
+                    _ => CandidateWindow::Canary {
+                        at_syscall: 3 + pick(rng, 2 * u64::from(iterations) - 8),
+                    },
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<FaultPlan> {
+        (0..64).map(FaultPlan::generate).collect()
+    }
+
+    #[test]
+    fn mutation_is_a_pure_function_of_parent_partner_and_generation() {
+        let plans = corpus();
+        for (index, plan) in plans.iter().enumerate() {
+            let partner = plans.get(index + 1);
+            for generation in 0..4u64 {
+                let a = mutate(plan, partner, generation);
+                let b = mutate(plan, partner, generation);
+                assert_eq!(a, b, "seed {index} generation {generation}");
+            }
+        }
+    }
+
+    #[test]
+    fn generations_vary_the_child() {
+        let plan = FaultPlan::generate(5);
+        let children: std::collections::HashSet<u64> = (0..16u64)
+            .map(|generation| mutate(&plan, None, generation).1.digest())
+            .collect();
+        assert!(children.len() > 8, "only {} distinct children", children.len());
+    }
+
+    #[test]
+    fn mutated_crash_plans_keep_the_generator_invariants() {
+        let plans = corpus();
+        for plan in &plans {
+            for partner in plans.iter().filter(|other| other.mode == plan.mode).take(3) {
+                for generation in 0..6u64 {
+                    let (op, child) = mutate(plan, Some(partner), generation);
+                    check_valid(&child, &format!("{op:?} of seed {:#x}", plan.seed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_reaches_composed_mode() {
+        let plans = corpus();
+        let escalated = plans
+            .iter()
+            .flat_map(|plan| (0..16u64).map(move |generation| mutate(plan, None, generation)))
+            .filter(|(op, _)| *op == MutationOp::Escalate)
+            .count();
+        assert!(escalated > 0, "no escalation in {} mutations", plans.len() * 16);
+    }
+
+    #[test]
+    fn mutated_plans_round_trip_through_plan_files() {
+        let plans = corpus();
+        for plan in &plans {
+            for generation in 0..4u64 {
+                let (_, child) = mutate(plan, None, generation);
+                let decoded = FaultPlan::decode(&child.encode()).expect("round trip");
+                assert_eq!(decoded, child);
+            }
+        }
+    }
+
+    /// The [`FaultPlan::generate`] invariants, asserted on a child plan.
+    fn check_valid(plan: &FaultPlan, context: &str) {
+        let crashes: Vec<(usize, u64)> = plan
+            .faults
+            .iter()
+            .filter_map(|fault| match fault {
+                Fault::CrashVersion { version, at_syscall } => Some((*version, *at_syscall)),
+                _ => None,
+            })
+            .collect();
+        match plan.mode {
+            Mode::Crash => {
+                assert!(crashes.len() < plan.versions, "{context}: no survivor");
+                for (i, a) in crashes.iter().enumerate() {
+                    for b in crashes.iter().skip(i + 1) {
+                        assert_ne!(a.0, b.0, "{context}: duplicate crash version");
+                        assert_ne!(a.1, b.1, "{context}: ambiguous crash order");
+                    }
+                }
+            }
+            Mode::Journal | Mode::Composed => {
+                let journal_faults = plan
+                    .faults
+                    .iter()
+                    .filter(|fault| {
+                        matches!(
+                            fault,
+                            Fault::TornWrite { .. }
+                                | Fault::FlipBit { .. }
+                                | Fault::FlipPayloadByte { .. }
+                        )
+                    })
+                    .count();
+                assert_eq!(journal_faults, 1, "{context}: want one journal fault");
+                for fault in &plan.faults {
+                    match *fault {
+                        Fault::TornWrite { at_record, .. } | Fault::FlipBit { at_record } => {
+                            assert_eq!(at_record, plan.journal_records - 1, "{context}");
+                        }
+                        Fault::FlipPayloadByte { at_record } => {
+                            assert!(at_record < plan.journal_records - 1, "{context}");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    !plan.journal_records.is_multiple_of(plan.segment_records as u64),
+                    "{context}: faulty append on a rotation boundary"
+                );
+            }
+            Mode::Shard => {
+                assert!(
+                    plan.faults
+                        .iter()
+                        .any(|fault| matches!(fault, Fault::ShardLag { shard, .. } if *shard < plan.shards)),
+                    "{context}: no shard-targeted fault"
+                );
+                assert!(crashes.len() < plan.versions, "{context}: no survivor");
+            }
+            _ => {
+                assert!(crashes.len() <= 1 || crashes.len() < plan.versions, "{context}");
+            }
+        }
+        for fault in &plan.faults {
+            if let Fault::CrashCandidate {
+                hop,
+                window: CandidateWindow::Canary { at_syscall },
+            } = fault
+            {
+                assert!(*hop < plan.hops.max(1), "{context}: hop out of range");
+                assert!(
+                    *at_syscall < 2 * u64::from(plan.iterations),
+                    "{context}: canary crash beyond the warmup"
+                );
+            }
+        }
+    }
+}

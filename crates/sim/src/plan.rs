@@ -46,6 +46,14 @@ pub enum Mode {
     /// lane's lap edges; survivors must converge on every shard and the
     /// plane must publish the full workload whoever ends up leading it.
     Shard,
+    /// Several subsystems attacked in one seeded scenario: fleet churn
+    /// (joiners attaching, optionally a crashing version) layered with a
+    /// live-upgrade hop and journal media damage, all observed through one
+    /// telemetry registry so the run covers tracepoint *edges* no
+    /// single-mode plan can produce.  Never emitted by
+    /// [`FaultPlan::generate`]; reached through [`FaultPlan::compose`] and
+    /// the explorer's escalation mutation.
+    Composed,
 }
 
 impl Mode {
@@ -61,6 +69,7 @@ impl Mode {
             Mode::Upgrade => 6,
             Mode::Clients => 7,
             Mode::Shard => 8,
+            Mode::Composed => 9,
         }
     }
 
@@ -76,7 +85,25 @@ impl Mode {
             Mode::Upgrade => "upgrade",
             Mode::Clients => "clients",
             Mode::Shard => "shard",
+            Mode::Composed => "composed",
         }
+    }
+
+    /// The inverse of [`name`](Self::name) (plan-file decoding).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Mode> {
+        Some(match name {
+            "crash" => Mode::Crash,
+            "divergence" => Mode::Divergence,
+            "lag" => Mode::Lag,
+            "journal" => Mode::Journal,
+            "churn" => Mode::Churn,
+            "upgrade" => Mode::Upgrade,
+            "clients" => Mode::Clients,
+            "shard" => Mode::Shard,
+            "composed" => Mode::Composed,
+            _ => return None,
+        })
     }
 }
 
@@ -286,10 +313,17 @@ impl Fault {
 }
 
 /// A complete seeded scenario description.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The seed this plan was generated from.
     pub seed: u64,
+    /// The schedule-exploration dimension: folded into the digest (and so
+    /// the trace hash) but into *nothing else the outcome model sees* —
+    /// the sweep driver derives its perturbation stream from
+    /// `seed ^ mix(salt)`, so two plans differing only in salt run the
+    /// same scenario under a different interleaving.  Generated plans
+    /// carry salt 0; the explorer's reseed mutation sets it.
+    pub salt: u64,
     /// Which subsystem is under attack.
     pub mode: Mode,
     /// Launched versions (leader + followers).
@@ -364,6 +398,7 @@ impl FaultPlan {
 
         let mut plan = FaultPlan {
             seed,
+            salt: 0,
             mode,
             versions: 2,
             iterations: 60,
@@ -552,6 +587,87 @@ impl FaultPlan {
                     });
                 }
             }
+            // `generate` never picks Composed: composed plans enter a
+            // corpus only through `compose` (directly or via escalation),
+            // which keeps the uniform seed sweep's mode mix stable.
+            Mode::Composed => unreachable!("generate never picks Composed"),
+        }
+        plan
+    }
+
+    /// Derives a composed plan from `seed`: fleet churn (with an optional
+    /// mid-run crash), a live-upgrade hop (with an optional candidate
+    /// crash) and guaranteed journal media damage, all in one scenario
+    /// sharing one telemetry registry.  A pure function of the seed, like
+    /// [`generate`](Self::generate), but over a mode that generator never
+    /// picks — composed plans enter a corpus only through this function
+    /// (directly, or via the explorer's escalation mutation).
+    #[must_use]
+    pub fn compose(seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC04D_05ED_0F4A_0001);
+        let mut pick = |bound: u64| -> u64 { rng.next_u64() % bound.max(1) };
+
+        let mut plan = FaultPlan {
+            seed,
+            salt: 0,
+            mode: Mode::Composed,
+            versions: 2 + pick(2) as usize, // 2..=3
+            // One iteration count serves both fleet phases: inside churn's
+            // floor (>= 150) and upgrade's (>= 300).
+            iterations: 300 + pick(300) as u32,
+            ring_capacity: [16, 32, 64, 128, 256][pick(5) as usize],
+            journal_records: 5 + pick(60),
+            segment_records: 4 + pick(28) as usize,
+            joiners: 1 + pick(2) as usize,
+            hops: 1,
+            requests: 0,
+            shards: 0,
+            faults: Vec::new(),
+        };
+        // Same boundary nudge as the journal arm of `generate`.
+        if plan.journal_records.is_multiple_of(plan.segment_records as u64) {
+            plan.journal_records += 1;
+        }
+
+        // Churn-phase fault: crash one fleet member mid-run (half the time).
+        if pick(2) == 0 {
+            let total = workload_syscalls(plan.iterations);
+            plan.faults.push(Fault::CrashVersion {
+                version: pick(plan.versions as u64) as usize,
+                at_syscall: total / 4 + pick(total / 2),
+            });
+        }
+        // Upgrade-phase fault: crash the hop's candidate in a seeded window
+        // (three quarters of the time; the clean quarter expects promotion).
+        match pick(4) {
+            0 => plan.faults.push(Fault::CrashCandidate {
+                hop: 0,
+                window: CandidateWindow::GateRegistered,
+            }),
+            1 => plan.faults.push(Fault::CrashCandidate {
+                hop: 0,
+                window: CandidateWindow::LiveSwitch,
+            }),
+            2 => plan.faults.push(Fault::CrashCandidate {
+                hop: 0,
+                window: CandidateWindow::Canary {
+                    at_syscall: 3 + pick(2 * u64::from(plan.iterations) - 8),
+                },
+            }),
+            _ => {}
+        }
+        // Journal-phase fault: always present — a composed plan without
+        // media damage is just churn + upgrade.
+        let at_record = plan.journal_records - 1;
+        match pick(3) {
+            0 => plan.faults.push(Fault::FlipBit { at_record }),
+            1 => plan.faults.push(Fault::FlipPayloadByte {
+                at_record: pick(at_record),
+            }),
+            _ => plan.faults.push(Fault::TornWrite {
+                at_record,
+                keep: pick(96) as usize,
+            }),
         }
         plan
     }
@@ -561,6 +677,9 @@ impl FaultPlan {
     pub fn digest(&self) -> u64 {
         let mut fnv = Fnv::new();
         fnv.fold(self.seed);
+        // Folded immediately after the seed so the salt reshapes the whole
+        // digest (the trace hash is keyed on it too, by design).
+        fnv.fold(self.salt);
         fnv.fold(self.mode.tag());
         fnv.fold(self.versions as u64);
         fnv.fold(u64::from(self.iterations));
@@ -597,7 +716,14 @@ impl FaultPlan {
             Mode::Upgrade => lines.push(format!("  upgrade: {} hop(s)", self.hops)),
             Mode::Clients => lines.push(format!("  clients: {} requests", self.requests)),
             Mode::Shard => lines.push(format!("  shard: {}-shard plane", self.shards)),
+            Mode::Composed => lines.push(format!(
+                "  composed: {} joiner(s), {} hop(s), journal {} records / rotate {}",
+                self.joiners, self.hops, self.journal_records, self.segment_records
+            )),
             _ => {}
+        }
+        if self.salt != 0 {
+            lines.push(format!("  salt {:#018x}", self.salt));
         }
         for fault in &self.faults {
             lines.push(format!("  fault: {fault}"));
@@ -612,7 +738,218 @@ impl FaultPlan {
         plan.faults.remove(index);
         plan
     }
+
+    /// Serialises the plan to the `varan-plan/v1` text format — one
+    /// `key value` line per field, one `fault ...` line per fault.  The
+    /// explorer writes every corpus survivor and every failure in this
+    /// format so a single interesting plan can be replayed (`varan-bench
+    /// --replay-plan <file>`) without regenerating the whole corpus.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(PLAN_FILE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {:#018x}\n", self.seed));
+        out.push_str(&format!("salt {:#018x}\n", self.salt));
+        out.push_str(&format!("mode {}\n", self.mode.name()));
+        out.push_str(&format!("versions {}\n", self.versions));
+        out.push_str(&format!("iterations {}\n", self.iterations));
+        out.push_str(&format!("ring_capacity {}\n", self.ring_capacity));
+        out.push_str(&format!("journal_records {}\n", self.journal_records));
+        out.push_str(&format!("segment_records {}\n", self.segment_records));
+        out.push_str(&format!("joiners {}\n", self.joiners));
+        out.push_str(&format!("hops {}\n", self.hops));
+        out.push_str(&format!("requests {}\n", self.requests));
+        out.push_str(&format!("shards {}\n", self.shards));
+        for fault in &self.faults {
+            match *fault {
+                Fault::CrashVersion { version, at_syscall } => {
+                    out.push_str(&format!("fault crash_version {version} {at_syscall}\n"));
+                }
+                Fault::Diverge { version, at_syscall } => {
+                    out.push_str(&format!("fault diverge {version} {at_syscall}\n"));
+                }
+                Fault::Lag { version, every, micros } => {
+                    out.push_str(&format!("fault lag {version} {every} {micros}\n"));
+                }
+                Fault::FailFdTransfer { nth } => {
+                    out.push_str(&format!("fault fail_fd_transfer {nth}\n"));
+                }
+                Fault::TornWrite { at_record, keep } => {
+                    out.push_str(&format!("fault torn_write {at_record} {keep}\n"));
+                }
+                Fault::FlipBit { at_record } => {
+                    out.push_str(&format!("fault flip_bit {at_record}\n"));
+                }
+                Fault::FlipPayloadByte { at_record } => {
+                    out.push_str(&format!("fault flip_payload_byte {at_record}\n"));
+                }
+                Fault::ShardLag { version, shard, every, micros } => {
+                    out.push_str(&format!("fault shard_lag {version} {shard} {every} {micros}\n"));
+                }
+                Fault::CrashCandidate { hop, window } => match window {
+                    CandidateWindow::Canary { at_syscall } => {
+                        out.push_str(&format!("fault crash_candidate {hop} canary {at_syscall}\n"));
+                    }
+                    CandidateWindow::GateRegistered => {
+                        out.push_str(&format!("fault crash_candidate {hop} gate_registered\n"));
+                    }
+                    CandidateWindow::LiveSwitch => {
+                        out.push_str(&format!("fault crash_candidate {hop} live_switch\n"));
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Parses the `varan-plan/v1` text format produced by
+    /// [`encode`](Self::encode).  Blank lines and `#` comments are
+    /// ignored; every scalar field must appear exactly once.
+    pub fn decode(text: &str) -> Result<FaultPlan, String> {
+        fn parse_u64(token: &str, field: &str) -> Result<u64, String> {
+            let parsed = if let Some(hex) = token.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                token.parse()
+            };
+            parsed.map_err(|_| format!("{field}: bad number {token:?}"))
+        }
+        fn parse_usize(token: &str, field: &str) -> Result<usize, String> {
+            parse_u64(token, field).map(|value| value as usize)
+        }
+
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'));
+        match lines.next() {
+            Some(PLAN_FILE_HEADER) => {}
+            Some(other) => return Err(format!("bad header {other:?}, want {PLAN_FILE_HEADER:?}")),
+            None => return Err("empty plan file".to_owned()),
+        }
+
+        let mut seed = None;
+        let mut salt = None;
+        let mut mode = None;
+        let mut versions = None;
+        let mut iterations = None;
+        let mut ring_capacity = None;
+        let mut journal_records = None;
+        let mut segment_records = None;
+        let mut joiners = None;
+        let mut hops = None;
+        let mut requests = None;
+        let mut shards = None;
+        let mut faults = Vec::new();
+
+        for line in lines {
+            let mut tokens = line.split_whitespace();
+            let key = tokens.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = tokens.collect();
+            let scalar = |rest: &[&str]| -> Result<u64, String> {
+                match rest {
+                    [token] => parse_u64(token, key),
+                    _ => Err(format!("{key}: want exactly one value, got {rest:?}")),
+                }
+            };
+            match key {
+                "seed" => seed = Some(scalar(&rest)?),
+                "salt" => salt = Some(scalar(&rest)?),
+                "mode" => match rest.as_slice() {
+                    [name] => {
+                        mode = Some(
+                            Mode::from_name(name).ok_or_else(|| format!("unknown mode {name:?}"))?,
+                        );
+                    }
+                    _ => return Err(format!("mode: want one name, got {rest:?}")),
+                },
+                "versions" => versions = Some(scalar(&rest)? as usize),
+                "iterations" => iterations = Some(scalar(&rest)? as u32),
+                "ring_capacity" => ring_capacity = Some(scalar(&rest)? as usize),
+                "journal_records" => journal_records = Some(scalar(&rest)?),
+                "segment_records" => segment_records = Some(scalar(&rest)? as usize),
+                "joiners" => joiners = Some(scalar(&rest)? as usize),
+                "hops" => hops = Some(scalar(&rest)? as usize),
+                "requests" => requests = Some(scalar(&rest)? as u32),
+                "shards" => shards = Some(scalar(&rest)? as usize),
+                "fault" => {
+                    let fault = match rest.as_slice() {
+                        ["crash_version", version, at] => Fault::CrashVersion {
+                            version: parse_usize(version, "crash_version")?,
+                            at_syscall: parse_u64(at, "crash_version")?,
+                        },
+                        ["diverge", version, at] => Fault::Diverge {
+                            version: parse_usize(version, "diverge")?,
+                            at_syscall: parse_u64(at, "diverge")?,
+                        },
+                        ["lag", version, every, micros] => Fault::Lag {
+                            version: parse_usize(version, "lag")?,
+                            every: parse_u64(every, "lag")?,
+                            micros: parse_u64(micros, "lag")?,
+                        },
+                        ["fail_fd_transfer", nth] => Fault::FailFdTransfer {
+                            nth: parse_u64(nth, "fail_fd_transfer")?,
+                        },
+                        ["torn_write", at, keep] => Fault::TornWrite {
+                            at_record: parse_u64(at, "torn_write")?,
+                            keep: parse_usize(keep, "torn_write")?,
+                        },
+                        ["flip_bit", at] => Fault::FlipBit {
+                            at_record: parse_u64(at, "flip_bit")?,
+                        },
+                        ["flip_payload_byte", at] => Fault::FlipPayloadByte {
+                            at_record: parse_u64(at, "flip_payload_byte")?,
+                        },
+                        ["shard_lag", version, shard, every, micros] => Fault::ShardLag {
+                            version: parse_usize(version, "shard_lag")?,
+                            shard: parse_usize(shard, "shard_lag")?,
+                            every: parse_u64(every, "shard_lag")?,
+                            micros: parse_u64(micros, "shard_lag")?,
+                        },
+                        ["crash_candidate", hop, "canary", at] => Fault::CrashCandidate {
+                            hop: parse_usize(hop, "crash_candidate")?,
+                            window: CandidateWindow::Canary {
+                                at_syscall: parse_u64(at, "crash_candidate")?,
+                            },
+                        },
+                        ["crash_candidate", hop, "gate_registered"] => Fault::CrashCandidate {
+                            hop: parse_usize(hop, "crash_candidate")?,
+                            window: CandidateWindow::GateRegistered,
+                        },
+                        ["crash_candidate", hop, "live_switch"] => Fault::CrashCandidate {
+                            hop: parse_usize(hop, "crash_candidate")?,
+                            window: CandidateWindow::LiveSwitch,
+                        },
+                        _ => return Err(format!("unparseable fault line {line:?}")),
+                    };
+                    faults.push(fault);
+                }
+                _ => return Err(format!("unknown key {key:?}")),
+            }
+        }
+
+        let missing = |field: &str| format!("missing field {field:?}");
+        Ok(FaultPlan {
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            salt: salt.ok_or_else(|| missing("salt"))?,
+            mode: mode.ok_or_else(|| missing("mode"))?,
+            versions: versions.ok_or_else(|| missing("versions"))?,
+            iterations: iterations.ok_or_else(|| missing("iterations"))?,
+            ring_capacity: ring_capacity.ok_or_else(|| missing("ring_capacity"))?,
+            journal_records: journal_records.ok_or_else(|| missing("journal_records"))?,
+            segment_records: segment_records.ok_or_else(|| missing("segment_records"))?,
+            joiners: joiners.ok_or_else(|| missing("joiners"))?,
+            hops: hops.ok_or_else(|| missing("hops"))?,
+            requests: requests.ok_or_else(|| missing("requests"))?,
+            shards: shards.ok_or_else(|| missing("shards"))?,
+            faults,
+        })
+    }
 }
+
+/// First line of a serialised plan file (format version marker).
+pub const PLAN_FILE_HEADER: &str = "varan-plan/v1";
 
 #[cfg(test)]
 mod tests {
@@ -695,6 +1032,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn composed_plans_are_pure_valid_and_always_damage_the_journal() {
+        for seed in 0..500u64 {
+            let a = FaultPlan::compose(seed);
+            let b = FaultPlan::compose(seed);
+            assert_eq!(a, b, "seed {seed}: compose not pure");
+            assert_eq!(a.mode, Mode::Composed);
+            assert!(a.versions >= 2, "seed {seed}");
+            assert!(a.iterations >= 300, "seed {seed}");
+            assert!(a.joiners >= 1, "seed {seed}");
+            assert_eq!(a.hops, 1, "seed {seed}");
+            assert!(
+                !a.journal_records.is_multiple_of(a.segment_records as u64),
+                "seed {seed}: faulty append on a rotation boundary"
+            );
+            let journal_faults = a
+                .faults
+                .iter()
+                .filter(|fault| {
+                    matches!(
+                        fault,
+                        Fault::TornWrite { .. } | Fault::FlipBit { .. } | Fault::FlipPayloadByte { .. }
+                    )
+                })
+                .count();
+            assert_eq!(journal_faults, 1, "seed {seed}: want exactly one journal fault");
+            let crashes = a
+                .faults
+                .iter()
+                .filter(|fault| matches!(fault, Fault::CrashVersion { .. }))
+                .count();
+            assert!(crashes <= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generate_never_emits_composed_plans() {
+        for seed in 0..2_000u64 {
+            assert_ne!(FaultPlan::generate(seed).mode, Mode::Composed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_files_round_trip() {
+        for seed in 0..200u64 {
+            let mut plan = FaultPlan::generate(seed);
+            plan.salt = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let decoded = FaultPlan::decode(&plan.encode()).expect("round trip");
+            assert_eq!(decoded, plan, "seed {seed}");
+        }
+        for seed in 0..100u64 {
+            let plan = FaultPlan::compose(seed);
+            let decoded = FaultPlan::decode(&plan.encode()).expect("round trip");
+            assert_eq!(decoded, plan, "composed seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_plan_files() {
+        assert!(FaultPlan::decode("").is_err());
+        assert!(FaultPlan::decode("varan-plan/v9\nseed 1\n").is_err());
+        let plan = FaultPlan::generate(7);
+        let encoded = plan.encode();
+        // Drop a required field.
+        let truncated: String = encoded
+            .lines()
+            .filter(|line| !line.starts_with("mode "))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        assert!(FaultPlan::decode(&truncated).is_err());
+        // Unknown key.
+        assert!(FaultPlan::decode(&format!("{encoded}mystery 3\n")).is_err());
+        // Comments and blank lines are fine.
+        let commented = format!("# a failure from the explorer\n\n{encoded}");
+        assert_eq!(FaultPlan::decode(&commented).unwrap(), plan);
+    }
+
+    #[test]
+    fn salt_reshapes_the_digest_but_not_the_scenario_shape() {
+        let base = FaultPlan::generate(11);
+        let mut salted = base.clone();
+        salted.salt = 0xDEAD_BEEF;
+        assert_ne!(base.digest(), salted.digest());
+        assert_eq!(base.faults, salted.faults);
+        assert_eq!(base.mode, salted.mode);
     }
 
     #[test]

@@ -49,9 +49,23 @@ pub struct SimOutcome {
     /// it (a `Corrupt` report with an offset, never a silent absorption).
     pub journal_corruption_detected: bool,
     /// Tracepoints the run recorded into its isolated telemetry registry
-    /// and folded into `trace_hash` (journal mode; 0 in the modes that
-    /// report to the process-global registry).
+    /// (0 in shard mode, whose plane reports to the process-global
+    /// registry).
     pub trace_events: u64,
+    /// Coverage observed through the run's isolated telemetry registry —
+    /// the explorer's novelty signal.  Deliberately *not* folded into
+    /// `trace_hash`: which tracepoints fire back to back depends on the
+    /// interleaving in the fleet modes, and the trace hash must not.
+    pub coverage: Coverage,
+}
+
+/// What a run touched, read from its isolated telemetry registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Bitmask over [`varan_obs::TRACEPOINT_KINDS`] indices recorded.
+    pub kind_mask: u64,
+    /// Deduplicated ordered pairs of catalog kinds recorded back to back.
+    pub kind_edges: Vec<(usize, usize)>,
 }
 
 /// Generates the plan for `seed` and runs it.
@@ -159,7 +173,11 @@ fn sim_kernel(plan: &FaultPlan) -> (Kernel, Arc<SweepDriver>) {
             _ => None,
         })
         .collect();
-    let driver = Arc::new(SweepDriver::new(plan.seed, fail_fd));
+    // The salt perturbs *only* the driver's schedule draws: same scenario,
+    // different interleaving.  Everything the outcome model sees (kernel
+    // seed, faults, workload) ignores it.
+    let perturb_seed = plan.seed ^ plan.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let driver = Arc::new(SweepDriver::new(perturb_seed, fail_fd));
     kernel.install_sim_driver(Arc::clone(&driver) as Arc<dyn varan_kernel::SimDriver>);
     (kernel, driver)
 }
@@ -206,7 +224,7 @@ fn fold_version_observables(
 }
 
 /// Crash, divergence and lag modes: a plain N-version launch under faults.
-fn run_nvx_mode(plan: &FaultPlan) -> SimOutcome {
+fn run_nvx_mode(plan: &FaultPlan, obs: Arc<varan_obs::Registry>) -> SimOutcome {
     let (kernel, driver) = sim_kernel(plan);
     let faults = version_faults(plan);
     let expected = expected_outcomes(&faults);
@@ -215,6 +233,7 @@ fn run_nvx_mode(plan: &FaultPlan) -> SimOutcome {
     let mut config = NvxConfig::default();
     config.ring_capacity = plan.ring_capacity;
     config.pool.pool_size = 4 * 1024 * 1024;
+    config.obs = Some(Arc::clone(&obs));
     let mut checks = Checks::default();
     let mut trace = Fnv::new();
     trace.fold(plan.digest());
@@ -235,12 +254,12 @@ fn run_nvx_mode(plan: &FaultPlan) -> SimOutcome {
         Err(err) => checks.expect(false, || format!("launch failed: {err}")),
     }
 
-    finish(plan, trace, checks, Some(&driver))
+    finish(plan, trace, checks, Some(&driver), Some(&obs))
 }
 
 /// Churn mode: observers join a running (possibly crashing) execution and
 /// must observe exactly the leader's journal.
-fn run_churn_mode(plan: &FaultPlan) -> SimOutcome {
+fn run_churn_mode(plan: &FaultPlan, obs: Arc<varan_obs::Registry>) -> SimOutcome {
     let (kernel, driver) = sim_kernel(plan);
     let clock = kernel.wait_clock();
     let faults = version_faults(plan);
@@ -251,6 +270,7 @@ fn run_churn_mode(plan: &FaultPlan) -> SimOutcome {
     let mut config = NvxConfig::default();
     config.ring_capacity = plan.ring_capacity;
     config.pool.pool_size = 4 * 1024 * 1024;
+    config.obs = Some(Arc::clone(&obs));
     config.fleet = Some(
         FleetConfig::new(&dir)
             .with_spares(plan.joiners)
@@ -343,7 +363,7 @@ fn run_churn_mode(plan: &FaultPlan) -> SimOutcome {
     }
 
     std::fs::remove_dir_all(&dir).ok();
-    finish(plan, trace, checks, Some(&driver))
+    finish(plan, trace, checks, Some(&driver), Some(&obs))
 }
 
 /// Recomputes a member's expected observation digest from the journal
@@ -379,18 +399,22 @@ fn journal_digest(journal: &Arc<EventJournal>, from: u64) -> u64 {
 
 /// Journal mode: a dying writer's final append is torn or corrupted; the
 /// reopen must recover every whole frame and never invent or crash.
-fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
+///
+/// When `exclusive_obs` is set the registry belongs to this run alone and
+/// its trace-ring content hash is folded into the trace hash (the
+/// journal's tracepoints are deterministic, so they are part of the
+/// reproducibility contract).  A composed run shares one registry across
+/// its fleet phases, whose tracepoint *order* is schedule-dependent — so
+/// there the fold is skipped and the registry only feeds coverage.
+fn run_journal_mode(
+    plan: &FaultPlan,
+    obs: Arc<varan_obs::Registry>,
+    exclusive_obs: bool,
+) -> SimOutcome {
     let dir = scratch_dir(plan.seed);
     let mut checks = Checks::default();
     let mut trace = Fnv::new();
     trace.fold(plan.digest());
-
-    // One isolated telemetry registry per run: the journal's tracepoints
-    // (scrub verdicts, quarantines, anchor movement) are folded into the
-    // trace hash below, so they are part of the reproducibility contract —
-    // a fresh registry keeps concurrent seeds from bleeding into each other
-    // and its clock-free timestamps are deterministically zero.
-    let obs = Arc::new(varan_obs::Registry::new());
 
     /// Applies the plan's single write fault to the chosen sequence.
     struct PlanFault {
@@ -429,27 +453,30 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
     let mut record_rng = SmallRng::seed_from_u64(plan.seed ^ 0x10C0_FFEE);
     let mut appended = Vec::new();
     {
-        let journal = match EventJournal::open(
-            JournalConfig::new(&dir)
-                .with_segment_records(plan.segment_records)
-                .with_obs(Arc::clone(&obs)),
-        ) {
+        // The write fault rides in through the config's fault factory, so
+        // the injector is armed before the journal is handed to anyone —
+        // even sequence 0 can be damaged, and there is no window in which
+        // an append could slip past undamaged.
+        let mut config = JournalConfig::new(&dir)
+            .with_segment_records(plan.segment_records)
+            .with_obs(Arc::clone(&obs));
+        if let Some(fault) = write_fault {
+            let seed = plan.seed;
+            config = config.with_fault_factory(Arc::new(move || {
+                Box::new(PlanFault { fault, seed }) as Box<dyn JournalFaults>
+            }));
+        }
+        let journal = match EventJournal::open(config) {
             Ok(journal) => journal,
             Err(err) => {
                 checks.expect(false, || format!("journal open failed: {err}"));
                 std::fs::remove_dir_all(&dir).ok();
-                trace.fold(obs.trace_ring().content_hash());
-                let mut outcome = finish(plan, trace, checks, None);
-                outcome.trace_events = obs.trace_ring().snapshot().total_recorded;
-                return outcome;
+                if exclusive_obs {
+                    trace.fold(obs.trace_ring().content_hash());
+                }
+                return finish(plan, trace, checks, None, Some(&obs));
             }
         };
-        if let Some(fault) = write_fault {
-            journal.install_faults(Box::new(PlanFault {
-                fault,
-                seed: plan.seed,
-            }));
-        }
         for seq in 0..plan.journal_records {
             let word = record_rng.next_u64();
             // The payload-flip target must carry a non-empty payload, or
@@ -588,12 +615,12 @@ fn run_journal_mode(plan: &FaultPlan) -> SimOutcome {
     }
 
     std::fs::remove_dir_all(&dir).ok();
-    // Every control-plane tracepoint the run emitted, in order, with its
-    // operands: same seed, same ring, bit for bit.
-    trace.fold(obs.trace_ring().content_hash());
-    let mut outcome = finish(plan, trace, checks, None);
-    outcome.trace_events = obs.trace_ring().snapshot().total_recorded;
-    outcome
+    if exclusive_obs {
+        // Every control-plane tracepoint the run emitted, in order, with
+        // its operands: same seed, same ring, bit for bit.
+        trace.fold(obs.trace_ring().content_hash());
+    }
+    finish(plan, trace, checks, None, Some(&obs))
 }
 
 /// The workload of the upgrade mode: warm up, then loop until the control
@@ -654,7 +681,7 @@ fn stage_tag(outcome: &StageOutcome) -> u64 {
 
 /// Upgrade mode: a chain of canary → soak → promote hops with candidates
 /// crashed in chosen pipeline windows.
-fn run_upgrade_mode(plan: &FaultPlan) -> SimOutcome {
+fn run_upgrade_mode(plan: &FaultPlan, obs: Arc<varan_obs::Registry>) -> SimOutcome {
     let (kernel, driver) = sim_kernel(plan);
     kernel.populate_file("/ctl", Vec::new()).expect("control file");
     let dir = scratch_dir(plan.seed);
@@ -662,6 +689,7 @@ fn run_upgrade_mode(plan: &FaultPlan) -> SimOutcome {
     let mut config = NvxConfig::default();
     config.ring_capacity = plan.ring_capacity;
     config.pool.pool_size = 4 * 1024 * 1024;
+    config.obs = Some(Arc::clone(&obs));
     config.fleet = Some(FleetConfig::for_upgrades(&dir, plan.hops + 1));
 
     let mut checks = Checks::default();
@@ -759,7 +787,7 @@ fn run_upgrade_mode(plan: &FaultPlan) -> SimOutcome {
     }
 
     std::fs::remove_dir_all(&dir).ok();
-    finish(plan, trace, checks, Some(&driver))
+    finish(plan, trace, checks, Some(&driver), Some(&obs))
 }
 
 /// The echo server of the clients mode: one connection, echo until EOF.
@@ -794,7 +822,7 @@ impl VersionProgram for EchoServer {
 
 /// Clients mode: a retrying client must get every request answered across
 /// a leader crash (§5.1's bar, expressed as an invariant).
-fn run_clients_mode(plan: &FaultPlan) -> SimOutcome {
+fn run_clients_mode(plan: &FaultPlan, obs: Arc<varan_obs::Registry>) -> SimOutcome {
     const PORT: u16 = 9300;
     let (kernel, driver) = sim_kernel(plan);
     let clock = kernel.wait_clock();
@@ -822,6 +850,7 @@ fn run_clients_mode(plan: &FaultPlan) -> SimOutcome {
     let mut config = NvxConfig::default();
     config.ring_capacity = plan.ring_capacity;
     config.pool.pool_size = 4 * 1024 * 1024;
+    config.obs = Some(Arc::clone(&obs));
 
     match NvxSystem::launch(&kernel, versions, config) {
         Ok(running) => {
@@ -891,7 +920,7 @@ fn run_clients_mode(plan: &FaultPlan) -> SimOutcome {
         Err(err) => checks.expect(false, || format!("launch failed: {err}")),
     }
 
-    finish(plan, trace, checks, Some(&driver))
+    finish(plan, trace, checks, Some(&driver), Some(&obs))
 }
 
 /// Shard mode: a multi-descriptor workload fans keyed traffic over a
@@ -987,7 +1016,121 @@ fn run_shard_mode(plan: &FaultPlan) -> SimOutcome {
         Err(err) => checks.expect(false, || format!("launch failed: {err}")),
     }
 
-    finish(plan, trace, checks, Some(&driver))
+    // The sharded plane reports to the process-global registry, so shard
+    // runs carry no isolated coverage.
+    finish(plan, trace, checks, Some(&driver), None)
+}
+
+/// Splits a composed plan into its churn, upgrade and journal sub-plans —
+/// pure functions of the plan, so a composed run is as reproducible as its
+/// parts.  Each phase gets a distinct derived seed (and the parent's salt)
+/// and only the faults its mode knows how to inject.
+fn composed_subplans(plan: &FaultPlan) -> (FaultPlan, FaultPlan, FaultPlan) {
+    let base = FaultPlan {
+        journal_records: 0,
+        joiners: 0,
+        hops: 0,
+        requests: 0,
+        shards: 0,
+        faults: Vec::new(),
+        ..plan.clone()
+    };
+    let churn = FaultPlan {
+        seed: plan.seed ^ 0xC04D_0001,
+        mode: Mode::Churn,
+        joiners: plan.joiners,
+        faults: plan
+            .faults
+            .iter()
+            .filter(|fault| matches!(fault, Fault::CrashVersion { .. }))
+            .copied()
+            .collect(),
+        ..base.clone()
+    };
+    let upgrade = FaultPlan {
+        seed: plan.seed ^ 0xC04D_0002,
+        mode: Mode::Upgrade,
+        versions: 1,
+        hops: plan.hops,
+        faults: plan
+            .faults
+            .iter()
+            .filter(|fault| matches!(fault, Fault::CrashCandidate { .. }))
+            .copied()
+            .collect(),
+        ..base.clone()
+    };
+    let journal = FaultPlan {
+        seed: plan.seed ^ 0xC04D_0003,
+        mode: Mode::Journal,
+        versions: 0,
+        journal_records: plan.journal_records,
+        faults: plan
+            .faults
+            .iter()
+            .filter(|fault| {
+                matches!(
+                    fault,
+                    Fault::TornWrite { .. } | Fault::FlipBit { .. } | Fault::FlipPayloadByte { .. }
+                )
+            })
+            .copied()
+            .collect(),
+        ..base
+    };
+    (churn, upgrade, journal)
+}
+
+/// Composed mode: churn, a live-upgrade hop and journal media damage in
+/// one scenario, sharing one telemetry registry — the run crosses
+/// subsystem boundaries a single-mode plan never does, so its coverage
+/// holds tracepoint edges (say `upgrade.promote` → `journal.scrub`) that
+/// exist nowhere else in the corpus.
+fn run_composed_mode(plan: &FaultPlan) -> SimOutcome {
+    let obs = Arc::new(varan_obs::Registry::new());
+    let (churn, upgrade, journal) = composed_subplans(plan);
+
+    let mut trace = Fnv::new();
+    trace.fold(plan.digest());
+    let mut schedule = Fnv::new();
+    let mut failure = None;
+    let mut corruption_detected = false;
+
+    let phases: [(&str, &FaultPlan); 3] =
+        [("churn", &churn), ("upgrade", &upgrade), ("journal", &journal)];
+    for (name, sub) in phases {
+        let outcome = match sub.mode {
+            Mode::Churn => run_churn_mode(sub, Arc::clone(&obs)),
+            Mode::Upgrade => run_upgrade_mode(sub, Arc::clone(&obs)),
+            Mode::Journal => run_journal_mode(sub, Arc::clone(&obs), false),
+            _ => unreachable!("composed phases are churn/upgrade/journal"),
+        };
+        // A phase trace hash folds only that phase's schedule-independent
+        // observables, so the composition stays reproducible.
+        trace.fold(outcome.trace_hash);
+        schedule.fold(outcome.schedule_hash);
+        corruption_detected |= outcome.journal_corruption_detected;
+        if failure.is_none() {
+            failure = outcome
+                .failure
+                .map(|message| format!("{name} phase: {message}"));
+        }
+    }
+
+    let snapshot = obs.trace_ring().snapshot();
+    SimOutcome {
+        seed: plan.seed,
+        mode: plan.mode,
+        trace_hash: trace.value(),
+        schedule_hash: schedule.value(),
+        failure,
+        journal_corruption_detected: corruption_detected,
+        trace_events: snapshot.total_recorded,
+        coverage: Coverage {
+            kind_mask: snapshot.kind_mask(),
+            kind_edges: snapshot.kind_edges(),
+        },
+    }
 }
 
 fn finish(
@@ -995,15 +1138,29 @@ fn finish(
     mut trace: Fnv,
     checks: Checks,
     driver: Option<&Arc<SweepDriver>>,
+    obs: Option<&Arc<varan_obs::Registry>>,
 ) -> SimOutcome {
     trace.fold(u64::from(checks.failure.is_some()));
+    let (coverage, trace_events) = obs
+        .map(|obs| {
+            let snapshot = obs.trace_ring().snapshot();
+            (
+                Coverage {
+                    kind_mask: snapshot.kind_mask(),
+                    kind_edges: snapshot.kind_edges(),
+                },
+                snapshot.total_recorded,
+            )
+        })
+        .unwrap_or_default();
     SimOutcome {
         seed: plan.seed,
         mode: plan.mode,
         trace_hash: trace.value(),
         schedule_hash: driver.map(|driver| driver.schedule_hash()).unwrap_or(0),
         journal_corruption_detected: checks.corruption_detected,
-        trace_events: 0,
+        trace_events,
+        coverage,
         failure: checks.failure,
     }
 }
@@ -1013,12 +1170,17 @@ fn finish(
 #[must_use]
 pub fn run_plan(plan: &FaultPlan) -> SimOutcome {
     crate::quiet_panics();
+    // One isolated telemetry registry per run: tracepoint coverage is read
+    // from it without concurrent seeds bleeding into each other, and its
+    // clock-free timestamps are deterministically zero.
+    let obs = Arc::new(varan_obs::Registry::new());
     match plan.mode {
-        Mode::Crash | Mode::Divergence | Mode::Lag => run_nvx_mode(plan),
-        Mode::Journal => run_journal_mode(plan),
-        Mode::Churn => run_churn_mode(plan),
-        Mode::Upgrade => run_upgrade_mode(plan),
-        Mode::Clients => run_clients_mode(plan),
+        Mode::Crash | Mode::Divergence | Mode::Lag => run_nvx_mode(plan, obs),
+        Mode::Journal => run_journal_mode(plan, obs, true),
+        Mode::Churn => run_churn_mode(plan, obs),
+        Mode::Upgrade => run_upgrade_mode(plan, obs),
+        Mode::Clients => run_clients_mode(plan, obs),
         Mode::Shard => run_shard_mode(plan),
+        Mode::Composed => run_composed_mode(plan),
     }
 }

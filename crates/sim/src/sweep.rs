@@ -62,6 +62,11 @@ pub struct SweepReport {
     /// tracepoint — those seeds' trace rings are folded into `trace_hash`,
     /// so the determinism double-runs cover trace-ring contents too.
     pub trace_ring_seeds: u64,
+    /// Catalog tracepoints ([`varan_obs::TRACEPOINT_KINDS`]) never hit by
+    /// any seed in the sweep.  An unhit tracepoint is an unhit node of the
+    /// coverage edge graph — every edge through it is unexplored — so this
+    /// list is the sweep's blind spot, and the guided explorer's target.
+    pub uncovered_edges: Vec<String>,
     /// Failing seeds, shrunk where possible.
     pub failures: Vec<ShrunkFailure>,
     /// Wall time of the whole sweep, milliseconds.
@@ -82,6 +87,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
     let mut determinism_mismatches = 0u64;
     let mut journal_corruptions_detected = 0u64;
     let mut trace_ring_seeds = 0u64;
+    let mut kinds_hit = 0u64;
 
     for offset in 0..config.seeds {
         let seed = config.base_seed.wrapping_add(offset);
@@ -92,6 +98,7 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         *mode_counts.entry(outcome.mode.name()).or_insert(0) += 1;
         journal_corruptions_detected += u64::from(outcome.journal_corruption_detected);
         trace_ring_seeds += u64::from(outcome.trace_events > 0);
+        kinds_hit |= outcome.coverage.kind_mask;
 
         if config.determinism_every != 0 && offset % config.determinism_every == 0 {
             determinism_checked += 1;
@@ -145,8 +152,21 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
         determinism_mismatches,
         journal_corruptions_detected,
         trace_ring_seeds,
+        uncovered_edges: uncovered_kinds(kinds_hit),
         failures,
         wall_ms: started.elapsed().as_millis() as u64,
         config,
     }
+}
+
+/// The catalog tracepoints absent from `kinds_hit` (a
+/// [`varan_obs::TRACEPOINT_KINDS`] index bitmask), by name.
+#[must_use]
+pub fn uncovered_kinds(kinds_hit: u64) -> Vec<String> {
+    varan_obs::TRACEPOINT_KINDS
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| kinds_hit & (1u64 << index) == 0)
+        .map(|(_, name)| (*name).to_owned())
+        .collect()
 }

@@ -1,0 +1,106 @@
+//! Mutation closure and replay determinism: a mutated [`FaultPlan`] must
+//! stay inside the space the harness can judge (the generator invariants),
+//! survive a plan-file round trip bit-identically, and replay to the same
+//! trace hash on every run — mutated and composed plans obey the same
+//! reproducibility contract as generated ones, which is what lets the
+//! explorer treat "one plan file" as a complete reproduction recipe.
+
+use proptest::prelude::*;
+
+use varan_sim::mutate::mutate;
+use varan_sim::{run_plan, FaultPlan, Mode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mutated_plans_survive_the_plan_file_round_trip(
+        seed in any::<u64>(),
+        partner_offset in 1u64..1_000,
+        generation in 0u64..64,
+    ) {
+        let parent = FaultPlan::generate(seed);
+        let partner = FaultPlan::generate(seed.wrapping_add(partner_offset));
+        let (_, child) = mutate(&parent, Some(&partner), generation);
+        let encoded = child.encode();
+        let decoded = FaultPlan::decode(&encoded).expect("mutated plan must decode");
+        prop_assert_eq!(&decoded, &child);
+        // Encoding is canonical: re-encoding the decoded plan is
+        // byte-identical, so plan files can be compared and deduplicated
+        // as text.
+        prop_assert_eq!(decoded.encode(), encoded);
+        prop_assert_eq!(decoded.digest(), child.digest());
+    }
+
+    #[test]
+    fn mutation_chains_stay_encodable(seed in any::<u64>()) {
+        // Mutation closure under iteration: children of children (the
+        // corpus's actual trajectory) still round-trip, whatever operator
+        // sequence the digests select.
+        let mut plan = FaultPlan::generate(seed);
+        let partner = FaultPlan::generate(seed ^ 0xFFFF);
+        for generation in 0..6u64 {
+            let (_, child) = mutate(&plan, Some(&partner), generation);
+            let decoded = FaultPlan::decode(&child.encode()).expect("chain link must decode");
+            prop_assert_eq!(&decoded, &child);
+            plan = child;
+        }
+    }
+}
+
+proptest! {
+    // Full scenario replays are heavier than pure plan algebra: fewer
+    // cases, bounded seeds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mutated_plans_replay_to_the_same_trace_hash_twice(
+        seed in 0u64..500,
+        generation in 0u64..8,
+    ) {
+        let parent = FaultPlan::generate(seed);
+        let partner = FaultPlan::generate(seed.wrapping_add(17));
+        let (op, child) = mutate(&parent, Some(&partner), generation);
+        // The replay enters through the plan file, as an operator
+        // reproducing an explorer failure would.
+        let reloaded = FaultPlan::decode(&child.encode()).expect("round trip");
+        let first = run_plan(&reloaded);
+        let second = run_plan(&reloaded);
+        prop_assert_eq!(
+            first.trace_hash,
+            second.trace_hash,
+            "{:?} child of seed {:#x} not reproducible: {:?}",
+            op, seed, reloaded.describe()
+        );
+        prop_assert!(
+            first.failure.is_none(),
+            "{:?} child of seed {:#x} left the valid plan space: {:?}\n{:?}",
+            op, seed, first.failure, reloaded.describe()
+        );
+    }
+}
+
+#[test]
+fn composed_plans_replay_deterministically() {
+    for seed in 0..3u64 {
+        let plan = FaultPlan::compose(seed);
+        assert_eq!(plan.mode, Mode::Composed);
+        let first = run_plan(&plan);
+        let second = run_plan(&plan);
+        assert_eq!(
+            first.trace_hash,
+            second.trace_hash,
+            "composed seed {seed} not reproducible"
+        );
+        assert!(
+            first.failure.is_none(),
+            "composed seed {seed} failed: {:?}",
+            first.failure
+        );
+        // The composed run reports real coverage from its shared registry.
+        assert!(
+            first.coverage.kind_mask != 0,
+            "composed seed {seed} recorded no tracepoints"
+        );
+    }
+}

@@ -68,6 +68,7 @@ fn shrinker_isolates_the_causal_fault() {
     // trips deterministically.
     let plan = FaultPlan {
         seed: 77,
+        salt: 0,
         mode: Mode::Crash,
         versions: 3,
         iterations: 30,

@@ -8,6 +8,7 @@ use varan_sim::{run_plan, CandidateWindow, Fault, FaultPlan, Mode};
 fn window_plan(window: CandidateWindow) -> FaultPlan {
     FaultPlan {
         seed: 0xDECADE,
+        salt: 0,
         mode: Mode::Upgrade,
         versions: 1,
         iterations: 120,
