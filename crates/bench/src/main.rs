@@ -171,8 +171,10 @@ impl Options {
                          \"failure_plans\") twice and exits non-zero on any invariant\n\
                          failure or reproducibility mismatch.\n\
                          --fig5 also writes {path} (ring/pool throughput);\n\
-                         --check-ring validates {path} and exits non-zero if it is malformed\n\
-                         or the disruptor does not beat the event-pump baseline at 3 followers.\n\
+                         --check-ring validates {path} and exits non-zero if it is malformed,\n\
+                         the disruptor does not beat the event-pump baseline at 3 followers,\n\
+                         the follower staging path copied payload bytes, the zero-copy consume\n\
+                         is below 1.5x the copy baseline, or a planted divergence went undetected.\n\
                          --fig-fleet runs the elastic-fleet churn scenario and writes {fleet};\n\
                          --check-fleet validates {fleet} (leader throughput during churn must\n\
                          stay above 50% of the no-churn baseline).\n\

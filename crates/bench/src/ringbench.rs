@@ -14,23 +14,26 @@
 //! interleaved topology times the data plane itself (slot store/load,
 //! gating, cursor publication, queue locks) deterministically.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use varan_core::monitor::replay_probe::ReplayProbe;
 use varan_ring::{
     Event, EventKind, EventPump, JournalRecord, PoolAllocator, PumpQueue, RingBuffer,
-    WaitStrategy,
+    SharedRegion, WaitStrategy,
 };
 
 use crate::Scale;
 
 /// Schema identifier stamped into the JSON so consumers can detect format
-/// drift.
-pub const SCHEMA: &str = "varan-bench-ring/v1";
+/// drift.  v2 added the `follower` section (zero-copy replay counters and
+/// the copy-vs-borrow consume throughputs).
+pub const SCHEMA: &str = "varan-bench-ring/v2";
 
 /// Default output path, relative to the working directory.
 pub const DEFAULT_PATH: &str = "BENCH_ring.json";
@@ -77,6 +80,141 @@ pub struct RingBenchReport {
     /// delta against `spill_crc_append_per_sec` is what durability costs
     /// the spill path (docs/DURABILITY.md).
     pub spill_nocrc_append_per_sec: f64,
+    /// Batched follower consume, PR 2 copy-out discipline: every payload
+    /// copied out of the pool before the gate advances.
+    pub follower_copy_consume_per_sec: f64,
+    /// Batched follower consume, zero-copy discipline: payloads processed
+    /// in place under lap-based reclamation (`read_with` borrows), gate
+    /// advanced per batch, lap advanced at replay completion.
+    pub follower_zero_copy_consume_per_sec: f64,
+    /// `follower_copy_bytes_saved` counter after the steady-state monitor
+    /// replay scenario: payload bytes left pool-resident at staging time.
+    pub follower_copy_bytes_saved: u64,
+    /// `follower_copy_bytes` counter after the same scenario: staging-time
+    /// copy-path bytes — the zero-payload-memcpy gate requires 0.
+    pub follower_copy_path_bytes: u64,
+    /// Replay windows certified by one fold comparison in the scenario.
+    pub divergence_fast_path_hits: u64,
+    /// `divergence_hash_mismatches` after a scenario with one planted
+    /// argument divergence (same sysno — only the batch hash catches it):
+    /// must be exactly 1, evidencing the localization slow path fired.
+    pub planted_divergence_detected: u64,
+}
+
+/// Batched follower consume throughput over payload-carrying events, with
+/// the producer's (unmeasured) publish and retire work interleaved so the
+/// pool cycles exactly as it does under a live leader.  Only the follower's
+/// peek → process → acknowledge section is on the stopwatch.
+fn follower_consume_per_sec(events: u64, zero_copy: bool) -> f64 {
+    let ring = Arc::new(RingBuffer::<Event>::new(CAPACITY, 1, WaitStrategy::Spin).unwrap());
+    let producer = ring.producer();
+    let mut consumer = ring.consumer(0).unwrap();
+    if zero_copy {
+        consumer.enable_lap_gate();
+    }
+    let pool = PoolAllocator::default();
+    let payload = vec![0xabu8; PAYLOAD];
+    let mut payload_window: VecDeque<(u64, SharedRegion)> = VecDeque::new();
+    let mut events_buf: Vec<Event> = Vec::with_capacity(CHUNK as usize);
+    let mut sigs_buf: Vec<u64> = Vec::with_capacity(CHUNK as usize);
+    let mut scratch: Vec<Event> = Vec::with_capacity(CHUNK as usize);
+    let mut consume_time = Duration::ZERO;
+    for _ in 0..(events / CHUNK) {
+        events_buf.clear();
+        sigs_buf.clear();
+        let mut regions = [None; CHUNK as usize];
+        for (i, slot) in regions.iter_mut().enumerate() {
+            let region = pool.alloc_and_write(&payload).unwrap();
+            let event =
+                Event::syscall(0, &[i as u64], PAYLOAD as i64).with_shared(region.ptr());
+            sigs_buf.push(event.signature());
+            events_buf.push(event);
+            *slot = Some(region);
+        }
+        let first = producer
+            .publish_batch_signed(&events_buf, &sigs_buf)
+            .expect("chunk fits the ring");
+        for (i, region) in regions.iter().enumerate() {
+            payload_window.push_back((first + i as u64, region.expect("filled above")));
+        }
+
+        let start = Instant::now();
+        scratch.clear();
+        let base = consumer.next_sequence();
+        let peeked = consumer.peek_batch(&mut scratch, usize::MAX);
+        if zero_copy {
+            // Execute against the pool-resident payload (borrow), then one
+            // gate advance and one lap advance for the whole batch.
+            for event in &scratch {
+                pool.read_with(event.shared(), |bytes| {
+                    std::hint::black_box((bytes[0], bytes[bytes.len() - 1]));
+                });
+            }
+            consumer.advance(peeked);
+            consumer.advance_lap_to(base + peeked as u64);
+        } else {
+            // PR 2 discipline: copy every payload out before acknowledging.
+            for event in &scratch {
+                std::hint::black_box(pool.read(event.shared()));
+            }
+            consumer.advance(peeked);
+        }
+        consume_time += start.elapsed();
+
+        let horizon = producer.refresh_reclaim_horizon();
+        while payload_window.front().is_some_and(|&(seq, _)| seq < horizon) {
+            let (_, region) = payload_window.pop_front().unwrap();
+            pool.free(region).unwrap();
+        }
+    }
+    events as f64 / consume_time.as_secs_f64()
+}
+
+/// Counters from a steady-state monitor replay scenario driven through the
+/// real drain/certify machinery ([`ReplayProbe`]): leader publishes signed
+/// payload batches with lap-horizon retirement, the follower drains
+/// zero-copy and replays every event.  With `plant_divergence`, one replay
+/// mid-run substitutes a different argument word (same sysno — only the
+/// batch hash can catch it), which must be detected and localized.
+fn monitor_replay_counters(
+    batches: u64,
+    plant_divergence: bool,
+) -> varan_obs::MetricsSnapshot {
+    const BATCH: u64 = 64;
+    const REPLAY_PAYLOAD: usize = 256;
+    let ring: Arc<RingBuffer<Event>> =
+        Arc::new(RingBuffer::new(CAPACITY, 1, WaitStrategy::Spin).unwrap());
+    let producer = ring.producer();
+    let pool = Arc::new(PoolAllocator::default());
+    let obs = Arc::new(varan_obs::Registry::new());
+    let mut probe = ReplayProbe::new(&ring, 0, Arc::clone(&pool), Arc::clone(&obs));
+    let payload = vec![0x5au8; REPLAY_PAYLOAD];
+    let mut payload_window: VecDeque<(u64, SharedRegion)> = VecDeque::new();
+    for batch in 0..batches {
+        for i in 0..BATCH {
+            let region = pool.alloc_and_write(&payload).unwrap();
+            let event = Event::syscall(3, &[batch, i], REPLAY_PAYLOAD as i64)
+                .with_shared(region.ptr());
+            let seq = producer.publish_signed(event, event.signature());
+            payload_window.push_back((seq, region));
+        }
+        let drained = probe.drain();
+        for i in 0..drained as u64 {
+            if plant_divergence && batch == batches / 2 && i == BATCH / 2 {
+                // Same sysno, different argument word.
+                let divergent = Event::syscall(3, &[batch, i ^ 1], REPLAY_PAYLOAD as i64);
+                probe.replay_next_as(0, divergent).unwrap();
+            } else {
+                probe.replay_next(0).unwrap();
+            }
+        }
+        let horizon = producer.refresh_reclaim_horizon();
+        while payload_window.front().is_some_and(|&(seq, _)| seq < horizon) {
+            let (_, region) = payload_window.pop_front().unwrap();
+            pool.free(region).unwrap();
+        }
+    }
+    obs.metrics.snapshot()
 }
 
 fn disruptor_events_per_sec(followers: usize, events: u64, batched: bool) -> f64 {
@@ -200,6 +338,8 @@ pub fn run(scale: Scale) -> RingBenchReport {
     let pool_cycles = events / 4;
     let (pool_alloc_free_per_sec, pool_read_per_sec, pool_read_into_per_sec) =
         pool_throughputs(pool_cycles);
+    let steady = monitor_replay_counters(16, false);
+    let planted = monitor_replay_counters(16, true);
     RingBenchReport {
         events,
         disruptor_1f: disruptor_events_per_sec(1, events, false),
@@ -213,11 +353,17 @@ pub fn run(scale: Scale) -> RingBenchReport {
         pool_read_into_per_sec,
         spill_crc_append_per_sec: spill_encodes_per_sec(pool_cycles, true),
         spill_nocrc_append_per_sec: spill_encodes_per_sec(pool_cycles, false),
+        follower_copy_consume_per_sec: follower_consume_per_sec(pool_cycles, false),
+        follower_zero_copy_consume_per_sec: follower_consume_per_sec(pool_cycles, true),
+        follower_copy_bytes_saved: steady.follower_copy_bytes_saved,
+        follower_copy_path_bytes: steady.follower_copy_bytes,
+        divergence_fast_path_hits: steady.divergence_fast_path_hits,
+        planted_divergence_detected: planted.divergence_hash_mismatches,
     }
 }
 
 impl RingBenchReport {
-    /// Serialises the report to the `varan-bench-ring/v1` JSON schema.
+    /// Serialises the report to the `varan-bench-ring/v2` JSON schema.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -263,6 +409,38 @@ impl RingBenchReport {
             out,
             "    \"spill_nocrc_append_per_sec\": {:.1}",
             self.spill_nocrc_append_per_sec
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"follower\": {{");
+        let _ = writeln!(
+            out,
+            "    \"follower_copy_consume_per_sec\": {:.1},",
+            self.follower_copy_consume_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "    \"follower_zero_copy_consume_per_sec\": {:.1},",
+            self.follower_zero_copy_consume_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "    \"follower_copy_bytes_saved\": {},",
+            self.follower_copy_bytes_saved
+        );
+        let _ = writeln!(
+            out,
+            "    \"follower_copy_path_bytes\": {},",
+            self.follower_copy_path_bytes
+        );
+        let _ = writeln!(
+            out,
+            "    \"divergence_fast_path_hits\": {},",
+            self.divergence_fast_path_hits
+        );
+        let _ = writeln!(
+            out,
+            "    \"planted_divergence_detected\": {}",
+            self.planted_divergence_detected
         );
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
@@ -312,12 +490,28 @@ impl RingBenchReport {
             self.spill_nocrc_append_per_sec,
             (1.0 - self.spill_crc_append_per_sec / self.spill_nocrc_append_per_sec) * 100.0,
         );
+        let _ = writeln!(
+            out,
+            "  follower consume: copy {:.0}/s, zero-copy {:.0}/s ({:.1}x); \
+             {} staged bytes pool-resident, {} copied",
+            self.follower_copy_consume_per_sec,
+            self.follower_zero_copy_consume_per_sec,
+            self.follower_zero_copy_consume_per_sec / self.follower_copy_consume_per_sec,
+            self.follower_copy_bytes_saved,
+            self.follower_copy_path_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "  divergence: {} windows certified by one u64 fold, planted divergence \
+             detections {}",
+            self.divergence_fast_path_hits, self.planted_divergence_detected,
+        );
         out
     }
 }
 
 /// Extracts the number following `"key":` inside `json`. Minimal parser for
-/// the flat `varan-bench-ring/v1` schema written by [`RingBenchReport`].
+/// the flat `varan-bench-ring/v2` schema written by [`RingBenchReport`].
 fn extract_number(json: &str, key: &str) -> Result<f64, String> {
     let needle = format!("\"{key}\"");
     let at = json
@@ -364,6 +558,11 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
         "read_into_per_sec",
         "spill_crc_append_per_sec",
         "spill_nocrc_append_per_sec",
+        "follower_copy_consume_per_sec",
+        "follower_zero_copy_consume_per_sec",
+        "follower_copy_bytes_saved",
+        "divergence_fast_path_hits",
+        "planted_divergence_detected",
     ];
     for key in keys {
         let value = extract_number(&json, key).map_err(|err| format!("{}: {err}", path.display()))?;
@@ -400,6 +599,28 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<(), String> {
             path.display()
         ));
     }
+    // Zero-payload-memcpy gate: the steady-state follower staging path must
+    // stage every payload pool-resident — any copy-path bytes mean a queue
+    // fell off the zero-copy path.
+    let copy_path_bytes =
+        extract_number(&json, "follower_copy_path_bytes").map_err(|err| format!("{}: {err}", path.display()))?;
+    if copy_path_bytes != 0.0 {
+        return Err(format!(
+            "{}: steady-state follower staging copied {copy_path_bytes:.0} payload bytes \
+             (zero-copy gate requires 0)",
+            path.display()
+        ));
+    }
+    let copy = extract_number(&json, "follower_copy_consume_per_sec").expect("validated above");
+    let zero_copy =
+        extract_number(&json, "follower_zero_copy_consume_per_sec").expect("validated above");
+    if zero_copy < copy * 1.5 {
+        return Err(format!(
+            "{}: zero-copy follower consume ({zero_copy:.0} events/s) is not >= 1.5x the \
+             copy-out baseline ({copy:.0} events/s)",
+            path.display()
+        ));
+    }
     Ok(())
 }
 
@@ -421,6 +642,12 @@ mod tests {
             pool_read_into_per_sec: 12e6,
             spill_crc_append_per_sec: 5e6,
             spill_nocrc_append_per_sec: 6e6,
+            follower_copy_consume_per_sec: 2e6,
+            follower_zero_copy_consume_per_sec: 4e6,
+            follower_copy_bytes_saved: 1 << 20,
+            follower_copy_path_bytes: 0,
+            divergence_fast_path_hits: 16,
+            planted_divergence_detected: 1,
         }
     }
 
@@ -455,6 +682,42 @@ mod tests {
         report.write_to(&path).unwrap();
         let err = validate_file(&path).unwrap_err();
         assert!(err.contains("1 follower"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_copy_path_bytes_on_the_follower() {
+        let mut report = sample();
+        report.follower_copy_path_bytes = 4096;
+        let dir = std::env::temp_dir().join("varan-ringbench-test-copy-path");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("zero-copy gate"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_sub_1_5x_zero_copy_speedup() {
+        let mut report = sample();
+        report.follower_zero_copy_consume_per_sec = report.follower_copy_consume_per_sec * 1.2;
+        let dir = std::env::temp_dir().join("varan-ringbench-test-slow-zero-copy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        report.write_to(&path).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("1.5x"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn replay_counter_scenarios_hit_the_gates() {
+        let steady = monitor_replay_counters(4, false);
+        assert!(steady.follower_copy_bytes_saved > 0);
+        assert_eq!(steady.follower_copy_bytes, 0);
+        assert_eq!(steady.divergence_fast_path_hits, 4);
+        assert_eq!(steady.divergence_hash_mismatches, 0);
+        let planted = monitor_replay_counters(4, true);
+        assert_eq!(planted.divergence_hash_mismatches, 1);
+        assert_eq!(planted.divergence_fast_path_hits, 3);
     }
 
     #[test]

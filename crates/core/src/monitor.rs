@@ -77,9 +77,10 @@ pub(crate) struct LeaderCore {
     rings: Arc<RingSet>,
     costs: MonitorCosts,
     sampler: Arc<LogDistanceSampler>,
-    /// Payload regions attached to recent events; freed once every follower
-    /// is guaranteed to have consumed them (the publish of event `n` implies
-    /// event `n - capacity` has been consumed by all gating consumers).
+    /// Payload regions attached to recent events; freed once every follower's
+    /// reclamation horizon (lap counter for lap-gated replay consumers, the
+    /// gating sequence otherwise) has passed them — see
+    /// [`LeaderCore::retire_payloads`].
     payload_window: VecDeque<(u64, SharedRegion)>,
     /// The fleet's spill journal, when elastic membership is enabled.  Every
     /// main-tuple event is appended here **before** it is published to the
@@ -146,11 +147,11 @@ impl LeaderCore {
         counters: &VersionCounters,
     ) -> SyscallOutcome {
         let (outcome, event, shared, overhead) = self.capture(request, clock, counters);
-        let sequence = self.producer.publish(event);
+        let sequence = self.producer.publish_signed(event, event.signature());
         if let Some(region) = shared {
             self.payload_window.push_back((sequence, region));
         }
-        self.retire_payloads(sequence);
+        self.retire_payloads();
         self.sample_backlog();
         SyscallOutcome {
             cost: outcome.cost + overhead,
@@ -176,10 +177,12 @@ impl LeaderCore {
         let mut outcomes = Vec::with_capacity(requests.len());
         for chunk in requests.chunks((self.ring_capacity as usize).max(1)) {
             let mut events = Vec::with_capacity(chunk.len());
+            let mut sigs = Vec::with_capacity(chunk.len());
             let mut regions = Vec::with_capacity(chunk.len());
             for request in chunk {
                 let (outcome, event, shared, overhead) =
                     self.capture(request, clock, counters);
+                sigs.push(event.signature());
                 events.push(event);
                 regions.push(shared);
                 outcomes.push(SyscallOutcome {
@@ -187,14 +190,13 @@ impl LeaderCore {
                     ..outcome
                 });
             }
-            if let Some(first) = self.producer.publish_batch(&events) {
-                let last = first + events.len() as u64 - 1;
+            if let Some(first) = self.producer.publish_batch_signed(&events, &sigs) {
                 for (i, region) in regions.into_iter().enumerate() {
                     if let Some(region) = region {
                         self.payload_window.push_back((first + i as u64, region));
                     }
                 }
-                self.retire_payloads(last);
+                self.retire_payloads();
             }
         }
         self.sample_backlog();
@@ -313,17 +315,33 @@ impl LeaderCore {
         (outcome, event, shared, overhead)
     }
 
-    /// Frees payload regions whose events every follower has necessarily
-    /// consumed (publishing sequence `n` implies sequence `n - capacity`
-    /// has been consumed by all gating consumers).
-    fn retire_payloads(&mut self, published: u64) {
+    /// Frees payload regions below the reclamation horizon: the minimum, over
+    /// every active consumer, of its lap counter (replay completion, for
+    /// lap-gated replay consumers) or its gating sequence (plain consumers).
+    /// A region is only recycled once every registered consumer has *passed*
+    /// it — not merely once the ring has lapped, as the PR 2 copy-out
+    /// discipline assumed — which is what lets followers replay directly
+    /// against pool-resident payloads.
+    ///
+    /// Uses the producer's cached horizon and refreshes it at most once per
+    /// call (only when the cache blocks the oldest region), mirroring the
+    /// cached-gate discipline of the publish path.
+    fn retire_payloads(&mut self) {
+        let mut horizon = self.producer.reclaim_horizon();
+        let mut refreshed = false;
         while let Some(&(seq, region)) = self.payload_window.front() {
-            if seq + self.ring_capacity <= published {
-                let _ = self.pool.free(region);
-                self.payload_window.pop_front();
-            } else {
-                break;
+            if seq >= horizon {
+                if refreshed {
+                    break;
+                }
+                horizon = self.producer.refresh_reclaim_horizon();
+                refreshed = true;
+                if seq >= horizon {
+                    break;
+                }
             }
+            let _ = self.pool.free(region);
+            self.payload_window.pop_front();
         }
     }
 
@@ -593,16 +611,70 @@ impl SyscallInterface for LeaderMonitor {
     }
 }
 
+/// Where a staged event's out-of-line payload lives until replay delivers it.
+///
+/// The steady-state path is [`StagedPayload::Pooled`]: the payload stays in
+/// the shared pool and the follower reads it only when the application asks
+/// for the data, under lap-based reclamation (the leader may not recycle the
+/// region until this queue's lap counter passes the event — see
+/// [`Consumer::enable_lap_gate`]).  [`StagedPayload::Owned`] is the PR 2
+/// copy-out fallback, kept for replay sources where a pool borrow is unsound
+/// or unavailable: surplus sibling threads sharing a clamped ring (their
+/// replay can stall arbitrarily long on the variant clock, and a promotion
+/// could release the queue's consumer under them) and journal catch-up
+/// (journal records carry their payload inline; the pool region may be long
+/// recycled).
+#[derive(Debug, Clone)]
+enum StagedPayload {
+    /// The event carried no out-of-line payload.
+    None,
+    /// Payload still resident in the shared pool, protected by the lap gate.
+    Pooled(SharedPtr),
+    /// Payload copied out of the pool (or journal) at staging time.
+    Owned(Vec<u8>),
+}
+
+impl StagedPayload {
+    fn len(&self) -> usize {
+        match self {
+            StagedPayload::None => 0,
+            StagedPayload::Pooled(ptr) => ptr.len() as usize,
+            StagedPayload::Owned(data) => data.len(),
+        }
+    }
+}
+
 /// An event taken out of the ring together with its out-of-line payload.
 ///
-/// The payload is copied out of the shared pool the moment the event leaves
-/// the ring (batch refill), because draining a batch advances the gating
-/// sequence past the event — after which the leader is free to reuse the
-/// pool region once it laps the ring.
+/// Draining a batch advances the gating sequence past the event, which frees
+/// the *slot* for the producer — but under lap-based reclamation the payload
+/// region stays pinned until the queue's lap counter passes `origin`, so the
+/// payload does not need to be copied at drain time.
 #[derive(Debug, Clone)]
 struct StagedEvent {
     event: Event,
-    payload: Option<Vec<u8>>,
+    payload: StagedPayload,
+    /// The ring sequence this event was drained at; `None` for events staged
+    /// from the journal (which are outside the ring's lap/certification
+    /// discipline).
+    origin: Option<u64>,
+}
+
+/// One ring event retained for batch-hash certification: the leader's
+/// published signature lane value next to the follower's own signature,
+/// filled in at replay.  Folded and compared once per window
+/// ([`certify_window`]); individual entries are only revisited to localize a
+/// fold mismatch.
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    seq: u64,
+    leader_event: Event,
+    leader_sig: u64,
+    /// The signature the follower computed from its *own* request when it
+    /// replayed this event; `None` until replayed (or never, if a rewrite
+    /// rule consumed the event — the window is then dirty).
+    follower_sig: Option<u64>,
+    follower_event: Event,
 }
 
 /// Replay state shared by every follower thread whose (clamped) thread tuple
@@ -620,8 +692,8 @@ struct StagedEvent {
 struct TupleQueue {
     /// The ring consumer; `None` once released (promotion or retirement).
     consumer: Option<Consumer<Event>>,
-    /// Events drained from the ring (payloads already copied out of the
-    /// pool) awaiting replay, keyed by the leader thread that published
+    /// Events drained from the ring awaiting replay (payloads pool-resident
+    /// on the zero-copy path), keyed by the leader thread that published
     /// them.  Replayed front to back per thread; cross-thread order is
     /// enforced by the variant clock.
     staged: HashMap<u32, VecDeque<StagedEvent>>,
@@ -632,17 +704,204 @@ struct TupleQueue {
     /// releases the consumer (an `Arc::strong_count` check would race when
     /// sibling threads exit concurrently).
     owners: usize,
+    /// The largest batch one drain round may peek: half the ring capacity,
+    /// so a laggard follower never pins more than half a lap of slots (and,
+    /// under lap-based reclamation, payload regions) in one gulp.
+    max_drain: usize,
+    /// Ring events retained for batch-hash certification, contiguous by
+    /// sequence (drain order); cleared at every window boundary.
+    window: VecDeque<WindowEntry>,
+    /// Ring-staged events drained but not yet disposed of (replayed, or
+    /// consumed by a rewrite rule).  The lap counter advances — and the
+    /// window certifies — when this reaches zero.
+    outstanding: usize,
+    /// The ring sequence up to which events have been drained (exclusive);
+    /// the lap counter's target at the next quiescent point.
+    drained_through: u64,
+    /// Set when a rewrite rule consumed a window event (divergence already
+    /// adjudicated per-event): the fold would compare mismatched pairings,
+    /// so certification is skipped for that window.
+    window_dirty: bool,
 }
 
 impl TupleQueue {
-    fn with_consumer(consumer: Consumer<Event>) -> Self {
+    fn with_consumer(mut consumer: Consumer<Event>, ring_capacity: usize) -> Self {
+        // Every replay consumer is lap-gated: the gating sequence is free to
+        // advance at drain time (unblocking the producer's slot reuse) while
+        // the lap counter keeps the batch's payload regions pinned in the
+        // pool until replay completes.
+        consumer.enable_lap_gate();
         TupleQueue {
             consumer: Some(consumer),
             staged: HashMap::new(),
             scratch: Vec::new(),
             owners: 1,
+            max_drain: (ring_capacity / 2).max(1),
+            window: VecDeque::new(),
+            outstanding: 0,
+            drained_through: 0,
+            window_dirty: false,
         }
     }
+}
+
+/// One bounded drain round: peek up to half a lap, stage every event, read
+/// the leader's signature lane into the certification window, advance the
+/// gating sequence once.  Returns the number of events staged.
+///
+/// The zero-copy path (sole queue owner) stages payloads as
+/// [`StagedPayload::Pooled`]: no bytes leave the pool at drain time, and the
+/// lap counter — which only advances at the next quiescent point
+/// ([`finish_window_entry`]) — keeps the regions pinned.  With surplus
+/// sibling threads sharing the queue (`owners > 1`) payloads are copied out
+/// ([`StagedPayload::Owned`]), because a sibling's replay can stall
+/// arbitrarily long on the variant clock and a promotion may release the
+/// consumer while its events are still staged.
+///
+/// Reused buffers (`scratch`, the per-tid deques, the window) make the
+/// steady state allocation-free; the counting-allocator test in the module
+/// tests asserts this.
+fn refill_ring_queue(
+    queue: &mut TupleQueue,
+    pool: &PoolAllocator,
+    metrics: &varan_obs::Metrics,
+) -> usize {
+    let queue = &mut *queue;
+    let mut scratch = std::mem::take(&mut queue.scratch);
+    scratch.clear();
+    let zero_copy = queue.owners == 1;
+    let Some(consumer) = queue.consumer.as_mut() else {
+        queue.scratch = scratch;
+        return 0;
+    };
+    let base = consumer.next_sequence();
+    let peeked = consumer.peek_batch(&mut scratch, queue.max_drain);
+    for (i, event) in scratch.iter().copied().enumerate() {
+        let seq = base + i as u64;
+        let payload = if !event.has_payload() {
+            StagedPayload::None
+        } else if zero_copy {
+            metrics
+                .follower_copy_bytes_saved
+                .add(u64::from(event.shared().len()));
+            StagedPayload::Pooled(event.shared())
+        } else {
+            let data = pool.read(event.shared());
+            metrics.follower_copy_bytes.add(data.len() as u64);
+            StagedPayload::Owned(data)
+        };
+        // The signature lane is read while the slot is still gated (before
+        // the advance below), like the event itself.
+        queue.window.push_back(WindowEntry {
+            seq,
+            leader_event: event,
+            leader_sig: consumer.sig_at(seq),
+            follower_sig: None,
+            follower_event: Event::default(),
+        });
+        queue.staged.entry(event.tid()).or_default().push_back(StagedEvent {
+            event,
+            payload,
+            origin: Some(seq),
+        });
+    }
+    if peeked > 0 {
+        queue.outstanding += peeked;
+        queue.drained_through = base + peeked as u64;
+        consumer.advance(peeked);
+    }
+    queue.scratch = scratch;
+    peeked
+}
+
+/// Marks the window entry for `seq` disposed of: `follower` carries the
+/// identity event the follower computed from its own request when the event
+/// was replayed, or `None` when a rewrite rule consumed it (the window is
+/// then dirty — the pairing diverged and was already adjudicated per-event).
+///
+/// When the last outstanding event of the drained range is disposed of, the
+/// window certifies ([`certify_window`]) and the lap counter advances to
+/// `drained_through`, releasing the batch's pool regions to the producer in
+/// one step.
+fn finish_window_entry(
+    queue: &mut TupleQueue,
+    seq: u64,
+    follower: Option<Event>,
+    obs: &varan_obs::Registry,
+    version: usize,
+) {
+    let index = queue
+        .window
+        .front()
+        .and_then(|front| seq.checked_sub(front.seq));
+    if let Some(index) = index {
+        if let Some(entry) = queue.window.get_mut(index as usize) {
+            debug_assert_eq!(entry.seq, seq, "window entries are sequence-contiguous");
+            match follower {
+                Some(event) => {
+                    entry.follower_sig = Some(event.signature());
+                    entry.follower_event = event;
+                }
+                None => queue.window_dirty = true,
+            }
+        }
+    }
+    queue.outstanding = queue.outstanding.saturating_sub(1);
+    if queue.outstanding == 0 {
+        certify_window(queue, obs, version);
+        let through = queue.drained_through;
+        if let Some(consumer) = queue.consumer.as_mut() {
+            consumer.advance_lap_to(through);
+        }
+    }
+}
+
+/// Batch-hash divergence certification: folds the leader's published
+/// signature lane and the follower's replay signatures over the window and
+/// compares **one u64** for the whole batch.  Only on a fold mismatch does
+/// it fall back to per-event comparison, localizing the first diverging
+/// call byte-exactly (kind, sysno, tid and argument words all feed the
+/// per-event CRC32C signature).
+///
+/// A mismatch is reported through telemetry, never by killing the follower:
+/// the per-event sysno check and the rewrite rules (§3.4) remain the kill
+/// authority, and a rule firing inside the window marks it dirty so the
+/// fold never second-guesses an adjudicated divergence.
+fn certify_window(queue: &mut TupleQueue, obs: &varan_obs::Registry, version: usize) {
+    if queue.window.is_empty() {
+        return;
+    }
+    let clean =
+        !queue.window_dirty && queue.window.iter().all(|entry| entry.follower_sig.is_some());
+    if clean {
+        let mut leader = varan_ring::SIGNATURE_FOLD_SEED;
+        let mut follower = varan_ring::SIGNATURE_FOLD_SEED;
+        for entry in &queue.window {
+            leader = varan_ring::fold_signature(leader, entry.leader_sig);
+            follower =
+                varan_ring::fold_signature(follower, entry.follower_sig.unwrap_or_default());
+        }
+        if leader == follower {
+            obs.metrics.divergence_fast_path_hits.add(1);
+        } else {
+            obs.metrics.divergence_hash_mismatches.add(1);
+            // Localize: first entry whose per-event signature differs.
+            if let Some(entry) = queue
+                .window
+                .iter()
+                .find(|entry| entry.follower_sig != Some(entry.leader_sig))
+            {
+                obs.trace("monitor.hash_divergence", version as u64, entry.seq);
+                obs.trace(
+                    "monitor.hash_divergence_pair",
+                    u64::from(entry.leader_event.sysno()),
+                    u64::from(entry.follower_event.sysno()),
+                );
+            }
+        }
+    }
+    queue.window.clear();
+    queue.window_dirty = false;
 }
 
 /// Catch-up state of a runtime joiner replaying the spill journal from
@@ -835,7 +1094,8 @@ impl FollowerMonitor {
         healer: Option<FdHealer>,
     ) -> Self {
         let slot = consumer.index();
-        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+        let capacity = rings.ring(0).capacity();
+        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer, capacity)));
         let mut registry = HashMap::new();
         registry.insert(0usize, Arc::downgrade(&tuple));
         FollowerMonitor {
@@ -890,19 +1150,15 @@ impl FollowerMonitor {
         }
     }
 
-    /// Couples `event` with a private copy of its out-of-line payload.
-    ///
-    /// Must be called while the event's slot is still gated (peeked but not
-    /// yet acknowledged): the leader only recycles a payload's pool region
-    /// after every follower's gating sequence has moved past the event, so
-    /// copying before [`Consumer::advance`] can never race the reuse.
-    fn stage(pool: &PoolAllocator, event: Event) -> StagedEvent {
-        let payload = if event.has_payload() {
-            Some(pool.read(event.shared()))
-        } else {
-            None
-        };
-        StagedEvent { event, payload }
+    /// Disposes of a ring-staged event a rewrite rule consumed without
+    /// replay: the certification window for its batch is marked dirty (the
+    /// pairing diverged and was adjudicated per-event) and the lap counter
+    /// still advances once the batch quiesces.
+    fn dispose_rule_consumed(&mut self, origin: Option<u64>) {
+        if let Some(seq) = origin {
+            let mut queue = self.tuple.lock();
+            finish_window_entry(&mut queue, seq, None, &self.context.obs, self.context.index);
+        }
     }
 
     /// Pops the next staged event published by this monitor's own thread.
@@ -914,14 +1170,9 @@ impl FollowerMonitor {
             .and_then(VecDeque::pop_front)
     }
 
-    /// Drains every published event into the shared staged queues with one
+    /// Drains published events into the shared staged queues with one
     /// gating advance (§3.3.1 batched consumption). Returns `true` if any
     /// event was staged.
-    ///
-    /// Peek → copy payloads → acknowledge, in that order: the gating
-    /// sequence only advances (freeing the slots *and* their payload
-    /// regions for the producer) once every payload in the batch has been
-    /// copied out of the shared pool.
     fn refill_batch(&mut self) -> bool {
         if self.catch_up.is_some() {
             return self.refill_from_journal();
@@ -931,23 +1182,7 @@ impl FollowerMonitor {
 
     fn refill_from_ring(&mut self) -> bool {
         let mut queue = self.tuple.lock();
-        let mut scratch = std::mem::take(&mut queue.scratch);
-        scratch.clear();
-        let peeked = match queue.consumer.as_mut() {
-            Some(consumer) => consumer.peek_batch(&mut scratch, usize::MAX),
-            None => 0,
-        };
-        for event in scratch.iter().copied() {
-            let staged = Self::stage(&self.pool, event);
-            queue.staged.entry(event.tid()).or_default().push_back(staged);
-        }
-        if peeked > 0 {
-            if let Some(consumer) = queue.consumer.as_mut() {
-                consumer.advance(peeked);
-            }
-        }
-        queue.scratch = scratch;
-        peeked > 0
+        refill_ring_queue(&mut queue, &self.pool, &self.context.obs.metrics) > 0
     }
 
     /// One batch of the runtime joiner's catch-up protocol (mirrors
@@ -1009,12 +1244,21 @@ impl FollowerMonitor {
                 .trace("fleet.live", self.context.index as u64, cu.pos);
             return self.refill_from_ring();
         }
+        let replayed = records.len() as u64;
         let newly_registered = {
             let mut queue = self.tuple.lock();
-            for record in &records {
+            for record in records {
+                let event = record.to_event();
+                // Journal payloads are inline in the record (the pool region
+                // may be long recycled): stage them owned, outside the ring's
+                // lap/certification discipline.
                 let staged = StagedEvent {
-                    event: record.to_event(),
-                    payload: record.payload.clone(),
+                    event,
+                    payload: match record.payload {
+                        Some(data) => StagedPayload::Owned(data),
+                        None => StagedPayload::None,
+                    },
+                    origin: None,
                 };
                 queue
                     .staged
@@ -1022,7 +1266,7 @@ impl FollowerMonitor {
                     .or_default()
                     .push_back(staged);
             }
-            cu.pos += records.len() as u64;
+            cu.pos += replayed;
             let consumer = queue.consumer.as_mut().expect("joiner holds its ring slot");
             if cu.registered {
                 consumer.resume_at(cu.pos);
@@ -1136,6 +1380,7 @@ impl FollowerMonitor {
                 None => return self.after_wait_interrupted(request),
             };
             let event = staged.event;
+            let origin = staged.origin;
             if event.sysno() == request.sysno.number() {
                 return self.consume_matching(request, staged);
             }
@@ -1176,6 +1421,7 @@ impl FollowerMonitor {
                         u64::from(event.sysno()),
                     );
                     self.context.clock.observe(event.clock());
+                    self.dispose_rule_consumed(origin);
                     continue;
                 }
                 RuleAction::Kill => {
@@ -1196,6 +1442,7 @@ impl FollowerMonitor {
                     // the ring is empty, preserving drain-before-promote.
                     if self.context.is_promoted() {
                         self.context.clock.observe(event.clock());
+                        self.dispose_rule_consumed(origin);
                         continue;
                     }
                     VersionCounters::add(&self.context.counters.divergences_killed, 1);
@@ -1218,9 +1465,13 @@ impl FollowerMonitor {
     }
 
     fn consume_matching(&mut self, request: &SyscallRequest, staged: StagedEvent) -> SyscallOutcome {
-        let StagedEvent { event, payload } = staged;
+        let StagedEvent {
+            event,
+            payload,
+            origin,
+        } = staged;
         self.context.clock.observe(event.clock());
-        let payload_len = payload.as_ref().map(Vec::len).unwrap_or(0);
+        let payload_len = payload.len();
         // Drain on every event, not just fd-creating ones: the leader also
         // re-transfers upgraded descriptors (e.g. listen() turning the plain
         // socket into a listener), and the mapping must be current before
@@ -1251,11 +1502,26 @@ impl FollowerMonitor {
         VersionCounters::add(&self.context.counters.events, 1);
         VersionCounters::add(&self.context.counters.syscalls, 1);
         let mut outcome = SyscallOutcome::ok(request.sysno, event.result(), overhead);
-        if let Some(data) = payload {
-            outcome = outcome.with_data(data);
+        match payload {
+            StagedPayload::None => {}
+            StagedPayload::Owned(data) => outcome = outcome.with_data(data),
+            // The one copy left on the payload path: the application owns
+            // the buffer it receives (mirroring the paper's copy into the
+            // app's own buffer), materialized here — after replay is
+            // certain — rather than speculatively at drain time.  The lap
+            // gate still pins the region: it only advances below, via
+            // finish_window_entry, after this read.
+            StagedPayload::Pooled(ptr) => outcome = outcome.with_data(self.pool.read(ptr)),
         }
         if fds > 0 {
             outcome = outcome.with_fd(event.result() as i32);
+        }
+        if let Some(seq) = origin {
+            // The follower's own half of the certification fold: its request,
+            // pressed into the same identity shape the leader published.
+            let mine = Event::syscall(request.sysno.number(), &request.args, 0).with_tid(self.tid);
+            let mut queue = self.tuple.lock();
+            finish_window_entry(&mut queue, seq, Some(mine), &self.context.obs, self.context.index);
         }
         outcome
     }
@@ -1325,7 +1591,7 @@ impl FollowerMonitor {
             return; // dead successor: the handover was aborted, keep leading
         };
         self.slot = consumer.index();
-        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+        let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer, ring.capacity())));
         let mut registry = HashMap::new();
         registry.insert(0usize, Arc::downgrade(&tuple));
         self.tuple = tuple;
@@ -1440,7 +1706,9 @@ impl SyscallInterface for FollowerMonitor {
                                 self.context.index, self.slot
                             )
                         });
-                    let tuple = Arc::new(Mutex::new(TupleQueue::with_consumer(consumer)));
+                    let capacity = self.rings.ring(ring_index).capacity();
+                    let tuple =
+                        Arc::new(Mutex::new(TupleQueue::with_consumer(consumer, capacity)));
                     registry.insert(ring_index, Arc::downgrade(&tuple));
                     tuple
                 }
@@ -1502,5 +1770,232 @@ impl Drop for FollowerMonitor {
         if last_owner {
             self.release_slot();
         }
+    }
+}
+
+#[doc(hidden)]
+pub mod replay_probe {
+    //! A test- and bench-only driver for the zero-copy replay machinery:
+    //! owns a `TupleQueue` over a real ring consumer and exposes the
+    //! drain → replay → certify cycle without the full monitor stack, so
+    //! allocation behaviour and certification arithmetic can be exercised
+    //! deterministically (and from integration tests, which cannot reach
+    //! the private internals).
+
+    use super::*;
+    use varan_ring::RingBuffer;
+
+    /// Drives one replay queue the way a sole-owner [`FollowerMonitor`]
+    /// would: bounded drains, pool-resident payloads, per-window
+    /// certification and lap advancement.
+    #[derive(Debug)]
+    pub struct ReplayProbe {
+        queue: TupleQueue,
+        pool: Arc<PoolAllocator>,
+        obs: Arc<varan_obs::Registry>,
+    }
+
+    impl ReplayProbe {
+        /// Claims consumer `slot` on `ring` and wraps it in a lap-gated
+        /// replay queue.
+        pub fn new(
+            ring: &Arc<RingBuffer<Event>>,
+            slot: usize,
+            pool: Arc<PoolAllocator>,
+            obs: Arc<varan_obs::Registry>,
+        ) -> Self {
+            let consumer = ring.consumer(slot).expect("free consumer slot");
+            ReplayProbe {
+                queue: TupleQueue::with_consumer(consumer, ring.capacity()),
+                pool,
+                obs,
+            }
+        }
+
+        /// One bounded drain round; returns the number of events staged.
+        pub fn drain(&mut self) -> usize {
+            refill_ring_queue(&mut self.queue, &self.pool, &self.obs.metrics)
+        }
+
+        /// Events currently staged for `tid`.
+        pub fn staged_len(&self, tid: u32) -> usize {
+            self.queue.staged.get(&tid).map_or(0, VecDeque::len)
+        }
+
+        /// The queue's lap counter: number of events whose replay has
+        /// completed (pool regions below it are reclaimable).
+        pub fn lap(&self) -> u64 {
+            self.queue
+                .consumer
+                .as_ref()
+                .map_or(0, Consumer::lap)
+        }
+
+        /// Replays the next staged event of `tid` as a perfectly matching
+        /// follower request: delivers the payload (the single owned buffer
+        /// the application receives) and completes the certification window
+        /// entry.  Returns the delivered payload length.
+        pub fn replay_next(&mut self, tid: u32) -> Option<usize> {
+            let staged = self.queue.staged.get_mut(&tid)?.pop_front()?;
+            let mine = Event::syscall(staged.event.sysno(), staged.event.args(), 0)
+                .with_tid(staged.event.tid());
+            self.finish(staged, mine)
+        }
+
+        /// Replays the next staged event of `tid` with the follower's side
+        /// of the certification replaced by `follower` — used to plant
+        /// divergences the batch fold must catch.
+        pub fn replay_next_as(&mut self, tid: u32, follower: Event) -> Option<usize> {
+            let staged = self.queue.staged.get_mut(&tid)?.pop_front()?;
+            self.finish(staged, follower)
+        }
+
+        /// Drops the next staged event of `tid` as a rewrite rule would
+        /// (consumed without replay): dirties the window, still advances
+        /// the lap at the quiescent point.
+        pub fn skip_next(&mut self, tid: u32) -> Option<()> {
+            let staged = self.queue.staged.get_mut(&tid)?.pop_front()?;
+            if let Some(seq) = staged.origin {
+                finish_window_entry(&mut self.queue, seq, None, &self.obs, 0);
+            }
+            Some(())
+        }
+
+        fn finish(&mut self, staged: StagedEvent, mine: Event) -> Option<usize> {
+            let delivered = match staged.payload {
+                StagedPayload::None => Vec::new(),
+                StagedPayload::Owned(data) => data,
+                // Safe for the same reason as in consume_matching: the lap
+                // only advances in finish_window_entry, below this read.
+                StagedPayload::Pooled(ptr) => self.pool.read(ptr),
+            };
+            let len = delivered.len();
+            if let Some(seq) = staged.origin {
+                finish_window_entry(&mut self.queue, seq, Some(mine), &self.obs, 0);
+            }
+            Some(len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::replay_probe::ReplayProbe;
+    use super::*;
+    use varan_ring::{PoolConfig, RingBuffer, WaitStrategy};
+
+    fn harness(
+        capacity: usize,
+    ) -> (
+        Arc<RingBuffer<Event>>,
+        Arc<PoolAllocator>,
+        Arc<varan_obs::Registry>,
+        ReplayProbe,
+    ) {
+        let ring: Arc<RingBuffer<Event>> =
+            Arc::new(RingBuffer::new(capacity, 1, WaitStrategy::Spin).unwrap());
+        let pool = Arc::new(PoolAllocator::new(PoolConfig::default()));
+        let obs = Arc::new(varan_obs::Registry::new());
+        let probe = ReplayProbe::new(&ring, 0, Arc::clone(&pool), Arc::clone(&obs));
+        (ring, pool, obs, probe)
+    }
+
+    fn publish_payload_event(
+        ring: &Arc<RingBuffer<Event>>,
+        pool: &PoolAllocator,
+        fill: u8,
+        len: usize,
+    ) -> u64 {
+        let region = pool.alloc_and_write(&vec![fill; len]).unwrap();
+        let event = Event::syscall(0, &[u64::from(fill)], len as i64)
+            .with_shared(region.ptr());
+        ring.producer().publish_signed(event, event.signature())
+    }
+
+    #[test]
+    fn laggard_drain_never_pins_more_than_half_a_lap() {
+        let (ring, _pool, _obs, mut probe) = harness(16);
+        let producer = ring.producer();
+        for i in 0..16u64 {
+            let event = Event::syscall(1, &[i], 0);
+            producer.publish_signed(event, event.signature());
+        }
+        // The ring is full; one drain round takes at most half a lap...
+        assert_eq!(probe.drain(), 8);
+        assert_eq!(probe.staged_len(0), 8);
+        // ...and frees those slots for the producer immediately (the gate
+        // advanced), while the lap counter still pins the batch's payloads.
+        assert_eq!(producer.refresh_reclaim_horizon(), 0);
+        let event = Event::syscall(1, &[99], 0);
+        assert!(producer.try_publish(event).is_ok());
+        // Replay completion releases the whole batch in one lap advance.
+        for _ in 0..8 {
+            probe.replay_next(0).unwrap();
+        }
+        assert_eq!(probe.lap(), 8);
+        assert_eq!(producer.refresh_reclaim_horizon(), 8);
+    }
+
+    #[test]
+    fn zero_copy_staging_saves_payload_bytes_and_certifies_once_per_batch() {
+        let (ring, pool, obs, mut probe) = harness(16);
+        for i in 0..4 {
+            publish_payload_event(&ring, &pool, i, 512);
+        }
+        assert_eq!(probe.drain(), 4);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.follower_copy_bytes_saved, 4 * 512);
+        assert_eq!(snap.follower_copy_bytes, 0);
+        for _ in 0..4 {
+            assert_eq!(probe.replay_next(0), Some(512));
+        }
+        let snap = obs.metrics.snapshot();
+        // One fold comparison certified the whole batch.
+        assert_eq!(snap.divergence_fast_path_hits, 1);
+        assert_eq!(snap.divergence_hash_mismatches, 0);
+    }
+
+    #[test]
+    fn planted_divergence_fails_the_fold_and_is_localized() {
+        let (ring, _pool, obs, mut probe) = harness(16);
+        let producer = ring.producer();
+        for i in 0..4u64 {
+            let event = Event::syscall(2, &[i, 7], 0);
+            producer.publish_signed(event, event.signature());
+        }
+        assert_eq!(probe.drain(), 4);
+        probe.replay_next(0).unwrap();
+        // Same sysno, different argument word: the per-event sysno check
+        // would pass this one, only the signature fold catches it.
+        let divergent = Event::syscall(2, &[1, 8], 0);
+        probe.replay_next_as(0, divergent).unwrap();
+        probe.replay_next(0).unwrap();
+        probe.replay_next(0).unwrap();
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.divergence_fast_path_hits, 0);
+        assert_eq!(snap.divergence_hash_mismatches, 1);
+        // The lap still advances: hash mismatches report, they never wedge
+        // reclamation (or kill — the rules remain the kill authority).
+        assert_eq!(probe.lap(), 4);
+    }
+
+    #[test]
+    fn rule_consumed_event_dirties_the_window_but_not_the_lap() {
+        let (ring, _pool, obs, mut probe) = harness(16);
+        let producer = ring.producer();
+        for i in 0..3u64 {
+            let event = Event::syscall(3, &[i], 0);
+            producer.publish_signed(event, event.signature());
+        }
+        assert_eq!(probe.drain(), 3);
+        probe.replay_next(0).unwrap();
+        probe.skip_next(0).unwrap();
+        probe.replay_next(0).unwrap();
+        let snap = obs.metrics.snapshot();
+        // An adjudicated divergence skips certification entirely: neither
+        // a fast-path hit nor a false mismatch.
+        assert_eq!(snap.divergence_fast_path_hits, 0);
+        assert_eq!(snap.divergence_hash_mismatches, 0);
+        assert_eq!(probe.lap(), 3);
     }
 }

@@ -1,0 +1,135 @@
+//! Counting-allocator regression test for the zero-copy follower replay
+//! path: the drain → replay → certify cycle must be allocation-free in the
+//! steady state (reused scratch, staged deques and certification window),
+//! and a payload-carrying replay must allocate exactly once — the owned
+//! buffer the application receives.
+//!
+//! Lives in an integration test (its own crate) because the counting
+//! wrapper needs an `unsafe impl GlobalAlloc`, which `varan-core` itself
+//! forbids.  The counter is thread-local so concurrently running test
+//! threads cannot pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use varan_core::monitor::replay_probe::ReplayProbe;
+use varan_ring::{Event, PoolAllocator, PoolConfig, RingBuffer, WaitStrategy};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the bookkeeping is a
+// thread-local counter bump that itself never allocates (const-initialized
+// `Cell`).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|count| count.set(count.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+const ROUND: usize = 8;
+const PAYLOAD: usize = 256;
+
+#[test]
+fn steady_state_replay_is_allocation_free() {
+    let ring: Arc<RingBuffer<Event>> =
+        Arc::new(RingBuffer::new(64, 1, WaitStrategy::Spin).unwrap());
+    let pool = Arc::new(PoolAllocator::new(PoolConfig::default()));
+    let obs = Arc::new(varan_obs::Registry::new());
+    let mut probe = ReplayProbe::new(&ring, 0, Arc::clone(&pool), Arc::clone(&obs));
+    let producer = ring.producer();
+
+    let publish_plain = |producer: &varan_ring::Producer<Event>| {
+        for i in 0..ROUND as u64 {
+            let event = Event::syscall(1, &[i], 0);
+            producer.publish_signed(event, event.signature());
+        }
+    };
+    let publish_payload = |producer: &varan_ring::Producer<Event>, pool: &PoolAllocator| {
+        for i in 0..ROUND as u64 {
+            let region = pool.alloc_and_write(&[i as u8; PAYLOAD]).unwrap();
+            let event = Event::syscall(0, &[i], PAYLOAD as i64).with_shared(region.ptr());
+            producer.publish_signed(event, event.signature());
+        }
+    };
+
+    // Warm-up rounds grow every reused buffer (scratch, staged deque,
+    // certification window, pool free lists) to its steady-state capacity.
+    for _ in 0..4 {
+        publish_plain(&producer);
+        assert_eq!(probe.drain(), ROUND);
+        for _ in 0..ROUND {
+            probe.replay_next(0).unwrap();
+        }
+        publish_payload(&producer, &pool);
+        assert_eq!(probe.drain(), ROUND);
+        for _ in 0..ROUND {
+            assert_eq!(probe.replay_next(0), Some(PAYLOAD));
+        }
+    }
+
+    // Steady state, payload-less: zero allocations per round — the PR 2
+    // copy path's per-drain scratch reallocation is the regression this
+    // guards against.
+    publish_plain(&producer);
+    let before = allocs();
+    assert_eq!(probe.drain(), ROUND);
+    for _ in 0..ROUND {
+        probe.replay_next(0).unwrap();
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "payload-less steady-state replay must not allocate"
+    );
+
+    // Steady state, with payloads: staging is zero-copy (no allocation at
+    // drain time); the only allocation is the one owned buffer per event
+    // that the application receives at delivery.
+    publish_payload(&producer, &pool);
+    let before = allocs();
+    assert_eq!(probe.drain(), ROUND);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "zero-copy staging must not allocate at drain time"
+    );
+    for _ in 0..ROUND {
+        assert_eq!(probe.replay_next(0), Some(PAYLOAD));
+    }
+    assert_eq!(
+        allocs() - before,
+        ROUND as u64,
+        "payload replay allocates exactly the delivered app buffer"
+    );
+
+    let snapshot = obs.metrics.snapshot();
+    assert!(snapshot.follower_copy_bytes_saved > 0);
+    assert_eq!(snapshot.follower_copy_bytes, 0);
+}

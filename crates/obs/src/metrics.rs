@@ -336,6 +336,20 @@ pub struct Metrics {
     pub divergences_allowed: Counter,
     /// Divergences that killed the offending follower.
     pub divergences_killed: Counter,
+    /// Replay windows certified by a single fold comparison (one u64 per
+    /// batch) on the divergence fast path.
+    pub divergence_fast_path_hits: Counter,
+    /// Replay windows whose fold comparison mismatched, triggering the
+    /// per-event localization slow path.
+    pub divergence_hash_mismatches: Counter,
+
+    // --- follower replay copy accounting ---
+    /// Payload bytes the zero-copy follower path left pool-resident at
+    /// staging time instead of copying out (lap-based reclamation).
+    pub follower_copy_bytes_saved: Counter,
+    /// Payload bytes copied out of the pool at staging time on the fallback
+    /// path (surplus sibling threads sharing a clamped ring).
+    pub follower_copy_bytes: Counter,
 
     // --- fleet control plane ---
     /// Runtime joins.
@@ -408,6 +422,10 @@ impl Metrics {
             syscalls_executed: self.syscalls_executed.get(),
             divergences_allowed: self.divergences_allowed.get(),
             divergences_killed: self.divergences_killed.get(),
+            divergence_fast_path_hits: self.divergence_fast_path_hits.get(),
+            divergence_hash_mismatches: self.divergence_hash_mismatches.get(),
+            follower_copy_bytes_saved: self.follower_copy_bytes_saved.get(),
+            follower_copy_bytes: self.follower_copy_bytes.get(),
             fleet_attaches: self.fleet_attaches.get(),
             fleet_detaches: self.fleet_detaches.get(),
             promotions: self.promotions.get(),
@@ -440,6 +458,10 @@ pub struct MetricsSnapshot {
     pub syscalls_executed: u64,
     pub divergences_allowed: u64,
     pub divergences_killed: u64,
+    pub divergence_fast_path_hits: u64,
+    pub divergence_hash_mismatches: u64,
+    pub follower_copy_bytes_saved: u64,
+    pub follower_copy_bytes: u64,
     pub fleet_attaches: u64,
     pub fleet_detaches: u64,
     pub promotions: u64,
@@ -493,6 +515,10 @@ impl MetricsSnapshot {
         self.syscalls_executed += other.syscalls_executed;
         self.divergences_allowed += other.divergences_allowed;
         self.divergences_killed += other.divergences_killed;
+        self.divergence_fast_path_hits += other.divergence_fast_path_hits;
+        self.divergence_hash_mismatches += other.divergence_hash_mismatches;
+        self.follower_copy_bytes_saved += other.follower_copy_bytes_saved;
+        self.follower_copy_bytes += other.follower_copy_bytes;
         self.fleet_attaches += other.fleet_attaches;
         self.fleet_detaches += other.fleet_detaches;
         self.promotions += other.promotions;

@@ -67,6 +67,10 @@ impl MetricsSnapshot {
             ("syscalls_executed", self.syscalls_executed),
             ("divergences_allowed", self.divergences_allowed),
             ("divergences_killed", self.divergences_killed),
+            ("divergence_fast_path_hits", self.divergence_fast_path_hits),
+            ("divergence_hash_mismatches", self.divergence_hash_mismatches),
+            ("follower_copy_bytes_saved", self.follower_copy_bytes_saved),
+            ("follower_copy_bytes", self.follower_copy_bytes),
             ("fleet_attaches", self.fleet_attaches),
             ("fleet_detaches", self.fleet_detaches),
             ("promotions", self.promotions),
@@ -112,6 +116,19 @@ impl MetricsSnapshot {
             ("varan_syscalls_executed", self.syscalls_executed),
             ("varan_divergences_allowed", self.divergences_allowed),
             ("varan_divergences_killed", self.divergences_killed),
+            (
+                "varan_divergence_fast_path_hits",
+                self.divergence_fast_path_hits,
+            ),
+            (
+                "varan_divergence_hash_mismatches",
+                self.divergence_hash_mismatches,
+            ),
+            (
+                "varan_follower_copy_bytes_saved",
+                self.follower_copy_bytes_saved,
+            ),
+            ("varan_follower_copy_bytes", self.follower_copy_bytes),
             ("varan_fleet_attaches", self.fleet_attaches),
             ("varan_fleet_detaches", self.fleet_detaches),
             ("varan_promotions", self.promotions),

@@ -9,8 +9,33 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::crc32c::crc32c;
+
 /// Size, in bytes, of a single event: exactly one cache line.
 pub const EVENT_SIZE: usize = 64;
+
+/// Seed of the per-batch signature digest: the FNV-1a offset basis.
+///
+/// A divergence-checking window starts its running digest here and folds
+/// each event's [`Event::signature`] in with [`fold_signature`]; leader and
+/// follower digests over the same event sequence are then bit-identical.
+pub const SIGNATURE_FOLD_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one per-event signature into a running batch digest (FNV-1a over
+/// the eight little-endian bytes of `sig`).
+///
+/// The fold is order-sensitive, so two windows that contain the same
+/// signatures in a different order produce different digests — a reordered
+/// replay is a divergence, not a rearrangement.
+#[must_use]
+pub fn fold_signature(acc: u64, sig: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = acc;
+    for byte in sig.to_le_bytes() {
+        acc = (acc ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
 
 /// Number of by-value system-call arguments that fit inline in an event.
 ///
@@ -344,6 +369,29 @@ impl Event {
     pub fn has_payload(&self) -> bool {
         !self.shared.is_null()
     }
+
+    /// The event's replay signature: a CRC32C over the identity fields a
+    /// follower can compute *before* replaying the call — kind, sysno, tid
+    /// and the inline arguments — widened to `u64` for the per-slot
+    /// signature lane.
+    ///
+    /// The Lamport clock, the leader's result and the payload handle are
+    /// deliberately excluded: those are assigned by the leader, so a
+    /// follower computes the identical signature from its own intercepted
+    /// request and the divergence fast path can compare one folded digest
+    /// per batch ([`fold_signature`]) instead of byte-comparing events.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let mut bytes = [0u8; 1 + 2 + 4 + 8 * EVENT_INLINE_ARGS];
+        bytes[0] = self.kind as u8;
+        bytes[1..3].copy_from_slice(&self.sysno.to_le_bytes());
+        bytes[3..7].copy_from_slice(&self.tid.to_le_bytes());
+        for (i, arg) in self.args.iter().enumerate() {
+            let at = 7 + i * 8;
+            bytes[at..at + 8].copy_from_slice(&arg.to_le_bytes());
+        }
+        u64::from(crc32c(&bytes))
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +456,38 @@ mod tests {
         assert!(!SharedPtr::new(64, 8).is_null());
         assert!(SharedPtr::new(64, 0).is_empty());
         assert!(!Event::default().has_payload());
+    }
+
+    #[test]
+    fn signature_covers_identity_fields_only() {
+        let base = Event::syscall(1, &[3, 0, 512], 512);
+        // Leader-assigned fields do not perturb the signature: a follower
+        // computes the same value from its own request before replay.
+        assert_eq!(base.signature(), base.with_clock(77).signature());
+        assert_eq!(base.signature(), base.with_result(-1).signature());
+        assert_eq!(
+            base.signature(),
+            base.with_shared(SharedPtr::new(64, 8)).signature()
+        );
+        // Identity fields do.
+        assert_ne!(base.signature(), base.with_tid(2).signature());
+        assert_ne!(base.signature(), Event::syscall(2, &[3, 0, 512], 512).signature());
+        assert_ne!(base.signature(), Event::syscall(1, &[4, 0, 512], 512).signature());
+        assert_ne!(base.signature(), Event::signal(1).signature());
+    }
+
+    #[test]
+    fn fold_is_order_sensitive_and_deterministic() {
+        let a = Event::syscall(0, &[1], 0).signature();
+        let b = Event::syscall(1, &[2], 0).signature();
+        let ab = fold_signature(fold_signature(SIGNATURE_FOLD_SEED, a), b);
+        let ba = fold_signature(fold_signature(SIGNATURE_FOLD_SEED, b), a);
+        assert_ne!(ab, ba, "fold must detect reordered replay");
+        assert_eq!(
+            ab,
+            fold_signature(fold_signature(SIGNATURE_FOLD_SEED, a), b),
+            "fold is deterministic"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod waitlock;
 
 pub use clock::{ClockOrdering, LamportClock, VariantClock};
 pub use error::RingError;
-pub use event::{Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE};
+pub use event::{
+    fold_signature, Event, EventKind, SharedPtr, EVENT_INLINE_ARGS, EVENT_SIZE,
+    SIGNATURE_FOLD_SEED,
+};
 pub use journal::{
     EventJournal, JournalConfig, JournalError, JournalFaults, JournalRecord, ScrubKind,
     ScrubReport,

@@ -79,6 +79,21 @@ struct Shared<T> {
     claim: CachePadded<AtomicU64>,
     /// Last slot consumed by each follower (u64::MAX before the first).
     consumers: Vec<Sequence>,
+    /// Last slot each follower has *finished replaying* (u64::MAX before the
+    /// first) — the lap counter gating pool-region reclamation.  Trails the
+    /// consumed sequence: a zero-copy follower advances its gate at peek
+    /// time but only advances its lap once the batch's pool payloads are no
+    /// longer referenced ([`Consumer::advance_lap_to`]).
+    laps: Vec<Sequence>,
+    /// Whether each consumer slot opted into lap gating
+    /// ([`Consumer::enable_lap_gate`]).  Consumers that never replay pool
+    /// payloads (observers, benches) stay untracked and bound reclamation
+    /// by their consumed sequence instead.
+    lap_tracked: Vec<AtomicBool>,
+    /// Per-slot replay signatures ([`crate::Event::signature`]-shaped u64s),
+    /// stored by the signed publish paths before the cursor commit so any
+    /// consumer that can see the slot can also see its signature.
+    sigs: Vec<AtomicU64>,
     /// Which consumer slots are live; retired slots no longer gate the producer.
     active: Vec<AtomicBool>,
     claimed: Vec<AtomicBool>,
@@ -169,6 +184,9 @@ impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
             cursor: Sequence::new(),
             claim: CachePadded::new(AtomicU64::new(0)),
             consumers: (0..consumers).map(|_| Sequence::new()).collect(),
+            laps: (0..consumers).map(|_| Sequence::new()).collect(),
+            lap_tracked: (0..consumers).map(|_| AtomicBool::new(false)).collect(),
+            sigs: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             active: (0..consumers).map(|_| AtomicBool::new(true)).collect(),
             claimed: (0..consumers).map(|_| AtomicBool::new(false)).collect(),
             strategy,
@@ -202,6 +220,7 @@ impl<T: Copy + Default + Send + 'static> RingBuffer<T> {
         Producer {
             shared: Arc::clone(&self.shared),
             cached_gate: AtomicU64::new(0),
+            cached_reclaim: AtomicU64::new(0),
         }
     }
 
@@ -331,6 +350,43 @@ impl<T> Shared<T> {
         }
     }
 
+    /// The number of leading sequences whose pool payloads may be recycled:
+    /// every sequence below the returned count has been fully *replayed*
+    /// (not merely consumed) by every live consumer.
+    ///
+    /// Lap-tracked consumers bound this by their lap counter; untracked
+    /// consumers (which never hold pool borrows past their gate) bound it by
+    /// their consumed sequence.  With no live consumers the count of the
+    /// publication cursor is returned — the same discipline as
+    /// [`Shared::min_active_consumed`]'s cached-gate bound, and for the same
+    /// reason: a cached copy of this value must never authorise recycling a
+    /// region published *after* the cache was taken, so a joiner that
+    /// registers mid-publish ([`Consumer::resume_at`]) is protected as soon
+    /// as the producer refreshes.  The `VARAN_SIM_REVERT_GATE_FIX` knob
+    /// deliberately does not reach this path: resurrecting the gate bug must
+    /// not also corrupt payload reclamation.
+    fn min_reclaimable(&self) -> u64 {
+        let mut min = u64::MAX;
+        let mut any = false;
+        for (index, active) in self.active.iter().enumerate() {
+            if !active.load(Ordering::Acquire) {
+                continue;
+            }
+            any = true;
+            let bound = if self.lap_tracked[index].load(Ordering::Acquire) {
+                self.laps[index].count()
+            } else {
+                self.consumers[index].count()
+            };
+            min = min.min(bound);
+        }
+        if any {
+            min
+        } else {
+            self.cursor.count()
+        }
+    }
+
     fn wait(&self, spin_count: &mut u32) {
         match self.strategy {
             WaitStrategy::Spin => std::hint::spin_loop(),
@@ -375,6 +431,13 @@ pub struct Producer<T> {
     /// publish into roughly one rescan per ring lap.  Per-handle (clones
     /// start cold), so no cross-producer cache-line traffic.
     cached_gate: AtomicU64,
+    /// Cached copy of [`Shared::min_reclaimable`] — the lap-gated payload
+    /// reclamation horizon.  Lap counters only move forward, so any pool
+    /// region tied to a sequence below the cache is provably dead without
+    /// rescanning; the leader refreshes it at most once per retirement pass
+    /// ([`Producer::refresh_reclaim_horizon`]).  Starts at zero (nothing
+    /// reclaimable) so clones are conservative until their first refresh.
+    cached_reclaim: AtomicU64,
 }
 
 impl<T> Clone for Producer<T> {
@@ -382,6 +445,7 @@ impl<T> Clone for Producer<T> {
         Producer {
             shared: Arc::clone(&self.shared),
             cached_gate: AtomicU64::new(0),
+            cached_reclaim: AtomicU64::new(0),
         }
     }
 }
@@ -499,6 +563,67 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
         Some(first)
     }
 
+    /// Publishes `value` together with its replay signature
+    /// ([`crate::Event::signature`]-shaped), exactly like
+    /// [`Producer::publish`] but also storing the signature into the
+    /// per-slot signature lane before the cursor commit — so a consumer
+    /// that can see the slot ([`Consumer::sig_at`]) also sees its
+    /// signature, with no extra synchronisation.
+    pub fn publish_signed(&self, value: T, sig: u64) -> u64 {
+        let shared = &*self.shared;
+        let seq = shared.claim.fetch_add(1, Ordering::AcqRel);
+        self.wait_for_space(seq);
+        let idx = (seq & shared.mask) as usize;
+        shared.slots[idx].store(value);
+        shared.sigs[idx].store(sig, Ordering::Relaxed);
+        self.commit(seq, seq);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.ring_publishes.add(1);
+        }
+        seq
+    }
+
+    /// Publishes `values` as one claim together with their replay
+    /// signatures (the batched form of [`Producer::publish_signed`]), and
+    /// returns the sequence assigned to the first value (`None` for an
+    /// empty batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is longer than the ring capacity or `sigs` has a
+    /// different length than `values`.
+    pub fn publish_batch_signed(&self, values: &[T], sigs: &[u64]) -> Option<u64> {
+        let shared = &*self.shared;
+        assert_eq!(
+            values.len(),
+            sigs.len(),
+            "each published value needs exactly one signature"
+        );
+        let n = values.len() as u64;
+        if n == 0 {
+            return None;
+        }
+        assert!(
+            values.len() <= shared.capacity,
+            "batch of {} events exceeds ring capacity {}",
+            values.len(),
+            shared.capacity
+        );
+        let first = shared.claim.fetch_add(n, Ordering::AcqRel);
+        let last = first + (n - 1);
+        self.wait_for_space(last);
+        for (i, (value, sig)) in values.iter().zip(sigs.iter()).enumerate() {
+            let idx = ((first + i as u64) & shared.mask) as usize;
+            shared.slots[idx].store(*value);
+            shared.sigs[idx].store(*sig, Ordering::Relaxed);
+        }
+        self.commit(first, last);
+        if let Some(metrics) = varan_obs::hot() {
+            metrics.ring_publishes.add(1);
+        }
+        Some(first)
+    }
+
     /// Attempts to publish without waiting for space.
     ///
     /// Returns `Ok(sequence)` on success or `Err(value)` (handing the value
@@ -549,6 +674,26 @@ impl<T: Copy + Default + Send + 'static> Producer<T> {
     #[must_use]
     pub fn cached_gate(&self) -> u64 {
         self.cached_gate.load(Ordering::Relaxed)
+    }
+
+    /// The lap-gated payload reclamation horizon this handle last cached:
+    /// every sequence below the returned count has been fully replayed by
+    /// every live consumer, so pool regions tied to those sequences are
+    /// dead.  One relaxed load — reading the horizon never rescans.
+    #[must_use]
+    pub fn reclaim_horizon(&self) -> u64 {
+        self.cached_reclaim.load(Ordering::Relaxed)
+    }
+
+    /// Rescans the consumer lap counters, refreshes the cached reclamation
+    /// horizon and returns the new value.  The leader's payload-retirement
+    /// pass calls this at most once per batch, when the cached horizon has
+    /// run out of headroom — the same amortisation discipline as the
+    /// publish gate cache.
+    pub fn refresh_reclaim_horizon(&self) -> u64 {
+        let horizon = self.shared.min_reclaimable();
+        self.cached_reclaim.store(horizon, Ordering::Relaxed);
+        horizon
     }
 
     /// Follower lag estimate in sequences, computed entirely from state the
@@ -623,6 +768,62 @@ impl<T: Copy + Default + Send + 'static> Consumer<T> {
             out.push(shared.slots[idx].load());
         }
         available as usize
+    }
+
+    /// The replay signature stored alongside sequence `seq` by one of the
+    /// signed publish paths ([`Producer::publish_signed`]).
+    ///
+    /// Only meaningful while `seq` is still gated by this consumer (at or
+    /// above its lap counter when lap-gated, at or above its consumed
+    /// sequence otherwise) and at or below the published cursor: outside
+    /// that window the slot — and its signature lane — may have been
+    /// recycled, and sequences published through the unsigned paths read
+    /// back whatever signature last occupied the slot.
+    #[must_use]
+    pub fn sig_at(&self, seq: u64) -> u64 {
+        let shared = &*self.shared;
+        shared.sigs[(seq & shared.mask) as usize].load(Ordering::Relaxed)
+    }
+
+    /// Opts this consumer into lap-gated payload reclamation: from now on
+    /// the producer's reclamation horizon ([`Producer::reclaim_horizon`])
+    /// is bounded by this consumer's *lap* counter rather than its consumed
+    /// sequence, so the consumer may advance its gate at peek time and keep
+    /// borrowing pool payloads until it acknowledges the replay with
+    /// [`Consumer::advance_lap_to`].
+    ///
+    /// The lap counter is initialised just below the next unread sequence
+    /// (nothing this consumer has yet to replay can be reclaimed) before
+    /// the tracking flag is released, so a producer rescan that observes
+    /// the flag also observes the counter.
+    pub fn enable_lap_gate(&mut self) {
+        let shared = &*self.shared;
+        shared.laps[self.index].set(self.next.wrapping_sub(1));
+        shared.lap_tracked[self.index].store(true, Ordering::Release);
+    }
+
+    /// Acknowledges that every sequence below `next` has been fully
+    /// replayed: pool regions tied to those sequences are no longer
+    /// borrowed and may be recycled.  One release store per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` exceeds this consumer's consumed position — a
+    /// replay cannot complete before its events were read.
+    pub fn advance_lap_to(&mut self, next: u64) {
+        assert!(
+            next <= self.next,
+            "cannot mark {next} replayed: only consumed up to {}",
+            self.next
+        );
+        self.shared.laps[self.index].set(next.wrapping_sub(1));
+    }
+
+    /// The number of sequences this consumer has marked fully replayed
+    /// ([`Consumer::advance_lap_to`]).
+    #[must_use]
+    pub fn lap(&self) -> u64 {
+        self.shared.laps[self.index].count()
     }
 
     /// Acknowledges `count` events previously returned by
@@ -775,8 +976,14 @@ impl<T: Copy + Default + Send + 'static> Consumer<T> {
     pub fn resume_at(&mut self, next: u64) {
         self.next = next;
         // `next == 0` wraps to the SEQUENCE_INITIAL sentinel, which is the
-        // correct "nothing consumed yet" gate.
+        // correct "nothing consumed yet" gate.  The lap counter is placed
+        // alongside the gating sequence *before* the active flip for the
+        // same reason the gate is: a producer rescan (of either the publish
+        // gate or the reclamation horizon) that observes the slot active
+        // must also observe both bounds, or reclamation could recycle a
+        // payload the fresh joiner is about to replay.
         self.shared.consumers[self.index].set(next.wrapping_sub(1));
+        self.shared.laps[self.index].set(next.wrapping_sub(1));
         self.shared.active[self.index].store(true, Ordering::Release);
         self.shared.notify();
     }
@@ -852,6 +1059,90 @@ mod tests {
             assert!(producer.try_publish(Event::checkpoint(2000 + extra)).is_ok());
         }
         assert!(producer.try_publish(Event::checkpoint(9999)).is_err());
+    }
+
+    #[test]
+    fn late_registration_bounds_a_previously_unbounded_reclaim_horizon() {
+        // The lap-counter mirror of the gate-cache case above: a producer
+        // running without live consumers caches a reclamation horizon equal
+        // to the cursor, never infinity — so a lap-gated joiner that
+        // registers mid-publish can only ever lose regions it replays from
+        // the journal, not regions it will read from the pool.
+        let ring = Arc::new(RingBuffer::<Event>::new(16, 1, WaitStrategy::Yield).unwrap());
+        let mut consumer = ring.consumer(0).unwrap();
+        consumer.unsubscribe();
+        let producer = ring.producer();
+        for i in 0..100 {
+            producer.publish(Event::checkpoint(i));
+        }
+        // No live consumers: the horizon is the cursor, not u64::MAX.  A
+        // cached copy of this value can never authorise recycling a region
+        // published after the cache was taken.
+        assert_eq!(producer.refresh_reclaim_horizon(), 100);
+        // A joiner registers at the cursor mid-flight and opts into lap
+        // gating before consuming anything.
+        let pos = ring.published();
+        consumer.resume_at(pos);
+        consumer.enable_lap_gate();
+        producer.publish(Event::checkpoint(100));
+        // The refreshed horizon is now bounded by the joiner's lap counter:
+        // the newly published sequence is not reclaimable even though the
+        // joiner has not consumed (let alone replayed) it yet.
+        assert_eq!(producer.refresh_reclaim_horizon(), pos);
+        // Consuming alone does not move the horizon for a lap-gated
+        // consumer — only completed replay does.
+        let mut batch = Vec::new();
+        assert_eq!(consumer.try_next_batch(&mut batch, usize::MAX), 1);
+        assert_eq!(producer.refresh_reclaim_horizon(), pos);
+        consumer.advance_lap_to(consumer.next_sequence());
+        assert_eq!(producer.refresh_reclaim_horizon(), pos + 1);
+    }
+
+    #[test]
+    fn signed_publishes_expose_signatures_while_gated() {
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        let events: Vec<Event> = (0..5u16).map(|i| Event::syscall(i, &[u64::from(i)], 0)).collect();
+        let sigs: Vec<u64> = events.iter().map(Event::signature).collect();
+        let first = producer.publish_signed(events[0], sigs[0]);
+        assert_eq!(first, 0);
+        assert_eq!(producer.publish_batch_signed(&events[1..], &sigs[1..]), Some(1));
+        let mut batch = Vec::new();
+        assert_eq!(consumer.peek_batch(&mut batch, usize::MAX), 5);
+        for (i, event) in batch.iter().enumerate() {
+            assert_eq!(consumer.sig_at(i as u64), event.signature());
+        }
+        consumer.advance(5);
+    }
+
+    #[test]
+    fn untracked_consumers_bound_reclamation_by_their_gate() {
+        // A consumer that never opts into lap gating (an observer, a bench)
+        // bounds the horizon by its consumed sequence: strictly tighter
+        // than the old publish-lap delay, so payload lifetime can only
+        // shrink for existing consumers.
+        let ring = Arc::new(RingBuffer::<Event>::new(8, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        for i in 0..6 {
+            producer.publish(Event::checkpoint(i));
+        }
+        assert_eq!(producer.refresh_reclaim_horizon(), 0);
+        let mut batch = Vec::new();
+        assert_eq!(consumer.try_next_batch(&mut batch, 4), 4);
+        assert_eq!(producer.refresh_reclaim_horizon(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mark")]
+    fn lap_cannot_outrun_consumption() {
+        let ring = Arc::new(RingBuffer::<Event>::new(4, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+        consumer.enable_lap_gate();
+        producer.publish(Event::checkpoint(0));
+        consumer.advance_lap_to(1);
     }
 
     #[test]

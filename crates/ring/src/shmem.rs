@@ -34,6 +34,9 @@ use crate::event::SharedPtr;
 /// offset zero (offset zero is the [`SharedPtr::NULL`] sentinel).
 const ARENA_BASE: u32 = 64;
 
+/// Sentinel for "poison-on-free disabled" (any value above `u8::MAX`).
+const POISON_DISABLED: u64 = u64::MAX;
+
 /// Configuration for a [`PoolAllocator`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolConfig {
@@ -174,6 +177,11 @@ pub struct PoolAllocator {
     live_chunks: AtomicU64,
     total_allocs: AtomicU64,
     total_frees: AtomicU64,
+    /// Poison byte written over every freed chunk, or a sentinel above
+    /// `u8::MAX` when disabled (the default).  Test-oriented: makes
+    /// use-after-free of a pool region observable as poisoned payload bytes
+    /// instead of silently stale data ([`PoolAllocator::set_poison_on_free`]).
+    poison: AtomicU64,
 }
 
 impl fmt::Debug for PoolAllocator {
@@ -230,7 +238,20 @@ impl PoolAllocator {
             live_chunks: AtomicU64::new(0),
             total_allocs: AtomicU64::new(0),
             total_frees: AtomicU64::new(0),
+            poison: AtomicU64::new(POISON_DISABLED),
         }
+    }
+
+    /// Enables (`Some(byte)`) or disables (`None`) poisoning of freed
+    /// chunks: while enabled, [`PoolAllocator::free`] overwrites the whole
+    /// chunk with `byte` before returning it to the free list, so any
+    /// reader still holding the region's [`SharedPtr`] observes poison
+    /// instead of silently stale bytes.  Disabled by default — the free
+    /// path stays O(1); this is a test facility for use-after-free hunting
+    /// (the lap-reclamation property tests in `crates/ring/tests/`).
+    pub fn set_poison_on_free(&self, byte: Option<u8>) {
+        let value = byte.map_or(POISON_DISABLED, u64::from);
+        self.poison.store(value, Ordering::Relaxed);
     }
 
     /// The configuration this pool was created with.
@@ -450,6 +471,21 @@ impl PoolAllocator {
             .buckets
             .get(region.bucket)
             .ok_or(RingError::ForeignRegion)?;
+        let poison = self.poison.load(Ordering::Relaxed);
+        if poison <= u64::from(u8::MAX) {
+            // Overwrite the *whole* chunk (not just the requested length) so
+            // any stale SharedPtr into it — whatever its length — reads
+            // poison.  Done before the chunk re-enters the free list: a
+            // racing re-allocation can only overwrite poison, never the
+            // other way around.
+            let chunk = vec![poison as u8; bucket.chunk_size];
+            let (segment_index, local) = self
+                .locate(region.ptr().offset())
+                .expect("checked above");
+            let segments = self.segments.read();
+            let mut segment = segments[segment_index].data.write();
+            segment[local..local + bucket.chunk_size].copy_from_slice(&chunk);
+        }
         let mut free = bucket.free.lock();
         // O(1) membership check via the free list's mirror set (previously a
         // linear `Vec::contains` scan).
@@ -519,6 +555,27 @@ mod tests {
         }
         // After freeing, chunks are reusable without growing the arena.
         assert!(pool.alloc(200).is_ok());
+    }
+
+    #[test]
+    fn poison_on_free_overwrites_the_chunk() {
+        let pool = PoolAllocator::default();
+        pool.set_poison_on_free(Some(0x5a));
+        let region = pool.alloc_and_write(b"live payload").unwrap();
+        let stale = region.ptr();
+        pool.free(region).unwrap();
+        // The stale pointer now reads poison, not the old payload.
+        assert_eq!(pool.read(stale), vec![0x5a; stale.len() as usize]);
+        // Re-allocation overwrites the poison as usual.
+        let fresh = pool.alloc_and_write(b"new payload!").unwrap();
+        assert_eq!(pool.read(fresh.ptr()), b"new payload!");
+        pool.set_poison_on_free(None);
+        let offset = fresh.ptr().offset();
+        pool.free(fresh).unwrap();
+        let reused = pool.alloc(12).unwrap();
+        assert_eq!(reused.ptr().offset(), offset);
+        // Poison disabled: the old bytes are simply stale, not poisoned.
+        assert_eq!(pool.read(reused.ptr()), b"new payload!");
     }
 
     #[test]

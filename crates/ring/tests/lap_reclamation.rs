@@ -1,0 +1,198 @@
+//! Property tests for lap-based pool reclamation and the incremental
+//! batch-hash lane.
+//!
+//! The producer in these tests mirrors `LeaderCore`: it frees payload
+//! regions strictly below its reclamation horizon (the minimum lap counter
+//! over every active consumer), with freed regions **poisoned** so any
+//! consumer still holding a staged pointer into a recycled region reads a
+//! poison byte instead of its expected fill — turning a reclamation bug
+//! into a deterministic assertion failure rather than a silent wrong read.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use varan_ring::{
+    fold_signature, Event, PoolAllocator, PoolConfig, RingBuffer, SharedPtr, SharedRegion,
+    WaitStrategy, SIGNATURE_FOLD_SEED,
+};
+
+const CAPACITY: usize = 16;
+const PAYLOAD: usize = 64;
+const POISON: u8 = 0xAA;
+
+/// The byte every payload of ring sequence `seq` is filled with (never the
+/// poison byte).
+fn fill_for(seq: u64) -> u8 {
+    let fill = (seq % 251) as u8;
+    if fill == POISON {
+        fill.wrapping_add(1)
+    } else {
+        fill
+    }
+}
+
+/// Per-consumer replay state: events drained (gate advanced) but whose
+/// payloads are still pool-resident, exactly like the monitor's zero-copy
+/// staged queue.
+struct Laggard {
+    consumer: varan_ring::Consumer<Event>,
+    staged: VecDeque<(u64, SharedPtr)>,
+    lap_target: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary publish / drain / replay interleavings with 1–4 lap-gated
+    /// consumers: no consumer ever observes a poisoned (recycled) or torn
+    /// payload through a staged pointer.
+    #[test]
+    fn lap_gated_consumers_never_observe_recycled_payloads(
+        consumers in 1usize..5,
+        ops in proptest::collection::vec((0u8..5u8, 1usize..9usize), 1..160),
+    ) {
+        let ring: Arc<RingBuffer<Event>> =
+            Arc::new(RingBuffer::new(CAPACITY, consumers, WaitStrategy::Spin).unwrap());
+        let pool = PoolAllocator::new(PoolConfig::default());
+        pool.set_poison_on_free(Some(POISON));
+        let producer = ring.producer();
+        let mut laggards: Vec<Laggard> = (0..consumers)
+            .map(|slot| {
+                let mut consumer = ring.consumer(slot).unwrap();
+                consumer.enable_lap_gate();
+                Laggard { consumer, staged: VecDeque::new(), lap_target: 0 }
+            })
+            .collect();
+        let mut payload_window: VecDeque<(u64, SharedRegion)> = VecDeque::new();
+        let mut scratch: Vec<Event> = Vec::new();
+        let mut next_seq = 0u64;
+
+        for (kind, amount) in ops {
+            match kind {
+                // Publish up to `amount` payload events, then retire regions
+                // below the reclamation horizon (poisoning them).
+                0 => {
+                    for _ in 0..amount {
+                        let full = (0..consumers)
+                            .any(|i| ring.backlog(i).unwrap_or(0) >= CAPACITY as u64);
+                        if full {
+                            break;
+                        }
+                        let region = pool
+                            .alloc_and_write(&[fill_for(next_seq); PAYLOAD])
+                            .unwrap();
+                        let event = Event::syscall(7, &[next_seq], 0).with_shared(region.ptr());
+                        let seq = producer.publish_signed(event, event.signature());
+                        prop_assert_eq!(seq, next_seq);
+                        payload_window.push_back((seq, region));
+                        next_seq += 1;
+                        let horizon = producer.refresh_reclaim_horizon();
+                        while payload_window.front().is_some_and(|&(s, _)| s < horizon) {
+                            let (_, region) = payload_window.pop_front().unwrap();
+                            pool.free(region).unwrap();
+                        }
+                    }
+                }
+                // Drain round for one consumer: peek a bounded batch, stage
+                // the payload pointers, advance the gate immediately.
+                1 | 2 => {
+                    let lag = &mut laggards[(kind as usize + amount) % consumers];
+                    scratch.clear();
+                    let base = lag.consumer.next_sequence();
+                    let peeked = lag.consumer.peek_batch(&mut scratch, amount.min(CAPACITY / 2));
+                    for (i, event) in scratch.iter().enumerate() {
+                        lag.staged.push_back((base + i as u64, event.shared()));
+                    }
+                    if peeked > 0 {
+                        lag.consumer.advance(peeked);
+                    }
+                }
+                // Replay round: pop staged events, read their payloads
+                // directly out of the pool and check every byte, then move
+                // the lap counter past the replayed prefix.
+                _ => {
+                    let lag = &mut laggards[(kind as usize + amount) % consumers];
+                    for _ in 0..amount {
+                        let Some((seq, ptr)) = lag.staged.pop_front() else { break };
+                        let expected = fill_for(seq);
+                        let intact = pool.read_with(ptr, |bytes| {
+                            bytes.len() == PAYLOAD && bytes.iter().all(|&b| b == expected)
+                        });
+                        prop_assert!(
+                            intact,
+                            "seq {} read a torn or recycled payload (expected fill {:#x})",
+                            seq,
+                            expected
+                        );
+                        lag.lap_target = seq + 1;
+                    }
+                    lag.consumer.advance_lap_to(lag.lap_target.max(lag.consumer.lap()));
+                }
+            }
+        }
+
+        // Drain and replay everything still in flight; every payload must
+        // still be intact (nothing below any laggard's lap was recycled).
+        for lag in &mut laggards {
+            loop {
+                scratch.clear();
+                let base = lag.consumer.next_sequence();
+                let peeked = lag.consumer.peek_batch(&mut scratch, CAPACITY / 2);
+                for (i, event) in scratch.iter().enumerate() {
+                    lag.staged.push_back((base + i as u64, event.shared()));
+                }
+                if peeked == 0 {
+                    break;
+                }
+                lag.consumer.advance(peeked);
+            }
+            while let Some((seq, ptr)) = lag.staged.pop_front() {
+                let expected = fill_for(seq);
+                let intact =
+                    pool.read_with(ptr, |bytes| bytes.iter().all(|&b| b == expected));
+                prop_assert!(intact, "seq {} read a recycled payload at shutdown", seq);
+            }
+        }
+    }
+
+    /// The incrementally maintained batch fold (leader side) equals the
+    /// fold of per-event signatures recomputed by a consumer from the
+    /// signature lane — and from the events themselves.
+    #[test]
+    fn incremental_batch_hash_equals_fold_of_per_event_hashes(
+        specs in proptest::collection::vec(
+            (0u16..512u16, proptest::collection::vec(any::<u64>(), 0..4), any::<i64>()),
+            1..64,
+        ),
+    ) {
+        let ring: Arc<RingBuffer<Event>> =
+            Arc::new(RingBuffer::new(128, 1, WaitStrategy::Spin).unwrap());
+        let producer = ring.producer();
+        let mut consumer = ring.consumer(0).unwrap();
+
+        // Leader: publish each event, folding its signature incrementally.
+        let mut running = SIGNATURE_FOLD_SEED;
+        for (sysno, args, result) in &specs {
+            let event = Event::syscall(*sysno, args, *result);
+            running = fold_signature(running, event.signature());
+            producer.publish_signed(event, event.signature());
+        }
+
+        // Consumer: fold the signature lane while gated, and the per-event
+        // signatures independently; all three folds must agree.
+        let base = consumer.next_sequence();
+        let mut events = Vec::new();
+        let peeked = consumer.peek_batch(&mut events, usize::MAX);
+        prop_assert_eq!(peeked, specs.len());
+        let mut lane_fold = SIGNATURE_FOLD_SEED;
+        let mut event_fold = SIGNATURE_FOLD_SEED;
+        for (i, event) in events.iter().enumerate() {
+            lane_fold = fold_signature(lane_fold, consumer.sig_at(base + i as u64));
+            event_fold = fold_signature(event_fold, event.signature());
+        }
+        consumer.advance(peeked);
+        prop_assert_eq!(lane_fold, running);
+        prop_assert_eq!(event_fold, running);
+    }
+}
